@@ -1,0 +1,119 @@
+//===- bench/bench_fig4_divergence.cpp - Paper Fig. 4 ----------------------===//
+//
+// Fig. 4 shows a thread-warp divergence example: SSY arms a reconvergence
+// point, a guarded branch splits the warp, nested SSY/SYNC handle double
+// divergence, and everything re-joins at the armed address. This bench
+// builds exactly that shape, prints the recovered CFG, validates the
+// reconvergence edges, and times CFG construction over the whole suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "ir/Builder.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace dcb;
+using namespace dcb::bench;
+
+namespace {
+
+/// The Fig. 4 kernel: if (x) { if (y) {...} else {...} } with nested
+/// divergence (double SSY).
+vendor::KernelBuilder fig4Kernel(Arch A) {
+  vendor::KernelBuilder K("fig4", A);
+  K.ins("S2R R0, SR_TID.X;");                         // BB1
+  K.ins("ISETP.NE.AND P0, PT, R0, RZ, PT;");
+  K.branch("SSY", "bb6");
+  K.branch("@!P0 BRA", "skip_outer");
+  K.ins("LOP.AND R1, R0, 0x1;");                      // BB2
+  K.ins("ISETP.NE.AND P1, PT, R1, RZ, PT;");
+  K.branch("SSY", "bb5");
+  K.branch("@!P1 BRA", "bb4");
+  K.ins("MOV R2, 0x111;");                            // BB3
+  K.reconverge();
+  K.label("bb4");                                     // BB4
+  K.ins("MOV R2, 0x222;");
+  K.reconverge();
+  K.label("bb5");                                     // BB5
+  K.ins("IADD R2, R2, 0x1;");
+  K.reconverge();
+  K.label("skip_outer");
+  K.reconverge();
+  K.label("bb6");                                     // BB6
+  K.ins("SHL R4, R0, 0x2;");
+  K.ins("STG.E [R4+0x40], R2;");
+  return K.exit();
+}
+
+ir::Kernel buildFig4(Arch A) {
+  vendor::NvccSim Nvcc(A);
+  Expected<vendor::CompiledKernel> Compiled = Nvcc.compileKernel(
+      fig4Kernel(A));
+  Expected<std::string> Text =
+      vendor::disassembleKernelCode(A, "fig4", Compiled->Section.Code);
+  Expected<analyzer::Listing> L = analyzer::parseListing(
+      "code for " + std::string(archName(A)) + "\n" + *Text);
+  Expected<ir::Kernel> K = ir::buildKernel(A, L->Kernels.front());
+  if (!K) {
+    std::fprintf(stderr, "%s\n", K.message().c_str());
+    std::abort();
+  }
+  return K.takeValue();
+}
+
+void report() {
+  std::printf("=== Fig. 4: divergence / reconvergence CFG ===\n");
+  for (Arch A : {Arch::SM35, Arch::SM52}) {
+    ir::Kernel K = buildFig4(A);
+    std::printf("--- %s (reconvergence spelled %s) ---\n%s", archName(A),
+                archFamily(A) == EncodingFamily::Maxwell ? "SYNC" : ".S",
+                ir::printKernel(K).c_str());
+
+    unsigned SsyCount = 0, ReconvergeEdges = 0, TwoWaySplits = 0;
+    for (const ir::Block &B : K.Blocks) {
+      for (const ir::Inst &Entry : B.Insts)
+        SsyCount += Entry.Asm.Opcode == "SSY";
+      if (!B.empty() && B.Insts.back().Asm.Opcode == "BRA" &&
+          B.Insts.back().Asm.hasGuard())
+        TwoWaySplits += B.Succs.size() == 2;
+      if (B.ReconvergeBlock >= 0)
+        ++ReconvergeEdges;
+    }
+    std::printf("nested SSYs: %u   guarded two-way splits: %u   blocks "
+                "with an armed reconvergence point: %u\n\n",
+                SsyCount, TwoWaySplits, ReconvergeEdges);
+  }
+}
+
+void BM_BuildCfgForSuite(benchmark::State &State) {
+  Arch A = static_cast<Arch>(State.range(0));
+  const ArchData &Data = archData(A);
+  size_t Blocks = 0;
+  for (auto _ : State) {
+    Blocks = 0;
+    for (const analyzer::ListingKernel &Kernel : Data.Listing.Kernels) {
+      Expected<ir::Kernel> K = ir::buildKernel(A, Kernel);
+      if (!K)
+        State.SkipWithError(K.message().c_str());
+      Blocks += K->Blocks.size();
+      benchmark::DoNotOptimize(K);
+    }
+  }
+  State.counters["blocks"] = static_cast<double>(Blocks);
+}
+
+} // namespace
+
+BENCHMARK(BM_BuildCfgForSuite)
+    ->Arg(static_cast<int>(Arch::SM35))
+    ->Arg(static_cast<int>(Arch::SM52))
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char **argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,117 @@
+//===- examples/cross_arch_port.cpp - Architecture independence -----------===//
+//
+// The paper's headline property (§I, §V): "since our IR is not tied to a
+// single version of the ISA, changes to the code can be compatible with
+// many architectures, using our generated assemblers to target different
+// devices as needed." This example applies ONE transformation — counting
+// global stores through an atomic — to binaries of four GPU generations,
+// with per-generation encodings learned independently.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/BitFlipper.h"
+#include "analyzer/IsaAnalyzer.h"
+#include "ir/Builder.h"
+#include "ir/Layout.h"
+#include "sass/Parser.h"
+#include "transform/Passes.h"
+#include "vendor/CuobjdumpSim.h"
+#include "vendor/NvccSim.h"
+#include "workloads/Suite.h"
+
+#include <cstdio>
+
+using namespace dcb;
+
+namespace {
+
+analyzer::EncodingDatabase learn(Arch A) {
+  vendor::NvccSim Nvcc(A);
+  Expected<elf::Cubin> Cubin = Nvcc.compile(workloads::buildSuite(A));
+  Expected<std::string> Text = vendor::disassembleCubin(*Cubin);
+  Expected<analyzer::Listing> L = analyzer::parseListing(*Text);
+  analyzer::IsaAnalyzer Analyzer(A);
+  if (Error E = Analyzer.analyzeListing(*L)) {
+    std::fprintf(stderr, "%s\n", E.message().c_str());
+    std::exit(1);
+  }
+  std::map<std::string, std::vector<uint8_t>> KernelCode;
+  for (const elf::KernelSection &Kernel : Cubin->kernels())
+    KernelCode[Kernel.Name] = Kernel.Code;
+  analyzer::BitFlipper Flipper(
+      Analyzer,
+      [A](const std::string &Name, const std::vector<uint8_t> &Code) {
+        return vendor::disassembleKernelCode(A, Name, Code);
+      });
+  Flipper.run(KernelCode);
+  return Analyzer.database();
+}
+
+} // namespace
+
+int main() {
+  const Arch Targets[] = {Arch::SM20, Arch::SM35, Arch::SM52, Arch::SM61};
+
+  std::printf("%-8s %-28s %-10s %-10s %s\n", "arch", "encoding family",
+              "sites", "size", "re-disassembles");
+  for (Arch A : Targets) {
+    analyzer::EncodingDatabase Db = learn(A);
+
+    // The same source-level kernel compiled for this generation — its
+    // binary encoding differs per family, but the IR does not care.
+    vendor::NvccSim Nvcc(A);
+    Expected<vendor::CompiledKernel> Compiled =
+        Nvcc.compileKernel(workloads::suite()[0].Build(A)); // backprop
+    Expected<std::string> Text = vendor::disassembleKernelCode(
+        A, "backprop", Compiled->Section.Code);
+    Expected<analyzer::Listing> L = analyzer::parseListing(
+        "code for " + std::string(archName(A)) + "\n" + *Text);
+    Expected<ir::Kernel> K = ir::buildKernel(A, L->Kernels.front());
+    if (!K) {
+      std::fprintf(stderr, "%s\n", K.message().c_str());
+      return 1;
+    }
+
+    // One architecture-independent instrumentation.
+    std::vector<sass::Instruction> Payload = {
+        *sass::parseInstruction("MOV R30, 0x1;"),
+        *sass::parseInstruction("ATOM.ADD R31, [RZ+0x8], R30;"),
+    };
+    unsigned Sites = transform::insertBefore(
+        *K, [](const ir::Inst &E) { return E.Asm.Opcode == "STG"; },
+        Payload);
+    transform::recomputeControlInfo(*K);
+
+    Expected<std::vector<uint8_t>> Code = ir::emitKernel(Db, *K);
+    if (!Code) {
+      std::fprintf(stderr, "%s: %s\n", archName(A),
+                   Code.message().c_str());
+      return 1;
+    }
+    bool Ok = vendor::disassembleKernelCode(A, "backprop", *Code)
+                  .hasValue();
+
+    const char *Family = "?";
+    switch (archFamily(A)) {
+    case EncodingFamily::Fermi:
+      Family = "Fermi (SM 2.x/3.0)";
+      break;
+    case EncodingFamily::Kepler2:
+      Family = "Kepler (SM 3.5)";
+      break;
+    case EncodingFamily::Maxwell:
+      Family = "Maxwell/Pascal (SM 5.x/6.x)";
+      break;
+    case EncodingFamily::Volta:
+      Family = "Volta (SM 7.x)";
+      break;
+    }
+    std::printf("%-8s %-28s %-10u %-10zu %s\n", archName(A), Family, Sites,
+                Code->size(), Ok ? "yes" : "NO");
+    if (!Ok)
+      return 1;
+  }
+  std::printf("\none IR-level transformation, four ISAs — no per-arch "
+              "code in the pass.\n");
+  return 0;
+}

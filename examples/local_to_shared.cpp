@@ -1,0 +1,116 @@
+//===- examples/local_to_shared.cpp - Fig. 11 memory rewriting ------------===//
+//
+// Reproduces the paper's Fig. 11: take a binary kernel that stages data in
+// local memory, lift it to the IR, convert every local access to a
+// shared-memory access with adjusted addresses, and assemble it back —
+// printing the four stages (original binary, extracted assembly, modified
+// assembly, new binary) exactly like the figure.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/BitFlipper.h"
+#include "analyzer/IsaAnalyzer.h"
+#include "ir/Builder.h"
+#include "ir/Layout.h"
+#include "transform/Passes.h"
+#include "vendor/CuobjdumpSim.h"
+#include "vendor/NvccSim.h"
+#include "workloads/Suite.h"
+
+#include <cstdio>
+
+using namespace dcb;
+
+namespace {
+
+void printHexColumn(const char *Title, const std::vector<uint8_t> &Code,
+                    unsigned WordBytes) {
+  std::printf("%s\n", Title);
+  for (size_t Offset = 0; Offset + WordBytes <= Code.size();
+       Offset += WordBytes) {
+    std::printf("  0x");
+    for (unsigned Byte = WordBytes; Byte > 0; --Byte)
+      std::printf("%02x", Code[Offset + Byte - 1]);
+    std::printf("\n");
+  }
+}
+
+} // namespace
+
+int main() {
+  const Arch A = Arch::SM35; // Fig. 11 shows Compute Capability 3.x.
+
+  // Learn the encodings (suite + flipping) — the framework's front/back
+  // end for this architecture.
+  vendor::NvccSim Nvcc(A);
+  Expected<elf::Cubin> SuiteBin = Nvcc.compile(workloads::buildSuite(A));
+  Expected<std::string> SuiteText = vendor::disassembleCubin(*SuiteBin);
+  Expected<analyzer::Listing> SuiteListing =
+      analyzer::parseListing(*SuiteText);
+  analyzer::IsaAnalyzer Analyzer(A);
+  if (Error E = Analyzer.analyzeListing(*SuiteListing)) {
+    std::fprintf(stderr, "%s\n", E.message().c_str());
+    return 1;
+  }
+  std::map<std::string, std::vector<uint8_t>> KernelCode;
+  for (const elf::KernelSection &Kernel : SuiteBin->kernels())
+    KernelCode[Kernel.Name] = Kernel.Code;
+  analyzer::BitFlipper Flipper(
+      Analyzer,
+      [A](const std::string &Name, const std::vector<uint8_t> &Code) {
+        return vendor::disassembleKernelCode(A, Name, Code);
+      });
+  Flipper.run(KernelCode);
+
+  // The subject kernel: stages values through local memory.
+  vendor::KernelBuilder K("stager", A);
+  K.ins("S2R R0, SR_TID.X;");
+  K.ins("SHL R4, R0, 0x2;");
+  K.ins("LDG.E R6, [R4+0x100];");
+  K.ins("STL [R4], R6;");
+  K.ins("LDL R7, [R4];");
+  K.ins("IADD R8, R7, 0x1;");
+  K.ins("STL [R4+0x20], R8;");
+  K.ins("LDL R9, [R4+0x20];");
+  K.ins("STG.E [R4+0x200], R9;");
+  K.exit();
+  Expected<vendor::CompiledKernel> Compiled = Nvcc.compileKernel(K);
+
+  printHexColumn("(a) original binary:", Compiled->Section.Code, 8);
+
+  Expected<std::string> Text =
+      vendor::disassembleKernelCode(A, "stager", Compiled->Section.Code);
+  Expected<analyzer::Listing> L = analyzer::parseListing(
+      "code for " + std::string(archName(A)) + "\n" + *Text);
+  Expected<ir::Kernel> Kern = ir::buildKernel(A, L->Kernels.front());
+  if (!Kern) {
+    std::fprintf(stderr, "%s\n", Kern.message().c_str());
+    return 1;
+  }
+  std::printf("\n(b) assembly extracted with the framework front end:\n%s",
+              ir::printKernel(*Kern).c_str());
+
+  unsigned Converted =
+      transform::convertLocalToShared(*Kern, /*SharedBase=*/0x400,
+                                      /*LocalBytesPerThread=*/128);
+  transform::recomputeControlInfo(*Kern);
+  std::printf("\n(c) after converting %u local accesses to shared:\n%s",
+              Converted, ir::printKernel(*Kern).c_str());
+
+  Expected<std::vector<uint8_t>> NewCode =
+      ir::emitKernel(Analyzer.database(), *Kern);
+  if (!NewCode) {
+    std::fprintf(stderr, "%s\n", NewCode.message().c_str());
+    return 1;
+  }
+  std::printf("\n");
+  printHexColumn("(d) new binary produced by the generated assembler:",
+                 *NewCode, 8);
+
+  // Confirm the vendor tool still accepts the rewritten kernel.
+  Expected<std::string> Check =
+      vendor::disassembleKernelCode(A, "stager", *NewCode);
+  std::printf("\nvendor disassembler accepts the rewritten kernel: %s\n",
+              Check.hasValue() ? "yes" : "NO");
+  return Check.hasValue() ? 0 : 1;
+}

@@ -1,0 +1,122 @@
+//===- examples/quickstart.cpp - Zero to generated assembler --------------===//
+//
+// The complete workflow of the paper in one program:
+//
+//   1. obtain GPU executables (here: the bundled synthetic benchmark suite
+//      compiled by the vendor-simulator; with a real toolchain this would
+//      be `nvcc` output),
+//   2. disassemble them ({assembly, binary} pairs),
+//   3. run the ISA Analyzer over the listing,
+//   4. enrich the data set with bit flipping until convergence,
+//   5. verify that the learned encodings reassemble every program
+//      byte-identically, and
+//   6. emit a standalone C++ assembler (the asm2bin tool).
+//
+// Usage: quickstart [sm_20|sm_30|sm_35|sm_50|sm_61|...]
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/BitFlipper.h"
+#include "analyzer/IsaAnalyzer.h"
+#include "asmgen/AssemblerGenerator.h"
+#include "asmgen/TableAssembler.h"
+#include "vendor/CuobjdumpSim.h"
+#include "vendor/NvccSim.h"
+#include "workloads/Suite.h"
+
+#include <cstdio>
+#include <fstream>
+
+using namespace dcb;
+
+int main(int Argc, char **Argv) {
+  Arch A = Arch::SM35;
+  if (Argc > 1) {
+    std::optional<Arch> Parsed = archFromName(Argv[1]);
+    if (!Parsed) {
+      std::fprintf(stderr, "unknown architecture '%s'\n", Argv[1]);
+      return 1;
+    }
+    A = *Parsed;
+  }
+  std::printf("== Decoding the %s instruction set ==\n\n", archName(A));
+
+  // 1. "Compile" the benchmark suite with the closed-source toolchain.
+  vendor::NvccSim Nvcc(A);
+  Expected<elf::Cubin> Cubin = Nvcc.compile(workloads::buildSuite(A));
+  if (!Cubin) {
+    std::fprintf(stderr, "%s\n", Cubin.message().c_str());
+    return 1;
+  }
+  std::printf("compiled %zu benchmark kernels\n", Cubin->kernels().size());
+
+  // 2. Disassemble.
+  Expected<std::string> Listing = vendor::disassembleCubin(*Cubin);
+  if (!Listing) {
+    std::fprintf(stderr, "%s\n", Listing.message().c_str());
+    return 1;
+  }
+  Expected<analyzer::Listing> Parsed = analyzer::parseListing(*Listing);
+  if (!Parsed) {
+    std::fprintf(stderr, "%s\n", Parsed.message().c_str());
+    return 1;
+  }
+
+  // 3. Analyze.
+  analyzer::IsaAnalyzer Analyzer(A);
+  if (Error E = Analyzer.analyzeListing(*Parsed)) {
+    std::fprintf(stderr, "%s\n", E.message().c_str());
+    return 1;
+  }
+  auto Stats = Analyzer.database().stats();
+  std::printf("after the suite:      %3zu operations, %3zu modifiers, "
+              "%2zu unary ops, %2zu tokens\n",
+              Stats.NumOperations, Stats.NumModifiers, Stats.NumUnaries,
+              Stats.NumTokens);
+
+  // 4. Bit flipping until convergence.
+  std::map<std::string, std::vector<uint8_t>> KernelCode;
+  for (const elf::KernelSection &Kernel : Cubin->kernels())
+    KernelCode[Kernel.Name] = Kernel.Code;
+  analyzer::BitFlipper Flipper(
+      Analyzer,
+      [A](const std::string &Name, const std::vector<uint8_t> &Code) {
+        return vendor::disassembleKernelCode(A, Name, Code);
+      });
+  auto Rounds = Flipper.run(KernelCode);
+  for (size_t R = 0; R < Rounds.size(); ++R)
+    std::printf("flip round %zu:         %u variants, %u crashes, "
+                "%u accepted, %u new operations\n",
+                R + 1, Rounds[R].VariantsTried, Rounds[R].Crashes,
+                Rounds[R].Accepted, Rounds[R].NewOperations);
+  Stats = Analyzer.database().stats();
+  std::printf("after flipping:       %3zu operations, %3zu modifiers, "
+              "%2zu unary ops, %2zu tokens\n",
+              Stats.NumOperations, Stats.NumModifiers, Stats.NumUnaries,
+              Stats.NumTokens);
+
+  // 5. Verify: reassemble every program byte-identically.
+  size_t Total = 0, Identical = 0;
+  for (const analyzer::ListingKernel &Kernel : Parsed->Kernels) {
+    Total += Kernel.Insts.size();
+    Identical += asmgen::reassembleKernel(Analyzer.database(), Kernel);
+  }
+  std::printf("reassembly check:     %zu/%zu instructions byte-identical\n",
+              Identical, Total);
+
+  // 6. Generate the assembler source.
+  std::string Source =
+      asmgen::generateAssemblerSource(Analyzer.database());
+  std::string FileName =
+      "generatedAssembler" + std::string(archName(A)).substr(3) + ".cpp";
+  std::ofstream Out(FileName);
+  Out << Source;
+  std::printf("wrote %s (%zu bytes)\n", FileName.c_str(), Source.size());
+
+  std::string DbFile = std::string("encodings_") + archName(A) + ".txt";
+  std::ofstream DbOut(DbFile);
+  DbOut << Analyzer.database().serialize();
+  std::printf("wrote %s (the decoded-instruction artifact)\n",
+              DbFile.c_str());
+  return Identical == Total ? 0 : 1;
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# The artifact's procExes.sh workflow (paper §A.E/§A.F), driven by the dcb
+# tool: prepare benchmarks, extract and analyze kernels, bit-flip, generate
+# an assembler, reassemble everything and verify it has not changed.
+set -euo pipefail
+ARCH="${1:-sm_35}"
+DCB="${DCB:-./build/tools/dcb}"
+WORK="${WORK:-exes}"
+mkdir -p "$WORK"
+
+echo "== 1. prepare benchmarks ($ARCH)"
+"$DCB" make-suite "$ARCH" -o "$WORK/suite.cubin"
+
+echo "== 2. extract kernel functions"
+"$DCB" disasm "$WORK/suite.cubin" > "$WORK/suite.sass"
+
+echo "== 3. analyze kernel functions"
+"$DCB" analyze "$WORK/suite.sass" -o "$WORK/pass1.db"
+
+echo "== 4-7. bit-flip rounds (generate, inject, extract, analyze)"
+"$DCB" flip "$WORK/suite.cubin" --db "$WORK/pass1.db" -o "$WORK/final.db"
+
+echo "== 8. generate assembler code"
+"$DCB" genasm --db "$WORK/final.db" \
+  -o "$WORK/generatedAssembler${ARCH#sm_}.cpp"
+
+echo "== 9-10. assemble back into the benchmarks and verify"
+"$DCB" verify --db "$WORK/final.db" "$WORK/suite.sass"
+echo "workflow complete for $ARCH"

@@ -1,0 +1,114 @@
+//===- analyzer/BitFlipper.cpp --------------------------------------------===//
+
+#include "analyzer/BitFlipper.h"
+
+#include <cassert>
+
+using namespace dcb;
+using namespace dcb::analyzer;
+
+namespace {
+
+/// Serializes a word into little-endian bytes at \p Offset of \p Code.
+void writeWord(std::vector<uint8_t> &Code, uint64_t Offset,
+               const BitString &Word) {
+  assert(Offset + Word.size() / 8 <= Code.size() && "patch out of range");
+  for (unsigned Byte = 0; Byte < Word.size() / 8; ++Byte)
+    Code[Offset + Byte] = static_cast<uint8_t>(Word.field(Byte * 8, 8));
+}
+
+} // namespace
+
+bool BitFlipper::tryVariant(const std::string &KernelName,
+                            const std::vector<uint8_t> &OriginalCode,
+                            uint64_t Addr, const BitString &Variant,
+                            RoundStats &Stats) {
+  ++Stats.VariantsTried;
+
+  std::vector<uint8_t> Patched = OriginalCode;
+  if (Addr + Variant.size() / 8 > Patched.size())
+    return false;
+  writeWord(Patched, Addr, Variant);
+
+  Expected<std::string> Text = Disassembler(KernelName, Patched);
+  if (!Text) {
+    // The closed-source disassembler "crashed" on the variant; discard it
+    // (paper §III-B).
+    ++Stats.Crashes;
+    return false;
+  }
+
+  // The listing parser needs the architecture header line.
+  std::string Full = std::string("code for ") +
+                     archName(Analyzer.database().arch()) + "\n" + *Text;
+  Expected<Listing> L = parseListing(Full);
+  if (!L) {
+    ++Stats.Crashes;
+    return false;
+  }
+
+  for (const ListingKernel &Kernel : L->Kernels) {
+    for (const ListingInst &Pair : Kernel.Insts) {
+      if (Pair.Address != Addr)
+        continue;
+      size_t Before = Analyzer.database().operations().size();
+      Analyzer.analyzeInst(Pair, KernelName);
+      if (Analyzer.database().operations().size() > Before)
+        ++Stats.NewOperations;
+      ++Stats.Accepted;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<BitFlipper::RoundStats> BitFlipper::run(
+    const std::map<std::string, std::vector<uint8_t>> &KernelCode,
+    const Options &Opts) {
+  std::vector<RoundStats> Rounds;
+  EncodingDatabase::Stats Last = Analyzer.database().stats();
+
+  for (unsigned Round = 0; Round < Opts.MaxRounds; ++Round) {
+    RoundStats Stats;
+
+    // Snapshot the exemplars first: analyzing variants mutates the
+    // operation map we are iterating conceptually.
+    struct Exemplar {
+      std::string Kernel;
+      uint64_t Addr;
+      BitString Word;
+      std::vector<bool> SkipBits;
+    };
+    std::vector<Exemplar> Exemplars;
+    for (const auto &[Key, Op] : Analyzer.database().operations()) {
+      if (Op.ExemplarWord.empty() || !KernelCode.count(Op.ExemplarKernel))
+        continue;
+      Exemplar E;
+      E.Kernel = Op.ExemplarKernel;
+      E.Addr = Op.ExemplarAddr;
+      E.Word = Op.ExemplarWord;
+      if (Opts.SkipConsistentBits)
+        E.SkipBits = Op.Opcode.Bits;
+      Exemplars.push_back(std::move(E));
+    }
+
+    for (const Exemplar &E : Exemplars) {
+      const std::vector<uint8_t> &Code = KernelCode.at(E.Kernel);
+      unsigned Limit = std::min<unsigned>(Opts.MaxFlipBit, E.Word.size());
+      for (unsigned Bit = 0; Bit < Limit; ++Bit) {
+        if (!E.SkipBits.empty() && E.SkipBits[Bit])
+          continue;
+        BitString Variant = E.Word;
+        Variant.flip(Bit);
+        tryVariant(E.Kernel, Code, E.Addr, Variant, Stats);
+      }
+    }
+
+    Stats.After = Analyzer.database().stats();
+    Rounds.push_back(Stats);
+    if (Stats.After == Last)
+      break; // Converged: nothing new was learned this round.
+    Last = Stats.After;
+  }
+  return Rounds;
+}

@@ -1,0 +1,94 @@
+//===- analyzer/BitFlipper.h - Data-set enrichment --------------*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bit flipper of §III-B: "takes the binary instruction of every known
+/// operation as input, and outputs variants of each one, which we can
+/// inject into an executable in order to extract more assembly code. Each
+/// variant is identical to the instruction it is based on, except that a
+/// single distinct bit has been flipped."
+///
+/// The disassembler is an opaque callback (in production: the closed-source
+/// cuobjdump binary; here: the vendor simulator, wired in by the caller so
+/// this library stays on the analyzer side of the firewall). The flipper
+/// patches each variant into a copy of the executable's kernel code at the
+/// exemplar's address, disassembles, and feeds whatever comes back — a new
+/// instance of the operation, or an entirely new operation — back into the
+/// analyzer. Disassembler crashes on invalid variants are expected and
+/// tolerated. Rounds repeat "until the results converge".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_ANALYZER_BITFLIPPER_H
+#define DCB_ANALYZER_BITFLIPPER_H
+
+#include "analyzer/IsaAnalyzer.h"
+
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace dcb {
+namespace analyzer {
+
+/// Disassembles one kernel's code bytes, returning listing text in the
+/// standard format (without the "code for" header) or failing like the
+/// real tool does on garbage.
+using KernelDisassembler = std::function<Expected<std::string>(
+    const std::string &KernelName, const std::vector<uint8_t> &Code)>;
+
+class BitFlipper {
+public:
+  struct Options {
+    unsigned MaxRounds = 4;
+    /// When set, bits that are still consistent across every instance of
+    /// an operation (the current opcode estimate) are not flipped. This is
+    /// the paper's fast mode ("narrow the range of bits that are flipped -
+    /// skipping over most of the opcode bits"); disabling it explores all
+    /// bits at the cost of many more disassembler crashes.
+    bool SkipConsistentBits = false;
+    /// Cap on flip positions (Volta's upper control bits are skipped by
+    /// limiting to the low 64 bits, matching the paper's 64-bit focus).
+    unsigned MaxFlipBit = 64;
+  };
+
+  struct RoundStats {
+    unsigned VariantsTried = 0;
+    unsigned Crashes = 0;      ///< Disassembler refused the variant.
+    unsigned Accepted = 0;     ///< Variant produced a decodable pair.
+    unsigned NewOperations = 0;
+    EncodingDatabase::Stats After;
+  };
+
+  BitFlipper(IsaAnalyzer &Analyzer, KernelDisassembler Disassembler)
+      : Analyzer(Analyzer), Disassembler(std::move(Disassembler)) {}
+
+  /// Runs flip rounds until convergence (no new operations, modifiers,
+  /// unary operators or tokens) or Options::MaxRounds.
+  /// \p KernelCode maps kernel names to their original code bytes; every
+  /// operation exemplar must come from one of these kernels.
+  std::vector<RoundStats> run(
+      const std::map<std::string, std::vector<uint8_t>> &KernelCode,
+      const Options &Opts);
+  std::vector<RoundStats>
+  run(const std::map<std::string, std::vector<uint8_t>> &KernelCode) {
+    return run(KernelCode, Options());
+  }
+
+private:
+  IsaAnalyzer &Analyzer;
+  KernelDisassembler Disassembler;
+
+  /// Tries one variant; returns true when it yielded a usable pair.
+  bool tryVariant(const std::string &KernelName,
+                  const std::vector<uint8_t> &OriginalCode, uint64_t Addr,
+                  const BitString &Variant, RoundStats &Stats);
+};
+
+} // namespace analyzer
+} // namespace dcb
+
+#endif // DCB_ANALYZER_BITFLIPPER_H

@@ -1,0 +1,106 @@
+//===- analyzer/IsaAnalyzer.h - Algorithms 1 & 2 ----------------*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ISA Analyzer: consumes {assembly, binary} pairs and maintains the
+/// list of known operation encodings. This is the paper's Algorithm 1
+/// (AnalyzeInst: opcode bits, guard, modifiers) and Algorithm 2
+/// (AnalyzeOperand: unary operators and value-component window search).
+///
+/// FIREWALL: this library never sees the hidden tables in src/isa — its
+/// only inputs are disassembler listings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_ANALYZER_ISAANALYZER_H
+#define DCB_ANALYZER_ISAANALYZER_H
+
+#include "analyzer/Listing.h"
+#include "analyzer/Records.h"
+#include "support/Arch.h"
+
+#include <map>
+#include <string>
+
+namespace dcb {
+namespace analyzer {
+
+/// The set of learned operation encodings for one architecture.
+class EncodingDatabase {
+public:
+  explicit EncodingDatabase(Arch A = Arch::SM35)
+      : A(A), WordBits(archWordBits(A)) {}
+
+  Arch arch() const { return A; }
+  unsigned wordBits() const { return WordBits; }
+
+  std::map<std::string, OperationRec> &operations() { return Ops; }
+  const std::map<std::string, OperationRec> &operations() const {
+    return Ops;
+  }
+
+  const OperationRec *lookup(const std::string &Key) const {
+    auto It = Ops.find(Key);
+    return It == Ops.end() ? nullptr : &It->second;
+  }
+
+  /// Aggregate statistics (drive the convergence loop and the benches).
+  struct Stats {
+    size_t NumOperations = 0;
+    size_t NumModifiers = 0;      ///< Across all operations.
+    size_t NumUnaries = 0;
+    size_t NumTokens = 0;
+    size_t NumInstances = 0;
+    bool operator==(const Stats &O) const {
+      return NumOperations == O.NumOperations &&
+             NumModifiers == O.NumModifiers && NumUnaries == O.NumUnaries &&
+             NumTokens == O.NumTokens;
+    }
+  };
+  Stats stats() const;
+
+  /// Serializes the learned encodings to a text artifact (the shape of the
+  /// paper's Zenodo opcode/operand releases).
+  std::string serialize() const;
+
+  /// Reloads a database written by serialize().
+  static Expected<EncodingDatabase> deserialize(const std::string &Text);
+
+private:
+  Arch A;
+  unsigned WordBits;
+  std::map<std::string, OperationRec> Ops;
+};
+
+/// The analyzer itself.
+class IsaAnalyzer {
+public:
+  explicit IsaAnalyzer(Arch A) : Db(A) {}
+  explicit IsaAnalyzer(EncodingDatabase Existing) : Db(std::move(Existing)) {}
+
+  EncodingDatabase &database() { return Db; }
+  const EncodingDatabase &database() const { return Db; }
+
+  /// Algorithm 1 entry point: analyzes one {assembly, binary} pair.
+  /// \p KernelName tags the exemplar used later by the bit flipper.
+  void analyzeInst(const ListingInst &Pair, const std::string &KernelName);
+
+  /// Feeds every instruction of a parsed listing. Returns an error when
+  /// the listing's architecture does not match the database.
+  Error analyzeListing(const Listing &L);
+
+private:
+  EncodingDatabase Db;
+
+  void analyzeOperand(OperandRec &Rec, const sass::Operand &Op,
+                      const BitString &Binary, uint64_t Addr,
+                      const std::string &Mnemonic, unsigned OperandIdx);
+};
+
+} // namespace analyzer
+} // namespace dcb
+
+#endif // DCB_ANALYZER_ISAANALYZER_H

@@ -1,0 +1,116 @@
+//===- analyzer/Listing.cpp -----------------------------------------------===//
+
+#include "analyzer/Listing.h"
+
+#include "sass/Parser.h"
+#include "support/StringUtils.h"
+
+using namespace dcb;
+using namespace dcb::analyzer;
+
+namespace {
+
+/// Parses "/*NNNN*/" returning the address; advances \p Line past it.
+bool takeAddress(std::string_view &Line, uint64_t &Address) {
+  Line = trim(Line);
+  if (!startsWith(Line, "/*"))
+    return false;
+  size_t End = Line.find("*/");
+  if (End == std::string_view::npos)
+    return false;
+  std::optional<uint64_t> Value =
+      parseUInt("0x" + std::string(trim(Line.substr(2, End - 2))));
+  if (!Value)
+    return false;
+  Address = *Value;
+  Line = Line.substr(End + 2);
+  return true;
+}
+
+/// Extracts the "/* 0xHEX */" tail; returns the hex body.
+bool takeHexComment(std::string_view &Line, std::string &Hex) {
+  size_t Pos = Line.rfind("/*");
+  if (Pos == std::string_view::npos)
+    return false;
+  std::string_view Tail = Line.substr(Pos + 2);
+  size_t End = Tail.find("*/");
+  if (End == std::string_view::npos)
+    return false;
+  std::string_view Body = trim(Tail.substr(0, End));
+  if (!startsWith(Body, "0x"))
+    return false;
+  Hex = std::string(Body);
+  Line = Line.substr(0, Pos);
+  return true;
+}
+
+} // namespace
+
+Expected<Listing> analyzer::parseListing(const std::string &Text) {
+  Listing Result;
+  bool SawArch = false;
+  ListingKernel *Kernel = nullptr;
+  unsigned WordBits = 64;
+
+  for (std::string_view Raw : splitLines(Text)) {
+    std::string_view Line = trim(Raw);
+    if (Line.empty())
+      continue;
+
+    if (startsWith(Line, "code for ")) {
+      std::optional<Arch> A =
+          archFromName(std::string(trim(Line.substr(9))));
+      if (!A)
+        return Failure("listing: unknown architecture in '" +
+                       std::string(Line) + "'");
+      Result.A = *A;
+      WordBits = archWordBits(*A);
+      SawArch = true;
+      continue;
+    }
+    if (startsWith(Line, "Function :")) {
+      if (!SawArch)
+        return Failure("listing: Function before 'code for' header");
+      Result.Kernels.emplace_back();
+      Kernel = &Result.Kernels.back();
+      Kernel->Name = std::string(trim(Line.substr(10)));
+      continue;
+    }
+
+    uint64_t Address = 0;
+    if (!takeAddress(Line, Address))
+      return Failure("listing: expected an address in '" + std::string(Raw) +
+                     "'");
+    if (!Kernel)
+      return Failure("listing: instruction outside any Function section");
+
+    std::string Hex;
+    if (!takeHexComment(Line, Hex))
+      return Failure("listing: missing binary column in '" +
+                     std::string(Raw) + "'");
+    BitString Word = BitString::fromHex(Hex, WordBits);
+    if (Word.empty())
+      return Failure("listing: bad binary value '" + Hex + "'");
+
+    std::string_view Asm = trim(Line);
+    if (Asm.empty()) {
+      // A bare hex line is a SCHI scheduling word.
+      Kernel->Schis.push_back(ListingSchi{Address, Word});
+      continue;
+    }
+
+    Expected<sass::Instruction> Inst = sass::parseInstruction(Asm);
+    if (!Inst)
+      return Failure("listing: " + Inst.message());
+    ListingInst Entry;
+    Entry.Address = Address;
+    Entry.AsmText = std::string(Asm);
+    Entry.Inst = Inst.takeValue();
+    Entry.Binary = std::move(Word);
+    Kernel->Insts.push_back(std::move(Entry));
+  }
+
+  if (!SawArch)
+    return Failure("listing: missing 'code for sm_XX' header");
+  return Result;
+}

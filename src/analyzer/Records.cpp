@@ -1,0 +1,183 @@
+//===- analyzer/Records.cpp -----------------------------------------------===//
+
+#include "analyzer/Records.h"
+
+#include <cassert>
+#include <algorithm>
+#include <cstring>
+
+using namespace dcb;
+using namespace dcb::analyzer;
+
+bool analyzer::interpEncode(InterpKind K, const CompValue &V, unsigned Width,
+                            uint64_t &Content) {
+  assert(Width >= 1 && Width <= 64 && "bad window width");
+  switch (K) {
+  case InterpKind::Plain: {
+    if (V.IsReg && V.Int < 0) {
+      // The zero register encodes as the all-ones register id.
+      Content = BitString::lowMask(Width);
+      return true;
+    }
+    if (V.Int < 0)
+      return false;
+    uint64_t U = static_cast<uint64_t>(V.Int);
+    if (Width < 64 && (U >> Width) != 0)
+      return false;
+    Content = U;
+    return true;
+  }
+  case InterpKind::Signed: {
+    int64_t Value = V.Int;
+    if (Width < 64) {
+      int64_t Lo = -(int64_t(1) << (Width - 1));
+      int64_t Hi = (int64_t(1) << (Width - 1)) - 1;
+      if (Value < Lo || Value > Hi)
+        return false;
+    }
+    Content = static_cast<uint64_t>(Value) & BitString::lowMask(Width);
+    return true;
+  }
+  case InterpKind::RelNext: {
+    int64_t Offset =
+        V.Int - static_cast<int64_t>(V.InstAddr + V.WordBytes);
+    if (Width < 64) {
+      int64_t Lo = -(int64_t(1) << (Width - 1));
+      int64_t Hi = (int64_t(1) << (Width - 1)) - 1;
+      if (Offset < Lo || Offset > Hi)
+        return false;
+    }
+    Content = static_cast<uint64_t>(Offset) & BitString::lowMask(Width);
+    return true;
+  }
+  case InterpKind::Float32Hi: {
+    if (Width > 32)
+      return false;
+    float F = static_cast<float>(V.Float);
+    uint32_t Bits;
+    std::memcpy(&Bits, &F, sizeof(Bits));
+    Content = Bits >> (32 - Width);
+    return true;
+  }
+  case InterpKind::Float64Hi: {
+    uint64_t Bits;
+    std::memcpy(&Bits, &V.Float, sizeof(Bits));
+    Content = Width == 64 ? Bits : Bits >> (64 - Width);
+    return true;
+  }
+  }
+  return false;
+}
+
+void ComponentRec::narrow(const BitString &Word, const CompValue &Value,
+                          const std::vector<InterpKind> &Kinds) {
+  unsigned WordBits = Word.size();
+  bool First = !Started;
+  if (First) {
+    Started = true;
+    for (InterpKind Kind : Kinds)
+      WidthMask[static_cast<unsigned>(Kind)].assign(WordBits, 0);
+  }
+  for (InterpKind Kind : Kinds) {
+    auto &Masks = WidthMask[static_cast<unsigned>(Kind)];
+    assert(Masks.size() == WordBits && "word width changed mid-analysis");
+    for (unsigned B = 0; B < WordBits; ++B) {
+      uint64_t Previous = First ? ~uint64_t(0) : Masks[B];
+      if (Previous == 0)
+        continue;
+      uint64_t Matched = 0;
+      unsigned MaxWidth = std::min<unsigned>(64, WordBits - B);
+      for (unsigned W = 1; W <= MaxWidth; ++W) {
+        if (!(Previous & (uint64_t(1) << (W - 1))))
+          continue;
+        uint64_t Wanted;
+        if (interpEncode(Kind, Value, W, Wanted) &&
+            Word.field(B, W) == Wanted)
+          Matched |= uint64_t(1) << (W - 1);
+      }
+      Masks[B] = Matched;
+    }
+  }
+  ++Instances;
+}
+
+std::vector<std::pair<unsigned, unsigned>>
+ComponentRec::windows(InterpKind Kind) const {
+  std::vector<std::pair<unsigned, unsigned>> Result;
+  const auto &Masks = WidthMask[static_cast<unsigned>(Kind)];
+  for (unsigned B = 0; B < Masks.size(); ++B) {
+    if (Masks[B] == 0)
+      continue;
+    unsigned MaxWidth = 64 - __builtin_clzll(Masks[B]);
+    Result.emplace_back(B, MaxWidth);
+  }
+  return Result;
+}
+
+bool ComponentRec::anyWindow() const {
+  for (const auto &Masks : WidthMask)
+    for (uint64_t Mask : Masks)
+      if (Mask != 0)
+        return true;
+  return false;
+}
+
+unsigned analyzer::componentCountFor(char Sig) {
+  switch (Sig) {
+  case 'r':
+  case 'p':
+  case 'i':
+  case 'f':
+  case 'b':
+  case 'z':
+    return 1;
+  case 'm': // base register + offset
+  case 'c': // bank + offset
+    return 2;
+  case 'C': // bank + offset + register
+    return 3;
+  case 's': // special registers are named tokens
+  case 't': // texture shapes
+  case 'h': // texture channels
+    return 0;
+  default:
+    return 0;
+  }
+}
+
+bool analyzer::isControlFlowMnemonic(const std::string &Mnemonic) {
+  static const char *Names[] = {"BRA", "CAL", "SSY",  "JMP",
+                                "JCAL", "PBK", "PCNT", "BRX"};
+  for (const char *Name : Names)
+    if (Mnemonic == Name)
+      return true;
+  return false;
+}
+
+std::vector<InterpKind> analyzer::interpKindsFor(
+    char Sig, unsigned CompIdx, const std::string &Mnemonic) {
+  switch (Sig) {
+  case 'r':
+  case 'p':
+  case 'b':
+  case 'z':
+    return {InterpKind::Plain};
+  case 'i':
+    if (isControlFlowMnemonic(Mnemonic))
+      return {InterpKind::RelNext};
+    return {InterpKind::Plain, InterpKind::Signed};
+  case 'f':
+    return {InterpKind::Float32Hi, InterpKind::Float64Hi};
+  case 'm':
+    // Component 0 = base register; component 1 = signed byte offset.
+    if (CompIdx == 0)
+      return {InterpKind::Plain};
+    return {InterpKind::Plain, InterpKind::Signed};
+  case 'c':
+  case 'C':
+    // Bank, offset and (for 'C') the register are all plain values.
+    return {InterpKind::Plain};
+  default:
+    return {};
+  }
+}

@@ -1,0 +1,46 @@
+//===- analyzer/Signature.cpp ---------------------------------------------===//
+
+#include "analyzer/Signature.h"
+
+using namespace dcb;
+using namespace dcb::analyzer;
+
+char analyzer::operandSignatureChar(const sass::Operand &Op) {
+  using sass::OperandKind;
+  switch (Op.Kind) {
+  case OperandKind::Register:
+    return 'r';
+  case OperandKind::Predicate:
+    return 'p';
+  case OperandKind::SpecialReg:
+    return 's';
+  case OperandKind::IntImm:
+    return 'i';
+  case OperandKind::FloatImm:
+    return 'f';
+  case OperandKind::Memory:
+    return 'm';
+  case OperandKind::ConstMem:
+    return Op.HasRegister ? 'C' : 'c';
+  case OperandKind::TexShape:
+    return 't';
+  case OperandKind::TexChannel:
+    return 'h';
+  case OperandKind::Barrier:
+    return 'b';
+  case OperandKind::BitSet:
+    return 'z';
+  }
+  return '?';
+}
+
+std::string analyzer::operandSignature(const sass::Instruction &Inst) {
+  std::string Sig;
+  for (const sass::Operand &Op : Inst.Operands)
+    Sig.push_back(operandSignatureChar(Op));
+  return Sig;
+}
+
+std::string analyzer::operationKey(const sass::Instruction &Inst) {
+  return Inst.Opcode + "/" + operandSignature(Inst);
+}

@@ -1,0 +1,42 @@
+//===- analyzer/Signature.h - Operand-type signatures -----------*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Operations are keyed by mnemonic plus an operand-type signature, because
+/// "if two instructions are both named IADD, but one of them adds two
+/// registers whereas the other adds a register to an integer literal, then
+/// we treat them as two distinct operations due to the different encoding"
+/// (paper §III-A). The signature is derived purely from assembly syntax.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_ANALYZER_SIGNATURE_H
+#define DCB_ANALYZER_SIGNATURE_H
+
+#include "sass/Ast.h"
+
+#include <string>
+
+namespace dcb {
+namespace analyzer {
+
+/// One character per operand:
+///   r register, p predicate, s special register, i integer literal,
+///   f float literal, m memory, c constant memory, C constant memory with
+///   register, t texture shape, h texture channel, b barrier resource,
+///   z bit set.
+char operandSignatureChar(const sass::Operand &Op);
+
+/// Signature of a whole instruction's operand list.
+std::string operandSignature(const sass::Instruction &Inst);
+
+/// The lookup key for an operation: "MNEMONIC/sig".
+std::string operationKey(const sass::Instruction &Inst);
+
+} // namespace analyzer
+} // namespace dcb
+
+#endif // DCB_ANALYZER_SIGNATURE_H

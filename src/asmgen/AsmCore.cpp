@@ -1,0 +1,135 @@
+//===- asmgen/AsmCore.cpp -------------------------------------------------===//
+
+#include "asmgen/AsmCore.h"
+
+#include <cassert>
+
+using namespace dcb;
+using namespace dcb::asmgen;
+using namespace dcb::analyzer;
+
+void asmgen::applyPattern(BitString &Word, const PatternRec &Rec) {
+  assert(Rec.Started && "applying an empty pattern");
+  unsigned Limit = std::min<unsigned>(Word.size(),
+                                      static_cast<unsigned>(Rec.Bits.size()));
+  for (unsigned B = 0; B < Limit; ++B)
+    if (Rec.Bits[B])
+      Word.set(B, Rec.Binary.get(B));
+}
+
+void asmgen::applyPatternWords(BitString &Word, const uint64_t *Value,
+                               const uint64_t *Mask, unsigned NumWords) {
+  for (unsigned W = 0; W < NumWords; ++W) {
+    unsigned Lo = W * 64;
+    if (Lo >= Word.size())
+      break;
+    unsigned Width = std::min<unsigned>(64, Word.size() - Lo);
+    uint64_t Current = Word.field(Lo, Width);
+    uint64_t Next = (Current & ~Mask[W]) | (Value[W] & Mask[W]);
+    Word.setField(Lo, Width, Next);
+  }
+}
+
+bool asmgen::writeComponentWindows(BitString &Word, const WindowRef *Windows,
+                                   size_t NumWindows,
+                                   const CompValue &Value) {
+  if (NumWindows == 0)
+    return Value.Int == 0 || (Value.IsReg && Value.Int < 0);
+  bool AnyWritten = false;
+  for (size_t I = 0; I < NumWindows; ++I) {
+    const WindowRef &W = Windows[I];
+    uint64_t Content;
+    if (!interpEncode(static_cast<InterpKind>(W.Kind), Value, W.Size,
+                      Content))
+      continue;
+    Word.setField(W.Lo, W.Size, Content);
+    AnyWritten = true;
+  }
+  return AnyWritten;
+}
+
+bool asmgen::componentValue(const sass::Operand &Op, unsigned CompIdx,
+                            uint64_t Addr, unsigned WordBytes,
+                            CompValue &Value) {
+  using sass::OperandKind;
+  Value = CompValue();
+  Value.InstAddr = Addr;
+  Value.WordBytes = WordBytes;
+  switch (Op.Kind) {
+  case OperandKind::Register:
+    Value.Int = Op.Value[0];
+    Value.IsReg = true;
+    return true;
+  case OperandKind::Predicate:
+  case OperandKind::Barrier:
+  case OperandKind::BitSet:
+    Value.Int = Op.Value[0];
+    return true;
+  case OperandKind::IntImm: {
+    int64_t V = Op.Value[0];
+    if (Op.Negated && V > 0)
+      V = -V;
+    Value.Int = V;
+    return true;
+  }
+  case OperandKind::FloatImm:
+    Value.Float = Op.FValue;
+    return true;
+  case OperandKind::Memory:
+    if (CompIdx == 0) {
+      Value.Int = Op.Value[0];
+      Value.IsReg = true;
+    } else {
+      Value.Int = Op.Value[1];
+    }
+    return true;
+  case OperandKind::ConstMem:
+    if (CompIdx == 0) {
+      Value.Int = Op.Value[0];
+    } else if (CompIdx == 1) {
+      Value.Int = Op.Value[1];
+    } else {
+      Value.Int = Op.Value[2];
+      Value.IsReg = true;
+    }
+    return true;
+  case OperandKind::SpecialReg:
+  case OperandKind::TexShape:
+  case OperandKind::TexChannel:
+    return false;
+  }
+  return false;
+}
+
+std::string asmgen::tokenName(const sass::Operand &Op) {
+  using sass::OperandKind;
+  switch (Op.Kind) {
+  case OperandKind::SpecialReg:
+    return Op.Text;
+  case OperandKind::TexShape:
+    return sass::texShapeName(static_cast<sass::TexShapeKind>(Op.Value[0]));
+  case OperandKind::TexChannel: {
+    static const char Names[4] = {'R', 'G', 'B', 'A'};
+    std::string Token;
+    for (unsigned I = 0; I < 4; ++I)
+      if (Op.Value[0] & (1 << I))
+        Token.push_back(Names[I]);
+    return Token;
+  }
+  default:
+    return std::string();
+  }
+}
+
+std::vector<WindowRef>
+asmgen::collectWindows(const ComponentRec &Comp,
+                       const std::vector<InterpKind> &Kinds) {
+  std::vector<WindowRef> Result;
+  for (InterpKind Kind : Kinds) {
+    for (auto [B, S] : Comp.windows(Kind))
+      Result.push_back(WindowRef{static_cast<uint8_t>(Kind),
+                                 static_cast<uint8_t>(B),
+                                 static_cast<uint8_t>(S)});
+  }
+  return Result;
+}

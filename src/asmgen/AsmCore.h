@@ -1,0 +1,69 @@
+//===- asmgen/AsmCore.h - Shared assembly primitives ------------*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bit-level primitives shared by the in-process TableAssembler and the
+/// runtime of generated assemblers: pattern application (modifier / unary /
+/// token / opcode bits), operand component value extraction, and window
+/// writing under the learned interpretations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_ASMGEN_ASMCORE_H
+#define DCB_ASMGEN_ASMCORE_H
+
+#include "analyzer/Records.h"
+#include "sass/Ast.h"
+#include "support/BitString.h"
+
+#include <string>
+#include <vector>
+
+namespace dcb {
+namespace asmgen {
+
+/// One surviving component window: interpretation kind + field position.
+struct WindowRef {
+  uint8_t Kind;
+  uint8_t Lo;
+  uint8_t Size;
+};
+
+/// Forces every consistent bit of a recorded instance onto \p Word
+/// (Algorithm 3's "binary[b] = m.binary[b]").
+void applyPattern(BitString &Word, const analyzer::PatternRec &Rec);
+
+/// Same, from a (value, mask) pair packed as little-endian 64-bit words —
+/// the representation generated assemblers bake in.
+void applyPatternWords(BitString &Word, const uint64_t *Value,
+                       const uint64_t *Mask, unsigned NumWords);
+
+/// Writes a component value into every window it fits. Returns false when
+/// windows exist but the value fits none (the learned fields cannot express
+/// it), or when no window exists and the value is not the zero background.
+bool writeComponentWindows(BitString &Word, const WindowRef *Windows,
+                           size_t NumWindows,
+                           const analyzer::CompValue &Value);
+
+/// Extracts component \p CompIdx of an operand into \p Value. Must mirror
+/// the analyzer's value extraction exactly. Returns false for operand kinds
+/// without numeric components (named tokens).
+bool componentValue(const sass::Operand &Op, unsigned CompIdx, uint64_t Addr,
+                    unsigned WordBytes, analyzer::CompValue &Value);
+
+/// The token spelling of a named operand (special register, texture shape,
+/// channel combination); empty for value operands.
+std::string tokenName(const sass::Operand &Op);
+
+/// Collects the surviving windows of a component restricted to \p Kinds.
+std::vector<WindowRef>
+collectWindows(const analyzer::ComponentRec &Comp,
+               const std::vector<analyzer::InterpKind> &Kinds);
+
+} // namespace asmgen
+} // namespace dcb
+
+#endif // DCB_ASMGEN_ASMCORE_H

@@ -1,0 +1,214 @@
+//===- asmgen/AssemblerGenerator.cpp --------------------------------------===//
+
+#include "asmgen/AssemblerGenerator.h"
+
+#include "asmgen/AsmCore.h"
+#include "support/StringUtils.h"
+
+#include <sstream>
+
+using namespace dcb;
+using namespace dcb::asmgen;
+using namespace dcb::analyzer;
+
+namespace {
+
+/// Escapes a string for inclusion in a C++ string literal.
+std::string escape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out.push_back('\\');
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+/// Renders a PatternRec as a GenPattern literal "{{v0,v1},{m0,m1}}".
+std::string patternLiteral(const PatternRec &Rec, unsigned WordBits) {
+  uint64_t Value[2] = {0, 0};
+  uint64_t Mask[2] = {0, 0};
+  for (unsigned B = 0; B < WordBits && B < Rec.Bits.size(); ++B) {
+    if (!Rec.Bits[B])
+      continue;
+    Mask[B / 64] |= uint64_t(1) << (B % 64);
+    if (Rec.Binary.get(B))
+      Value[B / 64] |= uint64_t(1) << (B % 64);
+  }
+  std::ostringstream Out;
+  Out << "{{" << toHexString(Value[0]) << "ull, " << toHexString(Value[1])
+      << "ull}, {" << toHexString(Mask[0]) << "ull, " << toHexString(Mask[1])
+      << "ull}}";
+  return Out.str();
+}
+
+/// Emits a GenFeature array; returns "nullptr" when empty, otherwise the
+/// array's identifier.
+template <typename MapT>
+std::string emitFeatures(std::ostringstream &Out, const std::string &Ident,
+                         const MapT &Map, unsigned WordBits,
+                         bool KeyedByOccurrence) {
+  if (Map.empty())
+    return "nullptr";
+  Out << "const GenFeature " << Ident << "[] = {\n";
+  for (const auto &[Key, Rec] : Map) {
+    std::string Name;
+    unsigned Occurrence = 0;
+    if constexpr (std::is_same_v<std::decay_t<decltype(Key)>,
+                                 std::pair<std::string, unsigned>>) {
+      Name = Key.first;
+      Occurrence = Key.second;
+    } else if constexpr (std::is_same_v<std::decay_t<decltype(Key)>, char>) {
+      Name = std::string(1, Key);
+    } else {
+      Name = Key;
+    }
+    (void)KeyedByOccurrence;
+    Out << "    {\"" << escape(Name) << "\", " << Occurrence << ", "
+        << patternLiteral(Rec, WordBits) << "},\n";
+  }
+  Out << "};\n";
+  return Ident;
+}
+
+} // namespace
+
+std::string asmgen::generateAssemblerSource(const EncodingDatabase &Db,
+                                            const GeneratorOptions &Opts) {
+  std::ostringstream Out;
+  const unsigned WordBits = Db.wordBits();
+
+  Out << "//===-- Generated assembler for " << archName(Db.arch())
+      << " --- DO NOT EDIT ---------------===//\n"
+      << "//\n"
+      << "// Emitted by dcb::asmgen::AssemblerGenerator from a learned\n"
+      << "// encoding database (" << Db.operations().size()
+      << " operations). Input: SASS assembly; output: binary words.\n"
+      << "//\n"
+      << "//===-------------------------------------------------------"
+         "---------------===//\n\n"
+      << "#include \"analyzer/Signature.h\"\n"
+      << "#include \"asmgen/GenRuntime.h\"\n\n"
+      << "namespace {\n\n"
+      << "using dcb::asmgen::WindowRef;\n"
+      << "using dcb::gen::GenFeature;\n"
+      << "using dcb::gen::GenOperand;\n"
+      << "using dcb::gen::GenOperation;\n\n";
+
+  // Per-operation static tables.
+  unsigned Index = 0;
+  std::vector<std::pair<std::string, std::string>> Dispatch; // key, ident
+  for (const auto &[Key, Op] : Db.operations()) {
+    std::string Id = "Op" + std::to_string(Index++);
+    Out << "// --- " << Key << " (" << Op.Instances << " instances) ---\n";
+
+    std::string ModsId =
+        emitFeatures(Out, Id + "_Mods", Op.Mods, WordBits, true);
+
+    // Guard windows.
+    std::vector<WindowRef> GuardWindows =
+        collectWindows(Op.Guard, {InterpKind::Plain});
+    std::string GuardId = "nullptr";
+    if (!GuardWindows.empty()) {
+      GuardId = Id + "_Guard";
+      Out << "const WindowRef " << GuardId << "[] = {";
+      for (const WindowRef &W : GuardWindows)
+        Out << "{" << unsigned(W.Kind) << "," << unsigned(W.Lo) << ","
+            << unsigned(W.Size) << "},";
+      Out << "};\n";
+    }
+
+    // Operands.
+    std::string OperandsId = "nullptr";
+    if (!Op.Operands.empty()) {
+      std::vector<std::array<std::string, 5>> OperandRefs;
+      for (size_t I = 0; I < Op.Operands.size(); ++I) {
+        const OperandRec &Rec = Op.Operands[I];
+        std::string Base = Id + "_A" + std::to_string(I);
+        std::array<std::string, 5> Refs;
+        Refs[0] = emitFeatures(Out, Base + "_U", Rec.Unaries, WordBits,
+                               false);
+        Refs[1] =
+            emitFeatures(Out, Base + "_T", Rec.Tokens, WordBits, false);
+        Refs[2] = emitFeatures(Out, Base + "_M", Rec.Mods, WordBits, false);
+
+        // Component windows, concatenated with bounds.
+        std::vector<WindowRef> AllWindows;
+        std::vector<unsigned> Bounds{0};
+        for (unsigned Comp = 0; Comp < Rec.Comps.size(); ++Comp) {
+          std::vector<WindowRef> Windows = collectWindows(
+              Rec.Comps[Comp],
+              interpKindsFor(Rec.SigChar, Comp, Op.Mnemonic));
+          AllWindows.insert(AllWindows.end(), Windows.begin(),
+                            Windows.end());
+          Bounds.push_back(static_cast<unsigned>(AllWindows.size()));
+        }
+        if (AllWindows.empty()) {
+          Refs[3] = "nullptr";
+        } else {
+          Refs[3] = Base + "_W";
+          Out << "const WindowRef " << Refs[3] << "[] = {";
+          for (const WindowRef &W : AllWindows)
+            Out << "{" << unsigned(W.Kind) << "," << unsigned(W.Lo) << ","
+                << unsigned(W.Size) << "},";
+          Out << "};\n";
+        }
+        Refs[4] = Base + "_B";
+        Out << "const unsigned " << Refs[4] << "[] = {";
+        for (unsigned Bound : Bounds)
+          Out << Bound << ",";
+        Out << "};\n";
+        OperandRefs.push_back(Refs);
+      }
+
+      OperandsId = Id + "_Operands";
+      Out << "const GenOperand " << OperandsId << "[] = {\n";
+      for (size_t I = 0; I < Op.Operands.size(); ++I) {
+        const OperandRec &Rec = Op.Operands[I];
+        const auto &Refs = OperandRefs[I];
+        Out << "    {'" << Rec.SigChar << "', " << Refs[0] << ", "
+            << Rec.Unaries.size() << ", " << Refs[1] << ", "
+            << Rec.Tokens.size() << ", " << Refs[2] << ", "
+            << Rec.Mods.size() << ", " << Refs[3] << ", " << Refs[4] << ", "
+            << Rec.Comps.size() << "},\n";
+      }
+      Out << "};\n";
+    }
+
+    Out << "const GenOperation " << Id << " = {\"" << escape(Key) << "\", "
+        << patternLiteral(Op.Opcode, WordBits) << ", " << GuardId << ", "
+        << GuardWindows.size() << ", " << OperandsId << ", "
+        << Op.Operands.size() << ", " << ModsId << ", " << Op.Mods.size()
+        << "};\n\n";
+    Dispatch.emplace_back(Key, Id);
+  }
+
+  Out << "} // namespace\n\n"
+      << "namespace dcb {\nnamespace gen {\n\n"
+      << "/// Assembles one SASS instruction at byte address Pc for "
+      << archName(Db.arch()) << ".\n"
+      << "Expected<BitString> " << Opts.FunctionName
+      << "(const sass::Instruction &Inst, uint64_t Pc) {\n"
+      << "  const std::string Key = dcb::analyzer::operationKey(Inst);\n";
+  for (const auto &[Key, Id] : Dispatch)
+    Out << "  if (Key == \"" << escape(Key) << "\")\n"
+        << "    return assembleWith(" << Id << ", Inst, Pc, " << WordBits
+        << ");\n";
+  Out << "  return Failure(\"generated assembler (" << archName(Db.arch())
+      << "): unknown operation \" + Key);\n"
+      << "}\n\n"
+      << "} // namespace gen\n} // namespace dcb\n";
+
+  if (Opts.EmitMain) {
+    Out << "\n#include <iostream>\n\n"
+        << "int main() {\n"
+        << "  return dcb::gen::runAssemblerMain(&dcb::gen::"
+        << Opts.FunctionName << ", std::cin, std::cout, std::cerr);\n"
+        << "}\n";
+  }
+  return Out.str();
+}
+
+std::string asmgen::generateAssemblerSource(const EncodingDatabase &Db) {
+  return generateAssemblerSource(Db, GeneratorOptions());
+}

@@ -1,0 +1,42 @@
+//===- asmgen/AssemblerGenerator.h - Emit assembler C++ ---------*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Assembler Generator (paper Algorithm 3 / Fig. 7): compiles a learned
+/// EncodingDatabase into standalone C++ source. The emitted file contains
+/// one conditional block per decoded operation, holding that operation's
+/// opcode bits, modifier/unary/token patterns and operand field windows as
+/// literals, plus a main() that turns SASS text into binary — the paper's
+/// asm2bin tool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_ASMGEN_ASSEMBLERGENERATOR_H
+#define DCB_ASMGEN_ASSEMBLERGENERATOR_H
+
+#include "analyzer/IsaAnalyzer.h"
+
+#include <string>
+
+namespace dcb {
+namespace asmgen {
+
+struct GeneratorOptions {
+  /// Emit a main() driver reading "<hex-address> <sass>" lines from stdin.
+  bool EmitMain = true;
+  /// Name of the generated entry point.
+  std::string FunctionName = "assemble";
+};
+
+/// Generates the complete C++ source of an assembler for \p Db.
+std::string generateAssemblerSource(const analyzer::EncodingDatabase &Db,
+                                    const GeneratorOptions &Opts);
+std::string generateAssemblerSource(const analyzer::EncodingDatabase &Db);
+
+} // namespace asmgen
+} // namespace dcb
+
+#endif // DCB_ASMGEN_ASSEMBLERGENERATOR_H

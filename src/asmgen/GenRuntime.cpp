@@ -1,0 +1,163 @@
+//===- asmgen/GenRuntime.cpp ----------------------------------------------===//
+
+#include "asmgen/GenRuntime.h"
+
+#include "analyzer/ModifierTypes.h"
+#include "analyzer/Signature.h"
+#include "sass/Parser.h"
+#include "sass/Printer.h"
+#include "support/StringUtils.h"
+
+#include <istream>
+#include <map>
+#include <ostream>
+
+using namespace dcb;
+using namespace dcb::gen;
+using dcb::analyzer::CompValue;
+using dcb::analyzer::interpKindsFor;
+
+namespace {
+
+void applyGenPattern(BitString &Word, const GenPattern &P) {
+  asmgen::applyPatternWords(Word, P.Value, P.Mask, Word.size() > 64 ? 2 : 1);
+}
+
+const GenFeature *findFeature(const GenFeature *List, unsigned N,
+                              const std::string &Name, unsigned Occurrence) {
+  for (unsigned I = 0; I < N; ++I)
+    if (List[I].Occurrence == Occurrence && Name == List[I].Name)
+      return &List[I];
+  return nullptr;
+}
+
+} // namespace
+
+Expected<BitString> gen::assembleWith(const GenOperation &Op,
+                                      const sass::Instruction &Inst,
+                                      uint64_t Pc, unsigned WordBits) {
+  auto fail = [&](const std::string &Msg) {
+    return Failure("generated assembler: " + Msg + " in '" +
+                   sass::printInstruction(Inst) + "'");
+  };
+
+  BitString Word(WordBits);
+  applyGenPattern(Word, Op.Opcode);
+
+  // Opcode-attached modifiers with ordered same-type occurrence matching.
+  std::map<std::string, unsigned> TypeCounts;
+  for (const std::string &Mod : Inst.Modifiers) {
+    unsigned Occurrence = TypeCounts[analyzer::modifierType(Mod)]++;
+    const GenFeature *Feature =
+        findFeature(Op.Mods, Op.NumMods, Mod, Occurrence);
+    if (!Feature)
+      return fail("unknown modifier '." + Mod + "'");
+    applyGenPattern(Word, Feature->Pattern);
+  }
+
+  if (Inst.Operands.size() != Op.NumOperands)
+    return fail("operand count mismatch");
+
+  const unsigned WordBytes = WordBits / 8;
+  for (unsigned I = 0; I < Op.NumOperands; ++I) {
+    const sass::Operand &Operand = Inst.Operands[I];
+    const GenOperand &Rec = Op.Operands[I];
+
+    for (const std::string &Mod : Operand.Mods) {
+      const GenFeature *Feature = findFeature(Rec.Mods, Rec.NumMods, Mod, 0);
+      if (!Feature)
+        return fail("unknown operand modifier '." + Mod + "'");
+      applyGenPattern(Word, Feature->Pattern);
+    }
+
+    struct UnaryCase {
+      bool Present;
+      const char *Name;
+    } Unaries[] = {
+        {Operand.Negated && Operand.Kind != sass::OperandKind::IntImm, "-"},
+        {Operand.Complemented, "~"},
+        {Operand.Absolute, "|"},
+        {Operand.LogicalNot, "!"},
+    };
+    for (const UnaryCase &U : Unaries) {
+      if (!U.Present)
+        continue;
+      const GenFeature *Feature =
+          findFeature(Rec.Unaries, Rec.NumUnaries, U.Name, 0);
+      if (!Feature)
+        return fail(std::string("unlearned unary '") + U.Name + "'");
+      applyGenPattern(Word, Feature->Pattern);
+    }
+
+    std::string Token = asmgen::tokenName(Operand);
+    if (!Token.empty()) {
+      const GenFeature *Feature =
+          findFeature(Rec.Tokens, Rec.NumTokens, Token, 0);
+      if (!Feature)
+        return fail("unlearned token '" + Token + "'");
+      applyGenPattern(Word, Feature->Pattern);
+      continue;
+    }
+
+    for (unsigned Comp = 0; Comp < Rec.NumComps; ++Comp) {
+      CompValue Value;
+      if (!asmgen::componentValue(Operand, Comp, Pc, WordBytes, Value))
+        continue;
+      unsigned Begin = Rec.CompBounds[Comp];
+      unsigned End = Rec.CompBounds[Comp + 1];
+      if (!asmgen::writeComponentWindows(Word, Rec.Windows + Begin,
+                                         End - Begin, Value))
+        return fail("operand " + std::to_string(I) + " component " +
+                    std::to_string(Comp) + " fits no learned field");
+    }
+  }
+
+  CompValue GuardValue;
+  GuardValue.Int = (Inst.GuardNegated ? 8 : 0) |
+                   static_cast<int64_t>(Inst.GuardPredicate);
+  GuardValue.InstAddr = Pc;
+  GuardValue.WordBytes = WordBytes;
+  if (!asmgen::writeComponentWindows(Word, Op.GuardWindows,
+                                     Op.NumGuardWindows, GuardValue))
+    return fail("guard fits no learned field");
+  return Word;
+}
+
+int gen::runAssemblerMain(AssembleFn Assemble, std::istream &In,
+                          std::ostream &Out, std::ostream &Err) {
+  std::string Line;
+  int Failures = 0;
+  while (std::getline(In, Line)) {
+    std::string_view Trimmed = trim(Line);
+    if (Trimmed.empty() || startsWith(Trimmed, "#"))
+      continue;
+    size_t Space = Trimmed.find(' ');
+    if (Space == std::string_view::npos) {
+      Err << "error: expected '<hex-address> <instruction>': " << Line
+          << "\n";
+      ++Failures;
+      continue;
+    }
+    std::optional<uint64_t> Addr = parseUInt(Trimmed.substr(0, Space));
+    if (!Addr) {
+      Err << "error: bad address in: " << Line << "\n";
+      ++Failures;
+      continue;
+    }
+    Expected<sass::Instruction> Inst =
+        sass::parseInstruction(Trimmed.substr(Space + 1));
+    if (!Inst) {
+      Err << "error: " << Inst.message() << "\n";
+      ++Failures;
+      continue;
+    }
+    Expected<BitString> Word = Assemble(*Inst, *Addr);
+    if (!Word) {
+      Err << "error: " << Word.message() << "\n";
+      ++Failures;
+      continue;
+    }
+    Out << "0x" << Word->toHex() << "\n";
+  }
+  return Failures == 0 ? 0 : 1;
+}

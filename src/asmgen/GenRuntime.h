@@ -1,0 +1,91 @@
+//===- asmgen/GenRuntime.h - Runtime for generated assemblers ---*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The small support runtime that generated assemblers (the C++ sources
+/// emitted by AssemblerGenerator, Algorithm 3) compile against. The
+/// generated code is a chain of per-operation blocks containing the learned
+/// bit patterns and field windows as literals; this header provides the
+/// typed tables they instantiate and the helper that executes one block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_ASMGEN_GENRUNTIME_H
+#define DCB_ASMGEN_GENRUNTIME_H
+
+#include "asmgen/AsmCore.h"
+#include "sass/Ast.h"
+#include "support/BitString.h"
+#include "support/Errors.h"
+
+#include <iosfwd>
+
+namespace dcb {
+namespace gen {
+
+/// A (value, consistency-mask) pair over up to 128 bits: the compiled form
+/// of one PatternRec.
+struct GenPattern {
+  uint64_t Value[2];
+  uint64_t Mask[2];
+};
+
+/// One named feature (modifier, unary operator, or token) with its pattern.
+struct GenFeature {
+  const char *Name;  ///< Modifier/token spelling; single char for unaries.
+  unsigned Occurrence; ///< Same-type occurrence index (opcode mods only).
+  GenPattern Pattern;
+};
+
+/// One operand's compiled tables.
+struct GenOperand {
+  char SigChar;
+  const GenFeature *Unaries;
+  unsigned NumUnaries;
+  const GenFeature *Tokens;
+  unsigned NumTokens;
+  const GenFeature *Mods;
+  unsigned NumMods;
+  /// Component windows, all components concatenated; CompBounds[i] is the
+  /// first window index of component i (CompBounds has NumComps+1 entries).
+  const asmgen::WindowRef *Windows;
+  const unsigned *CompBounds;
+  unsigned NumComps;
+};
+
+/// One operation's compiled tables.
+struct GenOperation {
+  const char *Key; ///< "MNEMONIC/signature".
+  GenPattern Opcode;
+  const asmgen::WindowRef *GuardWindows;
+  unsigned NumGuardWindows;
+  const GenOperand *Operands;
+  unsigned NumOperands;
+  const GenFeature *Mods;
+  unsigned NumMods;
+};
+
+/// Executes one operation block: applies opcode bits, matches and applies
+/// modifiers, operand features and components, then the guard — the body
+/// every generated if-block delegates to after selecting its tables.
+Expected<BitString> assembleWith(const GenOperation &Op,
+                                 const sass::Instruction &Inst, uint64_t Pc,
+                                 unsigned WordBits);
+
+/// The signature of a generated entry point.
+using AssembleFn = Expected<BitString> (*)(const sass::Instruction &Inst,
+                                           uint64_t Pc);
+
+/// Driver shared by generated main() functions: reads lines of the form
+/// "<hex-address> <sass instruction>" from \p In and writes one hex word
+/// per line to \p Out. Returns a process exit code (0 on full success).
+int runAssemblerMain(AssembleFn Assemble, std::istream &In,
+                     std::ostream &Out, std::ostream &Err);
+
+} // namespace gen
+} // namespace dcb
+
+#endif // DCB_ASMGEN_GENRUNTIME_H

@@ -1,0 +1,132 @@
+//===- asmgen/TableAssembler.cpp ------------------------------------------===//
+
+#include "asmgen/TableAssembler.h"
+
+#include "analyzer/ModifierTypes.h"
+#include "analyzer/Signature.h"
+#include "asmgen/AsmCore.h"
+#include "sass/Printer.h"
+
+using namespace dcb;
+using namespace dcb::asmgen;
+using namespace dcb::analyzer;
+
+Expected<BitString> asmgen::assembleInstruction(const EncodingDatabase &Db,
+                                                const sass::Instruction &Inst,
+                                                uint64_t Pc) {
+  auto fail = [&](const std::string &Msg) {
+    return Failure("assemble (" + std::string(archName(Db.arch())) + "): " +
+                   Msg + " in '" + sass::printInstruction(Inst) + "'");
+  };
+
+  const OperationRec *Op = Db.lookup(operationKey(Inst));
+  if (!Op)
+    return fail("unknown operation " + operationKey(Inst));
+
+  BitString Word(Db.wordBits());
+
+  // 1. Opcode bits (every still-consistent bit of the operation record).
+  applyPattern(Word, Op->Opcode);
+
+  // 2. Opcode-attached modifiers, matched by (name, same-type occurrence)
+  //    so PSETP.AND.OR and PSETP.OR.AND encode differently (§III-A).
+  std::map<std::string, unsigned> TypeCounts;
+  for (const std::string &Mod : Inst.Modifiers) {
+    unsigned Occurrence = TypeCounts[modifierType(Mod)]++;
+    auto It = Op->Mods.find({Mod, Occurrence});
+    if (It == Op->Mods.end())
+      return fail("unknown modifier '." + Mod + "'");
+    applyPattern(Word, It->second);
+  }
+
+  // 3. Operands: attached modifiers, unary operators and named tokens
+  //    first; value components last so the most variable information wins
+  //    any stale overlap.
+  const unsigned WordBytes = Db.wordBits() / 8;
+  for (size_t I = 0; I < Inst.Operands.size(); ++I) {
+    const sass::Operand &Operand = Inst.Operands[I];
+    const OperandRec &Rec = Op->Operands[I];
+
+    for (const std::string &Mod : Operand.Mods) {
+      auto It = Rec.Mods.find(Mod);
+      if (It == Rec.Mods.end())
+        return fail("unknown operand modifier '." + Mod + "'");
+      applyPattern(Word, It->second);
+    }
+
+    struct UnaryCase {
+      bool Present;
+      char Ch;
+      const char *What;
+    } Unaries[] = {
+        {Operand.Negated && Operand.Kind != sass::OperandKind::IntImm, '-',
+         "negation"},
+        {Operand.Complemented, '~', "bitwise complement"},
+        {Operand.Absolute, '|', "absolute value"},
+        {Operand.LogicalNot, '!', "logical negation"},
+    };
+    for (const UnaryCase &U : Unaries) {
+      if (!U.Present)
+        continue;
+      auto It = Rec.Unaries.find(U.Ch);
+      if (It == Rec.Unaries.end())
+        return fail(std::string("unlearned unary ") + U.What);
+      applyPattern(Word, It->second);
+    }
+
+    std::string Token = tokenName(Operand);
+    if (!Token.empty()) {
+      auto It = Rec.Tokens.find(Token);
+      if (It == Rec.Tokens.end())
+        return fail("unlearned token '" + Token + "'");
+      applyPattern(Word, It->second);
+      continue;
+    }
+
+    for (unsigned Comp = 0; Comp < Rec.Comps.size(); ++Comp) {
+      CompValue Value;
+      if (!componentValue(Operand, Comp, Pc, WordBytes, Value))
+        continue;
+      std::vector<WindowRef> Windows = collectWindows(
+          Rec.Comps[Comp], interpKindsFor(Rec.SigChar, Comp, Op->Mnemonic));
+      if (!writeComponentWindows(Word, Windows.data(), Windows.size(),
+                                 Value))
+        return fail("operand " + std::to_string(I) + " component " +
+                    std::to_string(Comp) + " fits no learned field");
+    }
+  }
+
+  // 4. The conditional guard, last (Fig. 7).
+  CompValue GuardValue;
+  GuardValue.Int = (Inst.GuardNegated ? 8 : 0) |
+                   static_cast<int64_t>(Inst.GuardPredicate);
+  GuardValue.InstAddr = Pc;
+  GuardValue.WordBytes = WordBytes;
+  std::vector<WindowRef> GuardWindows =
+      collectWindows(Op->Guard, {InterpKind::Plain});
+  if (!writeComponentWindows(Word, GuardWindows.data(), GuardWindows.size(),
+                             GuardValue))
+    return fail("guard fits no learned field");
+
+  return Word;
+}
+
+unsigned asmgen::reassembleKernel(const EncodingDatabase &Db,
+                                  const ListingKernel &Kernel,
+                                  std::vector<std::string> *Mismatches) {
+  unsigned Identical = 0;
+  for (const ListingInst &Pair : Kernel.Insts) {
+    Expected<BitString> Word =
+        assembleInstruction(Db, Pair.Inst, Pair.Address);
+    if (Word.hasValue() && *Word == Pair.Binary) {
+      ++Identical;
+      continue;
+    }
+    if (Mismatches) {
+      std::string Note = Pair.AsmText;
+      Note += Word.hasValue() ? " [wrong bits]" : " [" + Word.message() + "]";
+      Mismatches->push_back(std::move(Note));
+    }
+  }
+  return Identical;
+}

@@ -1,0 +1,48 @@
+//===- asmgen/TableAssembler.h - Assemble via learned records ---*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assembles SASS to binary by interpreting the learned encoding records
+/// directly. Semantically identical to the C++ source the Assembler
+/// Generator emits (Algorithm 3) — the generated code is a partial
+/// evaluation of this interpreter over one database — and used wherever the
+/// framework needs in-process assembly (reassembly verification, binary
+/// instrumentation, the IR back-end).
+///
+/// Mirroring the paper's generated assemblers, anything unexpected — an
+/// unknown operation, modifier, token, or a value that fits no learned
+/// field — produces an error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_ASMGEN_TABLEASSEMBLER_H
+#define DCB_ASMGEN_TABLEASSEMBLER_H
+
+#include "analyzer/IsaAnalyzer.h"
+#include "sass/Ast.h"
+#include "support/BitString.h"
+#include "support/Errors.h"
+
+namespace dcb {
+namespace asmgen {
+
+/// Assembles one instruction at byte address \p Pc.
+Expected<BitString> assembleInstruction(const analyzer::EncodingDatabase &Db,
+                                        const sass::Instruction &Inst,
+                                        uint64_t Pc);
+
+/// Assembles every instruction of a parsed listing kernel and checks the
+/// result against the listing's binary column. Returns the number of
+/// instructions that reassembled byte-identically; mismatching or failing
+/// instructions are appended to \p Mismatches (as printed assembly).
+unsigned reassembleKernel(const analyzer::EncodingDatabase &Db,
+                          const analyzer::ListingKernel &Kernel,
+                          std::vector<std::string> *Mismatches = nullptr);
+
+} // namespace asmgen
+} // namespace dcb
+
+#endif // DCB_ASMGEN_TABLEASSEMBLER_H

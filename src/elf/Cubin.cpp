@@ -1,0 +1,408 @@
+//===- elf/Cubin.cpp ------------------------------------------------------===//
+
+#include "elf/Cubin.h"
+
+#include <cassert>
+#include <cstring>
+#include <map>
+
+using namespace dcb;
+using namespace dcb::elf;
+
+namespace {
+
+// ELF constants (subset).
+constexpr uint16_t EM_CUDA = 190;
+constexpr uint32_t SHT_NULL = 0;
+constexpr uint32_t SHT_PROGBITS = 1;
+constexpr uint32_t SHT_SYMTAB = 2;
+constexpr uint32_t SHT_STRTAB = 3;
+constexpr uint64_t SHF_ALLOC = 0x2;
+constexpr uint64_t SHF_EXECINSTR = 0x4;
+constexpr uint8_t STT_FUNC = 2;
+constexpr uint8_t STB_GLOBAL = 1;
+
+constexpr size_t EhdrSize = 64;
+constexpr size_t ShdrSize = 64;
+constexpr size_t SymSize = 24;
+
+/// Little-endian byte sink.
+class ByteWriter {
+public:
+  explicit ByteWriter(std::vector<uint8_t> &Out) : Out(Out) {}
+
+  void u8(uint8_t V) { Out.push_back(V); }
+  void u16(uint16_t V) {
+    for (int I = 0; I < 2; ++I)
+      Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void u32(uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void bytes(const std::vector<uint8_t> &V) {
+    Out.insert(Out.end(), V.begin(), V.end());
+  }
+  void padTo(size_t Offset) {
+    assert(Out.size() <= Offset && "writer already past pad target");
+    Out.resize(Offset, 0);
+  }
+  size_t size() const { return Out.size(); }
+
+private:
+  std::vector<uint8_t> &Out;
+};
+
+/// Bounds-checked little-endian reader.
+class ByteReader {
+public:
+  explicit ByteReader(const std::vector<uint8_t> &In) : In(In) {}
+
+  bool inRange(size_t Offset, size_t Size) const {
+    return Offset + Size >= Offset && Offset + Size <= In.size();
+  }
+  uint16_t u16(size_t Offset) const { return read<uint16_t>(Offset); }
+  uint32_t u32(size_t Offset) const { return read<uint32_t>(Offset); }
+  uint64_t u64(size_t Offset) const { return read<uint64_t>(Offset); }
+
+  std::string cstr(size_t Offset) const {
+    std::string S;
+    while (Offset < In.size() && In[Offset] != 0)
+      S.push_back(static_cast<char>(In[Offset++]));
+    return S;
+  }
+
+private:
+  template <typename T> T read(size_t Offset) const {
+    assert(inRange(Offset, sizeof(T)) && "read out of bounds");
+    T V = 0;
+    for (size_t I = 0; I < sizeof(T); ++I)
+      V |= static_cast<T>(In[Offset + I]) << (8 * I);
+    return V;
+  }
+
+  const std::vector<uint8_t> &In;
+};
+
+/// Accumulates a string table with deduplication.
+class StringTable {
+public:
+  StringTable() { Data.push_back(0); }
+
+  uint32_t add(const std::string &S) {
+    auto [It, Inserted] = Offsets.try_emplace(S, 0);
+    if (!Inserted)
+      return It->second;
+    It->second = static_cast<uint32_t>(Data.size());
+    Data.insert(Data.end(), S.begin(), S.end());
+    Data.push_back(0);
+    return It->second;
+  }
+
+  const std::vector<uint8_t> &bytes() const { return Data; }
+
+private:
+  std::vector<uint8_t> Data;
+  std::map<std::string, uint32_t> Offsets;
+};
+
+struct SectionDesc {
+  uint32_t NameOff = 0;
+  uint32_t Type = SHT_NULL;
+  uint64_t Flags = 0;
+  uint64_t Offset = 0;
+  uint64_t Size = 0;
+  uint32_t Link = 0;
+  uint32_t Info = 0;
+  uint64_t Align = 1;
+  uint64_t EntSize = 0;
+  std::vector<uint8_t> Contents;
+};
+
+uint32_t archToFlags(Arch A) { return static_cast<uint32_t>(A) + 0x20; }
+
+std::optional<Arch> archFromFlags(uint32_t Flags) {
+  if (Flags < 0x20 || Flags > 0x28)
+    return std::nullopt;
+  return static_cast<Arch>(Flags - 0x20);
+}
+
+std::vector<uint8_t> packNvInfo(const KernelSection &Kernel) {
+  std::vector<uint8_t> Out;
+  ByteWriter W(Out);
+  W.u32(Kernel.NumRegisters);
+  W.u32(Kernel.SharedMemBytes);
+  W.u32(Kernel.LocalMemBytes);
+  return Out;
+}
+
+} // namespace
+
+KernelSection *Cubin::findKernel(const std::string &Name) {
+  for (KernelSection &Kernel : Kernels)
+    if (Kernel.Name == Name)
+      return &Kernel;
+  return nullptr;
+}
+
+const KernelSection *Cubin::findKernel(const std::string &Name) const {
+  return const_cast<Cubin *>(this)->findKernel(Name);
+}
+
+std::vector<uint8_t> Cubin::serialize() const {
+  StringTable ShStrings;
+  StringTable SymStrings;
+
+  std::vector<SectionDesc> Sections;
+  Sections.emplace_back(); // SHT_NULL section 0.
+
+  // Section 1: .shstrtab (patched with its own contents last).
+  SectionDesc ShStrTab;
+  ShStrTab.NameOff = ShStrings.add(".shstrtab");
+  ShStrTab.Type = SHT_STRTAB;
+  Sections.push_back(ShStrTab);
+  const size_t ShStrIdx = 1;
+
+  // Section 2: .strtab.
+  SectionDesc StrTab;
+  StrTab.NameOff = ShStrings.add(".strtab");
+  StrTab.Type = SHT_STRTAB;
+  Sections.push_back(StrTab);
+  const size_t StrIdx = 2;
+
+  // Section 3: .symtab (contents filled as kernels are laid out).
+  SectionDesc SymTab;
+  SymTab.NameOff = ShStrings.add(".symtab");
+  SymTab.Type = SHT_SYMTAB;
+  SymTab.Link = static_cast<uint32_t>(StrIdx);
+  SymTab.EntSize = SymSize;
+  SymTab.Align = 8;
+  Sections.push_back(SymTab);
+  const size_t SymIdx = 3;
+
+  std::vector<uint8_t> SymBytes;
+  ByteWriter SymWriter(SymBytes);
+  // Null symbol.
+  for (int I = 0; I < 3; ++I)
+    SymWriter.u64(0);
+
+  // Kernel sections.
+  for (const KernelSection &Kernel : Kernels) {
+    SectionDesc Text;
+    Text.NameOff = ShStrings.add(".text." + Kernel.Name);
+    Text.Type = SHT_PROGBITS;
+    Text.Flags = SHF_ALLOC | SHF_EXECINSTR;
+    Text.Align = 16;
+    Text.Contents = Kernel.Code;
+    Sections.push_back(Text);
+    uint16_t TextIdx = static_cast<uint16_t>(Sections.size() - 1);
+
+    SectionDesc Info;
+    Info.NameOff = ShStrings.add(".nv.info." + Kernel.Name);
+    Info.Type = SHT_PROGBITS;
+    Info.Align = 4;
+    Info.Contents = packNvInfo(Kernel);
+    Sections.push_back(Info);
+
+    SectionDesc Const0;
+    Const0.NameOff = ShStrings.add(".nv.constant0." + Kernel.Name);
+    Const0.Type = SHT_PROGBITS;
+    Const0.Flags = SHF_ALLOC;
+    Const0.Align = 4;
+    Const0.Contents = Kernel.Constant0;
+    Sections.push_back(Const0);
+
+    // Symbol for the kernel entry.
+    SymWriter.u32(SymStrings.add(Kernel.Name));
+    SymWriter.u8(static_cast<uint8_t>((STB_GLOBAL << 4) | STT_FUNC));
+    SymWriter.u8(0);
+    SymWriter.u16(TextIdx);
+    SymWriter.u64(0);                  // value
+    SymWriter.u64(Kernel.Code.size()); // size
+  }
+
+  Sections[SymIdx].Contents = SymBytes;
+  Sections[SymIdx].Info = 1; // First global symbol index.
+  Sections[StrIdx].Contents = SymStrings.bytes();
+  Sections[ShStrIdx].Contents = ShStrings.bytes();
+
+  // Lay out: header, section contents, then the section header table.
+  size_t Offset = EhdrSize;
+  for (SectionDesc &S : Sections) {
+    if (S.Type == SHT_NULL)
+      continue;
+    Offset = (Offset + S.Align - 1) & ~(S.Align - 1);
+    S.Offset = Offset;
+    S.Size = S.Contents.size();
+    Offset += S.Size;
+  }
+  size_t ShOff = (Offset + 7) & ~size_t(7);
+
+  std::vector<uint8_t> Image;
+  Image.reserve(ShOff + Sections.size() * ShdrSize);
+  ByteWriter W(Image);
+
+  // ELF header.
+  const uint8_t Ident[16] = {0x7f, 'E', 'L', 'F', 2 /*64-bit*/,
+                             1 /*little*/, 1 /*version*/, 0, 0, 0,
+                             0, 0, 0, 0, 0, 0};
+  for (uint8_t B : Ident)
+    W.u8(B);
+  W.u16(2);       // e_type = ET_EXEC
+  W.u16(EM_CUDA); // e_machine
+  W.u32(1);       // e_version
+  W.u64(0);       // e_entry
+  W.u64(0);       // e_phoff
+  W.u64(ShOff);   // e_shoff
+  W.u32(archToFlags(TargetArch)); // e_flags carries the compute capability.
+  W.u16(EhdrSize);
+  W.u16(0); // e_phentsize
+  W.u16(0); // e_phnum
+  W.u16(ShdrSize);
+  W.u16(static_cast<uint16_t>(Sections.size()));
+  W.u16(static_cast<uint16_t>(ShStrIdx));
+  assert(W.size() == EhdrSize && "ELF header must be 64 bytes");
+
+  for (const SectionDesc &S : Sections) {
+    if (S.Type == SHT_NULL)
+      continue;
+    W.padTo(S.Offset);
+    W.bytes(S.Contents);
+  }
+
+  W.padTo(ShOff);
+  for (const SectionDesc &S : Sections) {
+    W.u32(S.NameOff);
+    W.u32(S.Type);
+    W.u64(S.Flags);
+    W.u64(0); // sh_addr
+    W.u64(S.Offset);
+    W.u64(S.Size);
+    W.u32(S.Link);
+    W.u32(S.Info);
+    W.u64(S.Align);
+    W.u64(S.EntSize);
+  }
+  return Image;
+}
+
+Expected<Cubin> Cubin::deserialize(const std::vector<uint8_t> &Image) {
+  ByteReader R(Image);
+  if (!R.inRange(0, EhdrSize))
+    return Failure("cubin: file too small for an ELF header");
+  if (Image[0] != 0x7f || Image[1] != 'E' || Image[2] != 'L' ||
+      Image[3] != 'F')
+    return Failure("cubin: bad ELF magic");
+  if (Image[4] != 2 || Image[5] != 1)
+    return Failure("cubin: not a little-endian ELF64");
+  if (R.u16(18) != EM_CUDA)
+    return Failure("cubin: not a CUDA ELF (unexpected machine)");
+
+  std::optional<Arch> A = archFromFlags(R.u32(48));
+  if (!A)
+    return Failure("cubin: unknown compute capability in e_flags");
+
+  uint64_t ShOff = R.u64(40);
+  uint16_t ShNum = R.u16(60);
+  uint16_t ShStrIdx = R.u16(62);
+  if (!R.inRange(ShOff, static_cast<size_t>(ShNum) * ShdrSize))
+    return Failure("cubin: section header table out of range");
+  if (ShStrIdx >= ShNum)
+    return Failure("cubin: bad section-name table index");
+
+  struct RawSection {
+    std::string Name;
+    uint32_t Type;
+    uint64_t Offset, Size;
+  };
+  std::vector<RawSection> Raw(ShNum);
+
+  uint64_t ShStrOff = R.u64(ShOff + ShStrIdx * ShdrSize + 24);
+  for (uint16_t I = 0; I < ShNum; ++I) {
+    size_t Base = ShOff + I * ShdrSize;
+    uint32_t NameOff = R.u32(Base);
+    Raw[I].Type = R.u32(Base + 4);
+    Raw[I].Offset = R.u64(Base + 24);
+    Raw[I].Size = R.u64(Base + 32);
+    if (Raw[I].Type != SHT_NULL &&
+        !R.inRange(Raw[I].Offset, Raw[I].Size))
+      return Failure("cubin: section " + std::to_string(I) +
+                     " is out of range. Contents truncated");
+    Raw[I].Name = R.cstr(ShStrOff + NameOff);
+  }
+
+  Cubin Result(*A);
+  auto sectionBytes = [&](const RawSection &S) {
+    return std::vector<uint8_t>(Image.begin() + S.Offset,
+                                Image.begin() + S.Offset + S.Size);
+  };
+  auto findRaw = [&](const std::string &Name) -> const RawSection * {
+    for (const RawSection &S : Raw)
+      if (S.Name == Name)
+        return &S;
+    return nullptr;
+  };
+
+  for (const RawSection &S : Raw) {
+    const std::string Prefix = ".text.";
+    if (S.Name.rfind(Prefix, 0) != 0)
+      continue;
+    KernelSection Kernel;
+    Kernel.Name = S.Name.substr(Prefix.size());
+    Kernel.Code = sectionBytes(S);
+
+    if (const RawSection *Info = findRaw(".nv.info." + Kernel.Name)) {
+      if (Info->Size >= 12) {
+        Kernel.NumRegisters = R.u32(Info->Offset);
+        Kernel.SharedMemBytes = R.u32(Info->Offset + 4);
+        Kernel.LocalMemBytes = R.u32(Info->Offset + 8);
+      }
+    }
+    if (const RawSection *C0 = findRaw(".nv.constant0." + Kernel.Name))
+      Kernel.Constant0 = sectionBytes(*C0);
+    Result.addKernel(std::move(Kernel));
+  }
+  return Result;
+}
+
+bool elf::findTextSection(const std::vector<uint8_t> &Image,
+                          const std::string &KernelName, size_t &Offset,
+                          size_t &Size) {
+  ByteReader R(Image);
+  if (Image.size() < EhdrSize || Image[0] != 0x7f)
+    return false;
+  uint64_t ShOff = R.u64(40);
+  uint16_t ShNum = R.u16(60);
+  uint16_t ShStrIdx = R.u16(62);
+  if (!R.inRange(ShOff, static_cast<size_t>(ShNum) * ShdrSize) ||
+      ShStrIdx >= ShNum)
+    return false;
+  uint64_t ShStrOff = R.u64(ShOff + ShStrIdx * ShdrSize + 24);
+  const std::string Wanted = ".text." + KernelName;
+  for (uint16_t I = 0; I < ShNum; ++I) {
+    size_t Base = ShOff + I * ShdrSize;
+    if (R.cstr(ShStrOff + R.u32(Base)) != Wanted)
+      continue;
+    Offset = R.u64(Base + 24);
+    Size = R.u64(Base + 32);
+    return R.inRange(Offset, Size);
+  }
+  return false;
+}
+
+Error elf::patchTextSection(std::vector<uint8_t> &Image,
+                            const std::string &KernelName, size_t ByteOffset,
+                            const std::vector<uint8_t> &Bytes) {
+  size_t Offset = 0, Size = 0;
+  if (!findTextSection(Image, KernelName, Offset, Size))
+    return Error::failure("cubin: no .text section for kernel '" +
+                          KernelName + "'");
+  if (ByteOffset + Bytes.size() > Size)
+    return Error::failure("cubin: patch range exceeds .text." + KernelName);
+  std::memcpy(Image.data() + Offset + ByteOffset, Bytes.data(), Bytes.size());
+  return Error::success();
+}

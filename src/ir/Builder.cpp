@@ -1,0 +1,251 @@
+//===- ir/Builder.cpp -----------------------------------------------------===//
+
+#include "ir/Builder.h"
+
+#include "analyzer/Records.h"
+#include "sass/Printer.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace dcb;
+using namespace dcb::ir;
+using analyzer::ListingInst;
+using analyzer::ListingKernel;
+
+namespace {
+
+/// Is this instruction a reconvergence command (SYNC on Maxwell+, any
+/// instruction carrying the .S modifier on Fermi/Kepler)?
+bool isReconvergence(const sass::Instruction &Inst) {
+  if (Inst.Opcode == "SYNC")
+    return true;
+  for (const std::string &Mod : Inst.Modifiers)
+    if (Mod == "S")
+      return true;
+  return false;
+}
+
+/// Does this instruction end a basic block?
+bool isTerminator(const sass::Instruction &Inst) {
+  if (Inst.Opcode == "BRA" || Inst.Opcode == "EXIT" ||
+      Inst.Opcode == "RET" || Inst.Opcode == "BRK")
+    return true;
+  return isReconvergence(Inst);
+}
+
+/// Does the instruction carry a literal branch-target operand?
+bool hasAddressTarget(const sass::Instruction &Inst) {
+  return analyzer::isControlFlowMnemonic(Inst.Opcode) &&
+         Inst.Operands.size() == 1 &&
+         Inst.Operands[0].Kind == sass::OperandKind::IntImm;
+}
+
+} // namespace
+
+std::vector<sass::CtrlInfo>
+ir::splitSchedulingInfo(Arch A, const ListingKernel &Listing) {
+  const SchiKind Kind = archSchiKind(A);
+  const unsigned WordBytes = archWordBits(A) / 8;
+  const unsigned Group = schiGroupSize(Kind);
+
+  std::vector<sass::CtrlInfo> Result(Listing.Insts.size());
+
+  if (Kind == SchiKind::Embedded) {
+    for (size_t I = 0; I < Listing.Insts.size(); ++I)
+      Result[I] = sass::extractVoltaCtrl(Listing.Insts[I].Binary);
+    return Result;
+  }
+  if (Group == 1)
+    return Result; // Hardware scheduling: nothing to split.
+
+  // Index SCHI words by group number.
+  std::map<uint64_t, const analyzer::ListingSchi *> SchiByGroup;
+  for (const analyzer::ListingSchi &Schi : Listing.Schis)
+    SchiByGroup[Schi.Address / (Group * WordBytes)] = &Schi;
+
+  for (size_t I = 0; I < Listing.Insts.size(); ++I) {
+    uint64_t WordIdx = Listing.Insts[I].Address / WordBytes;
+    uint64_t GroupIdx = WordIdx / Group;
+    unsigned Slot = static_cast<unsigned>(WordIdx % Group);
+    assert(Slot >= 1 && "instruction found in a SCHI slot");
+    auto It = SchiByGroup.find(GroupIdx);
+    if (It == SchiByGroup.end())
+      continue; // Tolerate missing SCHI words; defaults apply.
+    if (Kind == SchiKind::Maxwell) {
+      std::array<sass::CtrlInfo, 3> Slots;
+      sass::unpackMaxwellSchi(It->second->Word, Slots);
+      Result[I] = Slots[Slot - 1];
+    } else {
+      std::array<sass::CtrlInfo, 7> Slots;
+      if (sass::unpackKeplerSchi(Kind, It->second->Word, Slots))
+        Result[I] = Slots[Slot - 1];
+    }
+  }
+  return Result;
+}
+
+Expected<Kernel> ir::buildKernel(Arch A, const ListingKernel &Listing) {
+  Kernel K;
+  K.Name = Listing.Name;
+  K.A = A;
+
+  if (Listing.Insts.empty())
+    return K;
+
+  std::vector<sass::CtrlInfo> Ctrl = splitSchedulingInfo(A, Listing);
+
+  // 1. Find block leaders: the entry, every literal branch target, and
+  //    every instruction following a terminator.
+  std::set<uint64_t> Leaders;
+  Leaders.insert(Listing.Insts.front().Address);
+  std::map<uint64_t, size_t> ByAddress;
+  for (size_t I = 0; I < Listing.Insts.size(); ++I)
+    ByAddress[Listing.Insts[I].Address] = I;
+
+  for (size_t I = 0; I < Listing.Insts.size(); ++I) {
+    const sass::Instruction &Inst = Listing.Insts[I].Inst;
+    if (hasAddressTarget(Inst)) {
+      uint64_t Target = static_cast<uint64_t>(Inst.Operands[0].Value[0]);
+      if (!ByAddress.count(Target))
+        return Failure("ir: branch target " + toHexString(Target) +
+                       " is not an instruction address in kernel " +
+                       Listing.Name);
+      Leaders.insert(Target);
+    }
+    if (isTerminator(Inst) && I + 1 < Listing.Insts.size())
+      Leaders.insert(Listing.Insts[I + 1].Address);
+  }
+
+  // 2. Create blocks in address order.
+  std::map<uint64_t, int> BlockOfAddress; // leader address -> block index
+  for (uint64_t Leader : Leaders) {
+    BlockOfAddress[Leader] = static_cast<int>(K.Blocks.size());
+    K.Blocks.emplace_back();
+  }
+  auto blockContaining = [&](uint64_t Address) {
+    auto It = BlockOfAddress.upper_bound(Address);
+    assert(It != BlockOfAddress.begin() && "address before entry");
+    return std::prev(It)->second;
+  };
+
+  for (size_t I = 0; I < Listing.Insts.size(); ++I) {
+    Inst Entry;
+    Entry.Asm = Listing.Insts[I].Inst;
+    Entry.Ctrl = Ctrl[I];
+    Entry.OrigAddress = Listing.Insts[I].Address;
+    if (hasAddressTarget(Entry.Asm))
+      Entry.TargetBlock = BlockOfAddress.at(
+          static_cast<uint64_t>(Entry.Asm.Operands[0].Value[0]));
+    K.Blocks[blockContaining(Entry.OrigAddress)].Insts.push_back(
+        std::move(Entry));
+  }
+
+  // 3. Successor edges, SSY reconvergence and PBK break-target tracking
+  //    (Fig. 4). Both are processed linearly: SSY/PBK arm an address for
+  //    subsequent SYNC/BRK until the armed point is reached.
+  int CurrentReconverge = -1;
+  int CurrentBreak = -1;
+  for (size_t BlockIdx = 0; BlockIdx < K.Blocks.size(); ++BlockIdx) {
+    Block &B = K.Blocks[BlockIdx];
+    if (B.empty())
+      continue;
+
+    // Armed points expire once we reach them.
+    if (CurrentReconverge == static_cast<int>(BlockIdx))
+      CurrentReconverge = -1;
+    if (CurrentBreak == static_cast<int>(BlockIdx))
+      CurrentBreak = -1;
+    for (const Inst &Entry : B.Insts) {
+      if (Entry.Asm.Opcode == "SSY")
+        CurrentReconverge = Entry.TargetBlock;
+      if (Entry.Asm.Opcode == "PBK")
+        CurrentBreak = Entry.TargetBlock;
+    }
+    B.ReconvergeBlock = CurrentReconverge;
+
+    const Inst &Last = B.Insts.back();
+    const bool HasNext = BlockIdx + 1 < K.Blocks.size();
+    if (Last.Asm.Opcode == "BRK") {
+      if (CurrentBreak >= 0)
+        B.Succs.push_back(CurrentBreak);
+      if (Last.Asm.hasGuard() && HasNext)
+        B.Succs.push_back(static_cast<int>(BlockIdx) + 1);
+    } else if (Last.Asm.Opcode == "EXIT" || Last.Asm.Opcode == "RET") {
+      if (Last.Asm.hasGuard() && HasNext)
+        B.Succs.push_back(static_cast<int>(BlockIdx) + 1);
+    } else if (Last.Asm.Opcode == "BRA") {
+      if (Last.TargetBlock >= 0)
+        B.Succs.push_back(Last.TargetBlock);
+      if (Last.Asm.hasGuard() && HasNext)
+        B.Succs.push_back(static_cast<int>(BlockIdx) + 1);
+    } else if (isReconvergence(Last.Asm)) {
+      // Threads parking here resume at the SSY target; a guarded
+      // reconvergence lets the rest of the warp fall through.
+      if (CurrentReconverge >= 0)
+        B.Succs.push_back(CurrentReconverge);
+      if (HasNext &&
+          (Last.Asm.hasGuard() ||
+           B.Succs.empty() ||
+           B.Succs.front() != static_cast<int>(BlockIdx) + 1))
+        B.Succs.push_back(static_cast<int>(BlockIdx) + 1);
+    } else if (HasNext) {
+      B.Succs.push_back(static_cast<int>(BlockIdx) + 1);
+    }
+    // Deduplicate.
+    std::sort(B.Succs.begin(), B.Succs.end());
+    B.Succs.erase(std::unique(B.Succs.begin(), B.Succs.end()),
+                  B.Succs.end());
+  }
+  return K;
+}
+
+Expected<Program> ir::buildProgram(const analyzer::Listing &Listing) {
+  Program P;
+  P.A = Listing.A;
+  for (const ListingKernel &Kernel : Listing.Kernels) {
+    Expected<ir::Kernel> K = buildKernel(Listing.A, Kernel);
+    if (!K)
+      return K.takeError();
+    P.Kernels.push_back(K.takeValue());
+  }
+  return P;
+}
+
+std::string ir::printKernel(const Kernel &K) {
+  std::string Out = "kernel " + K.Name + " (" +
+                    std::string(archName(K.A)) + ")\n";
+  const bool ShowCtrl = archSchiKind(K.A) != SchiKind::None;
+  for (size_t BlockIdx = 0; BlockIdx < K.Blocks.size(); ++BlockIdx) {
+    const Block &B = K.Blocks[BlockIdx];
+    Out += "BB" + std::to_string(BlockIdx) + ":";
+    if (!B.Succs.empty()) {
+      Out += "  // succs:";
+      for (int Succ : B.Succs)
+        Out += " BB" + std::to_string(Succ);
+    }
+    if (B.ReconvergeBlock >= 0)
+      Out += "  reconverge: BB" + std::to_string(B.ReconvergeBlock);
+    Out += '\n';
+    for (const Inst &Entry : B.Insts) {
+      Out += "    ";
+      if (ShowCtrl)
+        Out += Entry.Ctrl.str() + " ";
+      if (Entry.TargetBlock >= 0) {
+        // Print with a symbolic target instead of the literal address.
+        sass::Instruction Copy = Entry.Asm;
+        Copy.Operands.clear();
+        std::string Text = sass::printInstruction(Copy);
+        Text.pop_back(); // drop ';'
+        Out += Text + " BB" + std::to_string(Entry.TargetBlock) + ";";
+      } else {
+        Out += sass::printInstruction(Entry.Asm);
+      }
+      Out += '\n';
+    }
+  }
+  return Out;
+}

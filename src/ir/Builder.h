@@ -1,0 +1,46 @@
+//===- ir/Builder.h - Listing -> IR front end -------------------*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the IR from a disassembler listing: splits SCHI scheduling words
+/// into per-instruction control info (Figs. 9/10), organizes instructions
+/// into basic blocks, converts branch-target literals to block references,
+/// and records SSY/SYNC reconvergence structure (Fig. 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_IR_BUILDER_H
+#define DCB_IR_BUILDER_H
+
+#include "analyzer/Listing.h"
+#include "ir/Ir.h"
+#include "support/Errors.h"
+
+namespace dcb {
+namespace ir {
+
+/// Builds one kernel's IR from its listing.
+Expected<Kernel> buildKernel(Arch A, const analyzer::ListingKernel &Listing);
+
+/// Builds a whole program from a listing.
+Expected<Program> buildProgram(const analyzer::Listing &Listing);
+
+/// Splits the listing's SCHI words into per-instruction control info, in
+/// listing order (exposed separately because the SCHI viewer and the
+/// Fig. 9/10 benches want it without CFG construction). On architectures
+/// without SCHI words every instruction gets a default CtrlInfo (or, on
+/// Volta, the embedded control bits).
+std::vector<sass::CtrlInfo>
+splitSchedulingInfo(Arch A, const analyzer::ListingKernel &Listing);
+
+/// Renders the IR as human-readable annotated assembly: block labels,
+/// inlined control info and symbolic branch targets.
+std::string printKernel(const Kernel &K);
+
+} // namespace ir
+} // namespace dcb
+
+#endif // DCB_IR_BUILDER_H

@@ -1,0 +1,102 @@
+//===- ir/Ir.h - Architecture-independent program IR ------------*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The intermediate representation of §V: instructions organized into basic
+/// blocks, branch targets converted from literal offsets to block
+/// references, and instruction-scheduling values broken out of their SCHI
+/// words and in-lined with individual instructions (Figs. 9/10). "When we
+/// parse the assembly into its IR, we organize the instructions into basic
+/// blocks... This organization of the code results in human-readable
+/// assembly... and facilitates techniques such as binary instrumentation."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_IR_IR_H
+#define DCB_IR_IR_H
+
+#include "sass/Ast.h"
+#include "sass/CtrlInfo.h"
+#include "support/Arch.h"
+
+#include <string>
+#include <vector>
+
+namespace dcb {
+namespace ir {
+
+/// One instruction with its inlined scheduling info.
+struct Inst {
+  sass::Instruction Asm;
+  sass::CtrlInfo Ctrl;
+
+  /// Byte address in the original binary; kNoAddress for inserted code.
+  static constexpr uint64_t kNoAddress = ~uint64_t(0);
+  uint64_t OrigAddress = kNoAddress;
+
+  /// For control flow with a literal target: index of the target block
+  /// (the literal operand is regenerated at layout time). -1 otherwise.
+  int TargetBlock = -1;
+
+  bool isInserted() const { return OrigAddress == kNoAddress; }
+};
+
+/// A basic block.
+struct Block {
+  std::vector<Inst> Insts;
+
+  /// Successor block indices (branch target first, then fall-through).
+  std::vector<int> Succs;
+
+  /// The SSY reconvergence block in effect at this block's end, -1 if none
+  /// (drives the divergence edges of Fig. 4).
+  int ReconvergeBlock = -1;
+
+  bool empty() const { return Insts.empty(); }
+};
+
+/// One kernel in IR form.
+struct Kernel {
+  std::string Name;
+  Arch A = Arch::SM35;
+  std::vector<Block> Blocks;
+
+  /// Kernel metadata carried through from the ELF.
+  uint32_t SharedMemBytes = 0;
+
+  size_t instructionCount() const {
+    size_t N = 0;
+    for (const Block &B : Blocks)
+      N += B.Insts.size();
+    return N;
+  }
+};
+
+/// A whole program (one cubin's worth of kernels).
+struct Program {
+  Arch A = Arch::SM35;
+  std::vector<Kernel> Kernels;
+
+  Kernel *findKernel(const std::string &Name) {
+    for (Kernel &K : Kernels)
+      if (K.Name == Name)
+        return &K;
+    return nullptr;
+  }
+};
+
+/// Conservative scheduling info for code inserted by instrumentation: a
+/// fixed-latency-covering stall and no barrier interaction.
+inline sass::CtrlInfo conservativeCtrl() {
+  sass::CtrlInfo Info;
+  Info.Stall = 6;
+  return Info;
+}
+
+} // namespace ir
+} // namespace dcb
+
+#endif // DCB_IR_IR_H

@@ -1,0 +1,151 @@
+//===- ir/Layout.cpp ------------------------------------------------------===//
+
+#include "ir/Layout.h"
+
+#include "asmgen/TableAssembler.h"
+#include "elf/Cubin.h"
+#include "sass/CtrlInfo.h"
+#include "sass/Parser.h"
+#include "sass/Printer.h"
+
+#include <array>
+#include <cassert>
+
+using namespace dcb;
+using namespace dcb::ir;
+
+namespace {
+
+void appendWord(std::vector<uint8_t> &Out, const BitString &Word) {
+  for (unsigned Byte = 0; Byte < Word.size() / 8; ++Byte)
+    Out.push_back(static_cast<uint8_t>(Word.field(Byte * 8, 8)));
+}
+
+uint64_t instAddress(SchiKind Kind, unsigned WordBytes, size_t Index) {
+  unsigned Group = schiGroupSize(Kind);
+  if (Group == 1)
+    return Index * WordBytes;
+  size_t GroupIdx = Index / (Group - 1);
+  size_t Slot = Index % (Group - 1);
+  return (GroupIdx * Group + 1 + Slot) * WordBytes;
+}
+
+} // namespace
+
+Expected<std::vector<uint8_t>> ir::emitKernel(
+    const analyzer::EncodingDatabase &Db, const Kernel &K) {
+  assert(Db.arch() == K.A && "database/kernel architecture mismatch");
+  const SchiKind Schi = archSchiKind(K.A);
+  const unsigned WordBytes = archWordBits(K.A) / 8;
+  const unsigned Group = schiGroupSize(Schi);
+
+  // 1. Flatten blocks and pad the tail so complete SCHI groups form.
+  std::vector<Inst> Insts;
+  std::vector<size_t> BlockStart(K.Blocks.size());
+  for (size_t BlockIdx = 0; BlockIdx < K.Blocks.size(); ++BlockIdx) {
+    BlockStart[BlockIdx] = Insts.size();
+    for (const Inst &Entry : K.Blocks[BlockIdx].Insts)
+      Insts.push_back(Entry);
+  }
+  if (Group > 1) {
+    Expected<sass::Instruction> Nop = sass::parseInstruction("NOP;");
+    while (Insts.size() % (Group - 1) != 0) {
+      Inst Padding;
+      Padding.Asm = *Nop;
+      Insts.push_back(Padding);
+    }
+  }
+
+  // 2. Assign addresses.
+  std::vector<uint64_t> Addrs(Insts.size());
+  for (size_t I = 0; I < Insts.size(); ++I)
+    Addrs[I] = instAddress(Schi, WordBytes, I);
+
+  // 3. Regenerate branch-target literals from block references.
+  for (Inst &Entry : Insts) {
+    if (Entry.TargetBlock < 0)
+      continue;
+    if (static_cast<size_t>(Entry.TargetBlock) >= K.Blocks.size())
+      return Failure("ir: dangling block reference in kernel " + K.Name);
+    size_t TargetFlat = BlockStart[Entry.TargetBlock];
+    if (TargetFlat >= Insts.size())
+      return Failure("ir: branch to empty tail block in kernel " + K.Name);
+    Entry.Asm.Operands.back() =
+        sass::Operand::makeIntImm(static_cast<int64_t>(Addrs[TargetFlat]));
+  }
+
+  // 4. Assemble with the learned encodings and interleave SCHI words.
+  //    The phony BINCODE opcode (paper §A.H) carries raw binary words that
+  //    bypass the assembler: "BINCODE 0xlow;" or "BINCODE 0xlow, 0xhigh;".
+  std::vector<BitString> Words(Insts.size());
+  for (size_t I = 0; I < Insts.size(); ++I) {
+    if (Insts[I].Asm.Opcode == "BINCODE") {
+      const auto &Operands = Insts[I].Asm.Operands;
+      if (Operands.empty() || Operands.size() > 2 ||
+          Operands[0].Kind != sass::OperandKind::IntImm)
+        return Failure("ir: malformed BINCODE in kernel " + K.Name);
+      BitString Raw(archWordBits(K.A));
+      Raw.setField(0, std::min(64u, Raw.size()),
+                   static_cast<uint64_t>(Operands[0].Value[0]));
+      if (Operands.size() == 2) {
+        if (Raw.size() < 128)
+          return Failure("ir: BINCODE high word on a 64-bit architecture");
+        Raw.setField(64, 64, static_cast<uint64_t>(Operands[1].Value[0]));
+      }
+      Words[I] = std::move(Raw);
+      continue;
+    }
+    Expected<BitString> Word =
+        asmgen::assembleInstruction(Db, Insts[I].Asm, Addrs[I]);
+    if (!Word)
+      return Failure("ir: " + Word.message());
+    Words[I] = Word.takeValue();
+    if (Schi == SchiKind::Embedded)
+      sass::embedVoltaCtrl(Words[I], Insts[I].Ctrl);
+  }
+
+  std::vector<uint8_t> Code;
+  if (Group == 1) {
+    for (const BitString &Word : Words)
+      appendWord(Code, Word);
+  } else if (Schi == SchiKind::Maxwell) {
+    for (size_t Base = 0; Base < Insts.size(); Base += 3) {
+      std::array<sass::CtrlInfo, 3> Slots;
+      for (unsigned S = 0; S < 3; ++S)
+        Slots[S] = Insts[Base + S].Ctrl;
+      appendWord(Code, sass::packMaxwellSchi(Slots));
+      for (unsigned S = 0; S < 3; ++S)
+        appendWord(Code, Words[Base + S]);
+    }
+  } else {
+    for (size_t Base = 0; Base < Insts.size(); Base += 7) {
+      std::array<sass::CtrlInfo, 7> Slots;
+      for (unsigned S = 0; S < 7; ++S)
+        Slots[S] = Insts[Base + S].Ctrl;
+      appendWord(Code, sass::packKeplerSchi(Schi, Slots));
+      for (unsigned S = 0; S < 7; ++S)
+        appendWord(Code, Words[Base + S]);
+    }
+  }
+  return Code;
+}
+
+Expected<std::vector<uint8_t>> ir::emitProgram(
+    const analyzer::EncodingDatabase &Db, const Program &P,
+    const std::vector<uint8_t> &OriginalImage) {
+  Expected<elf::Cubin> Cubin = elf::Cubin::deserialize(OriginalImage);
+  if (!Cubin)
+    return Cubin.takeError();
+  for (const Kernel &K : P.Kernels) {
+    elf::KernelSection *Section = Cubin->findKernel(K.Name);
+    if (!Section)
+      return Failure("ir: kernel " + K.Name + " missing from the cubin");
+    Expected<std::vector<uint8_t>> Code = emitKernel(Db, K);
+    if (!Code)
+      return Code.takeError();
+    Section->Code = Code.takeValue();
+    Section->SharedMemBytes =
+        std::max(Section->SharedMemBytes, K.SharedMemBytes);
+  }
+  return Cubin->serialize();
+}

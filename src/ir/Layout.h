@@ -1,0 +1,44 @@
+//===- ir/Layout.h - IR -> binary back end ----------------------*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Re-lays out an IR kernel into binary: assigns addresses at the
+/// architecture's SCHI cadence, regenerates branch-target literals from
+/// block references, re-packs scheduling words from the inlined control
+/// info, and assembles each instruction with the *learned* encodings (the
+/// TableAssembler over an EncodingDatabase). This is the paper's "code can
+/// easily be inserted or deleted, with scheduling data placed
+/// automatically" (§V).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_IR_LAYOUT_H
+#define DCB_IR_LAYOUT_H
+
+#include "analyzer/IsaAnalyzer.h"
+#include "ir/Ir.h"
+#include "support/Errors.h"
+
+#include <vector>
+
+namespace dcb {
+namespace ir {
+
+/// Emits the kernel's code bytes. Fails when an instruction cannot be
+/// assembled with the learned encodings.
+Expected<std::vector<uint8_t>> emitKernel(
+    const analyzer::EncodingDatabase &Db, const Kernel &K);
+
+/// Emits every kernel of a program into a fresh cubin image, carrying the
+/// metadata of \p Original (which must contain sections for all kernels).
+Expected<std::vector<uint8_t>> emitProgram(
+    const analyzer::EncodingDatabase &Db, const Program &P,
+    const std::vector<uint8_t> &OriginalImage);
+
+} // namespace ir
+} // namespace dcb
+
+#endif // DCB_IR_LAYOUT_H

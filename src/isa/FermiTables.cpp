@@ -1,0 +1,498 @@
+//===- isa/FermiTables.cpp - SM20/SM21/SM30 hidden encodings --------------===//
+//
+// The Fermi-family instruction encodings (Compute Capability 2.0/2.1 and,
+// unchanged, 3.0). Per the paper: 64-bit instructions, 6-bit register ids
+// (RZ = 63), 20-bit composite operands (literal | 6-bit register | 20-bit
+// constant location), and hardware scheduling on 2.x. SM30 adds SHFL and
+// TEXDEPBAR and the SCHI scheduling words (handled outside these tables).
+//
+// Layout (bit 0 = least significant):
+//   0..3   guard (low 3 = predicate, high = negate)
+//   4..9   secondary opcode field
+//   10..13 unary-operator / per-form flag bits
+//   14..19 destination register
+//   20..25 source register A
+//   26..45 composite region (20 bits)
+//   46..51 source register C
+//   52..57 modifier region
+//   58..63 primary opcode field
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/SpecBuilder.h"
+#include "isa/Tables.h"
+
+using namespace dcb;
+using namespace dcb::isa;
+
+namespace {
+
+// Field shorthands for this family.
+constexpr FieldRef Guard{0, 4};
+constexpr FieldRef OpcSec{4, 6};
+constexpr FieldRef Dst{14, 6};
+constexpr FieldRef SrcA{20, 6};
+constexpr FieldRef Comp{26, 20};
+constexpr FieldRef CompReg{26, 6};
+constexpr FieldRef SrcC{46, 6};
+constexpr FieldRef OpcPrim{58, 6};
+
+constexpr FieldRef PDst{14, 3};
+constexpr FieldRef PDst2{17, 3};
+constexpr FieldRef SrcPred{46, 3};
+
+constexpr FieldRef MemOff24{26, 24}; // Runs into the SrcC region.
+constexpr FieldRef Imm32{26, 32};    // Runs through SrcC and modifiers.
+constexpr FieldRef Rel24{26, 24};
+
+// Unary-operator bit positions.
+constexpr int NegA = 13, NegB = 10, AbsA = 12, AbsB = 11, InvB = 11;
+
+/// Deterministic, family-specific assignment of 12-bit opcodes, split
+/// across the primary (high 6) and secondary (low 6) opcode fields.
+class OpcodeAssigner {
+public:
+  explicit OpcodeAssigner(uint64_t Mult, uint64_t Add)
+      : Mult(Mult | 1), Add(Add) {}
+
+  uint64_t next() { return (Counter++ * Mult + Add) & 0xfff; }
+
+private:
+  uint64_t Mult, Add;
+  uint64_t Counter = 0;
+};
+
+/// Starts a builder with this family's opcode placement.
+InstrBuilder makeOp(ArchSpec &S, OpcodeAssigner &Opc, const char *Mnemonic,
+                    const char *Form) {
+  uint64_t Id = Opc.next();
+  InstrBuilder B(S, Mnemonic, Form);
+  B.fixed(OpcPrim, Id >> 6).fixed(OpcSec, Id & 0x3f);
+  return B;
+}
+
+} // namespace
+
+void dcb::isa::buildFermiFamily(ArchSpec &S) {
+  S.Family = EncodingFamily::Fermi;
+  S.WordBits = 64;
+  S.RegBits = 6;
+  S.NumRegs = 64;
+  S.GuardField = Guard;
+
+  const bool HasSm30Extras = S.A >= Arch::SM30;
+
+  OpcodeAssigner Opc(/*Mult=*/0x23b, /*Add=*/0x111);
+  using LC = InstrSpec::LatencyClass;
+
+  // --- Data movement ------------------------------------------------------
+  makeOp(S, Opc, "MOV", "rr").reg(Dst).reg(CompReg).finish();
+  makeOp(S, Opc, "MOV", "ri").reg(Dst).simm(Comp).finish();
+  makeOp(S, Opc, "MOV", "rc")
+      .reg(Dst)
+      .cmem(ConstPacking::Bank4Off16, Comp)
+      .finish();
+  makeOp(S, Opc, "MOV32I", "ri32").reg(Dst).uimm(Imm32).finish();
+  makeOp(S, Opc, "S2R", "rs").reg(Dst).sreg({26, 8}).lat(LC::Fixed, 12)
+      .finish();
+
+  // --- Integer arithmetic -------------------------------------------------
+  for (const char *Form : {"rr", "ri", "rc"}) {
+    InstrBuilder B = makeOp(S, Opc, "IADD", Form);
+    B.reg(Dst).reg(SrcA, NegA);
+    if (Form[1] == 'r')
+      B.reg(CompReg, NegB);
+    else if (Form[1] == 'i')
+      B.simm(Comp);
+    else
+      B.cmem(ConstPacking::Bank4Off16, Comp);
+    B.mod(flagGroup("X", 52)).mod(flagGroup("S", 53, "REJOIN"));
+    B.finish();
+  }
+  makeOp(S, Opc, "IADD32I", "ri32")
+      .reg(Dst)
+      .reg(SrcA)
+      .simm(Imm32)
+      .finish();
+
+  for (const char *Form : {"rr", "ri", "rc"}) {
+    InstrBuilder B = makeOp(S, Opc, "IMUL", Form);
+    B.reg(Dst).reg(SrcA);
+    if (Form[1] == 'r')
+      B.reg(CompReg);
+    else if (Form[1] == 'i')
+      B.simm(Comp);
+    else
+      B.cmem(ConstPacking::Bank4Off16, Comp);
+    B.mod(flagGroup("HI", 52)).mod(flagGroup("S", 53, "REJOIN"));
+    B.finish();
+  }
+
+  // IMAD: composite in 3rd position (reg2 x comp + reg4) or a literal in
+  // 4th position (reg2 x reg4 + comp), per Table II.
+  makeOp(S, Opc, "IMAD", "rrr")
+      .reg(Dst)
+      .reg(SrcA)
+      .reg(CompReg, NegB)
+      .reg(SrcC)
+      .finish();
+  makeOp(S, Opc, "IMAD", "rir").reg(Dst).reg(SrcA).simm(Comp).reg(SrcC)
+      .finish();
+  makeOp(S, Opc, "IMAD", "rcr")
+      .reg(Dst)
+      .reg(SrcA)
+      .cmem(ConstPacking::Bank4Off16, Comp)
+      .reg(SrcC)
+      .finish();
+  makeOp(S, Opc, "IMAD", "rri").reg(Dst).reg(SrcA).reg(SrcC).simm(Comp)
+      .finish();
+
+  makeOp(S, Opc, "IMNMX", "rrp")
+      .reg(Dst)
+      .reg(SrcA)
+      .reg(CompReg)
+      .pred(SrcPred, 49)
+      .finish();
+
+  // --- Single-precision float arithmetic ----------------------------------
+  for (const char *Name : {"FADD", "FMUL"}) {
+    for (const char *Form : {"rr", "rf", "rc"}) {
+      InstrBuilder B = makeOp(S, Opc, Name, Form);
+      B.reg(Dst).reg(SrcA, NegA, AbsA);
+      if (Form[1] == 'r')
+        B.reg(CompReg, NegB, AbsB);
+      else if (Form[1] == 'f')
+        B.fimm32(Comp);
+      else
+        B.cmem(ConstPacking::Bank4Off16, Comp);
+      B.mod(flagGroup("FTZ", 52))
+          .mod(flagGroup("S", 53, "REJOIN"))
+          .mod(roundGroup({54, 2}));
+      B.finish();
+    }
+  }
+
+  makeOp(S, Opc, "FFMA", "rrr")
+      .reg(Dst)
+      .reg(SrcA, NegA)
+      .reg(CompReg, NegB)
+      .reg(SrcC)
+      .mod(flagGroup("FTZ", 52))
+      .finish();
+  makeOp(S, Opc, "FFMA", "rfr")
+      .reg(Dst)
+      .reg(SrcA, NegA)
+      .fimm32(Comp)
+      .reg(SrcC)
+      .mod(flagGroup("FTZ", 52))
+      .finish();
+  makeOp(S, Opc, "FFMA", "rcr")
+      .reg(Dst)
+      .reg(SrcA, NegA)
+      .cmem(ConstPacking::Bank4Off16, Comp)
+      .reg(SrcC)
+      .mod(flagGroup("FTZ", 52))
+      .finish();
+
+  // --- Double precision (exercises lossy 20-bit double literals) ----------
+  makeOp(S, Opc, "DADD", "rr")
+      .reg(Dst)
+      .reg(SrcA, NegA, AbsA)
+      .reg(CompReg, NegB, AbsB)
+      .mod(roundGroup({54, 2}))
+      .lat(LC::Fixed, 16)
+      .finish();
+  makeOp(S, Opc, "DADD", "rf")
+      .reg(Dst)
+      .reg(SrcA, NegA, AbsA)
+      .fimm64(Comp)
+      .mod(roundGroup({54, 2}))
+      .lat(LC::Fixed, 16)
+      .finish();
+  makeOp(S, Opc, "DMUL", "rr")
+      .reg(Dst)
+      .reg(SrcA, NegA)
+      .reg(CompReg, NegB)
+      .mod(roundGroup({54, 2}))
+      .lat(LC::Fixed, 16)
+      .finish();
+
+  // --- Multi-function unit -------------------------------------------------
+  makeOp(S, Opc, "MUFU", "r")
+      .reg(Dst)
+      .reg(SrcA, NegA, AbsA)
+      .mod(mufuGroup({52, 3}))
+      .lat(LC::Fixed, 13)
+      .finish();
+
+  // --- Conversions ---------------------------------------------------------
+  makeOp(S, Opc, "F2F", "rr")
+      .reg(Dst)
+      .reg(CompReg, NegB, AbsB)
+      .mod(floatFmtGroup({52, 2}, "FMT"))
+      .mod(floatFmtGroup({54, 2}, "FMT"))
+      .mod(roundGroup({56, 2}))
+      .finish();
+  makeOp(S, Opc, "F2I", "rr")
+      .reg(Dst)
+      .reg(CompReg, NegB, AbsB)
+      .mod(intFmtGroup({52, 3}, "IFMT"))
+      .mod(floatFmtGroup({55, 2}, "FMT"))
+      .finish();
+  makeOp(S, Opc, "I2F", "rr")
+      .reg(Dst)
+      .reg(CompReg, NegB)
+      .mod(intFmtGroup({52, 3}, "IFMT"))
+      .mod(floatFmtGroup({55, 2}, "FMT"))
+      .finish();
+
+  // --- Predicate logic -----------------------------------------------------
+  for (const char *Name : {"ISETP", "FSETP"}) {
+    for (const char *Form : {"rr", "ri", "rc"}) {
+      InstrBuilder B = makeOp(S, Opc, Name, Form);
+      B.pred(PDst).pred(PDst2).reg(SrcA);
+      if (Form[1] == 'r')
+        B.reg(CompReg);
+      else if (Form[1] == 'i') {
+        if (Name[0] == 'F')
+          B.fimm32(Comp);
+        else
+          B.simm(Comp);
+      } else {
+        B.cmem(ConstPacking::Bank4Off16, Comp);
+      }
+      B.pred(SrcPred, 49);
+      B.defs(2);
+      B.mod(cmpGroup({52, 3})).mod(logicGroup({55, 2}));
+      B.finish();
+    }
+  }
+
+  // PSETP reduces three predicates with two ordered logic steps.
+  makeOp(S, Opc, "PSETP", "ppppp")
+      .pred(PDst)
+      .pred(PDst2)
+      .pred({20, 3}, 23)
+      .pred({26, 3}, 29)
+      .pred(SrcPred, 49)
+      .defs(2)
+      .mod(logicGroup({52, 2}))
+      .mod(logicGroup({54, 2}))
+      .finish();
+
+  makeOp(S, Opc, "SEL", "rrp")
+      .reg(Dst)
+      .reg(SrcA)
+      .reg(CompReg)
+      .pred(SrcPred, 49)
+      .finish();
+  makeOp(S, Opc, "SEL", "rip")
+      .reg(Dst)
+      .reg(SrcA)
+      .simm(Comp)
+      .pred(SrcPred, 49)
+      .finish();
+
+  // --- Bitwise -------------------------------------------------------------
+  for (const char *Form : {"rr", "ri", "rc"}) {
+    InstrBuilder B = makeOp(S, Opc, "LOP", Form);
+    B.reg(Dst).reg(SrcA);
+    if (Form[1] == 'r')
+      B.reg(CompReg, -1, -1, InvB);
+    else if (Form[1] == 'i')
+      B.simm(Comp);
+    else
+      B.cmem(ConstPacking::Bank4Off16, Comp);
+    B.mod(logicGroup({52, 2}));
+    B.finish();
+  }
+  makeOp(S, Opc, "SHL", "rr").reg(Dst).reg(SrcA).reg(CompReg)
+      .mod(flagGroup("W", 52)).finish();
+  makeOp(S, Opc, "SHL", "ri").reg(Dst).reg(SrcA).uimm({26, 5})
+      .mod(flagGroup("W", 52)).finish();
+  makeOp(S, Opc, "SHR", "rr").reg(Dst).reg(SrcA).reg(CompReg)
+      .mod(flagGroup("U32", 52)).finish();
+  makeOp(S, Opc, "SHR", "ri").reg(Dst).reg(SrcA).uimm({26, 5})
+      .mod(flagGroup("U32", 52)).finish();
+
+  makeOp(S, Opc, "FMNMX", "rrp")
+      .reg(Dst)
+      .reg(SrcA, NegA, AbsA)
+      .reg(CompReg, NegB, AbsB)
+      .pred(SrcPred, 49)
+      .mod(flagGroup("FTZ", 52))
+      .finish();
+  makeOp(S, Opc, "FMNMX", "rfp")
+      .reg(Dst)
+      .reg(SrcA, NegA, AbsA)
+      .fimm32(Comp)
+      .pred(SrcPred, 49)
+      .mod(flagGroup("FTZ", 52))
+      .finish();
+  makeOp(S, Opc, "FMNMX", "rcp")
+      .reg(Dst)
+      .reg(SrcA, NegA, AbsA)
+      .cmem(ConstPacking::Bank4Off16, Comp)
+      .pred(SrcPred, 49)
+      .mod(flagGroup("FTZ", 52))
+      .finish();
+
+  // --- Memory (paper Table I) ----------------------------------------------
+  auto makeLoad = [&](const char *Name, bool Extended, bool Cached) {
+    InstrBuilder B = makeOp(S, Opc, Name, "load");
+    B.reg(Dst).mem(SrcA, MemOff24);
+    B.mod(sizeGroup({52, 3}));
+    if (Cached)
+      B.mod(cacheGroup({55, 2}));
+    if (Extended)
+      B.mod(flagGroup("E", 57));
+    B.lat(LC::Memory, 200);
+    B.finish();
+  };
+  auto makeStore = [&](const char *Name, bool Extended, bool Cached) {
+    InstrBuilder B = makeOp(S, Opc, Name, "store");
+    B.mem(SrcA, MemOff24).reg(Dst);
+    B.mod(sizeGroup({52, 3}));
+    if (Cached)
+      B.mod(cacheGroup({55, 2}));
+    if (Extended)
+      B.mod(flagGroup("E", 57));
+    B.lat(LC::Store, 200);
+    B.finish();
+  };
+  makeLoad("LD", false, true);
+  makeStore("ST", false, true);
+  makeLoad("LDG", true, true);
+  makeStore("STG", true, true);
+  makeLoad("LDL", false, false);
+  makeStore("STL", false, false);
+  makeLoad("LDS", false, false);
+  makeStore("STS", false, false);
+
+  makeOp(S, Opc, "LDC", "rc")
+      .reg(Dst)
+      .cmem(ConstPacking::Bank4Off16, Comp, SrcA)
+      .mod(sizeGroup({52, 3}))
+      .lat(LC::Memory, 40)
+      .finish();
+
+  makeOp(S, Opc, "ATOM", "atom")
+      .reg(Dst)
+      .mem(SrcA, Comp)
+      .reg(SrcC)
+      .mod(ModifierGroup{"ATOMOP",
+                         {52, 3},
+                         {{"ADD", 0},
+                          {"MIN", 1},
+                          {"MAX", 2},
+                          {"EXCH", 3},
+                          {"AND", 4},
+                          {"OR", 5},
+                          {"XOR", 6}},
+                         0,
+                         false})
+      .lat(LC::Memory, 250)
+      .finish();
+
+  // --- Texture -------------------------------------------------------------
+  makeOp(S, Opc, "TEX", "tex")
+      .reg(Dst)
+      .reg(SrcA)
+      .uimm({26, 13})
+      .texShape({39, 3})
+      .texChannel({42, 4})
+      .lat(LC::Memory, 400)
+      .finish();
+
+  // --- Control flow --------------------------------------------------------
+  makeOp(S, Opc, "BRA", "rel").rel(Rel24).lat(LC::Control).finish();
+  makeOp(S, Opc, "BRA", "rc")
+      .cmem(ConstPacking::Bank4Off16, Comp)
+      .lat(LC::Control)
+      .finish();
+  makeOp(S, Opc, "CAL", "rel").rel(Rel24).lat(LC::Control).finish();
+  makeOp(S, Opc, "RET", "none").lat(LC::Control).finish();
+  makeOp(S, Opc, "EXIT", "none").lat(LC::Control).finish();
+  makeOp(S, Opc, "NOP", "none")
+      .mod(flagGroup("S", 53, "REJOIN"))
+      .finish();
+  makeOp(S, Opc, "SSY", "rel").rel(Rel24).lat(LC::Control).finish();
+  makeOp(S, Opc, "BAR", "bar")
+      .uimm({26, 4})
+      .mod(barModeGroup({52, 1}))
+      .lat(LC::Control)
+      .finish();
+  makeOp(S, Opc, "MEMBAR", "none")
+      .mod(membarGroup({52, 2}))
+      .lat(LC::Control)
+      .finish();
+  makeOp(S, Opc, "DEPBAR", "sb")
+      .barrier({26, 3})
+      .bitset({29, 6})
+      .mod(flagGroup("LE", 52))
+      .lat(LC::Control)
+      .finish();
+
+  // --- Extended inventory: bit-field, population count, predicates -------
+  makeOp(S, Opc, "BFE", "rr").reg(Dst).reg(SrcA).reg(CompReg)
+      .mod(flagGroup("U32", 52)).finish();
+  makeOp(S, Opc, "BFE", "ri").reg(Dst).reg(SrcA).simm(Comp)
+      .mod(flagGroup("U32", 52)).finish();
+  makeOp(S, Opc, "BFI", "rrrr")
+      .reg(Dst)
+      .reg(SrcA)
+      .reg(CompReg)
+      .reg(SrcC)
+      .finish();
+  makeOp(S, Opc, "POPC", "rr").reg(Dst).reg(CompReg).finish();
+  makeOp(S, Opc, "DFMA", "rrrr")
+      .reg(Dst)
+      .reg(SrcA, NegA)
+      .reg(CompReg, NegB)
+      .reg(SrcC)
+      .mod(roundGroup({54, 2}))
+      .lat(LC::Fixed, 16)
+      .finish();
+  makeOp(S, Opc, "RRO", "rr")
+      .reg(Dst)
+      .reg(CompReg, NegB, AbsB)
+      .mod(ModifierGroup{"RROOP", {52, 1}, {{"SINCOS", 0}, {"EX2", 1}},
+                         0, false})
+      .finish();
+  makeOp(S, Opc, "VOTE", "pp")
+      .pred(PDst)
+      .pred(SrcPred, 49)
+      .mod(ModifierGroup{"VOTEOP", {52, 2}, {{"ALL", 0}, {"ANY", 1},
+                         {"EQ", 2}}, 0, false})
+      .finish();
+  // Loop-break divergence: PBK arms a break target, BRK jumps to it.
+  makeOp(S, Opc, "PBK", "rel").rel(Rel24).lat(LC::Control).finish();
+  makeOp(S, Opc, "BRK", "none").lat(LC::Control).finish();
+
+  // --- SM30 additions (paper §II-B) ----------------------------------------
+  if (HasSm30Extras) {
+    makeOp(S, Opc, "SHFL", "rr")
+        .pred(PDst)
+        .reg({17, 6}) // Destination register moved to fit the predicate.
+        .reg({26, 6})
+        .reg({32, 6})
+        .defs(2)
+        .mod(shflGroup({52, 2}))
+        .lat(LC::Fixed, 13)
+        .finish();
+    makeOp(S, Opc, "SHFL", "ri")
+        .pred(PDst)
+        .reg({17, 6})
+        .reg({26, 6})
+        .uimm({32, 5})
+        .defs(2)
+        .mod(shflGroup({52, 2}))
+        .lat(LC::Fixed, 13)
+        .finish();
+    makeOp(S, Opc, "TEXDEPBAR", "i")
+        .uimm({26, 6})
+        .lat(LC::Control)
+        .finish();
+  }
+
+}

@@ -1,0 +1,477 @@
+//===- isa/Kepler2Tables.cpp - SM35 hidden encodings ----------------------===//
+//
+// The late-Kepler (Compute Capability 3.5) encodings. Per the paper: the
+// assembly looks like the previous generation but every instruction has a
+// new encoding, register ids widen to 8 bits (RZ = 255), the common
+// composite operand narrows to 19 bits (19-bit literal | 8-bit register |
+// 19-bit constant location with a 5-bit bank), and the destination register
+// occupies bits 2..9 (Fig. 2 / Fig. 8).
+//
+// Layout (bit 0 = least significant):
+//   0..1   unary-operator bits (source A negate / absolute)
+//   2..9   destination register
+//   10..17 source register A
+//   18..21 guard (low 3 = predicate, high = negate)
+//   22     per-form flag / unary bit
+//   23..41 composite region (19 bits)
+//   42..49 source register C
+//   50..53 modifier region
+//   54..63 opcode (10 bits)
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/SpecBuilder.h"
+#include "isa/Tables.h"
+
+using namespace dcb;
+using namespace dcb::isa;
+
+namespace {
+
+constexpr FieldRef Guard{18, 4};
+constexpr FieldRef Dst{2, 8};
+constexpr FieldRef SrcA{10, 8};
+constexpr FieldRef Comp{23, 19};
+constexpr FieldRef CompReg{23, 8};
+constexpr FieldRef SrcC{42, 8};
+constexpr FieldRef Opc{54, 10};
+
+constexpr FieldRef PDst{2, 3};
+constexpr FieldRef PDst2{5, 3};
+constexpr FieldRef SrcPred{42, 3};
+
+constexpr FieldRef MemOff24{23, 24};
+constexpr FieldRef Imm32{22, 32};
+constexpr FieldRef Rel24{23, 24};
+
+constexpr int NegA = 0, AbsA = 1, NegB = 22, AbsB = 31, InvB = 31;
+
+class OpcodeAssigner {
+public:
+  OpcodeAssigner() = default;
+  uint64_t next() { return (Counter++ * 0x1a5 + 0x09c) & 0x3ff; }
+
+private:
+  uint64_t Counter = 0;
+};
+
+InstrBuilder makeOp(ArchSpec &S, OpcodeAssigner &Assign, const char *Mnemonic,
+                    const char *Form) {
+  InstrBuilder B(S, Mnemonic, Form);
+  B.fixed(Opc, Assign.next());
+  return B;
+}
+
+} // namespace
+
+void dcb::isa::buildKepler2Family(ArchSpec &S) {
+  S.Family = EncodingFamily::Kepler2;
+  S.WordBits = 64;
+  S.RegBits = 8;
+  S.NumRegs = 256;
+  S.GuardField = Guard;
+
+  OpcodeAssigner Opc;
+  using LC = InstrSpec::LatencyClass;
+
+  // --- Data movement ------------------------------------------------------
+  makeOp(S, Opc, "MOV", "rr").reg(Dst).reg(CompReg).finish();
+  makeOp(S, Opc, "MOV", "ri").reg(Dst).simm(Comp).finish();
+  makeOp(S, Opc, "MOV", "rc")
+      .reg(Dst)
+      .cmem(ConstPacking::Bank5Off14, Comp)
+      .finish();
+  makeOp(S, Opc, "MOV32I", "ri32").reg(Dst).uimm(Imm32).finish();
+  // Wide composite holding a 21-bit constant location (paper §IV-A).
+  makeOp(S, Opc, "MOV32I", "rc")
+      .reg(Dst)
+      .cmem(ConstPacking::Bank5Off16, {23, 21})
+      .finish();
+  makeOp(S, Opc, "S2R", "rs").reg(Dst).sreg({23, 8}).lat(LC::Fixed, 12)
+      .finish();
+
+  // --- Integer arithmetic -------------------------------------------------
+  for (const char *Form : {"rr", "ri", "rc"}) {
+    InstrBuilder B = makeOp(S, Opc, "IADD", Form);
+    B.reg(Dst).reg(SrcA, NegA);
+    if (Form[1] == 'r')
+      B.reg(CompReg, NegB);
+    else if (Form[1] == 'i')
+      B.simm(Comp);
+    else
+      B.cmem(ConstPacking::Bank5Off14, Comp);
+    B.mod(flagGroup("X", 50)).mod(flagGroup("S", 51, "REJOIN"));
+    B.finish();
+  }
+  makeOp(S, Opc, "IADD32I", "ri32").reg(Dst).reg(SrcA).simm(Imm32).finish();
+
+  for (const char *Form : {"rr", "ri", "rc"}) {
+    InstrBuilder B = makeOp(S, Opc, "IMUL", Form);
+    B.reg(Dst).reg(SrcA);
+    if (Form[1] == 'r')
+      B.reg(CompReg);
+    else if (Form[1] == 'i')
+      B.simm(Comp);
+    else
+      B.cmem(ConstPacking::Bank5Off14, Comp);
+    B.mod(flagGroup("HI", 50)).mod(flagGroup("S", 51, "REJOIN"));
+    B.finish();
+  }
+
+  makeOp(S, Opc, "IMAD", "rrr")
+      .reg(Dst)
+      .reg(SrcA)
+      .reg(CompReg, NegB)
+      .reg(SrcC)
+      .finish();
+  makeOp(S, Opc, "IMAD", "rir").reg(Dst).reg(SrcA).simm(Comp).reg(SrcC)
+      .finish();
+  makeOp(S, Opc, "IMAD", "rcr")
+      .reg(Dst)
+      .reg(SrcA)
+      .cmem(ConstPacking::Bank5Off14, Comp)
+      .reg(SrcC)
+      .finish();
+  makeOp(S, Opc, "IMAD", "rri")
+      .reg(Dst)
+      .reg(SrcA)
+      .reg(SrcC)
+      .simm(Comp)
+      .finish();
+
+  makeOp(S, Opc, "IMNMX", "rrp")
+      .reg(Dst)
+      .reg(SrcA)
+      .reg(CompReg)
+      .pred(SrcPred, 45)
+      .finish();
+
+  // --- Single-precision float arithmetic ----------------------------------
+  for (const char *Name : {"FADD", "FMUL"}) {
+    for (const char *Form : {"rr", "rf", "rc"}) {
+      InstrBuilder B = makeOp(S, Opc, Name, Form);
+      B.reg(Dst).reg(SrcA, NegA, AbsA);
+      if (Form[1] == 'r')
+        B.reg(CompReg, NegB, AbsB);
+      else if (Form[1] == 'f')
+        B.fimm32(Comp);
+      else
+        B.cmem(ConstPacking::Bank5Off14, Comp);
+      B.mod(flagGroup("FTZ", 50))
+          .mod(flagGroup("S", 51, "REJOIN"))
+          .mod(roundGroup({52, 2}));
+      B.finish();
+    }
+  }
+
+  makeOp(S, Opc, "FFMA", "rrr")
+      .reg(Dst)
+      .reg(SrcA, NegA)
+      .reg(CompReg, NegB)
+      .reg(SrcC)
+      .mod(flagGroup("FTZ", 50))
+      .finish();
+  makeOp(S, Opc, "FFMA", "rfr")
+      .reg(Dst)
+      .reg(SrcA, NegA)
+      .fimm32(Comp)
+      .reg(SrcC)
+      .mod(flagGroup("FTZ", 50))
+      .finish();
+  makeOp(S, Opc, "FFMA", "rcr")
+      .reg(Dst)
+      .reg(SrcA, NegA)
+      .cmem(ConstPacking::Bank5Off14, Comp)
+      .reg(SrcC)
+      .mod(flagGroup("FTZ", 50))
+      .finish();
+
+  // --- Doubles: a 64-bit literal squeezed into 19 bits (paper §IV-A) ------
+  makeOp(S, Opc, "DADD", "rr")
+      .reg(Dst)
+      .reg(SrcA, NegA, AbsA)
+      .reg(CompReg, NegB, AbsB)
+      .mod(roundGroup({52, 2}))
+      .lat(LC::Fixed, 16)
+      .finish();
+  makeOp(S, Opc, "DADD", "rf")
+      .reg(Dst)
+      .reg(SrcA, NegA, AbsA)
+      .fimm64(Comp)
+      .mod(roundGroup({52, 2}))
+      .lat(LC::Fixed, 16)
+      .finish();
+  makeOp(S, Opc, "DMUL", "rr")
+      .reg(Dst)
+      .reg(SrcA, NegA)
+      .reg(CompReg, NegB)
+      .mod(roundGroup({52, 2}))
+      .lat(LC::Fixed, 16)
+      .finish();
+
+  makeOp(S, Opc, "MUFU", "r")
+      .reg(Dst)
+      .reg(SrcA, NegA, AbsA)
+      .mod(mufuGroup({50, 3}))
+      .lat(LC::Fixed, 13)
+      .finish();
+
+  // --- Conversions ---------------------------------------------------------
+  makeOp(S, Opc, "F2F", "rr")
+      .reg(Dst)
+      .reg(CompReg, NegB, AbsB)
+      .mod(floatFmtGroup({50, 2}, "FMT"))
+      .mod(floatFmtGroup({52, 2}, "FMT"))
+      .mod(roundGroup({33, 2}))
+      .finish();
+  makeOp(S, Opc, "F2I", "rr")
+      .reg(Dst)
+      .reg(CompReg, NegB, AbsB)
+      .mod(intFmtGroup({50, 3}, "IFMT"))
+      .mod(floatFmtGroup({33, 2}, "FMT"))
+      .finish();
+  makeOp(S, Opc, "I2F", "rr")
+      .reg(Dst)
+      .reg(CompReg, NegB)
+      .mod(intFmtGroup({50, 3}, "IFMT"))
+      .mod(floatFmtGroup({33, 2}, "FMT"))
+      .finish();
+
+  // --- Predicate logic -----------------------------------------------------
+  for (const char *Name : {"ISETP", "FSETP"}) {
+    for (const char *Form : {"rr", "ri", "rc"}) {
+      InstrBuilder B = makeOp(S, Opc, Name, Form);
+      B.pred(PDst).pred(PDst2).reg(SrcA);
+      if (Form[1] == 'r')
+        B.reg(CompReg);
+      else if (Form[1] == 'i') {
+        if (Name[0] == 'F')
+          B.fimm32(Comp);
+        else
+          B.simm(Comp);
+      } else {
+        B.cmem(ConstPacking::Bank5Off14, Comp);
+      }
+      B.pred(SrcPred, 45);
+      B.defs(2);
+      B.mod(cmpGroup({50, 3})).mod(logicGroup({46, 2}));
+      B.finish();
+    }
+  }
+
+  makeOp(S, Opc, "PSETP", "ppppp")
+      .pred(PDst)
+      .pred(PDst2)
+      .pred({10, 3}, 13)
+      .pred({23, 3}, 26)
+      .pred(SrcPred, 45)
+      .defs(2)
+      .mod(logicGroup({50, 2}))
+      .mod(logicGroup({52, 2}))
+      .finish();
+
+  makeOp(S, Opc, "SEL", "rrp")
+      .reg(Dst)
+      .reg(SrcA)
+      .reg(CompReg)
+      .pred(SrcPred, 45)
+      .finish();
+  makeOp(S, Opc, "SEL", "rip")
+      .reg(Dst)
+      .reg(SrcA)
+      .simm(Comp)
+      .pred(SrcPred, 45)
+      .finish();
+
+  // --- Bitwise -------------------------------------------------------------
+  for (const char *Form : {"rr", "ri", "rc"}) {
+    InstrBuilder B = makeOp(S, Opc, "LOP", Form);
+    B.reg(Dst).reg(SrcA);
+    if (Form[1] == 'r')
+      B.reg(CompReg, -1, -1, InvB);
+    else if (Form[1] == 'i')
+      B.simm(Comp);
+    else
+      B.cmem(ConstPacking::Bank5Off14, Comp);
+    B.mod(logicGroup({50, 2}));
+    B.finish();
+  }
+  makeOp(S, Opc, "SHL", "rr").reg(Dst).reg(SrcA).reg(CompReg)
+      .mod(flagGroup("W", 50)).finish();
+  makeOp(S, Opc, "SHL", "ri").reg(Dst).reg(SrcA).uimm({23, 5})
+      .mod(flagGroup("W", 50)).finish();
+  makeOp(S, Opc, "SHR", "rr").reg(Dst).reg(SrcA).reg(CompReg)
+      .mod(flagGroup("U32", 50)).finish();
+  makeOp(S, Opc, "SHR", "ri").reg(Dst).reg(SrcA).uimm({23, 5})
+      .mod(flagGroup("U32", 50)).finish();
+
+  makeOp(S, Opc, "FMNMX", "rrp")
+      .reg(Dst)
+      .reg(SrcA, NegA, AbsA)
+      .reg(CompReg, NegB, AbsB)
+      .pred(SrcPred, 45)
+      .mod(flagGroup("FTZ", 50))
+      .finish();
+  makeOp(S, Opc, "FMNMX", "rfp")
+      .reg(Dst)
+      .reg(SrcA, NegA, AbsA)
+      .fimm32(Comp)
+      .pred(SrcPred, 45)
+      .mod(flagGroup("FTZ", 50))
+      .finish();
+  makeOp(S, Opc, "FMNMX", "rcp")
+      .reg(Dst)
+      .reg(SrcA, NegA, AbsA)
+      .cmem(ConstPacking::Bank5Off14, Comp)
+      .pred(SrcPred, 45)
+      .mod(flagGroup("FTZ", 50))
+      .finish();
+
+  // --- Memory (paper Table I) ----------------------------------------------
+  auto makeLoad = [&](const char *Name, bool Extended) {
+    InstrBuilder B = makeOp(S, Opc, Name, "load");
+    B.reg(Dst).mem(SrcA, MemOff24);
+    B.mod(sizeGroup({50, 3}));
+    if (Extended)
+      B.mod(flagGroup("E", 53));
+    B.lat(LC::Memory, 200);
+    B.finish();
+  };
+  auto makeStore = [&](const char *Name, bool Extended) {
+    InstrBuilder B = makeOp(S, Opc, Name, "store");
+    B.mem(SrcA, MemOff24).reg(Dst);
+    B.mod(sizeGroup({50, 3}));
+    if (Extended)
+      B.mod(flagGroup("E", 53));
+    B.lat(LC::Store, 200);
+    B.finish();
+  };
+  makeLoad("LD", false);
+  makeStore("ST", false);
+  makeLoad("LDG", true);
+  makeStore("STG", true);
+  makeLoad("LDL", false);
+  makeStore("STL", false);
+  makeLoad("LDS", false);
+  makeStore("STS", false);
+
+  // LDC uses the 20-bit bank/offset packing (paper §IV-A).
+  makeOp(S, Opc, "LDC", "rc")
+      .reg(Dst)
+      .cmem(ConstPacking::Bank4Off16, {23, 20}, SrcA)
+      .mod(sizeGroup({50, 3}))
+      .lat(LC::Memory, 40)
+      .finish();
+
+  makeOp(S, Opc, "ATOM", "atom")
+      .reg(Dst)
+      .mem(SrcA, {23, 19})
+      .reg(SrcC)
+      .mod(ModifierGroup{"ATOMOP",
+                         {50, 3},
+                         {{"ADD", 0},
+                          {"MIN", 1},
+                          {"MAX", 2},
+                          {"EXCH", 3},
+                          {"AND", 4},
+                          {"OR", 5},
+                          {"XOR", 6}},
+                         0,
+                         false})
+      .lat(LC::Memory, 250)
+      .finish();
+
+  // --- Texture -------------------------------------------------------------
+  makeOp(S, Opc, "TEX", "tex")
+      .reg(Dst)
+      .reg(SrcA)
+      .uimm({23, 13})
+      .texShape({36, 3})
+      .texChannel({39, 4})
+      .lat(LC::Memory, 400)
+      .finish();
+  makeOp(S, Opc, "TEXDEPBAR", "i").uimm({23, 6}).lat(LC::Control).finish();
+
+  // --- Control flow --------------------------------------------------------
+  makeOp(S, Opc, "BRA", "rel").rel(Rel24).lat(LC::Control).finish();
+  makeOp(S, Opc, "BRA", "rc")
+      .cmem(ConstPacking::Bank5Off14, Comp)
+      .lat(LC::Control)
+      .finish();
+  makeOp(S, Opc, "CAL", "rel").rel(Rel24).lat(LC::Control).finish();
+  makeOp(S, Opc, "RET", "none").lat(LC::Control).finish();
+  makeOp(S, Opc, "EXIT", "none").lat(LC::Control).finish();
+  makeOp(S, Opc, "NOP", "none").mod(flagGroup("S", 51, "REJOIN")).finish();
+  makeOp(S, Opc, "SSY", "rel").rel(Rel24).lat(LC::Control).finish();
+  makeOp(S, Opc, "BAR", "bar")
+      .uimm({23, 4})
+      .mod(barModeGroup({50, 1}))
+      .lat(LC::Control)
+      .finish();
+  makeOp(S, Opc, "MEMBAR", "none")
+      .mod(membarGroup({50, 2}))
+      .lat(LC::Control)
+      .finish();
+  makeOp(S, Opc, "DEPBAR", "sb")
+      .barrier({23, 3})
+      .bitset({26, 6})
+      .mod(flagGroup("LE", 50))
+      .lat(LC::Control)
+      .finish();
+
+  // --- Warp shuffle (SM30+ feature; always present from 3.5 on) -----------
+  makeOp(S, Opc, "SHFL", "rr")
+      .pred(PDst)
+      .reg({5, 8})
+      .reg({23, 8})
+      .reg({31, 8})
+      .defs(2)
+      .mod(shflGroup({50, 2}))
+      .lat(LC::Fixed, 13)
+      .finish();
+  makeOp(S, Opc, "SHFL", "ri")
+      .pred(PDst)
+      .reg({5, 8})
+      .reg({23, 8})
+      .uimm({31, 5})
+      .defs(2)
+      .mod(shflGroup({50, 2}))
+      .lat(LC::Fixed, 13)
+      .finish();
+
+  // --- Extended inventory: bit-field, population count, predicates -------
+  makeOp(S, Opc, "BFE", "rr").reg(Dst).reg(SrcA).reg(CompReg)
+      .mod(flagGroup("U32", 50)).finish();
+  makeOp(S, Opc, "BFE", "ri").reg(Dst).reg(SrcA).simm(Comp)
+      .mod(flagGroup("U32", 50)).finish();
+  makeOp(S, Opc, "BFI", "rrrr")
+      .reg(Dst)
+      .reg(SrcA)
+      .reg(CompReg)
+      .reg(SrcC)
+      .finish();
+  makeOp(S, Opc, "POPC", "rr").reg(Dst).reg(CompReg).finish();
+  makeOp(S, Opc, "DFMA", "rrrr")
+      .reg(Dst)
+      .reg(SrcA, NegA)
+      .reg(CompReg, NegB)
+      .reg(SrcC)
+      .mod(roundGroup({52, 2}))
+      .lat(LC::Fixed, 16)
+      .finish();
+  makeOp(S, Opc, "RRO", "rr")
+      .reg(Dst)
+      .reg(CompReg, NegB, AbsB)
+      .mod(ModifierGroup{"RROOP", {50, 1}, {{"SINCOS", 0}, {"EX2", 1}},
+                         0, false})
+      .finish();
+  makeOp(S, Opc, "VOTE", "pp")
+      .pred(PDst)
+      .pred(SrcPred, 45)
+      .mod(ModifierGroup{"VOTEOP", {50, 2}, {{"ALL", 0}, {"ANY", 1},
+                         {"EQ", 2}}, 0, false})
+      .finish();
+  // Loop-break divergence: PBK arms a break target, BRK jumps to it.
+  makeOp(S, Opc, "PBK", "rel").rel(Rel24).lat(LC::Control).finish();
+  makeOp(S, Opc, "BRK", "none").lat(LC::Control).finish();
+}

@@ -1,0 +1,517 @@
+//===- isa/MaxwellTables.cpp - SM50/52/60/61 hidden encodings -------------===//
+//
+// The Maxwell/Pascal encodings (Compute Capabilities 5.0, 5.2, 6.0, 6.1).
+// Per the paper: the opcode is contained in bits 52..63, every fourth word
+// is an opcode-less SCHI control word, SYNC replaces the Kepler ".S"
+// reconvergence modifier, and register reuse flags appear as
+// operand-attached modifiers.
+//
+// Layout (bit 0 = least significant):
+//   0..7   destination register
+//   8..15  source register A
+//   16..19 guard (low 3 = predicate, high = negate)
+//   20..38 composite region (19 bits)
+//   39..46 source register C
+//   47..51 modifier region
+//   52..63 opcode (12 bits)
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/SpecBuilder.h"
+#include "isa/Tables.h"
+
+using namespace dcb;
+using namespace dcb::isa;
+
+namespace {
+
+constexpr FieldRef Guard{16, 4};
+constexpr FieldRef Dst{0, 8};
+constexpr FieldRef SrcA{8, 8};
+constexpr FieldRef Comp{20, 19};
+constexpr FieldRef CompReg{20, 8};
+constexpr FieldRef SrcC{39, 8};
+constexpr FieldRef Opc{52, 12};
+
+constexpr FieldRef PDst{0, 3};
+constexpr FieldRef PDst2{3, 3};
+constexpr FieldRef SrcPred{39, 3};
+
+constexpr FieldRef MemOff24{20, 24};
+constexpr FieldRef Imm32{20, 32};
+constexpr FieldRef Rel24{20, 24};
+
+// Unary bits live in the upper composite region (free in register forms).
+constexpr int NegB = 28, AbsB = 29, InvB = 28, NegA = 30, AbsA = 31;
+
+class OpcodeAssigner {
+public:
+  OpcodeAssigner() = default;
+  uint64_t next() { return (Counter++ * 0x32d + 0x05a) & 0xfff; }
+
+private:
+  uint64_t Counter = 0;
+};
+
+InstrBuilder makeOp(ArchSpec &S, OpcodeAssigner &Assign, const char *Mnemonic,
+                    const char *Form) {
+  InstrBuilder B(S, Mnemonic, Form);
+  B.fixed(Opc, Assign.next());
+  return B;
+}
+
+} // namespace
+
+void dcb::isa::buildMaxwellFamily(ArchSpec &S) {
+  S.Family = EncodingFamily::Maxwell;
+  S.WordBits = 64;
+  S.RegBits = 8;
+  S.NumRegs = 256;
+  S.GuardField = Guard;
+
+  OpcodeAssigner Opc;
+  using LC = InstrSpec::LatencyClass;
+
+  // --- Data movement ------------------------------------------------------
+  makeOp(S, Opc, "MOV", "rr").reg(Dst).reg(CompReg).finish();
+  makeOp(S, Opc, "MOV", "ri").reg(Dst).simm(Comp).finish();
+  makeOp(S, Opc, "MOV", "rc")
+      .reg(Dst)
+      .cmem(ConstPacking::Bank5Off14, Comp)
+      .finish();
+  makeOp(S, Opc, "MOV32I", "ri32").reg(Dst).uimm(Imm32).finish();
+  makeOp(S, Opc, "MOV32I", "rc")
+      .reg(Dst)
+      .cmem(ConstPacking::Bank5Off16, {20, 21})
+      .finish();
+  // S2R is variable-latency on Maxwell: it sets a write barrier.
+  makeOp(S, Opc, "S2R", "rs").reg(Dst).sreg({20, 8}).lat(LC::Memory, 25)
+      .finish();
+
+  // --- Integer arithmetic -------------------------------------------------
+  {
+    InstrBuilder B = makeOp(S, Opc, "IADD", "rr");
+    B.reg(Dst).reg(SrcA, NegA).reg(CompReg, NegB);
+    B.mod(flagGroup("X", 47));
+    B.opMod(1, flagGroup("reuse", 51, "REUSE")); // After all opcode mods.
+    B.finish();
+  }
+  makeOp(S, Opc, "IADD", "ri")
+      .reg(Dst)
+      .reg(SrcA)
+      .simm(Comp)
+      .mod(flagGroup("X", 47))
+      .finish();
+  makeOp(S, Opc, "IADD", "rc")
+      .reg(Dst)
+      .reg(SrcA)
+      .cmem(ConstPacking::Bank5Off14, Comp)
+      .mod(flagGroup("X", 47))
+      .finish();
+  makeOp(S, Opc, "IADD32I", "ri32").reg(Dst).reg(SrcA).simm(Imm32).finish();
+
+  for (const char *Form : {"rr", "ri", "rc"}) {
+    InstrBuilder B = makeOp(S, Opc, "IMUL", Form);
+    B.reg(Dst).reg(SrcA);
+    if (Form[1] == 'r')
+      B.reg(CompReg);
+    else if (Form[1] == 'i')
+      B.simm(Comp);
+    else
+      B.cmem(ConstPacking::Bank5Off14, Comp);
+    B.mod(flagGroup("HI", 47));
+    B.finish();
+  }
+
+  makeOp(S, Opc, "IMAD", "rrr")
+      .reg(Dst)
+      .reg(SrcA)
+      .reg(CompReg, NegB)
+      .reg(SrcC)
+      .finish();
+  makeOp(S, Opc, "IMAD", "rir").reg(Dst).reg(SrcA).simm(Comp).reg(SrcC)
+      .finish();
+  makeOp(S, Opc, "IMAD", "rcr")
+      .reg(Dst)
+      .reg(SrcA)
+      .cmem(ConstPacking::Bank5Off14, Comp)
+      .reg(SrcC)
+      .finish();
+  makeOp(S, Opc, "IMAD", "rri")
+      .reg(Dst)
+      .reg(SrcA)
+      .reg(SrcC)
+      .simm(Comp)
+      .finish();
+
+  // XMAD is the Maxwell-era 16x16 multiply-add workhorse.
+  {
+    InstrBuilder B = makeOp(S, Opc, "XMAD", "rrr");
+    B.reg(Dst).reg(SrcA).reg(CompReg).reg(SrcC);
+    B.mod(flagGroup("H1A", 47, "H1A"))
+        .mod(flagGroup("H1B", 48, "H1B"))
+        .mod(flagGroup("MRG", 49))
+        .mod(flagGroup("PSL", 50));
+    B.opMod(1, flagGroup("reuse", 51, "REUSE"));
+    B.finish();
+  }
+  makeOp(S, Opc, "XMAD", "rir")
+      .reg(Dst)
+      .reg(SrcA)
+      .uimm({20, 16})
+      .reg(SrcC)
+      .mod(flagGroup("H1A", 47, "H1A"))
+      .mod(flagGroup("MRG", 49))
+      .mod(flagGroup("PSL", 50))
+      .finish();
+
+  makeOp(S, Opc, "IMNMX", "rrp")
+      .reg(Dst)
+      .reg(SrcA)
+      .reg(CompReg)
+      .pred(SrcPred, 42)
+      .finish();
+
+  // --- Single-precision float arithmetic ----------------------------------
+  for (const char *Name : {"FADD", "FMUL"}) {
+    for (const char *Form : {"rr", "rf", "rc"}) {
+      InstrBuilder B = makeOp(S, Opc, Name, Form);
+      if (Form[1] == 'r')
+        B.reg(Dst).reg(SrcA, NegA, AbsA).reg(CompReg, NegB, AbsB);
+      else if (Form[1] == 'f')
+        B.reg(Dst).reg(SrcA, 39, 40).fimm32(Comp);
+      else
+        B.reg(Dst).reg(SrcA, 39, 40).cmem(ConstPacking::Bank5Off14, Comp);
+      B.mod(flagGroup("FTZ", 47)).mod(roundGroup({48, 2}));
+      if (Form[1] == 'r')
+        B.opMod(1, flagGroup("reuse", 51, "REUSE"));
+      B.finish();
+    }
+  }
+
+  makeOp(S, Opc, "FFMA", "rrr")
+      .reg(Dst)
+      .reg(SrcA, NegA)
+      .reg(CompReg, NegB)
+      .reg(SrcC)
+      .mod(flagGroup("FTZ", 47))
+      .finish();
+  makeOp(S, Opc, "FFMA", "rfr")
+      .reg(Dst)
+      .reg(SrcA)
+      .fimm32(Comp)
+      .reg(SrcC)
+      .mod(flagGroup("FTZ", 47))
+      .finish();
+  makeOp(S, Opc, "FFMA", "rcr")
+      .reg(Dst)
+      .reg(SrcA)
+      .cmem(ConstPacking::Bank5Off14, Comp)
+      .reg(SrcC)
+      .mod(flagGroup("FTZ", 47))
+      .finish();
+
+  makeOp(S, Opc, "DADD", "rr")
+      .reg(Dst)
+      .reg(SrcA, NegA, AbsA)
+      .reg(CompReg, NegB, AbsB)
+      .mod(roundGroup({48, 2}))
+      .lat(LC::Fixed, 15)
+      .finish();
+  makeOp(S, Opc, "DADD", "rf")
+      .reg(Dst)
+      .reg(SrcA)
+      .fimm64(Comp)
+      .mod(roundGroup({48, 2}))
+      .lat(LC::Fixed, 15)
+      .finish();
+  makeOp(S, Opc, "DMUL", "rr")
+      .reg(Dst)
+      .reg(SrcA, NegA)
+      .reg(CompReg, NegB)
+      .mod(roundGroup({48, 2}))
+      .lat(LC::Fixed, 15)
+      .finish();
+
+  makeOp(S, Opc, "MUFU", "r")
+      .reg(Dst)
+      .reg(SrcA, NegA, AbsA)
+      .mod(mufuGroup({47, 3}))
+      .lat(LC::Fixed, 13)
+      .finish();
+
+  // --- Conversions ---------------------------------------------------------
+  makeOp(S, Opc, "F2F", "rr")
+      .reg(Dst)
+      .reg(CompReg, NegB, AbsB)
+      .mod(floatFmtGroup({47, 2}, "FMT"))
+      .mod(floatFmtGroup({49, 2}, "FMT"))
+      .mod(roundGroup({32, 2}))
+      .finish();
+  makeOp(S, Opc, "F2I", "rr")
+      .reg(Dst)
+      .reg(CompReg, NegB, AbsB)
+      .mod(intFmtGroup({47, 3}, "IFMT"))
+      .mod(floatFmtGroup({32, 2}, "FMT"))
+      .finish();
+  makeOp(S, Opc, "I2F", "rr")
+      .reg(Dst)
+      .reg(CompReg, NegB)
+      .mod(intFmtGroup({47, 3}, "IFMT"))
+      .mod(floatFmtGroup({32, 2}, "FMT"))
+      .finish();
+
+  // --- Predicate logic -----------------------------------------------------
+  for (const char *Name : {"ISETP", "FSETP"}) {
+    for (const char *Form : {"rr", "ri", "rc"}) {
+      InstrBuilder B = makeOp(S, Opc, Name, Form);
+      B.pred(PDst).pred(PDst2).reg(SrcA);
+      if (Form[1] == 'r')
+        B.reg(CompReg);
+      else if (Form[1] == 'i') {
+        if (Name[0] == 'F')
+          B.fimm32(Comp);
+        else
+          B.simm(Comp);
+      } else {
+        B.cmem(ConstPacking::Bank5Off14, Comp);
+      }
+      B.pred(SrcPred, 42);
+      B.defs(2);
+      B.mod(cmpGroup({47, 3})).mod(logicGroup({43, 2}));
+      B.finish();
+    }
+  }
+
+  makeOp(S, Opc, "PSETP", "ppppp")
+      .pred(PDst)
+      .pred(PDst2)
+      .pred({8, 3}, 11)
+      .pred({20, 3}, 23)
+      .pred(SrcPred, 42)
+      .defs(2)
+      .mod(logicGroup({47, 2}))
+      .mod(logicGroup({49, 2}))
+      .finish();
+
+  makeOp(S, Opc, "SEL", "rrp")
+      .reg(Dst)
+      .reg(SrcA)
+      .reg(CompReg)
+      .pred(SrcPred, 42)
+      .finish();
+  makeOp(S, Opc, "SEL", "rip")
+      .reg(Dst)
+      .reg(SrcA)
+      .simm(Comp)
+      .pred(SrcPred, 42)
+      .finish();
+
+  // --- Bitwise -------------------------------------------------------------
+  for (const char *Form : {"rr", "ri", "rc"}) {
+    InstrBuilder B = makeOp(S, Opc, "LOP", Form);
+    B.reg(Dst).reg(SrcA);
+    if (Form[1] == 'r')
+      B.reg(CompReg, -1, -1, InvB);
+    else if (Form[1] == 'i')
+      B.simm(Comp);
+    else
+      B.cmem(ConstPacking::Bank5Off14, Comp);
+    B.mod(logicGroup({47, 2}));
+    B.finish();
+  }
+  makeOp(S, Opc, "SHL", "rr").reg(Dst).reg(SrcA).reg(CompReg)
+      .mod(flagGroup("W", 47)).finish();
+  makeOp(S, Opc, "SHL", "ri").reg(Dst).reg(SrcA).uimm({20, 5})
+      .mod(flagGroup("W", 47)).finish();
+  makeOp(S, Opc, "SHR", "rr").reg(Dst).reg(SrcA).reg(CompReg)
+      .mod(flagGroup("U32", 47)).finish();
+  makeOp(S, Opc, "SHR", "ri").reg(Dst).reg(SrcA).uimm({20, 5})
+      .mod(flagGroup("U32", 47)).finish();
+
+  makeOp(S, Opc, "FMNMX", "rrp")
+      .reg(Dst)
+      .reg(SrcA, NegA, AbsA)
+      .reg(CompReg, NegB, AbsB)
+      .pred(SrcPred, 42)
+      .mod(flagGroup("FTZ", 47))
+      .finish();
+  makeOp(S, Opc, "FMNMX", "rfp")
+      .reg(Dst)
+      .reg(SrcA, 43, 44)
+      .fimm32(Comp)
+      .pred(SrcPred, 42)
+      .mod(flagGroup("FTZ", 47))
+      .finish();
+  makeOp(S, Opc, "FMNMX", "rcp")
+      .reg(Dst)
+      .reg(SrcA, 43, 44)
+      .cmem(ConstPacking::Bank5Off14, Comp)
+      .pred(SrcPred, 42)
+      .mod(flagGroup("FTZ", 47))
+      .finish();
+
+  // --- Memory (paper Table I) ----------------------------------------------
+  auto makeLoad = [&](const char *Name, bool Extended) {
+    InstrBuilder B = makeOp(S, Opc, Name, "load");
+    B.reg(Dst).mem(SrcA, MemOff24);
+    B.mod(sizeGroup({47, 3}));
+    if (Extended)
+      B.mod(flagGroup("E", 50));
+    B.lat(LC::Memory, 200);
+    B.finish();
+  };
+  auto makeStore = [&](const char *Name, bool Extended) {
+    InstrBuilder B = makeOp(S, Opc, Name, "store");
+    B.mem(SrcA, MemOff24).reg(Dst);
+    B.mod(sizeGroup({47, 3}));
+    if (Extended)
+      B.mod(flagGroup("E", 50));
+    B.lat(LC::Store, 200);
+    B.finish();
+  };
+  makeLoad("LD", false);
+  makeStore("ST", false);
+  makeLoad("LDG", true);
+  makeStore("STG", true);
+  makeLoad("LDL", false);
+  makeStore("STL", false);
+  makeLoad("LDS", false);
+  makeStore("STS", false);
+
+  makeOp(S, Opc, "LDC", "rc")
+      .reg(Dst)
+      .cmem(ConstPacking::Bank4Off16, {20, 20}, SrcA)
+      .mod(sizeGroup({47, 3}))
+      .lat(LC::Memory, 40)
+      .finish();
+
+  makeOp(S, Opc, "ATOM", "atom")
+      .reg(Dst)
+      .mem(SrcA, {20, 19})
+      .reg(SrcC)
+      .mod(ModifierGroup{"ATOMOP",
+                         {47, 3},
+                         {{"ADD", 0},
+                          {"MIN", 1},
+                          {"MAX", 2},
+                          {"EXCH", 3},
+                          {"AND", 4},
+                          {"OR", 5},
+                          {"XOR", 6}},
+                         0,
+                         false})
+      .lat(LC::Memory, 250)
+      .finish();
+
+  // --- Texture -------------------------------------------------------------
+  makeOp(S, Opc, "TEX", "tex")
+      .reg(Dst)
+      .reg(SrcA)
+      .uimm({20, 13})
+      .texShape({33, 3})
+      .texChannel({36, 4})
+      .lat(LC::Memory, 400)
+      .finish();
+  makeOp(S, Opc, "TEXDEPBAR", "i").uimm({20, 6}).lat(LC::Control).finish();
+
+  // --- Control flow --------------------------------------------------------
+  makeOp(S, Opc, "BRA", "rel").rel(Rel24).lat(LC::Control).finish();
+  makeOp(S, Opc, "BRA", "rc")
+      .cmem(ConstPacking::Bank5Off14, Comp)
+      .lat(LC::Control)
+      .finish();
+  makeOp(S, Opc, "CAL", "rel").rel(Rel24).lat(LC::Control).finish();
+  makeOp(S, Opc, "RET", "none").lat(LC::Control).finish();
+  makeOp(S, Opc, "EXIT", "none").lat(LC::Control).finish();
+  makeOp(S, Opc, "NOP", "none").finish();
+  makeOp(S, Opc, "SSY", "rel").rel(Rel24).lat(LC::Control).finish();
+  // SYNC replaces the Kepler ".S" reconvergence modifier (paper §II-B).
+  makeOp(S, Opc, "SYNC", "none").lat(LC::Control).finish();
+  makeOp(S, Opc, "BAR", "bar")
+      .uimm({20, 4})
+      .mod(barModeGroup({47, 1}))
+      .lat(LC::Control)
+      .finish();
+  makeOp(S, Opc, "MEMBAR", "none")
+      .mod(membarGroup({47, 2}))
+      .lat(LC::Control)
+      .finish();
+  makeOp(S, Opc, "DEPBAR", "sb")
+      .barrier({20, 3})
+      .bitset({23, 6})
+      .mod(flagGroup("LE", 47))
+      .lat(LC::Control)
+      .finish();
+
+  // --- Warp shuffle --------------------------------------------------------
+  makeOp(S, Opc, "SHFL", "rr")
+      .pred(PDst)
+      .reg({3, 8}) // Destination register shifted to make room for Pd.
+      .reg({20, 8})
+      .reg({28, 8})
+      .defs(2)
+      .mod(shflGroup({47, 2}))
+      .lat(LC::Fixed, 13)
+      .finish();
+  makeOp(S, Opc, "SHFL", "ri")
+      .pred(PDst)
+      .reg({3, 8})
+      .reg({20, 8})
+      .uimm({28, 5})
+      .defs(2)
+      .mod(shflGroup({47, 2}))
+      .lat(LC::Fixed, 13)
+      .finish();
+
+  // --- Extended inventory: bit-field, population count, predicates -------
+  makeOp(S, Opc, "BFE", "rr").reg(Dst).reg(SrcA).reg(CompReg)
+      .mod(flagGroup("U32", 47)).finish();
+  makeOp(S, Opc, "BFE", "ri").reg(Dst).reg(SrcA).simm(Comp)
+      .mod(flagGroup("U32", 47)).finish();
+  makeOp(S, Opc, "BFI", "rrrr")
+      .reg(Dst)
+      .reg(SrcA)
+      .reg(CompReg)
+      .reg(SrcC)
+      .finish();
+  makeOp(S, Opc, "POPC", "rr").reg(Dst).reg(CompReg).finish();
+  makeOp(S, Opc, "DFMA", "rrrr")
+      .reg(Dst)
+      .reg(SrcA, NegA)
+      .reg(CompReg, NegB)
+      .reg(SrcC)
+      .mod(roundGroup({48, 2}))
+      .lat(LC::Fixed, 15)
+      .finish();
+  makeOp(S, Opc, "RRO", "rr")
+      .reg(Dst)
+      .reg(CompReg, NegB, AbsB)
+      .mod(ModifierGroup{"RROOP", {47, 1}, {{"SINCOS", 0}, {"EX2", 1}},
+                         0, false})
+      .finish();
+  makeOp(S, Opc, "VOTE", "pp")
+      .pred(PDst)
+      .pred(SrcPred, 42)
+      .mod(ModifierGroup{"VOTEOP", {47, 2}, {{"ALL", 0}, {"ANY", 1},
+                         {"EQ", 2}}, 0, false})
+      .finish();
+  // Loop-break divergence: PBK arms a break target, BRK jumps to it.
+  makeOp(S, Opc, "PBK", "rel").rel(Rel24).lat(LC::Control).finish();
+  makeOp(S, Opc, "BRK", "none").lat(LC::Control).finish();
+
+  // Maxwell-era three-input operations.
+  makeOp(S, Opc, "LOP3", "rrrri")
+      .reg(Dst)
+      .reg(SrcA)
+      .reg(CompReg)
+      .reg(SrcC)
+      .uimm({28, 8}) // The 8-bit truth table (LUT).
+      .finish();
+  makeOp(S, Opc, "IADD3", "rrrr")
+      .reg(Dst)
+      .reg(SrcA, NegA)
+      .reg(CompReg, NegB)
+      .reg(SrcC)
+      .finish();
+}

@@ -1,0 +1,314 @@
+//===- isa/SpecBuilder.cpp ------------------------------------------------===//
+
+#include "isa/SpecBuilder.h"
+
+#include <algorithm>
+
+using namespace dcb;
+using namespace dcb::isa;
+
+InstrBuilder::InstrBuilder(ArchSpec &Target, std::string Mnemonic,
+                           std::string FormTag)
+    : Target(Target), Used(Target.WordBits, false) {
+  Spec.Mnemonic = std::move(Mnemonic);
+  Spec.FormTag = std::move(FormTag);
+  // The guard field belongs to every instruction and is not opcode.
+  claim(Target.GuardField);
+}
+
+void InstrBuilder::claim(FieldRef Field) {
+  if (!Field.valid())
+    return;
+  for (unsigned I = 0; I < Field.Width; ++I)
+    claimBit(Field.Lo + I);
+}
+
+void InstrBuilder::claimBit(int Bit) {
+  assert(Bit >= 0 && static_cast<unsigned>(Bit) < Used.size() &&
+         "field outside the instruction word");
+  assert(!Used[Bit] && "overlapping fields in instruction spec");
+  Used[Bit] = true;
+}
+
+InstrBuilder &InstrBuilder::fixed(FieldRef Field, uint64_t Value) {
+  assert(Field.Lo + Field.Width <= 64 && "opcode bits must be in low word");
+  assert((Value >> Field.Width) == 0 && "opcode value wider than field");
+  claim(Field);
+  Spec.OpcodeMask |= BitString::lowMask(Field.Width) << Field.Lo;
+  Spec.OpcodeValue |= Value << Field.Lo;
+  return *this;
+}
+
+InstrBuilder &InstrBuilder::addSlot(SlotEncoding Enc, FieldRef F0,
+                                    FieldRef F1, ConstPacking Packing) {
+  OperandSlot Slot;
+  Slot.Enc = Enc;
+  Slot.Fields[0] = F0;
+  Slot.Fields[1] = F1;
+  Slot.Packing = Packing;
+  claim(F0);
+  claim(F1);
+  Spec.Operands.push_back(Slot);
+  return *this;
+}
+
+InstrBuilder &InstrBuilder::reg(FieldRef Field, int NegBit, int AbsBit,
+                                int InvBit) {
+  addSlot(SlotEncoding::Reg, Field);
+  OperandSlot &Slot = Spec.Operands.back();
+  if (NegBit >= 0) {
+    claimBit(NegBit);
+    Slot.NegBit = static_cast<uint8_t>(NegBit);
+  }
+  if (AbsBit >= 0) {
+    claimBit(AbsBit);
+    Slot.AbsBit = static_cast<uint8_t>(AbsBit);
+  }
+  if (InvBit >= 0) {
+    claimBit(InvBit);
+    Slot.InvBit = static_cast<uint8_t>(InvBit);
+  }
+  return *this;
+}
+
+InstrBuilder &InstrBuilder::pred(FieldRef Field, int NotBit) {
+  assert(Field.Width == 3 && "predicate ids are 3 bits");
+  addSlot(SlotEncoding::Pred, Field);
+  if (NotBit >= 0) {
+    claimBit(NotBit);
+    Spec.Operands.back().NotBit = static_cast<uint8_t>(NotBit);
+  }
+  return *this;
+}
+
+InstrBuilder &InstrBuilder::sreg(FieldRef Field) {
+  assert(Field.Width == 8 && "special registers are 8 bits");
+  return addSlot(SlotEncoding::SpecialReg, Field);
+}
+
+InstrBuilder &InstrBuilder::uimm(FieldRef Field) {
+  return addSlot(SlotEncoding::UImm, Field);
+}
+
+InstrBuilder &InstrBuilder::simm(FieldRef Field) {
+  return addSlot(SlotEncoding::SImm, Field);
+}
+
+InstrBuilder &InstrBuilder::fimm32(FieldRef Field) {
+  return addSlot(SlotEncoding::FImm32, Field);
+}
+
+InstrBuilder &InstrBuilder::fimm64(FieldRef Field) {
+  return addSlot(SlotEncoding::FImm64, Field);
+}
+
+InstrBuilder &InstrBuilder::rel(FieldRef Field) {
+  return addSlot(SlotEncoding::RelAddr, Field);
+}
+
+InstrBuilder &InstrBuilder::mem(FieldRef RegField, FieldRef OffField) {
+  return addSlot(SlotEncoding::Mem, RegField, OffField);
+}
+
+InstrBuilder &InstrBuilder::cmem(ConstPacking Packing, FieldRef PackedField,
+                                 FieldRef RegField) {
+  return addSlot(SlotEncoding::ConstMem, PackedField, RegField, Packing);
+}
+
+InstrBuilder &InstrBuilder::texShape(FieldRef Field) {
+  assert(Field.Width == 3 && "texture shapes are 3 bits");
+  return addSlot(SlotEncoding::TexShape, Field);
+}
+
+InstrBuilder &InstrBuilder::texChannel(FieldRef Field) {
+  assert(Field.Width == 4 && "texture channels are 4 bits");
+  return addSlot(SlotEncoding::TexChannel, Field);
+}
+
+InstrBuilder &InstrBuilder::barrier(FieldRef Field) {
+  return addSlot(SlotEncoding::Barrier, Field);
+}
+
+InstrBuilder &InstrBuilder::bitset(FieldRef Field) {
+  return addSlot(SlotEncoding::BitSet, Field);
+}
+
+InstrBuilder &InstrBuilder::mod(const ModifierGroup &Group) {
+  assert(Spec.NumOpcodeMods == Spec.ModGroups.size() &&
+         "opcode modifier groups must precede operand-attached groups");
+  claim(Group.Field);
+  Spec.ModGroups.push_back(Group);
+  ++Spec.NumOpcodeMods;
+  return *this;
+}
+
+InstrBuilder &InstrBuilder::opMod(unsigned OperandIdx,
+                                  const ModifierGroup &Group) {
+  assert(OperandIdx < Spec.Operands.size() && "operand index out of range");
+  claim(Group.Field);
+  Spec.ModGroups.push_back(Group);
+  Spec.Operands[OperandIdx].OperandMods.push_back(
+      static_cast<unsigned>(Spec.ModGroups.size() - 1));
+  return *this;
+}
+
+InstrBuilder &InstrBuilder::lat(InstrSpec::LatencyClass Class,
+                                unsigned Fixed) {
+  Spec.Latency = Class;
+  Spec.FixedLatency = Fixed;
+  return *this;
+}
+
+InstrBuilder &InstrBuilder::defs(unsigned NumDefs) {
+  assert(NumDefs <= Spec.Operands.size() && "more defs than operands");
+  Spec.NumDefs = static_cast<uint8_t>(NumDefs);
+  return *this;
+}
+
+void InstrBuilder::finish() {
+  assert(!Finished && "finish() called twice");
+  Finished = true;
+  if (Spec.NumDefs == 0xff) {
+    bool NoResult = Spec.Latency == InstrSpec::LatencyClass::Store ||
+                    Spec.Latency == InstrSpec::LatencyClass::Control ||
+                    Spec.Operands.empty();
+    Spec.NumDefs = NoResult ? 0 : 1;
+  }
+  // Unclaimed bits in the low word become opcode bits with value 0.
+  unsigned Limit = std::min<unsigned>(64, Target.WordBits);
+  for (unsigned Bit = 0; Bit < Limit; ++Bit) {
+    if (Used[Bit])
+      continue;
+    Spec.OpcodeMask |= uint64_t(1) << Bit;
+  }
+  Target.Instrs.push_back(std::move(Spec));
+}
+
+// --- Shared modifier-group constructors -----------------------------------
+
+ModifierGroup isa::logicGroup(FieldRef Field, const std::string &Type) {
+  assert(Field.Width == 2 && "logic modifiers use a two-bit field");
+  ModifierGroup G;
+  G.TypeName = Type;
+  G.Field = Field;
+  G.Choices = {{"AND", 0}, {"OR", 1}, {"XOR", 2}};
+  G.HasDefault = false; // Logic modifiers are mandatory where they appear.
+  return G;
+}
+
+ModifierGroup isa::cmpGroup(FieldRef Field) {
+  assert(Field.Width == 3 && "comparison modifiers use a three-bit field");
+  ModifierGroup G;
+  G.TypeName = "CMP";
+  G.Field = Field;
+  G.Choices = {{"LT", 1}, {"EQ", 2}, {"LE", 3},
+               {"GT", 4}, {"NE", 5}, {"GE", 6}};
+  G.HasDefault = false;
+  return G;
+}
+
+ModifierGroup isa::roundGroup(FieldRef Field) {
+  assert(Field.Width == 2 && "rounding modifiers use a two-bit field");
+  ModifierGroup G;
+  G.TypeName = "RND";
+  G.Field = Field;
+  G.Choices = {{"", 0}, {"RM", 1}, {"RP", 2}, {"RZ", 3}};
+  G.DefaultValue = 0; // Round-to-nearest prints nothing.
+  return G;
+}
+
+ModifierGroup isa::sizeGroup(FieldRef Field) {
+  assert(Field.Width == 3 && "size modifiers use a three-bit field");
+  ModifierGroup G;
+  G.TypeName = "SIZE";
+  G.Field = Field;
+  // The default (32-bit) access prints nothing and must encode as zero so
+  // that an assembler which learned the group from explicit instances still
+  // encodes unmodified instructions correctly.
+  G.Choices = {{"", 0},    {"U8", 1}, {"S8", 2}, {"U16", 3},
+               {"S16", 4}, {"64", 5}, {"128", 6}};
+  G.DefaultValue = 0;
+  return G;
+}
+
+ModifierGroup isa::cacheGroup(FieldRef Field) {
+  assert(Field.Width == 2 && "cache modifiers use a two-bit field");
+  ModifierGroup G;
+  G.TypeName = "CACHE";
+  G.Field = Field;
+  G.Choices = {{"", 0}, {"CA", 1}, {"CG", 2}, {"CS", 3}};
+  G.DefaultValue = 0;
+  return G;
+}
+
+ModifierGroup isa::shflGroup(FieldRef Field) {
+  assert(Field.Width == 2 && "SHFL modes use a two-bit field");
+  ModifierGroup G;
+  G.TypeName = "SHFLMODE";
+  G.Field = Field;
+  G.Choices = {{"IDX", 0}, {"UP", 1}, {"DOWN", 2}, {"BFLY", 3}};
+  G.HasDefault = false;
+  return G;
+}
+
+ModifierGroup isa::mufuGroup(FieldRef Field) {
+  assert(Field.Width == 3 && "MUFU functions use a three-bit field");
+  ModifierGroup G;
+  G.TypeName = "MUFUOP";
+  G.Field = Field;
+  G.Choices = {{"COS", 0}, {"SIN", 1}, {"EX2", 2},
+               {"LG2", 3}, {"RCP", 4}, {"RSQ", 5}};
+  G.HasDefault = false;
+  return G;
+}
+
+ModifierGroup isa::floatFmtGroup(FieldRef Field, const std::string &Type) {
+  assert(Field.Width == 2 && "float formats use a two-bit field");
+  ModifierGroup G;
+  G.TypeName = Type;
+  G.Field = Field;
+  G.Choices = {{"F16", 1}, {"F32", 2}, {"F64", 3}};
+  G.HasDefault = false;
+  return G;
+}
+
+ModifierGroup isa::intFmtGroup(FieldRef Field, const std::string &Type) {
+  assert(Field.Width == 3 && "integer formats use a three-bit field");
+  ModifierGroup G;
+  G.TypeName = Type;
+  G.Field = Field;
+  G.Choices = {{"U8", 0},  {"S8", 1},  {"U16", 2}, {"S16", 3},
+               {"U32", 4}, {"S32", 5}, {"U64", 6}, {"S64", 7}};
+  G.HasDefault = false;
+  return G;
+}
+
+ModifierGroup isa::barModeGroup(FieldRef Field) {
+  assert(Field.Width == 1 && "BAR modes use a one-bit field");
+  ModifierGroup G;
+  G.TypeName = "BARMODE";
+  G.Field = Field;
+  G.Choices = {{"SYNC", 0}, {"ARV", 1}};
+  G.HasDefault = false;
+  return G;
+}
+
+ModifierGroup isa::membarGroup(FieldRef Field) {
+  assert(Field.Width == 2 && "MEMBAR levels use a two-bit field");
+  ModifierGroup G;
+  G.TypeName = "MEMBARLVL";
+  G.Field = Field;
+  G.Choices = {{"CTA", 0}, {"GL", 1}, {"SYS", 2}};
+  G.HasDefault = false;
+  return G;
+}
+
+ModifierGroup isa::flagGroup(const std::string &Name, unsigned Bit,
+                             const std::string &Type) {
+  ModifierGroup G;
+  G.TypeName = Type.empty() ? Name : Type;
+  G.Field = FieldRef{static_cast<uint8_t>(Bit), 1};
+  G.Choices = {{"", 0}, {Name, 1}};
+  G.DefaultValue = 0;
+  return G;
+}

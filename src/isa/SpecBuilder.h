@@ -1,0 +1,109 @@
+//===- isa/SpecBuilder.h - Builder for hidden ISA tables --------*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small builder DSL used by the per-family table files to declare
+/// instruction forms. The builder tracks which bits of the word each field
+/// occupies; on finish() every bit not claimed by a field becomes part of
+/// the opcode pattern with value 0, which is how real fixed-width ISAs end
+/// up with "scattered" opcode bits — exactly the property the paper's
+/// analyzer has to cope with.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_ISA_SPECBUILDER_H
+#define DCB_ISA_SPECBUILDER_H
+
+#include "isa/Spec.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace dcb {
+namespace isa {
+
+/// Builds a single InstrSpec, checking that no two fields overlap.
+class InstrBuilder {
+public:
+  InstrBuilder(ArchSpec &Target, std::string Mnemonic, std::string FormTag);
+
+  /// Sets fixed (opcode) bits.
+  InstrBuilder &fixed(FieldRef Field, uint64_t Value);
+
+  /// Adds a register operand slot; optional unary-operator bit positions.
+  InstrBuilder &reg(FieldRef Field, int NegBit = -1, int AbsBit = -1,
+                    int InvBit = -1);
+
+  /// Adds a predicate operand slot with an optional logical-not bit.
+  InstrBuilder &pred(FieldRef Field, int NotBit = -1);
+
+  InstrBuilder &sreg(FieldRef Field);
+  InstrBuilder &uimm(FieldRef Field);
+  InstrBuilder &simm(FieldRef Field);
+  InstrBuilder &fimm32(FieldRef Field);
+  InstrBuilder &fimm64(FieldRef Field);
+  InstrBuilder &rel(FieldRef Field);
+  InstrBuilder &mem(FieldRef RegField, FieldRef OffField);
+  InstrBuilder &cmem(ConstPacking Packing, FieldRef PackedField,
+                     FieldRef RegField = FieldRef());
+  InstrBuilder &texShape(FieldRef Field);
+  InstrBuilder &texChannel(FieldRef Field);
+  InstrBuilder &barrier(FieldRef Field);
+  InstrBuilder &bitset(FieldRef Field);
+
+  /// Adds an opcode-attached modifier group. Must be called before any
+  /// operand-attached group.
+  InstrBuilder &mod(const ModifierGroup &Group);
+
+  /// Adds an operand-attached modifier group bound to operand \p OperandIdx.
+  InstrBuilder &opMod(unsigned OperandIdx, const ModifierGroup &Group);
+
+  /// Sets the scheduling class.
+  InstrBuilder &lat(InstrSpec::LatencyClass Class, unsigned Fixed = 6);
+
+  /// Sets the number of leading result operands (defaults to 1, or 0 for
+  /// stores and control flow).
+  InstrBuilder &defs(unsigned NumDefs);
+
+  /// Finalizes: folds all unclaimed bits into the opcode pattern (value 0)
+  /// and appends the spec to the target architecture.
+  void finish();
+
+private:
+  ArchSpec &Target;
+  InstrSpec Spec;
+  std::vector<bool> Used;
+  bool Finished = false;
+
+  void claim(FieldRef Field);
+  void claimBit(int Bit);
+  InstrBuilder &addSlot(SlotEncoding Enc, FieldRef F0,
+                        FieldRef F1 = FieldRef(),
+                        ConstPacking Packing = ConstPacking::None);
+};
+
+/// Convenience constructors for the modifier groups shared by all families;
+/// only the field position (and occasionally the value numbering) differs
+/// per family.
+ModifierGroup logicGroup(FieldRef Field, const std::string &Type = "LOGIC");
+ModifierGroup cmpGroup(FieldRef Field);
+ModifierGroup roundGroup(FieldRef Field);
+ModifierGroup sizeGroup(FieldRef Field);
+ModifierGroup cacheGroup(FieldRef Field);
+ModifierGroup shflGroup(FieldRef Field);
+ModifierGroup mufuGroup(FieldRef Field);
+ModifierGroup floatFmtGroup(FieldRef Field, const std::string &Type);
+ModifierGroup intFmtGroup(FieldRef Field, const std::string &Type);
+ModifierGroup barModeGroup(FieldRef Field);
+ModifierGroup membarGroup(FieldRef Field);
+ModifierGroup flagGroup(const std::string &Name, unsigned Bit,
+                        const std::string &Type = "");
+
+} // namespace isa
+} // namespace dcb
+
+#endif // DCB_ISA_SPECBUILDER_H

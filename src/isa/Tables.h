@@ -1,0 +1,30 @@
+//===- isa/Tables.h - Family table constructors -----------------*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal: per-family table population functions, one per encoding
+/// generation. Each fills an ArchSpec whose Arch field has been set, so
+/// arch-conditional instructions (e.g. SHFL from SM30 on) can be gated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_ISA_TABLES_H
+#define DCB_ISA_TABLES_H
+
+#include "isa/Spec.h"
+
+namespace dcb {
+namespace isa {
+
+void buildFermiFamily(ArchSpec &S);   // SM20 / SM21 / SM30.
+void buildKepler2Family(ArchSpec &S); // SM35.
+void buildMaxwellFamily(ArchSpec &S); // SM50 / SM52 / SM60 / SM61.
+void buildVoltaFamily(ArchSpec &S);   // SM70 (partial).
+
+} // namespace isa
+} // namespace dcb
+
+#endif // DCB_ISA_TABLES_H

@@ -1,0 +1,92 @@
+//===- isa/VoltaTables.cpp - SM70 hidden encodings (partial) --------------===//
+//
+// The Volta generation (Compute Capability 7.0) uses 128-bit instructions
+// with per-instruction embedded scheduling (bits 105..125). Mirroring the
+// paper ("we have not completely decoded this ISA yet, but it is in
+// progress"), only a representative subset of instructions is modeled.
+//
+// Layout (bit 0 = least significant):
+//   0..11   opcode (12 bits)
+//   12..15  guard
+//   16..23  destination register
+//   24..31  source register A
+//   32..63  source B region: register (32..39) / imm32 / 24-bit offsets
+//   64..71  source register C
+//   105..125 embedded control information (Maxwell-style 21-bit group)
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/SpecBuilder.h"
+#include "isa/Tables.h"
+
+using namespace dcb;
+using namespace dcb::isa;
+
+namespace {
+
+constexpr FieldRef Opc{0, 12};
+constexpr FieldRef Guard{12, 4};
+constexpr FieldRef Dst{16, 8};
+constexpr FieldRef SrcA{24, 8};
+constexpr FieldRef SrcB{32, 8};
+constexpr FieldRef Imm32{32, 32};
+constexpr FieldRef Off24{32, 24};
+constexpr FieldRef Rel24{32, 24};
+constexpr FieldRef SrcC{64, 8};
+
+class OpcodeAssigner {
+public:
+  OpcodeAssigner() = default;
+  uint64_t next() { return (Counter++ * 0x111 + 0x007) & 0xfff; }
+
+private:
+  uint64_t Counter = 0;
+};
+
+InstrBuilder makeOp(ArchSpec &S, OpcodeAssigner &Assign, const char *Mnemonic,
+                    const char *Form) {
+  InstrBuilder B(S, Mnemonic, Form);
+  B.fixed(Opc, Assign.next());
+  return B;
+}
+
+} // namespace
+
+void dcb::isa::buildVoltaFamily(ArchSpec &S) {
+  S.Family = EncodingFamily::Volta;
+  S.WordBits = 128;
+  S.RegBits = 8;
+  S.NumRegs = 256;
+  S.GuardField = Guard;
+
+  OpcodeAssigner Opc;
+  using LC = InstrSpec::LatencyClass;
+
+  makeOp(S, Opc, "MOV", "rr").reg(Dst).reg(SrcB).finish();
+  makeOp(S, Opc, "MOV", "ri32").reg(Dst).uimm(Imm32).finish();
+  makeOp(S, Opc, "S2R", "rs").reg(Dst).sreg({32, 8}).lat(LC::Memory, 25)
+      .finish();
+  makeOp(S, Opc, "IADD", "rr").reg(Dst).reg(SrcA).reg(SrcB).finish();
+  makeOp(S, Opc, "IADD", "ri32").reg(Dst).reg(SrcA).simm(Imm32).finish();
+  makeOp(S, Opc, "FFMA", "rrr")
+      .reg(Dst)
+      .reg(SrcA)
+      .reg(SrcB)
+      .reg(SrcC)
+      .finish();
+  makeOp(S, Opc, "LDG", "load")
+      .reg(Dst)
+      .mem(SrcA, Off24)
+      .mod(flagGroup("E", 56))
+      .lat(LC::Memory, 200)
+      .finish();
+  makeOp(S, Opc, "STG", "store")
+      .mem(SrcA, Off24)
+      .reg(Dst)
+      .mod(flagGroup("E", 56))
+      .lat(LC::Store, 200)
+      .finish();
+  makeOp(S, Opc, "BRA", "rel").rel(Rel24).lat(LC::Control).finish();
+  makeOp(S, Opc, "EXIT", "none").lat(LC::Control).finish();
+  makeOp(S, Opc, "NOP", "none").finish();
+}

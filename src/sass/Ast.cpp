@@ -1,0 +1,150 @@
+//===- sass/Ast.cpp -------------------------------------------------------===//
+
+#include "sass/Ast.h"
+
+#include <cassert>
+
+using namespace dcb;
+using namespace dcb::sass;
+
+const char *sass::texShapeName(TexShapeKind Shape) {
+  switch (Shape) {
+  case TexShapeKind::Dim1D:
+    return "1D";
+  case TexShapeKind::Dim2D:
+    return "2D";
+  case TexShapeKind::Dim3D:
+    return "3D";
+  case TexShapeKind::Cube:
+    return "CUBE";
+  case TexShapeKind::Array1D:
+    return "ARRAY_1D";
+  case TexShapeKind::Array2D:
+    return "ARRAY_2D";
+  }
+  assert(false && "unknown texture shape");
+  return "?";
+}
+
+bool sass::parseTexShapeName(const std::string &Name, TexShapeKind &Shape) {
+  static const struct {
+    const char *Name;
+    TexShapeKind Kind;
+  } Table[] = {
+      {"1D", TexShapeKind::Dim1D},         {"2D", TexShapeKind::Dim2D},
+      {"3D", TexShapeKind::Dim3D},         {"CUBE", TexShapeKind::Cube},
+      {"ARRAY_1D", TexShapeKind::Array1D}, {"ARRAY_2D", TexShapeKind::Array2D},
+  };
+  for (const auto &Entry : Table) {
+    if (Name == Entry.Name) {
+      Shape = Entry.Kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+Operand Operand::makeRegister(unsigned Id) {
+  Operand Op;
+  Op.Kind = OperandKind::Register;
+  Op.Value[0] = Id;
+  return Op;
+}
+
+Operand Operand::makePredicate(unsigned Id) {
+  Operand Op;
+  Op.Kind = OperandKind::Predicate;
+  Op.Value[0] = Id;
+  return Op;
+}
+
+Operand Operand::makeSpecialReg(std::string Name) {
+  Operand Op;
+  Op.Kind = OperandKind::SpecialReg;
+  Op.Text = std::move(Name);
+  return Op;
+}
+
+Operand Operand::makeIntImm(int64_t V) {
+  Operand Op;
+  Op.Kind = OperandKind::IntImm;
+  Op.Value[0] = V;
+  return Op;
+}
+
+Operand Operand::makeFloatImm(double V) {
+  Operand Op;
+  Op.Kind = OperandKind::FloatImm;
+  Op.FValue = V;
+  return Op;
+}
+
+Operand Operand::makeMemory(unsigned BaseReg, int64_t Offset) {
+  Operand Op;
+  Op.Kind = OperandKind::Memory;
+  Op.Value[0] = BaseReg;
+  Op.Value[1] = Offset;
+  return Op;
+}
+
+Operand Operand::makeConstMem(unsigned Bank, int64_t Offset) {
+  Operand Op;
+  Op.Kind = OperandKind::ConstMem;
+  Op.Value[0] = Bank;
+  Op.Value[1] = Offset;
+  return Op;
+}
+
+Operand Operand::makeConstMemReg(unsigned Bank, unsigned Reg, int64_t Offset) {
+  Operand Op = makeConstMem(Bank, Offset);
+  Op.HasRegister = true;
+  Op.Value[2] = Reg;
+  return Op;
+}
+
+Operand Operand::makeTexShape(TexShapeKind Shape) {
+  Operand Op;
+  Op.Kind = OperandKind::TexShape;
+  Op.Value[0] = static_cast<int64_t>(Shape);
+  return Op;
+}
+
+Operand Operand::makeTexChannel(unsigned Mask) {
+  assert(Mask <= 0xf && "channel mask wider than RGBA");
+  Operand Op;
+  Op.Kind = OperandKind::TexChannel;
+  Op.Value[0] = Mask;
+  return Op;
+}
+
+Operand Operand::makeBarrier(unsigned Index) {
+  Operand Op;
+  Op.Kind = OperandKind::Barrier;
+  Op.Value[0] = Index;
+  return Op;
+}
+
+Operand Operand::makeBitSet(uint64_t Mask) {
+  Operand Op;
+  Op.Kind = OperandKind::BitSet;
+  Op.Value[0] = static_cast<int64_t>(Mask);
+  return Op;
+}
+
+bool Operand::operator==(const Operand &O) const {
+  if (Kind != O.Kind || Negated != O.Negated ||
+      Complemented != O.Complemented || Absolute != O.Absolute ||
+      LogicalNot != O.LogicalNot || HasRegister != O.HasRegister ||
+      Text != O.Text || Mods != O.Mods)
+    return false;
+  if (Kind == OperandKind::FloatImm)
+    return FValue == O.FValue;
+  return Value[0] == O.Value[0] && Value[1] == O.Value[1] &&
+         Value[2] == O.Value[2];
+}
+
+bool Instruction::operator==(const Instruction &I) const {
+  return GuardPredicate == I.GuardPredicate && GuardNegated == I.GuardNegated &&
+         Opcode == I.Opcode && Modifiers == I.Modifiers &&
+         Operands == I.Operands;
+}

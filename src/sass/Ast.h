@@ -1,0 +1,146 @@
+//===- sass/Ast.h - SASS assembly AST ---------------------------*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parsed representation of one SASS assembly instruction. This mirrors
+/// the paper's ASSEM/ASMOPERAND structures (Fig. 6): an opcode identifier, a
+/// list of modifier strings, and a list of operands, where each operand has
+/// up to three value components, a set of unary operators and its own
+/// modifier strings.
+///
+/// The same AST is produced by the vendor-simulator's disassembler printer
+/// and by the analyzer-side parser, which is exactly the property the paper
+/// relies on: a one-to-one mapping between each assembly instruction and
+/// each binary instruction in the cuobjdump listing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_SASS_AST_H
+#define DCB_SASS_AST_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcb {
+namespace sass {
+
+/// The syntactic category of one operand.
+enum class OperandKind {
+  Register,    ///< R0..R254 or RZ.
+  Predicate,   ///< P0..P6 or PT.
+  SpecialReg,  ///< SR_TID.X etc. (S2R only).
+  IntImm,      ///< Integer literal, usually hexadecimal.
+  FloatImm,    ///< Floating-point literal written in decimal.
+  Memory,      ///< [Rx], [Rx+0xa] — global/local/shared load-store form.
+  ConstMem,    ///< c[0xbank][0xoff] or c[0xbank][Rx+0xoff].
+  TexShape,    ///< 1D, 2D, 3D, CUBE, ARRAY_1D, ARRAY_2D.
+  TexChannel,  ///< Combination of R, G, B, A.
+  Barrier,     ///< SB0..SB7 scoreboard resource.
+  BitSet,      ///< {0,1,3} barrier bit indices.
+};
+
+/// Texture shape values (3-bit encoding, per the paper).
+enum class TexShapeKind : uint8_t {
+  Dim1D = 0,
+  Dim2D = 1,
+  Dim3D = 2,
+  Cube = 3,
+  Array1D = 4,
+  Array2D = 5,
+};
+
+/// Returns the assembly spelling of \p Shape ("1D", "CUBE", ...).
+const char *texShapeName(TexShapeKind Shape);
+
+/// Parses a texture shape spelling; returns true on success.
+bool parseTexShapeName(const std::string &Name, TexShapeKind &Shape);
+
+/// One parsed operand.
+///
+/// The discrete value components live in \c Value[0..2]; how many are
+/// meaningful depends on the kind (paper: memory operands may be represented
+/// by up to two values, constant memory by up to three).
+struct Operand {
+  OperandKind Kind = OperandKind::IntImm;
+
+  /// Unary operators attached to the operand, each typically one bit in the
+  /// encoding: arithmetic negation (-), bitwise complement (~), absolute
+  /// value (|x|) and logical negation (!).
+  bool Negated = false;
+  bool Complemented = false;
+  bool Absolute = false;
+  bool LogicalNot = false;
+
+  /// Value components.
+  ///  Register:   Value[0] = register id (RZ = max id).
+  ///  Predicate:  Value[0] = predicate id (PT = 7).
+  ///  SpecialReg: spelled name kept in Text; encoding resolved later.
+  ///  IntImm:     Value[0] = two's-complement literal (sign in bit 63).
+  ///  FloatImm:   FValue holds the numeric value.
+  ///  Memory:     Value[0] = base register id, Value[1] = byte offset.
+  ///  ConstMem:   Value[0] = bank, Value[1] = offset,
+  ///              Value[2] = register id when HasRegister.
+  ///  TexShape:   Value[0] = TexShapeKind.
+  ///  TexChannel: Value[0] = 4-bit mask (R=1, G=2, B=4, A=8).
+  ///  Barrier:    Value[0] = scoreboard index.
+  ///  BitSet:     Value[0] = bit mask.
+  int64_t Value[3] = {0, 0, 0};
+  double FValue = 0.0;
+
+  /// True for ConstMem operands of the form c[bank][Rx+off].
+  bool HasRegister = false;
+
+  /// Spelled name for SpecialReg operands (e.g. "SR_TID.X").
+  std::string Text;
+
+  /// Operand-attached modifier strings (e.g. "reuse", "CC"), without dots.
+  std::vector<std::string> Mods;
+
+  // --- Convenience constructors -----------------------------------------
+
+  static Operand makeRegister(unsigned Id);
+  static Operand makePredicate(unsigned Id);
+  static Operand makeSpecialReg(std::string Name);
+  static Operand makeIntImm(int64_t V);
+  static Operand makeFloatImm(double V);
+  static Operand makeMemory(unsigned BaseReg, int64_t Offset);
+  static Operand makeConstMem(unsigned Bank, int64_t Offset);
+  static Operand makeConstMemReg(unsigned Bank, unsigned Reg, int64_t Offset);
+  static Operand makeTexShape(TexShapeKind Shape);
+  static Operand makeTexChannel(unsigned Mask);
+  static Operand makeBarrier(unsigned Index);
+  static Operand makeBitSet(uint64_t Mask);
+
+  bool operator==(const Operand &O) const;
+  bool operator!=(const Operand &O) const { return !(*this == O); }
+};
+
+/// One parsed SASS instruction (the paper's ASSEM struct).
+struct Instruction {
+  /// Conditional guard: @P3 / @!P3. Defaults to the always-true PT.
+  unsigned GuardPredicate = 7;
+  bool GuardNegated = false;
+
+  /// Opcode mnemonic, e.g. "IADD".
+  std::string Opcode;
+
+  /// Opcode-attached modifiers in source order, without dots, e.g. for
+  /// "PSETP.AND.OR" this is {"AND", "OR"}. Order matters (paper §III-A).
+  std::vector<std::string> Modifiers;
+
+  std::vector<Operand> Operands;
+
+  bool hasGuard() const { return GuardPredicate != 7 || GuardNegated; }
+
+  bool operator==(const Instruction &I) const;
+  bool operator!=(const Instruction &I) const { return !(*this == I); }
+};
+
+} // namespace sass
+} // namespace dcb
+
+#endif // DCB_SASS_AST_H

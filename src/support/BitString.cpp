@@ -1,0 +1,111 @@
+//===- support/BitString.cpp ----------------------------------------------===//
+
+#include "support/BitString.h"
+
+#include <algorithm>
+
+using namespace dcb;
+
+uint64_t BitString::field(unsigned Lo, unsigned Width) const {
+  assert(Width <= 64 && "field wider than 64 bits");
+  assert(Lo + Width <= NumBits && "field out of range");
+  if (Width == 0)
+    return 0;
+  unsigned WordIdx = Lo / 64;
+  unsigned Shift = Lo % 64;
+  uint64_t Value = Words[WordIdx] >> Shift;
+  if (Shift + Width > 64)
+    Value |= Words[WordIdx + 1] << (64 - Shift);
+  return Value & lowMask(Width);
+}
+
+void BitString::setField(unsigned Lo, unsigned Width, uint64_t Value) {
+  assert(Width <= 64 && "field wider than 64 bits");
+  assert(Lo + Width <= NumBits && "field out of range");
+  if (Width == 0)
+    return;
+  Value &= lowMask(Width);
+  unsigned WordIdx = Lo / 64;
+  unsigned Shift = Lo % 64;
+  uint64_t Mask = lowMask(Width) << Shift;
+  Words[WordIdx] = (Words[WordIdx] & ~Mask) | (Value << Shift);
+  if (Shift + Width > 64) {
+    unsigned HighBits = Shift + Width - 64;
+    uint64_t HighMask = lowMask(HighBits);
+    Words[WordIdx + 1] =
+        (Words[WordIdx + 1] & ~HighMask) | (Value >> (64 - Shift));
+  }
+}
+
+int64_t BitString::signedField(unsigned Lo, unsigned Width) const {
+  assert(Width >= 1 && Width <= 64 && "bad signed field width");
+  uint64_t Raw = field(Lo, Width);
+  if (Width < 64 && (Raw & (uint64_t(1) << (Width - 1))))
+    Raw |= ~lowMask(Width);
+  return static_cast<int64_t>(Raw);
+}
+
+std::string BitString::toHex() const {
+  static const char Digits[] = "0123456789abcdef";
+  unsigned NumNibbles = (NumBits + 3) / 4;
+  std::string Result(NumNibbles, '0');
+  for (unsigned I = 0; I < NumNibbles; ++I) {
+    unsigned Lo = I * 4;
+    unsigned Width = std::min(4u, NumBits - Lo);
+    uint64_t Nibble = field(Lo, Width);
+    // Nibble I is the I-th from the least significant end; place it at the
+    // string tail since we print most significant digit first.
+    Result[NumNibbles - 1 - I] = Digits[Nibble];
+  }
+  return Result;
+}
+
+BitString BitString::fromHex(const std::string &Hex, unsigned Bits) {
+  size_t Start = 0;
+  if (Hex.size() >= 2 && Hex[0] == '0' && (Hex[1] == 'x' || Hex[1] == 'X'))
+    Start = 2;
+  if (Start == Hex.size())
+    return BitString();
+
+  BitString Result(Bits);
+  unsigned NibbleIdx = 0;
+  for (size_t I = Hex.size(); I > Start; --I, ++NibbleIdx) {
+    char C = Hex[I - 1];
+    uint64_t Nibble;
+    if (C >= '0' && C <= '9')
+      Nibble = C - '0';
+    else if (C >= 'a' && C <= 'f')
+      Nibble = C - 'a' + 10;
+    else if (C >= 'A' && C <= 'F')
+      Nibble = C - 'A' + 10;
+    else
+      return BitString();
+    unsigned Lo = NibbleIdx * 4;
+    if (Lo >= Bits) {
+      if (Nibble != 0)
+        return BitString(); // Value does not fit.
+      continue;
+    }
+    unsigned Width = std::min(4u, Bits - Lo);
+    if (Width < 4 && (Nibble >> Width) != 0)
+      return BitString();
+    Result.setField(Lo, Width, Nibble);
+  }
+  return Result;
+}
+
+unsigned BitString::popcount() const {
+  unsigned Count = 0;
+  for (uint64_t W : Words)
+    Count += __builtin_popcountll(W);
+  return Count;
+}
+
+bool BitString::operator<(const BitString &Other) const {
+  if (NumBits != Other.NumBits)
+    return NumBits < Other.NumBits;
+  for (size_t I = Words.size(); I > 0; --I)
+    if (Words[I - 1] != Other.Words[I - 1])
+      return Words[I - 1] < Other.Words[I - 1];
+  return false;
+}

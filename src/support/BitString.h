@@ -1,0 +1,112 @@
+//===- support/BitString.h - Fixed-width bit vector -------------*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-width bit string used to represent binary machine instructions.
+///
+/// GPU instructions in this project are 64 bits (Fermi through Pascal) or
+/// 128 bits (Volta). Bit 0 is the least significant bit, matching the
+/// numbering used throughout the paper ("we refer to the least significant
+/// bit as bit 0, and the most significant bit as bit 63").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_SUPPORT_BITSTRING_H
+#define DCB_SUPPORT_BITSTRING_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcb {
+
+/// A fixed-width string of bits with field extraction and insertion.
+///
+/// Values wider than a field are truncated on insertion; extraction of up to
+/// 64 bits at a time is supported. The width is fixed at construction.
+class BitString {
+public:
+  BitString() : NumBits(0) {}
+
+  /// Creates an all-zero bit string of \p Bits bits.
+  explicit BitString(unsigned Bits)
+      : NumBits(Bits), Words((Bits + 63) / 64, 0) {}
+
+  /// Creates a bit string of \p Bits bits whose low 64 bits are \p Value.
+  BitString(unsigned Bits, uint64_t Value) : BitString(Bits) {
+    if (!Words.empty())
+      Words[0] = NumBits >= 64 ? Value : (Value & lowMask(NumBits));
+  }
+
+  unsigned size() const { return NumBits; }
+  bool empty() const { return NumBits == 0; }
+
+  /// Returns bit \p Index (0 = least significant).
+  bool get(unsigned Index) const {
+    assert(Index < NumBits && "bit index out of range");
+    return (Words[Index / 64] >> (Index % 64)) & 1;
+  }
+
+  /// Sets bit \p Index to \p Value.
+  void set(unsigned Index, bool Value) {
+    assert(Index < NumBits && "bit index out of range");
+    uint64_t Mask = uint64_t(1) << (Index % 64);
+    if (Value)
+      Words[Index / 64] |= Mask;
+    else
+      Words[Index / 64] &= ~Mask;
+  }
+
+  /// Flips bit \p Index.
+  void flip(unsigned Index) { set(Index, !get(Index)); }
+
+  /// Extracts \p Width bits starting at bit \p Lo as an unsigned value.
+  /// \p Width must be between 0 and 64; the field must lie in range.
+  uint64_t field(unsigned Lo, unsigned Width) const;
+
+  /// Inserts the low \p Width bits of \p Value at bit \p Lo.
+  void setField(unsigned Lo, unsigned Width, uint64_t Value);
+
+  /// Extracts a field as a sign-extended two's complement value.
+  int64_t signedField(unsigned Lo, unsigned Width) const;
+
+  /// Returns the big-endian hexadecimal rendering used by the disassembler
+  /// listing, e.g. a 64-bit word prints as 16 hex digits, most significant
+  /// first, without a "0x" prefix.
+  std::string toHex() const;
+
+  /// Parses a hex string (optionally "0x"-prefixed) into a bit string of
+  /// \p Bits bits. Returns an empty (size 0) BitString on malformed input
+  /// or if the value does not fit.
+  static BitString fromHex(const std::string &Hex, unsigned Bits);
+
+  /// Number of set bits.
+  unsigned popcount() const;
+
+  bool operator==(const BitString &Other) const {
+    return NumBits == Other.NumBits && Words == Other.Words;
+  }
+  bool operator!=(const BitString &Other) const { return !(*this == Other); }
+
+  /// Lexicographic comparison (by width first, then value) so BitString can
+  /// key ordered containers deterministically.
+  bool operator<(const BitString &Other) const;
+
+  /// Returns the mask covering the low \p Bits bits of a 64-bit word.
+  static uint64_t lowMask(unsigned Bits) {
+    assert(Bits <= 64 && "mask width out of range");
+    return Bits == 64 ? ~uint64_t(0) : ((uint64_t(1) << Bits) - 1);
+  }
+
+private:
+  unsigned NumBits;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace dcb
+
+#endif // DCB_SUPPORT_BITSTRING_H

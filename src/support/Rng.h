@@ -1,0 +1,66 @@
+//===- support/Rng.h - Deterministic random numbers -------------*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (xorshift128+) used by property tests and the
+/// synthetic workload generators so runs are reproducible across machines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_SUPPORT_RNG_H
+#define DCB_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace dcb {
+
+/// Deterministic xorshift128+ generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 seeding to avoid weak all-zero-ish states.
+    auto Next = [&Seed]() {
+      Seed += 0x9e3779b97f4a7c15ull;
+      uint64_t Z = Seed;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+      return Z ^ (Z >> 31);
+    };
+    S0 = Next();
+    S1 = Next();
+  }
+
+  uint64_t next() {
+    uint64_t X = S0;
+    const uint64_t Y = S1;
+    S0 = Y;
+    X ^= X << 23;
+    S1 = X ^ Y ^ (X >> 17) ^ (Y >> 26);
+    return S1 + Y;
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound != 0 && "empty range");
+    return next() % Bound;
+  }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  uint64_t range(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + below(Hi - Lo + 1);
+  }
+
+  bool chance(unsigned Percent) { return below(100) < Percent; }
+
+private:
+  uint64_t S0, S1;
+};
+
+} // namespace dcb
+
+#endif // DCB_SUPPORT_RNG_H

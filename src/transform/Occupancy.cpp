@@ -1,0 +1,70 @@
+//===- transform/Occupancy.cpp --------------------------------------------===//
+
+#include "transform/Occupancy.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dcb;
+using namespace dcb::transform;
+
+SmLimits transform::smLimits(Arch A) {
+  switch (archFamily(A)) {
+  case EncodingFamily::Fermi:
+    // CC 2.x: 48 warps, 32K registers, 48 KB shared. (CC 3.0 shares the
+    // encoding family but has Kepler resources; close enough for the
+    // model's purpose, and SM30 is corrected below.)
+    if (A == Arch::SM30)
+      return {64, 65536, 49152, 8, 63};
+    return {48, 32768, 49152, 4, 63};
+  case EncodingFamily::Kepler2:
+    return {64, 65536, 49152, 8, 255};
+  case EncodingFamily::Maxwell:
+    return {64, 65536, 98304, 8, 255};
+  case EncodingFamily::Volta:
+    return {64, 65536, 98304, 8, 255};
+  }
+  return {64, 65536, 49152, 8, 255};
+}
+
+Occupancy transform::computeOccupancy(Arch A, unsigned RegsPerThread,
+                                      unsigned SharedBytesPerBlock,
+                                      unsigned ThreadsPerBlock) {
+  assert(ThreadsPerBlock > 0 && "empty blocks");
+  const SmLimits Limits = smLimits(A);
+  Occupancy Result;
+
+  RegsPerThread = std::max(1u, RegsPerThread);
+  if (RegsPerThread > Limits.MaxRegsPerThread)
+    return Result; // Unlaunchable.
+
+  // Registers are allocated per warp in granules.
+  unsigned RegsPerWarp = RegsPerThread * 32;
+  RegsPerWarp = (RegsPerWarp + Limits.RegAllocGranularity * 32 - 1) /
+                (Limits.RegAllocGranularity * 32) *
+                (Limits.RegAllocGranularity * 32);
+  Result.LimitedByRegisters = Limits.RegistersPerSm / RegsPerWarp;
+
+  // Shared memory limits whole blocks.
+  unsigned WarpsPerBlock = (ThreadsPerBlock + 31) / 32;
+  unsigned BlocksByShared =
+      SharedBytesPerBlock == 0
+          ? ~0u
+          : Limits.SharedBytesPerSm / SharedBytesPerBlock;
+  Result.LimitedByShared =
+      BlocksByShared == ~0u
+          ? Limits.MaxWarps
+          : std::min<uint64_t>(Limits.MaxWarps,
+                               static_cast<uint64_t>(BlocksByShared) *
+                                   WarpsPerBlock);
+
+  Result.ResidentWarps = std::min({Limits.MaxWarps,
+                                   Result.LimitedByRegisters,
+                                   Result.LimitedByShared});
+  // Whole blocks only.
+  Result.ResidentWarps = Result.ResidentWarps / WarpsPerBlock *
+                         WarpsPerBlock;
+  Result.Fraction =
+      static_cast<double>(Result.ResidentWarps) / Limits.MaxWarps;
+  return Result;
+}

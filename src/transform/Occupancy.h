@@ -1,0 +1,57 @@
+//===- transform/Occupancy.h - GPU occupancy model --------------*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A per-generation occupancy calculator: how many warps can be resident on
+/// one streaming multiprocessor given a kernel's register and shared-memory
+/// footprint. This is the objective function of the paper's occupancy-tuning
+/// application (Orion, §V): binary-level register remapping is only useful
+/// because occupancy is quantized by these published hardware limits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_TRANSFORM_OCCUPANCY_H
+#define DCB_TRANSFORM_OCCUPANCY_H
+
+#include "support/Arch.h"
+
+#include <cstdint>
+
+namespace dcb {
+namespace transform {
+
+/// Published per-SM resource limits of a generation.
+struct SmLimits {
+  unsigned MaxWarps;            ///< Resident warp slots.
+  unsigned RegistersPerSm;      ///< 32-bit registers in the register file.
+  unsigned SharedBytesPerSm;    ///< Shared-memory capacity.
+  unsigned RegAllocGranularity; ///< Registers are allocated in this unit
+                                ///< per warp.
+  unsigned MaxRegsPerThread;
+};
+
+/// Returns the limits for \p A (Fermi/Kepler/Maxwell-Pascal/Volta tiers).
+SmLimits smLimits(Arch A);
+
+/// Occupancy result for a launch configuration.
+struct Occupancy {
+  unsigned ResidentWarps = 0;
+  unsigned LimitedByRegisters = 0; ///< Warp bound from the register file.
+  unsigned LimitedByShared = 0;    ///< Warp bound from shared memory.
+  double Fraction = 0.0;           ///< ResidentWarps / MaxWarps.
+};
+
+/// Computes occupancy for a kernel using \p RegsPerThread registers and
+/// \p SharedBytesPerBlock shared memory, launched with
+/// \p ThreadsPerBlock-sized blocks.
+Occupancy computeOccupancy(Arch A, unsigned RegsPerThread,
+                           unsigned SharedBytesPerBlock,
+                           unsigned ThreadsPerBlock);
+
+} // namespace transform
+} // namespace dcb
+
+#endif // DCB_TRANSFORM_OCCUPANCY_H

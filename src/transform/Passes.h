@@ -1,0 +1,74 @@
+//===- transform/Passes.h - Binary transformation passes --------*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The applications of §V, implemented as IR passes:
+///
+///  - LocalToShared (Fig. 11): scan for local-memory instructions, change
+///    each one's memory type and adjust addresses.
+///  - ClearRegistersBeforeExit (Fig. 12): instrument the code to clear
+///    registers before leaving the kernel (the memory-protection use case
+///    of the GPU taint-tracking work the paper supported).
+///  - A generic instrumenter (insert before/after matching instructions)
+///    with automatic conservative re-scheduling, because inserted code
+///    invalidates the compiler's original stall/barrier decisions.
+///
+/// All passes are architecture-independent: they edit the IR and rely on
+/// the learned assemblers to re-encode for whichever generation the kernel
+/// came from.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_TRANSFORM_PASSES_H
+#define DCB_TRANSFORM_PASSES_H
+
+#include "ir/Ir.h"
+#include "support/Errors.h"
+
+#include <functional>
+#include <vector>
+
+namespace dcb {
+namespace transform {
+
+/// Fig. 11: converts local-memory accesses (LDL/STL) to shared-memory
+/// accesses (LDS/STS), rebasing each address by \p SharedBase bytes and
+/// growing the kernel's shared-memory requirement by \p LocalBytesPerThread.
+/// Returns the number of converted instructions.
+unsigned convertLocalToShared(ir::Kernel &K, int64_t SharedBase,
+                              uint32_t LocalBytesPerThread);
+
+/// Fig. 12: inserts "MOV Rx, RZ" for each register in \p Regs before every
+/// EXIT (inheriting the EXIT's guard). Returns the number of instrumented
+/// exits.
+unsigned clearRegistersBeforeExit(ir::Kernel &K,
+                                  const std::vector<unsigned> &Regs);
+
+/// Matches instructions for the generic instrumenter.
+using InstPredicate = std::function<bool(const ir::Inst &)>;
+
+/// Inserts \p Payload before every instruction matching \p Pred. Returns
+/// the number of insertion sites.
+unsigned insertBefore(ir::Kernel &K, const InstPredicate &Pred,
+                      const std::vector<sass::Instruction> &Payload);
+
+/// Inserts \p Payload after every matching instruction (but never beyond a
+/// block terminator).
+unsigned insertAfter(ir::Kernel &K, const InstPredicate &Pred,
+                     const std::vector<sass::Instruction> &Payload);
+
+/// Recomputes every instruction's control info with a conservative public
+/// latency model (framework knowledge, not the hidden vendor tables):
+/// fixed-latency results are covered by stalls, variable-latency
+/// instructions set scoreboard barriers that the next instruction drains.
+/// Sound but slower than compiler scheduling — the price of editing code
+/// without the vendor's latency tables.
+void recomputeControlInfo(ir::Kernel &K);
+
+} // namespace transform
+} // namespace dcb
+
+#endif // DCB_TRANSFORM_PASSES_H

@@ -1,0 +1,69 @@
+//===- transform/Registers.h - Register remapping ---------------*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Register-level transformations — the occupancy-tuning / register
+/// allocation application of §V ("several works are able to achieve
+/// performance beyond that of what nvcc can produce" by re-allocating
+/// registers at the binary level; the paper's framework powered the Orion
+/// occupancy tuner).
+///
+/// GPU occupancy is quantized by per-thread register count, so compacting a
+/// kernel's register usage into a dense prefix directly raises the number
+/// of resident warps. Wide operations constrain the mapping: 64/128-bit
+/// values live in aligned runs of consecutive registers (paper §IV-A: "the
+/// GPU will use a range of consecutive registers"), which the remapper
+/// preserves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_TRANSFORM_REGISTERS_H
+#define DCB_TRANSFORM_REGISTERS_H
+
+#include "ir/Ir.h"
+
+#include <map>
+
+namespace dcb {
+namespace transform {
+
+/// The per-register width constraints discovered in a kernel: each root
+/// register together with the number of consecutive registers its widest
+/// use covers.
+struct RegisterUsage {
+  /// Root register id -> run length (1, 2 or 4).
+  std::map<unsigned, unsigned> Groups;
+  /// Highest register id referenced (255-style ids; RZ excluded).
+  int MaxRegister = -1;
+
+  unsigned liveCount() const {
+    unsigned N = 0;
+    for (const auto &[Root, Width] : Groups)
+      N += Width;
+    return N;
+  }
+};
+
+/// Scans every operand of every instruction (including memory base
+/// registers and const-memory index registers) and merges overlapping wide
+/// uses into aligned groups.
+RegisterUsage analyzeRegisterUsage(const ir::Kernel &K);
+
+/// Applies an explicit register mapping (old id -> new id). Every
+/// referenced register must be present in \p Mapping. Returns the number
+/// of rewritten operands.
+unsigned remapRegisters(ir::Kernel &K,
+                        const std::map<unsigned, unsigned> &Mapping);
+
+/// Compacts the kernel's registers into a dense, alignment-respecting
+/// prefix and returns the resulting register count (the occupancy input).
+/// No-op on already-dense kernels.
+unsigned compactRegisters(ir::Kernel &K);
+
+} // namespace transform
+} // namespace dcb
+
+#endif // DCB_TRANSFORM_REGISTERS_H

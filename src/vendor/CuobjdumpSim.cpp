@@ -1,0 +1,86 @@
+//===- vendor/CuobjdumpSim.cpp --------------------------------------------===//
+
+#include "vendor/CuobjdumpSim.h"
+
+#include "encoder/Encoder.h"
+#include "isa/Spec.h"
+#include "sass/Printer.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace dcb;
+using namespace dcb::vendor;
+
+namespace {
+
+BitString wordAt(const std::vector<uint8_t> &Code, size_t Offset,
+                 unsigned WordBytes) {
+  BitString Word(WordBytes * 8);
+  for (unsigned Byte = 0; Byte < WordBytes; ++Byte)
+    Word.setField(Byte * 8, 8, Code[Offset + Byte]);
+  return Word;
+}
+
+bool isSchiWordIndex(SchiKind Kind, size_t WordIdx) {
+  unsigned Group = schiGroupSize(Kind);
+  return Group > 1 && WordIdx % Group == 0;
+}
+
+} // namespace
+
+Expected<std::string> vendor::disassembleKernelCode(
+    Arch A, const std::string &KernelName, const std::vector<uint8_t> &Code) {
+  const isa::ArchSpec &Spec = isa::getArchSpec(A);
+  const unsigned WordBytes = Spec.WordBits / 8;
+  const SchiKind Schi = archSchiKind(A);
+
+  if (Code.size() % WordBytes != 0)
+    return Failure("cuobjdump-sim: kernel " + KernelName +
+                   " is not a whole number of instruction words");
+
+  std::string Out;
+  Out += "\t\tFunction : " + KernelName + "\n";
+
+  size_t NumWords = Code.size() / WordBytes;
+  for (size_t WordIdx = 0; WordIdx < NumWords; ++WordIdx) {
+    size_t Addr = WordIdx * WordBytes;
+    BitString Word = wordAt(Code, Addr, WordBytes);
+    Out += "        /*" + toPaddedHex(Addr, 4) + "*/ ";
+    if (isSchiWordIndex(Schi, WordIdx)) {
+      // Scheduling words print as raw hex only (paper: the disassembler
+      // "offers no indication of its meaning").
+      Out += "/* 0x" + Word.toHex() + " */\n";
+      continue;
+    }
+    Expected<sass::Instruction> Inst =
+        encoder::decodeInstruction(Spec, Word, Addr);
+    if (!Inst)
+      return Failure("cuobjdump-sim: " + Inst.message());
+    Out += sass::printInstruction(*Inst);
+    Out += " /* 0x" + Word.toHex() + " */\n";
+  }
+  return Out;
+}
+
+Expected<std::string> vendor::disassembleCubin(const elf::Cubin &Cubin) {
+  std::string Out;
+  Out += "code for " + std::string(archName(Cubin.arch())) + "\n";
+  for (const elf::KernelSection &Kernel : Cubin.kernels()) {
+    Expected<std::string> Text =
+        disassembleKernelCode(Cubin.arch(), Kernel.Name, Kernel.Code);
+    if (!Text)
+      return Text.takeError();
+    Out += *Text;
+    Out += "\n";
+  }
+  return Out;
+}
+
+Expected<std::string> vendor::disassembleImage(
+    const std::vector<uint8_t> &Image) {
+  Expected<elf::Cubin> Cubin = elf::Cubin::deserialize(Image);
+  if (!Cubin)
+    return Cubin.takeError();
+  return disassembleCubin(*Cubin);
+}

@@ -1,0 +1,53 @@
+//===- vendor/CuobjdumpSim.h - Closed-source disassembler sim ---*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "cuobjdump / nvdisasm" of the simulated vendor stack. It produces the
+/// Fig.-3-style listing — one assembly instruction per line with its 64-bit
+/// (or, on Volta, 128-bit) binary rendered as a hex comment — that is the
+/// analyzer's ONLY window into the hidden encodings:
+///
+///   code for sm_35
+///       Function : saxpy
+///     /*0000*/ /* 0x08a0bc80c010e800 */
+///     /*0008*/ MOV R1, c[0x0][0x44]; /* 0x64c03c00089c0006 */
+///
+/// SCHI scheduling words print as a bare hex comment with no mnemonic,
+/// matching the real tool's refusal to interpret them (paper §IV-B). Like
+/// the real disassembler, disassembly FAILS outright when any word does not
+/// decode ("may crash without producing output upon encountering unexpected
+/// instructions", §III-B) — the behaviour the bit flipper must tolerate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_VENDOR_CUOBJDUMPSIM_H
+#define DCB_VENDOR_CUOBJDUMPSIM_H
+
+#include "elf/Cubin.h"
+#include "support/Errors.h"
+
+#include <string>
+#include <vector>
+
+namespace dcb {
+namespace vendor {
+
+/// Disassembles every kernel of an in-memory cubin.
+Expected<std::string> disassembleCubin(const elf::Cubin &Cubin);
+
+/// Disassembles a serialized ELF image (the common entry point; this is
+/// what "running cuobjdump on the executable" means in the workflow).
+Expected<std::string> disassembleImage(const std::vector<uint8_t> &Image);
+
+/// Disassembles a single kernel's code bytes for architecture \p A.
+Expected<std::string> disassembleKernelCode(Arch A,
+                                            const std::string &KernelName,
+                                            const std::vector<uint8_t> &Code);
+
+} // namespace vendor
+} // namespace dcb
+
+#endif // DCB_VENDOR_CUOBJDUMPSIM_H

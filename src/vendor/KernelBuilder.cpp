@@ -1,0 +1,65 @@
+//===- vendor/KernelBuilder.cpp -------------------------------------------===//
+
+#include "vendor/KernelBuilder.h"
+
+#include "sass/Parser.h"
+
+#include <cassert>
+
+using namespace dcb;
+using namespace dcb::vendor;
+
+KernelBuilder &KernelBuilder::ins(const std::string &Text) {
+  Expected<sass::Instruction> Inst = sass::parseInstruction(Text);
+  assert(Inst.hasValue() && "workload kernel contains invalid assembly");
+  return ins(Inst.takeValue());
+}
+
+KernelBuilder &KernelBuilder::ins(sass::Instruction Inst) {
+  for (const std::string &Pending : PendingLabels)
+    Labels[Pending] = Draft.size();
+  PendingLabels.clear();
+  DraftInst D;
+  D.Inst = std::move(Inst);
+  Draft.push_back(std::move(D));
+  return *this;
+}
+
+KernelBuilder &KernelBuilder::label(const std::string &LabelName) {
+  assert(!Labels.count(LabelName) && "label defined twice");
+  PendingLabels.push_back(LabelName);
+  return *this;
+}
+
+KernelBuilder &KernelBuilder::branch(const std::string &Text,
+                                     const std::string &LabelName) {
+  // Parse with a placeholder target so the operand list has the right shape.
+  Expected<sass::Instruction> Inst = sass::parseInstruction(Text + " 0x0;");
+  assert(Inst.hasValue() && "invalid branch instruction text");
+  ins(Inst.takeValue());
+  Draft.back().TargetLabel = LabelName;
+  Draft.back().TargetOperand =
+      static_cast<unsigned>(Draft.back().Inst.Operands.size() - 1);
+  return *this;
+}
+
+KernelBuilder &KernelBuilder::reconverge(unsigned GuardPred, bool GuardNeg) {
+  sass::Instruction Inst;
+  if (archFamily(A) == EncodingFamily::Maxwell ||
+      archFamily(A) == EncodingFamily::Volta) {
+    Inst.Opcode = "SYNC";
+  } else {
+    Inst.Opcode = "NOP";
+    Inst.Modifiers.push_back("S");
+  }
+  Inst.GuardPredicate = GuardPred;
+  Inst.GuardNegated = GuardNeg;
+  return ins(std::move(Inst));
+}
+
+KernelBuilder &KernelBuilder::exit() {
+  if (!Draft.empty() && Draft.back().Inst.Opcode == "EXIT" &&
+      !Draft.back().Inst.hasGuard())
+    return *this;
+  return ins("EXIT;");
+}

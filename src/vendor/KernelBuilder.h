@@ -1,0 +1,96 @@
+//===- vendor/KernelBuilder.h - SASS-level kernel authoring -----*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The programming interface of the simulated vendor compiler. Kernels are
+/// authored at the SASS level (the instruction-selection half of a real
+/// compiler is out of scope — the paper only consumes nvcc's *output*), with
+/// symbolic labels for control-flow targets. NvccSim later schedules,
+/// resolves labels to absolute addresses, encodes with the hidden tables and
+/// links kernels into a cubin.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_VENDOR_KERNELBUILDER_H
+#define DCB_VENDOR_KERNELBUILDER_H
+
+#include "sass/Ast.h"
+#include "support/Arch.h"
+#include "support/Errors.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dcb {
+namespace vendor {
+
+/// One authored instruction, possibly with an unresolved branch target.
+struct DraftInst {
+  sass::Instruction Inst;
+  /// When set, operand \c TargetOperand of Inst is a placeholder that is
+  /// replaced by the absolute address of this label at layout time.
+  std::optional<std::string> TargetLabel;
+  unsigned TargetOperand = 0;
+};
+
+/// Builds one kernel's instruction stream.
+///
+/// The builder is architecture-aware only where the paper says the ISAs
+/// genuinely diverge: reconvergence is spelled ".S" on Fermi/Kepler and is a
+/// SYNC instruction on Maxwell and later (§II-B).
+class KernelBuilder {
+public:
+  KernelBuilder(std::string Name, Arch A) : Name(std::move(Name)), A(A) {}
+
+  const std::string &name() const { return Name; }
+  Arch arch() const { return A; }
+
+  /// Appends one instruction given as assembly text. Asserts on syntax
+  /// errors — workload definitions are compiled-in test vectors.
+  KernelBuilder &ins(const std::string &Text);
+
+  /// Appends an already-built instruction.
+  KernelBuilder &ins(sass::Instruction Inst);
+
+  /// Binds \p LabelName to the next appended instruction.
+  KernelBuilder &label(const std::string &LabelName);
+
+  /// Appends a control-flow instruction (given without its target operand,
+  /// e.g. "BRA" or "@!P0 BRA" or "SSY") targeting \p LabelName.
+  KernelBuilder &branch(const std::string &Text, const std::string &LabelName);
+
+  /// Appends the architecture's reconvergence command: "@Pg SYNC;" on
+  /// Maxwell+, or a "NOP.S" carrying the guard on Fermi/Kepler.
+  KernelBuilder &reconverge(unsigned GuardPred = 7, bool GuardNeg = false);
+
+  /// Ends the kernel with EXIT (if the last instruction is not one already).
+  KernelBuilder &exit();
+
+  const std::vector<DraftInst> &instructions() const { return Draft; }
+  const std::map<std::string, size_t> &labels() const { return Labels; }
+
+  /// Shared-memory requirement recorded into the kernel metadata.
+  KernelBuilder &sharedMem(uint32_t Bytes) {
+    SharedBytes = Bytes;
+    return *this;
+  }
+  uint32_t sharedMem() const { return SharedBytes; }
+
+private:
+  std::string Name;
+  Arch A;
+  std::vector<DraftInst> Draft;
+  std::map<std::string, size_t> Labels; ///< Label -> instruction index.
+  uint32_t SharedBytes = 0;
+  std::vector<std::string> PendingLabels;
+};
+
+} // namespace vendor
+} // namespace dcb
+
+#endif // DCB_VENDOR_KERNELBUILDER_H

@@ -1,0 +1,372 @@
+//===- vendor/NvccSim.cpp -------------------------------------------------===//
+
+#include "vendor/NvccSim.h"
+
+#include "encoder/Encoder.h"
+#include "isa/Spec.h"
+#include "sass/Parser.h"
+#include "sass/Printer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace dcb;
+using namespace dcb::vendor;
+using isa::ArchSpec;
+using isa::InstrSpec;
+using sass::CtrlInfo;
+using sass::Instruction;
+using sass::Operand;
+using sass::OperandKind;
+
+namespace {
+
+/// Resource identifiers for the dependence analysis: general registers get
+/// their id, predicates live in a disjoint range.
+constexpr int PredBase = 0x1000;
+
+void collectDefsUses(const Instruction &Inst, const InstrSpec &Spec,
+                     std::vector<int> &Defs, std::vector<int> &Uses) {
+  auto regId = [](const Operand &Op, int Which) -> int {
+    int64_t V = Op.Value[Which];
+    return V < 0 ? -1 : static_cast<int>(V); // RZ produces no dependence.
+  };
+  for (size_t I = 0; I < Inst.Operands.size(); ++I) {
+    const Operand &Op = Inst.Operands[I];
+    bool IsDef = I < Spec.NumDefs;
+    std::vector<int> Ids;
+    switch (Op.Kind) {
+    case OperandKind::Register: {
+      int Id = regId(Op, 0);
+      if (Id >= 0)
+        Ids.push_back(Id);
+      break;
+    }
+    case OperandKind::Predicate:
+      if (Op.Value[0] != 7)
+        Ids.push_back(PredBase + static_cast<int>(Op.Value[0]));
+      break;
+    case OperandKind::Memory: {
+      // The base register is always a use, even when the operand as a
+      // whole is the store destination.
+      int Id = regId(Op, 0);
+      if (Id >= 0)
+        Uses.push_back(Id);
+      continue;
+    }
+    case OperandKind::ConstMem:
+      if (Op.HasRegister) {
+        int Id = regId(Op, 2);
+        if (Id >= 0)
+          Uses.push_back(Id);
+      }
+      continue;
+    default:
+      continue;
+    }
+    for (int Id : Ids)
+      (IsDef ? Defs : Uses).push_back(Id);
+  }
+  if (Inst.hasGuard() && Inst.GuardPredicate != 7)
+    Uses.push_back(PredBase + static_cast<int>(Inst.GuardPredicate));
+}
+
+/// Computes per-instruction control info from the latency model. This is
+/// the compile-time scheduling the paper describes: stall counts between
+/// consecutive instructions, and on Maxwell/Pascal/Volta the write/read
+/// barriers for variable-latency instructions (§II-B, §IV-B).
+std::vector<CtrlInfo> scheduleCtrl(const ArchSpec &Spec,
+                                   const std::vector<Instruction> &Insts) {
+  const bool UseBarriers = Spec.Family == EncodingFamily::Maxwell ||
+                           Spec.Family == EncodingFamily::Volta;
+  const bool KeplerStyle = Spec.Family == EncodingFamily::Fermi ||
+                           Spec.Family == EncodingFamily::Kepler2;
+  const unsigned MaxStall = KeplerStyle ? 32 : 15;
+
+  std::vector<CtrlInfo> Ctrl(Insts.size());
+  std::map<int, uint64_t> ReadyAt;
+  std::map<int, unsigned> PendingWriteBar, PendingReadBar;
+  unsigned NextBar = 0;
+  uint64_t Dispatch = 0;
+  // Slack between an instruction's dispatch time and the earliest cycle
+  // its dependences allow; the dual-issue pass may only move an
+  // instruction earlier by up to its slack.
+  std::vector<uint64_t> Slack(Insts.size(), ~uint64_t(0));
+
+  auto allocBarrier = [&NextBar]() {
+    unsigned B = NextBar;
+    NextBar = (NextBar + 1) % 6;
+    return B;
+  };
+
+  for (size_t I = 0; I < Insts.size(); ++I) {
+    const InstrSpec *IS = Spec.findSpec(Insts[I]);
+    assert(IS && "scheduling an instruction with no encoding");
+
+    std::vector<int> Defs, Uses;
+    collectDefsUses(Insts[I], *IS, Defs, Uses);
+
+    // Fixed-latency dependences are honored with stalls on the
+    // *predecessor* instructions.
+    uint64_t Need = Dispatch;
+    for (int R : Uses)
+      if (auto It = ReadyAt.find(R); It != ReadyAt.end())
+        Need = std::max(Need, It->second);
+    for (int R : Defs)
+      if (auto It = ReadyAt.find(R); It != ReadyAt.end())
+        Need = std::max(Need, It->second); // WAW ordering.
+    if (Need > Dispatch && I > 0) {
+      uint64_t Extra = Need - Dispatch;
+      uint64_t NewStall =
+          std::min<uint64_t>(Ctrl[I - 1].Stall + Extra, MaxStall);
+      Ctrl[I - 1].Stall = static_cast<unsigned>(NewStall);
+      Ctrl[I - 1].DualIssue = false;
+      Dispatch = Need;
+    }
+    Slack[I] = Dispatch - Need;
+
+    // Variable-latency dependences are honored with barriers on Maxwell+.
+    if (UseBarriers) {
+      unsigned Wait = 0;
+      auto waitFor = [&](std::map<int, unsigned> &Pending, int R) {
+        auto It = Pending.find(R);
+        if (It == Pending.end())
+          return;
+        Wait |= 1u << It->second;
+        unsigned Bar = It->second;
+        for (auto PI = Pending.begin(); PI != Pending.end();) {
+          if (PI->second == Bar)
+            PI = Pending.erase(PI);
+          else
+            ++PI;
+        }
+      };
+      for (int R : Uses)
+        waitFor(PendingWriteBar, R); // True dependence.
+      for (int R : Defs) {
+        waitFor(PendingWriteBar, R); // WAW with an in-flight load.
+        waitFor(PendingReadBar, R);  // Anti-dependence with a store.
+      }
+      Ctrl[I].WaitMask = Wait;
+    }
+
+    switch (IS->Latency) {
+    case InstrSpec::LatencyClass::Fixed:
+      for (int R : Defs)
+        ReadyAt[R] = Dispatch + IS->FixedLatency;
+      break;
+    case InstrSpec::LatencyClass::Memory:
+      if (UseBarriers) {
+        unsigned Bar = allocBarrier();
+        Ctrl[I].WriteBarrier = Bar;
+        for (int R : Defs)
+          PendingWriteBar[R] = Bar;
+        Ctrl[I].Stall = std::max(Ctrl[I].Stall, 2u);
+      } else {
+        // Kepler and Fermi resolve memory latency in hardware
+        // scoreboards; a small pipeline stall suffices.
+        for (int R : Defs)
+          ReadyAt[R] = Dispatch + 2;
+      }
+      break;
+    case InstrSpec::LatencyClass::Store:
+      if (UseBarriers) {
+        unsigned Bar = allocBarrier();
+        Ctrl[I].ReadBarrier = Bar;
+        for (int R : Uses)
+          PendingReadBar[R] = Bar;
+        Ctrl[I].Stall = std::max(Ctrl[I].Stall, 2u);
+      }
+      break;
+    case InstrSpec::LatencyClass::Control:
+      Ctrl[I].Stall = std::max(Ctrl[I].Stall, 5u);
+      if (UseBarriers) {
+        // Conservatively drain all pending barriers before transferring
+        // control.
+        unsigned Wait = Ctrl[I].WaitMask;
+        for (const auto &[R, B] : PendingWriteBar)
+          Wait |= 1u << B;
+        for (const auto &[R, B] : PendingReadBar)
+          Wait |= 1u << B;
+        Ctrl[I].WaitMask = Wait;
+        PendingWriteBar.clear();
+        PendingReadBar.clear();
+      }
+      break;
+    }
+
+    // Yield hint: required for high stall values (paper §IV-B, citing
+    // MaxAs).
+    if (!KeplerStyle && Ctrl[I].Stall >= 12)
+      Ctrl[I].Yield = true;
+
+    Dispatch += Ctrl[I].Stall;
+  }
+
+  // Opportunistic Kepler dual-issue for adjacent independent ALU pairs,
+  // giving Fig. 9 its 0x04 dispatch slots. The rewrite is timing-neutral:
+  // the saved cycle is pushed into the partner's stall so every later
+  // dispatch time is preserved, and the partner itself moves one cycle
+  // earlier only when its dependence slack allows it.
+  if (KeplerStyle) {
+    for (size_t I = 0; I + 1 < Insts.size(); I += 2) {
+      if (Ctrl[I].Stall != 1 || Slack[I + 1] < 1 ||
+          Ctrl[I + 1].Stall >= MaxStall)
+        continue;
+      const InstrSpec *A = Spec.findSpec(Insts[I]);
+      const InstrSpec *B = Spec.findSpec(Insts[I + 1]);
+      if (!A || !B || A->Latency != InstrSpec::LatencyClass::Fixed ||
+          B->Latency != InstrSpec::LatencyClass::Fixed)
+        continue;
+      Ctrl[I].DualIssue = true;
+      Ctrl[I].Stall = 0;
+      Ctrl[I + 1].Stall += 1;
+    }
+  }
+  return Ctrl;
+}
+
+/// Maps instruction index to its byte address given the SCHI cadence.
+uint64_t instAddress(SchiKind Kind, unsigned WordBytes, size_t Index) {
+  unsigned Group = schiGroupSize(Kind);
+  if (Group == 1)
+    return Index * WordBytes;
+  size_t GroupIdx = Index / (Group - 1);
+  size_t Slot = Index % (Group - 1);
+  return (GroupIdx * Group + 1 + Slot) * WordBytes;
+}
+
+void appendWord(std::vector<uint8_t> &Out, const BitString &Word) {
+  for (unsigned Byte = 0; Byte < Word.size() / 8; ++Byte)
+    Out.push_back(static_cast<uint8_t>(Word.field(Byte * 8, 8)));
+}
+
+} // namespace
+
+Expected<CompiledKernel> NvccSim::compileKernel(
+    const KernelBuilder &Builder) const {
+  const ArchSpec &Spec = isa::getArchSpec(A);
+  const SchiKind Schi = archSchiKind(A);
+  const unsigned WordBytes = Spec.WordBits / 8;
+  const unsigned Group = schiGroupSize(Schi);
+
+  CompiledKernel Result;
+  Result.Section.Name = Builder.name();
+  Result.Section.SharedMemBytes = Builder.sharedMem();
+
+  // 1. Assemble the final instruction list, padding the tail so complete
+  //    SCHI groups are formed.
+  std::vector<Instruction> Insts;
+  for (const DraftInst &D : Builder.instructions())
+    Insts.push_back(D.Inst);
+  if (Group > 1) {
+    Expected<Instruction> Nop = sass::parseInstruction("NOP;");
+    while (Insts.size() % (Group - 1) != 0)
+      Insts.push_back(*Nop);
+  }
+
+  // 2. Assign addresses.
+  std::vector<uint64_t> Addrs(Insts.size());
+  for (size_t I = 0; I < Insts.size(); ++I)
+    Addrs[I] = instAddress(Schi, WordBytes, I);
+
+  // 3. Resolve branch labels to absolute addresses.
+  const auto &Labels = Builder.labels();
+  for (size_t I = 0; I < Builder.instructions().size(); ++I) {
+    const DraftInst &D = Builder.instructions()[I];
+    if (!D.TargetLabel)
+      continue;
+    auto It = Labels.find(*D.TargetLabel);
+    if (It == Labels.end())
+      return Failure("nvcc-sim: undefined label '" + *D.TargetLabel +
+                     "' in kernel " + Builder.name());
+    if (It->second >= Insts.size())
+      return Failure("nvcc-sim: label '" + *D.TargetLabel +
+                     "' points past the end of kernel " + Builder.name());
+    Insts[I].Operands[D.TargetOperand] =
+        Operand::makeIntImm(static_cast<int64_t>(Addrs[It->second]));
+  }
+
+  // 4. Schedule. Verify every instruction has an encoding first so the
+  //    scheduler can assume valid input.
+  for (const Instruction &Inst : Insts) {
+    if (!Spec.findSpec(Inst))
+      return Failure("nvcc-sim: no encoding on " + std::string(Spec.name()) +
+                     " for '" + sass::printInstruction(Inst) + "' in kernel " +
+                     Builder.name());
+  }
+  std::vector<CtrlInfo> Ctrl = scheduleCtrl(Spec, Insts);
+
+  // 5. Encode instructions.
+  std::vector<BitString> Words(Insts.size());
+  unsigned MaxReg = 0;
+  for (size_t I = 0; I < Insts.size(); ++I) {
+    Expected<BitString> Word = encoder::encodeInstruction(Spec, Insts[I],
+                                                          Addrs[I]);
+    if (!Word)
+      return Failure("nvcc-sim: " + Word.message());
+    Words[I] = Word.takeValue();
+    if (Schi == SchiKind::Embedded)
+      sass::embedVoltaCtrl(Words[I], Ctrl[I]);
+    for (const Operand &Op : Insts[I].Operands) {
+      if (Op.Kind == OperandKind::Register && Op.Value[0] >= 0)
+        MaxReg = std::max(MaxReg, static_cast<unsigned>(Op.Value[0]));
+      if (Op.Kind == OperandKind::Memory && Op.Value[0] >= 0)
+        MaxReg = std::max(MaxReg, static_cast<unsigned>(Op.Value[0]));
+    }
+  }
+
+  // 6. Interleave SCHI words and emit bytes.
+  std::vector<uint8_t> &Code = Result.Section.Code;
+  if (Group == 1) {
+    for (const BitString &Word : Words)
+      appendWord(Code, Word);
+  } else if (Schi == SchiKind::Maxwell) {
+    for (size_t Base = 0; Base < Insts.size(); Base += 3) {
+      std::array<CtrlInfo, 3> Slots;
+      for (unsigned S = 0; S < 3; ++S)
+        Slots[S] = Base + S < Ctrl.size() ? Ctrl[Base + S] : CtrlInfo();
+      appendWord(Code, sass::packMaxwellSchi(Slots));
+      for (unsigned S = 0; S < 3; ++S)
+        appendWord(Code, Words[Base + S]);
+    }
+  } else {
+    assert((Schi == SchiKind::Kepler30 || Schi == SchiKind::Kepler35) &&
+           "unexpected SCHI kind");
+    for (size_t Base = 0; Base < Insts.size(); Base += 7) {
+      std::array<CtrlInfo, 7> Slots;
+      for (unsigned S = 0; S < 7; ++S)
+        Slots[S] = Base + S < Ctrl.size() ? Ctrl[Base + S] : CtrlInfo();
+      appendWord(Code, sass::packKeplerSchi(Schi, Slots));
+      for (unsigned S = 0; S < 7; ++S)
+        appendWord(Code, Words[Base + S]);
+    }
+  }
+
+  Result.Section.NumRegisters = MaxReg + 1;
+  Result.InstAddresses = std::move(Addrs);
+  Result.Ctrl = std::move(Ctrl);
+  Result.Insts = std::move(Insts);
+  return Result;
+}
+
+Expected<elf::Cubin> NvccSim::compile(
+    const std::vector<KernelBuilder> &Kernels) const {
+  elf::Cubin Cubin(A);
+  for (const KernelBuilder &Builder : Kernels) {
+    Expected<CompiledKernel> Compiled = compileKernel(Builder);
+    if (!Compiled)
+      return Compiled.takeError();
+    Cubin.addKernel(std::move(Compiled->Section));
+  }
+  return Cubin;
+}
+
+Expected<std::vector<uint8_t>> NvccSim::compileToImage(
+    const std::vector<KernelBuilder> &Kernels) const {
+  Expected<elf::Cubin> Cubin = compile(Kernels);
+  if (!Cubin)
+    return Cubin.takeError();
+  return Cubin->serialize();
+}

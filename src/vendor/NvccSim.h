@@ -1,0 +1,65 @@
+//===- vendor/NvccSim.h - Closed-source compiler simulator ------*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "nvcc" of the simulated vendor stack: takes kernels authored with
+/// KernelBuilder, runs the compile-time scheduler (stall counts, and on
+/// Maxwell/Pascal the instruction-level barriers the paper describes in
+/// §II-B/§IV-B), interleaves SCHI control words at the architecture's
+/// cadence, resolves branch labels to absolute addresses, encodes everything
+/// with the hidden ISA tables and links the result into a GPU ELF.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_VENDOR_NVCCSIM_H
+#define DCB_VENDOR_NVCCSIM_H
+
+#include "elf/Cubin.h"
+#include "sass/CtrlInfo.h"
+#include "vendor/KernelBuilder.h"
+
+#include <vector>
+
+namespace dcb {
+namespace vendor {
+
+/// Per-kernel compilation result, exposing layout details that tests and
+/// the artifact workflow want to inspect.
+struct CompiledKernel {
+  elf::KernelSection Section;
+  /// Byte address of each real (non-SCHI) instruction, in program order.
+  std::vector<uint64_t> InstAddresses;
+  /// The scheduler's control decision for each real instruction.
+  std::vector<sass::CtrlInfo> Ctrl;
+  /// The final instruction list (labels resolved, padding NOPs included).
+  std::vector<sass::Instruction> Insts;
+};
+
+/// The closed-source compiler facade.
+class NvccSim {
+public:
+  explicit NvccSim(Arch A) : A(A) {}
+
+  Arch arch() const { return A; }
+
+  /// Schedules, encodes and lays out one kernel.
+  Expected<CompiledKernel> compileKernel(const KernelBuilder &Builder) const;
+
+  /// Compiles a set of kernels into a cubin.
+  Expected<elf::Cubin> compile(const std::vector<KernelBuilder> &Kernels) const;
+
+  /// Compiles directly to a serialized ELF image.
+  Expected<std::vector<uint8_t>>
+  compileToImage(const std::vector<KernelBuilder> &Kernels) const;
+
+private:
+  Arch A;
+};
+
+} // namespace vendor
+} // namespace dcb
+
+#endif // DCB_VENDOR_NVCCSIM_H

@@ -1,0 +1,208 @@
+//===- vendor/SampleGen.cpp -----------------------------------------------===//
+
+#include "vendor/SampleGen.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace dcb;
+using namespace dcb::vendor;
+using isa::ArchSpec;
+using isa::ConstPacking;
+using isa::InstrSpec;
+using isa::ModifierGroup;
+using isa::OperandSlot;
+using isa::SlotEncoding;
+using sass::Operand;
+
+namespace {
+
+int64_t randomSigned(Rng &R, unsigned Width) {
+  assert(Width >= 1 && Width <= 64);
+  uint64_t Raw = R.next() & BitString::lowMask(Width);
+  // Sign-extend.
+  if (Width < 64 && (Raw >> (Width - 1)))
+    Raw |= ~BitString::lowMask(Width);
+  return static_cast<int64_t>(Raw);
+}
+
+Operand randomOperand(const ArchSpec &Spec, const InstrSpec &Form,
+                      const OperandSlot &Slot, Rng &R, uint64_t Pc) {
+  const unsigned WordBytes = Spec.WordBits / 8;
+  Operand Op;
+  switch (Slot.Enc) {
+  case SlotEncoding::Reg: {
+    if (R.chance(10)) {
+      Op = Operand::makeRegister(0);
+      Op.Value[0] = -1; // RZ
+    } else {
+      Op = Operand::makeRegister(
+          static_cast<unsigned>(R.below(Spec.NumRegs - 1)));
+    }
+    break;
+  }
+  case SlotEncoding::Pred:
+    Op = Operand::makePredicate(static_cast<unsigned>(R.below(8)));
+    break;
+  case SlotEncoding::SpecialReg: {
+    std::vector<std::string> Names = isa::allSpecialRegNames();
+    Op = Operand::makeSpecialReg(Names[R.below(Names.size())]);
+    break;
+  }
+  case SlotEncoding::UImm:
+    Op = Operand::makeIntImm(static_cast<int64_t>(
+        R.next() & BitString::lowMask(Slot.Fields[0].Width)));
+    break;
+  case SlotEncoding::SImm:
+    Op = Operand::makeIntImm(randomSigned(R, Slot.Fields[0].Width));
+    break;
+  case SlotEncoding::FImm32: {
+    float F = static_cast<float>(static_cast<int64_t>(R.below(4096)) - 2048) /
+              16.0f;
+    Op = Operand::makeFloatImm(F);
+    break;
+  }
+  case SlotEncoding::FImm64: {
+    double D =
+        static_cast<double>(static_cast<int64_t>(R.below(4096)) - 2048) / 8.0;
+    Op = Operand::makeFloatImm(D);
+    break;
+  }
+  case SlotEncoding::RelAddr: {
+    // A word-aligned target whose offset fits the field.
+    unsigned Width = Slot.Fields[0].Width;
+    int64_t MaxMag = (int64_t(1) << (Width - 2));
+    int64_t Offset =
+        (randomSigned(R, Width - 1) % MaxMag) / WordBytes * WordBytes;
+    int64_t Target = static_cast<int64_t>(Pc + WordBytes) + Offset;
+    if (Target < 0)
+      Target = 0;
+    Op = Operand::makeIntImm(Target);
+    break;
+  }
+  case SlotEncoding::Mem: {
+    unsigned Reg = R.chance(10)
+                       ? ~0u
+                       : static_cast<unsigned>(R.below(Spec.NumRegs - 1));
+    int64_t Offset = randomSigned(R, Slot.Fields[1].Width);
+    Op = Operand::makeMemory(Reg == ~0u ? 0 : Reg, Offset);
+    if (Reg == ~0u)
+      Op.Value[0] = -1;
+    break;
+  }
+  case SlotEncoding::ConstMem: {
+    uint64_t Bank = 0, Offset = 0;
+    switch (Slot.Packing) {
+    case ConstPacking::Bank5Off14:
+      Bank = R.below(32);
+      Offset = R.below(1u << 14);
+      break;
+    case ConstPacking::Bank4Off16:
+      Bank = R.below(16);
+      Offset = R.below(1u << 16);
+      break;
+    case ConstPacking::Bank5Off16:
+      Bank = R.below(32);
+      Offset = R.below(1u << 16);
+      break;
+    case ConstPacking::None:
+      break;
+    }
+    if (Slot.Fields[1].valid() && R.chance(60)) {
+      Op = Operand::makeConstMemReg(
+          static_cast<unsigned>(Bank),
+          static_cast<unsigned>(R.below(Spec.NumRegs - 1)),
+          static_cast<int64_t>(Offset));
+    } else {
+      Op = Operand::makeConstMem(static_cast<unsigned>(Bank),
+                                 static_cast<int64_t>(Offset));
+    }
+    break;
+  }
+  case SlotEncoding::TexShape:
+    Op = Operand::makeTexShape(static_cast<sass::TexShapeKind>(R.below(6)));
+    break;
+  case SlotEncoding::TexChannel:
+    Op = Operand::makeTexChannel(static_cast<unsigned>(R.range(1, 15)));
+    break;
+  case SlotEncoding::Barrier:
+    Op = Operand::makeBarrier(
+        static_cast<unsigned>(R.below(1u << Slot.Fields[0].Width)));
+    break;
+  case SlotEncoding::BitSet:
+    Op = Operand::makeBitSet(R.next() &
+                             BitString::lowMask(Slot.Fields[0].Width));
+    break;
+  }
+
+  // Unary operators where the encoding supports them.
+  if (Slot.NegBit != 0xff && R.chance(25))
+    Op.Negated = true;
+  if (Slot.AbsBit != 0xff && R.chance(20))
+    Op.Absolute = true;
+  if (Slot.InvBit != 0xff && R.chance(20))
+    Op.Complemented = true;
+  if (Slot.NotBit != 0xff && R.chance(20))
+    Op.LogicalNot = true;
+
+  // Operand-attached modifiers.
+  for (unsigned ModIdx : Slot.OperandMods) {
+    const ModifierGroup &Group = Form.ModGroups[ModIdx];
+    if (!R.chance(30))
+      continue;
+    const isa::ModifierChoice &Choice =
+        Group.Choices[R.below(Group.Choices.size())];
+    if (!Choice.Name.empty())
+      Op.Mods.push_back(Choice.Name);
+  }
+  return Op;
+}
+
+} // namespace
+
+sass::Instruction vendor::randomInstruction(const ArchSpec &Spec,
+                                            const InstrSpec &Form, Rng &R,
+                                            uint64_t Pc) {
+  sass::Instruction Inst;
+  Inst.Opcode = Form.Mnemonic;
+  if (R.chance(30)) {
+    Inst.GuardPredicate = static_cast<unsigned>(R.below(8));
+    Inst.GuardNegated = R.chance(40);
+  }
+
+  for (const OperandSlot &Slot : Form.Operands)
+    Inst.Operands.push_back(randomOperand(Spec, Form, Slot, R, Pc));
+
+  // Opcode-attached modifiers: mandatory groups always pick a named
+  // choice; optional groups sometimes do.
+  for (unsigned G = 0; G < Form.NumOpcodeMods; ++G) {
+    const ModifierGroup &Group = Form.ModGroups[G];
+    bool Emit = !Group.HasDefault || R.chance(40);
+    if (!Emit)
+      continue;
+    std::vector<const isa::ModifierChoice *> Named;
+    for (const isa::ModifierChoice &Choice : Group.Choices)
+      if (!Choice.Name.empty())
+        Named.push_back(&Choice);
+    if (Named.empty())
+      continue;
+    Inst.Modifiers.push_back(Named[R.below(Named.size())]->Name);
+  }
+  return Inst;
+}
+
+std::vector<sass::Instruction> vendor::randomStraightLineProgram(
+    const ArchSpec &Spec, Rng &R, size_t Length) {
+  std::vector<const InstrSpec *> Eligible;
+  for (const InstrSpec &Form : Spec.Instrs) {
+    if (Form.Latency == InstrSpec::LatencyClass::Control)
+      continue;
+    Eligible.push_back(&Form);
+  }
+  std::vector<sass::Instruction> Program;
+  for (size_t I = 0; I < Length; ++I) {
+    const InstrSpec &Form = *Eligible[R.below(Eligible.size())];
+    Program.push_back(randomInstruction(Spec, Form, R, /*Pc=*/I * 8));
+  }
+  return Program;
+}

@@ -1,0 +1,41 @@
+//===- vendor/SampleGen.h - Random instruction generation -------*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Oracle-side test utility: generates random, valid SASS instructions for
+/// a given hidden instruction form. Used by the property tests to sweep
+/// the encoder/decoder round trip over the whole ISA surface, and to
+/// fabricate randomized programs for analyzer stress tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_VENDOR_SAMPLEGEN_H
+#define DCB_VENDOR_SAMPLEGEN_H
+
+#include "isa/Spec.h"
+#include "sass/Ast.h"
+#include "support/Errors.h"
+#include "support/Rng.h"
+
+namespace dcb {
+namespace vendor {
+
+/// Generates a random instruction matching \p Form of \p Spec. \p Pc is
+/// the address the instruction is imagined at (branch targets are chosen
+/// encodable relative to it).
+sass::Instruction randomInstruction(const isa::ArchSpec &Spec,
+                                    const isa::InstrSpec &Form, Rng &R,
+                                    uint64_t Pc);
+
+/// Generates a random straight-line instruction sequence drawn from every
+/// form of \p Spec (excluding control flow, so any address layout works).
+std::vector<sass::Instruction> randomStraightLineProgram(
+    const isa::ArchSpec &Spec, Rng &R, size_t Length);
+
+} // namespace vendor
+} // namespace dcb
+
+#endif // DCB_VENDOR_SAMPLEGEN_H

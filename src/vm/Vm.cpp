@@ -1,0 +1,666 @@
+//===- vm/Vm.cpp ----------------------------------------------------------===//
+
+#include "vm/Vm.h"
+
+#include "sass/Printer.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+using namespace dcb;
+using namespace dcb::vm;
+using ir::Inst;
+using ir::Kernel;
+using sass::Instruction;
+using sass::Operand;
+using sass::OperandKind;
+
+namespace {
+
+float asFloat(uint32_t Bits) {
+  float F;
+  std::memcpy(&F, &Bits, sizeof(F));
+  return F;
+}
+
+uint32_t fromFloat(float F) {
+  uint32_t Bits;
+  std::memcpy(&Bits, &F, sizeof(Bits));
+  return Bits;
+}
+
+double asDouble(uint64_t Bits) {
+  double D;
+  std::memcpy(&D, &Bits, sizeof(D));
+  return D;
+}
+
+uint64_t fromDouble(double D) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &D, sizeof(Bits));
+  return Bits;
+}
+
+/// One thread's architectural state.
+struct Thread {
+  std::vector<uint32_t> Regs = std::vector<uint32_t>(256, 0);
+  std::vector<bool> Preds = std::vector<bool>(7, false);
+  std::vector<uint8_t> Local;
+  std::vector<size_t> SsyStack;   ///< Flat reconvergence targets.
+  std::vector<size_t> BreakStack; ///< Flat PBK break targets.
+  std::vector<size_t> CallStack;  ///< Flat return targets.
+  unsigned Tid = 0;
+  uint64_t Steps = 0;
+
+  uint32_t reg(int64_t Id) const {
+    if (Id < 0)
+      return 0; // RZ.
+    assert(Id < 255 && "register id out of range");
+    return Regs[Id];
+  }
+  void setReg(int64_t Id, uint32_t Value) {
+    if (Id < 0)
+      return; // Writes to RZ are discarded.
+    Regs[Id] = Value;
+  }
+  uint64_t reg64(int64_t Id) const {
+    if (Id < 0)
+      return 0;
+    return static_cast<uint64_t>(Regs[Id]) |
+           (static_cast<uint64_t>(Regs[Id + 1]) << 32);
+  }
+  void setReg64(int64_t Id, uint64_t Value) {
+    if (Id < 0)
+      return;
+    Regs[Id] = static_cast<uint32_t>(Value);
+    Regs[Id + 1] = static_cast<uint32_t>(Value >> 32);
+  }
+  bool pred(int64_t Id) const { return Id == 7 ? true : Preds[Id]; }
+  void setPred(int64_t Id, bool Value) {
+    if (Id != 7)
+      Preds[Id] = Value;
+  }
+};
+
+/// The interpreter over one flattened kernel.
+class Interp {
+public:
+  Interp(const Kernel &K, Memory &Mem, const LaunchConfig &Config)
+      : K(K), Mem(Mem), Config(Config) {
+    for (size_t BlockIdx = 0; BlockIdx < K.Blocks.size(); ++BlockIdx) {
+      BlockStart.push_back(Flat.size());
+      for (const Inst &Entry : K.Blocks[BlockIdx].Insts)
+        Flat.push_back(&Entry);
+    }
+    BlockStart.push_back(Flat.size());
+  }
+
+  Expected<ThreadResult> runThread(unsigned Tid);
+
+private:
+  const Kernel &K;
+  Memory &Mem;
+  const LaunchConfig &Config;
+  std::vector<const Inst *> Flat;
+  std::vector<size_t> BlockStart;
+
+  Failure unsupported(const Instruction &Asm, const std::string &Why) {
+    return Failure("vm: " + Why + " in '" + sass::printInstruction(Asm) +
+                   "'");
+  }
+
+  // --- Memory helpers (addresses wrap to the region size) ---------------
+  template <typename Region>
+  uint8_t *at(Region &R, uint64_t Addr) {
+    return R.data() + (Addr % R.size());
+  }
+  uint64_t loadBytes(std::vector<uint8_t> &R, uint64_t Addr,
+                     unsigned Bytes) {
+    uint64_t Value = 0;
+    for (unsigned I = 0; I < Bytes; ++I)
+      Value |= static_cast<uint64_t>(*at(R, Addr + I)) << (8 * I);
+    return Value;
+  }
+  void storeBytes(std::vector<uint8_t> &R, uint64_t Addr, unsigned Bytes,
+                  uint64_t Value) {
+    for (unsigned I = 0; I < Bytes; ++I)
+      *at(R, Addr + I) = static_cast<uint8_t>(Value >> (8 * I));
+  }
+
+  std::vector<uint8_t> &regionFor(const std::string &Opcode, Thread &T) {
+    if (Opcode == "LDL" || Opcode == "STL")
+      return T.Local;
+    if (Opcode == "LDS" || Opcode == "STS")
+      return Mem.Shared;
+    return Mem.Global; // LD/ST/LDG/STG/ATOM.
+  }
+
+  // --- Operand evaluation -------------------------------------------------
+  uint32_t value32(Thread &T, const Operand &Op) {
+    uint32_t V = 0;
+    switch (Op.Kind) {
+    case OperandKind::Register:
+      V = T.reg(Op.Value[0]);
+      break;
+    case OperandKind::IntImm:
+      V = static_cast<uint32_t>(Op.Value[0]);
+      break;
+    case OperandKind::FloatImm:
+      V = fromFloat(static_cast<float>(Op.FValue));
+      break;
+    case OperandKind::ConstMem: {
+      auto It = Mem.ConstBanks.find(static_cast<unsigned>(Op.Value[0]));
+      if (It == Mem.ConstBanks.end() || It->second.empty())
+        return 0;
+      uint64_t Addr = Op.Value[1];
+      if (Op.HasRegister)
+        Addr += T.reg(Op.Value[2]);
+      return static_cast<uint32_t>(loadBytes(It->second, Addr, 4));
+    }
+    default:
+      break;
+    }
+    // Unary operators on register-like sources act bitwise here; float ops
+    // re-interpret below.
+    if (Op.Complemented)
+      V = ~V;
+    if (Op.Negated && Op.Kind == OperandKind::Register)
+      V = static_cast<uint32_t>(-static_cast<int32_t>(V));
+    return V;
+  }
+
+  float valueF32(Thread &T, const Operand &Op) {
+    float F;
+    if (Op.Kind == OperandKind::FloatImm) {
+      F = static_cast<float>(Op.FValue);
+    } else {
+      Operand Plain = Op;
+      Plain.Negated = Plain.Absolute = Plain.Complemented = false;
+      F = asFloat(value32(T, Plain));
+    }
+    if (Op.Absolute)
+      F = std::fabs(F);
+    if (Op.Negated && Op.Kind != OperandKind::FloatImm)
+      F = -F;
+    return F;
+  }
+
+  double valueF64(Thread &T, const Operand &Op) {
+    double D;
+    if (Op.Kind == OperandKind::FloatImm) {
+      D = Op.FValue;
+    } else if (Op.Kind == OperandKind::Register) {
+      D = asDouble(T.reg64(Op.Value[0]));
+    } else {
+      D = static_cast<double>(valueF32(T, Op));
+    }
+    if (Op.Absolute)
+      D = std::fabs(D);
+    if (Op.Negated && Op.Kind != OperandKind::FloatImm)
+      D = -D;
+    return D;
+  }
+
+  bool predValue(Thread &T, const Operand &Op) {
+    bool V = T.pred(Op.Value[0]);
+    return Op.LogicalNot ? !V : V;
+  }
+
+  uint64_t memAddress(Thread &T, const Operand &Op) {
+    assert(Op.Kind == OperandKind::Memory && "not a memory operand");
+    return T.reg(Op.Value[0]) + static_cast<uint64_t>(Op.Value[1]);
+  }
+
+  static bool compare(const std::string &Cmp, float A, float B) {
+    if (Cmp == "LT")
+      return A < B;
+    if (Cmp == "EQ")
+      return A == B;
+    if (Cmp == "LE")
+      return A <= B;
+    if (Cmp == "GT")
+      return A > B;
+    if (Cmp == "NE")
+      return A != B;
+    return A >= B; // GE
+  }
+  static bool compareI(const std::string &Cmp, int32_t A, int32_t B) {
+    if (Cmp == "LT")
+      return A < B;
+    if (Cmp == "EQ")
+      return A == B;
+    if (Cmp == "LE")
+      return A <= B;
+    if (Cmp == "GT")
+      return A > B;
+    if (Cmp == "NE")
+      return A != B;
+    return A >= B;
+  }
+  static bool logic(const std::string &Op, bool A, bool B) {
+    if (Op == "OR")
+      return A || B;
+    if (Op == "XOR")
+      return A != B;
+    return A && B; // AND
+  }
+
+  bool hasMod(const Instruction &Asm, const char *Name) {
+    for (const std::string &Mod : Asm.Modifiers)
+      if (Mod == Name)
+        return true;
+    return false;
+  }
+
+  unsigned memBytes(const Instruction &Asm) {
+    for (const std::string &Mod : Asm.Modifiers) {
+      if (Mod == "64")
+        return 8;
+      if (Mod == "128")
+        return 16;
+      if (Mod == "U8" || Mod == "S8")
+        return 1;
+      if (Mod == "U16" || Mod == "S16")
+        return 2;
+    }
+    return 4;
+  }
+
+  /// Executes one instruction; updates \p Pc. Returns false to halt the
+  /// thread (EXIT) or an error for unsupported input.
+  Expected<bool> step(Thread &T, size_t &Pc);
+};
+
+Expected<bool> Interp::step(Thread &T, size_t &Pc) {
+  const Inst &Entry = *Flat[Pc];
+  const Instruction &Asm = Entry.Asm;
+  size_t Next = Pc + 1;
+
+  // Conditional guard.
+  bool GuardOk = T.pred(Asm.GuardPredicate);
+  if (Asm.GuardNegated)
+    GuardOk = !GuardOk;
+
+  if (GuardOk) {
+    const std::string &Op = Asm.Opcode;
+    const auto &Ops = Asm.Operands;
+
+    if (Op == "MOV" || Op == "MOV32I") {
+      T.setReg(Ops[0].Value[0], value32(T, Ops[1]));
+    } else if (Op == "S2R") {
+      const std::string &Name = Ops[1].Text;
+      uint32_t V = 0;
+      if (Name == "SR_TID.X")
+        V = T.Tid;
+      else if (Name == "SR_CTAID.X")
+        V = Config.BlockId;
+      else if (Name == "SR_NTID.X")
+        V = Config.NumThreads;
+      else if (Name == "SR_LANEID")
+        V = T.Tid % 32;
+      else if (Name == "SR_CLOCK_LO")
+        V = static_cast<uint32_t>(T.Steps);
+      T.setReg(Ops[0].Value[0], V);
+    } else if (Op == "IADD" || Op == "IADD32I") {
+      // Register negation is already folded inside value32.
+      uint32_t A = value32(T, Ops[1]);
+      uint32_t B = value32(T, Ops[2]);
+      T.setReg(Ops[0].Value[0], A + B);
+    } else if (Op == "IMUL") {
+      uint64_t Product = static_cast<uint64_t>(value32(T, Ops[1])) *
+                         value32(T, Ops[2]);
+      T.setReg(Ops[0].Value[0],
+               hasMod(Asm, "HI") ? static_cast<uint32_t>(Product >> 32)
+                                 : static_cast<uint32_t>(Product));
+    } else if (Op == "IMAD") {
+      uint32_t V = value32(T, Ops[1]) * value32(T, Ops[2]) +
+                   value32(T, Ops[3]);
+      T.setReg(Ops[0].Value[0], V);
+    } else if (Op == "XMAD") {
+      uint32_t A = value32(T, Ops[1]);
+      uint32_t B = value32(T, Ops[2]);
+      if (hasMod(Asm, "H1A"))
+        A >>= 16;
+      if (hasMod(Asm, "H1B"))
+        B >>= 16;
+      T.setReg(Ops[0].Value[0],
+               (A & 0xffff) * (B & 0xffff) + value32(T, Ops[3]));
+    } else if (Op == "IADD3") {
+      T.setReg(Ops[0].Value[0], value32(T, Ops[1]) + value32(T, Ops[2]) +
+                                    value32(T, Ops[3]));
+    } else if (Op == "BFE") {
+      // Operand 2 packs position (bits 0..7) and length (bits 8..15).
+      uint32_t Src = value32(T, Ops[1]);
+      uint32_t Ctl = value32(T, Ops[2]);
+      unsigned Pos = Ctl & 0xff, Len = (Ctl >> 8) & 0xff;
+      if (Len == 0 || Len > 32)
+        Len = 32;
+      uint32_t Field = Pos >= 32 ? 0 : (Src >> Pos);
+      if (Len < 32)
+        Field &= (1u << Len) - 1;
+      if (!hasMod(Asm, "U32") && Len < 32 && (Field >> (Len - 1)) & 1)
+        Field |= ~((1u << Len) - 1); // Sign-extend.
+      T.setReg(Ops[0].Value[0], Field);
+    } else if (Op == "BFI") {
+      uint32_t Src = value32(T, Ops[1]);
+      uint32_t Ctl = value32(T, Ops[2]);
+      uint32_t Base = value32(T, Ops[3]);
+      unsigned Pos = Ctl & 0xff, Len = (Ctl >> 8) & 0xff;
+      if (Len == 0 || Len > 32)
+        Len = 32;
+      uint32_t Mask =
+          (Len >= 32 ? ~0u : ((1u << Len) - 1)) << (Pos & 31);
+      T.setReg(Ops[0].Value[0],
+               (Base & ~Mask) | ((Src << (Pos & 31)) & Mask));
+    } else if (Op == "POPC") {
+      T.setReg(Ops[0].Value[0],
+               static_cast<uint32_t>(
+                   __builtin_popcount(value32(T, Ops[1]))));
+    } else if (Op == "LOP3") {
+      uint32_t ValA = value32(T, Ops[1]);
+      uint32_t ValB = value32(T, Ops[2]);
+      uint32_t ValC = value32(T, Ops[3]);
+      uint32_t Lut = value32(T, Ops[4]);
+      uint32_t Out = 0;
+      for (unsigned Bit = 0; Bit < 32; ++Bit) {
+        unsigned Index = (((ValA >> Bit) & 1) << 2) |
+                         (((ValB >> Bit) & 1) << 1) | ((ValC >> Bit) & 1);
+        Out |= ((Lut >> Index) & 1) << Bit;
+      }
+      T.setReg(Ops[0].Value[0], Out);
+    } else if (Op == "IMNMX") {
+      int32_t A = static_cast<int32_t>(value32(T, Ops[1]));
+      int32_t B = static_cast<int32_t>(value32(T, Ops[2]));
+      bool TakeMin = predValue(T, Ops[3]);
+      T.setReg(Ops[0].Value[0],
+               static_cast<uint32_t>(TakeMin ? std::min(A, B)
+                                             : std::max(A, B)));
+    } else if (Op == "FADD") {
+      T.setReg(Ops[0].Value[0],
+               fromFloat(valueF32(T, Ops[1]) + valueF32(T, Ops[2])));
+    } else if (Op == "FMUL") {
+      T.setReg(Ops[0].Value[0],
+               fromFloat(valueF32(T, Ops[1]) * valueF32(T, Ops[2])));
+    } else if (Op == "FFMA") {
+      T.setReg(Ops[0].Value[0],
+               fromFloat(valueF32(T, Ops[1]) * valueF32(T, Ops[2]) +
+                         valueF32(T, Ops[3])));
+    } else if (Op == "FMNMX") {
+      float A = valueF32(T, Ops[1]);
+      float B = valueF32(T, Ops[2]);
+      bool TakeMin = predValue(T, Ops[3]);
+      T.setReg(Ops[0].Value[0],
+               fromFloat(TakeMin ? std::fmin(A, B) : std::fmax(A, B)));
+    } else if (Op == "DFMA") {
+      T.setReg64(Ops[0].Value[0],
+                 fromDouble(valueF64(T, Ops[1]) * valueF64(T, Ops[2]) +
+                            valueF64(T, Ops[3])));
+    } else if (Op == "RRO") {
+      // Range reduction: modeled as the identity (MUFU consumes it).
+      T.setReg(Ops[0].Value[0], fromFloat(valueF32(T, Ops[1])));
+    } else if (Op == "VOTE") {
+      // Sequential-thread semantics: the warp is this one thread.
+      bool Src = predValue(T, Ops[1]);
+      const std::string &Kind = Asm.Modifiers.at(0);
+      bool Out = Kind == "EQ" ? true : Src;
+      T.setPred(Ops[0].Value[0], Out);
+    } else if (Op == "DADD") {
+      T.setReg64(Ops[0].Value[0],
+                 fromDouble(valueF64(T, Ops[1]) + valueF64(T, Ops[2])));
+    } else if (Op == "DMUL") {
+      T.setReg64(Ops[0].Value[0],
+                 fromDouble(valueF64(T, Ops[1]) * valueF64(T, Ops[2])));
+    } else if (Op == "MUFU") {
+      float X = valueF32(T, Ops[1]);
+      float R = 0;
+      const std::string &Fn = Asm.Modifiers.at(0);
+      if (Fn == "COS")
+        R = std::cos(X);
+      else if (Fn == "SIN")
+        R = std::sin(X);
+      else if (Fn == "EX2")
+        R = std::exp2(X);
+      else if (Fn == "LG2")
+        R = std::log2(X);
+      else if (Fn == "RCP")
+        R = 1.0f / X;
+      else if (Fn == "RSQ")
+        R = 1.0f / std::sqrt(X);
+      T.setReg(Ops[0].Value[0], fromFloat(R));
+    } else if (Op == "F2F") {
+      // Modifiers are <dst>.<src>.
+      const std::string &Dst = Asm.Modifiers.at(0);
+      const std::string &Src = Asm.Modifiers.at(1);
+      if (Dst == "F32" && Src == "F64") {
+        T.setReg(Ops[0].Value[0],
+                 fromFloat(static_cast<float>(valueF64(T, Ops[1]))));
+      } else if (Dst == "F64" && Src == "F32") {
+        T.setReg64(Ops[0].Value[0],
+                   fromDouble(static_cast<double>(valueF32(T, Ops[1]))));
+      } else {
+        return unsupported(Asm, "unhandled F2F format pair");
+      }
+    } else if (Op == "F2I") {
+      T.setReg(Ops[0].Value[0],
+               static_cast<uint32_t>(
+                   static_cast<int32_t>(valueF32(T, Ops[1]))));
+    } else if (Op == "I2F") {
+      bool Unsigned = !Asm.Modifiers.empty() && Asm.Modifiers[0][0] == 'U';
+      uint32_t Raw = value32(T, Ops[1]);
+      float F = Unsigned
+                    ? static_cast<float>(Raw)
+                    : static_cast<float>(static_cast<int32_t>(Raw));
+      T.setReg(Ops[0].Value[0], fromFloat(F));
+    } else if (Op == "ISETP" || Op == "FSETP") {
+      const std::string &Cmp = Asm.Modifiers.at(0);
+      const std::string &Lgc = Asm.Modifiers.at(1);
+      bool Test;
+      if (Op[0] == 'F') {
+        Test = compare(Cmp, valueF32(T, Ops[2]), valueF32(T, Ops[3]));
+      } else {
+        Test = compareI(Cmp, static_cast<int32_t>(value32(T, Ops[2])),
+                        static_cast<int32_t>(value32(T, Ops[3])));
+      }
+      bool Combined = logic(Lgc, Test, predValue(T, Ops[4]));
+      T.setPred(Ops[0].Value[0], Combined);
+      T.setPred(Ops[1].Value[0], !Combined);
+    } else if (Op == "PSETP") {
+      const std::string &L1 = Asm.Modifiers.at(0);
+      const std::string &L2 = Asm.Modifiers.at(1);
+      bool V = logic(L2, logic(L1, predValue(T, Ops[2]),
+                               predValue(T, Ops[3])),
+                     predValue(T, Ops[4]));
+      T.setPred(Ops[0].Value[0], V);
+      T.setPred(Ops[1].Value[0], !V);
+    } else if (Op == "SEL") {
+      T.setReg(Ops[0].Value[0], predValue(T, Ops[3])
+                                    ? value32(T, Ops[1])
+                                    : value32(T, Ops[2]));
+    } else if (Op == "LOP") {
+      uint32_t A = value32(T, Ops[1]);
+      uint32_t B = value32(T, Ops[2]);
+      const std::string &Kind = Asm.Modifiers.at(0);
+      uint32_t V = Kind == "OR" ? (A | B)
+                   : Kind == "XOR" ? (A ^ B)
+                                   : (A & B);
+      T.setReg(Ops[0].Value[0], V);
+    } else if (Op == "SHL") {
+      T.setReg(Ops[0].Value[0],
+               value32(T, Ops[1]) << (value32(T, Ops[2]) & 31));
+    } else if (Op == "SHR") {
+      uint32_t Amount = value32(T, Ops[2]) & 31;
+      if (hasMod(Asm, "U32"))
+        T.setReg(Ops[0].Value[0], value32(T, Ops[1]) >> Amount);
+      else
+        T.setReg(Ops[0].Value[0],
+                 static_cast<uint32_t>(
+                     static_cast<int32_t>(value32(T, Ops[1])) >> Amount));
+    } else if (Op == "LD" || Op == "LDG" || Op == "LDL" || Op == "LDS") {
+      unsigned Bytes = memBytes(Asm);
+      std::vector<uint8_t> &Region = regionFor(Op, T);
+      uint64_t Addr = memAddress(T, Ops[1]);
+      if (Bytes <= 4)
+        T.setReg(Ops[0].Value[0],
+                 static_cast<uint32_t>(loadBytes(Region, Addr, Bytes)));
+      else if (Bytes == 8)
+        T.setReg64(Ops[0].Value[0], loadBytes(Region, Addr, 8));
+      else
+        for (unsigned I = 0; I < 4; ++I)
+          T.setReg(Ops[0].Value[0] + I,
+                   static_cast<uint32_t>(loadBytes(Region, Addr + 4 * I, 4)));
+    } else if (Op == "ST" || Op == "STG" || Op == "STL" || Op == "STS") {
+      unsigned Bytes = memBytes(Asm);
+      std::vector<uint8_t> &Region = regionFor(Op, T);
+      uint64_t Addr = memAddress(T, Ops[0]);
+      if (Bytes <= 4)
+        storeBytes(Region, Addr, Bytes, T.reg(Ops[1].Value[0]));
+      else if (Bytes == 8)
+        storeBytes(Region, Addr, 8, T.reg64(Ops[1].Value[0]));
+      else
+        for (unsigned I = 0; I < 4; ++I)
+          storeBytes(Region, Addr + 4 * I, 4, T.reg(Ops[1].Value[0] + I));
+    } else if (Op == "LDC") {
+      const Operand &C = Ops[1];
+      auto It = Mem.ConstBanks.find(static_cast<unsigned>(C.Value[0]));
+      uint64_t Addr = C.Value[1] + (C.HasRegister ? T.reg(C.Value[2]) : 0);
+      unsigned Bytes = memBytes(Asm);
+      uint64_t V = It == Mem.ConstBanks.end() || It->second.empty()
+                       ? 0
+                       : loadBytes(It->second, Addr, Bytes);
+      if (Bytes == 8)
+        T.setReg64(Ops[0].Value[0], V);
+      else
+        T.setReg(Ops[0].Value[0], static_cast<uint32_t>(V));
+    } else if (Op == "ATOM") {
+      uint64_t Addr = memAddress(T, Ops[1]);
+      uint32_t Old =
+          static_cast<uint32_t>(loadBytes(Mem.Global, Addr, 4));
+      uint32_t Src = T.reg(Ops[2].Value[0]);
+      const std::string &Kind = Asm.Modifiers.at(0);
+      uint32_t New = Old;
+      if (Kind == "ADD")
+        New = Old + Src;
+      else if (Kind == "MIN")
+        New = std::min(Old, Src);
+      else if (Kind == "MAX")
+        New = std::max(Old, Src);
+      else if (Kind == "EXCH")
+        New = Src;
+      else if (Kind == "AND")
+        New = Old & Src;
+      else if (Kind == "OR")
+        New = Old | Src;
+      else if (Kind == "XOR")
+        New = Old ^ Src;
+      storeBytes(Mem.Global, Addr, 4, New);
+      T.setReg(Ops[0].Value[0], Old);
+    } else if (Op == "TEX") {
+      // Deterministic synthetic texture: a hash of unit, coordinate and
+      // shape, so transformed code can be checked for equivalence.
+      uint64_t H = 0x9e3779b97f4a7c15ull;
+      H ^= value32(T, Ops[1]);
+      H *= 0xbf58476d1ce4e5b9ull;
+      H ^= static_cast<uint64_t>(Ops[2].Value[0]) << 32;
+      H ^= static_cast<uint64_t>(Ops[3].Value[0]) << 8;
+      T.setReg(Ops[0].Value[0], static_cast<uint32_t>(H >> 16));
+    } else if (Op == "BRA") {
+      if (Entry.TargetBlock < 0)
+        return unsupported(Asm, "indirect branch");
+      Next = BlockStart[Entry.TargetBlock];
+    } else if (Op == "CAL") {
+      if (Entry.TargetBlock < 0)
+        return unsupported(Asm, "indirect call");
+      T.CallStack.push_back(Pc + 1);
+      Next = BlockStart[Entry.TargetBlock];
+    } else if (Op == "RET") {
+      if (T.CallStack.empty())
+        return unsupported(Asm, "RET with an empty call stack");
+      Next = T.CallStack.back();
+      T.CallStack.pop_back();
+    } else if (Op == "SSY") {
+      if (Entry.TargetBlock < 0)
+        return unsupported(Asm, "SSY without a target");
+      T.SsyStack.push_back(BlockStart[Entry.TargetBlock]);
+    } else if (Op == "PBK") {
+      if (Entry.TargetBlock < 0)
+        return unsupported(Asm, "PBK without a target");
+      T.BreakStack.push_back(BlockStart[Entry.TargetBlock]);
+    } else if (Op == "BRK") {
+      if (T.BreakStack.empty())
+        return unsupported(Asm, "BRK without an armed PBK");
+      Next = T.BreakStack.back();
+      T.BreakStack.pop_back();
+    } else if (Op == "SYNC") {
+      if (T.SsyStack.empty())
+        return unsupported(Asm, "SYNC without an armed SSY");
+      Next = T.SsyStack.back();
+      T.SsyStack.pop_back();
+    } else if (Op == "EXIT") {
+      return false;
+    } else if (Op == "NOP" || Op == "BAR" || Op == "MEMBAR" ||
+               Op == "DEPBAR" || Op == "TEXDEPBAR") {
+      // The ".S" reconvergence modifier on NOP behaves like SYNC.
+      bool Rejoin = false;
+      for (const std::string &Mod : Asm.Modifiers)
+        Rejoin |= (Op == "NOP" && Mod == "S");
+      if (Rejoin) {
+        if (T.SsyStack.empty())
+          return unsupported(Asm, "NOP.S without an armed SSY");
+        Next = T.SsyStack.back();
+        T.SsyStack.pop_back();
+      }
+    } else {
+      return unsupported(Asm, "unimplemented opcode " + Op);
+    }
+  } else if (Asm.Opcode == "SYNC" ||
+             (Asm.Opcode == "NOP" && !Asm.Modifiers.empty() &&
+              Asm.Modifiers[0] == "S")) {
+    // A guarded reconvergence not taken: the thread continues into the
+    // divergent path; the SSY target stays armed.
+  }
+
+  Pc = Next;
+  return true;
+}
+
+Expected<ThreadResult> Interp::runThread(unsigned Tid) {
+  Thread T;
+  T.Tid = Tid;
+  T.Local.assign(Config.LocalSizePerThread, 0);
+
+  size_t Pc = 0;
+  while (Pc < Flat.size()) {
+    if (++T.Steps > Config.MaxStepsPerThread)
+      return Failure("vm: thread " + std::to_string(Tid) +
+                     " exceeded the step limit (runaway loop?)");
+    Expected<bool> Continue = step(T, Pc);
+    if (!Continue)
+      return Continue.takeError();
+    if (!*Continue)
+      break;
+  }
+
+  ThreadResult Result;
+  Result.Regs = std::move(T.Regs);
+  Result.Preds = std::move(T.Preds);
+  Result.Steps = T.Steps;
+  return Result;
+}
+
+} // namespace
+
+Expected<std::vector<ThreadResult>> vm::run(const Kernel &K, Memory &Mem,
+                                            const LaunchConfig &Config) {
+  assert(!Mem.Global.empty() && !Mem.Shared.empty() &&
+         "memory regions must be non-empty");
+  Interp I(K, Mem, Config);
+  std::vector<ThreadResult> Results;
+  for (unsigned Tid = 0; Tid < Config.NumThreads; ++Tid) {
+    Expected<ThreadResult> R = I.runThread(Tid);
+    if (!R)
+      return R.takeError();
+    Results.push_back(R.takeValue());
+  }
+  return Results;
+}

@@ -1,0 +1,68 @@
+//===- vm/Vm.h - SASS interpreter -------------------------------*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small SASS interpreter used to check that transformed binaries are
+/// functionally equivalent to their originals — the role a real GPU plays
+/// in the paper's workflow ("tested on each benchmark to confirm its
+/// correctness"). Threads execute sequentially with private registers,
+/// predicates and local memory, sharing global/shared/constant memory;
+/// divergence is modeled per-thread with an SSY target stack (SSY pushes,
+/// SYNC/.S pops and jumps).
+///
+/// Deliberately simplified: BAR is a no-op under sequential-thread
+/// semantics, so equivalence checks should use kernels without cross-thread
+/// shared-memory hand-offs; warp shuffles are unsupported.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_VM_VM_H
+#define DCB_VM_VM_H
+
+#include "ir/Ir.h"
+#include "support/Errors.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace dcb {
+namespace vm {
+
+/// Shared machine memory (addresses wrap modulo each region size).
+struct Memory {
+  std::vector<uint8_t> Global;
+  std::vector<uint8_t> Shared;
+  std::map<unsigned, std::vector<uint8_t>> ConstBanks;
+
+  explicit Memory(size_t GlobalSize = 1 << 16, size_t SharedSize = 1 << 14)
+      : Global(GlobalSize, 0), Shared(SharedSize, 0) {}
+};
+
+struct LaunchConfig {
+  unsigned NumThreads = 8; ///< Thread ids 0..N-1 (one block).
+  unsigned BlockId = 0;
+  unsigned MaxStepsPerThread = 200000;
+  size_t LocalSizePerThread = 1 << 12;
+};
+
+/// Final per-thread register state, exposed so instrumentation effects
+/// (e.g. cleared registers, Fig. 12) can be asserted.
+struct ThreadResult {
+  std::vector<uint32_t> Regs; ///< 256 entries; RZ excluded semantics.
+  std::vector<bool> Preds;    ///< 7 entries.
+  uint64_t Steps = 0;
+};
+
+/// Runs every thread of the launch to completion. Fails on unsupported
+/// instructions, runaway execution or malformed control flow.
+Expected<std::vector<ThreadResult>> run(const ir::Kernel &K, Memory &Mem,
+                                        const LaunchConfig &Config);
+
+} // namespace vm
+} // namespace dcb
+
+#endif // DCB_VM_VM_H

@@ -1,0 +1,902 @@
+//===- workloads/Suite.cpp ------------------------------------------------===//
+
+#include "workloads/Suite.h"
+
+#include "support/StringUtils.h"
+
+using namespace dcb;
+using namespace dcb::workloads;
+using vendor::KernelBuilder;
+
+namespace {
+
+
+bool hasWarpShuffle(Arch A) { return A >= Arch::SM30; }
+bool hasXmad(Arch A) { return archFamily(A) == EncodingFamily::Maxwell; }
+
+/// Standard kernel prologue: thread/block ids and the global linear index,
+/// with launch parameters read from constant bank 0.
+void preamble(KernelBuilder &K) {
+  K.ins("S2R R0, SR_TID.X;");
+  K.ins("S2R R1, SR_CTAID.X;");
+  K.ins("MOV R2, c[0x0][0x28];");
+  K.ins("IMAD R3, R1, R2, R0;");
+  K.ins("SHL R4, R0, 0x2;"); // Per-thread byte offset for shared memory.
+}
+
+/// Loads the base pointer stored at constant offset \p Off into \p Reg and
+/// forms the element address Reg + R3*4. Clobbers R4.
+void loadBase(KernelBuilder &K, const char *Reg, unsigned Off) {
+  K.ins(std::string("MOV ") + Reg + ", c[0x0][" + toHexString(Off) + "];");
+  K.ins("SHL R4, R3, 0x2;");
+  K.ins(std::string("IADD ") + Reg + ", " + Reg + ", R4;");
+}
+
+// --- Individual workloads --------------------------------------------------
+
+KernelBuilder makeMatrixMul(Arch A) {
+  KernelBuilder K("matrixMul", A);
+  K.sharedMem(2048);
+  preamble(K);
+  K.ins("S2R R5, SR_TID.Y;");
+  K.ins("MOV R6, c[0x0][0x30];");
+  K.ins("MOV R7, c[0x0][0x34];");
+  K.ins("MOV R10, 0x0;");
+  K.ins("MOV32I R11, 0x0;");
+  K.label("tile_loop");
+  K.ins("SHL R8, R0, 0x2;");
+  K.ins("IADD R9, R6, R8;");
+  K.ins("LDG.E R12, [R9];");
+  K.ins("IADD R9, R7, R8;");
+  K.ins("LDG.E R13, [R9+0x10];");
+  K.ins("STS [R8], R12;");
+  K.ins("STS [R8+0x400], R13;");
+  K.ins("BAR.SYNC 0x0;");
+  K.ins("LDS R14, [R8];");
+  K.ins("LDS R15, [R8+0x400];");
+  K.ins("FFMA R11, R14, R15, R11;");
+  K.ins("BAR.SYNC 0x0;");
+  K.ins("IADD R10, R10, 0x1;");
+  K.ins("ISETP.LT.AND P0, PT, R10, c[0x0][0x38], PT;");
+  K.branch("@P0 BRA", "tile_loop");
+  K.ins("MOV R16, c[0x0][0x3c];");
+  K.ins("SHL R4, R3, 0x2;");
+  K.ins("IADD R16, R16, R4;");
+  K.ins("STG.E [R16], R11;");
+  return K.exit();
+}
+
+KernelBuilder makeBfs(Arch A) {
+  KernelBuilder K("bfs", A);
+  preamble(K);
+  loadBase(K, "R5", 0x4);
+  K.ins("LDG.E R6, [R5];");
+  K.ins("ISETP.NE.AND P1, PT, R6, RZ, PT;");
+  K.branch("SSY", "join");
+  K.branch("@!P1 BRA", "skip");
+  // Visited node: expand neighbours.
+  loadBase(K, "R7", 0x8);
+  K.ins("LDG.E R8, [R7];");
+  K.ins("LDG.E R9, [R7+0x4];");
+  K.ins("MOV R10, R8;");
+  K.label("edge_loop");
+  K.ins("ISETP.GE.AND P2, PT, R10, R9, PT;");
+  K.branch("@P2 BRA", "edges_done");
+  K.ins("SHL R11, R10, 0x2;");
+  K.ins("MOV R12, c[0x0][0xc];");
+  K.ins("IADD R12, R12, R11;");
+  K.ins("LDG.E R13, [R12];");
+  K.ins("MOV R14, 0x1;");
+  K.ins("SHL R15, R13, 0x2;");
+  K.ins("MOV R16, c[0x0][0x10];");
+  K.ins("IADD R16, R16, R15;");
+  K.ins("STG.E [R16], R14;");
+  K.ins("IADD R10, R10, 0x1;");
+  K.branch("BRA", "edge_loop");
+  K.label("edges_done");
+  K.ins("MOV R17, RZ;");
+  K.ins("STG.E [R5], R17;");
+  K.label("skip");
+  K.reconverge();
+  K.label("join");
+  return K.exit();
+}
+
+KernelBuilder makeBackprop(Arch A) {
+  KernelBuilder K("backprop", A);
+  K.sharedMem(1024);
+  preamble(K);
+  loadBase(K, "R5", 0x4);
+  K.ins("LDG.E R6, [R5];");
+  K.ins("MUFU.EX2 R7, R6;");
+  K.ins("MUFU.RCP R8, R7;");
+  K.ins("FADD R9, R7, R8;");
+  K.ins("FMUL R10, R9, 0.5;");
+  K.ins("FADD R11, -R10, 1.0;");
+  K.ins("FMUL.FTZ R12, R11, R10;");
+  K.ins("STS [R4], R12;");
+  K.ins("BAR.SYNC 0x0;");
+  K.ins("LDS R13, [R4];");
+  K.ins("FFMA R14, R13, c[0x0][0x14], R12;");
+  loadBase(K, "R15", 0x8);
+  K.ins("STG.E [R15], R14;");
+  return K.exit();
+}
+
+KernelBuilder makeHotspot(Arch A) {
+  KernelBuilder K("hotspot", A);
+  K.sharedMem(4096);
+  preamble(K);
+  K.ins("SHL R4, R0, 0x2;");
+  loadBase(K, "R5", 0x4);
+  K.ins("LDG.E R6, [R5];");
+  K.ins("STS [R4+0x40], R6;");
+  K.ins("BAR.SYNC 0x0;");
+  K.ins("LDS R7, [R4];");
+  K.ins("LDS R8, [R4+0x80];");
+  K.ins("LDS R9, [R4+0x3c];");
+  K.ins("LDS R10, [R4+0x44];");
+  K.ins("FADD R11, R7, R8;");
+  K.ins("FADD R12, R9, R10;");
+  K.ins("FADD R13, R11, R12;");
+  K.ins("FFMA R14, R6, -4.0, R13;");
+  K.ins("FMUL R15, R14, c[0x0][0x18];");
+  K.ins("FADD R16, R6, R15;");
+  loadBase(K, "R17", 0x8);
+  K.ins("STG.E [R17], R16;");
+  return K.exit();
+}
+
+KernelBuilder makeGaussian(Arch A) {
+  KernelBuilder K("gaussian", A);
+  preamble(K);
+  K.ins("MOV R5, c[0x0][0x14];");
+  K.ins("ISETP.GE.AND P0, PT, R3, R5, PT;");
+  K.branch("@P0 BRA", "out");
+  loadBase(K, "R6", 0x4);
+  K.ins("LDG.E R7, [R6];");
+  loadBase(K, "R8", 0x8);
+  K.ins("LDG.E R9, [R8];");
+  K.ins("MUFU.RCP R10, R9;");
+  K.ins("FMUL R11, R7, R10;");
+  K.ins("FADD R12, R11, -R9;");
+  K.ins("STG.E [R6], R12;");
+  K.label("out");
+  return K.exit();
+}
+
+KernelBuilder makeNw(Arch A) {
+  KernelBuilder K("nw", A);
+  K.sharedMem(512);
+  preamble(K);
+  K.ins("LDS R5, [R4];");
+  K.ins("LDS R6, [R4+0x4];");
+  K.ins("LDS R7, [R4+0x8];");
+  K.ins("IADD R8, R5, c[0x0][0x14];");
+  K.ins("IADD R9, R6, c[0x0][0x18];");
+  K.ins("IMNMX R10, R8, R9, PT;");
+  K.ins("IMNMX R11, R10, R7, !PT;");
+  K.ins("STS [R4+0xc], R11;");
+  K.ins("BAR.SYNC 0x0;");
+  loadBase(K, "R12", 0x4);
+  K.ins("STG.E [R12], R11;");
+  return K.exit();
+}
+
+KernelBuilder makeKmeans(Arch A) {
+  KernelBuilder K("kmeans", A);
+  preamble(K);
+  loadBase(K, "R5", 0x4);
+  K.ins("LDG.E R6, [R5];");
+  K.ins("MOV32I R7, 0x7f800000;"); // +inf as the running minimum
+  K.ins("MOV R8, RZ;");
+  K.ins("MOV R9, RZ;");
+  K.label("cluster_loop");
+  K.ins("SHL R10, R9, 0x2;");
+  K.ins("MOV R11, c[0x0][0x8];");
+  K.ins("IADD R11, R11, R10;");
+  K.ins("LDG.E R12, [R11];");
+  K.ins("FADD R13, R6, -R12;");
+  K.ins("FMUL R14, R13, R13;");
+  K.ins("FSETP.LT.AND P0, PT, R14, R7, PT;");
+  K.ins("SEL R8, R9, R8, P0;");
+  K.ins("FMNMX R7, R14, R7, PT;");
+  K.ins("IADD R9, R9, 0x1;");
+  K.ins("ISETP.LT.AND P1, PT, R9, c[0x0][0xc], PT;");
+  K.branch("@P1 BRA", "cluster_loop");
+  loadBase(K, "R15", 0x10);
+  K.ins("STG.E [R15], R8;");
+  return K.exit();
+}
+
+KernelBuilder makeSrad(Arch A) {
+  KernelBuilder K("srad", A);
+  preamble(K);
+  loadBase(K, "R5", 0x4);
+  K.ins("LDG.E R6, [R5];");
+  K.ins("LDG.E R7, [R5+0x4];");
+  K.ins("LDG.E R8, [R5-0x4];");
+  K.ins("FADD R9, R7, R8;");
+  K.ins("FFMA R10, R6, -2.0, R9;");
+  K.ins("FMUL R11, R10, R10;");
+  K.ins("MUFU.RCP R12, R6;");
+  K.ins("FMUL R13, R11, R12;");
+  K.ins("FMNMX R14, R13, c[0x0][0x14], PT;");
+  K.ins("STG.E [R5], R14;");
+  return K.exit();
+}
+
+KernelBuilder makePathfinder(Arch A) {
+  KernelBuilder K("pathfinder", A);
+  K.sharedMem(1024);
+  preamble(K);
+  K.ins("LDS R5, [R4];");
+  K.ins("LDS R6, [R4+0x4];");
+  K.ins("LDS R7, [R4-0x4];");
+  K.ins("IMNMX R8, R5, R6, PT;");
+  K.ins("IMNMX R9, R8, R7, PT;");
+  loadBase(K, "R10", 0x4);
+  K.ins("LDG.E R11, [R10];");
+  K.ins("IADD R12, R9, R11;");
+  K.ins("STS [R4], R12;");
+  K.ins("BAR.SYNC 0x0;");
+  K.ins("STG.E [R10], R12;");
+  return K.exit();
+}
+
+KernelBuilder makeLud(Arch A) {
+  KernelBuilder K("lud", A);
+  K.sharedMem(2048);
+  preamble(K);
+  K.ins("MOV R5, RZ;");
+  K.label("row_loop");
+  K.ins("SHL R6, R5, 0x2;");
+  K.ins("LDS R7, [R6];");
+  K.ins("LDS R8, [R4];");
+  K.ins("MUFU.RCP R9, R7;");
+  K.ins("FMUL R10, R8, R9;");
+  K.ins("FFMA R11, R10, -R7, R8;");
+  K.ins("STS [R4], R11;");
+  K.ins("BAR.SYNC 0x0;");
+  K.ins("IADD R5, R5, 0x1;");
+  K.ins("ISETP.LT.AND P0, PT, R5, c[0x0][0x10], PT;");
+  K.branch("@P0 BRA", "row_loop");
+  return K.exit();
+}
+
+KernelBuilder makeNn(Arch A) {
+  KernelBuilder K("nn", A);
+  preamble(K);
+  loadBase(K, "R5", 0x4);
+  K.ins("LDG.E.64 R6, [R5];");
+  K.ins("DADD R8, R6, 0.0625;");
+  K.ins("DMUL R10, R8, R8;");
+  K.ins("DADD R12, R10, 1.5;");
+  K.ins("STG.E.64 [R5], R12;");
+  return K.exit();
+}
+
+KernelBuilder makeHeartwall(Arch A) {
+  KernelBuilder K("heartwall", A);
+  preamble(K);
+  K.ins("TEX R5, R3, 0x4, 2D, RGBA;");
+  if (A >= Arch::SM30)
+    K.ins("TEXDEPBAR 0x0;");
+  K.ins("FMUL R6, R5, c[0x0][0x14];");
+  K.ins("FADD R7, R6, 0.5;");
+  K.ins("F2I.S32.F32 R8, R7;");
+  loadBase(K, "R9", 0x8);
+  K.ins("STG.E [R9], R8;");
+  return K.exit();
+}
+
+KernelBuilder makeCfd(Arch A) {
+  KernelBuilder K("cfd", A);
+  preamble(K);
+  loadBase(K, "R5", 0x4);
+  K.ins("LDG.E R6, [R5];");
+  K.ins("LDG.E R7, [R5+0x4];");
+  K.ins("LDG.E R8, [R5+0x8];");
+  K.ins("FMUL R9, R6, R6;");
+  K.ins("FFMA R10, R7, R7, R9;");
+  K.ins("FFMA R11, R8, R8, R10;");
+  K.ins("MUFU.RSQ R12, R11;");
+  K.ins("FMUL R13, R6, R12;");
+  K.ins("FMUL R14, R7, R12;");
+  K.ins("FMUL R15, R8, R12;");
+  K.ins("STG.E [R5], R13;");
+  K.ins("STG.E [R5+0x4], R14;");
+  K.ins("STG.E [R5+0x8], R15;");
+  return K.exit();
+}
+
+KernelBuilder makeDct8x8(Arch A) {
+  KernelBuilder K("dct8x8", A);
+  preamble(K);
+  loadBase(K, "R5", 0x4);
+  K.ins("LDG.E R6, [R5];");
+  K.ins("I2F.S32.F32 R7, R6;");
+  K.ins("FMUL R8, R7, 0.353553;");
+  K.ins("F2F.F64.F32 R10, R8;");
+  K.ins("DMUL R12, R10, R10;");
+  K.ins("F2F.F32.F64 R14, R12;");
+  K.ins("F2I.S32.F32 R15, R14;");
+  K.ins("STG.E [R5], R15;");
+  return K.exit();
+}
+
+KernelBuilder makeMyocyte(Arch A) {
+  KernelBuilder K("myocyte", A);
+  preamble(K);
+  loadBase(K, "R5", 0x4);
+  K.ins("LDG.E R6, [R5];");
+  K.ins("MUFU.SIN R7, R6;");
+  K.ins("MUFU.COS R8, R6;");
+  K.ins("FMUL R9, R7, R8;");
+  K.ins("MUFU.LG2 R10, |R9|;");
+  K.ins("FFMA R11, R10, c[0x0][0x14], R7;");
+  K.ins("STG.E [R5], R11;");
+  return K.exit();
+}
+
+KernelBuilder makeLavaMD(Arch A) {
+  KernelBuilder K("lavaMD", A);
+  K.sharedMem(512);
+  preamble(K);
+  K.ins("LDS R5, [R4];");
+  K.ins("LDS R6, [R4+0x100];");
+  K.ins("FADD R7, R5, -R6;");
+  K.ins("FMUL R8, R7, R7;");
+  K.ins("MUFU.EX2 R9, -R8;");
+  K.ins("FFMA R10, R9, R7, R5;");
+  K.ins("STS [R4], R10;");
+  K.ins("BAR.SYNC 0x0;");
+  loadBase(K, "R11", 0x4);
+  K.ins("STG.E [R11], R10;");
+  return K.exit();
+}
+
+KernelBuilder makeStreamcluster(Arch A) {
+  KernelBuilder K("streamcluster", A);
+  preamble(K);
+  loadBase(K, "R5", 0x4);
+  K.ins("LDG.E R6, [R5];");
+  K.ins("LDG.E R7, [R5+0x4];");
+  K.ins("FADD R8, R6, -R7;");
+  K.ins("FMUL R9, R8, R8;");
+  K.ins("FSETP.GT.AND P0, PT, R9, c[0x0][0x14], PT;");
+  K.ins("@P0 MOV R10, 0x1;");
+  K.ins("@!P0 MOV R10, RZ;");
+  K.ins("ATOM.ADD R11, [R5+0x8], R10;");
+  K.ins("MEMBAR.GL;");
+  K.ins("STG.E [R5+0xc], R11;");
+  return K.exit();
+}
+
+KernelBuilder makeParticlefilter(Arch A) {
+  KernelBuilder K("particlefilter", A);
+  preamble(K);
+  loadBase(K, "R5", 0x4);
+  K.ins("LDG.E R6, [R5];");
+  K.ins("SHR.U32 R7, R6, 0x10;");
+  K.ins("LOP.XOR R8, R6, R7;");
+  K.ins("MOV32I R9, 0x9e3779b9;");
+  K.ins("IMUL R10, R8, R9;");
+  K.ins("LOP.AND R11, R10, 0xff;");
+  K.ins("I2F.U32.F32 R12, R11;");
+  K.ins("FMUL R13, R12, 0.00390625;");
+  K.ins("STG.E [R5], R13;");
+  return K.exit();
+}
+
+KernelBuilder makeParticles(Arch A) {
+  KernelBuilder K("particles", A);
+  preamble(K);
+  loadBase(K, "R5", 0x4);
+  K.ins("LDG.E R6, [R5];");
+  K.ins("LDG.E R7, [R5+0x4];");
+  K.ins("FFMA R8, R7, c[0x0][0x14], R6;");
+  K.ins("FSETP.LT.AND P0, PT, R8, -1.0, PT;");
+  K.ins("FSETP.GT.OR P1, PT, R8, 1.0, P0;");
+  K.ins("@P1 FMUL R8, R8, -0.5;");
+  K.ins("STG.E [R5], R8;");
+  return K.exit();
+}
+
+KernelBuilder makeBtree(Arch A) {
+  KernelBuilder K("b_tree", A);
+  preamble(K);
+  loadBase(K, "R5", 0x4);
+  K.ins("MOV R6, c[0x0][0x14];"); // Search key.
+  K.ins("MOV R7, RZ;");
+  K.label("descend");
+  K.ins("LDG.E R8, [R5];");
+  K.ins("ISETP.EQ.AND P0, PT, R8, R6, PT;");
+  K.branch("@P0 BRA", "found");
+  K.ins("ISETP.LT.AND P1, PT, R8, R6, PT;");
+  K.ins("@P1 IADD R5, R5, 0x8;");
+  K.ins("@!P1 IADD R5, R5, 0x4;");
+  K.ins("IADD R7, R7, 0x1;");
+  K.ins("ISETP.LT.AND P2, PT, R7, 0x8, PT;");
+  K.branch("@P2 BRA", "descend");
+  K.label("found");
+  loadBase(K, "R9", 0x8);
+  K.ins("STG.E [R9], R7;");
+  return K.exit();
+}
+
+KernelBuilder makeMummergpu(Arch A) {
+  KernelBuilder K("mummergpu", A);
+  preamble(K);
+  K.ins("TEX R5, R3, 0x2, 1D, R;");
+  if (A >= Arch::SM30)
+    K.ins("TEXDEPBAR 0x0;");
+  K.ins("LOP.AND R6, R5, 0x3;");
+  K.ins("SHL R7, R6, 0x1;");
+  K.ins("LOP.OR R8, R7, 0x1;");
+  loadBase(K, "R9", 0x4);
+  K.ins("STG.E [R9], R8;");
+  return K.exit();
+}
+
+KernelBuilder makeNbody(Arch A) {
+  KernelBuilder K("nbody", A);
+  K.sharedMem(2048);
+  preamble(K);
+  loadBase(K, "R5", 0x4);
+  K.ins("LDG.E R6, [R5];");
+  K.ins("LDG.E R7, [R5+0x4];");
+  K.ins("MOV R8, RZ;");
+  K.ins("MOV R9, RZ;");
+  K.label("body_loop");
+  K.ins("SHL R10, R9, 0x3;");
+  K.ins("LDS R11, [R10];");
+  K.ins("LDS R12, [R10+0x4];");
+  K.ins("FADD R13, R11, -R6;");
+  K.ins("FADD R14, R12, -R7;");
+  K.ins("FMUL R15, R13, R13;");
+  K.ins("FFMA R16, R14, R14, R15;");
+  K.ins("FADD R17, R16, 0.0001;");
+  K.ins("MUFU.RSQ R18, R17;");
+  K.ins("FMUL R19, R18, R18;");
+  K.ins("FMUL R20, R19, R18;");
+  K.ins("FFMA R8, R13, R20, R8;");
+  K.ins("IADD R9, R9, 0x1;");
+  K.ins("ISETP.LT.AND P0, PT, R9, c[0x0][0x14], PT;");
+  K.branch("@P0 BRA", "body_loop");
+  K.ins("STG.E [R5+0x8], R8;");
+  return K.exit();
+}
+
+KernelBuilder makeFdtd3d(Arch A) {
+  KernelBuilder K("FDTD3d", A);
+  preamble(K);
+  loadBase(K, "R5", 0x4);
+  K.ins("LDG.E R6, [R5];");
+  K.ins("LDG.E R7, [R5+0x4];");
+  K.ins("LDG.E R8, [R5-0x4];");
+  K.ins("LDG.E R9, [R5+0x100];");
+  K.ins("LDG.E R10, [R5-0x100];");
+  K.ins("FADD R11, R7, R8;");
+  K.ins("FADD R12, R9, R10;");
+  K.ins("FADD R13, R11, R12;");
+  K.ins("FFMA R14, R6, c[0x0][0x14], R13;");
+  K.ins("STG.E [R5], R14;");
+  return K.exit();
+}
+
+KernelBuilder makeDxtc(Arch A) {
+  KernelBuilder K("dxtc", A);
+  preamble(K);
+  loadBase(K, "R5", 0x4);
+  K.ins("LDG.E R6, [R5];");
+  K.ins("SHR.U32 R7, R6, 0x8;");
+  K.ins("LOP.AND R8, R7, 0xff;");
+  K.ins("SHR.U32 R9, R6, 0x3;");
+  K.ins("LOP.AND R10, R9, 0x1f;");
+  K.ins("SHL R11, R10, 0xb;");
+  K.ins("LOP.OR R12, R11, R8;");
+  if (hasXmad(A)) {
+    K.ins("XMAD R13, R12, R8, R10;");
+    K.ins("XMAD.H1A R13, R13, R8, R10;");
+  } else {
+    K.ins("IMAD R13, R12, R8, R10;");
+  }
+  K.ins("STG.E [R5], R13;");
+  return K.exit();
+}
+
+KernelBuilder makeBicubicTexture(Arch A) {
+  KernelBuilder K("bicubicTexture", A);
+  preamble(K);
+  K.ins("TEX R5, R3, 0x0, 2D, RG;");
+  K.ins("TEX R7, R3, 0x1, ARRAY_2D, RGB;");
+  if (A >= Arch::SM30)
+    K.ins("TEXDEPBAR 0x1;");
+  K.ins("FADD R9, R5, R7;");
+  K.ins("FMUL R10, R9, 0.25;");
+  loadBase(K, "R11", 0x4);
+  K.ins("STG.E [R11], R10;");
+  return K.exit();
+}
+
+KernelBuilder makeImageDenoising(Arch A) {
+  KernelBuilder K("imageDenoising", A);
+  preamble(K);
+  K.ins("TEX R5, R3, 0x0, 2D, RGBA;");
+  K.ins("FMUL R6, R5, c[0x0][0x14];");
+  K.ins("FADD.FTZ R7, R6, |R5|;");
+  K.ins("FMNMX R8, R7, 1.0, PT;");
+  loadBase(K, "R9", 0x4);
+  K.ins("STG.E [R9], R8;");
+  return K.exit();
+}
+
+KernelBuilder makeInterval(Arch A) {
+  KernelBuilder K("interval", A);
+  preamble(K);
+  loadBase(K, "R5", 0x4);
+  K.ins("LDG.E.64 R6, [R5];");
+  K.ins("DADD.RM R8, R6, 0.125;");
+  K.ins("DADD.RP R10, R6, 0.125;");
+  K.ins("DMUL.RZ R12, R8, R10;");
+  K.ins("STG.E.64 [R5], R12;");
+  return K.exit();
+}
+
+KernelBuilder makeMcAsianOption(Arch A) {
+  KernelBuilder K("MC_SingleAsianOptionP", A);
+  preamble(K);
+  loadBase(K, "R5", 0x4);
+  K.ins("LDG.E R6, [R5];");
+  K.ins("MOV32I R7, 0x41c64e6d;");
+  K.ins("IMUL R8, R6, R7;");
+  K.ins("IADD32I R8, R8, 0x3039;");
+  K.ins("I2F.U32.F32 R9, R8;");
+  K.ins("FMUL R10, R9, 0.0000000002;");
+  K.ins("MUFU.LG2 R11, R10;");
+  K.ins("FMUL R12, R11, -2.0;");
+  K.ins("MUFU.RSQ R13, |R12|;");
+  K.ins("FFMA R14, R13, c[0x0][0x14], R10;");
+  K.ins("STG.E [R5], R14;");
+  return K.exit();
+}
+
+KernelBuilder makeRay(Arch A) {
+  KernelBuilder K("RAY", A);
+  preamble(K);
+  loadBase(K, "R5", 0x4);
+  K.ins("LDG.E R6, [R5];");
+  K.ins("LDG.E R7, [R5+0x4];");
+  K.ins("FMUL R8, R6, R6;");
+  K.ins("FFMA R9, R7, R7, R8;");
+  K.ins("FADD R10, R9, -1.0;");
+  K.ins("FSETP.GE.AND P0, PT, R10, 0.0, PT;");
+  K.branch("SSY", "shade_done");
+  K.branch("@!P0 BRA", "miss");
+  K.ins("MUFU.RSQ R11, R10;");
+  K.ins("FMUL R12, R11, c[0x0][0x14];");
+  K.reconverge(); // Hit threads park; miss threads continue below.
+  K.label("miss");
+  K.ins("MOV32I R12, 0x3f000000;");
+  K.reconverge();
+  K.label("shade_done");
+  K.ins("STG.E [R5], R12;");
+  return K.exit();
+}
+
+KernelBuilder makeRecursiveGaussian(Arch A) {
+  KernelBuilder K("recursiveGaussian", A);
+  preamble(K);
+  loadBase(K, "R5", 0x4);
+  K.ins("LDG.E R6, [R5];");
+  K.ins("MOV R7, RZ;");
+  K.ins("MOV R8, RZ;");
+  K.label("scan");
+  K.ins("FFMA R7, R7, c[0x0][0x14], R6;");
+  K.ins("IADD R8, R8, 0x1;");
+  K.ins("ISETP.LT.AND P0, PT, R8, 0x4, PT;");
+  K.branch("@P0 BRA", "scan");
+  K.ins("STG.E [R5], R7;");
+  return K.exit();
+}
+
+KernelBuilder makeLeukocyte(Arch A) {
+  KernelBuilder K("leukocyte", A);
+  preamble(K);
+  if (hasWarpShuffle(A)) {
+    loadBase(K, "R5", 0x4);
+    K.ins("LDG.E R6, [R5];");
+    K.ins("SHFL.DOWN PT, R7, R6, 0x10;");
+    K.ins("FADD R6, R6, R7;");
+    K.ins("SHFL.DOWN PT, R7, R6, 0x8;");
+    K.ins("FADD R6, R6, R7;");
+    K.ins("SHFL.BFLY P1, R8, R6, 0x1;");
+    K.ins("FADD R6, R6, R8;");
+    K.ins("STG.E [R5], R6;");
+  } else {
+    K.sharedMem(256);
+    loadBase(K, "R5", 0x4);
+    K.ins("LDG.E R6, [R5];");
+    K.ins("STS [R4], R6;");
+    K.ins("BAR.SYNC 0x0;");
+    K.ins("LDS R7, [R4+0x4];");
+    K.ins("FADD R8, R6, R7;");
+    K.ins("STG.E [R5], R8;");
+  }
+  return K.exit();
+}
+
+KernelBuilder makeCallRet(Arch A) {
+  // Stands in for the SDK's "interval"-style helper-function samples:
+  // exercises CAL/RET, predicate set-predicate logic and local memory.
+  KernelBuilder K("deviceQueryHelpers", A);
+  preamble(K);
+  K.ins("STL [R4], R3;");
+  K.branch("CAL", "helper");
+  K.ins("LDL R5, [R4];");
+  K.ins("PSETP.AND.OR P0, P1, P2, P3, PT;");
+  K.ins("PSETP.OR.AND P2, PT, !P0, P1, PT;");
+  K.ins("@P2 IADD R5, R5, 0x1;");
+  loadBase(K, "R6", 0x4);
+  K.ins("STG.E [R6], R5;");
+  K.ins("EXIT;");
+  K.label("helper");
+  K.ins("LDL R7, [R4];");
+  K.ins("IADD R7, R7, 0x7;");
+  K.ins("STL [R4], R7;");
+  K.ins("ISETP.GT.AND P2, PT, R7, 0x10, PT;");
+  K.ins("RET;");
+  return K;
+}
+
+KernelBuilder makeScan(Arch A) {
+  // SDK "scan" sample: DEPBAR, carry chains (.X), LDC and barrier modes.
+  KernelBuilder K("scan", A);
+  K.sharedMem(512);
+  preamble(K);
+  K.ins("LDC R5, c[0x3][R0+0x0];");
+  K.ins("LDC.64 R6, c[0x0][R1+0x8];");
+  K.ins("IADD.X R8, R5, R6;");
+  K.ins("IADD R9, R3, -0x20;");
+  K.ins("STS [R4], R8;");
+  K.ins("BAR.ARV 0x1;");
+  K.ins("BAR.SYNC 0x0;");
+  K.ins("DEPBAR.LE SB0, {0};");
+  K.ins("LDS R10, [R4+0x4];");
+  K.ins("IADD R11, R10, R9;");
+  loadBase(K, "R12", 0x4);
+  K.ins("STG.E [R12], R11;");
+  return K.exit();
+}
+
+KernelBuilder makeSimpleTemplates(Arch A) {
+  // SDK "simpleTemplates": a grab-bag of scalar arithmetic forms that the
+  // heavier kernels do not happen to emit.
+  KernelBuilder K("simpleTemplates", A);
+  preamble(K);
+  if (archFamily(A) == EncodingFamily::Fermi)
+    K.ins("MOV R5, c[0x1][0x100];"); // Fermi lacks the wide constant form.
+  else
+    K.ins("MOV32I R5, c[0x1][0x100];");
+  K.ins("IMUL R6, R3, 0x24;");
+  K.ins("IMUL.HI R7, R3, c[0x0][0x14];");
+  K.ins("IMAD R8, R3, 0x11, R6;");
+  K.ins("IMAD R9, R3, c[0x0][0x18], R7;");
+  K.ins("IMAD R10, R8, R9, 0x40;");
+  K.ins("FADD R11, R5, c[0x0][0x1c];");
+  K.ins("ISETP.GT.AND P0, PT, R10, RZ, PT;");
+  K.ins("SEL R12, R6, 0x7f, P0;");
+  K.ins("LOP.AND R13, R12, c[0x0][0x20];");
+  K.ins("SHL R14, R13, R0;");
+  K.ins("SHR R15, R14, R1;");
+  loadBase(K, "R16", 0x4);
+  K.ins("STG.E [R16], R15;");
+  return K.exit();
+}
+
+KernelBuilder makeReduction(Arch A) {
+  // SDK "reduction": generic LD/ST, warp shuffles, double accumulation and
+  // an indirect branch through constant memory (device-side dispatch).
+  KernelBuilder K("reduction", A);
+  preamble(K);
+  loadBase(K, "R5", 0x4);
+  K.ins("LD R6, [R5];");
+  K.ins("LD.64 R8, [R5+0x8];");
+  K.ins("DADD R10, R8, R8;");
+  if (hasWarpShuffle(A)) {
+    K.ins("SHFL.UP P0, R12, R6, R0;");
+    K.ins("IADD R6, R6, R12;");
+  } else {
+    K.ins("IADD R6, R6, R6;");
+  }
+  K.ins("ST [R5], R6;");
+  K.ins("ST.64 [R5+0x8], R10;");
+  K.ins("ISETP.EQ.AND P1, PT, R0, RZ, PT;");
+  K.branch("SSY", "after");
+  K.branch("@!P1 BRA", "tail");
+  K.ins("BRA c[0x0][0x40];"); // Device-side dispatch table.
+  K.label("tail");
+  K.reconverge();
+  K.label("after");
+  return K.exit();
+}
+
+KernelBuilder makeDeviceQuery(Arch A) {
+  // SDK "deviceQuery"-style probe: reads the whole catalogue of special
+  // registers and timestamps a short busy loop.
+  KernelBuilder K("deviceQuery", A);
+  K.ins("S2R R0, SR_TID.X;");
+  K.ins("S2R R1, SR_TID.Y;");
+  K.ins("S2R R2, SR_TID.Z;");
+  K.ins("S2R R3, SR_CTAID.X;");
+  K.ins("S2R R4, SR_CTAID.Y;");
+  K.ins("S2R R5, SR_CTAID.Z;");
+  K.ins("S2R R6, SR_NTID.X;");
+  K.ins("S2R R7, SR_NCTAID.X;");
+  K.ins("S2R R8, SR_LANEID;");
+  K.ins("S2R R9, SR_CLOCK_LO;");
+  K.ins("IADD R10, R0, R1;");
+  K.ins("IADD R10, R10, R2;");
+  K.ins("IMAD R11, R3, R6, R10;");
+  K.ins("S2R R12, SR_CLOCK_LO;");
+  K.ins("IADD R13, R12, -R9;");
+  K.ins("SHL R14, R0, 0x2;");
+  K.ins("MOV R15, c[0x0][0x4];");
+  K.ins("IADD R15, R15, R14;");
+  K.ins("STG.E [R15], R11;");
+  K.ins("STG.E [R15+0x80], R13;");
+  return K.exit();
+}
+
+KernelBuilder makeHistogram(Arch A) {
+  // SDK "histogram": bit extraction, population counts and warp votes.
+  KernelBuilder K("histogram", A);
+  preamble(K);
+  loadBase(K, "R5", 0x4);
+  K.ins("LDG.E R6, [R5];");
+  K.ins("BFE R7, R6, 0x8;");
+  K.ins("BFE.U32 R8, R6, R0;");
+  K.ins("BFI R9, R7, R8, R6;");
+  K.ins("POPC R10, R9;");
+  K.ins("ISETP.GT.AND P0, PT, R10, 0x10, PT;");
+  K.ins("VOTE.ALL P1, P0;");
+  K.ins("VOTE.ANY P2, !P0;");
+  K.ins("@P1 IADD R10, R10, 0x1;");
+  K.ins("@P2 ATOM.ADD R11, [R5+0x4], R10;");
+  K.ins("STG.E [R5], R10;");
+  return K.exit();
+}
+
+KernelBuilder makeBinomialOptions(Arch A) {
+  // SDK "binomialOptions": double-precision FMA chains and MUFU range
+  // reduction.
+  KernelBuilder K("binomialOptions", A);
+  preamble(K);
+  loadBase(K, "R6", 0x4);
+  K.ins("LDG.E.64 R8, [R6];");
+  K.ins("DFMA R10, R8, R8, R8;");
+  K.ins("DFMA.RZ R12, R10, -R8, R10;");
+  K.ins("F2F.F32.F64 R14, R12;");
+  K.ins("RRO.SINCOS R15, R14;");
+  K.ins("MUFU.SIN R16, R15;");
+  K.ins("RRO.EX2 R17, |R16|;");
+  K.ins("MUFU.EX2 R18, R17;");
+  K.ins("STG.E [R6+0x40], R18;");
+  return K.exit();
+}
+
+KernelBuilder makeMergeSort(Arch A) {
+  // SDK "mergeSort": a loop exited with the PBK/BRK break mechanism.
+  KernelBuilder K("mergeSort", A);
+  preamble(K);
+  loadBase(K, "R5", 0x4);
+  K.ins("MOV R6, RZ;");
+  K.branch("PBK", "done");
+  K.label("loop");
+  K.ins("LDG.E R7, [R5];");
+  K.ins("ISETP.GE.AND P0, PT, R7, c[0x0][0x14], PT;");
+  K.ins("@P0 BRK;"); // Jumps to the target armed by PBK.
+  K.ins("IADD R7, R7, 0x3;");
+  K.ins("STG.E [R5], R7;");
+  K.ins("IADD R6, R6, 0x1;");
+  K.ins("ISETP.LT.AND P1, PT, R6, 0x8, PT;");
+  K.branch("@P1 BRA", "loop");
+  K.ins("BRK;");
+  K.label("done");
+  K.ins("STG.E [R5+0x20], R6;");
+  return K.exit();
+}
+
+KernelBuilder makeSortingNetworks(Arch A) {
+  // SDK "sortingNetworks": compare-exchange staging; on Maxwell it leans
+  // on the era's LOP3/IADD3 three-input operations.
+  KernelBuilder K("sortingNetworks", A);
+  preamble(K);
+  loadBase(K, "R5", 0x4);
+  K.ins("LDG.E R6, [R5];");
+  K.ins("LDG.E R7, [R5+0x4];");
+  K.ins("IMNMX R8, R6, R7, PT;");
+  K.ins("IMNMX R9, R6, R7, !PT;");
+  if (archFamily(A) == EncodingFamily::Maxwell) {
+    K.ins("LOP3 R10, R8, R9, R6, 0x96;");
+    K.ins("IADD3 R11, R8, R9, R10;");
+  } else {
+    K.ins("LOP.XOR R10, R8, R9;");
+    K.ins("LOP.XOR R10, R10, R6;");
+    K.ins("IADD R11, R8, R9;");
+    K.ins("IADD R11, R11, R10;");
+  }
+  K.ins("STG.E [R5], R8;");
+  K.ins("STG.E [R5+0x4], R9;");
+  K.ins("STG.E [R5+0x8], R11;");
+  return K.exit();
+}
+
+} // namespace
+
+const std::vector<Workload> &workloads::suite() {
+  static const std::vector<Workload> Suite = {
+      {"backprop", makeBackprop},
+      {"bfs", makeBfs},
+      {"bicubicTexture", makeBicubicTexture},
+      {"binomialOptions", makeBinomialOptions},
+      {"b_tree", makeBtree},
+      {"cfd", makeCfd},
+      {"dct8x8", makeDct8x8},
+      {"deviceQuery", makeDeviceQuery},
+      {"deviceQueryHelpers", makeCallRet},
+      {"dxtc", makeDxtc},
+      {"FDTD3d", makeFdtd3d},
+      {"gaussian", makeGaussian},
+      {"heartwall", makeHeartwall},
+      {"histogram", makeHistogram},
+      {"hotspot", makeHotspot},
+      {"imageDenoising", makeImageDenoising},
+      {"interval", makeInterval},
+      {"kmeans", makeKmeans},
+      {"lavaMD", makeLavaMD},
+      {"leukocyte", makeLeukocyte},
+      {"lud", makeLud},
+      {"matrixMul", makeMatrixMul},
+      {"MC_SingleAsianOptionP", makeMcAsianOption},
+      {"mergeSort", makeMergeSort},
+      {"mummergpu", makeMummergpu},
+      {"myocyte", makeMyocyte},
+      {"nbody", makeNbody},
+      {"nn", makeNn},
+      {"nw", makeNw},
+      {"particlefilter", makeParticlefilter},
+      {"particles", makeParticles},
+      {"pathfinder", makePathfinder},
+      {"RAY", makeRay},
+      {"recursiveGaussian", makeRecursiveGaussian},
+      {"reduction", makeReduction},
+      {"scan", makeScan},
+      {"simpleTemplates", makeSimpleTemplates},
+      {"sortingNetworks", makeSortingNetworks},
+      {"srad", makeSrad},
+      {"streamcluster", makeStreamcluster},
+  };
+  return Suite;
+}
+
+std::vector<vendor::KernelBuilder> workloads::buildSuite(Arch A) {
+  std::vector<vendor::KernelBuilder> Kernels;
+  for (const Workload &W : suite())
+    Kernels.push_back(W.Build(A));
+  return Kernels;
+}
+
+vendor::KernelBuilder workloads::voltaProbe(Arch A) {
+  KernelBuilder K("voltaProbe", A);
+  K.ins("S2R R0, SR_TID.X;");
+  K.ins("MOV R1, 0x4;");
+  K.ins("IADD R2, R0, R1;");
+  K.ins("IADD R3, R2, -0x10;");
+  K.ins("FFMA R4, R1, R2, R3;");
+  K.ins("LDG.E R5, [R2+0x10];");
+  K.ins("IADD R6, R5, R5;");
+  K.ins("STG.E [R2+0x20], R6;");
+  return K.exit();
+}

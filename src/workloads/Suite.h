@@ -1,0 +1,49 @@
+//===- workloads/Suite.h - Synthetic benchmark suite ------------*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stand-in for the Rodinia benchmark suite and the CUDA SDK samples
+/// that the paper feeds to its analyzer (§III-B, Artifact Appendix §C.4).
+/// Each workload is a SASS-level kernel named after the corresponding real
+/// benchmark and shaped after its dominant instruction mix: matrixMul is
+/// IMAD/FFMA + shared-memory tiles + barriers, bfs is divergence-heavy,
+/// dct8x8 leans on conversions, and so on. Together the suite covers every
+/// instruction form of the hidden ISA tables — its role, as in the paper,
+/// is to give the analyzer enough {assembly, binary} pairs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_WORKLOADS_SUITE_H
+#define DCB_WORKLOADS_SUITE_H
+
+#include "vendor/KernelBuilder.h"
+
+#include <vector>
+
+namespace dcb {
+namespace workloads {
+
+/// A named workload kernel generator.
+struct Workload {
+  const char *Name;
+  vendor::KernelBuilder (*Build)(Arch A);
+};
+
+/// All workloads (valid on every fully supported architecture; kernels
+/// adapt internally to per-generation features such as SHFL, XMAD, SYNC
+/// and register-reuse flags).
+const std::vector<Workload> &suite();
+
+/// Builds every suite kernel for \p A.
+std::vector<vendor::KernelBuilder> buildSuite(Arch A);
+
+/// A reduced kernel restricted to the partially decoded Volta inventory.
+vendor::KernelBuilder voltaProbe(Arch A);
+
+} // namespace workloads
+} // namespace dcb
+
+#endif // DCB_WORKLOADS_SUITE_H

@@ -1,0 +1,140 @@
+//===- tests/elf_test.cpp - Cubin container round trips --------------------===//
+
+#include "elf/Cubin.h"
+
+#include <gtest/gtest.h>
+
+using namespace dcb;
+using namespace dcb::elf;
+
+namespace {
+
+KernelSection makeKernel(const std::string &Name, size_t Words) {
+  KernelSection Kernel;
+  Kernel.Name = Name;
+  for (size_t I = 0; I < Words * 8; ++I)
+    Kernel.Code.push_back(static_cast<uint8_t>(I * 7 + Name.size()));
+  Kernel.NumRegisters = 24;
+  Kernel.SharedMemBytes = 512;
+  Kernel.LocalMemBytes = 16;
+  Kernel.Constant0 = {1, 2, 3, 4};
+  return Kernel;
+}
+
+} // namespace
+
+TEST(Cubin, SerializeDeserializeRoundTrip) {
+  Cubin Original(Arch::SM52);
+  Original.addKernel(makeKernel("saxpy", 8));
+  Original.addKernel(makeKernel("reduce", 16));
+
+  std::vector<uint8_t> Image = Original.serialize();
+  Expected<Cubin> Back = Cubin::deserialize(Image);
+  ASSERT_TRUE(Back.hasValue()) << Back.message();
+
+  EXPECT_EQ(Back->arch(), Arch::SM52);
+  ASSERT_EQ(Back->kernels().size(), 2u);
+  const KernelSection *Saxpy = Back->findKernel("saxpy");
+  ASSERT_NE(Saxpy, nullptr);
+  EXPECT_EQ(Saxpy->Code, Original.kernels()[0].Code);
+  EXPECT_EQ(Saxpy->NumRegisters, 24u);
+  EXPECT_EQ(Saxpy->SharedMemBytes, 512u);
+  EXPECT_EQ(Saxpy->LocalMemBytes, 16u);
+  EXPECT_EQ(Saxpy->Constant0, (std::vector<uint8_t>{1, 2, 3, 4}));
+  EXPECT_NE(Back->findKernel("reduce"), nullptr);
+  EXPECT_EQ(Back->findKernel("missing"), nullptr);
+}
+
+TEST(Cubin, EveryArchRoundTripsInFlags) {
+  unsigned Count = 0;
+  const Arch *All = supportedArchs(Count);
+  for (unsigned I = 0; I < Count; ++I) {
+    Cubin C(All[I]);
+    C.addKernel(makeKernel("k", 4));
+    Expected<Cubin> Back = Cubin::deserialize(C.serialize());
+    ASSERT_TRUE(Back.hasValue());
+    EXPECT_EQ(Back->arch(), All[I]);
+  }
+}
+
+TEST(Cubin, EmptyCubinIsValid) {
+  Cubin C(Arch::SM35);
+  Expected<Cubin> Back = Cubin::deserialize(C.serialize());
+  ASSERT_TRUE(Back.hasValue());
+  EXPECT_TRUE(Back->kernels().empty());
+}
+
+TEST(Cubin, RejectsCorruptImages) {
+  EXPECT_FALSE(Cubin::deserialize({}).hasValue());
+  EXPECT_FALSE(Cubin::deserialize({1, 2, 3}).hasValue());
+
+  Cubin C(Arch::SM35);
+  C.addKernel(makeKernel("k", 4));
+  std::vector<uint8_t> Image = C.serialize();
+
+  std::vector<uint8_t> BadMagic = Image;
+  BadMagic[0] = 0x00;
+  EXPECT_FALSE(Cubin::deserialize(BadMagic).hasValue());
+
+  std::vector<uint8_t> BadMachine = Image;
+  BadMachine[18] = 0x03; // EM_386
+  EXPECT_FALSE(Cubin::deserialize(BadMachine).hasValue());
+
+  std::vector<uint8_t> Truncated(Image.begin(), Image.begin() + 80);
+  EXPECT_FALSE(Cubin::deserialize(Truncated).hasValue());
+}
+
+TEST(Cubin, HasValidElfHeaderMagicAndMachine) {
+  Cubin C(Arch::SM61);
+  std::vector<uint8_t> Image = C.serialize();
+  EXPECT_EQ(Image[0], 0x7f);
+  EXPECT_EQ(Image[1], 'E');
+  EXPECT_EQ(Image[2], 'L');
+  EXPECT_EQ(Image[3], 'F');
+  EXPECT_EQ(Image[4], 2); // ELFCLASS64
+  EXPECT_EQ(Image[5], 1); // little-endian
+  EXPECT_EQ(Image[18] | (Image[19] << 8), 190); // EM_CUDA
+}
+
+TEST(Cubin, FindTextSectionLocatesKernelBytes) {
+  Cubin C(Arch::SM35);
+  KernelSection Kernel = makeKernel("locate_me", 4);
+  C.addKernel(Kernel);
+  std::vector<uint8_t> Image = C.serialize();
+
+  size_t Offset = 0, Size = 0;
+  ASSERT_TRUE(findTextSection(Image, "locate_me", Offset, Size));
+  ASSERT_EQ(Size, Kernel.Code.size());
+  for (size_t I = 0; I < Size; ++I)
+    EXPECT_EQ(Image[Offset + I], Kernel.Code[I]);
+  EXPECT_FALSE(findTextSection(Image, "absent", Offset, Size));
+}
+
+TEST(Cubin, PatchTextSectionEditsInPlace) {
+  Cubin C(Arch::SM35);
+  C.addKernel(makeKernel("victim", 4));
+  std::vector<uint8_t> Image = C.serialize();
+
+  std::vector<uint8_t> NewWord = {0xaa, 0xbb, 0xcc, 0xdd,
+                                  0x11, 0x22, 0x33, 0x44};
+  ASSERT_FALSE(patchTextSection(Image, "victim", 8, NewWord));
+
+  Expected<Cubin> Back = Cubin::deserialize(Image);
+  ASSERT_TRUE(Back.hasValue());
+  const KernelSection *Kernel = Back->findKernel("victim");
+  ASSERT_NE(Kernel, nullptr);
+  for (size_t I = 0; I < 8; ++I)
+    EXPECT_EQ(Kernel->Code[8 + I], NewWord[I]);
+  // Bytes outside the patch range are untouched.
+  EXPECT_EQ(Kernel->Code[0], makeKernel("victim", 4).Code[0]);
+}
+
+TEST(Cubin, PatchRejectsOutOfRange) {
+  Cubin C(Arch::SM35);
+  C.addKernel(makeKernel("k", 2));
+  std::vector<uint8_t> Image = C.serialize();
+  std::vector<uint8_t> Word(8, 0);
+  EXPECT_TRUE(patchTextSection(Image, "k", 16, Word)); // Past the end.
+  EXPECT_TRUE(patchTextSection(Image, "nope", 0, Word));
+  EXPECT_FALSE(patchTextSection(Image, "k", 8, Word));
+}

@@ -1,0 +1,310 @@
+//===- tests/encoder_test.cpp - Oracle encoder / decoder round trips ------===//
+
+#include "encoder/Encoder.h"
+#include "sass/Parser.h"
+#include "sass/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace dcb;
+using namespace dcb::encoder;
+using namespace dcb::sass;
+
+namespace {
+
+std::vector<Arch> fullArchs() {
+  unsigned Count = 0;
+  const Arch *Archs = supportedArchs(Count);
+  return std::vector<Arch>(Archs, Archs + Count);
+}
+
+// Instructions valid on every fully supported architecture.
+const char *CommonCorpus[] = {
+    "MOV R1, R2;",
+    "MOV R3, 0x40;",
+    "MOV R3, -0x40;",
+    "MOV R1, c[0x0][0x44];",
+    "MOV32I R0, 0xdeadbeef;",
+    "S2R R0, SR_TID.X;",
+    "S2R R1, SR_CTAID.Y;",
+    "IADD R1, R2, R3;",
+    "@P2 IADD R1, R2, 0x10;",
+    "@!P0 IADD R4, R5, c[0x1][0x8];",
+    "IADD R1, -R2, R3;",
+    "IADD R1, R2, -R3;",
+    "IADD32I R1, R2, 0x12345;",
+    "IMUL.HI R3, R4, R5;",
+    "IMAD R1, R2, R3, R4;",
+    "IMAD R1, R2, 0x7f, R4;",
+    "IMAD R1, R2, c[0x0][0x10], R4;",
+    "IMAD R1, R2, R4, 0x100;",
+    "FADD R0, R1, R2;",
+    "FADD.FTZ R0, -R1, |R2|;",
+    "FADD.RM R0, R1, R2;",
+    "FADD R0, R1, 0.5;",
+    "FMUL R0, R1, 2.0;",
+    "FFMA R9, R2, R3, R4;",
+    "FFMA R9, R2, 1.5, R4;",
+    "FFMA R9, R2, c[0x0][0x20], R4;",
+    "DADD R0, R2, R4;",
+    "DADD.RZ R0, R2, 1.5;",
+    "DMUL R0, -R2, R4;",
+    "MUFU.RCP R0, R1;",
+    "MUFU.SIN R0, |R1|;",
+    "F2F.F32.F64 R0, R2;",
+    "F2F.F64.F32 R0, R2;",
+    "F2I.S32.F32 R0, R2;",
+    "I2F.U32.F32 R0, R2;",
+    "ISETP.GE.AND P0, PT, R0, R1, PT;",
+    "ISETP.LT.OR P1, P2, R0, 0x10, P3;",
+    "ISETP.NE.AND P0, PT, R0, c[0x0][0x28], PT;",
+    "FSETP.GT.AND P0, PT, R0, R1, PT;",
+    "PSETP.AND.OR P0, P1, P2, P3, P4;",
+    "PSETP.OR.AND P0, P1, P2, P3, P4;",
+    "PSETP.AND.AND P0, P1, !P2, P3, PT;",
+    "SEL R0, R1, R2, P0;",
+    "SEL R0, R1, 0x5, !P1;",
+    "LOP.AND R1, R2, R3;",
+    "LOP.XOR R2, R2, ~R3;",
+    "LOP.OR R1, R2, 0xff;",
+    "SHL R1, R2, 0x4;",
+    "SHR.U32 R1, R2, 0x1f;",
+    "SHL.W R1, R2, R3;",
+    "FMNMX R0, R1, R2, P0;",
+    "IMNMX R0, R1, R2, !P2;",
+    "LD R0, [R1];",
+    "LD.64 R0, [R1+0x10];",
+    "ST [R1+0x8], R2;",
+    "LDG.E R2, [R4+0x10];",
+    "STG.E [R4+0x10], R2;",
+    "LDL R1, [R2-0x8];",
+    "STL [R2], R1;",
+    "LDS.U16 R1, [R3+0x4];",
+    "STS [R5+0x8], R6;",
+    "LDC R1, c[0x3][R2+0x10];",
+    "LDC.64 R1, c[0x0][R4+0x0];",
+    "ATOM.ADD R0, [R2+0x4], R3;",
+    "ATOM.EXCH R1, [R2], R5;",
+    "TEX R0, R4, 0x12, 2D, RGBA;",
+    "TEX R0, R4, 0x1, CUBE, RA;",
+    "RET;",
+    "EXIT;",
+    "@!P3 EXIT;",
+    "NOP;",
+    "BAR.SYNC 0x0;",
+    "BAR.ARV 0xf;",
+    "MEMBAR.GL;",
+    "DEPBAR.LE SB0, {3,4};",
+    "DEPBAR SB5, {0};",
+};
+
+// Control-flow corpus; targets chosen to be encodable at Pc = 0x100.
+const char *ControlCorpus[] = {
+    "BRA 0x58;",
+    "SSY 0x238;",
+    "CAL 0x400;",
+    "@P0 BRA 0x8;",
+    "BRA c[0x0][0x100];",
+};
+
+// SM30-and-later extras.
+const char *Sm30Corpus[] = {
+    "SHFL.IDX P1, R4, R0, R1;",
+    "SHFL.BFLY PT, R4, R0, 0x10;",
+    "TEXDEPBAR 0x3;",
+};
+
+Instruction parse(const std::string &Text) {
+  Expected<Instruction> Inst = parseInstruction(Text);
+  EXPECT_TRUE(Inst.hasValue()) << (Inst ? "" : Inst.message());
+  return Inst.hasValue() ? *Inst : Instruction();
+}
+
+/// encode -> decode -> print -> parse -> encode must reproduce the word,
+/// and the decoded AST must print identically to the canonical input print.
+void checkRoundTrip(const isa::ArchSpec &Spec, const std::string &Text,
+                    uint64_t Pc) {
+  Instruction Inst = parse(Text);
+  Expected<BitString> Word = encodeInstruction(Spec, Inst, Pc);
+  ASSERT_TRUE(Word.hasValue())
+      << "arch " << Spec.name() << ": " << Word.message();
+
+  Expected<Instruction> Decoded = decodeInstruction(Spec, *Word, Pc);
+  ASSERT_TRUE(Decoded.hasValue())
+      << "arch " << Spec.name() << ": " << Decoded.message();
+
+  std::string Printed = printInstruction(*Decoded);
+  Instruction Reparsed = parse(Printed);
+  Expected<BitString> Word2 = encodeInstruction(Spec, Reparsed, Pc);
+  ASSERT_TRUE(Word2.hasValue())
+      << "arch " << Spec.name() << " reassembling '" << Printed
+      << "': " << Word2.message();
+  EXPECT_EQ(*Word, *Word2) << "arch " << Spec.name() << " '" << Text
+                           << "' reprinted as '" << Printed << "'";
+}
+
+} // namespace
+
+class EncoderRoundTrip : public ::testing::TestWithParam<Arch> {};
+
+TEST_P(EncoderRoundTrip, CommonCorpus) {
+  const isa::ArchSpec &Spec = isa::getArchSpec(GetParam());
+  for (const char *Text : CommonCorpus)
+    checkRoundTrip(Spec, Text, /*Pc=*/0x100);
+}
+
+TEST_P(EncoderRoundTrip, ControlCorpus) {
+  const isa::ArchSpec &Spec = isa::getArchSpec(GetParam());
+  for (const char *Text : ControlCorpus)
+    checkRoundTrip(Spec, Text, /*Pc=*/0x100);
+}
+
+TEST_P(EncoderRoundTrip, Sm30Corpus) {
+  if (GetParam() == Arch::SM20 || GetParam() == Arch::SM21)
+    GTEST_SKIP() << "SHFL/TEXDEPBAR appear with Compute Capability 3.0";
+  const isa::ArchSpec &Spec = isa::getArchSpec(GetParam());
+  for (const char *Text : Sm30Corpus)
+    checkRoundTrip(Spec, Text, /*Pc=*/0x100);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchs, EncoderRoundTrip,
+                         ::testing::ValuesIn(fullArchs()),
+                         [](const ::testing::TestParamInfo<Arch> &Info) {
+                           return std::string(archName(Info.param));
+                         });
+
+TEST(EncoderRoundTripVolta, PartialInventory) {
+  const isa::ArchSpec &Spec = isa::getArchSpec(Arch::SM70);
+  const char *Corpus[] = {
+      "MOV R1, R2;",       "MOV R1, 0xabcd;",         "S2R R0, SR_TID.X;",
+      "IADD R1, R2, R3;",  "IADD R1, R2, -0x10;",     "FFMA R4, R1, R2, R3;",
+      "LDG.E R2, [R4+0x10];", "STG.E [R4+0x10], R2;", "BRA 0x200;",
+      "EXIT;",             "NOP;",
+  };
+  for (const char *Text : Corpus)
+    checkRoundTrip(Spec, Text, /*Pc=*/0x100);
+}
+
+TEST(Encoder, RelativeBranchEncoding) {
+  // Assembly shows an absolute target; the binary stores an offset relative
+  // to the next instruction (paper §III-A).
+  const isa::ArchSpec &Spec = isa::getArchSpec(Arch::SM35);
+  Instruction Bra = parse("BRA 0x58;");
+  Expected<BitString> AtZero = encodeInstruction(Spec, Bra, 0x0);
+  Expected<BitString> AtFifty = encodeInstruction(Spec, Bra, 0x50);
+  ASSERT_TRUE(AtZero.hasValue());
+  ASSERT_TRUE(AtFifty.hasValue());
+  EXPECT_NE(*AtZero, *AtFifty) << "relative encoding must depend on PC";
+
+  // Backward branches encode negative offsets.
+  Expected<BitString> Backward = encodeInstruction(Spec, Bra, 0x100);
+  ASSERT_TRUE(Backward.hasValue());
+  Expected<Instruction> Decoded = decodeInstruction(Spec, *Backward, 0x100);
+  ASSERT_TRUE(Decoded.hasValue());
+  EXPECT_EQ(Decoded->Operands[0].Value[0], 0x58);
+}
+
+TEST(Encoder, FloatLiteralsAreTruncatedNotRounded) {
+  // 19-bit fields keep only the top bits of the IEEE value (paper §IV-A):
+  // re-encoding the decoded value must be stable (idempotent truncation).
+  const isa::ArchSpec &Spec = isa::getArchSpec(Arch::SM50);
+  Instruction Inst = parse("FADD R0, R1, 1.2345678;");
+  Expected<BitString> Word = encodeInstruction(Spec, Inst, 0);
+  ASSERT_TRUE(Word.hasValue());
+  Expected<Instruction> Decoded = decodeInstruction(Spec, *Word, 0);
+  ASSERT_TRUE(Decoded.hasValue());
+  double Reconstructed = Decoded->Operands[2].FValue;
+  EXPECT_NE(Reconstructed, 1.2345678) << "truncation should lose low bits";
+  EXPECT_NEAR(Reconstructed, 1.2345678, 0.01);
+  Instruction Again = *Decoded;
+  Expected<BitString> Word2 = encodeInstruction(Spec, Again, 0);
+  ASSERT_TRUE(Word2.hasValue());
+  EXPECT_EQ(*Word, *Word2);
+}
+
+TEST(Encoder, RejectsUnknownModifier) {
+  const isa::ArchSpec &Spec = isa::getArchSpec(Arch::SM35);
+  Instruction Inst = parse("IADD.WAT R1, R2, R3;");
+  Expected<BitString> Word = encodeInstruction(Spec, Inst, 0);
+  EXPECT_FALSE(Word.hasValue());
+}
+
+TEST(Encoder, RejectsMissingMandatoryModifier) {
+  const isa::ArchSpec &Spec = isa::getArchSpec(Arch::SM35);
+  Instruction Inst = parse("LOP R1, R2, R3;"); // LOP requires .AND/.OR/.XOR.
+  EXPECT_FALSE(encodeInstruction(Spec, Inst, 0).hasValue());
+}
+
+TEST(Encoder, RejectsUnknownOperandSignature) {
+  const isa::ArchSpec &Spec = isa::getArchSpec(Arch::SM35);
+  Instruction Inst = parse("IADD R1, 0x5, R3;"); // Literal source A.
+  EXPECT_FALSE(encodeInstruction(Spec, Inst, 0).hasValue());
+}
+
+TEST(Encoder, RejectsOutOfRangeValues) {
+  const isa::ArchSpec &Spec = isa::getArchSpec(Arch::SM35);
+  EXPECT_FALSE(
+      encodeInstruction(Spec, parse("SHL R1, R2, 0x40;"), 0).hasValue());
+  EXPECT_FALSE(
+      encodeInstruction(Spec, parse("BAR.SYNC 0x1f;"), 0).hasValue());
+  // Register out of range for the 6-bit Fermi encoding.
+  const isa::ArchSpec &Fermi = isa::getArchSpec(Arch::SM20);
+  EXPECT_FALSE(
+      encodeInstruction(Fermi, parse("MOV R100, R1;"), 0).hasValue());
+}
+
+TEST(Encoder, DecoderRejectsGarbageWords) {
+  // The disassembler "may crash without producing output upon encountering
+  // unexpected instructions" (paper §III-B).
+  const isa::ArchSpec &Spec = isa::getArchSpec(Arch::SM35);
+  BitString Garbage(64);
+  for (unsigned I = 0; I < 64; I += 3)
+    Garbage.set(I, true);
+  unsigned Failures = 0;
+  for (unsigned Flip = 0; Flip < 64; ++Flip) {
+    BitString W = Garbage;
+    W.flip(Flip);
+    if (!decodeInstruction(Spec, W, 0).hasValue())
+      ++Failures;
+  }
+  EXPECT_GT(Failures, 32u) << "most random words must be undecodable";
+}
+
+TEST(Encoder, GuardRoundTripsThroughEncoding) {
+  const isa::ArchSpec &Spec = isa::getArchSpec(Arch::SM61);
+  for (unsigned Pred = 0; Pred < 7; ++Pred) {
+    for (bool Neg : {false, true}) {
+      Instruction Inst = parse("MOV R1, R2;");
+      Inst.GuardPredicate = Pred;
+      Inst.GuardNegated = Neg;
+      Expected<BitString> Word = encodeInstruction(Spec, Inst, 0);
+      ASSERT_TRUE(Word.hasValue());
+      Expected<Instruction> Decoded = decodeInstruction(Spec, *Word, 0);
+      ASSERT_TRUE(Decoded.hasValue());
+      EXPECT_EQ(Decoded->GuardPredicate, Pred);
+      EXPECT_EQ(Decoded->GuardNegated, Neg);
+    }
+  }
+}
+
+TEST(Encoder, ZeroRegisterEncodesAsMaxId) {
+  const isa::ArchSpec &Spec = isa::getArchSpec(Arch::SM35);
+  Instruction Inst = parse("MOV R1, RZ;");
+  Expected<BitString> Word = encodeInstruction(Spec, Inst, 0);
+  ASSERT_TRUE(Word.hasValue());
+  // SM35 source B register sits at bits 23..30 in the MOV rr form.
+  EXPECT_EQ(Word->field(23, 8), 255u);
+  Expected<Instruction> Decoded = decodeInstruction(Spec, *Word, 0);
+  ASSERT_TRUE(Decoded.hasValue());
+  EXPECT_EQ(sass::printInstruction(*Decoded), "MOV R1, RZ;");
+}
+
+TEST(Encoder, DistinctWordsForDistinctInstructions) {
+  const isa::ArchSpec &Spec = isa::getArchSpec(Arch::SM52);
+  std::set<BitString> Words;
+  for (const char *Text : CommonCorpus) {
+    Expected<BitString> Word = encodeInstruction(Spec, parse(Text), 0x100);
+    ASSERT_TRUE(Word.hasValue()) << Text << ": " << Word.message();
+    EXPECT_TRUE(Words.insert(*Word).second) << "duplicate word for " << Text;
+  }
+}

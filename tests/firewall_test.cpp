@@ -1,0 +1,77 @@
+//===- tests/firewall_test.cpp - Oracle/analyzer separation ----------------===//
+//
+// DESIGN.md's firewall invariant: nothing under src/analyzer, src/asmgen,
+// src/ir or src/transform may include the hidden ISA tables (src/isa) or
+// the ground-truth encoder (src/encoder). The analyzer must rediscover the
+// encodings from listings alone; a stray include would let ground truth
+// leak into the "learning" side and invalidate every reproduction claim.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#ifndef DCB_SOURCE_DIR
+#define DCB_SOURCE_DIR "."
+#endif
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string> offendingIncludes(const fs::path &Dir) {
+  std::vector<std::string> Offenses;
+  for (const fs::directory_entry &Entry :
+       fs::recursive_directory_iterator(Dir)) {
+    if (!Entry.is_regular_file())
+      continue;
+    const fs::path &Path = Entry.path();
+    if (Path.extension() != ".h" && Path.extension() != ".cpp")
+      continue;
+    std::ifstream In(Path);
+    std::string Line;
+    unsigned LineNo = 0;
+    while (std::getline(In, Line)) {
+      ++LineNo;
+      if (Line.find("#include") == std::string::npos)
+        continue;
+      if (Line.find("\"isa/") != std::string::npos ||
+          Line.find("\"encoder/") != std::string::npos)
+        Offenses.push_back(Path.string() + ":" + std::to_string(LineNo) +
+                           ": " + Line);
+    }
+  }
+  return Offenses;
+}
+
+} // namespace
+
+TEST(Firewall, AnalyzerSideNeverIncludesHiddenTables) {
+  const char *Protected[] = {"src/analyzer", "src/asmgen", "src/ir",
+                             "src/transform", "src/vm"};
+  for (const char *Dir : Protected) {
+    fs::path Path = fs::path(DCB_SOURCE_DIR) / Dir;
+    ASSERT_TRUE(fs::exists(Path)) << Path;
+    std::vector<std::string> Offenses = offendingIncludes(Path);
+    std::string All;
+    for (const std::string &Offense : Offenses)
+      All += Offense + "\n";
+    EXPECT_TRUE(Offenses.empty())
+        << Dir << " reaches across the firewall:\n"
+        << All;
+  }
+}
+
+TEST(Firewall, OracleSideIsAllowedToUseSharedLayers) {
+  // Sanity check of the test itself: the vendor side DOES include the
+  // hidden tables (it implements them), so the scanner must find hits
+  // there.
+  fs::path Path = fs::path(DCB_SOURCE_DIR) / "src/vendor";
+  ASSERT_TRUE(fs::exists(Path));
+  EXPECT_FALSE(offendingIncludes(Path).empty())
+      << "scanner failed to detect known isa/ includes";
+}

@@ -1,0 +1,256 @@
+//===- tests/integration_test.cpp - Cross-module end-to-end ----------------===//
+//
+// Whole-system scenarios that cut across every library: the Volta
+// ("in progress") pipeline, cubin-level transformation via emitProgram,
+// database persistence across tool invocations (the artifact passes
+// analysis state through stdin/stdout between runs), and ELF robustness
+// against corrupted inputs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/BitFlipper.h"
+#include "analyzer/IsaAnalyzer.h"
+#include "asmgen/TableAssembler.h"
+#include "ir/Builder.h"
+#include "ir/Layout.h"
+#include "support/Rng.h"
+#include "transform/Passes.h"
+#include "vendor/CuobjdumpSim.h"
+#include "vendor/NvccSim.h"
+#include "vm/Vm.h"
+#include "workloads/Suite.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace dcb;
+
+TEST(VoltaIntegration, PartialIsaWorkflowEndToEnd) {
+  // The paper's Volta status: 128-bit instructions with embedded
+  // scheduling, "can be decoded with similar methods". Run the full
+  // analyze -> flip -> reassemble loop on the partial SM70 inventory.
+  const Arch A = Arch::SM70;
+  vendor::NvccSim Nvcc(A);
+  Expected<elf::Cubin> Cubin = Nvcc.compile({workloads::voltaProbe(A)});
+  ASSERT_TRUE(Cubin.hasValue()) << Cubin.message();
+  Expected<std::string> Text = vendor::disassembleCubin(*Cubin);
+  ASSERT_TRUE(Text.hasValue()) << Text.message();
+  Expected<analyzer::Listing> L = analyzer::parseListing(*Text);
+  ASSERT_TRUE(L.hasValue()) << L.message();
+  ASSERT_EQ(L->A, Arch::SM70);
+
+  analyzer::IsaAnalyzer Analyzer(A);
+  ASSERT_FALSE(Analyzer.analyzeListing(*L));
+  EXPECT_GE(Analyzer.database().stats().NumOperations, 5u);
+
+  std::map<std::string, std::vector<uint8_t>> KernelCode;
+  for (const elf::KernelSection &Kernel : Cubin->kernels())
+    KernelCode[Kernel.Name] = Kernel.Code;
+  analyzer::BitFlipper Flipper(
+      Analyzer, [](const std::string &Name,
+                   const std::vector<uint8_t> &Code) {
+        return vendor::disassembleKernelCode(Arch::SM70, Name, Code);
+      });
+  auto Rounds = Flipper.run(KernelCode);
+  EXPECT_FALSE(Rounds.empty());
+
+  // Reassembly check. Note: the binary column contains the embedded
+  // control bits (105..125), which the learned assembler does not set —
+  // exactly as the framework splits them out on other generations. Mask
+  // them before comparing, as the IR layer does.
+  unsigned Identical = 0, Total = 0;
+  for (const analyzer::ListingInst &Pair : L->Kernels.front().Insts) {
+    ++Total;
+    Expected<BitString> Word = asmgen::assembleInstruction(
+        Analyzer.database(), Pair.Inst, Pair.Address);
+    if (!Word)
+      continue;
+    BitString Want = Pair.Binary;
+    Want.setField(105, 21, 0);
+    BitString Got = *Word;
+    Got.setField(105, 21, 0);
+    Identical += Want == Got;
+  }
+  EXPECT_EQ(Identical, Total);
+}
+
+TEST(ProgramIntegration, WholeCubinInstrumentationRoundTrip) {
+  // Lift a whole multi-kernel cubin, instrument every kernel, emit a new
+  // cubin image, and verify with the vendor tool.
+  const Arch A = Arch::SM52;
+  vendor::NvccSim Nvcc(A);
+  std::vector<vendor::KernelBuilder> Kernels = {
+      workloads::suite()[0].Build(A), workloads::suite()[5].Build(A),
+      workloads::suite()[10].Build(A)};
+  Expected<std::vector<uint8_t>> Image = Nvcc.compileToImage(Kernels);
+  ASSERT_TRUE(Image.hasValue());
+
+  Expected<std::string> Text = vendor::disassembleImage(*Image);
+  ASSERT_TRUE(Text.hasValue()) << Text.message();
+  Expected<analyzer::Listing> L = analyzer::parseListing(*Text);
+  ASSERT_TRUE(L.hasValue());
+
+  // Learn from the full suite so instrumentation payloads assemble.
+  Expected<elf::Cubin> SuiteBin = Nvcc.compile(workloads::buildSuite(A));
+  Expected<std::string> SuiteText = vendor::disassembleCubin(*SuiteBin);
+  Expected<analyzer::Listing> SuiteL = analyzer::parseListing(*SuiteText);
+  analyzer::IsaAnalyzer Analyzer(A);
+  ASSERT_FALSE(Analyzer.analyzeListing(*SuiteL));
+  std::map<std::string, std::vector<uint8_t>> KernelCode;
+  for (const elf::KernelSection &Kernel : SuiteBin->kernels())
+    KernelCode[Kernel.Name] = Kernel.Code;
+  analyzer::BitFlipper Flipper(
+      Analyzer, [A](const std::string &Name,
+                    const std::vector<uint8_t> &Code) {
+        return vendor::disassembleKernelCode(A, Name, Code);
+      });
+  Flipper.run(KernelCode);
+
+  Expected<ir::Program> P = ir::buildProgram(*L);
+  ASSERT_TRUE(P.hasValue()) << P.message();
+  ASSERT_EQ(P->Kernels.size(), 3u);
+  unsigned TotalSites = 0;
+  for (ir::Kernel &K : P->Kernels)
+    TotalSites += transform::clearRegistersBeforeExit(K, {40});
+  EXPECT_GE(TotalSites, 3u);
+
+  Expected<std::vector<uint8_t>> NewImage =
+      ir::emitProgram(Analyzer.database(), *P, *Image);
+  ASSERT_TRUE(NewImage.hasValue()) << NewImage.message();
+
+  Expected<std::string> NewText = vendor::disassembleImage(*NewImage);
+  ASSERT_TRUE(NewText.hasValue()) << NewText.message();
+  // Each kernel gained the clearing MOV.
+  size_t Movs = 0;
+  for (size_t Pos = NewText->find("MOV R40, RZ;");
+       Pos != std::string::npos;
+       Pos = NewText->find("MOV R40, RZ;", Pos + 1))
+    ++Movs;
+  EXPECT_GE(Movs, 3u);
+}
+
+TEST(PersistenceIntegration, DatabaseSurvivesToolBoundaries) {
+  // The artifact pipes persistent analysis data between program runs;
+  // emulate that: analyze half the suite, serialize, reload, analyze the
+  // rest, and require the final database to reassemble everything.
+  const Arch A = Arch::SM35;
+  vendor::NvccSim Nvcc(A);
+  auto Kernels = workloads::buildSuite(A);
+  std::vector<vendor::KernelBuilder> FirstHalf(Kernels.begin(),
+                                               Kernels.begin() +
+                                                   Kernels.size() / 2);
+  std::vector<vendor::KernelBuilder> SecondHalf(
+      Kernels.begin() + Kernels.size() / 2, Kernels.end());
+
+  auto listingFor = [&](const std::vector<vendor::KernelBuilder> &Set) {
+    Expected<elf::Cubin> Cubin = Nvcc.compile(Set);
+    Expected<std::string> Text = vendor::disassembleCubin(*Cubin);
+    return analyzer::parseListing(*Text);
+  };
+
+  analyzer::IsaAnalyzer First(A);
+  Expected<analyzer::Listing> L1 = listingFor(FirstHalf);
+  ASSERT_TRUE(L1.hasValue());
+  ASSERT_FALSE(First.analyzeListing(*L1));
+  std::string Persisted = First.database().serialize();
+
+  Expected<analyzer::EncodingDatabase> Reloaded =
+      analyzer::EncodingDatabase::deserialize(Persisted);
+  ASSERT_TRUE(Reloaded.hasValue()) << Reloaded.message();
+  analyzer::IsaAnalyzer Second(Reloaded.takeValue());
+  Expected<analyzer::Listing> L2 = listingFor(SecondHalf);
+  ASSERT_TRUE(L2.hasValue());
+  ASSERT_FALSE(Second.analyzeListing(*L2));
+
+  for (const analyzer::Listing *L : {&*L1, &*L2})
+    for (const analyzer::ListingKernel &Kernel : L->Kernels)
+      EXPECT_EQ(asmgen::reassembleKernel(Second.database(), Kernel),
+                Kernel.Insts.size())
+          << Kernel.Name;
+}
+
+TEST(ElfIntegration, CorruptedImagesNeverCrashTheLoader) {
+  const Arch A = Arch::SM50;
+  vendor::NvccSim Nvcc(A);
+  Expected<std::vector<uint8_t>> Image =
+      Nvcc.compileToImage({workloads::suite()[0].Build(A)});
+  ASSERT_TRUE(Image.hasValue());
+
+  Rng R(4242);
+  for (int Trial = 0; Trial < 2000; ++Trial) {
+    std::vector<uint8_t> Corrupt = *Image;
+    unsigned Edits = static_cast<unsigned>(R.range(1, 8));
+    for (unsigned E = 0; E < Edits; ++E)
+      Corrupt[R.below(Corrupt.size())] = static_cast<uint8_t>(R.next());
+    // Either parses or reports an error; never crashes.
+    auto Parsed = elf::Cubin::deserialize(Corrupt);
+    (void)Parsed;
+    // Truncations too.
+    std::vector<uint8_t> Truncated(
+        Corrupt.begin(), Corrupt.begin() + R.below(Corrupt.size()));
+    auto ParsedTrunc = elf::Cubin::deserialize(Truncated);
+    (void)ParsedTrunc;
+  }
+  SUCCEED();
+}
+
+TEST(VmIntegration, SuiteKernelRunsAfterFullPipeline) {
+  // saxpy-style flow through every module, ending in execution.
+  const Arch A = Arch::SM61;
+  vendor::NvccSim Nvcc(A);
+  Expected<elf::Cubin> SuiteBin = Nvcc.compile(workloads::buildSuite(A));
+  Expected<std::string> SuiteText = vendor::disassembleCubin(*SuiteBin);
+  Expected<analyzer::Listing> SuiteL = analyzer::parseListing(*SuiteText);
+  analyzer::IsaAnalyzer Analyzer(A);
+  ASSERT_FALSE(Analyzer.analyzeListing(*SuiteL));
+
+  // gaussian: guarded early-exit kernel, VM-friendly.
+  const analyzer::ListingKernel *Gaussian = nullptr;
+  for (const analyzer::ListingKernel &Kernel : SuiteL->Kernels)
+    if (Kernel.Name == "gaussian")
+      Gaussian = &Kernel;
+  ASSERT_NE(Gaussian, nullptr);
+  Expected<ir::Kernel> K = ir::buildKernel(A, *Gaussian);
+  ASSERT_TRUE(K.hasValue());
+
+  Expected<std::vector<uint8_t>> Code =
+      ir::emitKernel(Analyzer.database(), *K);
+  ASSERT_TRUE(Code.hasValue()) << Code.message();
+  Expected<std::string> Text =
+      vendor::disassembleKernelCode(A, "gaussian", *Code);
+  ASSERT_TRUE(Text.hasValue());
+  Expected<analyzer::Listing> L2 = analyzer::parseListing(
+      "code for " + std::string(archName(A)) + "\n" + *Text);
+  Expected<ir::Kernel> K2 = ir::buildKernel(A, L2->Kernels.front());
+  ASSERT_TRUE(K2.hasValue());
+
+  vm::Memory Mem;
+  auto setc = [&](size_t Off, uint32_t V) {
+    auto &Bank = Mem.ConstBanks[0];
+    if (Bank.size() < Off + 4)
+      Bank.resize(Off + 4, 0);
+    std::memcpy(Bank.data() + Off, &V, 4);
+  };
+  setc(0x28, 8);    // blockDim
+  setc(0x14, 4);    // n: threads >= 4 exit early
+  setc(0x4, 0x100); // data
+  setc(0x8, 0x200); // divisors
+  for (unsigned I = 0; I < 8; ++I) {
+    float X = static_cast<float>(I + 1), D = 2.0f;
+    std::memcpy(Mem.Global.data() + 0x100 + 4 * I, &X, 4);
+    std::memcpy(Mem.Global.data() + 0x200 + 4 * I, &D, 4);
+  }
+  vm::LaunchConfig Config;
+  Config.NumThreads = 8;
+  Expected<std::vector<vm::ThreadResult>> Results =
+      vm::run(*K2, Mem, Config);
+  ASSERT_TRUE(Results.hasValue()) << Results.message();
+  // Threads 0..3 computed x/d - d; 4..7 exited early leaving inputs.
+  float Out0;
+  std::memcpy(&Out0, Mem.Global.data() + 0x100, 4);
+  EXPECT_FLOAT_EQ(Out0, 1.0f / 2.0f - 2.0f);
+  float Out5;
+  std::memcpy(&Out5, Mem.Global.data() + 0x100 + 20, 4);
+  EXPECT_FLOAT_EQ(Out5, 6.0f);
+}

@@ -1,0 +1,328 @@
+//===- tests/ir_test.cpp - IR construction and relayout --------------------===//
+
+#include "ir/Builder.h"
+#include "ir/Ir.h"
+#include "ir/Layout.h"
+
+#include "sass/Parser.h"
+
+#include "analyzer/IsaAnalyzer.h"
+#include "vendor/CuobjdumpSim.h"
+#include "vendor/NvccSim.h"
+#include "workloads/Suite.h"
+
+#include <gtest/gtest.h>
+
+using namespace dcb;
+using namespace dcb::ir;
+using analyzer::Listing;
+using analyzer::parseListing;
+
+namespace {
+
+std::vector<Arch> fullArchs() {
+  unsigned Count = 0;
+  const Arch *Archs = supportedArchs(Count);
+  return std::vector<Arch>(Archs, Archs + Count);
+}
+
+struct Env {
+  elf::Cubin Cubin{Arch::SM35};
+  Listing L;
+  analyzer::EncodingDatabase Db{Arch::SM35};
+};
+
+Env makeEnv(Arch A) {
+  vendor::NvccSim Nvcc(A);
+  Expected<elf::Cubin> Cubin = Nvcc.compile(workloads::buildSuite(A));
+  EXPECT_TRUE(Cubin.hasValue()) << Cubin.message();
+  Expected<std::string> Text = vendor::disassembleCubin(*Cubin);
+  EXPECT_TRUE(Text.hasValue()) << Text.message();
+  Expected<Listing> L = parseListing(*Text);
+  EXPECT_TRUE(L.hasValue()) << L.message();
+
+  analyzer::IsaAnalyzer Analyzer(A);
+  EXPECT_FALSE(Analyzer.analyzeListing(*L));
+
+  Env E;
+  E.Cubin = Cubin.takeValue();
+  E.L = L.takeValue();
+  E.Db = Analyzer.database();
+  return E;
+}
+
+const analyzer::ListingKernel &kernelListing(const Listing &L,
+                                             const std::string &Name) {
+  for (const analyzer::ListingKernel &Kernel : L.Kernels)
+    if (Kernel.Name == Name)
+      return Kernel;
+  ADD_FAILURE() << "kernel " << Name << " not in listing";
+  static analyzer::ListingKernel Empty;
+  return Empty;
+}
+
+} // namespace
+
+class IrPerArch : public ::testing::TestWithParam<Arch> {};
+
+TEST_P(IrPerArch, RoundTripIsByteIdenticalForWholeSuite) {
+  // Listing -> IR -> relayout must reproduce the original bytes exactly
+  // when nothing is transformed (SCHI words, branch offsets and all).
+  Env E = makeEnv(GetParam());
+  for (const analyzer::ListingKernel &KL : E.L.Kernels) {
+    Expected<Kernel> K = buildKernel(GetParam(), KL);
+    ASSERT_TRUE(K.hasValue()) << KL.Name << ": " << K.message();
+    Expected<std::vector<uint8_t>> Code = emitKernel(E.Db, *K);
+    ASSERT_TRUE(Code.hasValue()) << KL.Name << ": " << Code.message();
+    const elf::KernelSection *Section = E.Cubin.findKernel(KL.Name);
+    ASSERT_NE(Section, nullptr);
+    EXPECT_EQ(*Code, Section->Code)
+        << archName(GetParam()) << "/" << KL.Name;
+  }
+}
+
+TEST_P(IrPerArch, SchedulingInfoMatchesCompilerDecisions) {
+  // Splitting the SCHI words must recover exactly what the vendor
+  // scheduler embedded (Figs. 9/10).
+  Arch A = GetParam();
+  vendor::NvccSim Nvcc(A);
+  Expected<vendor::CompiledKernel> Compiled =
+      Nvcc.compileKernel(workloads::suite()[0].Build(A));
+  ASSERT_TRUE(Compiled.hasValue());
+  Expected<std::string> Text = vendor::disassembleKernelCode(
+      A, "k", Compiled->Section.Code);
+  ASSERT_TRUE(Text.hasValue());
+  Expected<Listing> L =
+      parseListing("code for " + std::string(archName(A)) + "\n" + *Text);
+  ASSERT_TRUE(L.hasValue()) << L.message();
+
+  std::vector<sass::CtrlInfo> Ctrl =
+      splitSchedulingInfo(A, L->Kernels.front());
+  ASSERT_EQ(Ctrl.size(), Compiled->Ctrl.size());
+  if (archSchiKind(A) == SchiKind::None)
+    return; // Fermi: scheduling is in hardware; nothing to compare.
+  for (size_t I = 0; I < Ctrl.size(); ++I) {
+    if (archSchiKind(A) == SchiKind::Kepler30 ||
+        archSchiKind(A) == SchiKind::Kepler35) {
+      // Kepler SCHI carries only dispatch behaviour.
+      EXPECT_EQ(Ctrl[I].Stall, Compiled->Ctrl[I].Stall) << "inst " << I;
+      EXPECT_EQ(Ctrl[I].DualIssue, Compiled->Ctrl[I].DualIssue);
+    } else {
+      EXPECT_EQ(Ctrl[I], Compiled->Ctrl[I]) << "inst " << I;
+    }
+  }
+}
+
+TEST_P(IrPerArch, EmittedCodeStillDisassembles) {
+  Env E = makeEnv(GetParam());
+  const analyzer::ListingKernel &KL = kernelListing(E.L, "bfs");
+  Expected<Kernel> K = buildKernel(GetParam(), KL);
+  ASSERT_TRUE(K.hasValue());
+  Expected<std::vector<uint8_t>> Code = emitKernel(E.Db, *K);
+  ASSERT_TRUE(Code.hasValue());
+  Expected<std::string> Text =
+      vendor::disassembleKernelCode(GetParam(), "bfs", *Code);
+  EXPECT_TRUE(Text.hasValue()) << Text.message();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchs, IrPerArch, ::testing::ValuesIn(fullArchs()),
+                         [](const ::testing::TestParamInfo<Arch> &Info) {
+                           return std::string(archName(Info.param));
+                         });
+
+TEST(IrCfg, DivergentKernelHasFig4Structure) {
+  // bfs uses SSY + guarded branch + reconvergence; its CFG must show a
+  // divergent split that re-joins at the SSY target (Fig. 4).
+  Env E = makeEnv(Arch::SM52);
+  const analyzer::ListingKernel &KL = kernelListing(E.L, "bfs");
+  Expected<Kernel> K = buildKernel(Arch::SM52, KL);
+  ASSERT_TRUE(K.hasValue()) << K.message();
+
+  EXPECT_GT(K->Blocks.size(), 3u);
+
+  // Find the block holding the SSY; its recorded reconvergence target must
+  // be a later block, and some block must end with SYNC targeting it.
+  int SsyTarget = -1;
+  for (const Block &B : K->Blocks)
+    for (const Inst &Entry : B.Insts)
+      if (Entry.Asm.Opcode == "SSY")
+        SsyTarget = Entry.TargetBlock;
+  ASSERT_GE(SsyTarget, 0);
+
+  bool SyncEdgeFound = false;
+  for (const Block &B : K->Blocks) {
+    if (B.empty() || B.Insts.back().Asm.Opcode != "SYNC")
+      continue;
+    for (int Succ : B.Succs)
+      SyncEdgeFound |= (Succ == SsyTarget);
+  }
+  EXPECT_TRUE(SyncEdgeFound) << printKernel(*K);
+
+  // A guarded branch must produce two successors.
+  bool TwoWay = false;
+  for (const Block &B : K->Blocks) {
+    if (B.empty())
+      continue;
+    const Inst &Last = B.Insts.back();
+    if (Last.Asm.Opcode == "BRA" && Last.Asm.hasGuard())
+      TwoWay |= B.Succs.size() == 2;
+  }
+  EXPECT_TRUE(TwoWay) << printKernel(*K);
+}
+
+TEST(IrCfg, LoopProducesBackEdge) {
+  Env E = makeEnv(Arch::SM35);
+  const analyzer::ListingKernel &KL = kernelListing(E.L, "lud");
+  Expected<Kernel> K = buildKernel(Arch::SM35, KL);
+  ASSERT_TRUE(K.hasValue());
+  bool BackEdge = false;
+  for (size_t BlockIdx = 0; BlockIdx < K->Blocks.size(); ++BlockIdx)
+    for (int Succ : K->Blocks[BlockIdx].Succs)
+      BackEdge |= Succ <= static_cast<int>(BlockIdx);
+  EXPECT_TRUE(BackEdge);
+}
+
+TEST(IrCfg, ExitBlocksHaveNoSuccessors) {
+  Env E = makeEnv(Arch::SM50);
+  for (const analyzer::ListingKernel &KL : E.L.Kernels) {
+    Expected<Kernel> K = buildKernel(Arch::SM50, KL);
+    ASSERT_TRUE(K.hasValue());
+    for (const Block &B : K->Blocks) {
+      if (B.empty())
+        continue;
+      const Inst &Last = B.Insts.back();
+      if (Last.Asm.Opcode == "EXIT" && !Last.Asm.hasGuard())
+        EXPECT_TRUE(B.Succs.empty()) << KL.Name;
+    }
+  }
+}
+
+TEST(IrPrint, HumanReadableDump) {
+  Env E = makeEnv(Arch::SM52);
+  const analyzer::ListingKernel &KL = kernelListing(E.L, "bfs");
+  Expected<Kernel> K = buildKernel(Arch::SM52, KL);
+  ASSERT_TRUE(K.hasValue());
+  std::string Dump = printKernel(*K);
+  EXPECT_NE(Dump.find("BB0:"), std::string::npos);
+  EXPECT_NE(Dump.find("succs:"), std::string::npos);
+  EXPECT_NE(Dump.find("[B"), std::string::npos) << "inline control info";
+  EXPECT_NE(Dump.find("SSY BB"), std::string::npos)
+      << "symbolic branch targets";
+}
+
+TEST(IrInsert, InsertedCodeRelayoutsAndDecodes) {
+  // Insert instructions mid-kernel; the relayout must renumber addresses,
+  // fix branch offsets and keep the result decodable by the oracle tool.
+  Env E = makeEnv(Arch::SM61);
+  const analyzer::ListingKernel &KL = kernelListing(E.L, "lud");
+  Expected<Kernel> K = buildKernel(Arch::SM61, KL);
+  ASSERT_TRUE(K.hasValue());
+  size_t OriginalCount = K->instructionCount();
+
+  Inst Extra;
+  Extra.Asm = *sass::parseInstruction("MOV R20, RZ;");
+  Extra.Ctrl = conservativeCtrl();
+  K->Blocks[0].Insts.insert(K->Blocks[0].Insts.begin(), Extra);
+
+  Expected<std::vector<uint8_t>> Code = emitKernel(E.Db, *K);
+  ASSERT_TRUE(Code.hasValue()) << Code.message();
+  Expected<std::string> Text =
+      vendor::disassembleKernelCode(Arch::SM61, "lud", *Code);
+  ASSERT_TRUE(Text.hasValue()) << Text.message();
+  EXPECT_NE(Text->find("MOV R20, RZ;"), std::string::npos);
+
+  // Re-parse and re-build: the loop back-edge must still be intact.
+  Expected<Listing> L2 = parseListing("code for sm_61\n" + *Text);
+  ASSERT_TRUE(L2.hasValue()) << L2.message();
+  Expected<Kernel> K2 = buildKernel(Arch::SM61, L2->Kernels.front());
+  ASSERT_TRUE(K2.hasValue()) << K2.message();
+  EXPECT_GE(K2->instructionCount(), OriginalCount + 1);
+  bool BackEdge = false;
+  for (size_t BlockIdx = 0; BlockIdx < K2->Blocks.size(); ++BlockIdx)
+    for (int Succ : K2->Blocks[BlockIdx].Succs)
+      BackEdge |= Succ <= static_cast<int>(BlockIdx);
+  EXPECT_TRUE(BackEdge);
+}
+
+TEST(IrProgram, WholeProgramEmitUpdatesCubin) {
+  Env E = makeEnv(Arch::SM35);
+  Expected<Program> P = buildProgram(E.L);
+  ASSERT_TRUE(P.hasValue()) << P.message();
+  std::vector<uint8_t> Original = E.Cubin.serialize();
+  Expected<std::vector<uint8_t>> Image = emitProgram(E.Db, *P, Original);
+  ASSERT_TRUE(Image.hasValue()) << Image.message();
+  // Untransformed emission reproduces an equivalent cubin.
+  Expected<elf::Cubin> Back = elf::Cubin::deserialize(*Image);
+  ASSERT_TRUE(Back.hasValue());
+  for (const elf::KernelSection &Kernel : E.Cubin.kernels()) {
+    const elf::KernelSection *New = Back->findKernel(Kernel.Name);
+    ASSERT_NE(New, nullptr);
+    EXPECT_EQ(New->Code, Kernel.Code) << Kernel.Name;
+  }
+}
+
+TEST(IrCfg, PbkBrkEdgesTargetTheArmedBreakBlock) {
+  Env E = makeEnv(Arch::SM35);
+  const analyzer::ListingKernel &KL = kernelListing(E.L, "mergeSort");
+  Expected<Kernel> K = buildKernel(Arch::SM35, KL);
+  ASSERT_TRUE(K.hasValue()) << K.message();
+
+  int BreakTarget = -1;
+  for (const Block &B : K->Blocks)
+    for (const Inst &Entry : B.Insts)
+      if (Entry.Asm.Opcode == "PBK")
+        BreakTarget = Entry.TargetBlock;
+  ASSERT_GE(BreakTarget, 0);
+
+  unsigned BrkEdges = 0;
+  for (const Block &B : K->Blocks) {
+    if (B.empty() || B.Insts.back().Asm.Opcode != "BRK")
+      continue;
+    for (int Succ : B.Succs)
+      BrkEdges += Succ == BreakTarget;
+  }
+  EXPECT_GE(BrkEdges, 2u) << printKernel(*K); // Early @P0 BRK + final BRK.
+}
+
+TEST(IrBincode, RawWordsBypassTheAssembler) {
+  // The artifact's phony BINCODE opcode (§A.H): "the instruction contains
+  // only binary code". Replace an instruction with its raw word and emit;
+  // the bytes must be identical to the original kernel.
+  Env E = makeEnv(Arch::SM35);
+  const analyzer::ListingKernel &KL = kernelListing(E.L, "backprop");
+  Expected<Kernel> K = buildKernel(Arch::SM35, KL);
+  ASSERT_TRUE(K.hasValue());
+
+  // Swap the first instruction for a BINCODE of its own encoding.
+  Inst &First = K->Blocks[0].Insts[0];
+  uint64_t RawWord = KL.Insts[0].Binary.field(0, 64);
+  sass::Instruction Raw;
+  Raw.Opcode = "BINCODE";
+  Raw.Operands.push_back(
+      sass::Operand::makeIntImm(static_cast<int64_t>(RawWord)));
+  First.Asm = Raw;
+  First.TargetBlock = -1;
+
+  Expected<std::vector<uint8_t>> Code = emitKernel(E.Db, *K);
+  ASSERT_TRUE(Code.hasValue()) << Code.message();
+  const elf::KernelSection *Section = E.Cubin.findKernel("backprop");
+  ASSERT_NE(Section, nullptr);
+  EXPECT_EQ(*Code, Section->Code);
+}
+
+TEST(IrBincode, MalformedBincodeIsRejected) {
+  Env E = makeEnv(Arch::SM35);
+  Kernel K;
+  K.Name = "b";
+  K.A = Arch::SM35;
+  K.Blocks.emplace_back();
+  sass::Instruction Raw;
+  Raw.Opcode = "BINCODE";
+  Raw.Operands.push_back(sass::Operand::makeIntImm(1));
+  Raw.Operands.push_back(sass::Operand::makeIntImm(2)); // High word on 64-bit.
+  Inst Entry;
+  Entry.Asm = Raw;
+  K.Blocks[0].Insts.push_back(Entry);
+  Expected<std::vector<uint8_t>> Code = emitKernel(E.Db, K);
+  EXPECT_FALSE(Code.hasValue());
+}

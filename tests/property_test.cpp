@@ -1,0 +1,213 @@
+//===- tests/property_test.cpp - Randomized property sweeps ----------------===//
+//
+// Property-based testing over the whole ISA surface:
+//  1. Oracle totality: encode/decode/print/parse is the identity for
+//     randomly generated instructions of EVERY form on EVERY architecture.
+//  2. Decoder soundness: any word the decoder accepts re-encodes to the
+//     same bits (decode is a partial inverse of encode).
+//  3. Learning soundness: a database trained on a random program
+//     reassembles that program byte-identically (the byte-identity theorem
+//     that underpins the artifact's acceptance criterion).
+//  4. Front-end robustness: mutated listings never crash the parser.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/IsaAnalyzer.h"
+#include "asmgen/TableAssembler.h"
+#include "encoder/Encoder.h"
+#include "isa/Spec.h"
+#include "sass/Parser.h"
+#include "sass/Printer.h"
+#include "support/Rng.h"
+#include "vendor/CuobjdumpSim.h"
+#include "vendor/NvccSim.h"
+#include "vendor/SampleGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace dcb;
+
+namespace {
+
+std::vector<Arch> fullArchs() {
+  unsigned Count = 0;
+  const Arch *Archs = supportedArchs(Count);
+  return std::vector<Arch>(Archs, Archs + Count);
+}
+
+} // namespace
+
+class PropertyPerArch : public ::testing::TestWithParam<Arch> {};
+
+TEST_P(PropertyPerArch, RandomInstructionsRoundTripEveryForm) {
+  const isa::ArchSpec &Spec = isa::getArchSpec(GetParam());
+  Rng R(0xdec0dec0 + static_cast<uint64_t>(GetParam()));
+  const uint64_t Pc = 0x400;
+
+  for (const isa::InstrSpec &Form : Spec.Instrs) {
+    for (int Trial = 0; Trial < 20; ++Trial) {
+      sass::Instruction Inst =
+          vendor::randomInstruction(Spec, Form, R, Pc);
+      Expected<BitString> Word = encoder::encodeInstruction(Spec, Inst, Pc);
+      ASSERT_TRUE(Word.hasValue())
+          << Form.Mnemonic << "." << Form.FormTag << ": " << Word.message()
+          << "\n  " << sass::printInstruction(Inst);
+
+      Expected<sass::Instruction> Decoded =
+          encoder::decodeInstruction(Spec, *Word, Pc);
+      ASSERT_TRUE(Decoded.hasValue())
+          << Form.Mnemonic << ": " << Decoded.message();
+
+      // print -> parse -> re-encode must reproduce the word exactly.
+      std::string Printed = sass::printInstruction(*Decoded);
+      Expected<sass::Instruction> Reparsed = sass::parseInstruction(Printed);
+      ASSERT_TRUE(Reparsed.hasValue()) << Printed;
+      Expected<BitString> Word2 =
+          encoder::encodeInstruction(Spec, *Reparsed, Pc);
+      ASSERT_TRUE(Word2.hasValue()) << Printed << ": " << Word2.message();
+      EXPECT_EQ(*Word, *Word2)
+          << Form.Mnemonic << "." << Form.FormTag << " via '" << Printed
+          << "'";
+    }
+  }
+}
+
+TEST_P(PropertyPerArch, DecoderIsAPartialInverseOfEncoder) {
+  // For arbitrary words: either the decoder rejects (the "crash"), or the
+  // decoded assembly re-encodes to exactly the same bits.
+  const isa::ArchSpec &Spec = isa::getArchSpec(GetParam());
+  Rng R(0xabcdef01 + static_cast<uint64_t>(GetParam()));
+  const uint64_t Pc = 0x1000;
+  unsigned Accepted = 0;
+  for (int Trial = 0; Trial < 3000; ++Trial) {
+    BitString Word(Spec.WordBits);
+    for (unsigned B = 0; B < Spec.WordBits; B += 64)
+      Word.setField(B, std::min(64u, Spec.WordBits - B), R.next());
+    Expected<sass::Instruction> Decoded =
+        encoder::decodeInstruction(Spec, Word, Pc);
+    if (!Decoded)
+      continue;
+    ++Accepted;
+    Expected<BitString> Back =
+        encoder::encodeInstruction(Spec, *Decoded, Pc);
+    ASSERT_TRUE(Back.hasValue())
+        << sass::printInstruction(*Decoded) << ": " << Back.message();
+    EXPECT_EQ(Word, *Back) << sass::printInstruction(*Decoded);
+  }
+  // Random words rarely hit a valid opcode pattern; that is the expected
+  // sparseness the bit flipper contends with.
+  EXPECT_LT(Accepted, 3000u);
+}
+
+TEST_P(PropertyPerArch, LearnedDatabaseReassemblesRandomPrograms) {
+  Arch A = GetParam();
+  const isa::ArchSpec &Spec = isa::getArchSpec(A);
+  Rng R(0x5eed + static_cast<uint64_t>(A));
+
+  // Fabricate a random straight-line kernel, run it through the real
+  // oracle pipeline, learn, and reassemble.
+  std::vector<sass::Instruction> Program =
+      vendor::randomStraightLineProgram(Spec, R, 120);
+  vendor::KernelBuilder K("fuzz", A);
+  for (sass::Instruction &Inst : Program)
+    K.ins(Inst);
+  K.exit();
+
+  vendor::NvccSim Nvcc(A);
+  Expected<vendor::CompiledKernel> Compiled = Nvcc.compileKernel(K);
+  ASSERT_TRUE(Compiled.hasValue()) << Compiled.message();
+  Expected<std::string> Text =
+      vendor::disassembleKernelCode(A, "fuzz", Compiled->Section.Code);
+  ASSERT_TRUE(Text.hasValue()) << Text.message();
+  Expected<analyzer::Listing> L = analyzer::parseListing(
+      "code for " + std::string(archName(A)) + "\n" + *Text);
+  ASSERT_TRUE(L.hasValue()) << L.message();
+
+  analyzer::IsaAnalyzer Analyzer(A);
+  ASSERT_FALSE(Analyzer.analyzeListing(*L));
+  std::vector<std::string> Mismatches;
+  unsigned Identical = asmgen::reassembleKernel(
+      Analyzer.database(), L->Kernels.front(), &Mismatches);
+  EXPECT_EQ(Identical, L->Kernels.front().Insts.size())
+      << "first mismatch: "
+      << (Mismatches.empty() ? "?" : Mismatches.front());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchs, PropertyPerArch,
+                         ::testing::ValuesIn(fullArchs()),
+                         [](const ::testing::TestParamInfo<Arch> &Info) {
+                           return std::string(archName(Info.param));
+                         });
+
+TEST(PropertyVolta, RandomRoundTripOnPartialIsa) {
+  const isa::ArchSpec &Spec = isa::getArchSpec(Arch::SM70);
+  Rng R(0x70);
+  for (const isa::InstrSpec &Form : Spec.Instrs) {
+    for (int Trial = 0; Trial < 10; ++Trial) {
+      sass::Instruction Inst =
+          vendor::randomInstruction(Spec, Form, R, 0x100);
+      Expected<BitString> Word =
+          encoder::encodeInstruction(Spec, Inst, 0x100);
+      ASSERT_TRUE(Word.hasValue()) << Word.message();
+      Expected<sass::Instruction> Back =
+          encoder::decodeInstruction(Spec, *Word, 0x100);
+      ASSERT_TRUE(Back.hasValue()) << Back.message();
+      EXPECT_EQ(sass::printInstruction(Inst),
+                sass::printInstruction(*Back));
+    }
+  }
+}
+
+TEST(PropertyParser, MutatedListingsNeverCrash) {
+  // Take a valid listing, apply random byte mutations, and require the
+  // parser to either succeed or fail gracefully.
+  vendor::NvccSim Nvcc(Arch::SM35);
+  vendor::KernelBuilder K("m", Arch::SM35);
+  K.ins("MOV R1, c[0x0][0x4];");
+  K.ins("IADD R2, R1, 0x10;");
+  K.ins("STG.E [R2], R1;");
+  K.exit();
+  Expected<vendor::CompiledKernel> Compiled = Nvcc.compileKernel(K);
+  Expected<std::string> Text = vendor::disassembleKernelCode(
+      Arch::SM35, "m", Compiled->Section.Code);
+  std::string Base = "code for sm_35\n" + *Text;
+
+  Rng R(99);
+  unsigned Failures = 0;
+  for (int Trial = 0; Trial < 2000; ++Trial) {
+    std::string Mutated = Base;
+    unsigned Edits = static_cast<unsigned>(R.range(1, 4));
+    for (unsigned E = 0; E < Edits; ++E) {
+      size_t Pos = R.below(Mutated.size());
+      Mutated[Pos] = static_cast<char>(R.range(32, 126));
+    }
+    Expected<analyzer::Listing> L = analyzer::parseListing(Mutated);
+    Failures += !L.hasValue();
+    if (L.hasValue()) {
+      // Whatever parsed must be internally consistent.
+      for (const analyzer::ListingKernel &Kernel : L->Kernels)
+        for (const analyzer::ListingInst &Pair : Kernel.Insts)
+          EXPECT_EQ(Pair.Binary.size(), 64u);
+    }
+  }
+  EXPECT_GT(Failures, 0u) << "mutations should invalidate some listings";
+}
+
+TEST(PropertySassParser, RandomTokenSoupNeverCrashes) {
+  Rng R(1234);
+  const char *Tokens[] = {"MOV",  "R1",  ",",   "0x10", ";",   "[",
+                          "]",    "c",   "@P0", "|",    "-",   "~",
+                          "SR_TID.X", ".E", "{",  "}",   "PT",  "RZ",
+                          "2D",   "RGBA", "SB0", "!",   "1.5", "IADD"};
+  for (int Trial = 0; Trial < 5000; ++Trial) {
+    std::string Text;
+    unsigned Length = static_cast<unsigned>(R.range(1, 12));
+    for (unsigned I = 0; I < Length; ++I) {
+      Text += Tokens[R.below(sizeof(Tokens) / sizeof(Tokens[0]))];
+      if (R.chance(60))
+        Text += ' ';
+    }
+    auto Inst = sass::parseInstruction(Text);
+    (void)Inst; // Must not crash; success or failure are both fine.
+  }
+}

@@ -1,0 +1,203 @@
+//===- tests/support_test.cpp - BitString / strings / errors --------------===//
+
+#include "support/Arch.h"
+#include "support/BitString.h"
+#include "support/Errors.h"
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace dcb;
+
+TEST(BitString, ConstructsZeroed) {
+  BitString B(64);
+  EXPECT_EQ(B.size(), 64u);
+  EXPECT_EQ(B.popcount(), 0u);
+  EXPECT_EQ(B.field(0, 64), 0u);
+}
+
+TEST(BitString, ValueConstructorMasksToWidth) {
+  BitString B(8, 0x1ff);
+  EXPECT_EQ(B.field(0, 8), 0xffu);
+}
+
+TEST(BitString, SetAndGetSingleBits) {
+  BitString B(64);
+  B.set(0, true);
+  B.set(63, true);
+  EXPECT_TRUE(B.get(0));
+  EXPECT_TRUE(B.get(63));
+  EXPECT_FALSE(B.get(32));
+  EXPECT_EQ(B.popcount(), 2u);
+  B.flip(63);
+  EXPECT_FALSE(B.get(63));
+}
+
+TEST(BitString, FieldInsertExtract) {
+  BitString B(64);
+  B.setField(10, 8, 0xab);
+  EXPECT_EQ(B.field(10, 8), 0xabu);
+  EXPECT_EQ(B.field(0, 10), 0u);
+  EXPECT_EQ(B.field(18, 10), 0u);
+}
+
+TEST(BitString, FieldTruncatesWideValues) {
+  BitString B(64);
+  B.setField(4, 4, 0xff);
+  EXPECT_EQ(B.field(4, 4), 0xfu);
+  EXPECT_EQ(B.field(8, 8), 0u);
+}
+
+TEST(BitString, FieldsAcrossWordBoundary) {
+  BitString B(128);
+  B.setField(60, 10, 0x2aa);
+  EXPECT_EQ(B.field(60, 10), 0x2aau);
+  EXPECT_EQ(B.field(58, 2), 0u);
+  EXPECT_EQ(B.field(70, 10), 0u);
+}
+
+TEST(BitString, SignedFieldSignExtends) {
+  BitString B(64);
+  B.setField(8, 8, 0xff);
+  EXPECT_EQ(B.signedField(8, 8), -1);
+  B.setField(8, 8, 0x7f);
+  EXPECT_EQ(B.signedField(8, 8), 127);
+}
+
+TEST(BitString, HexRoundTrip64) {
+  BitString B(64);
+  B.setField(0, 64, 0x123456789abcdef0ull);
+  EXPECT_EQ(B.toHex(), "123456789abcdef0");
+  BitString Parsed = BitString::fromHex("0x123456789abcdef0", 64);
+  EXPECT_EQ(Parsed, B);
+}
+
+TEST(BitString, HexRoundTrip128) {
+  BitString B(128);
+  B.setField(0, 64, 0xdeadbeefcafef00dull);
+  B.setField(64, 64, 0x0123456789abcdefull);
+  BitString Parsed = BitString::fromHex(B.toHex(), 128);
+  EXPECT_EQ(Parsed, B);
+}
+
+TEST(BitString, FromHexRejectsGarbage) {
+  EXPECT_TRUE(BitString::fromHex("zzzz", 64).empty());
+  EXPECT_TRUE(BitString::fromHex("", 64).empty());
+  EXPECT_TRUE(BitString::fromHex("0x", 64).empty());
+}
+
+TEST(BitString, FromHexRejectsOverflow) {
+  EXPECT_TRUE(BitString::fromHex("1ff", 8).empty());
+  EXPECT_FALSE(BitString::fromHex("0ff", 8).empty());
+}
+
+TEST(BitString, OrderingIsByWidthThenValue) {
+  BitString A(8, 5), B(8, 9), C(16, 1);
+  EXPECT_TRUE(A < B);
+  EXPECT_TRUE(B < C);
+  EXPECT_FALSE(B < A);
+}
+
+TEST(StringUtils, Trim) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("hi"), "hi");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StringUtils, SplitKeepsEmptyPieces) {
+  auto Pieces = split("a,,b", ',');
+  ASSERT_EQ(Pieces.size(), 3u);
+  EXPECT_EQ(Pieces[1], "");
+}
+
+TEST(StringUtils, SplitLinesDropsCarriageReturn) {
+  auto Lines = splitLines("a\r\nb\n");
+  ASSERT_EQ(Lines.size(), 3u);
+  EXPECT_EQ(Lines[0], "a");
+  EXPECT_EQ(Lines[1], "b");
+  EXPECT_EQ(Lines[2], "");
+}
+
+TEST(StringUtils, ParseUIntDecimalAndHex) {
+  EXPECT_EQ(parseUInt("123").value(), 123u);
+  EXPECT_EQ(parseUInt("0x7f").value(), 127u);
+  EXPECT_EQ(parseUInt("0XFF").value(), 255u);
+  EXPECT_FALSE(parseUInt("0x").has_value());
+  EXPECT_FALSE(parseUInt("12a").has_value());
+  EXPECT_FALSE(parseUInt("").has_value());
+}
+
+TEST(StringUtils, ParseUIntRejectsOverflow) {
+  EXPECT_TRUE(parseUInt("0xffffffffffffffff").has_value());
+  EXPECT_FALSE(parseUInt("0x1ffffffffffffffff").has_value());
+}
+
+TEST(StringUtils, ParseIntHandlesSign) {
+  EXPECT_EQ(parseInt("-5").value(), -5);
+  EXPECT_EQ(parseInt("-0x10").value(), -16);
+  EXPECT_EQ(parseInt("7").value(), 7);
+}
+
+TEST(StringUtils, HexFormatting) {
+  EXPECT_EQ(toHexString(0), "0x0");
+  EXPECT_EQ(toHexString(0x1a2b), "0x1a2b");
+  EXPECT_EQ(toPaddedHex(0xab, 4), "00ab");
+  EXPECT_EQ(toPaddedHex(0, 2), "00");
+}
+
+TEST(Errors, ErrorBoolSemantics) {
+  EXPECT_FALSE(static_cast<bool>(Error::success()));
+  Error E = Error::failure("boom");
+  EXPECT_TRUE(static_cast<bool>(E));
+  EXPECT_EQ(E.message(), "boom");
+}
+
+TEST(Errors, ExpectedValueAndFailure) {
+  Expected<int> V(42);
+  ASSERT_TRUE(V.hasValue());
+  EXPECT_EQ(*V, 42);
+  Expected<int> F = Failure("nope");
+  ASSERT_FALSE(F.hasValue());
+  EXPECT_EQ(F.message(), "nope");
+  EXPECT_TRUE(static_cast<bool>(F.takeError()));
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng A(7), B(7);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, RangesStayInBounds) {
+  Rng R(11);
+  for (int I = 0; I < 1000; ++I) {
+    uint64_t V = R.range(3, 9);
+    EXPECT_GE(V, 3u);
+    EXPECT_LE(V, 9u);
+  }
+}
+
+TEST(Arch, NamesRoundTrip) {
+  unsigned Count = 0;
+  const Arch *All = supportedArchs(Count);
+  for (unsigned I = 0; I < Count; ++I) {
+    auto Back = archFromName(archName(All[I]));
+    ASSERT_TRUE(Back.has_value());
+    EXPECT_EQ(*Back, All[I]);
+  }
+  EXPECT_FALSE(archFromName("sm_99").has_value());
+}
+
+TEST(Arch, FamilyAndSchiFacts) {
+  EXPECT_EQ(archFamily(Arch::SM30), EncodingFamily::Fermi);
+  EXPECT_EQ(archFamily(Arch::SM61), EncodingFamily::Maxwell);
+  EXPECT_EQ(archSchiKind(Arch::SM20), SchiKind::None);
+  EXPECT_EQ(archSchiKind(Arch::SM30), SchiKind::Kepler30);
+  EXPECT_EQ(archSchiKind(Arch::SM35), SchiKind::Kepler35);
+  EXPECT_EQ(archSchiKind(Arch::SM52), SchiKind::Maxwell);
+  EXPECT_EQ(schiGroupSize(SchiKind::Kepler35), 8u);
+  EXPECT_EQ(schiGroupSize(SchiKind::Maxwell), 4u);
+  EXPECT_EQ(archWordBits(Arch::SM70), 128u);
+}

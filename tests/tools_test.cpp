@@ -1,0 +1,143 @@
+//===- tests/tools_test.cpp - dcb command-line driver ----------------------===//
+//
+// Drives the installed `dcb` binary through the artifact's procExes.sh
+// steps (§A.E) as subprocesses, checking exit codes and key outputs.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifndef DCB_BINARY_DIR
+#define DCB_BINARY_DIR "."
+#endif
+
+namespace {
+
+std::string toolPath() { return std::string(DCB_BINARY_DIR) + "/tools/dcb"; }
+std::string workDir() {
+  return std::string(DCB_BINARY_DIR) + "/tools_test_work";
+}
+
+int runCmd(const std::string &Cmd) { return std::system(Cmd.c_str()); }
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+} // namespace
+
+TEST(DcbTool, FullProcExesWorkflow) {
+  const std::string Dcb = toolPath();
+  const std::string Work = workDir();
+  ASSERT_EQ(runCmd("mkdir -p " + Work), 0);
+
+  // 1. prepare benchmarks.
+  ASSERT_EQ(runCmd(Dcb + " make-suite sm_50 -o " + Work +
+                   "/suite.cubin > /dev/null"),
+            0);
+
+  // 2. extract kernel functions.
+  ASSERT_EQ(runCmd(Dcb + " disasm " + Work + "/suite.cubin > " + Work +
+                   "/suite.sass"),
+            0);
+  std::string Listing = slurp(Work + "/suite.sass");
+  EXPECT_NE(Listing.find("code for sm_50"), std::string::npos);
+  EXPECT_NE(Listing.find("Function : matrixMul"), std::string::npos);
+
+  // 3. analyze.
+  ASSERT_EQ(runCmd(Dcb + " analyze " + Work + "/suite.sass -o " + Work +
+                   "/pass1.db > /dev/null"),
+            0);
+  EXPECT_NE(slurp(Work + "/pass1.db").find("dcb-encodings"),
+            std::string::npos);
+
+  // 4-7. bit flipping.
+  ASSERT_EQ(runCmd(Dcb + " flip " + Work + "/suite.cubin --db " + Work +
+                   "/pass1.db -o " + Work + "/final.db > /dev/null"),
+            0);
+  // Flipping adds modifier/unary knowledge (it may *shrink* the file
+  // overall, since it also narrows component windows).
+  auto countLines = [](const std::string &Text, const std::string &Tag) {
+    size_t Count = 0;
+    for (size_t Pos = Text.find(Tag); Pos != std::string::npos;
+         Pos = Text.find(Tag, Pos + 1))
+      ++Count;
+    return Count;
+  };
+  std::string Pass1 = slurp(Work + "/pass1.db");
+  std::string Final = slurp(Work + "/final.db");
+  EXPECT_GT(countLines(Final, "\nunary "), countLines(Pass1, "\nunary "));
+  EXPECT_GT(countLines(Final, "\nmod "), countLines(Pass1, "\nmod "));
+
+  // 8. generate the assembler.
+  ASSERT_EQ(runCmd(Dcb + " genasm --db " + Work + "/final.db -o " + Work +
+                   "/asm2bin.cpp > /dev/null"),
+            0);
+  EXPECT_NE(slurp(Work + "/asm2bin.cpp").find("int main()"),
+            std::string::npos);
+
+  // 9-10. verify byte-identical reassembly (exit code 0 = all identical).
+  ASSERT_EQ(runCmd(Dcb + " verify --db " + Work + "/final.db " + Work +
+                   "/suite.sass > " + Work + "/verify.txt"),
+            0);
+  EXPECT_NE(slurp(Work + "/verify.txt").find("byte-identical"),
+            std::string::npos);
+}
+
+TEST(DcbTool, IrDumpAndInstrument) {
+  const std::string Dcb = toolPath();
+  const std::string Work = workDir();
+  ASSERT_EQ(runCmd("mkdir -p " + Work), 0);
+  ASSERT_EQ(runCmd(Dcb + " make-suite sm_35 -o " + Work +
+                   "/k.cubin > /dev/null"),
+            0);
+  ASSERT_EQ(runCmd(Dcb + " disasm " + Work + "/k.cubin > " + Work +
+                   "/k.sass"),
+            0);
+  ASSERT_EQ(runCmd(Dcb + " analyze " + Work + "/k.sass -o " + Work +
+                   "/k1.db > /dev/null"),
+            0);
+  ASSERT_EQ(runCmd(Dcb + " flip " + Work + "/k.cubin --db " + Work +
+                   "/k1.db -o " + Work + "/k.db > /dev/null"),
+            0);
+
+  ASSERT_EQ(runCmd(Dcb + " ir " + Work + "/k.cubin bfs > " + Work +
+                   "/bfs.ir"),
+            0);
+  std::string Ir = slurp(Work + "/bfs.ir");
+  EXPECT_NE(Ir.find("BB0:"), std::string::npos);
+  EXPECT_NE(Ir.find("succs:"), std::string::npos);
+
+  ASSERT_EQ(runCmd(Dcb + " instrument " + Work + "/k.cubin --db " + Work +
+                   "/k.db --clear-regs 9,10 -o " + Work +
+                   "/k.instr.cubin > /dev/null"),
+            0);
+  // The instrumented cubin still disassembles and shows the clears.
+  ASSERT_EQ(runCmd(Dcb + " disasm " + Work + "/k.instr.cubin > " + Work +
+                   "/k.instr.sass"),
+            0);
+  std::string NewListing = slurp(Work + "/k.instr.sass");
+  EXPECT_NE(NewListing.find("MOV R9, RZ;"), std::string::npos);
+  EXPECT_NE(NewListing.find("MOV R10, RZ;"), std::string::npos);
+}
+
+TEST(DcbTool, RejectsBadInput) {
+  const std::string Dcb = toolPath();
+  const std::string Work = workDir();
+  ASSERT_EQ(runCmd("mkdir -p " + Work), 0);
+  EXPECT_NE(runCmd(Dcb + " 2> /dev/null"), 0);
+  EXPECT_NE(runCmd(Dcb + " make-suite sm_99 -o /dev/null 2> /dev/null"), 0);
+  EXPECT_NE(runCmd(Dcb + " disasm /nonexistent 2> /dev/null"), 0);
+  ASSERT_EQ(runCmd("echo garbage > " + Work + "/bad.db"), 0);
+  EXPECT_NE(runCmd(Dcb + " genasm --db " + Work +
+                   "/bad.db -o /dev/null 2> /dev/null"),
+            0);
+}

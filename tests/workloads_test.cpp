@@ -1,0 +1,100 @@
+//===- tests/workloads_test.cpp - Synthetic suite coverage -----------------===//
+
+#include "workloads/Suite.h"
+
+#include "isa/Spec.h"
+#include "vendor/CuobjdumpSim.h"
+#include "vendor/NvccSim.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace dcb;
+using namespace dcb::workloads;
+
+namespace {
+
+std::vector<Arch> fullArchs() {
+  unsigned Count = 0;
+  const Arch *Archs = supportedArchs(Count);
+  return std::vector<Arch>(Archs, Archs + Count);
+}
+
+} // namespace
+
+TEST(Workloads, SuiteMatchesPaperScale) {
+  // The paper's experiments use ~31 Rodinia/SDK benchmarks (§A.C.4).
+  EXPECT_GE(suite().size(), 30u);
+  std::set<std::string> Names;
+  for (const Workload &W : suite())
+    EXPECT_TRUE(Names.insert(W.Name).second) << "duplicate " << W.Name;
+}
+
+class WorkloadsPerArch : public ::testing::TestWithParam<Arch> {};
+
+TEST_P(WorkloadsPerArch, EveryKernelCompiles) {
+  vendor::NvccSim Nvcc(GetParam());
+  for (const Workload &W : suite()) {
+    Expected<vendor::CompiledKernel> Compiled =
+        Nvcc.compileKernel(W.Build(GetParam()));
+    EXPECT_TRUE(Compiled.hasValue())
+        << W.Name << " on " << archName(GetParam()) << ": "
+        << Compiled.message();
+  }
+}
+
+TEST_P(WorkloadsPerArch, EveryKernelDisassembles) {
+  vendor::NvccSim Nvcc(GetParam());
+  Expected<std::vector<uint8_t>> Image =
+      Nvcc.compileToImage(buildSuite(GetParam()));
+  ASSERT_TRUE(Image.hasValue()) << Image.message();
+  Expected<std::string> Listing = vendor::disassembleImage(*Image);
+  ASSERT_TRUE(Listing.hasValue()) << Listing.message();
+  for (const Workload &W : suite())
+    EXPECT_NE(Listing->find(std::string("Function : ") + W.Name),
+              std::string::npos)
+        << W.Name;
+}
+
+TEST_P(WorkloadsPerArch, SuiteCoversMostInstructionForms) {
+  // The suite's entire purpose is encoding coverage: most of the hidden
+  // table's instruction forms must appear at least once.
+  const isa::ArchSpec &Spec = isa::getArchSpec(GetParam());
+  vendor::NvccSim Nvcc(GetParam());
+
+  std::set<const isa::InstrSpec *> Seen;
+  for (const Workload &W : suite()) {
+    Expected<vendor::CompiledKernel> Compiled =
+        Nvcc.compileKernel(W.Build(GetParam()));
+    ASSERT_TRUE(Compiled.hasValue()) << W.Name << ": " << Compiled.message();
+    for (const sass::Instruction &Inst : Compiled->Insts)
+      Seen.insert(Spec.findSpec(Inst));
+  }
+
+  std::vector<std::string> Missing;
+  for (const isa::InstrSpec &IS : Spec.Instrs) {
+    if (!Seen.count(&IS))
+      Missing.push_back(IS.Mnemonic + "." + IS.FormTag);
+  }
+  // A handful of forms may legitimately be exercised only by bit flipping,
+  // but the bulk must come from the suite.
+  double Coverage = 1.0 - double(Missing.size()) / Spec.Instrs.size();
+  std::string MissingList;
+  for (const std::string &M : Missing)
+    MissingList += M + " ";
+  EXPECT_GE(Coverage, 0.85) << "uncovered forms: " << MissingList;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchs, WorkloadsPerArch,
+                         ::testing::ValuesIn(fullArchs()),
+                         [](const ::testing::TestParamInfo<Arch> &Info) {
+                           return std::string(archName(Info.param));
+                         });
+
+TEST(Workloads, VoltaProbeCompiles) {
+  vendor::NvccSim Nvcc(Arch::SM70);
+  Expected<vendor::CompiledKernel> Compiled =
+      Nvcc.compileKernel(voltaProbe(Arch::SM70));
+  ASSERT_TRUE(Compiled.hasValue()) << Compiled.message();
+}

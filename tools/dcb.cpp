@@ -1,0 +1,355 @@
+//===- tools/dcb.cpp - The framework's command-line driver -----------------===//
+//
+// One binary exposing the artifact's workflow steps (§A.E) as subcommands,
+// so the paper's procExes.sh pipeline can be reproduced from a shell:
+//
+//   dcb make-suite <arch> -o suite.cubin     compile the benchmark suite
+//                                            (the closed-source compiler's
+//                                            role; replace with real cubins
+//                                            when a CUDA toolchain exists)
+//   dcb disasm <cubin>                       cuobjdump-style listing
+//   dcb analyze <listing> [--db in] -o out   run the ISA Analyzer
+//   dcb flip <cubin> --db in -o out          bit-flip enrichment rounds
+//   dcb genasm --db db -o asm2bin.cpp        emit the C++ assembler (Alg. 3)
+//   dcb asm --db db <listing>                reassemble, print hex words
+//   dcb verify --db db <listing>             reassemble + compare binary
+//   dcb ir <cubin> <kernel>                  human-readable IR dump
+//   dcb instrument <cubin> --db db --clear-regs 9,10 -o out.cubin
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/BitFlipper.h"
+#include "analyzer/IsaAnalyzer.h"
+#include "asmgen/AssemblerGenerator.h"
+#include "asmgen/TableAssembler.h"
+#include "ir/Builder.h"
+#include "ir/Layout.h"
+#include "transform/Passes.h"
+#include "vendor/CuobjdumpSim.h"
+#include "vendor/NvccSim.h"
+#include "workloads/Suite.h"
+
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace dcb;
+
+namespace {
+
+[[noreturn]] void die(const std::string &Msg) {
+  std::fprintf(stderr, "dcb: %s\n", Msg.c_str());
+  std::exit(1);
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    die("cannot open " + Path);
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+std::vector<uint8_t> readBinary(const std::string &Path) {
+  std::string Text = readFile(Path);
+  return std::vector<uint8_t>(Text.begin(), Text.end());
+}
+
+void writeFile(const std::string &Path, const std::string &Contents) {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    die("cannot write " + Path);
+  Out << Contents;
+}
+
+void writeBinary(const std::string &Path, const std::vector<uint8_t> &Bytes) {
+  writeFile(Path, std::string(Bytes.begin(), Bytes.end()));
+}
+
+/// Tiny argument cursor.
+struct Args {
+  std::vector<std::string> Positional;
+  std::map<std::string, std::string> Options;
+
+  static Args parse(int Argc, char **Argv, int Start) {
+    Args A;
+    for (int I = Start; I < Argc; ++I) {
+      std::string Arg = Argv[I];
+      if (Arg.rfind("--", 0) == 0 || Arg == "-o") {
+        std::string Key = Arg == "-o" ? "--out" : Arg;
+        if (I + 1 >= Argc)
+          die("option " + Arg + " needs a value");
+        A.Options[Key] = Argv[++I];
+      } else {
+        A.Positional.push_back(Arg);
+      }
+    }
+    return A;
+  }
+
+  std::string need(const std::string &Key) const {
+    auto It = Options.find(Key);
+    if (It == Options.end())
+      die("missing required option " + Key);
+    return It->second;
+  }
+  std::optional<std::string> get(const std::string &Key) const {
+    auto It = Options.find(Key);
+    if (It == Options.end())
+      return std::nullopt;
+    return It->second;
+  }
+};
+
+Arch archOrDie(const std::string &Name) {
+  std::optional<Arch> A = archFromName(Name);
+  if (!A)
+    die("unknown architecture '" + Name + "'");
+  return *A;
+}
+
+analyzer::EncodingDatabase loadDb(const std::string &Path) {
+  Expected<analyzer::EncodingDatabase> Db =
+      analyzer::EncodingDatabase::deserialize(readFile(Path));
+  if (!Db)
+    die(Db.message());
+  return Db.takeValue();
+}
+
+analyzer::Listing loadListing(const std::string &Path) {
+  Expected<analyzer::Listing> L = analyzer::parseListing(readFile(Path));
+  if (!L)
+    die(L.message());
+  return L.takeValue();
+}
+
+int cmdMakeSuite(const Args &A) {
+  if (A.Positional.empty())
+    die("usage: dcb make-suite <arch> -o <cubin>");
+  Arch Target = archOrDie(A.Positional[0]);
+  vendor::NvccSim Nvcc(Target);
+  // Volta is only partially decoded (paper §IV-B); use the reduced probe.
+  std::vector<vendor::KernelBuilder> Kernels =
+      Target == Arch::SM70
+          ? std::vector<vendor::KernelBuilder>{workloads::voltaProbe(Target)}
+          : workloads::buildSuite(Target);
+  Expected<std::vector<uint8_t>> Image = Nvcc.compileToImage(Kernels);
+  if (!Image)
+    die(Image.message());
+  writeBinary(A.need("--out"), *Image);
+  std::printf("wrote %s (%zu bytes, %zu kernels)\n", A.need("--out").c_str(),
+              Image->size(), Kernels.size());
+  return 0;
+}
+
+int cmdDisasm(const Args &A) {
+  if (A.Positional.empty())
+    die("usage: dcb disasm <cubin>");
+  Expected<std::string> Text =
+      vendor::disassembleImage(readBinary(A.Positional[0]));
+  if (!Text)
+    die(Text.message());
+  std::fputs(Text->c_str(), stdout);
+  return 0;
+}
+
+int cmdAnalyze(const Args &A) {
+  if (A.Positional.empty())
+    die("usage: dcb analyze <listing>... [--db in.db] -o <out.db>");
+  std::optional<analyzer::IsaAnalyzer> Analyzer;
+  if (auto DbPath = A.get("--db"))
+    Analyzer.emplace(loadDb(*DbPath));
+  for (const std::string &Path : A.Positional) {
+    analyzer::Listing L = loadListing(Path);
+    if (!Analyzer)
+      Analyzer.emplace(L.A);
+    if (Error E = Analyzer->analyzeListing(L))
+      die(E.message());
+  }
+  auto Stats = Analyzer->database().stats();
+  writeFile(A.need("--out"), Analyzer->database().serialize());
+  std::printf("%zu operations, %zu modifiers, %zu unary ops, %zu tokens -> "
+              "%s\n",
+              Stats.NumOperations, Stats.NumModifiers, Stats.NumUnaries,
+              Stats.NumTokens, A.need("--out").c_str());
+  return 0;
+}
+
+int cmdFlip(const Args &A) {
+  if (A.Positional.empty())
+    die("usage: dcb flip <cubin> --db in.db -o <out.db>");
+  Expected<elf::Cubin> Cubin =
+      elf::Cubin::deserialize(readBinary(A.Positional[0]));
+  if (!Cubin)
+    die(Cubin.message());
+  analyzer::IsaAnalyzer Analyzer(loadDb(A.need("--db")));
+  if (Analyzer.database().arch() != Cubin->arch())
+    die("database and cubin target different architectures");
+
+  std::map<std::string, std::vector<uint8_t>> KernelCode;
+  for (const elf::KernelSection &Kernel : Cubin->kernels())
+    KernelCode[Kernel.Name] = Kernel.Code;
+  Arch Target = Cubin->arch();
+  analyzer::BitFlipper Flipper(
+      Analyzer, [Target](const std::string &Name,
+                         const std::vector<uint8_t> &Code) {
+        return vendor::disassembleKernelCode(Target, Name, Code);
+      });
+  auto Rounds = Flipper.run(KernelCode);
+  for (size_t R = 0; R < Rounds.size(); ++R)
+    std::printf("round %zu: %u variants, %u crashes, %u accepted\n", R + 1,
+                Rounds[R].VariantsTried, Rounds[R].Crashes,
+                Rounds[R].Accepted);
+  writeFile(A.need("--out"), Analyzer.database().serialize());
+  return 0;
+}
+
+int cmdGenasm(const Args &A) {
+  analyzer::EncodingDatabase Db = loadDb(A.need("--db"));
+  writeFile(A.need("--out"), asmgen::generateAssemblerSource(Db));
+  std::printf("wrote %s\n", A.need("--out").c_str());
+  return 0;
+}
+
+int cmdAsmOrVerify(const Args &A, bool Verify) {
+  if (A.Positional.empty())
+    die("usage: dcb asm|verify --db db <listing>");
+  analyzer::EncodingDatabase Db = loadDb(A.need("--db"));
+  analyzer::Listing L = loadListing(A.Positional[0]);
+  size_t Total = 0, Identical = 0;
+  for (const analyzer::ListingKernel &Kernel : L.Kernels) {
+    for (const analyzer::ListingInst &Pair : Kernel.Insts) {
+      ++Total;
+      Expected<BitString> Word =
+          asmgen::assembleInstruction(Db, Pair.Inst, Pair.Address);
+      if (!Word) {
+        std::fprintf(stderr, "error: %s\n", Word.message().c_str());
+        continue;
+      }
+      if (Verify)
+        Identical += *Word == Pair.Binary;
+      else
+        std::printf("0x%s\n", Word->toHex().c_str());
+    }
+  }
+  if (Verify) {
+    std::printf("%zu/%zu instructions byte-identical\n", Identical, Total);
+    return Identical == Total ? 0 : 1;
+  }
+  return 0;
+}
+
+int cmdIr(const Args &A) {
+  if (A.Positional.size() < 2)
+    die("usage: dcb ir <cubin> <kernel>");
+  Expected<elf::Cubin> Cubin =
+      elf::Cubin::deserialize(readBinary(A.Positional[0]));
+  if (!Cubin)
+    die(Cubin.message());
+  const elf::KernelSection *Kernel = Cubin->findKernel(A.Positional[1]);
+  if (!Kernel)
+    die("no kernel named " + A.Positional[1]);
+  Expected<std::string> Text = vendor::disassembleKernelCode(
+      Cubin->arch(), Kernel->Name, Kernel->Code);
+  if (!Text)
+    die(Text.message());
+  Expected<analyzer::Listing> L = analyzer::parseListing(
+      "code for " + std::string(archName(Cubin->arch())) + "\n" + *Text);
+  if (!L)
+    die(L.message());
+  Expected<ir::Kernel> K = ir::buildKernel(Cubin->arch(),
+                                           L->Kernels.front());
+  if (!K)
+    die(K.message());
+  std::fputs(ir::printKernel(*K).c_str(), stdout);
+  return 0;
+}
+
+int cmdInstrument(const Args &A) {
+  if (A.Positional.empty())
+    die("usage: dcb instrument <cubin> --db db --clear-regs 9,10 -o out");
+  Expected<elf::Cubin> Cubin =
+      elf::Cubin::deserialize(readBinary(A.Positional[0]));
+  if (!Cubin)
+    die(Cubin.message());
+  analyzer::EncodingDatabase Db = loadDb(A.need("--db"));
+
+  std::vector<unsigned> Regs;
+  for (std::string_view Piece : split(A.need("--clear-regs"), ',')) {
+    std::optional<uint64_t> Reg = parseUInt(Piece);
+    if (!Reg)
+      die("bad register list");
+    Regs.push_back(static_cast<unsigned>(*Reg));
+  }
+
+  Expected<std::string> Text = vendor::disassembleCubin(*Cubin);
+  if (!Text)
+    die(Text.message());
+  Expected<analyzer::Listing> L = analyzer::parseListing(*Text);
+  if (!L)
+    die(L.message());
+  Expected<ir::Program> P = ir::buildProgram(*L);
+  if (!P)
+    die(P.message());
+
+  unsigned Sites = 0;
+  for (ir::Kernel &K : P->Kernels)
+    Sites += transform::clearRegistersBeforeExit(K, Regs);
+  std::vector<uint8_t> Original = readBinary(A.Positional[0]);
+  Expected<std::vector<uint8_t>> NewImage = ir::emitProgram(Db, *P,
+                                                            Original);
+  if (!NewImage)
+    die(NewImage.message());
+  writeBinary(A.need("--out"), *NewImage);
+  std::printf("instrumented %u exit site(s) across %zu kernels -> %s\n",
+              Sites, P->Kernels.size(), A.need("--out").c_str());
+  return 0;
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: dcb <command> ...\n"
+      "  make-suite <arch> -o <cubin>            compile the synthetic suite\n"
+      "  disasm <cubin>                          print the listing\n"
+      "  analyze <listing>... [--db in] -o <db>  learn encodings\n"
+      "  flip <cubin> --db <db> -o <db>          bit-flip enrichment\n"
+      "  genasm --db <db> -o <cpp>               generate an assembler\n"
+      "  asm --db <db> <listing>                 assemble, print hex\n"
+      "  verify --db <db> <listing>              reassemble and compare\n"
+      "  ir <cubin> <kernel>                     dump the IR\n"
+      "  instrument <cubin> --db <db> --clear-regs N[,N...] -o <cubin>\n");
+  std::exit(2);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    usage();
+  std::string Cmd = Argv[1];
+  Args A = Args::parse(Argc, Argv, 2);
+  if (Cmd == "make-suite")
+    return cmdMakeSuite(A);
+  if (Cmd == "disasm")
+    return cmdDisasm(A);
+  if (Cmd == "analyze")
+    return cmdAnalyze(A);
+  if (Cmd == "flip")
+    return cmdFlip(A);
+  if (Cmd == "genasm")
+    return cmdGenasm(A);
+  if (Cmd == "asm")
+    return cmdAsmOrVerify(A, false);
+  if (Cmd == "verify")
+    return cmdAsmOrVerify(A, true);
+  if (Cmd == "ir")
+    return cmdIr(A);
+  if (Cmd == "instrument")
+    return cmdInstrument(A);
+  usage();
+}
