@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_artifact_workflow.dir/bench_artifact_workflow.cpp.o"
+  "CMakeFiles/bench_artifact_workflow.dir/bench_artifact_workflow.cpp.o.d"
+  "bench_artifact_workflow"
+  "bench_artifact_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_artifact_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

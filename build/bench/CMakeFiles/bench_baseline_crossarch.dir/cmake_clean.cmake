@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_crossarch.dir/bench_baseline_crossarch.cpp.o"
+  "CMakeFiles/bench_baseline_crossarch.dir/bench_baseline_crossarch.cpp.o.d"
+  "bench_baseline_crossarch"
+  "bench_baseline_crossarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_crossarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_schi_maxwell.dir/bench_fig10_schi_maxwell.cpp.o"
+  "CMakeFiles/bench_fig10_schi_maxwell.dir/bench_fig10_schi_maxwell.cpp.o.d"
+  "bench_fig10_schi_maxwell"
+  "bench_fig10_schi_maxwell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_schi_maxwell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

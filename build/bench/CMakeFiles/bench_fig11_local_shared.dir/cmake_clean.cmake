@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_local_shared.dir/bench_fig11_local_shared.cpp.o"
+  "CMakeFiles/bench_fig11_local_shared.dir/bench_fig11_local_shared.cpp.o.d"
+  "bench_fig11_local_shared"
+  "bench_fig11_local_shared.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_local_shared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_instrument.dir/bench_fig12_instrument.cpp.o"
+  "CMakeFiles/bench_fig12_instrument.dir/bench_fig12_instrument.cpp.o.d"
+  "bench_fig12_instrument"
+  "bench_fig12_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

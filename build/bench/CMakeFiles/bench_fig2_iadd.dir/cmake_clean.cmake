@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_iadd.dir/bench_fig2_iadd.cpp.o"
+  "CMakeFiles/bench_fig2_iadd.dir/bench_fig2_iadd.cpp.o.d"
+  "bench_fig2_iadd"
+  "bench_fig2_iadd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_iadd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

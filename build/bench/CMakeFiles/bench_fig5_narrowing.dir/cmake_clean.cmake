@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_narrowing.dir/bench_fig5_narrowing.cpp.o"
+  "CMakeFiles/bench_fig5_narrowing.dir/bench_fig5_narrowing.cpp.o.d"
+  "bench_fig5_narrowing"
+  "bench_fig5_narrowing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_narrowing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_asmgen.dir/bench_fig7_asmgen.cpp.o"
+  "CMakeFiles/bench_fig7_asmgen.dir/bench_fig7_asmgen.cpp.o.d"
+  "bench_fig7_asmgen"
+  "bench_fig7_asmgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_asmgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_operands.dir/bench_fig8_operands.cpp.o"
+  "CMakeFiles/bench_fig8_operands.dir/bench_fig8_operands.cpp.o.d"
+  "bench_fig8_operands"
+  "bench_fig8_operands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_operands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

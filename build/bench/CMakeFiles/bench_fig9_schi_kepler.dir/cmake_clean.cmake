@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_schi_kepler.dir/bench_fig9_schi_kepler.cpp.o"
+  "CMakeFiles/bench_fig9_schi_kepler.dir/bench_fig9_schi_kepler.cpp.o.d"
+  "bench_fig9_schi_kepler"
+  "bench_fig9_schi_kepler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_schi_kepler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig9_schi_kepler.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_common.dir/bench_table2_common.cpp.o"
+  "CMakeFiles/bench_table2_common.dir/bench_table2_common.cpp.o.d"
+  "bench_table2_common"
+  "bench_table2_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_sregs.dir/bench_table3_sregs.cpp.o"
+  "CMakeFiles/bench_table3_sregs.dir/bench_table3_sregs.cpp.o.d"
+  "bench_table3_sregs"
+  "bench_table3_sregs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_sregs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_arch_port.dir/cross_arch_port.cpp.o"
+  "CMakeFiles/cross_arch_port.dir/cross_arch_port.cpp.o.d"
+  "cross_arch_port"
+  "cross_arch_port.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_arch_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

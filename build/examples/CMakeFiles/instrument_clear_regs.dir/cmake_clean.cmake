@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instrument_clear_regs.dir/instrument_clear_regs.cpp.o"
+  "CMakeFiles/instrument_clear_regs.dir/instrument_clear_regs.cpp.o.d"
+  "instrument_clear_regs"
+  "instrument_clear_regs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instrument_clear_regs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

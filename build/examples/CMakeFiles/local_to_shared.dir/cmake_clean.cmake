@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_to_shared.dir/local_to_shared.cpp.o"
+  "CMakeFiles/local_to_shared.dir/local_to_shared.cpp.o.d"
+  "local_to_shared"
+  "local_to_shared.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_to_shared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for local_to_shared.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occupancy_tuning.dir/occupancy_tuning.cpp.o"
+  "CMakeFiles/occupancy_tuning.dir/occupancy_tuning.cpp.o.d"
+  "occupancy_tuning"
+  "occupancy_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occupancy_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

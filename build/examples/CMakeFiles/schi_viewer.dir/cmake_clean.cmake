@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schi_viewer.dir/schi_viewer.cpp.o"
+  "CMakeFiles/schi_viewer.dir/schi_viewer.cpp.o.d"
+  "schi_viewer"
+  "schi_viewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schi_viewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

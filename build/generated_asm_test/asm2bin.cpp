@@ -1,0 +1,1632 @@
+//===-- Generated assembler for sm_35 --- DO NOT EDIT ---------------===//
+//
+// Emitted by dcb::asmgen::AssemblerGenerator from a learned
+// encoding database (86 operations). Input: SASS assembly; output: binary words.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/Signature.h"
+#include "asmgen/GenRuntime.h"
+
+namespace {
+
+using dcb::asmgen::WindowRef;
+using dcb::gen::GenFeature;
+using dcb::gen::GenOperand;
+using dcb::gen::GenOperation;
+
+// --- ATOM/rmr (2 instances) ---
+const GenFeature Op0_Mods[] = {
+    {"ADD", 0, {{0xa48028000008142cull, 0x0ull}, {0xfffffffff9ebffffull, 0x0ull}}},
+};
+const WindowRef Op0_Guard[] = {{0,18,7},};
+const WindowRef Op0_A0_W[] = {{0,2,8},};
+const unsigned Op0_A0_B[] = {0,1,};
+const WindowRef Op0_A1_W[] = {{0,3,7},{0,10,8},{0,43,12},{0,61,3},{0,23,20},{1,23,20},};
+const unsigned Op0_A1_B[] = {0,4,6,};
+const WindowRef Op0_A2_W[] = {{0,9,9},{0,42,13},{0,60,4},};
+const unsigned Op0_A2_B[] = {0,3,};
+const GenOperand Op0_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op0_A0_W, Op0_A0_B, 1},
+    {'m', nullptr, 0, nullptr, 0, nullptr, 0, Op0_A1_W, Op0_A1_B, 2},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op0_A2_W, Op0_A2_B, 1},
+};
+const GenOperation Op0 = {"ATOM/rmr", {{0xa48028000008142cull, 0x0ull}, {0xfffffffff9ebffffull, 0x0ull}}, Op0_Guard, 1, Op0_Operands, 3, Op0_Mods, 1};
+
+// --- BAR/i (10 instances) ---
+const GenFeature Op1_Mods[] = {
+    {"ARV", 0, {{0xc1040000009c0000ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"SYNC", 0, {{0xc1000000001c0000ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op1_Guard[] = {{0,18,5},};
+const WindowRef Op1_A0_W[] = {{0,23,27},{0,50,6},{1,23,27},{1,50,6},};
+const unsigned Op1_A0_B[] = {0,4,};
+const GenOperand Op1_Operands[] = {
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op1_A0_W, Op1_A0_B, 1},
+};
+const GenOperation Op1 = {"BAR/i", {{0xc1000000001c0000ull, 0x0ull}, {0xfffbffffff7fffffull, 0x0ull}}, Op1_Guard, 1, Op1_Operands, 1, Op1_Mods, 2};
+
+// --- BFE/rri (1 instances) ---
+const WindowRef Op2_Guard[] = {{0,2,9},{0,18,8},{0,59,5},};
+const WindowRef Op2_A0_W[] = {{0,2,9},{0,18,8},{0,59,5},};
+const unsigned Op2_A0_B[] = {0,3,};
+const WindowRef Op2_A1_W[] = {{0,1,3},{0,10,8},{0,17,3},{0,58,3},};
+const unsigned Op2_A1_B[] = {0,4,};
+const WindowRef Op2_A2_W[] = {{0,8,4},{0,15,4},{0,23,32},{0,52,7},{0,56,4},{1,23,32},{1,52,7},};
+const unsigned Op2_A2_B[] = {0,7,};
+const GenOperand Op2_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op2_A0_W, Op2_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op2_A1_W, Op2_A1_B, 1},
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op2_A2_W, Op2_A2_B, 1},
+};
+const GenOperation Op2 = {"BFE/rri", {{0x38800000041c181cull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}, Op2_Guard, 3, Op2_Operands, 3, nullptr, 0};
+
+// --- BFE/rrr (1 instances) ---
+const GenFeature Op3_Mods[] = {
+    {"U32", 0, {{0xcf440000001c1820ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op3_Guard[] = {{0,18,32},{0,56,3},{0,57,5},};
+const WindowRef Op3_A0_W[] = {{0,2,9},{0,8,4},{0,15,4},{0,47,7},{0,51,5},};
+const unsigned Op3_A0_B[] = {0,5,};
+const WindowRef Op3_A1_W[] = {{0,10,8},{0,17,3},{0,55,3},{0,61,3},};
+const unsigned Op3_A1_B[] = {0,4,};
+const WindowRef Op3_A2_W[] = {{0,0,5},{0,1,4},{0,2,3},{0,3,2},{0,4,1},{0,6,5},{0,7,4},{0,8,3},{0,9,2},{0,10,1},{0,13,5},{0,14,4},{0,15,3},{0,16,2},{0,17,1},{0,21,29},{0,22,28},{0,23,27},{0,24,26},{0,25,25},{0,26,24},{0,27,23},{0,28,22},{0,29,21},{0,30,20},{0,31,19},{0,32,18},{0,33,17},{0,34,16},{0,35,15},{0,36,14},{0,37,13},{0,38,12},{0,39,11},{0,40,10},{0,41,9},{0,42,8},{0,43,7},{0,44,6},{0,45,5},{0,46,4},{0,47,3},{0,48,2},{0,49,1},{0,51,3},{0,52,2},{0,53,1},{0,55,1},{0,60,2},{0,61,1},};
+const unsigned Op3_A2_B[] = {0,50,};
+const GenOperand Op3_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op3_A0_W, Op3_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op3_A1_W, Op3_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op3_A2_W, Op3_A2_B, 1},
+};
+const GenOperation Op3 = {"BFE/rrr", {{0xcf440000001c1820ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}, Op3_Guard, 3, Op3_Operands, 3, Op3_Mods, 1};
+
+// --- BFI/rrrr (1 instances) ---
+const WindowRef Op4_Guard[] = {{0,10,8},{0,18,8},{0,54,7},};
+const WindowRef Op4_A0_W[] = {{0,2,8},};
+const unsigned Op4_A0_B[] = {0,1,};
+const WindowRef Op4_A1_W[] = {{0,10,8},{0,18,8},{0,54,7},};
+const unsigned Op4_A1_B[] = {0,3,};
+const WindowRef Op4_A2_W[] = {{0,7,4},{0,15,4},{0,23,20},{0,40,4},{0,51,4},{0,58,5},};
+const unsigned Op4_A2_B[] = {0,6,};
+const WindowRef Op4_A3_W[] = {{0,9,3},{0,17,3},{0,42,12},{0,53,3},};
+const unsigned Op4_A3_B[] = {0,4,};
+const GenOperand Op4_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op4_A0_W, Op4_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op4_A1_W, Op4_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op4_A2_W, Op4_A2_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op4_A3_W, Op4_A3_B, 1},
+};
+const GenOperation Op4 = {"BFI/rrrr", {{0xa1c01800041c1c24ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}, Op4_Guard, 3, Op4_Operands, 4, nullptr, 0};
+
+// --- BRA/c (1 instances) ---
+const WindowRef Op5_Guard[] = {{0,18,11},};
+const WindowRef Op5_A0_W[] = {{0,0,18},{0,1,17},{0,2,16},{0,3,15},{0,4,14},{0,5,13},{0,6,12},{0,7,11},{0,8,10},{0,9,9},{0,10,8},{0,11,7},{0,12,6},{0,13,5},{0,14,4},{0,15,3},{0,16,2},{0,17,1},{0,21,8},{0,22,7},{0,23,6},{0,24,5},{0,25,4},{0,26,3},{0,27,2},{0,28,1},{0,30,25},{0,31,24},{0,32,23},{0,33,22},{0,34,21},{0,35,20},{0,36,19},{0,37,18},{0,38,17},{0,39,16},{0,40,15},{0,41,14},{0,42,13},{0,43,12},{0,44,11},{0,45,10},{0,46,9},{0,47,8},{0,48,7},{0,49,6},{0,50,5},{0,51,4},{0,52,3},{0,53,2},{0,54,1},{0,57,2},{0,58,1},{0,60,2},{0,61,1},{0,63,1},{0,12,7},{0,23,32},{0,49,7},};
+const unsigned Op5_A0_B[] = {0,56,59,};
+const GenOperand Op5_Operands[] = {
+    {'c', nullptr, 0, nullptr, 0, nullptr, 0, Op5_A0_W, Op5_A0_B, 2},
+};
+const GenOperation Op5 = {"BRA/c", {{0x49800000201c0000ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}, Op5_Guard, 1, Op5_Operands, 1, nullptr, 0};
+
+// --- BRA/i (14 instances) ---
+const WindowRef Op6_Guard[] = {{0,18,8},};
+const WindowRef Op6_A0_W[] = {{2,23,24},};
+const unsigned Op6_A0_B[] = {0,1,};
+const GenOperand Op6_Operands[] = {
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op6_A0_W, Op6_A0_B, 1},
+};
+const GenOperation Op6 = {"BRA/i", {{0xe040000000000000ull, 0x0ull}, {0xffff800003c3ffffull, 0x0ull}}, Op6_Guard, 1, Op6_Operands, 1, nullptr, 0};
+
+// --- BRK/ (2 instances) ---
+const WindowRef Op7_Guard[] = {{0,18,36},};
+const GenOperation Op7 = {"BRK/", {{0x1940000000000000ull, 0x0ull}, {0xffffffffffe3ffffull, 0x0ull}}, Op7_Guard, 1, nullptr, 0, nullptr, 0};
+
+// --- CAL/i (1 instances) ---
+const WindowRef Op8_Guard[] = {{0,18,8},};
+const WindowRef Op8_A0_W[] = {{2,23,31},{2,51,9},};
+const unsigned Op8_A0_B[] = {0,2,};
+const GenOperand Op8_Operands[] = {
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op8_A0_W, Op8_A0_B, 1},
+};
+const GenOperation Op8 = {"CAL/i", {{0xb2c000002c1c0000ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}, Op8_Guard, 1, Op8_Operands, 1, nullptr, 0};
+
+// --- DADD/rrf (4 instances) ---
+const GenFeature Op9_Mods[] = {
+    {"RM", 0, {{0xaa1000ff001c1820ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"RP", 0, {{0xaa2000ff001c1828ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op9_Guard[] = {{0,18,11},{0,33,3},{0,34,3},{0,35,3},{0,36,3},{0,37,15},};
+const WindowRef Op9_A0_W[] = {{0,2,9},};
+const unsigned Op9_A0_B[] = {0,1,};
+const WindowRef Op9_A1_W[] = {{0,10,8},};
+const unsigned Op9_A1_B[] = {0,1,};
+const WindowRef Op9_A2_W[] = {{3,0,2},{3,1,2},{3,2,1},{3,5,3},{3,6,2},{3,7,2},{3,8,2},{3,9,2},{3,10,1},{3,14,2},{3,15,2},{3,16,2},{3,17,1},{3,18,5},{3,19,4},{3,20,3},{3,21,2},{3,22,2},{3,23,2},{3,24,2},{3,25,2},{3,26,2},{3,27,2},{3,28,1},{3,36,6},{3,37,5},{3,38,4},{3,39,3},{3,40,2},{3,41,2},{3,42,2},{3,43,2},{3,44,2},{3,45,2},{3,46,2},{3,47,2},{3,48,2},{3,49,2},{3,50,2},{3,51,1},{3,54,2},{3,55,2},{3,56,1},{3,58,1},{3,60,1},{3,62,1},{4,0,2},{4,1,2},{4,2,1},{4,5,3},{4,6,2},{4,7,2},{4,8,2},{4,9,2},{4,10,1},{4,14,2},{4,15,2},{4,16,2},{4,17,1},{4,18,5},{4,19,4},{4,20,3},{4,21,21},{4,22,20},{4,23,19},{4,24,18},{4,25,17},{4,26,16},{4,27,15},{4,28,14},{4,29,13},{4,30,12},{4,31,11},{4,32,10},{4,33,9},{4,34,8},{4,35,7},{4,36,6},{4,37,5},{4,38,4},{4,39,3},{4,40,2},{4,41,2},{4,42,2},{4,43,2},{4,44,2},{4,45,2},{4,46,2},{4,47,2},{4,48,2},{4,49,2},{4,50,2},{4,51,1},{4,54,2},{4,55,2},{4,56,1},{4,58,1},{4,60,1},{4,62,1},};
+const unsigned Op9_A2_B[] = {0,99,};
+const GenOperand Op9_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op9_A0_W, Op9_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op9_A1_W, Op9_A1_B, 1},
+    {'f', nullptr, 0, nullptr, 0, nullptr, 0, Op9_A2_W, Op9_A2_B, 1},
+};
+const GenOperation Op9 = {"DADD/rrf", {{0xaa0000fe001c0820ull, 0x0ull}, {0xffcffffe1fffcfe7ull, 0x0ull}}, Op9_Guard, 6, Op9_Operands, 3, Op9_Mods, 2};
+
+// --- DADD/rrr (1 instances) ---
+const WindowRef Op10_Guard[] = {{0,18,8},};
+const WindowRef Op10_A0_W[] = {{0,2,11},};
+const unsigned Op10_A0_B[] = {0,1,};
+const WindowRef Op10_A1_W[] = {{0,0,5},{0,10,8},{0,15,4},{0,23,31},{0,51,4},{0,59,5},};
+const unsigned Op10_A1_B[] = {0,6,};
+const WindowRef Op10_A2_W[] = {{0,0,5},{0,10,8},{0,15,4},{0,23,31},{0,51,4},{0,59,5},};
+const unsigned Op10_A2_B[] = {0,6,};
+const GenOperand Op10_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op10_A0_W, Op10_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op10_A1_W, Op10_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op10_A2_W, Op10_A2_B, 1},
+};
+const GenOperation Op10 = {"DADD/rrr", {{0x40c00000041c2028ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}, Op10_Guard, 1, Op10_Operands, 3, nullptr, 0};
+
+// --- DEPBAR/bz (1 instances) ---
+const GenFeature Op11_Mods[] = {
+    {"LE", 0, {{0x93840000041c0000ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op11_Guard[] = {{0,18,8},{0,55,5},};
+const WindowRef Op11_A0_W[] = {{0,0,18},{0,1,17},{0,2,16},{0,3,15},{0,4,14},{0,5,13},{0,6,12},{0,7,11},{0,8,10},{0,9,9},{0,10,8},{0,11,7},{0,12,6},{0,13,5},{0,14,4},{0,15,3},{0,16,2},{0,17,1},{0,21,5},{0,22,4},{0,23,3},{0,24,2},{0,25,1},{0,27,23},{0,28,22},{0,29,21},{0,30,20},{0,31,19},{0,32,18},{0,33,17},{0,34,16},{0,35,15},{0,36,14},{0,37,13},{0,38,12},{0,39,11},{0,40,10},{0,41,9},{0,42,8},{0,43,7},{0,44,6},{0,45,5},{0,46,4},{0,47,3},{0,48,2},{0,49,1},{0,51,4},{0,52,3},{0,53,2},{0,54,1},{0,58,2},{0,59,1},{0,61,2},{0,62,1},};
+const unsigned Op11_A0_B[] = {0,54,};
+const WindowRef Op11_A1_W[] = {{0,18,1},{0,19,1},{0,20,6},{0,26,24},{0,50,5},{0,55,1},{0,56,1},{0,57,3},{0,60,3},{0,63,1},};
+const unsigned Op11_A1_B[] = {0,10,};
+const GenOperand Op11_Operands[] = {
+    {'b', nullptr, 0, nullptr, 0, nullptr, 0, Op11_A0_W, Op11_A0_B, 1},
+    {'z', nullptr, 0, nullptr, 0, nullptr, 0, Op11_A1_W, Op11_A1_B, 1},
+};
+const GenOperation Op11 = {"DEPBAR/bz", {{0x93840000041c0000ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}, Op11_Guard, 2, Op11_Operands, 2, Op11_Mods, 1};
+
+// --- DFMA/rrrr (2 instances) ---
+const GenFeature Op12_Mods[] = {
+    {"RZ", 0, {{0x74702800045c2830ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op12_Guard[] = {{0,18,4},{0,60,4},};
+const WindowRef Op12_A0_W[] = {{0,2,9},};
+const unsigned Op12_A0_B[] = {0,1,};
+const WindowRef Op12_A1_W[] = {{0,10,8},{0,42,10},};
+const unsigned Op12_A1_B[] = {0,2,};
+const GenFeature Op12_A2_U[] = {
+    {"-", 0, {{0x74702800045c2830ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op12_A2_W[] = {{0,15,4},{0,23,20},{0,55,5},};
+const unsigned Op12_A2_B[] = {0,3,};
+const WindowRef Op12_A3_W[] = {{0,10,8},{0,42,10},};
+const unsigned Op12_A3_B[] = {0,2,};
+const GenOperand Op12_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op12_A0_W, Op12_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op12_A1_W, Op12_A1_B, 1},
+    {'r', Op12_A2_U, 1, nullptr, 0, nullptr, 0, Op12_A2_W, Op12_A2_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op12_A3_W, Op12_A3_B, 1},
+};
+const GenOperation Op12 = {"DFMA/rrrr", {{0x74402000041c2020ull, 0x0ull}, {0xffcff7ffffbff7e7ull, 0x0ull}}, Op12_Guard, 2, Op12_Operands, 4, Op12_Mods, 1};
+
+// --- DMUL/rrr (3 instances) ---
+const GenFeature Op13_Mods[] = {
+    {"RZ", 0, {{0x13700000051c2030ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op13_Guard[] = {{0,18,6},};
+const WindowRef Op13_A0_W[] = {{0,2,9},};
+const unsigned Op13_A0_B[] = {0,1,};
+const WindowRef Op13_A1_W[] = {{0,10,8},};
+const unsigned Op13_A1_B[] = {0,1,};
+const WindowRef Op13_A2_W[] = {{0,23,29},};
+const unsigned Op13_A2_B[] = {0,1,};
+const GenOperand Op13_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op13_A0_W, Op13_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op13_A1_W, Op13_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op13_A2_W, Op13_A2_B, 1},
+};
+const GenOperation Op13 = {"DMUL/rrr", {{0x13400000041c2020ull, 0x0ull}, {0xffcffffffefff7e7ull, 0x0ull}}, Op13_Guard, 1, Op13_Operands, 3, Op13_Mods, 1};
+
+// --- EXIT/ (40 instances) ---
+const WindowRef Op14_Guard[] = {{0,18,36},};
+const GenOperation Op14 = {"EXIT/", {{0x85400000001c0000ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}, Op14_Guard, 1, nullptr, 0, nullptr, 0};
+
+// --- F2F/rr (3 instances) ---
+const GenFeature Op15_Mods[] = {
+    {"F32", 0, {{0xe5f80000061c0038ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"F32", 1, {{0xe5ec0000041c0028ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"F64", 0, {{0xe5ec0000041c0028ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"F64", 1, {{0xe5f80000061c0038ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op15_Guard[] = {{0,18,7},{0,53,3},{0,54,4},{0,61,3},};
+const WindowRef Op15_A0_W[] = {{0,2,16},};
+const unsigned Op15_A0_B[] = {0,1,};
+const WindowRef Op15_A1_W[] = {{0,23,27},};
+const unsigned Op15_A1_B[] = {0,1,};
+const GenOperand Op15_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op15_A0_W, Op15_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op15_A1_W, Op15_A1_B, 1},
+};
+const GenOperation Op15 = {"F2F/rr", {{0xe5e80000041c0028ull, 0x0ull}, {0xffebfffffdffffefull, 0x0ull}}, Op15_Guard, 4, Op15_Operands, 2, Op15_Mods, 4};
+
+// --- F2I/rr (2 instances) ---
+const GenFeature Op16_Mods[] = {
+    {"F32", 0, {{0x4f140004031c0020ull, 0x0ull}, {0xfffffffffb7fffe3ull, 0x0ull}}},
+    {"S32", 0, {{0x4f140004031c0020ull, 0x0ull}, {0xfffffffffb7fffe3ull, 0x0ull}}},
+};
+const WindowRef Op16_Guard[] = {{0,18,5},{0,56,3},{0,57,5},};
+const WindowRef Op16_A0_W[] = {{0,2,16},};
+const unsigned Op16_A0_B[] = {0,1,};
+const WindowRef Op16_A1_W[] = {{0,23,11},};
+const unsigned Op16_A1_B[] = {0,1,};
+const GenOperand Op16_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op16_A0_W, Op16_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op16_A1_W, Op16_A1_B, 1},
+};
+const GenOperation Op16 = {"F2I/rr", {{0x4f140004031c0020ull, 0x0ull}, {0xfffffffffb7fffe3ull, 0x0ull}}, Op16_Guard, 3, Op16_Operands, 2, Op16_Mods, 2};
+
+// --- FADD/rrc (1 instances) ---
+const WindowRef Op17_Guard[] = {{0,18,7},{0,25,36},};
+const WindowRef Op17_A0_W[] = {{0,2,8},};
+const unsigned Op17_A0_B[] = {0,1,};
+const WindowRef Op17_A1_W[] = {{0,3,7},{0,10,8},};
+const unsigned Op17_A1_B[] = {0,2,};
+const WindowRef Op17_A2_W[] = {{0,0,2},{0,1,1},{0,4,1},{0,6,4},{0,7,3},{0,8,2},{0,9,1},{0,11,1},{0,13,5},{0,14,4},{0,15,3},{0,16,2},{0,17,1},{0,21,4},{0,22,3},{0,23,2},{0,24,1},{0,28,33},{0,29,32},{0,30,31},{0,31,30},{0,32,29},{0,33,28},{0,34,27},{0,35,26},{0,36,25},{0,37,24},{0,38,23},{0,39,22},{0,40,21},{0,41,20},{0,42,19},{0,43,18},{0,44,17},{0,45,16},{0,46,15},{0,47,14},{0,48,13},{0,49,12},{0,50,11},{0,51,10},{0,52,9},{0,53,8},{0,54,7},{0,55,6},{0,56,5},{0,57,4},{0,58,3},{0,59,2},{0,60,1},{0,63,1},{0,16,9},{0,23,38},};
+const unsigned Op17_A2_B[] = {0,51,53,};
+const GenOperand Op17_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op17_A0_W, Op17_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op17_A1_W, Op17_A1_B, 1},
+    {'c', nullptr, 0, nullptr, 0, nullptr, 0, Op17_A2_W, Op17_A2_B, 2},
+};
+const GenOperation Op17 = {"FADD/rrc", {{0x600000000e1c142cull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}, Op17_Guard, 2, Op17_Operands, 3, nullptr, 0};
+
+// --- FADD/rrf (4 instances) ---
+const WindowRef Op18_Guard[] = {{0,18,5},{0,37,4},{0,60,3},{0,61,3},};
+const WindowRef Op18_A0_W[] = {{0,2,8},};
+const unsigned Op18_A0_B[] = {0,1,};
+const GenFeature Op18_A1_U[] = {
+    {"-", 0, {{0xf6c000fe001c282dull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op18_A1_W[] = {{0,10,8},};
+const unsigned Op18_A1_B[] = {0,1,};
+const WindowRef Op18_A2_W[] = {{3,9,2},{3,10,1},{3,21,21},{3,22,20},{3,23,19},{3,24,18},{3,25,17},{3,26,16},{3,27,15},{3,28,14},{3,29,13},{3,30,12},{3,31,11},{3,32,10},{3,33,9},{3,34,8},{3,35,7},{3,36,6},{3,37,5},{3,38,4},{3,39,3},{3,40,2},{3,41,1},{4,9,2},{4,10,1},{4,37,5},{4,38,4},{4,39,3},{4,40,2},{4,41,1},};
+const unsigned Op18_A2_B[] = {0,30,};
+const GenOperand Op18_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op18_A0_W, Op18_A0_B, 1},
+    {'r', Op18_A1_U, 1, nullptr, 0, nullptr, 0, Op18_A1_W, Op18_A1_B, 1},
+    {'f', nullptr, 0, nullptr, 0, nullptr, 0, Op18_A2_W, Op18_A2_B, 1},
+};
+const GenOperation Op18 = {"FADD/rrf", {{0xf6c000e0001c0000ull, 0x0ull}, {0xfffffde0b97f8382ull, 0x0ull}}, Op18_Guard, 4, Op18_Operands, 3, nullptr, 0};
+
+// --- FADD/rrr (20 instances) ---
+const GenFeature Op19_Mods[] = {
+    {"FTZ", 0, {{0x8d840000829c181cull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op19_Guard[] = {{0,18,4},};
+const WindowRef Op19_A0_W[] = {{0,2,8},};
+const unsigned Op19_A0_B[] = {0,1,};
+const WindowRef Op19_A1_W[] = {{0,10,8},};
+const unsigned Op19_A1_B[] = {0,1,};
+const GenFeature Op19_A2_U[] = {
+    {"-", 0, {{0x8d800000005c0000ull, 0x0ull}, {0xfffffffff87fc3c3ull, 0x0ull}}},
+    {"|", 0, {{0x8d840000829c181cull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op19_A2_W[] = {{0,23,8},};
+const unsigned Op19_A2_B[] = {0,1,};
+const GenOperand Op19_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op19_A0_W, Op19_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op19_A1_W, Op19_A1_B, 1},
+    {'r', Op19_A2_U, 2, nullptr, 0, nullptr, 0, Op19_A2_W, Op19_A2_B, 1},
+};
+const GenOperation Op19 = {"FADD/rrr", {{0x8d800000001c0000ull, 0x0ull}, {0xfffbffff783fc383ull, 0x0ull}}, Op19_Guard, 1, Op19_Operands, 3, Op19_Mods, 1};
+
+// --- FFMA/rrcr (6 instances) ---
+const WindowRef Op20_Guard[] = {{0,18,7},{0,55,3},{0,56,4},};
+const WindowRef Op20_A0_W[] = {{0,2,8},};
+const unsigned Op20_A0_B[] = {0,1,};
+const WindowRef Op20_A1_W[] = {{0,10,8},};
+const unsigned Op20_A1_B[] = {0,1,};
+const WindowRef Op20_A2_W[] = {{0,0,2},{0,1,1},{0,6,4},{0,7,3},{0,8,2},{0,9,1},{0,14,4},{0,15,3},{0,16,2},{0,17,1},{0,21,4},{0,22,3},{0,23,2},{0,24,1},{0,26,1},{0,28,14},{0,29,13},{0,30,12},{0,31,11},{0,32,10},{0,33,9},{0,34,8},{0,35,7},{0,36,6},{0,37,5},{0,38,4},{0,39,3},{0,40,2},{0,41,1},{0,46,9},{0,47,8},{0,48,7},{0,49,6},{0,50,5},{0,51,4},{0,52,3},{0,53,2},{0,54,1},{0,59,1},{0,61,1},{0,23,19},};
+const unsigned Op20_A2_B[] = {0,40,41,};
+const WindowRef Op20_A3_W[] = {{0,42,13},};
+const unsigned Op20_A3_B[] = {0,1,};
+const GenOperand Op20_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op20_A0_W, Op20_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op20_A1_W, Op20_A1_B, 1},
+    {'c', nullptr, 0, nullptr, 0, nullptr, 0, Op20_A2_W, Op20_A2_B, 2},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op20_A3_W, Op20_A3_B, 1},
+};
+const GenOperation Op20 = {"FFMA/rrcr", {{0xd78000000a1c0000ull, 0x0ull}, {0xffffc3ffffffc3c3ull, 0x0ull}}, Op20_Guard, 3, Op20_Operands, 4, nullptr, 0};
+
+// --- FFMA/rrfr (2 instances) ---
+const WindowRef Op21_Guard[] = {{0,18,15},{0,40,4},{0,57,4},};
+const WindowRef Op21_A0_W[] = {{0,2,9},};
+const unsigned Op21_A0_B[] = {0,1,};
+const WindowRef Op21_A1_W[] = {{0,10,8},{0,17,3},{0,39,3},{0,56,3},{0,60,4},};
+const unsigned Op21_A1_B[] = {0,5,};
+const WindowRef Op21_A2_W[] = {{3,3,1},{3,5,1},{3,6,7},{3,7,6},{3,8,5},{3,9,4},{3,10,3},{3,11,2},{3,12,1},{3,13,7},{3,14,6},{3,15,5},{3,16,4},{3,17,3},{3,18,2},{3,19,2},{3,20,1},{3,21,21},{3,22,20},{3,23,19},{3,24,18},{3,25,17},{3,26,16},{3,27,15},{3,28,14},{3,29,13},{3,30,12},{3,31,11},{3,32,10},{3,33,9},{3,34,8},{3,35,7},{3,36,6},{3,37,5},{3,38,4},{3,39,3},{3,40,2},{3,41,2},{3,42,1},{3,45,1},{3,54,1},{3,55,4},{3,56,3},{3,57,2},{3,58,2},{3,59,1},{3,60,3},{3,61,2},{3,62,1},{4,3,1},{4,5,1},{4,6,7},{4,7,6},{4,8,5},{4,9,4},{4,10,3},{4,11,2},{4,12,1},{4,13,7},{4,14,6},{4,15,5},{4,16,4},{4,17,3},{4,18,2},{4,19,2},{4,20,1},{4,34,8},{4,35,7},{4,36,6},{4,37,5},{4,38,4},{4,39,3},{4,40,2},{4,41,2},{4,42,1},{4,45,1},{4,54,1},{4,55,4},{4,56,3},{4,57,2},{4,58,2},{4,59,1},{4,60,3},{4,61,2},{4,62,1},};
+const unsigned Op21_A2_B[] = {0,85,};
+const WindowRef Op21_A3_W[] = {{0,42,12},};
+const unsigned Op21_A3_B[] = {0,1,};
+const GenOperand Op21_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op21_A0_W, Op21_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op21_A1_W, Op21_A1_B, 1},
+    {'f', nullptr, 0, nullptr, 0, nullptr, 0, Op21_A2_W, Op21_A2_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op21_A3_W, Op21_A3_B, 1},
+};
+const GenOperation Op21 = {"FFMA/rrfr", {{0x6e402700001c1828ull, 0x0ull}, {0xffffeffdffffffefull, 0x0ull}}, Op21_Guard, 3, Op21_Operands, 4, nullptr, 0};
+
+// --- FFMA/rrrr (8 instances) ---
+const WindowRef Op22_Guard[] = {{0,18,4},};
+const WindowRef Op22_A0_W[] = {{0,2,8},};
+const unsigned Op22_A0_B[] = {0,1,};
+const WindowRef Op22_A1_W[] = {{0,10,8},};
+const unsigned Op22_A1_B[] = {0,1,};
+const GenFeature Op22_A2_U[] = {
+    {"-", 0, {{0x500200003dc282cull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op22_A2_W[] = {{0,23,19},};
+const unsigned Op22_A2_B[] = {0,1,};
+const WindowRef Op22_A3_W[] = {{0,42,14},};
+const unsigned Op22_A3_B[] = {0,1,};
+const GenOperand Op22_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op22_A0_W, Op22_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op22_A1_W, Op22_A1_B, 1},
+    {'r', Op22_A2_U, 1, nullptr, 0, nullptr, 0, Op22_A2_W, Op22_A2_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op22_A3_W, Op22_A3_B, 1},
+};
+const GenOperation Op22 = {"FFMA/rrrr", {{0x5000000001c0000ull, 0x0ull}, {0xffffc3fff03fc393ull, 0x0ull}}, Op22_Guard, 1, Op22_Operands, 4, nullptr, 0};
+
+// --- FMNMX/rrcp (1 instances) ---
+const WindowRef Op23_Guard[] = {{0,3,7},{0,18,7},{0,42,17},};
+const WindowRef Op23_A0_W[] = {{0,2,8},{0,17,8},{0,41,18},};
+const unsigned Op23_A0_B[] = {0,3,};
+const WindowRef Op23_A1_W[] = {{0,10,8},};
+const unsigned Op23_A1_B[] = {0,1,};
+const WindowRef Op23_A2_W[] = {{0,0,3},{0,1,2},{0,2,1},{0,6,4},{0,7,3},{0,8,2},{0,9,1},{0,11,1},{0,14,4},{0,15,3},{0,16,2},{0,17,1},{0,21,4},{0,22,3},{0,23,2},{0,24,1},{0,26,1},{0,28,14},{0,29,13},{0,30,12},{0,31,11},{0,32,10},{0,33,9},{0,34,8},{0,35,7},{0,36,6},{0,37,5},{0,38,4},{0,39,3},{0,40,2},{0,41,1},{0,45,14},{0,46,13},{0,47,12},{0,48,11},{0,49,10},{0,50,9},{0,51,8},{0,52,7},{0,53,6},{0,54,5},{0,55,4},{0,56,3},{0,57,2},{0,58,1},{0,60,3},{0,61,2},{0,62,1},{0,8,5},{0,23,19},};
+const unsigned Op23_A2_B[] = {0,48,50,};
+const WindowRef Op23_A3_W[] = {{0,3,7},{0,18,7},{0,42,17},};
+const unsigned Op23_A3_B[] = {0,3,};
+const GenOperand Op23_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op23_A0_W, Op23_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op23_A1_W, Op23_A1_B, 1},
+    {'c', nullptr, 0, nullptr, 0, nullptr, 0, Op23_A2_W, Op23_A2_B, 2},
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op23_A3_W, Op23_A3_B, 1},
+};
+const GenOperation Op23 = {"FMNMX/rrcp", {{0x88001c000a1c3438ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}, Op23_Guard, 3, Op23_Operands, 4, nullptr, 0};
+
+// --- FMNMX/rrfp (1 instances) ---
+const WindowRef Op24_Guard[] = {{0,10,8},{0,18,15},{0,33,3},{0,34,3},{0,35,3},{0,36,3},{0,37,5},{0,42,12},{0,57,3},{0,58,6},};
+const WindowRef Op24_A0_W[] = {{0,2,8},{0,7,4},{0,15,4},{0,30,4},{0,51,4},};
+const unsigned Op24_A0_B[] = {0,5,};
+const WindowRef Op24_A1_W[] = {{0,10,8},{0,18,15},{0,33,3},{0,34,3},{0,35,3},{0,36,3},{0,37,5},{0,42,12},{0,57,3},{0,58,6},};
+const unsigned Op24_A1_B[] = {0,10,};
+const WindowRef Op24_A2_W[] = {{3,0,2},{3,1,2},{3,2,2},{3,3,2},{3,4,1},{3,5,3},{3,6,2},{3,7,2},{3,8,2},{3,9,1},{3,10,5},{3,11,4},{3,12,3},{3,13,2},{3,14,2},{3,15,2},{3,16,2},{3,17,1},{3,18,5},{3,19,4},{3,20,3},{3,21,21},{3,22,20},{3,23,19},{3,24,18},{3,25,17},{3,26,16},{3,27,15},{3,28,14},{3,29,13},{3,30,12},{3,31,11},{3,32,10},{3,33,9},{3,34,8},{3,35,7},{3,36,6},{3,37,5},{3,38,4},{3,39,3},{3,40,2},{3,41,1},{3,42,5},{3,43,4},{3,44,3},{3,45,2},{3,46,2},{3,47,2},{3,48,2},{3,49,2},{3,50,2},{3,51,2},{3,52,2},{3,53,1},{3,56,1},{3,57,6},{3,58,5},{3,59,4},{3,60,3},{3,61,2},{3,62,2},{3,63,1},{4,0,2},{4,1,2},{4,2,2},{4,3,2},{4,4,1},{4,5,3},{4,6,2},{4,7,2},{4,8,2},{4,9,1},{4,10,5},{4,11,4},{4,12,3},{4,13,2},{4,14,2},{4,15,2},{4,16,2},{4,17,1},{4,18,5},{4,19,4},{4,20,3},{4,21,2},{4,22,2},{4,23,2},{4,24,2},{4,25,2},{4,26,2},{4,27,2},{4,28,2},{4,29,2},{4,30,2},{4,31,2},{4,32,1},{4,33,9},{4,34,8},{4,35,7},{4,36,6},{4,37,5},{4,38,4},{4,39,3},{4,40,2},{4,41,1},{4,42,5},{4,43,4},{4,44,3},{4,45,2},{4,46,2},{4,47,2},{4,48,2},{4,49,2},{4,50,2},{4,51,2},{4,52,2},{4,53,1},{4,56,1},{4,57,6},{4,58,5},{4,59,4},{4,60,3},{4,61,2},{4,62,2},{4,63,1},};
+const unsigned Op24_A2_B[] = {0,124,};
+const WindowRef Op24_A3_W[] = {{0,10,8},{0,18,15},{0,33,3},{0,34,3},{0,35,3},{0,36,3},{0,37,5},{0,42,12},{0,57,3},{0,58,6},};
+const unsigned Op24_A3_B[] = {0,10,};
+const GenOperand Op24_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op24_A0_W, Op24_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op24_A1_W, Op24_A1_B, 1},
+    {'f', nullptr, 0, nullptr, 0, nullptr, 0, Op24_A2_W, Op24_A2_B, 1},
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op24_A3_W, Op24_A3_B, 1},
+};
+const GenOperation Op24 = {"FMNMX/rrfp", {{0x1ec01cfe001c1c20ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}, Op24_Guard, 10, Op24_Operands, 4, nullptr, 0};
+
+// --- FMNMX/rrrp (1 instances) ---
+const WindowRef Op25_Guard[] = {{0,2,9},{0,11,7},{0,18,5},{0,23,19},{0,42,13},};
+const WindowRef Op25_A0_W[] = {{0,2,9},{0,11,7},{0,18,5},{0,23,19},{0,42,13},};
+const unsigned Op25_A0_B[] = {0,5,};
+const WindowRef Op25_A1_W[] = {{0,1,10},{0,10,8},{0,17,6},{0,22,20},{0,41,14},};
+const unsigned Op25_A1_B[] = {0,5,};
+const WindowRef Op25_A2_W[] = {{0,2,9},{0,11,7},{0,18,5},{0,23,19},{0,42,13},};
+const unsigned Op25_A2_B[] = {0,5,};
+const WindowRef Op25_A3_W[] = {{0,2,9},{0,11,7},{0,18,5},{0,23,19},{0,42,13},};
+const unsigned Op25_A3_B[] = {0,5,};
+const GenOperand Op25_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op25_A0_W, Op25_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op25_A1_W, Op25_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op25_A2_W, Op25_A2_B, 1},
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op25_A3_W, Op25_A3_B, 1},
+};
+const GenOperation Op25 = {"FMNMX/rrrp", {{0xb5801c00039c381cull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}, Op25_Guard, 5, Op25_Operands, 4, nullptr, 0};
+
+// --- FMUL/rrc (4 instances) ---
+const WindowRef Op26_Guard[] = {{0,18,7},{0,54,3},{0,55,4},};
+const WindowRef Op26_A0_W[] = {{0,2,8},};
+const unsigned Op26_A0_B[] = {0,1,};
+const WindowRef Op26_A1_W[] = {{0,10,8},};
+const unsigned Op26_A1_B[] = {0,1,};
+const WindowRef Op26_A2_W[] = {{0,0,2},{0,1,1},{0,6,4},{0,7,3},{0,8,2},{0,9,1},{0,14,4},{0,15,3},{0,16,2},{0,17,1},{0,21,4},{0,22,3},{0,23,2},{0,24,1},{0,28,26},{0,29,25},{0,30,24},{0,31,23},{0,32,22},{0,33,21},{0,34,20},{0,35,19},{0,36,18},{0,37,17},{0,38,16},{0,39,15},{0,40,14},{0,41,13},{0,42,12},{0,43,11},{0,44,10},{0,45,9},{0,46,8},{0,47,7},{0,48,6},{0,49,5},{0,50,4},{0,51,3},{0,52,2},{0,53,1},{0,58,1},{0,61,2},{0,62,1},{0,23,31},};
+const unsigned Op26_A2_B[] = {0,43,44,};
+const GenOperand Op26_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op26_A0_W, Op26_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op26_A1_W, Op26_A1_B, 1},
+    {'c', nullptr, 0, nullptr, 0, nullptr, 0, Op26_A2_W, Op26_A2_B, 2},
+};
+const GenOperation Op26 = {"FMUL/rrc", {{0x9bc00000081c0010ull, 0x0ull}, {0xfffffffff9ffc3d3ull, 0x0ull}}, Op26_Guard, 3, Op26_Operands, 3, nullptr, 0};
+
+// --- FMUL/rrf (7 instances) ---
+const WindowRef Op27_Guard[] = {{0,18,5},};
+const WindowRef Op27_A0_W[] = {{0,2,8},};
+const unsigned Op27_A0_B[] = {0,1,};
+const WindowRef Op27_A1_W[] = {{0,10,8},};
+const unsigned Op27_A1_B[] = {0,1,};
+const WindowRef Op27_A2_W[] = {{3,21,21},{3,22,20},{3,23,19},{3,24,18},{3,25,17},{3,26,16},{3,27,15},{3,28,14},{3,29,13},{3,30,12},{3,31,11},{3,32,10},{3,33,9},{3,34,8},{3,35,7},{3,36,6},{3,37,5},{3,38,4},{3,39,3},{3,40,2},{3,41,1},{4,39,3},{4,40,2},{4,41,1},};
+const unsigned Op27_A2_B[] = {0,24,};
+const GenOperand Op27_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op27_A0_W, Op27_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op27_A1_W, Op27_A1_B, 1},
+    {'f', nullptr, 0, nullptr, 0, nullptr, 0, Op27_A2_W, Op27_A2_B, 1},
+};
+const GenOperation Op27 = {"FMUL/rrf", {{0x3280000000040020ull, 0x0ull}, {0xfffffc000067c3e3ull, 0x0ull}}, Op27_Guard, 1, Op27_Operands, 3, nullptr, 0};
+
+// --- FMUL/rrr (17 instances) ---
+const GenFeature Op28_Mods[] = {
+    {"FTZ", 0, {{0xc9440000051c2c30ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op28_Guard[] = {{0,18,5},};
+const WindowRef Op28_A0_W[] = {{0,2,8},};
+const unsigned Op28_A0_B[] = {0,1,};
+const WindowRef Op28_A1_W[] = {{0,10,8},};
+const unsigned Op28_A1_B[] = {0,1,};
+const WindowRef Op28_A2_W[] = {{0,23,27},};
+const unsigned Op28_A2_B[] = {0,1,};
+const GenOperand Op28_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op28_A0_W, Op28_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op28_A1_W, Op28_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op28_A2_W, Op28_A2_B, 1},
+};
+const GenOperation Op28 = {"FMUL/rrr", {{0xc9400000001c0000ull, 0x0ull}, {0xfffbfffff07f8383ull, 0x0ull}}, Op28_Guard, 1, Op28_Operands, 3, Op28_Mods, 1};
+
+// --- FSETP/pprcp (1 instances) ---
+const GenFeature Op29_Mods[] = {
+    {"AND", 0, {{0x2fd01c000a1c24e0ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"GT", 0, {{0x2fd01c000a1c24e0ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op29_Guard[] = {{0,5,5},{0,18,7},{0,42,10},{0,54,3},{0,55,3},{0,56,3},{0,57,4},};
+const WindowRef Op29_A0_W[] = {{0,0,5},{0,1,4},{0,2,3},{0,3,2},{0,4,1},{0,8,2},{0,9,1},{0,11,2},{0,12,1},{0,14,4},{0,15,3},{0,16,2},{0,17,1},{0,21,4},{0,22,3},{0,23,2},{0,24,1},{0,26,1},{0,28,14},{0,29,13},{0,30,12},{0,31,11},{0,32,10},{0,33,9},{0,34,8},{0,35,7},{0,36,6},{0,37,5},{0,38,4},{0,39,3},{0,40,2},{0,41,1},{0,45,7},{0,46,6},{0,47,5},{0,48,4},{0,49,3},{0,50,2},{0,51,1},{0,53,1},{0,60,1},{0,62,2},{0,63,1},};
+const unsigned Op29_A0_B[] = {0,43,};
+const WindowRef Op29_A1_W[] = {{0,5,5},{0,18,7},{0,42,10},{0,54,3},{0,55,3},{0,56,3},{0,57,4},};
+const unsigned Op29_A1_B[] = {0,7,};
+const WindowRef Op29_A2_W[] = {{0,7,6},{0,10,8},};
+const unsigned Op29_A2_B[] = {0,2,};
+const WindowRef Op29_A3_W[] = {{0,0,5},{0,1,4},{0,2,3},{0,3,2},{0,4,1},{0,8,2},{0,9,1},{0,11,2},{0,12,1},{0,14,4},{0,15,3},{0,16,2},{0,17,1},{0,21,4},{0,22,3},{0,23,2},{0,24,1},{0,26,1},{0,28,14},{0,29,13},{0,30,12},{0,31,11},{0,32,10},{0,33,9},{0,34,8},{0,35,7},{0,36,6},{0,37,5},{0,38,4},{0,39,3},{0,40,2},{0,41,1},{0,45,7},{0,46,6},{0,47,5},{0,48,4},{0,49,3},{0,50,2},{0,51,1},{0,53,1},{0,60,1},{0,62,2},{0,63,1},{0,23,19},{0,50,5},};
+const unsigned Op29_A3_B[] = {0,43,45,};
+const WindowRef Op29_A4_W[] = {{0,5,5},{0,18,7},{0,42,10},{0,54,3},{0,55,3},{0,56,3},{0,57,4},};
+const unsigned Op29_A4_B[] = {0,7,};
+const GenOperand Op29_Operands[] = {
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op29_A0_W, Op29_A0_B, 1},
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op29_A1_W, Op29_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op29_A2_W, Op29_A2_B, 1},
+    {'c', nullptr, 0, nullptr, 0, nullptr, 0, Op29_A3_W, Op29_A3_B, 2},
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op29_A4_W, Op29_A4_B, 1},
+};
+const GenOperation Op29 = {"FSETP/pprcp", {{0x2fd01c000a1c24e0ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}, Op29_Guard, 7, Op29_Operands, 5, Op29_Mods, 2};
+
+// --- FSETP/pprfp (3 instances) ---
+const GenFeature Op30_Mods[] = {
+    {"AND", 0, {{0xc6801c00001c20e0ull, 0x0ull}, {0xffe3fd01fffff7ffull, 0x0ull}}},
+    {"GE", 0, {{0xc6981c00001c28e0ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"GT", 0, {{0xc69040fe001c20e4ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"LT", 0, {{0xc6841efe001c20e0ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"OR", 0, {{0xc69040fe001c20e4ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op30_Guard[] = {{0,5,6},{0,18,15},};
+const WindowRef Op30_A0_W[] = {{0,2,3},{0,46,4},};
+const unsigned Op30_A0_B[] = {0,2,};
+const WindowRef Op30_A1_W[] = {{0,5,6},{0,18,15},};
+const unsigned Op30_A1_B[] = {0,2,};
+const WindowRef Op30_A2_W[] = {{0,10,8},};
+const unsigned Op30_A2_B[] = {0,1,};
+const WindowRef Op30_A3_W[] = {{3,21,21},{3,22,20},{3,23,19},{3,24,18},{3,25,17},{3,26,16},{3,27,15},{3,28,14},{3,29,13},{3,30,12},{3,31,11},{3,32,10},{3,33,9},{3,34,8},{3,35,7},{3,36,6},{3,37,5},{3,38,4},{3,39,3},{3,40,2},{3,41,1},{3,49,2},{3,50,1},{4,33,9},{4,34,8},{4,35,7},{4,36,6},{4,37,5},{4,38,4},{4,39,3},{4,40,2},{4,41,1},{4,49,2},{4,50,1},};
+const unsigned Op30_A3_B[] = {0,34,};
+const WindowRef Op30_A4_W[] = {{0,42,4},};
+const unsigned Op30_A4_B[] = {0,1,};
+const GenOperand Op30_Operands[] = {
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op30_A0_W, Op30_A0_B, 1},
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op30_A1_W, Op30_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op30_A2_W, Op30_A2_B, 1},
+    {'f', nullptr, 0, nullptr, 0, nullptr, 0, Op30_A3_W, Op30_A3_B, 1},
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op30_A4_W, Op30_A4_B, 1},
+};
+const GenOperation Op30 = {"FSETP/pprfp", {{0xc6800000001c20e0ull, 0x0ull}, {0xffe3a101fffff7fbull, 0x0ull}}, Op30_Guard, 2, Op30_Operands, 5, Op30_Mods, 5};
+
+// --- FSETP/pprrp (1 instances) ---
+const GenFeature Op31_Mods[] = {
+    {"AND", 0, {{0x5d441c00039c38e0ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"LT", 0, {{0x5d441c00039c38e0ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op31_Guard[] = {{0,5,6},{0,11,7},{0,18,5},{0,23,19},{0,42,8},{0,58,4},};
+const WindowRef Op31_A0_W[] = {{0,0,5},{0,1,4},{0,2,3},{0,3,2},{0,4,1},{0,8,3},{0,9,2},{0,10,1},{0,14,4},{0,15,3},{0,16,2},{0,17,1},{0,21,2},{0,22,1},{0,26,16},{0,27,15},{0,28,14},{0,29,13},{0,30,12},{0,31,11},{0,32,10},{0,33,9},{0,34,8},{0,35,7},{0,36,6},{0,37,5},{0,38,4},{0,39,3},{0,40,2},{0,41,1},{0,45,5},{0,46,4},{0,47,3},{0,48,2},{0,49,1},{0,51,3},{0,52,2},{0,53,1},{0,55,1},{0,57,1},{0,61,1},{0,63,1},};
+const unsigned Op31_A0_B[] = {0,42,};
+const WindowRef Op31_A1_W[] = {{0,5,6},{0,11,7},{0,18,5},{0,23,19},{0,42,8},{0,58,4},};
+const unsigned Op31_A1_B[] = {0,6,};
+const WindowRef Op31_A2_W[] = {{0,4,7},{0,10,8},{0,17,6},{0,22,20},{0,41,9},{0,57,5},};
+const unsigned Op31_A2_B[] = {0,6,};
+const WindowRef Op31_A3_W[] = {{0,5,6},{0,11,7},{0,18,5},{0,23,19},{0,42,8},{0,58,4},};
+const unsigned Op31_A3_B[] = {0,6,};
+const WindowRef Op31_A4_W[] = {{0,5,6},{0,11,7},{0,18,5},{0,23,19},{0,42,8},{0,58,4},};
+const unsigned Op31_A4_B[] = {0,6,};
+const GenOperand Op31_Operands[] = {
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op31_A0_W, Op31_A0_B, 1},
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op31_A1_W, Op31_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op31_A2_W, Op31_A2_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op31_A3_W, Op31_A3_B, 1},
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op31_A4_W, Op31_A4_B, 1},
+};
+const GenOperation Op31 = {"FSETP/pprrp", {{0x5d441c00039c38e0ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}, Op31_Guard, 6, Op31_Operands, 5, Op31_Mods, 2};
+
+// --- I2F/rr (3 instances) ---
+const GenFeature Op32_Mods[] = {
+    {"F32", 0, {{0xb8500004001c0000ull, 0x0ull}, {0xfffbfffff87fffc3ull, 0x0ull}}},
+    {"S32", 0, {{0xb8540004031c001cull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"U32", 0, {{0xb8500004041c0020ull, 0x0ull}, {0xfffffffffe7fffebull, 0x0ull}}},
+};
+const WindowRef Op32_Guard[] = {{0,18,5},{0,59,4},};
+const WindowRef Op32_A0_W[] = {{0,2,16},};
+const unsigned Op32_A0_B[] = {0,1,};
+const WindowRef Op32_A1_W[] = {{0,23,11},};
+const unsigned Op32_A1_B[] = {0,1,};
+const GenOperand Op32_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op32_A0_W, Op32_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op32_A1_W, Op32_A1_B, 1},
+};
+const GenOperation Op32 = {"I2F/rr", {{0xb8500004001c0000ull, 0x0ull}, {0xfffbfffff87fffc3ull, 0x0ull}}, Op32_Guard, 2, Op32_Operands, 2, Op32_Mods, 3};
+
+// --- IADD/rrc (2 instances) ---
+const WindowRef Op33_Guard[] = {{0,18,7},{0,60,4},};
+const WindowRef Op33_A0_W[] = {{0,2,8},};
+const unsigned Op33_A0_B[] = {0,1,};
+const WindowRef Op33_A1_W[] = {{0,10,8},{0,25,31},};
+const unsigned Op33_A1_B[] = {0,2,};
+const WindowRef Op33_A2_W[] = {{0,0,2},{0,1,1},{0,3,2},{0,4,1},{0,6,4},{0,7,3},{0,8,2},{0,9,1},{0,13,5},{0,14,4},{0,15,3},{0,16,2},{0,17,1},{0,21,4},{0,22,3},{0,23,2},{0,24,1},{0,28,28},{0,29,27},{0,30,26},{0,31,25},{0,32,24},{0,33,23},{0,34,22},{0,35,21},{0,36,20},{0,37,19},{0,38,18},{0,39,17},{0,40,16},{0,41,15},{0,42,14},{0,43,13},{0,44,12},{0,45,11},{0,46,10},{0,47,9},{0,48,8},{0,49,7},{0,50,6},{0,51,5},{0,52,4},{0,53,3},{0,54,2},{0,55,1},{0,57,3},{0,58,2},{0,59,1},{0,63,1},{0,8,10},{0,23,33},};
+const unsigned Op33_A2_B[] = {0,49,51,};
+const GenOperand Op33_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op33_A0_W, Op33_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op33_A1_W, Op33_A1_B, 1},
+    {'c', nullptr, 0, nullptr, 0, nullptr, 0, Op33_A2_W, Op33_A2_B, 2},
+};
+const GenOperation Op33 = {"IADD/rrc", {{0x71000000081c1020ull, 0x0ull}, {0xfffffffff9fff3fbull, 0x0ull}}, Op33_Guard, 2, Op33_Operands, 3, nullptr, 0};
+
+// --- IADD/rri (15 instances) ---
+const WindowRef Op34_Guard[] = {{0,18,5},};
+const WindowRef Op34_A0_W[] = {{0,2,8},};
+const unsigned Op34_A0_B[] = {0,1,};
+const WindowRef Op34_A1_W[] = {{0,10,8},};
+const unsigned Op34_A1_B[] = {0,1,};
+const WindowRef Op34_A2_W[] = {{1,23,19},};
+const unsigned Op34_A2_B[] = {0,1,};
+const GenOperand Op34_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op34_A0_W, Op34_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op34_A1_W, Op34_A1_B, 1},
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op34_A2_W, Op34_A2_B, 1},
+};
+const GenOperation Op34 = {"IADD/rri", {{0x7c0000000000000ull, 0x0ull}, {0xfffffc000843c3c3ull, 0x0ull}}, Op34_Guard, 1, Op34_Operands, 3, nullptr, 0};
+
+// --- IADD/rrr (59 instances) ---
+const GenFeature Op35_Mods[] = {
+    {"X", 0, {{0x9e840000031c1420ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op35_Guard[] = {{0,18,4},{0,57,3},{0,58,5},};
+const WindowRef Op35_A0_W[] = {{0,2,8},};
+const unsigned Op35_A0_B[] = {0,1,};
+const WindowRef Op35_A1_W[] = {{0,10,8},};
+const unsigned Op35_A1_B[] = {0,1,};
+const GenFeature Op35_A2_U[] = {
+    {"-", 0, {{0x9e80000004dc3034ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op35_A2_W[] = {{0,23,27},};
+const unsigned Op35_A2_B[] = {0,1,};
+const GenOperand Op35_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op35_A0_W, Op35_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op35_A1_W, Op35_A1_B, 1},
+    {'r', Op35_A2_U, 1, nullptr, 0, nullptr, 0, Op35_A2_W, Op35_A2_B, 1},
+};
+const GenOperation Op35 = {"IADD/rrr", {{0x9e800000001c0000ull, 0x0ull}, {0xfffbfffff83f8383ull, 0x0ull}}, Op35_Guard, 3, Op35_Operands, 3, Op35_Mods, 1};
+
+// --- IADD32I/rri (1 instances) ---
+const WindowRef Op36_Guard[] = {{0,18,4},{0,25,9},};
+const WindowRef Op36_A0_W[] = {{0,2,11},{0,10,8},{0,15,4},{0,31,4},{0,51,6},};
+const unsigned Op36_A0_B[] = {0,5,};
+const WindowRef Op36_A1_W[] = {{0,2,11},{0,10,8},{0,15,4},{0,31,4},{0,51,6},};
+const unsigned Op36_A1_B[] = {0,5,};
+const WindowRef Op36_A2_W[] = {{0,22,32},{1,22,32},};
+const unsigned Op36_A2_B[] = {0,2,};
+const GenOperand Op36_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op36_A0_W, Op36_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op36_A1_W, Op36_A1_B, 1},
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op36_A2_W, Op36_A2_B, 1},
+};
+const GenOperation Op36 = {"IADD32I/rri", {{0xda40000c0e5c2020ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}, Op36_Guard, 2, Op36_Operands, 3, nullptr, 0};
+
+// --- IMAD/rrcr (1 instances) ---
+const WindowRef Op37_Guard[] = {{0,18,8},{0,42,12},{0,54,6},};
+const WindowRef Op37_A0_W[] = {{0,2,8},};
+const unsigned Op37_A0_B[] = {0,1,};
+const WindowRef Op37_A1_W[] = {{0,10,8},{0,18,2},{0,19,7},{0,26,16},{0,42,2},{0,43,11},{0,54,2},{0,55,5},};
+const unsigned Op37_A1_B[] = {0,8,};
+const WindowRef Op37_A2_W[] = {{0,0,2},{0,1,1},{0,3,2},{0,4,1},{0,6,4},{0,7,3},{0,8,2},{0,9,1},{0,12,6},{0,13,5},{0,14,4},{0,15,3},{0,16,2},{0,17,1},{0,21,5},{0,22,4},{0,23,3},{0,24,2},{0,25,1},{0,28,14},{0,29,13},{0,30,12},{0,31,11},{0,32,10},{0,33,9},{0,34,8},{0,35,7},{0,36,6},{0,37,5},{0,38,4},{0,39,3},{0,40,2},{0,41,1},{0,45,9},{0,46,8},{0,47,7},{0,48,6},{0,49,5},{0,50,4},{0,51,3},{0,52,2},{0,53,1},{0,57,3},{0,58,2},{0,59,1},{0,61,1},{0,63,1},{0,7,11},{0,15,5},{0,23,19},{0,39,5},{0,51,5},};
+const unsigned Op37_A2_B[] = {0,47,52,};
+const WindowRef Op37_A3_W[] = {{0,18,8},{0,42,12},{0,54,6},};
+const unsigned Op37_A3_B[] = {0,3,};
+const GenOperand Op37_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op37_A0_W, Op37_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op37_A1_W, Op37_A1_B, 1},
+    {'c', nullptr, 0, nullptr, 0, nullptr, 0, Op37_A2_W, Op37_A2_B, 2},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op37_A3_W, Op37_A3_B, 1},
+};
+const GenOperation Op37 = {"IMAD/rrcr", {{0x51c01c000c1c0c24ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}, Op37_Guard, 3, Op37_Operands, 4, nullptr, 0};
+
+// --- IMAD/rrir (1 instances) ---
+const WindowRef Op38_Guard[] = {{0,18,5},{0,61,3},};
+const WindowRef Op38_A0_W[] = {{0,2,8},{0,7,4},{0,15,4},{0,24,19},{0,40,4},{0,52,7},{0,56,5},};
+const unsigned Op38_A0_B[] = {0,7,};
+const WindowRef Op38_A1_W[] = {{0,10,8},{0,18,2},{0,19,4},{0,43,12},{0,61,2},{0,62,2},};
+const unsigned Op38_A1_B[] = {0,6,};
+const WindowRef Op38_A2_W[] = {{0,23,20},{0,55,6},{1,23,20},{1,55,6},};
+const unsigned Op38_A2_B[] = {0,4,};
+const WindowRef Op38_A3_W[] = {{0,9,9},{0,17,3},{0,42,13},{0,60,3},};
+const unsigned Op38_A3_B[] = {0,4,};
+const GenOperand Op38_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op38_A0_W, Op38_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op38_A1_W, Op38_A1_B, 1},
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op38_A2_W, Op38_A2_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op38_A3_W, Op38_A3_B, 1},
+};
+const GenOperation Op38 = {"IMAD/rrir", {{0xe8801800089c0c20ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}, Op38_Guard, 2, Op38_Operands, 4, nullptr, 0};
+
+// --- IMAD/rrri (1 instances) ---
+const WindowRef Op39_Guard[] = {{0,18,11},{0,59,4},};
+const WindowRef Op39_A0_W[] = {{0,2,11},};
+const unsigned Op39_A0_B[] = {0,1,};
+const WindowRef Op39_A1_W[] = {{0,0,5},{0,10,8},{0,15,4},{0,26,16},{0,39,6},{0,53,4},};
+const unsigned Op39_A1_B[] = {0,6,};
+const WindowRef Op39_A2_W[] = {{0,42,14},};
+const unsigned Op39_A2_B[] = {0,1,};
+const WindowRef Op39_A3_W[] = {{0,7,11},{0,23,19},{0,36,9},{0,50,7},{1,7,11},{1,23,19},{1,36,9},};
+const unsigned Op39_A3_B[] = {0,7,};
+const GenOperand Op39_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op39_A0_W, Op39_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op39_A1_W, Op39_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op39_A2_W, Op39_A2_B, 1},
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op39_A3_W, Op39_A3_B, 1},
+};
+const GenOperation Op39 = {"IMAD/rrri", {{0xbb002400201c2028ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}, Op39_Guard, 2, Op39_Operands, 4, nullptr, 0};
+
+// --- IMAD/rrrr (41 instances) ---
+const WindowRef Op40_Guard[] = {{0,18,6},{0,56,3},{0,57,3},{0,58,3},{0,59,3},{0,60,4},};
+const WindowRef Op40_A0_W[] = {{0,2,8},};
+const unsigned Op40_A0_B[] = {0,1,};
+const WindowRef Op40_A1_W[] = {{0,10,8},};
+const unsigned Op40_A1_B[] = {0,1,};
+const WindowRef Op40_A2_W[] = {{0,9,4},{0,23,20},};
+const unsigned Op40_A2_B[] = {0,2,};
+const WindowRef Op40_A3_W[] = {{0,42,12},};
+const unsigned Op40_A3_B[] = {0,1,};
+const GenOperand Op40_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op40_A0_W, Op40_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op40_A1_W, Op40_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op40_A2_W, Op40_A2_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op40_A3_W, Op40_A3_B, 1},
+};
+const GenOperation Op40 = {"IMAD/rrrr", {{0x7f400000001c0004ull, 0x0ull}, {0xffffd7fff8ffc3c7ull, 0x0ull}}, Op40_Guard, 6, Op40_Operands, 4, nullptr, 0};
+
+// --- IMNMX/rrrp (6 instances) ---
+const WindowRef Op41_Guard[] = {{0,18,5},{0,42,3},};
+const WindowRef Op41_A0_W[] = {{0,2,8},};
+const unsigned Op41_A0_B[] = {0,1,};
+const WindowRef Op41_A1_W[] = {{0,10,8},};
+const unsigned Op41_A1_B[] = {0,1,};
+const WindowRef Op41_A2_W[] = {{0,23,19},};
+const unsigned Op41_A2_B[] = {0,1,};
+const GenFeature Op41_A3_U[] = {
+    {"!", 0, {{0x24403c00039c0824ull, 0x0ull}, {0xffffffffffffcff7ull, 0x0ull}}},
+};
+const WindowRef Op41_A3_W[] = {{0,18,5},{0,42,3},};
+const unsigned Op41_A3_B[] = {0,2,};
+const GenOperand Op41_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op41_A0_W, Op41_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op41_A1_W, Op41_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op41_A2_W, Op41_A2_B, 1},
+    {'p', Op41_A3_U, 1, nullptr, 0, nullptr, 0, Op41_A3_W, Op41_A3_B, 1},
+};
+const GenOperation Op41 = {"IMNMX/rrrp", {{0x24401c00001c0020ull, 0x0ull}, {0xffffdffff87fc3f3ull, 0x0ull}}, Op41_Guard, 2, Op41_Operands, 4, nullptr, 0};
+
+// --- IMUL/rrc (1 instances) ---
+const GenFeature Op42_Mods[] = {
+    {"HI", 0, {{0x160400000a1c0c1cull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op42_Guard[] = {{0,2,8},{0,18,7},};
+const WindowRef Op42_A0_W[] = {{0,2,8},{0,18,7},};
+const unsigned Op42_A0_B[] = {0,2,};
+const WindowRef Op42_A1_W[] = {{0,2,2},{0,3,7},{0,10,8},{0,18,2},{0,19,6},{0,57,3},};
+const unsigned Op42_A1_B[] = {0,6,};
+const WindowRef Op42_A2_W[] = {{0,0,2},{0,1,1},{0,5,5},{0,6,4},{0,7,3},{0,8,2},{0,9,1},{0,12,6},{0,13,5},{0,14,4},{0,15,3},{0,16,2},{0,17,1},{0,21,4},{0,22,3},{0,23,2},{0,24,1},{0,26,1},{0,28,22},{0,29,21},{0,30,20},{0,31,19},{0,32,18},{0,33,17},{0,34,16},{0,35,15},{0,36,14},{0,37,13},{0,38,12},{0,39,11},{0,40,10},{0,41,9},{0,42,8},{0,43,7},{0,44,6},{0,45,5},{0,46,4},{0,47,3},{0,48,2},{0,49,1},{0,51,6},{0,52,5},{0,53,4},{0,54,3},{0,55,2},{0,56,1},{0,59,1},{0,61,3},{0,62,2},{0,63,1},{0,23,27},};
+const unsigned Op42_A2_B[] = {0,50,51,};
+const GenOperand Op42_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op42_A0_W, Op42_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op42_A1_W, Op42_A1_B, 1},
+    {'c', nullptr, 0, nullptr, 0, nullptr, 0, Op42_A2_W, Op42_A2_B, 2},
+};
+const GenOperation Op42 = {"IMUL/rrc", {{0x160400000a1c0c1cull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}, Op42_Guard, 2, Op42_Operands, 3, Op42_Mods, 1};
+
+// --- IMUL/rri (1 instances) ---
+const WindowRef Op43_Guard[] = {{0,18,7},};
+const WindowRef Op43_A0_W[] = {{0,2,8},{0,9,9},{0,17,3},{0,53,5},{0,57,4},};
+const unsigned Op43_A0_B[] = {0,5,};
+const WindowRef Op43_A1_W[] = {{0,3,7},{0,10,8},{0,18,2},{0,19,6},{0,54,4},{0,58,3},};
+const unsigned Op43_A1_B[] = {0,6,};
+const WindowRef Op43_A2_W[] = {{0,23,31},{1,23,31},};
+const unsigned Op43_A2_B[] = {0,2,};
+const GenOperand Op43_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op43_A0_W, Op43_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op43_A1_W, Op43_A1_B, 1},
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op43_A2_W, Op43_A2_B, 1},
+};
+const GenOperation Op43 = {"IMUL/rri", {{0xacc00000121c0c18ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}, Op43_Guard, 1, Op43_Operands, 3, nullptr, 0};
+
+// --- IMUL/rrr (2 instances) ---
+const WindowRef Op44_Guard[] = {{0,18,5},{0,55,7},};
+const WindowRef Op44_A0_W[] = {{0,2,9},};
+const unsigned Op44_A0_B[] = {0,1,};
+const WindowRef Op44_A1_W[] = {{0,10,8},};
+const unsigned Op44_A1_B[] = {0,1,};
+const WindowRef Op44_A2_W[] = {{0,23,32},};
+const unsigned Op44_A2_B[] = {0,1,};
+const GenOperand Op44_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op44_A0_W, Op44_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op44_A1_W, Op44_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op44_A2_W, Op44_A2_B, 1},
+};
+const GenOperation Op44 = {"IMUL/rrr", {{0x43800000009c0020ull, 0x0ull}, {0xfffffffff8ffc7f7ull, 0x0ull}}, Op44_Guard, 2, Op44_Operands, 3, nullptr, 0};
+
+// --- ISETP/pprcp (5 instances) ---
+const GenFeature Op45_Mods[] = {
+    {"AND", 0, {{0xf4001c00001c00e0ull, 0x0ull}, {0xffe3ffffe1ffc3fbull, 0x0ull}}},
+    {"GE", 0, {{0xf4181c000a1c1ce0ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"LT", 0, {{0xf4041c00001c00e0ull, 0x0ull}, {0xffffffffe1ffc3fbull, 0x0ull}}},
+};
+const WindowRef Op45_Guard[] = {{0,5,5},{0,18,7},{0,42,8},{0,60,3},{0,61,3},};
+const WindowRef Op45_A0_W[] = {{0,2,3},};
+const unsigned Op45_A0_B[] = {0,1,};
+const WindowRef Op45_A1_W[] = {{0,5,5},{0,18,7},{0,42,8},{0,60,3},{0,61,3},};
+const unsigned Op45_A1_B[] = {0,5,};
+const WindowRef Op45_A2_W[] = {{0,10,8},};
+const unsigned Op45_A2_B[] = {0,1,};
+const WindowRef Op45_A3_W[] = {{0,0,2},{0,1,1},{0,3,2},{0,4,1},{0,8,2},{0,9,1},{0,14,4},{0,15,3},{0,16,2},{0,17,1},{0,21,4},{0,22,3},{0,23,2},{0,24,1},{0,29,13},{0,30,12},{0,31,11},{0,32,10},{0,33,9},{0,34,8},{0,35,7},{0,36,6},{0,37,5},{0,38,4},{0,39,3},{0,40,2},{0,41,1},{0,45,5},{0,46,4},{0,47,3},{0,48,2},{0,49,1},{0,53,5},{0,54,4},{0,55,3},{0,56,2},{0,57,1},{0,59,1},{0,23,19},};
+const unsigned Op45_A3_B[] = {0,38,39,};
+const WindowRef Op45_A4_W[] = {{0,5,5},{0,18,7},{0,42,8},{0,60,3},{0,61,3},};
+const unsigned Op45_A4_B[] = {0,5,};
+const GenOperand Op45_Operands[] = {
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op45_A0_W, Op45_A0_B, 1},
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op45_A1_W, Op45_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op45_A2_W, Op45_A2_B, 1},
+    {'c', nullptr, 0, nullptr, 0, nullptr, 0, Op45_A3_W, Op45_A3_B, 2},
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op45_A4_W, Op45_A4_B, 1},
+};
+const GenOperation Op45 = {"ISETP/pprcp", {{0xf4001c00001c00e0ull, 0x0ull}, {0xffe3ffffe1ffc3fbull, 0x0ull}}, Op45_Guard, 5, Op45_Operands, 5, Op45_Mods, 3};
+
+// --- ISETP/pprip (5 instances) ---
+const GenFeature Op46_Mods[] = {
+    {"AND", 0, {{0x8ac01c00001c00e0ull, 0x0ull}, {0xffebfffff1ffc3f3ull, 0x0ull}}},
+    {"GT", 0, {{0x8ad01c00081c08e0ull, 0x0ull}, {0xffffffffffffcbf7ull, 0x0ull}}},
+    {"LT", 0, {{0x8ac41c00001c00e0ull, 0x0ull}, {0xfffffffff9ffc3f3ull, 0x0ull}}},
+};
+const WindowRef Op46_Guard[] = {{0,5,5},{0,18,7},{0,42,8},};
+const WindowRef Op46_A0_W[] = {{0,2,3},};
+const unsigned Op46_A0_B[] = {0,1,};
+const WindowRef Op46_A1_W[] = {{0,5,5},{0,18,7},{0,42,8},};
+const unsigned Op46_A1_B[] = {0,3,};
+const WindowRef Op46_A2_W[] = {{0,10,8},};
+const unsigned Op46_A2_B[] = {0,1,};
+const WindowRef Op46_A3_W[] = {{0,23,19},{1,23,19},};
+const unsigned Op46_A3_B[] = {0,2,};
+const WindowRef Op46_A4_W[] = {{0,5,5},{0,18,7},{0,42,8},};
+const unsigned Op46_A4_B[] = {0,3,};
+const GenOperand Op46_Operands[] = {
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op46_A0_W, Op46_A0_B, 1},
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op46_A1_W, Op46_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op46_A2_W, Op46_A2_B, 1},
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op46_A3_W, Op46_A3_B, 1},
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op46_A4_W, Op46_A4_B, 1},
+};
+const GenOperation Op46 = {"ISETP/pprip", {{0x8ac01c00001c00e0ull, 0x0ull}, {0xffebfffff1ffc3f3ull, 0x0ull}}, Op46_Guard, 3, Op46_Operands, 5, Op46_Mods, 3};
+
+// --- ISETP/pprrp (7 instances) ---
+const GenFeature Op47_Mods[] = {
+    {"AND", 0, {{0x21801c00001c00e0ull, 0x0ull}, {0xffe3ffff807fc3f3ull, 0x0ull}}},
+    {"EQ", 0, {{0x21881c00031c00e0ull, 0x0ull}, {0xffffffff837fdffbull, 0x0ull}}},
+    {"GE", 0, {{0x21981c00009c08e0ull, 0x0ull}, {0xfffffffff9ffdbf7ull, 0x0ull}}},
+    {"GT", 0, {{0x21901c007f9c28e0ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"LT", 0, {{0x21841c00031c20e4ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"NE", 0, {{0x21941c007f9c18e4ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op47_Guard[] = {{0,5,5},{0,18,5},{0,42,8},};
+const WindowRef Op47_A0_W[] = {{0,2,3},};
+const unsigned Op47_A0_B[] = {0,1,};
+const WindowRef Op47_A1_W[] = {{0,5,5},{0,18,5},{0,42,8},};
+const unsigned Op47_A1_B[] = {0,3,};
+const WindowRef Op47_A2_W[] = {{0,10,8},};
+const unsigned Op47_A2_B[] = {0,1,};
+const WindowRef Op47_A3_W[] = {{0,23,8},};
+const unsigned Op47_A3_B[] = {0,1,};
+const WindowRef Op47_A4_W[] = {{0,5,5},{0,18,5},{0,42,8},};
+const unsigned Op47_A4_B[] = {0,3,};
+const GenOperand Op47_Operands[] = {
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op47_A0_W, Op47_A0_B, 1},
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op47_A1_W, Op47_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op47_A2_W, Op47_A2_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op47_A3_W, Op47_A3_B, 1},
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op47_A4_W, Op47_A4_B, 1},
+};
+const GenOperation Op47 = {"ISETP/pprrp", {{0x21801c00001c00e0ull, 0x0ull}, {0xffe3ffff807fc3f3ull, 0x0ull}}, Op47_Guard, 3, Op47_Operands, 5, Op47_Mods, 6};
+
+// --- LD/rm (2 instances) ---
+const GenFeature Op48_Mods[] = {
+    {"64", 0, {{0xf1540000041c1420ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op48_Guard[] = {{0,18,8},{0,60,3},{0,61,3},};
+const WindowRef Op48_A0_W[] = {{0,2,8},};
+const unsigned Op48_A0_B[] = {0,1,};
+const WindowRef Op48_A1_W[] = {{0,10,8},{0,54,6},{0,23,27},{0,47,5},{1,23,27},{1,47,5},};
+const unsigned Op48_A1_B[] = {0,2,6,};
+const GenOperand Op48_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op48_A0_W, Op48_A0_B, 1},
+    {'m', nullptr, 0, nullptr, 0, nullptr, 0, Op48_A1_W, Op48_A1_B, 2},
+};
+const GenOperation Op48 = {"LD/rm", {{0xf1400000001c1400ull, 0x0ull}, {0xffebfffffbffffc7ull, 0x0ull}}, Op48_Guard, 3, Op48_Operands, 2, Op48_Mods, 1};
+
+// --- LDC/rC (2 instances) ---
+const GenFeature Op49_Mods[] = {
+    {"64", 0, {{0x3b540000041c0418ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op49_Guard[] = {{0,18,8},{0,59,5},};
+const WindowRef Op49_A0_W[] = {{0,2,8},};
+const unsigned Op49_A0_B[] = {0,1,};
+const WindowRef Op49_A1_W[] = {{0,39,11},{0,7,11},{0,23,16},{0,47,5},{0,3,1},{0,10,8},{0,26,13},{0,50,2},{0,52,2},};
+const unsigned Op49_A1_B[] = {0,1,4,9,};
+const GenOperand Op49_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op49_A0_W, Op49_A0_B, 1},
+    {'C', nullptr, 0, nullptr, 0, nullptr, 0, Op49_A1_W, Op49_A1_B, 3},
+};
+const GenOperation Op49 = {"LDC/rC", {{0x3b400000001c0010ull, 0x0ull}, {0xffebfe7ffbfffbf3ull, 0x0ull}}, Op49_Guard, 2, Op49_Operands, 2, Op49_Mods, 1};
+
+// --- LDG/rm (47 instances) ---
+const GenFeature Op50_Mods[] = {
+    {"64", 0, {{0xc3f40000001c1000ull, 0x0ull}, {0xfffffffffffff3c7ull, 0x0ull}}},
+    {"E", 0, {{0xc3e00000001c0000ull, 0x0ull}, {0xffeb800001ffc3c3ull, 0x0ull}}},
+};
+const WindowRef Op50_Guard[] = {{0,18,7},{0,53,3},{0,54,3},{0,55,7},};
+const WindowRef Op50_A0_W[] = {{0,2,8},};
+const unsigned Op50_A0_B[] = {0,1,};
+const WindowRef Op50_A1_W[] = {{0,10,8},{1,23,24},};
+const unsigned Op50_A1_B[] = {0,1,2,};
+const GenOperand Op50_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op50_A0_W, Op50_A0_B, 1},
+    {'m', nullptr, 0, nullptr, 0, nullptr, 0, Op50_A1_W, Op50_A1_B, 2},
+};
+const GenOperation Op50 = {"LDG/rm", {{0xc3e00000001c0000ull, 0x0ull}, {0xffeb800001ffc3c3ull, 0x0ull}}, Op50_Guard, 4, Op50_Operands, 2, Op50_Mods, 2};
+
+// --- LDL/rm (2 instances) ---
+const WindowRef Op51_Guard[] = {{0,18,36},};
+const WindowRef Op51_A0_W[] = {{0,2,10},};
+const unsigned Op51_A0_B[] = {0,1,};
+const WindowRef Op51_A1_W[] = {{0,0,3},{0,10,8},{0,16,3},{0,52,5},{0,55,3},{0,61,3},{0,0,2},{0,1,1},{0,5,7},{0,6,6},{0,7,5},{0,8,4},{0,9,3},{0,10,2},{0,11,1},{0,13,5},{0,14,4},{0,15,3},{0,16,2},{0,17,1},{0,21,33},{0,22,32},{0,23,31},{0,24,30},{0,25,29},{0,26,28},{0,27,27},{0,28,26},{0,29,25},{0,30,24},{0,31,23},{0,32,22},{0,33,21},{0,34,20},{0,35,19},{0,36,18},{0,37,17},{0,38,16},{0,39,15},{0,40,14},{0,41,13},{0,42,12},{0,43,11},{0,44,10},{0,45,9},{0,46,8},{0,47,7},{0,48,6},{0,49,5},{0,50,4},{0,51,3},{0,52,2},{0,53,1},{0,55,2},{0,56,1},{0,59,1},{0,61,2},{0,62,1},{1,0,2},{1,1,1},{1,5,7},{1,6,6},{1,7,5},{1,8,4},{1,9,3},{1,10,2},{1,11,1},{1,13,5},{1,14,4},{1,15,3},{1,16,2},{1,17,1},{1,21,33},{1,22,32},{1,23,31},{1,24,30},{1,25,29},{1,26,28},{1,27,27},{1,28,26},{1,29,25},{1,30,24},{1,31,23},{1,32,22},{1,33,21},{1,34,20},{1,35,19},{1,36,18},{1,37,17},{1,38,16},{1,39,15},{1,40,14},{1,41,13},{1,42,12},{1,43,11},{1,44,10},{1,45,9},{1,46,8},{1,47,7},{1,48,6},{1,49,5},{1,50,4},{1,51,3},{1,52,2},{1,53,1},{1,55,2},{1,56,1},{1,59,1},{1,61,2},{1,62,1},};
+const unsigned Op51_A1_B[] = {0,6,110,};
+const GenOperand Op51_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op51_A0_W, Op51_A0_B, 1},
+    {'m', nullptr, 0, nullptr, 0, nullptr, 0, Op51_A1_W, Op51_A1_B, 2},
+};
+const GenOperation Op51 = {"LDL/rm", {{0x96400000001c1014ull, 0x0ull}, {0xfffffffffffffff7ull, 0x0ull}}, Op51_Guard, 1, Op51_Operands, 2, nullptr, 0};
+
+// --- LDS/rm (20 instances) ---
+const WindowRef Op52_Guard[] = {{0,18,7},};
+const WindowRef Op52_A0_W[] = {{0,2,9},};
+const unsigned Op52_A0_B[] = {0,1,};
+const WindowRef Op52_A1_W[] = {{0,10,8},{1,23,24},};
+const unsigned Op52_A1_B[] = {0,1,2,};
+const GenOperand Op52_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op52_A0_W, Op52_A0_B, 1},
+    {'m', nullptr, 0, nullptr, 0, nullptr, 0, Op52_A1_W, Op52_A1_B, 2},
+};
+const GenOperation Op52 = {"LDS/rm", {{0x68c00000001c0000ull, 0x0ull}, {0xffff800001ffc7c3ull, 0x0ull}}, Op52_Guard, 1, Op52_Operands, 2, nullptr, 0};
+
+// --- LOP/rrc (1 instances) ---
+const GenFeature Op53_Mods[] = {
+    {"AND", 0, {{0xa7400000101c3034ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op53_Guard[] = {{0,18,10},{0,56,5},};
+const WindowRef Op53_A0_W[] = {{0,2,10},{0,54,4},};
+const unsigned Op53_A0_B[] = {0,2,};
+const WindowRef Op53_A1_W[] = {{0,10,8},{0,16,4},};
+const unsigned Op53_A1_B[] = {0,2,};
+const WindowRef Op53_A2_W[] = {{0,0,2},{0,1,1},{0,3,1},{0,6,6},{0,7,5},{0,8,4},{0,9,3},{0,10,2},{0,11,1},{0,14,4},{0,15,3},{0,16,2},{0,17,1},{0,21,7},{0,22,6},{0,23,5},{0,24,4},{0,25,3},{0,26,2},{0,27,1},{0,29,25},{0,30,24},{0,31,23},{0,32,22},{0,33,21},{0,34,20},{0,35,19},{0,36,18},{0,37,17},{0,38,16},{0,39,15},{0,40,14},{0,41,13},{0,42,12},{0,43,11},{0,44,10},{0,45,9},{0,46,8},{0,47,7},{0,48,6},{0,49,5},{0,50,4},{0,51,3},{0,52,2},{0,53,1},{0,55,1},{0,59,2},{0,60,1},{0,62,1},{0,7,6},{0,23,31},{0,49,7},};
+const unsigned Op53_A2_B[] = {0,49,52,};
+const GenOperand Op53_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op53_A0_W, Op53_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op53_A1_W, Op53_A1_B, 1},
+    {'c', nullptr, 0, nullptr, 0, nullptr, 0, Op53_A2_W, Op53_A2_B, 2},
+};
+const GenOperation Op53 = {"LOP/rrc", {{0xa7400000101c3034ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}, Op53_Guard, 2, Op53_Operands, 3, Op53_Mods, 1};
+
+// --- LOP/rri (5 instances) ---
+const GenFeature Op54_Mods[] = {
+    {"AND", 0, {{0x3e000000019c0000ull, 0x0ull}, {0xffffffff81ffc3c3ull, 0x0ull}}},
+    {"OR", 0, {{0x3e040000009c1c20ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op54_Guard[] = {{0,18,5},{0,57,3},{0,58,3},{0,59,5},};
+const WindowRef Op54_A0_W[] = {{0,2,8},};
+const unsigned Op54_A0_B[] = {0,1,};
+const WindowRef Op54_A1_W[] = {{0,10,8},};
+const unsigned Op54_A1_B[] = {0,1,};
+const WindowRef Op54_A2_W[] = {{0,23,27},{1,23,27},};
+const unsigned Op54_A2_B[] = {0,2,};
+const GenOperand Op54_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op54_A0_W, Op54_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op54_A1_W, Op54_A1_B, 1},
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op54_A2_W, Op54_A2_B, 1},
+};
+const GenOperation Op54 = {"LOP/rri", {{0x3e000000009c0000ull, 0x0ull}, {0xfffbffff80ffc3c3ull, 0x0ull}}, Op54_Guard, 4, Op54_Operands, 3, Op54_Mods, 2};
+
+// --- LOP/rrr (4 instances) ---
+const GenFeature Op55_Mods[] = {
+    {"OR", 0, {{0xd4c40000041c2c30ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"XOR", 0, {{0xd4c80000001c0020ull, 0x0ull}, {0xfffffffff87fc7f7ull, 0x0ull}}},
+};
+const WindowRef Op55_Guard[] = {{0,18,5},};
+const WindowRef Op55_A0_W[] = {{0,2,8},};
+const unsigned Op55_A0_B[] = {0,1,};
+const WindowRef Op55_A1_W[] = {{0,10,8},};
+const unsigned Op55_A1_B[] = {0,1,};
+const WindowRef Op55_A2_W[] = {{0,23,27},};
+const unsigned Op55_A2_B[] = {0,1,};
+const GenOperand Op55_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op55_A0_W, Op55_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op55_A1_W, Op55_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op55_A2_W, Op55_A2_B, 1},
+};
+const GenOperation Op55 = {"LOP/rrr", {{0xd4c00000001c0020ull, 0x0ull}, {0xfff3fffff87fc3e7ull, 0x0ull}}, Op55_Guard, 1, Op55_Operands, 3, Op55_Mods, 2};
+
+// --- MEMBAR/ (1 instances) ---
+const GenFeature Op56_Mods[] = {
+    {"GL", 0, {{0x2a440000001c0000ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op56_Guard[] = {{0,18,32},};
+const GenOperation Op56 = {"MEMBAR/", {{0x2a440000001c0000ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}, Op56_Guard, 1, nullptr, 0, Op56_Mods, 1};
+
+// --- MOV/rc (91 instances) ---
+const WindowRef Op57_Guard[] = {{0,18,7},{0,59,3},{0,60,3},{0,61,3},};
+const WindowRef Op57_A0_W[] = {{0,2,16},};
+const unsigned Op57_A0_B[] = {0,1,};
+const WindowRef Op57_A1_W[] = {{0,0,2},{0,1,1},{0,7,11},{0,8,10},{0,9,9},{0,10,8},{0,11,7},{0,12,6},{0,13,5},{0,14,4},{0,15,3},{0,16,2},{0,17,1},{0,21,4},{0,22,3},{0,23,2},{0,24,1},{0,29,26},{0,30,25},{0,31,24},{0,32,23},{0,33,22},{0,34,21},{0,35,20},{0,36,19},{0,37,18},{0,38,17},{0,39,16},{0,40,15},{0,41,14},{0,42,13},{0,43,12},{0,44,11},{0,45,10},{0,46,9},{0,47,8},{0,48,7},{0,49,6},{0,50,5},{0,51,4},{0,52,3},{0,53,2},{0,54,1},{0,57,2},{0,58,1},{0,23,32},};
+const unsigned Op57_A1_B[] = {0,45,46,};
+const GenOperand Op57_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op57_A0_W, Op57_A0_B, 1},
+    {'c', nullptr, 0, nullptr, 0, nullptr, 0, Op57_A1_W, Op57_A1_B, 2},
+};
+const GenOperation Op57 = {"MOV/rc", {{0xf9800000001c0000ull, 0x0ull}, {0xffffffffe1ffff83ull, 0x0ull}}, Op57_Guard, 4, Op57_Operands, 2, nullptr, 0};
+
+// --- MOV/ri (3 instances) ---
+const WindowRef Op58_Guard[] = {{0,18,5},};
+const WindowRef Op58_A0_W[] = {{0,2,16},};
+const unsigned Op58_A0_B[] = {0,1,};
+const WindowRef Op58_A1_W[] = {{0,23,31},{1,23,31},};
+const unsigned Op58_A1_B[] = {0,2,};
+const GenOperand Op58_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op58_A0_W, Op58_A0_B, 1},
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op58_A1_W, Op58_A1_B, 1},
+};
+const GenOperation Op58 = {"MOV/ri", {{0x9040000000000028ull, 0x0ull}, {0xffffffffff63ffefull, 0x0ull}}, Op58_Guard, 1, Op58_Operands, 2, nullptr, 0};
+
+// --- MOV/rr (12 instances) ---
+const WindowRef Op59_Guard[] = {{0,18,5},};
+const WindowRef Op59_A0_W[] = {{0,2,16},};
+const unsigned Op59_A0_B[] = {0,1,};
+const WindowRef Op59_A1_W[] = {{0,23,8},};
+const unsigned Op59_A1_B[] = {0,1,};
+const GenOperand Op59_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op59_A0_W, Op59_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op59_A1_W, Op59_A1_B, 1},
+};
+const GenOperation Op59 = {"MOV/rr", {{0x2700000004000000ull, 0x0ull}, {0xffffffff8443ff83ull, 0x0ull}}, Op59_Guard, 1, Op59_Operands, 2, nullptr, 0};
+
+// --- MOV32I/rc (1 instances) ---
+const WindowRef Op60_Guard[] = {{0,18,13},};
+const WindowRef Op60_A0_W[] = {{0,2,16},};
+const unsigned Op60_A0_B[] = {0,1,};
+const WindowRef Op60_A1_W[] = {{0,2,2},{0,4,14},{0,18,1},{0,19,1},{0,20,11},{0,31,8},{0,39,19},{0,58,1},{0,59,3},{0,62,1},{0,63,1},{0,10,9},{0,23,16},{0,50,9},};
+const unsigned Op60_A1_B[] = {0,11,14,};
+const GenOperand Op60_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op60_A0_W, Op60_A0_B, 1},
+    {'c', nullptr, 0, nullptr, 0, nullptr, 0, Op60_A1_W, Op60_A1_B, 2},
+};
+const GenOperation Op60 = {"MOV32I/rc", {{0xcc000080801c0014ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}, Op60_Guard, 1, Op60_Operands, 2, nullptr, 0};
+
+// --- MOV32I/ri (5 instances) ---
+const WindowRef Op61_Guard[] = {{0,18,4},};
+const WindowRef Op61_A0_W[] = {{0,2,16},};
+const unsigned Op61_A0_B[] = {0,1,};
+const WindowRef Op61_A1_W[] = {{0,22,32},};
+const unsigned Op61_A1_B[] = {0,1,};
+const GenOperand Op61_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op61_A0_W, Op61_A0_B, 1},
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op61_A1_W, Op61_A1_B, 1},
+};
+const GenOperation Op61 = {"MOV32I/ri", {{0x62c00000001c0000ull, 0x0ull}, {0xffc0022000bfffc3ull, 0x0ull}}, Op61_Guard, 1, Op61_Operands, 2, nullptr, 0};
+
+// --- MUFU/rr (16 instances) ---
+const GenFeature Op62_Mods[] = {
+    {"COS", 0, {{0x7c800000001c1820ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"EX2", 0, {{0x7c880000001c0000ull, 0x0ull}, {0xffffffffffff8382ull, 0x0ull}}},
+    {"LG2", 0, {{0x7c8c0000001c2028ull, 0x0ull}, {0xfffffffffffff3f9ull, 0x0ull}}},
+    {"RCP", 0, {{0x7c900000001c0020ull, 0x0ull}, {0xffffffffffffc3e3ull, 0x0ull}}},
+    {"RSQ", 0, {{0x7c940000001c0000ull, 0x0ull}, {0xffffffffffff8381ull, 0x0ull}}},
+    {"SIN", 0, {{0x7c840000001c1800ull, 0x0ull}, {0xffffffffffffdba3ull, 0x0ull}}},
+};
+const WindowRef Op62_Guard[] = {{0,18,32},{0,58,3},{0,59,3},{0,60,4},};
+const WindowRef Op62_A0_W[] = {{0,2,8},};
+const unsigned Op62_A0_B[] = {0,1,};
+const GenFeature Op62_A1_U[] = {
+    {"-", 0, {{0x7c880000001c2025ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"|", 0, {{0x7c840000001c2022ull, 0x0ull}, {0xffe7ffffffffebe3ull, 0x0ull}}},
+};
+const WindowRef Op62_A1_W[] = {{0,10,8},};
+const unsigned Op62_A1_B[] = {0,1,};
+const GenOperand Op62_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op62_A0_W, Op62_A0_B, 1},
+    {'r', Op62_A1_U, 2, nullptr, 0, nullptr, 0, Op62_A1_W, Op62_A1_B, 1},
+};
+const GenOperation Op62 = {"MUFU/rr", {{0x7c800000001c0000ull, 0x0ull}, {0xffe3ffffffff8380ull, 0x0ull}}, Op62_Guard, 4, Op62_Operands, 2, Op62_Mods, 6};
+
+// --- NOP/ (116 instances) ---
+const GenFeature Op63_Mods[] = {
+    {"S", 0, {{0xee880000001c0000ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op63_Guard[] = {{0,18,33},{0,57,4},{0,61,3},};
+const GenOperation Op63 = {"NOP/", {{0xee800000001c0000ull, 0x0ull}, {0xfff7ffffffffffffull, 0x0ull}}, Op63_Guard, 3, nullptr, 0, Op63_Mods, 1};
+
+// --- PBK/i (1 instances) ---
+const WindowRef Op64_Guard[] = {{0,18,9},};
+const WindowRef Op64_A0_W[] = {{2,23,37},};
+const unsigned Op64_A0_B[] = {0,1,};
+const GenOperand Op64_Operands[] = {
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op64_A0_W, Op64_A0_B, 1},
+};
+const GenOperation Op64 = {"PBK/i", {{0xb0000000281c0000ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}, Op64_Guard, 1, Op64_Operands, 1, nullptr, 0};
+
+// --- POPC/rr (1 instances) ---
+const WindowRef Op65_Guard[] = {{0,18,5},};
+const WindowRef Op65_A0_W[] = {{0,2,16},};
+const unsigned Op65_A0_B[] = {0,1,};
+const WindowRef Op65_A1_W[] = {{0,20,6},{0,23,33},};
+const unsigned Op65_A1_B[] = {0,2,};
+const GenOperand Op65_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op65_A0_W, Op65_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op65_A1_W, Op65_A1_B, 1},
+};
+const GenOperation Op65 = {"POPC/rr", {{0xb000000049c0028ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}, Op65_Guard, 1, Op65_Operands, 2, nullptr, 0};
+
+// --- PSETP/ppppp (2 instances) ---
+const GenFeature Op66_Mods[] = {
+    {"AND", 0, {{0x99101c00019c0820ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"AND", 1, {{0x99041c00009c20e8ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"OR", 0, {{0x99041c00009c20e8ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"OR", 1, {{0x99101c00019c0820ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op66_Guard[] = {{0,18,5},{0,42,8},};
+const WindowRef Op66_A0_W[] = {{0,2,3},{0,12,6},{0,49,3},};
+const unsigned Op66_A0_B[] = {0,3,};
+const WindowRef Op66_A1_W[] = {{0,5,6},};
+const unsigned Op66_A1_B[] = {0,1,};
+const GenFeature Op66_A2_U[] = {
+    {"!", 0, {{0x99041c00009c20e8ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op66_A2_W[] = {{0,10,3},{0,51,5},};
+const unsigned Op66_A2_B[] = {0,2,};
+const WindowRef Op66_A3_W[] = {{0,23,19},};
+const unsigned Op66_A3_B[] = {0,1,};
+const WindowRef Op66_A4_W[] = {{0,18,5},{0,42,8},};
+const unsigned Op66_A4_B[] = {0,2,};
+const GenOperand Op66_Operands[] = {
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op66_A0_W, Op66_A0_B, 1},
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op66_A1_W, Op66_A1_B, 1},
+    {'p', Op66_A2_U, 1, nullptr, 0, nullptr, 0, Op66_A2_W, Op66_A2_B, 1},
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op66_A3_W, Op66_A3_B, 1},
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op66_A4_W, Op66_A4_B, 1},
+};
+const GenOperation Op66 = {"PSETP/ppppp", {{0x99001c00009c0020ull, 0x0ull}, {0xffebfffffeffd737ull, 0x0ull}}, Op66_Guard, 2, Op66_Operands, 5, Op66_Mods, 4};
+
+// --- RET/ (1 instances) ---
+const WindowRef Op67_Guard[] = {{0,18,40},{0,58,6},};
+const GenOperation Op67 = {"RET/", {{0x1c000000001c0000ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}, Op67_Guard, 2, nullptr, 0, nullptr, 0};
+
+// --- RRO/rr (2 instances) ---
+const GenFeature Op68_Mods[] = {
+    {"EX2", 0, {{0xdd840000881c0044ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"SINCOS", 0, {{0xdd800000071c003cull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op68_Guard[] = {{0,18,6},{0,58,4},};
+const WindowRef Op68_A0_W[] = {{0,2,16},};
+const unsigned Op68_A0_B[] = {0,1,};
+const GenFeature Op68_A1_U[] = {
+    {"|", 0, {{0xdd840000881c0044ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op68_A1_W[] = {{0,23,8},};
+const unsigned Op68_A1_B[] = {0,1,};
+const GenOperand Op68_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op68_A0_W, Op68_A0_B, 1},
+    {'r', Op68_A1_U, 1, nullptr, 0, nullptr, 0, Op68_A1_W, Op68_A1_B, 1},
+};
+const GenOperation Op68 = {"RRO/rr", {{0xdd800000001c0004ull, 0x0ull}, {0xfffbffff70ffff87ull, 0x0ull}}, Op68_Guard, 2, Op68_Operands, 2, Op68_Mods, 2};
+
+// --- S2R/rs (90 instances) ---
+const WindowRef Op69_Guard[] = {{0,18,5},};
+const WindowRef Op69_A0_W[] = {{0,2,16},};
+const unsigned Op69_A0_B[] = {0,1,};
+const GenFeature Op69_A1_T[] = {
+    {"SR_CLOCK_LO", 0, {{0x35400000281c0020ull, 0x0ull}, {0xffffffffffffffebull, 0x0ull}}},
+    {"SR_CTAID.X", 0, {{0x35400000129c0004ull, 0x0ull}, {0xfffffffffffffff7ull, 0x0ull}}},
+    {"SR_CTAID.Y", 0, {{0x35400000131c0010ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"SR_CTAID.Z", 0, {{0x35400000139c0014ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"SR_LANEID", 0, {{0x35400000001c0020ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"SR_NCTAID.X", 0, {{0x35400000169c001cull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"SR_NTID.X", 0, {{0x35400000149c0018ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"SR_TID.X", 0, {{0x35400000109c0000ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"SR_TID.Y", 0, {{0x35400000111c0004ull, 0x0ull}, {0xffffffffffffffefull, 0x0ull}}},
+    {"SR_TID.Z", 0, {{0x35400000119c0008ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const unsigned Op69_A1_B[] = {0,};
+const GenOperand Op69_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op69_A0_W, Op69_A0_B, 1},
+    {'s', nullptr, 0, Op69_A1_T, 10, nullptr, 0, nullptr, Op69_A1_B, 0},
+};
+const GenOperation Op69 = {"S2R/rs", {{0x35400000001c0000ull, 0x0ull}, {0xffffffffc07fffc3ull, 0x0ull}}, Op69_Guard, 1, Op69_Operands, 2, nullptr, 0};
+
+// --- SEL/rrip (1 instances) ---
+const WindowRef Op70_Guard[] = {{0,18,5},{0,23,3},{0,24,3},{0,25,3},{0,26,3},{0,27,28},{0,55,4},};
+const WindowRef Op70_A0_W[] = {{0,2,9},{0,9,9},{0,16,4},{0,21,4},{0,53,4},};
+const unsigned Op70_A0_B[] = {0,5,};
+const WindowRef Op70_A1_W[] = {{0,3,8},{0,10,8},{0,17,3},{0,22,3},{0,54,3},{0,60,4},};
+const unsigned Op70_A1_B[] = {0,6,};
+const WindowRef Op70_A2_W[] = {{0,23,32},{1,23,32},};
+const unsigned Op70_A2_B[] = {0,2,};
+const WindowRef Op70_A3_W[] = {{0,0,4},{0,1,3},{0,2,2},{0,3,1},{0,6,5},{0,7,4},{0,8,3},{0,9,2},{0,10,1},{0,13,5},{0,14,4},{0,15,3},{0,16,2},{0,17,1},{0,21,2},{0,22,1},{0,30,25},{0,31,24},{0,32,23},{0,33,22},{0,34,21},{0,35,20},{0,36,19},{0,37,18},{0,38,17},{0,39,16},{0,40,15},{0,41,14},{0,42,13},{0,43,12},{0,44,11},{0,45,10},{0,46,9},{0,47,8},{0,48,7},{0,49,6},{0,50,5},{0,51,4},{0,52,3},{0,53,2},{0,54,1},{0,58,1},{0,60,1},{0,63,1},};
+const unsigned Op70_A3_B[] = {0,44,};
+const GenOperand Op70_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op70_A0_W, Op70_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op70_A1_W, Op70_A1_B, 1},
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op70_A2_W, Op70_A2_B, 1},
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op70_A3_W, Op70_A3_B, 1},
+};
+const GenOperation Op70 = {"SEL/rrip", {{0x6b8000003f9c1830ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}, Op70_Guard, 7, Op70_Operands, 4, nullptr, 0};
+
+// --- SEL/rrrp (1 instances) ---
+const WindowRef Op71_Guard[] = {{0,18,8},};
+const WindowRef Op71_A0_W[] = {{0,2,8},{0,7,6},{0,15,4},{0,23,31},{0,51,6},};
+const unsigned Op71_A0_B[] = {0,5,};
+const WindowRef Op71_A1_W[] = {{0,10,8},{0,54,10},};
+const unsigned Op71_A1_B[] = {0,2,};
+const WindowRef Op71_A2_W[] = {{0,2,8},{0,7,6},{0,15,4},{0,23,31},{0,51,6},};
+const unsigned Op71_A2_B[] = {0,5,};
+const WindowRef Op71_A3_W[] = {{0,0,5},{0,1,4},{0,2,3},{0,3,2},{0,4,1},{0,6,4},{0,7,3},{0,8,2},{0,9,1},{0,11,2},{0,12,1},{0,14,4},{0,15,3},{0,16,2},{0,17,1},{0,21,5},{0,22,4},{0,23,3},{0,24,2},{0,25,1},{0,27,27},{0,28,26},{0,29,25},{0,30,24},{0,31,23},{0,32,22},{0,33,21},{0,34,20},{0,35,19},{0,36,18},{0,37,17},{0,38,16},{0,39,15},{0,40,14},{0,41,13},{0,42,12},{0,43,11},{0,44,10},{0,45,9},{0,46,8},{0,47,7},{0,48,6},{0,49,5},{0,50,4},{0,51,3},{0,52,2},{0,53,1},{0,55,2},{0,56,1},{0,58,6},{0,59,5},{0,60,4},{0,61,3},{0,62,2},{0,63,1},};
+const unsigned Op71_A3_B[] = {0,55,};
+const GenOperand Op71_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op71_A0_W, Op71_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op71_A1_W, Op71_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op71_A2_W, Op71_A2_B, 1},
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op71_A3_W, Op71_A3_B, 1},
+};
+const GenOperation Op71 = {"SEL/rrrp", {{0x2400000041c2420ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}, Op71_Guard, 1, Op71_Operands, 4, nullptr, 0};
+
+// --- SHFL/prri (3 instances) ---
+const GenFeature Op72_Mods[] = {
+    {"BFLY", 0, {{0x660c0000831c0104ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"DOWN", 0, {{0x66080000031c00fcull, 0x0ull}, {0xfffffff3ffffffffull, 0x0ull}}},
+};
+const WindowRef Op72_Guard[] = {{0,18,6},};
+const WindowRef Op72_A0_W[] = {{0,2,3},};
+const unsigned Op72_A0_B[] = {0,1,};
+const WindowRef Op72_A1_W[] = {{0,5,13},};
+const unsigned Op72_A1_B[] = {0,1,};
+const WindowRef Op72_A2_W[] = {{0,17,3},{0,23,8},{0,56,5},{0,60,4},};
+const unsigned Op72_A2_B[] = {0,4,};
+const WindowRef Op72_A3_W[] = {{0,31,19},{1,31,19},};
+const unsigned Op72_A3_B[] = {0,2,};
+const GenOperand Op72_Operands[] = {
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op72_A0_W, Op72_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op72_A1_W, Op72_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op72_A2_W, Op72_A2_B, 1},
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op72_A3_W, Op72_A3_B, 1},
+};
+const GenOperation Op72 = {"SHFL/prri", {{0x66080000031c0004ull, 0x0ull}, {0xfffbfff37ffffe07ull, 0x0ull}}, Op72_Guard, 1, Op72_Operands, 4, Op72_Mods, 2};
+
+// --- SHFL/prrr (1 instances) ---
+const GenFeature Op73_Mods[] = {
+    {"UP", 0, {{0xfcc40000031c0180ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op73_Guard[] = {{0,18,6},{0,58,3},{0,59,3},{0,60,3},{0,61,3},};
+const WindowRef Op73_A0_W[] = {{0,0,7},{0,1,6},{0,2,5},{0,3,4},{0,4,3},{0,5,2},{0,6,1},{0,9,9},{0,10,8},{0,11,7},{0,12,6},{0,13,5},{0,14,4},{0,15,3},{0,16,2},{0,17,1},{0,21,3},{0,22,2},{0,23,1},{0,26,24},{0,27,23},{0,28,22},{0,29,21},{0,30,20},{0,31,19},{0,32,18},{0,33,17},{0,34,16},{0,35,15},{0,36,14},{0,37,13},{0,38,12},{0,39,11},{0,40,10},{0,41,9},{0,42,8},{0,43,7},{0,44,6},{0,45,5},{0,46,4},{0,47,3},{0,48,2},{0,49,1},{0,51,3},{0,52,2},{0,53,1},{0,56,2},{0,57,1},};
+const unsigned Op73_A0_B[] = {0,48,};
+const WindowRef Op73_A1_W[] = {{0,5,13},{0,16,4},{0,22,28},{0,52,6},{0,56,4},};
+const unsigned Op73_A1_B[] = {0,5,};
+const WindowRef Op73_A2_W[] = {{0,6,12},{0,17,3},{0,23,27},{0,53,5},{0,57,3},};
+const unsigned Op73_A2_B[] = {0,5,};
+const WindowRef Op73_A3_W[] = {{0,0,7},{0,1,6},{0,2,5},{0,3,4},{0,4,3},{0,5,2},{0,6,1},{0,9,9},{0,10,8},{0,11,7},{0,12,6},{0,13,5},{0,14,4},{0,15,3},{0,16,2},{0,17,1},{0,21,3},{0,22,2},{0,23,1},{0,26,24},{0,27,23},{0,28,22},{0,29,21},{0,30,20},{0,31,19},{0,32,18},{0,33,17},{0,34,16},{0,35,15},{0,36,14},{0,37,13},{0,38,12},{0,39,11},{0,40,10},{0,41,9},{0,42,8},{0,43,7},{0,44,6},{0,45,5},{0,46,4},{0,47,3},{0,48,2},{0,49,1},{0,51,3},{0,52,2},{0,53,1},{0,56,2},{0,57,1},};
+const unsigned Op73_A3_B[] = {0,48,};
+const GenOperand Op73_Operands[] = {
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op73_A0_W, Op73_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op73_A1_W, Op73_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op73_A2_W, Op73_A2_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op73_A3_W, Op73_A3_B, 1},
+};
+const GenOperation Op73 = {"SHFL/prrr", {{0xfcc40000031c0180ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}, Op73_Guard, 5, Op73_Operands, 4, Op73_Mods, 1};
+
+// --- SHL/rri (93 instances) ---
+const WindowRef Op74_Guard[] = {{0,18,5},{0,54,5},{0,59,3},{0,60,4},};
+const WindowRef Op74_A0_W[] = {{0,2,8},};
+const unsigned Op74_A0_B[] = {0,1,};
+const WindowRef Op74_A1_W[] = {{0,10,8},};
+const unsigned Op74_A1_B[] = {0,1,};
+const WindowRef Op74_A2_W[] = {{0,23,31},{1,23,31},};
+const unsigned Op74_A2_B[] = {0,2,};
+const GenOperand Op74_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op74_A0_W, Op74_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op74_A1_W, Op74_A1_B, 1},
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op74_A2_W, Op74_A2_B, 1},
+};
+const GenOperation Op74 = {"SHL/rri", {{0x79c00000001c0000ull, 0x0ull}, {0xfffffffffa7fc3c3ull, 0x0ull}}, Op74_Guard, 4, Op74_Operands, 3, nullptr, 0};
+
+// --- SHL/rrr (1 instances) ---
+const WindowRef Op75_Guard[] = {{0,3,7},{0,18,37},};
+const WindowRef Op75_A0_W[] = {{0,2,8},{0,17,38},};
+const unsigned Op75_A0_B[] = {0,2,};
+const WindowRef Op75_A1_W[] = {{0,10,8},};
+const unsigned Op75_A1_B[] = {0,1,};
+const WindowRef Op75_A2_W[] = {{0,0,3},{0,1,2},{0,2,1},{0,6,4},{0,7,3},{0,8,2},{0,9,1},{0,11,1},{0,14,4},{0,15,3},{0,16,2},{0,17,1},{0,21,34},{0,22,33},{0,23,32},{0,24,31},{0,25,30},{0,26,29},{0,27,28},{0,28,27},{0,29,26},{0,30,25},{0,31,24},{0,32,23},{0,33,22},{0,34,21},{0,35,20},{0,36,19},{0,37,18},{0,38,17},{0,39,16},{0,40,15},{0,41,14},{0,42,13},{0,43,12},{0,44,11},{0,45,10},{0,46,9},{0,47,8},{0,48,7},{0,49,6},{0,50,5},{0,51,4},{0,52,3},{0,53,2},{0,54,1},{0,56,4},{0,57,3},{0,58,2},{0,59,1},{0,61,3},{0,62,2},{0,63,1},};
+const unsigned Op75_A2_B[] = {0,53,};
+const GenOperand Op75_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op75_A0_W, Op75_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op75_A1_W, Op75_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op75_A2_W, Op75_A2_B, 1},
+};
+const GenOperation Op75 = {"SHL/rrr", {{0x10800000001c3438ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}, Op75_Guard, 2, Op75_Operands, 3, nullptr, 0};
+
+// --- SHR/rri (3 instances) ---
+const GenFeature Op76_Mods[] = {
+    {"U32", 0, {{0x4c440000001c1804ull, 0x0ull}, {0xfffffffff27fffc7ull, 0x0ull}}},
+};
+const WindowRef Op76_Guard[] = {{0,18,5},};
+const WindowRef Op76_A0_W[] = {{0,2,9},};
+const unsigned Op76_A0_B[] = {0,1,};
+const WindowRef Op76_A1_W[] = {{0,10,8},{0,17,3},{0,57,5},};
+const unsigned Op76_A1_B[] = {0,3,};
+const WindowRef Op76_A2_W[] = {{0,23,27},{1,23,27},};
+const unsigned Op76_A2_B[] = {0,2,};
+const GenOperand Op76_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op76_A0_W, Op76_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op76_A1_W, Op76_A1_B, 1},
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op76_A2_W, Op76_A2_B, 1},
+};
+const GenOperation Op76 = {"SHR/rri", {{0x4c440000001c1804ull, 0x0ull}, {0xfffffffff27fffc7ull, 0x0ull}}, Op76_Guard, 1, Op76_Operands, 3, Op76_Mods, 1};
+
+// --- SHR/rrr (1 instances) ---
+const WindowRef Op77_Guard[] = {{0,2,3},{0,3,8},{0,11,7},{0,18,5},{0,61,3},};
+const WindowRef Op77_A0_W[] = {{0,2,9},};
+const unsigned Op77_A0_B[] = {0,1,};
+const WindowRef Op77_A1_W[] = {{0,1,4},{0,10,8},{0,17,6},{0,60,4},};
+const unsigned Op77_A1_B[] = {0,4,};
+const WindowRef Op77_A2_W[] = {{0,2,1},{0,3,1},{0,4,1},{0,5,6},{0,11,1},{0,12,1},{0,13,5},{0,18,1},{0,19,1},{0,20,3},{0,23,33},{0,56,1},{0,57,4},{0,61,1},{0,62,1},{0,63,1},};
+const unsigned Op77_A2_B[] = {0,16,};
+const GenOperand Op77_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op77_A0_W, Op77_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op77_A1_W, Op77_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op77_A2_W, Op77_A2_B, 1},
+};
+const GenOperation Op77 = {"SHR/rrr", {{0xe3000000009c383cull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}, Op77_Guard, 5, Op77_Operands, 3, nullptr, 0};
+
+// --- SSY/i (3 instances) ---
+const WindowRef Op78_Guard[] = {{0,18,8},{0,54,3},{0,55,3},{0,56,4},};
+const WindowRef Op78_A0_W[] = {{2,23,31},};
+const unsigned Op78_A0_B[] = {0,1,};
+const GenOperand Op78_Operands[] = {
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op78_A0_W, Op78_A0_B, 1},
+};
+const GenOperation Op78 = {"SSY/i", {{0x57c00000081c0000ull, 0x0ull}, {0xffffffff8bffffffull, 0x0ull}}, Op78_Guard, 4, Op78_Operands, 1, nullptr, 0};
+
+// --- ST/mr (2 instances) ---
+const GenFeature Op79_Mods[] = {
+    {"64", 0, {{0x5a940000041c1428ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op79_Guard[] = {{0,18,8},};
+const WindowRef Op79_A0_W[] = {{0,10,8},{0,55,4},{0,57,3},{0,60,4},{0,23,27},{0,47,5},{1,23,27},{1,47,5},};
+const unsigned Op79_A0_B[] = {0,4,8,};
+const WindowRef Op79_A1_W[] = {{0,2,8},};
+const unsigned Op79_A1_B[] = {0,1,};
+const GenOperand Op79_Operands[] = {
+    {'m', nullptr, 0, nullptr, 0, nullptr, 0, Op79_A0_W, Op79_A0_B, 2},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op79_A1_W, Op79_A1_B, 1},
+};
+const GenOperation Op79 = {"ST/mr", {{0x5a800000001c1408ull, 0x0ull}, {0xffebfffffbffffcfull, 0x0ull}}, Op79_Guard, 1, Op79_Operands, 2, Op79_Mods, 1};
+
+// --- STG/mr (45 instances) ---
+const GenFeature Op80_Mods[] = {
+    {"64", 0, {{0x2d340000001c1430ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"E", 0, {{0x2d200000001c0000ull, 0x0ull}, {0xffebffff89ff8383ull, 0x0ull}}},
+};
+const WindowRef Op80_Guard[] = {{0,18,7},};
+const WindowRef Op80_A0_W[] = {{0,10,8},{0,23,27},{1,23,27},};
+const unsigned Op80_A0_B[] = {0,1,3,};
+const WindowRef Op80_A1_W[] = {{0,2,8},};
+const unsigned Op80_A1_B[] = {0,1,};
+const GenOperand Op80_Operands[] = {
+    {'m', nullptr, 0, nullptr, 0, nullptr, 0, Op80_A0_W, Op80_A0_B, 2},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op80_A1_W, Op80_A1_B, 1},
+};
+const GenOperation Op80 = {"STG/mr", {{0x2d200000001c0000ull, 0x0ull}, {0xffebffff89ff8383ull, 0x0ull}}, Op80_Guard, 1, Op80_Operands, 2, Op80_Mods, 2};
+
+// --- STL/mr (2 instances) ---
+const WindowRef Op81_Guard[] = {{0,18,37},{0,55,3},{0,56,3},{0,57,3},{0,58,3},{0,59,3},{0,60,3},{0,61,3},};
+const WindowRef Op81_A0_W[] = {{0,0,3},{0,10,8},{0,16,3},{0,53,3},{0,0,2},{0,1,1},{0,5,7},{0,6,6},{0,7,5},{0,8,4},{0,9,3},{0,10,2},{0,11,1},{0,13,5},{0,14,4},{0,15,3},{0,16,2},{0,17,1},{0,21,34},{0,22,33},{0,23,32},{0,24,31},{0,25,30},{0,26,29},{0,27,28},{0,28,27},{0,29,26},{0,30,25},{0,31,24},{0,32,23},{0,33,22},{0,34,21},{0,35,20},{0,36,19},{0,37,18},{0,38,17},{0,39,16},{0,40,15},{0,41,14},{0,42,13},{0,43,12},{0,44,11},{0,45,10},{0,46,9},{0,47,8},{0,48,7},{0,49,6},{0,50,5},{0,51,4},{0,52,3},{0,53,2},{0,54,1},{1,0,2},{1,1,1},{1,5,7},{1,6,6},{1,7,5},{1,8,4},{1,9,3},{1,10,2},{1,11,1},{1,13,5},{1,14,4},{1,15,3},{1,16,2},{1,17,1},{1,21,34},{1,22,33},{1,23,32},{1,24,31},{1,25,30},{1,26,29},{1,27,28},{1,28,27},{1,29,26},{1,30,25},{1,31,24},{1,32,23},{1,33,22},{1,34,21},{1,35,20},{1,36,19},{1,37,18},{1,38,17},{1,39,16},{1,40,15},{1,41,14},{1,42,13},{1,43,12},{1,44,11},{1,45,10},{1,46,9},{1,47,8},{1,48,7},{1,49,6},{1,50,5},{1,51,4},{1,52,3},{1,53,2},{1,54,1},};
+const unsigned Op81_A0_B[] = {0,4,100,};
+const WindowRef Op81_A1_W[] = {{0,2,10},};
+const unsigned Op81_A1_B[] = {0,1,};
+const GenOperand Op81_Operands[] = {
+    {'m', nullptr, 0, nullptr, 0, nullptr, 0, Op81_A0_W, Op81_A0_B, 2},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op81_A1_W, Op81_A1_B, 1},
+};
+const GenOperation Op81 = {"STL/mr", {{0xff800000001c100cull, 0x0ull}, {0xffffffffffffffefull, 0x0ull}}, Op81_Guard, 8, Op81_Operands, 2, nullptr, 0};
+
+// --- STS/mr (9 instances) ---
+const WindowRef Op82_Guard[] = {{0,18,7},};
+const WindowRef Op82_A0_W[] = {{0,10,8},{0,23,34},{1,23,34},};
+const unsigned Op82_A0_B[] = {0,1,3,};
+const WindowRef Op82_A1_W[] = {{0,2,10},};
+const unsigned Op82_A1_B[] = {0,1,};
+const GenOperand Op82_Operands[] = {
+    {'m', nullptr, 0, nullptr, 0, nullptr, 0, Op82_A0_W, Op82_A0_B, 2},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op82_A1_W, Op82_A1_B, 1},
+};
+const GenOperation Op82 = {"STS/mr", {{0xd2000000001c0000ull, 0x0ull}, {0xfffffffdd9ffcfc3ull, 0x0ull}}, Op82_Guard, 1, Op82_Operands, 2, nullptr, 0};
+
+// --- TEX/rrith (5 instances) ---
+const WindowRef Op83_Guard[] = {{0,18,5},{0,54,4},};
+const WindowRef Op83_A0_W[] = {{0,2,8},};
+const unsigned Op83_A0_B[] = {0,1,};
+const WindowRef Op83_A1_W[] = {{0,10,8},{0,18,2},{0,19,4},{0,54,2},{0,55,3},{0,58,6},};
+const unsigned Op83_A1_B[] = {0,6,};
+const WindowRef Op83_A2_W[] = {{0,23,13},{1,23,13},};
+const unsigned Op83_A2_B[] = {0,2,};
+const GenFeature Op83_A3_T[] = {
+    {"1D", 0, {{0xdc00080011c0c14ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"2D", 0, {{0xdc00190001c0c14ull, 0x0ull}, {0xfffff9fffdffffffull, 0x0ull}}},
+    {"ARRAY_2D", 0, {{0xdc003d0009c0c1cull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const unsigned Op83_A3_B[] = {0,};
+const GenFeature Op83_A4_T[] = {
+    {"R", 0, {{0xdc00080011c0c14ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"RG", 0, {{0xdc00190001c0c14ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"RGB", 0, {{0xdc003d0009c0c1cull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"RGBA", 0, {{0xdc00790001c0c14ull, 0x0ull}, {0xfffffffffdffffffull, 0x0ull}}},
+};
+const unsigned Op83_A4_B[] = {0,};
+const GenOperand Op83_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op83_A0_W, Op83_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op83_A1_W, Op83_A1_B, 1},
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op83_A2_W, Op83_A2_B, 1},
+    {'t', nullptr, 0, Op83_A3_T, 3, nullptr, 0, nullptr, Op83_A3_B, 0},
+    {'h', nullptr, 0, Op83_A4_T, 4, nullptr, 0, nullptr, Op83_A4_B, 0},
+};
+const GenOperation Op83 = {"TEX/rrith", {{0xdc00080001c0c14ull, 0x0ull}, {0xfffff8affc7ffff7ull, 0x0ull}}, Op83_Guard, 2, Op83_Operands, 5, nullptr, 0};
+
+// --- TEXDEPBAR/i (3 instances) ---
+const WindowRef Op84_Guard[] = {{0,18,5},{0,56,4},{0,60,4},};
+const WindowRef Op84_A0_W[] = {{0,23,33},{1,23,33},};
+const unsigned Op84_A0_B[] = {0,2,};
+const GenOperand Op84_Operands[] = {
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op84_A0_W, Op84_A0_B, 1},
+};
+const GenOperation Op84 = {"TEXDEPBAR/i", {{0x77000000001c0000ull, 0x0ull}, {0xffffffffff7fffffull, 0x0ull}}, Op84_Guard, 3, Op84_Operands, 1, nullptr, 0};
+
+// --- VOTE/pp (2 instances) ---
+const GenFeature Op85_Mods[] = {
+    {"ALL", 0, {{0x46c00000001c0004ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"ANY", 0, {{0x46c42000001c0008ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op85_Guard[] = {{0,18,27},};
+const WindowRef Op85_A0_W[] = {{0,2,16},};
+const unsigned Op85_A0_B[] = {0,1,};
+const GenFeature Op85_A1_U[] = {
+    {"!", 0, {{0x46c42000001c0008ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op85_A1_W[] = {{0,0,2},{0,1,1},{0,4,14},{0,5,13},{0,6,12},{0,7,11},{0,8,10},{0,9,9},{0,10,8},{0,11,7},{0,12,6},{0,13,5},{0,14,4},{0,15,3},{0,16,2},{0,17,1},{0,21,24},{0,22,23},{0,23,22},{0,24,21},{0,25,20},{0,26,19},{0,27,18},{0,28,17},{0,29,16},{0,30,15},{0,31,14},{0,32,13},{0,33,12},{0,34,11},{0,35,10},{0,36,9},{0,37,8},{0,38,7},{0,39,6},{0,40,5},{0,41,4},{0,42,3},{0,43,2},{0,44,1},{0,46,4},{0,47,3},{0,48,2},{0,49,1},{0,51,3},{0,52,2},{0,53,1},{0,56,1},{0,59,3},{0,60,2},{0,61,1},{0,63,1},};
+const unsigned Op85_A1_B[] = {0,52,};
+const GenOperand Op85_Operands[] = {
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op85_A0_W, Op85_A0_B, 1},
+    {'p', Op85_A1_U, 1, nullptr, 0, nullptr, 0, Op85_A1_W, Op85_A1_B, 1},
+};
+const GenOperation Op85 = {"VOTE/pp", {{0x46c00000001c0000ull, 0x0ull}, {0xfffbdffffffffff3ull, 0x0ull}}, Op85_Guard, 1, Op85_Operands, 2, Op85_Mods, 2};
+
+} // namespace
+
+namespace dcb {
+namespace gen {
+
+/// Assembles one SASS instruction at byte address Pc for sm_35.
+Expected<BitString> assemble(const sass::Instruction &Inst, uint64_t Pc) {
+  const std::string Key = dcb::analyzer::operationKey(Inst);
+  if (Key == "ATOM/rmr")
+    return assembleWith(Op0, Inst, Pc, 64);
+  if (Key == "BAR/i")
+    return assembleWith(Op1, Inst, Pc, 64);
+  if (Key == "BFE/rri")
+    return assembleWith(Op2, Inst, Pc, 64);
+  if (Key == "BFE/rrr")
+    return assembleWith(Op3, Inst, Pc, 64);
+  if (Key == "BFI/rrrr")
+    return assembleWith(Op4, Inst, Pc, 64);
+  if (Key == "BRA/c")
+    return assembleWith(Op5, Inst, Pc, 64);
+  if (Key == "BRA/i")
+    return assembleWith(Op6, Inst, Pc, 64);
+  if (Key == "BRK/")
+    return assembleWith(Op7, Inst, Pc, 64);
+  if (Key == "CAL/i")
+    return assembleWith(Op8, Inst, Pc, 64);
+  if (Key == "DADD/rrf")
+    return assembleWith(Op9, Inst, Pc, 64);
+  if (Key == "DADD/rrr")
+    return assembleWith(Op10, Inst, Pc, 64);
+  if (Key == "DEPBAR/bz")
+    return assembleWith(Op11, Inst, Pc, 64);
+  if (Key == "DFMA/rrrr")
+    return assembleWith(Op12, Inst, Pc, 64);
+  if (Key == "DMUL/rrr")
+    return assembleWith(Op13, Inst, Pc, 64);
+  if (Key == "EXIT/")
+    return assembleWith(Op14, Inst, Pc, 64);
+  if (Key == "F2F/rr")
+    return assembleWith(Op15, Inst, Pc, 64);
+  if (Key == "F2I/rr")
+    return assembleWith(Op16, Inst, Pc, 64);
+  if (Key == "FADD/rrc")
+    return assembleWith(Op17, Inst, Pc, 64);
+  if (Key == "FADD/rrf")
+    return assembleWith(Op18, Inst, Pc, 64);
+  if (Key == "FADD/rrr")
+    return assembleWith(Op19, Inst, Pc, 64);
+  if (Key == "FFMA/rrcr")
+    return assembleWith(Op20, Inst, Pc, 64);
+  if (Key == "FFMA/rrfr")
+    return assembleWith(Op21, Inst, Pc, 64);
+  if (Key == "FFMA/rrrr")
+    return assembleWith(Op22, Inst, Pc, 64);
+  if (Key == "FMNMX/rrcp")
+    return assembleWith(Op23, Inst, Pc, 64);
+  if (Key == "FMNMX/rrfp")
+    return assembleWith(Op24, Inst, Pc, 64);
+  if (Key == "FMNMX/rrrp")
+    return assembleWith(Op25, Inst, Pc, 64);
+  if (Key == "FMUL/rrc")
+    return assembleWith(Op26, Inst, Pc, 64);
+  if (Key == "FMUL/rrf")
+    return assembleWith(Op27, Inst, Pc, 64);
+  if (Key == "FMUL/rrr")
+    return assembleWith(Op28, Inst, Pc, 64);
+  if (Key == "FSETP/pprcp")
+    return assembleWith(Op29, Inst, Pc, 64);
+  if (Key == "FSETP/pprfp")
+    return assembleWith(Op30, Inst, Pc, 64);
+  if (Key == "FSETP/pprrp")
+    return assembleWith(Op31, Inst, Pc, 64);
+  if (Key == "I2F/rr")
+    return assembleWith(Op32, Inst, Pc, 64);
+  if (Key == "IADD/rrc")
+    return assembleWith(Op33, Inst, Pc, 64);
+  if (Key == "IADD/rri")
+    return assembleWith(Op34, Inst, Pc, 64);
+  if (Key == "IADD/rrr")
+    return assembleWith(Op35, Inst, Pc, 64);
+  if (Key == "IADD32I/rri")
+    return assembleWith(Op36, Inst, Pc, 64);
+  if (Key == "IMAD/rrcr")
+    return assembleWith(Op37, Inst, Pc, 64);
+  if (Key == "IMAD/rrir")
+    return assembleWith(Op38, Inst, Pc, 64);
+  if (Key == "IMAD/rrri")
+    return assembleWith(Op39, Inst, Pc, 64);
+  if (Key == "IMAD/rrrr")
+    return assembleWith(Op40, Inst, Pc, 64);
+  if (Key == "IMNMX/rrrp")
+    return assembleWith(Op41, Inst, Pc, 64);
+  if (Key == "IMUL/rrc")
+    return assembleWith(Op42, Inst, Pc, 64);
+  if (Key == "IMUL/rri")
+    return assembleWith(Op43, Inst, Pc, 64);
+  if (Key == "IMUL/rrr")
+    return assembleWith(Op44, Inst, Pc, 64);
+  if (Key == "ISETP/pprcp")
+    return assembleWith(Op45, Inst, Pc, 64);
+  if (Key == "ISETP/pprip")
+    return assembleWith(Op46, Inst, Pc, 64);
+  if (Key == "ISETP/pprrp")
+    return assembleWith(Op47, Inst, Pc, 64);
+  if (Key == "LD/rm")
+    return assembleWith(Op48, Inst, Pc, 64);
+  if (Key == "LDC/rC")
+    return assembleWith(Op49, Inst, Pc, 64);
+  if (Key == "LDG/rm")
+    return assembleWith(Op50, Inst, Pc, 64);
+  if (Key == "LDL/rm")
+    return assembleWith(Op51, Inst, Pc, 64);
+  if (Key == "LDS/rm")
+    return assembleWith(Op52, Inst, Pc, 64);
+  if (Key == "LOP/rrc")
+    return assembleWith(Op53, Inst, Pc, 64);
+  if (Key == "LOP/rri")
+    return assembleWith(Op54, Inst, Pc, 64);
+  if (Key == "LOP/rrr")
+    return assembleWith(Op55, Inst, Pc, 64);
+  if (Key == "MEMBAR/")
+    return assembleWith(Op56, Inst, Pc, 64);
+  if (Key == "MOV/rc")
+    return assembleWith(Op57, Inst, Pc, 64);
+  if (Key == "MOV/ri")
+    return assembleWith(Op58, Inst, Pc, 64);
+  if (Key == "MOV/rr")
+    return assembleWith(Op59, Inst, Pc, 64);
+  if (Key == "MOV32I/rc")
+    return assembleWith(Op60, Inst, Pc, 64);
+  if (Key == "MOV32I/ri")
+    return assembleWith(Op61, Inst, Pc, 64);
+  if (Key == "MUFU/rr")
+    return assembleWith(Op62, Inst, Pc, 64);
+  if (Key == "NOP/")
+    return assembleWith(Op63, Inst, Pc, 64);
+  if (Key == "PBK/i")
+    return assembleWith(Op64, Inst, Pc, 64);
+  if (Key == "POPC/rr")
+    return assembleWith(Op65, Inst, Pc, 64);
+  if (Key == "PSETP/ppppp")
+    return assembleWith(Op66, Inst, Pc, 64);
+  if (Key == "RET/")
+    return assembleWith(Op67, Inst, Pc, 64);
+  if (Key == "RRO/rr")
+    return assembleWith(Op68, Inst, Pc, 64);
+  if (Key == "S2R/rs")
+    return assembleWith(Op69, Inst, Pc, 64);
+  if (Key == "SEL/rrip")
+    return assembleWith(Op70, Inst, Pc, 64);
+  if (Key == "SEL/rrrp")
+    return assembleWith(Op71, Inst, Pc, 64);
+  if (Key == "SHFL/prri")
+    return assembleWith(Op72, Inst, Pc, 64);
+  if (Key == "SHFL/prrr")
+    return assembleWith(Op73, Inst, Pc, 64);
+  if (Key == "SHL/rri")
+    return assembleWith(Op74, Inst, Pc, 64);
+  if (Key == "SHL/rrr")
+    return assembleWith(Op75, Inst, Pc, 64);
+  if (Key == "SHR/rri")
+    return assembleWith(Op76, Inst, Pc, 64);
+  if (Key == "SHR/rrr")
+    return assembleWith(Op77, Inst, Pc, 64);
+  if (Key == "SSY/i")
+    return assembleWith(Op78, Inst, Pc, 64);
+  if (Key == "ST/mr")
+    return assembleWith(Op79, Inst, Pc, 64);
+  if (Key == "STG/mr")
+    return assembleWith(Op80, Inst, Pc, 64);
+  if (Key == "STL/mr")
+    return assembleWith(Op81, Inst, Pc, 64);
+  if (Key == "STS/mr")
+    return assembleWith(Op82, Inst, Pc, 64);
+  if (Key == "TEX/rrith")
+    return assembleWith(Op83, Inst, Pc, 64);
+  if (Key == "TEXDEPBAR/i")
+    return assembleWith(Op84, Inst, Pc, 64);
+  if (Key == "VOTE/pp")
+    return assembleWith(Op85, Inst, Pc, 64);
+  return Failure("generated assembler (sm_35): unknown operation " + Key);
+}
+
+} // namespace gen
+} // namespace dcb
+
+#include <iostream>
+
+int main() {
+  return dcb::gen::runAssemblerMain(&dcb::gen::assemble, std::cin, std::cout, std::cerr);
+}

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("sass")
+subdirs("isa")
+subdirs("encoder")
+subdirs("elf")
+subdirs("vendor")
+subdirs("workloads")
+subdirs("analyzer")
+subdirs("asmgen")
+subdirs("ir")
+subdirs("transform")
+subdirs("vm")

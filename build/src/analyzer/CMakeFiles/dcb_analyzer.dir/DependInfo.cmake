@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analyzer/BitFlipper.cpp" "src/analyzer/CMakeFiles/dcb_analyzer.dir/BitFlipper.cpp.o" "gcc" "src/analyzer/CMakeFiles/dcb_analyzer.dir/BitFlipper.cpp.o.d"
+  "/root/repo/src/analyzer/Database.cpp" "src/analyzer/CMakeFiles/dcb_analyzer.dir/Database.cpp.o" "gcc" "src/analyzer/CMakeFiles/dcb_analyzer.dir/Database.cpp.o.d"
+  "/root/repo/src/analyzer/IsaAnalyzer.cpp" "src/analyzer/CMakeFiles/dcb_analyzer.dir/IsaAnalyzer.cpp.o" "gcc" "src/analyzer/CMakeFiles/dcb_analyzer.dir/IsaAnalyzer.cpp.o.d"
+  "/root/repo/src/analyzer/Listing.cpp" "src/analyzer/CMakeFiles/dcb_analyzer.dir/Listing.cpp.o" "gcc" "src/analyzer/CMakeFiles/dcb_analyzer.dir/Listing.cpp.o.d"
+  "/root/repo/src/analyzer/ModifierTypes.cpp" "src/analyzer/CMakeFiles/dcb_analyzer.dir/ModifierTypes.cpp.o" "gcc" "src/analyzer/CMakeFiles/dcb_analyzer.dir/ModifierTypes.cpp.o.d"
+  "/root/repo/src/analyzer/Records.cpp" "src/analyzer/CMakeFiles/dcb_analyzer.dir/Records.cpp.o" "gcc" "src/analyzer/CMakeFiles/dcb_analyzer.dir/Records.cpp.o.d"
+  "/root/repo/src/analyzer/Signature.cpp" "src/analyzer/CMakeFiles/dcb_analyzer.dir/Signature.cpp.o" "gcc" "src/analyzer/CMakeFiles/dcb_analyzer.dir/Signature.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/elf/CMakeFiles/dcb_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sass/CMakeFiles/dcb_sass.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dcb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

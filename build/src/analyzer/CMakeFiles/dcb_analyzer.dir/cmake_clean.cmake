@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcb_analyzer.dir/BitFlipper.cpp.o"
+  "CMakeFiles/dcb_analyzer.dir/BitFlipper.cpp.o.d"
+  "CMakeFiles/dcb_analyzer.dir/Database.cpp.o"
+  "CMakeFiles/dcb_analyzer.dir/Database.cpp.o.d"
+  "CMakeFiles/dcb_analyzer.dir/IsaAnalyzer.cpp.o"
+  "CMakeFiles/dcb_analyzer.dir/IsaAnalyzer.cpp.o.d"
+  "CMakeFiles/dcb_analyzer.dir/Listing.cpp.o"
+  "CMakeFiles/dcb_analyzer.dir/Listing.cpp.o.d"
+  "CMakeFiles/dcb_analyzer.dir/ModifierTypes.cpp.o"
+  "CMakeFiles/dcb_analyzer.dir/ModifierTypes.cpp.o.d"
+  "CMakeFiles/dcb_analyzer.dir/Records.cpp.o"
+  "CMakeFiles/dcb_analyzer.dir/Records.cpp.o.d"
+  "CMakeFiles/dcb_analyzer.dir/Signature.cpp.o"
+  "CMakeFiles/dcb_analyzer.dir/Signature.cpp.o.d"
+  "libdcb_analyzer.a"
+  "libdcb_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcb_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcb_asmgen.dir/AsmCore.cpp.o"
+  "CMakeFiles/dcb_asmgen.dir/AsmCore.cpp.o.d"
+  "CMakeFiles/dcb_asmgen.dir/AssemblerGenerator.cpp.o"
+  "CMakeFiles/dcb_asmgen.dir/AssemblerGenerator.cpp.o.d"
+  "CMakeFiles/dcb_asmgen.dir/GenRuntime.cpp.o"
+  "CMakeFiles/dcb_asmgen.dir/GenRuntime.cpp.o.d"
+  "CMakeFiles/dcb_asmgen.dir/TableAssembler.cpp.o"
+  "CMakeFiles/dcb_asmgen.dir/TableAssembler.cpp.o.d"
+  "libdcb_asmgen.a"
+  "libdcb_asmgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcb_asmgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dcb_asmgen.
+# This may be replaced when dependencies are built.

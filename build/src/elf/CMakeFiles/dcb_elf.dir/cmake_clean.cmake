@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcb_elf.dir/Cubin.cpp.o"
+  "CMakeFiles/dcb_elf.dir/Cubin.cpp.o.d"
+  "libdcb_elf.a"
+  "libdcb_elf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcb_elf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

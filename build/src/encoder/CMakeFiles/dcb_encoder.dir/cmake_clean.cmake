@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcb_encoder.dir/Encoder.cpp.o"
+  "CMakeFiles/dcb_encoder.dir/Encoder.cpp.o.d"
+  "libdcb_encoder.a"
+  "libdcb_encoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcb_encoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

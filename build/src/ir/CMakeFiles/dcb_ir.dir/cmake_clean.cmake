@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcb_ir.dir/Builder.cpp.o"
+  "CMakeFiles/dcb_ir.dir/Builder.cpp.o.d"
+  "CMakeFiles/dcb_ir.dir/Layout.cpp.o"
+  "CMakeFiles/dcb_ir.dir/Layout.cpp.o.d"
+  "libdcb_ir.a"
+  "libdcb_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcb_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

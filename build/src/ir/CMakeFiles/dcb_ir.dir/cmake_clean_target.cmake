@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdcb_ir.a"
+)

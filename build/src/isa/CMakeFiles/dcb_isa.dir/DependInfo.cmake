@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/Archs.cpp" "src/isa/CMakeFiles/dcb_isa.dir/Archs.cpp.o" "gcc" "src/isa/CMakeFiles/dcb_isa.dir/Archs.cpp.o.d"
+  "/root/repo/src/isa/FermiTables.cpp" "src/isa/CMakeFiles/dcb_isa.dir/FermiTables.cpp.o" "gcc" "src/isa/CMakeFiles/dcb_isa.dir/FermiTables.cpp.o.d"
+  "/root/repo/src/isa/Kepler2Tables.cpp" "src/isa/CMakeFiles/dcb_isa.dir/Kepler2Tables.cpp.o" "gcc" "src/isa/CMakeFiles/dcb_isa.dir/Kepler2Tables.cpp.o.d"
+  "/root/repo/src/isa/MaxwellTables.cpp" "src/isa/CMakeFiles/dcb_isa.dir/MaxwellTables.cpp.o" "gcc" "src/isa/CMakeFiles/dcb_isa.dir/MaxwellTables.cpp.o.d"
+  "/root/repo/src/isa/Spec.cpp" "src/isa/CMakeFiles/dcb_isa.dir/Spec.cpp.o" "gcc" "src/isa/CMakeFiles/dcb_isa.dir/Spec.cpp.o.d"
+  "/root/repo/src/isa/SpecBuilder.cpp" "src/isa/CMakeFiles/dcb_isa.dir/SpecBuilder.cpp.o" "gcc" "src/isa/CMakeFiles/dcb_isa.dir/SpecBuilder.cpp.o.d"
+  "/root/repo/src/isa/VoltaTables.cpp" "src/isa/CMakeFiles/dcb_isa.dir/VoltaTables.cpp.o" "gcc" "src/isa/CMakeFiles/dcb_isa.dir/VoltaTables.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dcb_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sass/CMakeFiles/dcb_sass.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcb_isa.dir/Archs.cpp.o"
+  "CMakeFiles/dcb_isa.dir/Archs.cpp.o.d"
+  "CMakeFiles/dcb_isa.dir/FermiTables.cpp.o"
+  "CMakeFiles/dcb_isa.dir/FermiTables.cpp.o.d"
+  "CMakeFiles/dcb_isa.dir/Kepler2Tables.cpp.o"
+  "CMakeFiles/dcb_isa.dir/Kepler2Tables.cpp.o.d"
+  "CMakeFiles/dcb_isa.dir/MaxwellTables.cpp.o"
+  "CMakeFiles/dcb_isa.dir/MaxwellTables.cpp.o.d"
+  "CMakeFiles/dcb_isa.dir/Spec.cpp.o"
+  "CMakeFiles/dcb_isa.dir/Spec.cpp.o.d"
+  "CMakeFiles/dcb_isa.dir/SpecBuilder.cpp.o"
+  "CMakeFiles/dcb_isa.dir/SpecBuilder.cpp.o.d"
+  "CMakeFiles/dcb_isa.dir/VoltaTables.cpp.o"
+  "CMakeFiles/dcb_isa.dir/VoltaTables.cpp.o.d"
+  "libdcb_isa.a"
+  "libdcb_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcb_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

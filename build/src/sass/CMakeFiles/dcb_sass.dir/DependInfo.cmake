@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sass/Ast.cpp" "src/sass/CMakeFiles/dcb_sass.dir/Ast.cpp.o" "gcc" "src/sass/CMakeFiles/dcb_sass.dir/Ast.cpp.o.d"
+  "/root/repo/src/sass/CtrlInfo.cpp" "src/sass/CMakeFiles/dcb_sass.dir/CtrlInfo.cpp.o" "gcc" "src/sass/CMakeFiles/dcb_sass.dir/CtrlInfo.cpp.o.d"
+  "/root/repo/src/sass/Parser.cpp" "src/sass/CMakeFiles/dcb_sass.dir/Parser.cpp.o" "gcc" "src/sass/CMakeFiles/dcb_sass.dir/Parser.cpp.o.d"
+  "/root/repo/src/sass/Printer.cpp" "src/sass/CMakeFiles/dcb_sass.dir/Printer.cpp.o" "gcc" "src/sass/CMakeFiles/dcb_sass.dir/Printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dcb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

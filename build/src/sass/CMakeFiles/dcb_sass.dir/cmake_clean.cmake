@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcb_sass.dir/Ast.cpp.o"
+  "CMakeFiles/dcb_sass.dir/Ast.cpp.o.d"
+  "CMakeFiles/dcb_sass.dir/CtrlInfo.cpp.o"
+  "CMakeFiles/dcb_sass.dir/CtrlInfo.cpp.o.d"
+  "CMakeFiles/dcb_sass.dir/Parser.cpp.o"
+  "CMakeFiles/dcb_sass.dir/Parser.cpp.o.d"
+  "CMakeFiles/dcb_sass.dir/Printer.cpp.o"
+  "CMakeFiles/dcb_sass.dir/Printer.cpp.o.d"
+  "libdcb_sass.a"
+  "libdcb_sass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcb_sass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

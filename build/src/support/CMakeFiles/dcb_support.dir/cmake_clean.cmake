@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcb_support.dir/BitString.cpp.o"
+  "CMakeFiles/dcb_support.dir/BitString.cpp.o.d"
+  "CMakeFiles/dcb_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/dcb_support.dir/StringUtils.cpp.o.d"
+  "libdcb_support.a"
+  "libdcb_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcb_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcb_transform.dir/Occupancy.cpp.o"
+  "CMakeFiles/dcb_transform.dir/Occupancy.cpp.o.d"
+  "CMakeFiles/dcb_transform.dir/Passes.cpp.o"
+  "CMakeFiles/dcb_transform.dir/Passes.cpp.o.d"
+  "CMakeFiles/dcb_transform.dir/Registers.cpp.o"
+  "CMakeFiles/dcb_transform.dir/Registers.cpp.o.d"
+  "libdcb_transform.a"
+  "libdcb_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcb_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

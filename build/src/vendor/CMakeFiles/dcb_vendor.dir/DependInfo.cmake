@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vendor/CuobjdumpSim.cpp" "src/vendor/CMakeFiles/dcb_vendor.dir/CuobjdumpSim.cpp.o" "gcc" "src/vendor/CMakeFiles/dcb_vendor.dir/CuobjdumpSim.cpp.o.d"
+  "/root/repo/src/vendor/KernelBuilder.cpp" "src/vendor/CMakeFiles/dcb_vendor.dir/KernelBuilder.cpp.o" "gcc" "src/vendor/CMakeFiles/dcb_vendor.dir/KernelBuilder.cpp.o.d"
+  "/root/repo/src/vendor/NvccSim.cpp" "src/vendor/CMakeFiles/dcb_vendor.dir/NvccSim.cpp.o" "gcc" "src/vendor/CMakeFiles/dcb_vendor.dir/NvccSim.cpp.o.d"
+  "/root/repo/src/vendor/SampleGen.cpp" "src/vendor/CMakeFiles/dcb_vendor.dir/SampleGen.cpp.o" "gcc" "src/vendor/CMakeFiles/dcb_vendor.dir/SampleGen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/encoder/CMakeFiles/dcb_encoder.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/dcb_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dcb_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sass/CMakeFiles/dcb_sass.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dcb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcb_vendor.dir/CuobjdumpSim.cpp.o"
+  "CMakeFiles/dcb_vendor.dir/CuobjdumpSim.cpp.o.d"
+  "CMakeFiles/dcb_vendor.dir/KernelBuilder.cpp.o"
+  "CMakeFiles/dcb_vendor.dir/KernelBuilder.cpp.o.d"
+  "CMakeFiles/dcb_vendor.dir/NvccSim.cpp.o"
+  "CMakeFiles/dcb_vendor.dir/NvccSim.cpp.o.d"
+  "CMakeFiles/dcb_vendor.dir/SampleGen.cpp.o"
+  "CMakeFiles/dcb_vendor.dir/SampleGen.cpp.o.d"
+  "libdcb_vendor.a"
+  "libdcb_vendor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcb_vendor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/Vm.cpp" "src/vm/CMakeFiles/dcb_vm.dir/Vm.cpp.o" "gcc" "src/vm/CMakeFiles/dcb_vm.dir/Vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/dcb_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sass/CMakeFiles/dcb_sass.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dcb_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmgen/CMakeFiles/dcb_asmgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/analyzer/CMakeFiles/dcb_analyzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/dcb_elf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

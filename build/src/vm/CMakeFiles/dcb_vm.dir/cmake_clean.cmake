@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcb_vm.dir/Vm.cpp.o"
+  "CMakeFiles/dcb_vm.dir/Vm.cpp.o.d"
+  "libdcb_vm.a"
+  "libdcb_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcb_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

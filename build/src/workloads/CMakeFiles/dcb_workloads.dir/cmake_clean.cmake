@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcb_workloads.dir/Suite.cpp.o"
+  "CMakeFiles/dcb_workloads.dir/Suite.cpp.o.d"
+  "libdcb_workloads.a"
+  "libdcb_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcb_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

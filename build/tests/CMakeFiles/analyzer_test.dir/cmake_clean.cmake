@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyzer_test.dir/analyzer_test.cpp.o"
+  "CMakeFiles/analyzer_test.dir/analyzer_test.cpp.o.d"
+  "analyzer_test"
+  "analyzer_test.pdb"
+  "analyzer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyzer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

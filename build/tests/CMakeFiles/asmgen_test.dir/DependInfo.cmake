@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/asmgen_test.cpp" "tests/CMakeFiles/asmgen_test.dir/asmgen_test.cpp.o" "gcc" "tests/CMakeFiles/asmgen_test.dir/asmgen_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asmgen/CMakeFiles/dcb_asmgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/vendor/CMakeFiles/dcb_vendor.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/dcb_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/analyzer/CMakeFiles/dcb_analyzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoder/CMakeFiles/dcb_encoder.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/dcb_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dcb_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sass/CMakeFiles/dcb_sass.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dcb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

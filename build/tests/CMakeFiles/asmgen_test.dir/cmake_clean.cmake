@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asmgen_test.dir/asmgen_test.cpp.o"
+  "CMakeFiles/asmgen_test.dir/asmgen_test.cpp.o.d"
+  "asmgen_test"
+  "asmgen_test.pdb"
+  "asmgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asmgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

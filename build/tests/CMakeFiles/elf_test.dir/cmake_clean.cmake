@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elf_test.dir/elf_test.cpp.o"
+  "CMakeFiles/elf_test.dir/elf_test.cpp.o.d"
+  "elf_test"
+  "elf_test.pdb"
+  "elf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

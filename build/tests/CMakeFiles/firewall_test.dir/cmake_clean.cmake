@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firewall_test.dir/firewall_test.cpp.o"
+  "CMakeFiles/firewall_test.dir/firewall_test.cpp.o.d"
+  "firewall_test"
+  "firewall_test.pdb"
+  "firewall_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firewall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_test.dir/isa_test.cpp.o"
+  "CMakeFiles/isa_test.dir/isa_test.cpp.o.d"
+  "isa_test"
+  "isa_test.pdb"
+  "isa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sass_test.dir/sass_test.cpp.o"
+  "CMakeFiles/sass_test.dir/sass_test.cpp.o.d"
+  "sass_test"
+  "sass_test.pdb"
+  "sass_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sass_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

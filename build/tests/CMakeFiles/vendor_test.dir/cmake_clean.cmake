@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vendor_test.dir/vendor_test.cpp.o"
+  "CMakeFiles/vendor_test.dir/vendor_test.cpp.o.d"
+  "vendor_test"
+  "vendor_test.pdb"
+  "vendor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vendor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

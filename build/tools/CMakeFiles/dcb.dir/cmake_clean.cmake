@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcb.dir/dcb.cpp.o"
+  "CMakeFiles/dcb.dir/dcb.cpp.o.d"
+  "dcb"
+  "dcb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2000 @@
+//===-- Generated assembler for sm_50 --- DO NOT EDIT ---------------===//
+//
+// Emitted by dcb::asmgen::AssemblerGenerator from a learned
+// encoding database (90 operations). Input: SASS assembly; output: binary words.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/Signature.h"
+#include "asmgen/GenRuntime.h"
+
+namespace {
+
+using dcb::asmgen::WindowRef;
+using dcb::gen::GenFeature;
+using dcb::gen::GenOperand;
+using dcb::gen::GenOperation;
+
+// --- ATOM/rmr (102 instances) ---
+const GenFeature Op0_Mods[] = {
+    {"ADD", 0, {{0xb9a0000000000000ull, 0x0ull}, {0xffff800000000000ull, 0x0ull}}},
+    {"AND", 0, {{0xb9a205000042050bull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"MAX", 0, {{0xb9a105000042050bull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"MIN", 0, {{0xb9a085000042050bull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op0_Guard[] = {{0,16,4},};
+const WindowRef Op0_A0_W[] = {{0,0,8},};
+const unsigned Op0_A0_B[] = {0,1,};
+const WindowRef Op0_A1_W[] = {{0,8,8},{1,20,19},};
+const unsigned Op0_A1_B[] = {0,1,2,};
+const WindowRef Op0_A2_W[] = {{0,39,8},};
+const unsigned Op0_A2_B[] = {0,1,};
+const GenOperand Op0_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op0_A0_W, Op0_A0_B, 1},
+    {'m', nullptr, 0, nullptr, 0, nullptr, 0, Op0_A1_W, Op0_A1_B, 2},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op0_A2_W, Op0_A2_B, 1},
+};
+const GenOperation Op0 = {"ATOM/rmr", {{0xb9a0000000000000ull, 0x0ull}, {0xfffc000000000000ull, 0x0ull}}, Op0_Guard, 1, Op0_Operands, 3, Op0_Mods, 4};
+
+// --- BAR/i (28 instances) ---
+const GenFeature Op1_Mods[] = {
+    {"ARV", 0, {{0xe890800000070000ull, 0x0ull}, {0xffffffffffefffffull, 0x0ull}}},
+    {"SYNC", 0, {{0xe890000000000000ull, 0x0ull}, {0xffffffffff00ffffull, 0x0ull}}},
+};
+const WindowRef Op1_Guard[] = {{0,16,4},};
+const WindowRef Op1_A0_W[] = {{0,20,27},{1,20,27},};
+const unsigned Op1_A0_B[] = {0,2,};
+const GenOperand Op1_Operands[] = {
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op1_A0_W, Op1_A0_B, 1},
+};
+const GenOperation Op1 = {"BAR/i", {{0xe890000000000000ull, 0x0ull}, {0xffff7fffff00ffffull, 0x0ull}}, Op1_Guard, 1, Op1_Operands, 1, Op1_Mods, 2};
+
+// --- BFE/rri (81 instances) ---
+const GenFeature Op2_Mods[] = {
+    {"U32", 0, {{0x1970800000870607ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op2_Guard[] = {{0,16,4},};
+const WindowRef Op2_A0_W[] = {{0,0,8},};
+const unsigned Op2_A0_B[] = {0,1,};
+const WindowRef Op2_A1_W[] = {{0,8,8},};
+const unsigned Op2_A1_B[] = {0,1,};
+const WindowRef Op2_A2_W[] = {{1,20,19},};
+const unsigned Op2_A2_B[] = {0,1,};
+const GenOperand Op2_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op2_A0_W, Op2_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op2_A1_W, Op2_A1_B, 1},
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op2_A2_W, Op2_A2_B, 1},
+};
+const GenOperation Op2 = {"BFE/rri", {{0x1970000000000000ull, 0x0ull}, {0xffff7f8000000000ull, 0x0ull}}, Op2_Guard, 1, Op2_Operands, 3, Op2_Mods, 1};
+
+// --- BFE/rrr (59 instances) ---
+const GenFeature Op3_Mods[] = {
+    {"U32", 0, {{0xe6a0800000000000ull, 0x0ull}, {0xfffffffff0000000ull, 0x0ull}}},
+};
+const WindowRef Op3_Guard[] = {{0,16,4},};
+const WindowRef Op3_A0_W[] = {{0,0,8},};
+const unsigned Op3_A0_B[] = {0,1,};
+const WindowRef Op3_A1_W[] = {{0,8,8},};
+const unsigned Op3_A1_B[] = {0,1,};
+const WindowRef Op3_A2_W[] = {{0,20,27},};
+const unsigned Op3_A2_B[] = {0,1,};
+const GenOperand Op3_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op3_A0_W, Op3_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op3_A1_W, Op3_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op3_A2_W, Op3_A2_B, 1},
+};
+const GenOperation Op3 = {"BFE/rrr", {{0xe6a0000000000000ull, 0x0ull}, {0xffff7ffff0000000ull, 0x0ull}}, Op3_Guard, 1, Op3_Operands, 3, Op3_Mods, 1};
+
+// --- BFI/rrrr (73 instances) ---
+const WindowRef Op4_Guard[] = {{0,16,4},};
+const WindowRef Op4_A0_W[] = {{0,0,8},};
+const unsigned Op4_A0_B[] = {0,1,};
+const WindowRef Op4_A1_W[] = {{0,8,8},};
+const unsigned Op4_A1_B[] = {0,1,};
+const WindowRef Op4_A2_W[] = {{0,20,19},};
+const unsigned Op4_A2_B[] = {0,1,};
+const WindowRef Op4_A3_W[] = {{0,39,15},};
+const unsigned Op4_A3_B[] = {0,1,};
+const GenOperand Op4_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op4_A0_W, Op4_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op4_A1_W, Op4_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op4_A2_W, Op4_A2_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op4_A3_W, Op4_A3_B, 1},
+};
+const GenOperation Op4 = {"BFI/rrrr", {{0x4c40000000000000ull, 0x0ull}, {0xffff807ff0000000ull, 0x0ull}}, Op4_Guard, 1, Op4_Operands, 4, nullptr, 0};
+
+// --- BRA/c (47 instances) ---
+const WindowRef Op5_Guard[] = {{0,16,4},};
+const WindowRef Op5_A0_W[] = {{0,34,19},{0,20,14},};
+const unsigned Op5_A0_B[] = {0,1,2,};
+const GenOperand Op5_Operands[] = {
+    {'c', nullptr, 0, nullptr, 0, nullptr, 0, Op5_A0_W, Op5_A0_B, 2},
+};
+const GenOperation Op5 = {"BRA/c", {{0x84e0000000000000ull, 0x0ull}, {0xffffff800000ffffull, 0x0ull}}, Op5_Guard, 1, Op5_Operands, 1, nullptr, 0};
+
+// --- BRA/i (70 instances) ---
+const WindowRef Op6_Guard[] = {{0,16,4},};
+const WindowRef Op6_A0_W[] = {{2,20,24},};
+const unsigned Op6_A0_B[] = {0,1,};
+const GenOperand Op6_Operands[] = {
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op6_A0_W, Op6_A0_B, 1},
+};
+const GenOperation Op6 = {"BRA/i", {{0x5210000000000000ull, 0x0ull}, {0xfffff0000000ffffull, 0x0ull}}, Op6_Guard, 1, Op6_Operands, 1, nullptr, 0};
+
+// --- BRK/ (10 instances) ---
+const WindowRef Op7_Guard[] = {{0,16,37},};
+const GenOperation Op7 = {"BRK/", {{0x7d20000000000000ull, 0x0ull}, {0xfffffffffff0ffffull, 0x0ull}}, Op7_Guard, 1, nullptr, 0, nullptr, 0};
+
+// --- CAL/i (57 instances) ---
+const WindowRef Op8_Guard[] = {{0,16,4},};
+const WindowRef Op8_A0_W[] = {{2,20,24},};
+const unsigned Op8_A0_B[] = {0,1,};
+const GenOperand Op8_Operands[] = {
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op8_A0_W, Op8_A0_B, 1},
+};
+const GenOperation Op8 = {"CAL/i", {{0xb7b0000000000000ull, 0x0ull}, {0xfffff0000000ffffull, 0x0ull}}, Op8_Guard, 1, Op8_Operands, 1, nullptr, 0};
+
+// --- DADD/rrf (86 instances) ---
+const GenFeature Op9_Mods[] = {
+    {"RM", 0, {{0xfa01000000000000ull, 0x0ull}, {0xffffff8000000000ull, 0x0ull}}},
+    {"RP", 0, {{0xfa02001fe007060aull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"RZ", 0, {{0xfa03001fe0070608ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op9_Guard[] = {{0,16,4},};
+const WindowRef Op9_A0_W[] = {{0,0,8},};
+const unsigned Op9_A0_B[] = {0,1,};
+const WindowRef Op9_A1_W[] = {{0,8,8},};
+const unsigned Op9_A1_B[] = {0,1,};
+const WindowRef Op9_A2_W[] = {{3,37,2},{3,38,1},{4,20,19},{4,21,18},{4,22,17},{4,23,16},{4,24,15},{4,25,14},{4,26,13},{4,27,12},{4,28,11},{4,29,10},{4,30,9},{4,31,8},{4,32,7},{4,33,6},{4,34,5},{4,35,4},{4,36,3},{4,37,2},{4,38,1},};
+const unsigned Op9_A2_B[] = {0,21,};
+const GenOperand Op9_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op9_A0_W, Op9_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op9_A1_W, Op9_A1_B, 1},
+    {'f', nullptr, 0, nullptr, 0, nullptr, 0, Op9_A2_W, Op9_A2_B, 1},
+};
+const GenOperation Op9 = {"DADD/rrf", {{0xfa00000000000000ull, 0x0ull}, {0xfffcff8000000000ull, 0x0ull}}, Op9_Guard, 1, Op9_Operands, 3, Op9_Mods, 3};
+
+// --- DADD/rrr (69 instances) ---
+const GenFeature Op10_Mods[] = {
+    {"RM", 0, {{0xc73100000087080aull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"RP", 0, {{0xc73200000087080aull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op10_Guard[] = {{0,16,4},};
+const WindowRef Op10_A0_W[] = {{0,0,8},};
+const unsigned Op10_A0_B[] = {0,1,};
+const GenFeature Op10_A1_U[] = {
+    {"-", 0, {{0xc73000004087080aull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"|", 0, {{0xc73000008087080aull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op10_A1_W[] = {{0,8,8},};
+const unsigned Op10_A1_B[] = {0,1,};
+const GenFeature Op10_A2_U[] = {
+    {"-", 0, {{0xc73000001087080aull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"|", 0, {{0xc73000002087080aull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op10_A2_W[] = {{0,20,8},};
+const unsigned Op10_A2_B[] = {0,1,};
+const GenOperand Op10_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op10_A0_W, Op10_A0_B, 1},
+    {'r', Op10_A1_U, 2, nullptr, 0, nullptr, 0, Op10_A1_W, Op10_A1_B, 1},
+    {'r', Op10_A2_U, 2, nullptr, 0, nullptr, 0, Op10_A2_W, Op10_A2_B, 1},
+};
+const GenOperation Op10 = {"DADD/rrr", {{0xc730000000000000ull, 0x0ull}, {0xfffcffff00000000ull, 0x0ull}}, Op10_Guard, 1, Op10_Operands, 3, Op10_Mods, 2};
+
+// --- DEPBAR/bz (29 instances) ---
+const GenFeature Op11_Mods[] = {
+    {"LE", 0, {{0x4e30800000000000ull, 0x0ull}, {0xffffffffe000ffffull, 0x0ull}}},
+};
+const WindowRef Op11_Guard[] = {{0,16,4},};
+const WindowRef Op11_A0_W[] = {{0,20,3},};
+const unsigned Op11_A0_B[] = {0,1,};
+const WindowRef Op11_A1_W[] = {{0,23,24},};
+const unsigned Op11_A1_B[] = {0,1,};
+const GenOperand Op11_Operands[] = {
+    {'b', nullptr, 0, nullptr, 0, nullptr, 0, Op11_A0_W, Op11_A0_B, 1},
+    {'z', nullptr, 0, nullptr, 0, nullptr, 0, Op11_A1_W, Op11_A1_B, 1},
+};
+const GenOperation Op11 = {"DEPBAR/bz", {{0x4e30000000000000ull, 0x0ull}, {0xffff7fffe000ffffull, 0x0ull}}, Op11_Guard, 1, Op11_Operands, 2, Op11_Mods, 1};
+
+// --- DFMA/rrrr (82 instances) ---
+const GenFeature Op12_Mods[] = {
+    {"RM", 0, {{0xb1e104000087080aull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"RP", 0, {{0xb1e204000087080aull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"RZ", 0, {{0xb1e3050010870a0cull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op12_Guard[] = {{0,16,4},};
+const WindowRef Op12_A0_W[] = {{0,0,8},};
+const unsigned Op12_A0_B[] = {0,1,};
+const GenFeature Op12_A1_U[] = {
+    {"-", 0, {{0xb1e004004087080aull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op12_A1_W[] = {{0,8,8},};
+const unsigned Op12_A1_B[] = {0,1,};
+const GenFeature Op12_A2_U[] = {
+    {"-", 0, {{0xb1e0040010870808ull, 0x0ull}, {0xfffcfefffffffdf9ull, 0x0ull}}},
+};
+const WindowRef Op12_A2_W[] = {{0,20,8},};
+const unsigned Op12_A2_B[] = {0,1,};
+const WindowRef Op12_A3_W[] = {{0,39,9},};
+const unsigned Op12_A3_B[] = {0,1,};
+const GenOperand Op12_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op12_A0_W, Op12_A0_B, 1},
+    {'r', Op12_A1_U, 1, nullptr, 0, nullptr, 0, Op12_A1_W, Op12_A1_B, 1},
+    {'r', Op12_A2_U, 1, nullptr, 0, nullptr, 0, Op12_A2_W, Op12_A2_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op12_A3_W, Op12_A3_B, 1},
+};
+const GenOperation Op12 = {"DFMA/rrrr", {{0xb1e0000000000000ull, 0x0ull}, {0xfffc807fa0000000ull, 0x0ull}}, Op12_Guard, 1, Op12_Operands, 4, Op12_Mods, 3};
+
+// --- DMUL/rrr (67 instances) ---
+const GenFeature Op13_Mods[] = {
+    {"RM", 0, {{0x2cd1000000a70a0cull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"RP", 0, {{0x2cd2000000a70a0cull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"RZ", 0, {{0x2cd3000000a7080cull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op13_Guard[] = {{0,16,4},};
+const WindowRef Op13_A0_W[] = {{0,0,8},};
+const unsigned Op13_A0_B[] = {0,1,};
+const GenFeature Op13_A1_U[] = {
+    {"-", 0, {{0x2cd0000040a70a0cull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op13_A1_W[] = {{0,8,8},};
+const unsigned Op13_A1_B[] = {0,1,};
+const GenFeature Op13_A2_U[] = {
+    {"-", 0, {{0x2cd0000010a70a0cull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op13_A2_W[] = {{0,20,8},};
+const unsigned Op13_A2_B[] = {0,1,};
+const GenOperand Op13_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op13_A0_W, Op13_A0_B, 1},
+    {'r', Op13_A1_U, 1, nullptr, 0, nullptr, 0, Op13_A1_W, Op13_A1_B, 1},
+    {'r', Op13_A2_U, 1, nullptr, 0, nullptr, 0, Op13_A2_W, Op13_A2_B, 1},
+};
+const GenOperation Op13 = {"DMUL/rrr", {{0x2cd0000000000000ull, 0x0ull}, {0xfffcffffa0000000ull, 0x0ull}}, Op13_Guard, 1, Op13_Operands, 3, Op13_Mods, 3};
+
+// --- EXIT/ (48 instances) ---
+const WindowRef Op14_Guard[] = {{0,16,36},};
+const GenOperation Op14 = {"EXIT/", {{0x1d50000000000000ull, 0x0ull}, {0xfffffffffff0ffffull, 0x0ull}}, Op14_Guard, 1, nullptr, 0, nullptr, 0};
+
+// --- F2F/rr (57 instances) ---
+const GenFeature Op15_Mods[] = {
+    {"F16", 1, {{0x9273000000c7000eull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"F32", 0, {{0x9271000000000000ull, 0x0ull}, {0xfff9fffcc000ff00ull, 0x0ull}}},
+    {"F32", 1, {{0x927500000087000aull, 0x0ull}, {0xffff7fffffbffffbull, 0x0ull}}},
+    {"F64", 0, {{0x927580000087000aull, 0x0ull}, {0xfffdffffffbffffbull, 0x0ull}}},
+    {"F64", 1, {{0x9277000000000000ull, 0x0ull}, {0xffff7ffcc000ff00ull, 0x0ull}}},
+    {"RM", 0, {{0x9277000100c7000eull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"RP", 0, {{0x9277000200c7000eull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op15_Guard[] = {{0,16,4},};
+const WindowRef Op15_A0_W[] = {{0,0,16},};
+const unsigned Op15_A0_B[] = {0,1,};
+const GenFeature Op15_A1_U[] = {
+    {"-", 0, {{0x9277000010c7000eull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"|", 0, {{0x9277000020c7000eull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op15_A1_W[] = {{0,20,8},};
+const unsigned Op15_A1_B[] = {0,1,};
+const GenOperand Op15_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op15_A0_W, Op15_A0_B, 1},
+    {'r', Op15_A1_U, 2, nullptr, 0, nullptr, 0, Op15_A1_W, Op15_A1_B, 1},
+};
+const GenOperation Op15 = {"F2F/rr", {{0x9271000000000000ull, 0x0ull}, {0xfff97ffcc000ff00ull, 0x0ull}}, Op15_Guard, 1, Op15_Operands, 2, Op15_Mods, 7};
+
+// --- F2I/rr (54 instances) ---
+const GenFeature Op16_Mods[] = {
+    {"F32", 0, {{0xc540000200000000ull, 0x0ull}, {0xfffc7fffc000ff00ull, 0x0ull}}},
+    {"F64", 0, {{0xc542800300e7000full, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"S32", 0, {{0xc542800200000000ull, 0x0ull}, {0xfffffffec000ff00ull, 0x0ull}}},
+    {"S64", 0, {{0xc543800200e7000full, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"S8", 0, {{0xc540800200e7000full, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"U32", 0, {{0xc542000200e7000full, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op16_Guard[] = {{0,16,4},};
+const WindowRef Op16_A0_W[] = {{0,0,16},};
+const unsigned Op16_A0_B[] = {0,1,};
+const GenFeature Op16_A1_U[] = {
+    {"-", 0, {{0xc542800210e7000full, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"|", 0, {{0xc542800220e7000full, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op16_A1_W[] = {{0,20,8},};
+const unsigned Op16_A1_B[] = {0,1,};
+const GenOperand Op16_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op16_A0_W, Op16_A0_B, 1},
+    {'r', Op16_A1_U, 2, nullptr, 0, nullptr, 0, Op16_A1_W, Op16_A1_B, 1},
+};
+const GenOperation Op16 = {"F2I/rr", {{0xc540000200000000ull, 0x0ull}, {0xfffc7ffec000ff00ull, 0x0ull}}, Op16_Guard, 1, Op16_Operands, 2, Op16_Mods, 6};
+
+// --- FADD/rrc (89 instances) ---
+const GenFeature Op17_Mods[] = {
+    {"FTZ", 0, {{0x6380800001c7050bull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"RM", 0, {{0x6381000001c7050bull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"RP", 0, {{0x6382000001c7050bull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op17_Guard[] = {{0,16,4},};
+const WindowRef Op17_A0_W[] = {{0,0,8},};
+const unsigned Op17_A0_B[] = {0,1,};
+const GenFeature Op17_A1_U[] = {
+    {"-", 0, {{0x6380008001c7050bull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"|", 0, {{0x6380010001c7050bull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op17_A1_W[] = {{0,8,8},};
+const unsigned Op17_A1_B[] = {0,1,};
+const WindowRef Op17_A2_W[] = {{0,34,5},{0,20,14},};
+const unsigned Op17_A2_B[] = {0,1,2,};
+const GenOperand Op17_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op17_A0_W, Op17_A0_B, 1},
+    {'r', Op17_A1_U, 2, nullptr, 0, nullptr, 0, Op17_A1_W, Op17_A1_B, 1},
+    {'c', nullptr, 0, nullptr, 0, nullptr, 0, Op17_A2_W, Op17_A2_B, 2},
+};
+const GenOperation Op17 = {"FADD/rrc", {{0x6380000000000000ull, 0x0ull}, {0xfffc7e0000000000ull, 0x0ull}}, Op17_Guard, 1, Op17_Operands, 3, Op17_Mods, 3};
+
+// --- FADD/rrf (90 instances) ---
+const GenFeature Op18_Mods[] = {
+    {"FTZ", 0, {{0x30b0809fc0070a0bull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"RM", 0, {{0x30b1009fc0070a0bull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"RP", 0, {{0x30b2009fc0070a0bull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op18_Guard[] = {{0,16,4},};
+const WindowRef Op18_A0_W[] = {{0,0,8},};
+const unsigned Op18_A0_B[] = {0,1,};
+const GenFeature Op18_A1_U[] = {
+    {"-", 0, {{0x30b0008000000000ull, 0x0ull}, {0xfffc7ea000000000ull, 0x0ull}}},
+    {"|", 0, {{0x30b0019fc0070a0bull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op18_A1_W[] = {{0,8,8},};
+const unsigned Op18_A1_B[] = {0,1,};
+const WindowRef Op18_A2_W[] = {{3,20,19},{3,21,18},{3,22,17},{3,23,16},{3,24,15},{3,25,14},{3,26,13},{3,27,12},{3,28,11},{3,29,10},{3,30,9},{3,31,8},{3,32,7},{3,33,6},{3,34,5},{3,35,4},{3,36,3},{3,37,2},{3,38,1},{4,37,2},{4,38,1},};
+const unsigned Op18_A2_B[] = {0,21,};
+const GenOperand Op18_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op18_A0_W, Op18_A0_B, 1},
+    {'r', Op18_A1_U, 2, nullptr, 0, nullptr, 0, Op18_A1_W, Op18_A1_B, 1},
+    {'f', nullptr, 0, nullptr, 0, nullptr, 0, Op18_A2_W, Op18_A2_B, 1},
+};
+const GenOperation Op18 = {"FADD/rrf", {{0x30b0000000000000ull, 0x0ull}, {0xfffc7e2000000000ull, 0x0ull}}, Op18_Guard, 1, Op18_Operands, 3, Op18_Mods, 3};
+
+// --- FADD/rrr (92 instances) ---
+const GenFeature Op19_Mods[] = {
+    {"FTZ", 0, {{0xfde0800000070601ull, 0x0ull}, {0xffffffffdf2ffef1ull, 0x0ull}}},
+    {"RM", 0, {{0xfde1000000870709ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"RP", 0, {{0xfde2000000870709ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op19_Guard[] = {{0,16,4},};
+const WindowRef Op19_A0_W[] = {{0,0,8},};
+const unsigned Op19_A0_B[] = {0,1,};
+const GenFeature Op19_A1_U[] = {
+    {"-", 0, {{0xfde0000040870709ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"|", 0, {{0xfde0000080870709ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const GenFeature Op19_A1_M[] = {
+    {"reuse", 0, {{0xfde8000000870709ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op19_A1_W[] = {{0,8,8},};
+const unsigned Op19_A1_B[] = {0,1,};
+const GenFeature Op19_A2_U[] = {
+    {"-", 0, {{0xfde0000010070000ull, 0x0ull}, {0xffffffffff0ff0f0ull, 0x0ull}}},
+    {"|", 0, {{0xfde0000020070601ull, 0x0ull}, {0xffff7fffff2ffef1ull, 0x0ull}}},
+};
+const WindowRef Op19_A2_W[] = {{0,20,8},};
+const unsigned Op19_A2_B[] = {0,1,};
+const GenOperand Op19_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op19_A0_W, Op19_A0_B, 1},
+    {'r', Op19_A1_U, 2, nullptr, 0, Op19_A1_M, 1, Op19_A1_W, Op19_A1_B, 1},
+    {'r', Op19_A2_U, 2, nullptr, 0, nullptr, 0, Op19_A2_W, Op19_A2_B, 1},
+};
+const GenOperation Op19 = {"FADD/rrr", {{0xfde0000000000000ull, 0x0ull}, {0xfff47fff00000000ull, 0x0ull}}, Op19_Guard, 1, Op19_Operands, 3, Op19_Mods, 3};
+
+// --- FFMA/rrcr (102 instances) ---
+const GenFeature Op20_Mods[] = {
+    {"FTZ", 0, {{0x9460860001470d0eull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op20_Guard[] = {{0,16,4},};
+const WindowRef Op20_A0_W[] = {{0,0,8},};
+const unsigned Op20_A0_B[] = {0,1,};
+const WindowRef Op20_A1_W[] = {{0,8,8},};
+const unsigned Op20_A1_B[] = {0,1,};
+const WindowRef Op20_A2_W[] = {{0,34,5},{0,20,14},};
+const unsigned Op20_A2_B[] = {0,1,2,};
+const WindowRef Op20_A3_W[] = {{0,39,8},};
+const unsigned Op20_A3_B[] = {0,1,};
+const GenOperand Op20_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op20_A0_W, Op20_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op20_A1_W, Op20_A1_B, 1},
+    {'c', nullptr, 0, nullptr, 0, nullptr, 0, Op20_A2_W, Op20_A2_B, 2},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op20_A3_W, Op20_A3_B, 1},
+};
+const GenOperation Op20 = {"FFMA/rrcr", {{0x9460000000000000ull, 0x0ull}, {0xffff000000000000ull, 0x0ull}}, Op20_Guard, 1, Op20_Operands, 4, Op20_Mods, 1};
+
+// --- FFMA/rrfr (98 instances) ---
+const GenFeature Op21_Mods[] = {
+    {"FTZ", 0, {{0x619086e04007060eull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op21_Guard[] = {{0,16,4},};
+const WindowRef Op21_A0_W[] = {{0,0,8},};
+const unsigned Op21_A0_B[] = {0,1,};
+const WindowRef Op21_A1_W[] = {{0,8,8},};
+const unsigned Op21_A1_B[] = {0,1,};
+const WindowRef Op21_A2_W[] = {{3,20,19},{3,21,18},{3,22,17},{3,23,16},{3,24,15},{3,25,14},{3,26,13},{3,27,12},{3,28,11},{3,29,10},{3,30,9},{3,31,8},{3,32,7},{3,33,6},{3,34,5},{3,35,4},{3,36,3},{3,37,2},{3,38,1},{4,37,2},{4,38,1},};
+const unsigned Op21_A2_B[] = {0,21,};
+const WindowRef Op21_A3_W[] = {{0,39,8},};
+const unsigned Op21_A3_B[] = {0,1,};
+const GenOperand Op21_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op21_A0_W, Op21_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op21_A1_W, Op21_A1_B, 1},
+    {'f', nullptr, 0, nullptr, 0, nullptr, 0, Op21_A2_W, Op21_A2_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op21_A3_W, Op21_A3_B, 1},
+};
+const GenOperation Op21 = {"FFMA/rrfr", {{0x6190000000000000ull, 0x0ull}, {0xffff000000000000ull, 0x0ull}}, Op21_Guard, 1, Op21_Operands, 4, Op21_Mods, 1};
+
+// --- FFMA/rrrr (86 instances) ---
+const GenFeature Op22_Mods[] = {
+    {"FTZ", 0, {{0x2ec084800077070aull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op22_Guard[] = {{0,16,4},};
+const WindowRef Op22_A0_W[] = {{0,0,8},};
+const unsigned Op22_A0_B[] = {0,1,};
+const GenFeature Op22_A1_U[] = {
+    {"-", 0, {{0x2ec004804077070aull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op22_A1_W[] = {{0,8,8},};
+const unsigned Op22_A1_B[] = {0,1,};
+const GenFeature Op22_A2_U[] = {
+    {"-", 0, {{0x2ec004001077020aull, 0x0ull}, {0xffffff7ffffff2feull, 0x0ull}}},
+};
+const WindowRef Op22_A2_W[] = {{0,20,8},};
+const unsigned Op22_A2_B[] = {0,1,};
+const WindowRef Op22_A3_W[] = {{0,39,8},};
+const unsigned Op22_A3_B[] = {0,1,};
+const GenOperand Op22_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op22_A0_W, Op22_A0_B, 1},
+    {'r', Op22_A1_U, 1, nullptr, 0, nullptr, 0, Op22_A1_W, Op22_A1_B, 1},
+    {'r', Op22_A2_U, 1, nullptr, 0, nullptr, 0, Op22_A2_W, Op22_A2_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op22_A3_W, Op22_A3_B, 1},
+};
+const GenOperation Op22 = {"FFMA/rrrr", {{0x2ec0000000000000ull, 0x0ull}, {0xffff007fa0000000ull, 0x0ull}}, Op22_Guard, 1, Op22_Operands, 4, Op22_Mods, 1};
+
+// --- FMNMX/rrcp (93 instances) ---
+const GenFeature Op23_Mods[] = {
+    {"FTZ", 0, {{0xbd80838001470d0eull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op23_Guard[] = {{0,16,4},};
+const WindowRef Op23_A0_W[] = {{0,0,8},};
+const unsigned Op23_A0_B[] = {0,1,};
+const GenFeature Op23_A1_U[] = {
+    {"-", 0, {{0xbd800b8001470d0eull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"|", 0, {{0xbd80138001470d0eull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op23_A1_W[] = {{0,8,8},};
+const unsigned Op23_A1_B[] = {0,1,};
+const WindowRef Op23_A2_W[] = {{0,34,5},{0,20,14},};
+const unsigned Op23_A2_B[] = {0,1,2,};
+const GenFeature Op23_A3_U[] = {
+    {"!", 0, {{0xbd80078001470d0eull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op23_A3_W[] = {{0,39,3},};
+const unsigned Op23_A3_B[] = {0,1,};
+const GenOperand Op23_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op23_A0_W, Op23_A0_B, 1},
+    {'r', Op23_A1_U, 2, nullptr, 0, nullptr, 0, Op23_A1_W, Op23_A1_B, 1},
+    {'c', nullptr, 0, nullptr, 0, nullptr, 0, Op23_A2_W, Op23_A2_B, 2},
+    {'p', Op23_A3_U, 1, nullptr, 0, nullptr, 0, Op23_A3_W, Op23_A3_B, 1},
+};
+const GenOperation Op23 = {"FMNMX/rrcp", {{0xbd80000000000000ull, 0x0ull}, {0xffff600000000000ull, 0x0ull}}, Op23_Guard, 1, Op23_Operands, 4, Op23_Mods, 1};
+
+// --- FMNMX/rrfp (91 instances) ---
+const GenFeature Op24_Mods[] = {
+    {"FTZ", 0, {{0x8ab0839fc0070708ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op24_Guard[] = {{0,16,4},};
+const WindowRef Op24_A0_W[] = {{0,0,8},};
+const unsigned Op24_A0_B[] = {0,1,};
+const GenFeature Op24_A1_U[] = {
+    {"-", 0, {{0x8ab00b9fc0070708ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"|", 0, {{0x8ab0139fc0070708ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op24_A1_W[] = {{0,8,8},};
+const unsigned Op24_A1_B[] = {0,1,};
+const WindowRef Op24_A2_W[] = {{3,20,19},{3,21,18},{3,22,17},{3,23,16},{3,24,15},{3,25,14},{3,26,13},{3,27,12},{3,28,11},{3,29,10},{3,30,9},{3,31,8},{3,32,7},{3,33,6},{3,34,5},{3,35,4},{3,36,3},{3,37,2},{3,38,1},{4,37,2},{4,38,1},};
+const unsigned Op24_A2_B[] = {0,21,};
+const GenFeature Op24_A3_U[] = {
+    {"!", 0, {{0x8ab0079fc0070708ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op24_A3_W[] = {{0,39,3},};
+const unsigned Op24_A3_B[] = {0,1,};
+const GenOperand Op24_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op24_A0_W, Op24_A0_B, 1},
+    {'r', Op24_A1_U, 2, nullptr, 0, nullptr, 0, Op24_A1_W, Op24_A1_B, 1},
+    {'f', nullptr, 0, nullptr, 0, nullptr, 0, Op24_A2_W, Op24_A2_B, 1},
+    {'p', Op24_A3_U, 1, nullptr, 0, nullptr, 0, Op24_A3_W, Op24_A3_B, 1},
+};
+const GenOperation Op24 = {"FMNMX/rrfp", {{0x8ab0000000000000ull, 0x0ull}, {0xffff602000000000ull, 0x0ull}}, Op24_Guard, 1, Op24_Operands, 4, Op24_Mods, 1};
+
+// --- FMNMX/rrrp (75 instances) ---
+const GenFeature Op25_Mods[] = {
+    {"FTZ", 0, {{0x57e0838000770e07ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op25_Guard[] = {{0,16,4},};
+const WindowRef Op25_A0_W[] = {{0,0,8},};
+const unsigned Op25_A0_B[] = {0,1,};
+const GenFeature Op25_A1_U[] = {
+    {"-", 0, {{0x57e0038040770e07ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"|", 0, {{0x57e0038080770e07ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op25_A1_W[] = {{0,8,8},};
+const unsigned Op25_A1_B[] = {0,1,};
+const GenFeature Op25_A2_U[] = {
+    {"-", 0, {{0x57e0038010770e07ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"|", 0, {{0x57e0038020770e07ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op25_A2_W[] = {{0,20,8},};
+const unsigned Op25_A2_B[] = {0,1,};
+const GenFeature Op25_A3_U[] = {
+    {"!", 0, {{0x57e0078000770e07ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op25_A3_W[] = {{0,39,3},};
+const unsigned Op25_A3_B[] = {0,1,};
+const GenOperand Op25_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op25_A0_W, Op25_A0_B, 1},
+    {'r', Op25_A1_U, 2, nullptr, 0, nullptr, 0, Op25_A1_W, Op25_A1_B, 1},
+    {'r', Op25_A2_U, 2, nullptr, 0, nullptr, 0, Op25_A2_W, Op25_A2_B, 1},
+    {'p', Op25_A3_U, 1, nullptr, 0, nullptr, 0, Op25_A3_W, Op25_A3_B, 1},
+};
+const GenOperation Op25 = {"FMNMX/rrrp", {{0x57e0000000000000ull, 0x0ull}, {0xffff787f00000000ull, 0x0ull}}, Op25_Guard, 1, Op25_Operands, 4, Op25_Mods, 1};
+
+// --- FMUL/rrc (92 instances) ---
+const GenFeature Op26_Mods[] = {
+    {"FTZ", 0, {{0xfbf0800001470506ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"RM", 0, {{0xfbf1000001470506ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"RP", 0, {{0xfbf2000001470506ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op26_Guard[] = {{0,16,4},};
+const WindowRef Op26_A0_W[] = {{0,0,8},};
+const unsigned Op26_A0_B[] = {0,1,};
+const GenFeature Op26_A1_U[] = {
+    {"-", 0, {{0xfbf0008001470506ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"|", 0, {{0xfbf0010001470506ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op26_A1_W[] = {{0,8,8},};
+const unsigned Op26_A1_B[] = {0,1,};
+const WindowRef Op26_A2_W[] = {{0,34,5},{0,20,14},};
+const unsigned Op26_A2_B[] = {0,1,2,};
+const GenOperand Op26_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op26_A0_W, Op26_A0_B, 1},
+    {'r', Op26_A1_U, 2, nullptr, 0, nullptr, 0, Op26_A1_W, Op26_A1_B, 1},
+    {'c', nullptr, 0, nullptr, 0, nullptr, 0, Op26_A2_W, Op26_A2_B, 2},
+};
+const GenOperation Op26 = {"FMUL/rrc", {{0xfbf0000000000000ull, 0x0ull}, {0xfffc7e0000000000ull, 0x0ull}}, Op26_Guard, 1, Op26_Operands, 3, Op26_Mods, 3};
+
+// --- FMUL/rrf (95 instances) ---
+const GenFeature Op27_Mods[] = {
+    {"FTZ", 0, {{0xc920801f8007090aull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"RM", 0, {{0xc921001f8007090aull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"RP", 0, {{0xc922001f8007090aull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op27_Guard[] = {{0,16,4},};
+const WindowRef Op27_A0_W[] = {{0,0,8},};
+const unsigned Op27_A0_B[] = {0,1,};
+const GenFeature Op27_A1_U[] = {
+    {"-", 0, {{0xc920009f8007090aull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"|", 0, {{0xc920011f8007090aull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op27_A1_W[] = {{0,8,8},};
+const unsigned Op27_A1_B[] = {0,1,};
+const WindowRef Op27_A2_W[] = {{3,20,19},{3,21,18},{3,22,17},{3,23,16},{3,24,15},{3,25,14},{3,26,13},{3,27,12},{3,28,11},{3,29,10},{3,30,9},{3,31,8},{3,32,7},{3,33,6},{3,34,5},{3,35,4},{3,36,3},{3,37,2},{3,38,1},{4,37,2},{4,38,1},};
+const unsigned Op27_A2_B[] = {0,21,};
+const GenOperand Op27_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op27_A0_W, Op27_A0_B, 1},
+    {'r', Op27_A1_U, 2, nullptr, 0, nullptr, 0, Op27_A1_W, Op27_A1_B, 1},
+    {'f', nullptr, 0, nullptr, 0, nullptr, 0, Op27_A2_W, Op27_A2_B, 1},
+};
+const GenOperation Op27 = {"FMUL/rrf", {{0xc920000000000000ull, 0x0ull}, {0xfffc7e0000000000ull, 0x0ull}}, Op27_Guard, 1, Op27_Operands, 3, Op27_Mods, 3};
+
+// --- FMUL/rrr (89 instances) ---
+const GenFeature Op28_Mods[] = {
+    {"FTZ", 0, {{0x9650800000000000ull, 0x0ull}, {0xfff4ffff00000000ull, 0x0ull}}},
+    {"RM", 0, {{0x9651800000a70b0cull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"RP", 0, {{0x9652800000a70b0cull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op28_Guard[] = {{0,16,4},};
+const WindowRef Op28_A0_W[] = {{0,0,8},};
+const unsigned Op28_A0_B[] = {0,1,};
+const GenFeature Op28_A1_U[] = {
+    {"-", 0, {{0x9650800040a70b0cull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"|", 0, {{0x9650800080a70b0cull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const GenFeature Op28_A1_M[] = {
+    {"reuse", 0, {{0x9658800000a70b0cull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op28_A1_W[] = {{0,8,8},};
+const unsigned Op28_A1_B[] = {0,1,};
+const GenFeature Op28_A2_U[] = {
+    {"-", 0, {{0x9650800010a70b0cull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"|", 0, {{0x9650800020a70b0cull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op28_A2_W[] = {{0,20,8},};
+const unsigned Op28_A2_B[] = {0,1,};
+const GenOperand Op28_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op28_A0_W, Op28_A0_B, 1},
+    {'r', Op28_A1_U, 2, nullptr, 0, Op28_A1_M, 1, Op28_A1_W, Op28_A1_B, 1},
+    {'r', Op28_A2_U, 2, nullptr, 0, nullptr, 0, Op28_A2_W, Op28_A2_B, 1},
+};
+const GenOperation Op28 = {"FMUL/rrr", {{0x9650000000000000ull, 0x0ull}, {0xfff47fff00000000ull, 0x0ull}}, Op28_Guard, 1, Op28_Operands, 3, Op28_Mods, 3};
+
+// --- FSETP/pprcp (91 instances) ---
+const GenFeature Op29_Mods[] = {
+    {"AND", 0, {{0x28f2000000000000ull, 0x0ull}, {0xfffe7800000000c0ull, 0x0ull}}},
+    {"GE", 0, {{0x28f3038001470938ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"GT", 0, {{0x28f2000000000000ull, 0x0ull}, {0xffffe000000000c0ull, 0x0ull}}},
+    {"NE", 0, {{0x28f2838001470938ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"OR", 0, {{0x28f20b8001470938ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"XOR", 0, {{0x28f2138001470938ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op29_Guard[] = {{0,16,4},};
+const WindowRef Op29_A0_W[] = {{0,0,3},};
+const unsigned Op29_A0_B[] = {0,1,};
+const WindowRef Op29_A1_W[] = {{0,3,5},};
+const unsigned Op29_A1_B[] = {0,1,};
+const WindowRef Op29_A2_W[] = {{0,8,8},};
+const unsigned Op29_A2_B[] = {0,1,};
+const WindowRef Op29_A3_W[] = {{0,34,5},{0,20,14},};
+const unsigned Op29_A3_B[] = {0,1,2,};
+const GenFeature Op29_A4_U[] = {
+    {"!", 0, {{0x28f2078001470938ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op29_A4_W[] = {{0,39,3},};
+const unsigned Op29_A4_B[] = {0,1,};
+const GenOperand Op29_Operands[] = {
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op29_A0_W, Op29_A0_B, 1},
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op29_A1_W, Op29_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op29_A2_W, Op29_A2_B, 1},
+    {'c', nullptr, 0, nullptr, 0, nullptr, 0, Op29_A3_W, Op29_A3_B, 2},
+    {'p', Op29_A4_U, 1, nullptr, 0, nullptr, 0, Op29_A4_W, Op29_A4_B, 1},
+};
+const GenOperation Op29 = {"FSETP/pprcp", {{0x28f2000000000000ull, 0x0ull}, {0xfffe6000000000c0ull, 0x0ull}}, Op29_Guard, 1, Op29_Operands, 5, Op29_Mods, 6};
+
+// --- FSETP/pprfp (91 instances) ---
+const GenFeature Op30_Mods[] = {
+    {"AND", 0, {{0xf620000000000000ull, 0x0ull}, {0xfffc7820000000c0ull, 0x0ull}}},
+    {"GE", 0, {{0xf623038000070a38ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"GT", 0, {{0xf622081fc0070839ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"LE", 0, {{0xf62183dfc0070838ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"LT", 0, {{0xf620800000000000ull, 0x0ull}, {0xffffe020000000c0ull, 0x0ull}}},
+    {"NE", 0, {{0xf62283dfc0070838ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"OR", 0, {{0xf620081fc0070838ull, 0x0ull}, {0xfffd7c3ffffffffeull, 0x0ull}}},
+    {"XOR", 0, {{0xf62093dfc0070838ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op30_Guard[] = {{0,16,4},};
+const WindowRef Op30_A0_W[] = {{0,0,3},};
+const unsigned Op30_A0_B[] = {0,1,};
+const WindowRef Op30_A1_W[] = {{0,3,5},};
+const unsigned Op30_A1_B[] = {0,1,};
+const WindowRef Op30_A2_W[] = {{0,8,8},};
+const unsigned Op30_A2_B[] = {0,1,};
+const WindowRef Op30_A3_W[] = {{3,20,19},{3,21,18},{3,22,17},{3,23,16},{3,24,15},{3,25,14},{3,26,13},{3,27,12},{3,28,11},{3,29,10},{3,30,9},{3,31,8},{3,32,7},{3,33,6},{3,34,5},{3,35,4},{3,36,3},{3,37,2},{3,38,1},{4,37,2},{4,38,1},};
+const unsigned Op30_A3_B[] = {0,21,};
+const GenFeature Op30_A4_U[] = {
+    {"!", 0, {{0xf62087dfc0070838ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op30_A4_W[] = {{0,39,3},};
+const unsigned Op30_A4_B[] = {0,1,};
+const GenOperand Op30_Operands[] = {
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op30_A0_W, Op30_A0_B, 1},
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op30_A1_W, Op30_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op30_A2_W, Op30_A2_B, 1},
+    {'f', nullptr, 0, nullptr, 0, nullptr, 0, Op30_A3_W, Op30_A3_B, 1},
+    {'p', Op30_A4_U, 1, nullptr, 0, nullptr, 0, Op30_A4_W, Op30_A4_B, 1},
+};
+const GenOperation Op30 = {"FSETP/pprfp", {{0xf620000000000000ull, 0x0ull}, {0xfffc6020000000c0ull, 0x0ull}}, Op30_Guard, 1, Op30_Operands, 5, Op30_Mods, 8};
+
+// --- FSETP/pprrp (69 instances) ---
+const GenFeature Op31_Mods[] = {
+    {"AND", 0, {{0xc350800000000000ull, 0x0ull}, {0xfffcf87ff00000c0ull, 0x0ull}}},
+    {"LE", 0, {{0xc351838000770e38ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"LT", 0, {{0xc350800000000000ull, 0x0ull}, {0xffffe07ff00000c0ull, 0x0ull}}},
+    {"NE", 0, {{0xc352838000770e38ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"OR", 0, {{0xc3508b8000770e38ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"XOR", 0, {{0xc350938000770e38ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op31_Guard[] = {{0,16,4},};
+const WindowRef Op31_A0_W[] = {{0,0,3},};
+const unsigned Op31_A0_B[] = {0,1,};
+const WindowRef Op31_A1_W[] = {{0,3,5},};
+const unsigned Op31_A1_B[] = {0,1,};
+const WindowRef Op31_A2_W[] = {{0,8,8},};
+const unsigned Op31_A2_B[] = {0,1,};
+const WindowRef Op31_A3_W[] = {{0,20,19},};
+const unsigned Op31_A3_B[] = {0,1,};
+const GenFeature Op31_A4_U[] = {
+    {"!", 0, {{0xc350878000770e38ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op31_A4_W[] = {{0,39,3},};
+const unsigned Op31_A4_B[] = {0,1,};
+const GenOperand Op31_Operands[] = {
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op31_A0_W, Op31_A0_B, 1},
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op31_A1_W, Op31_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op31_A2_W, Op31_A2_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op31_A3_W, Op31_A3_B, 1},
+    {'p', Op31_A4_U, 1, nullptr, 0, nullptr, 0, Op31_A4_W, Op31_A4_B, 1},
+};
+const GenOperation Op31 = {"FSETP/pprrp", {{0xc350800000000000ull, 0x0ull}, {0xfffce07ff00000c0ull, 0x0ull}}, Op31_Guard, 1, Op31_Operands, 5, Op31_Mods, 6};
+
+// --- I2F/rr (53 instances) ---
+const GenFeature Op32_Mods[] = {
+    {"F32", 0, {{0xf810000200000000ull, 0x0ull}, {0xfffc7fffe000ff00ull, 0x0ull}}},
+    {"F64", 0, {{0xf812800300670007ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"S32", 0, {{0xf812800200000000ull, 0x0ull}, {0xfffffffee000ff00ull, 0x0ull}}},
+    {"S64", 0, {{0xf813800200670007ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"S8", 0, {{0xf810800200670007ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"U32", 0, {{0xf812000200070000ull, 0x0ull}, {0xffffffffff0ffff0ull, 0x0ull}}},
+};
+const WindowRef Op32_Guard[] = {{0,16,4},};
+const WindowRef Op32_A0_W[] = {{0,0,16},};
+const unsigned Op32_A0_B[] = {0,1,};
+const GenFeature Op32_A1_U[] = {
+    {"-", 0, {{0xf812800210670007ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op32_A1_W[] = {{0,20,8},};
+const unsigned Op32_A1_B[] = {0,1,};
+const GenOperand Op32_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op32_A0_W, Op32_A0_B, 1},
+    {'r', Op32_A1_U, 1, nullptr, 0, nullptr, 0, Op32_A1_W, Op32_A1_B, 1},
+};
+const GenOperation Op32 = {"I2F/rr", {{0xf810000200000000ull, 0x0ull}, {0xfffc7ffee000ff00ull, 0x0ull}}, Op32_Guard, 1, Op32_Operands, 2, Op32_Mods, 6};
+
+// --- IADD/rrc (82 instances) ---
+const GenFeature Op33_Mods[] = {
+    {"X", 0, {{0x9c20800001470508ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op33_Guard[] = {{0,16,4},};
+const WindowRef Op33_A0_W[] = {{0,0,8},};
+const unsigned Op33_A0_B[] = {0,1,};
+const WindowRef Op33_A1_W[] = {{0,8,8},};
+const unsigned Op33_A1_B[] = {0,1,};
+const WindowRef Op33_A2_W[] = {{0,34,13},{0,20,14},};
+const unsigned Op33_A2_B[] = {0,1,2,};
+const GenOperand Op33_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op33_A0_W, Op33_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op33_A1_W, Op33_A1_B, 1},
+    {'c', nullptr, 0, nullptr, 0, nullptr, 0, Op33_A2_W, Op33_A2_B, 2},
+};
+const GenOperation Op33 = {"IADD/rrc", {{0x9c20000000000000ull, 0x0ull}, {0xffff7f8000000000ull, 0x0ull}}, Op33_Guard, 1, Op33_Operands, 3, Op33_Mods, 1};
+
+// --- IADD/rri (95 instances) ---
+const GenFeature Op34_Mods[] = {
+    {"X", 0, {{0x6950800000170a0aull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op34_Guard[] = {{0,16,4},};
+const WindowRef Op34_A0_W[] = {{0,0,8},};
+const unsigned Op34_A0_B[] = {0,1,};
+const WindowRef Op34_A1_W[] = {{0,8,8},};
+const unsigned Op34_A1_B[] = {0,1,};
+const WindowRef Op34_A2_W[] = {{1,20,19},};
+const unsigned Op34_A2_B[] = {0,1,};
+const GenOperand Op34_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op34_A0_W, Op34_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op34_A1_W, Op34_A1_B, 1},
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op34_A2_W, Op34_A2_B, 1},
+};
+const GenOperation Op34 = {"IADD/rri", {{0x6950000000000000ull, 0x0ull}, {0xffff7f8000000000ull, 0x0ull}}, Op34_Guard, 1, Op34_Operands, 3, Op34_Mods, 1};
+
+// --- IADD/rrr (121 instances) ---
+const GenFeature Op35_Mods[] = {
+    {"X", 0, {{0x3680800000470500ull, 0x0ull}, {0xffffffffffdffff2ull, 0x0ull}}},
+};
+const WindowRef Op35_Guard[] = {{0,16,4},};
+const WindowRef Op35_A0_W[] = {{0,0,8},};
+const unsigned Op35_A0_B[] = {0,1,};
+const GenFeature Op35_A1_U[] = {
+    {"-", 0, {{0x3680000040470505ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const GenFeature Op35_A1_M[] = {
+    {"reuse", 0, {{0x3688000000470505ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op35_A1_W[] = {{0,8,8},};
+const unsigned Op35_A1_B[] = {0,1,};
+const GenFeature Op35_A2_U[] = {
+    {"-", 0, {{0x3680000010070405ull, 0x0ull}, {0xffffffffff2ff6f7ull, 0x0ull}}},
+};
+const WindowRef Op35_A2_W[] = {{0,20,8},};
+const unsigned Op35_A2_B[] = {0,1,};
+const GenOperand Op35_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op35_A0_W, Op35_A0_B, 1},
+    {'r', Op35_A1_U, 1, nullptr, 0, Op35_A1_M, 1, Op35_A1_W, Op35_A1_B, 1},
+    {'r', Op35_A2_U, 1, nullptr, 0, nullptr, 0, Op35_A2_W, Op35_A2_B, 1},
+};
+const GenOperation Op35 = {"IADD/rrr", {{0x3680000000000000ull, 0x0ull}, {0xfff77fffa0000000ull, 0x0ull}}, Op35_Guard, 1, Op35_Operands, 3, Op35_Mods, 1};
+
+// --- IADD3/rrrr (77 instances) ---
+const WindowRef Op36_Guard[] = {{0,16,4},};
+const WindowRef Op36_A0_W[] = {{0,0,8},};
+const unsigned Op36_A0_B[] = {0,1,};
+const GenFeature Op36_A1_U[] = {
+    {"-", 0, {{0xe2c005004097080bull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op36_A1_W[] = {{0,8,8},};
+const unsigned Op36_A1_B[] = {0,1,};
+const GenFeature Op36_A2_U[] = {
+    {"-", 0, {{0xe2c005001097080bull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op36_A2_W[] = {{0,20,8},};
+const unsigned Op36_A2_B[] = {0,1,};
+const WindowRef Op36_A3_W[] = {{0,39,15},};
+const unsigned Op36_A3_B[] = {0,1,};
+const GenOperand Op36_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op36_A0_W, Op36_A0_B, 1},
+    {'r', Op36_A1_U, 1, nullptr, 0, nullptr, 0, Op36_A1_W, Op36_A1_B, 1},
+    {'r', Op36_A2_U, 1, nullptr, 0, nullptr, 0, Op36_A2_W, Op36_A2_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op36_A3_W, Op36_A3_B, 1},
+};
+const GenOperation Op36 = {"IADD3/rrrr", {{0xe2c0000000000000ull, 0x0ull}, {0xffff807fa0000000ull, 0x0ull}}, Op36_Guard, 1, Op36_Operands, 4, nullptr, 0};
+
+// --- IADD32I/rri (105 instances) ---
+const WindowRef Op37_Guard[] = {{0,16,4},};
+const WindowRef Op37_A0_W[] = {{0,0,8},};
+const unsigned Op37_A0_B[] = {0,1,};
+const WindowRef Op37_A1_W[] = {{0,8,8},};
+const unsigned Op37_A1_B[] = {0,1,};
+const WindowRef Op37_A2_W[] = {{1,20,32},};
+const unsigned Op37_A2_B[] = {0,1,};
+const GenOperand Op37_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op37_A0_W, Op37_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op37_A1_W, Op37_A1_B, 1},
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op37_A2_W, Op37_A2_B, 1},
+};
+const GenOperation Op37 = {"IADD32I/rri", {{0xcef0000000000000ull, 0x0ull}, {0xfff0000000000000ull, 0x0ull}}, Op37_Guard, 1, Op37_Operands, 3, nullptr, 0};
+
+// --- IMAD/rrcr (95 instances) ---
+const WindowRef Op38_Guard[] = {{0,16,4},};
+const WindowRef Op38_A0_W[] = {{0,0,8},};
+const unsigned Op38_A0_B[] = {0,1,};
+const WindowRef Op38_A1_W[] = {{0,8,8},};
+const unsigned Op38_A1_B[] = {0,1,};
+const WindowRef Op38_A2_W[] = {{0,34,5},{0,20,14},};
+const unsigned Op38_A2_B[] = {0,1,2,};
+const WindowRef Op38_A3_W[] = {{0,39,13},};
+const unsigned Op38_A3_B[] = {0,1,};
+const GenOperand Op38_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op38_A0_W, Op38_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op38_A1_W, Op38_A1_B, 1},
+    {'c', nullptr, 0, nullptr, 0, nullptr, 0, Op38_A2_W, Op38_A2_B, 2},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op38_A3_W, Op38_A3_B, 1},
+};
+const GenOperation Op38 = {"IMAD/rrcr", {{0xffd0000000000000ull, 0x0ull}, {0xffff800000000000ull, 0x0ull}}, Op38_Guard, 1, Op38_Operands, 4, nullptr, 0};
+
+// --- IMAD/rrir (95 instances) ---
+const WindowRef Op39_Guard[] = {{0,16,4},};
+const WindowRef Op39_A0_W[] = {{0,0,8},};
+const unsigned Op39_A0_B[] = {0,1,};
+const WindowRef Op39_A1_W[] = {{0,8,8},};
+const unsigned Op39_A1_B[] = {0,1,};
+const WindowRef Op39_A2_W[] = {{1,20,19},};
+const unsigned Op39_A2_B[] = {0,1,};
+const WindowRef Op39_A3_W[] = {{0,39,17},};
+const unsigned Op39_A3_B[] = {0,1,};
+const GenOperand Op39_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op39_A0_W, Op39_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op39_A1_W, Op39_A1_B, 1},
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op39_A2_W, Op39_A2_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op39_A3_W, Op39_A3_B, 1},
+};
+const GenOperation Op39 = {"IMAD/rrir", {{0xcd00000000000000ull, 0x0ull}, {0xffff800000000000ull, 0x0ull}}, Op39_Guard, 1, Op39_Operands, 4, nullptr, 0};
+
+// --- IMAD/rrri (95 instances) ---
+const WindowRef Op40_Guard[] = {{0,16,4},};
+const WindowRef Op40_A0_W[] = {{0,0,8},};
+const unsigned Op40_A0_B[] = {0,1,};
+const WindowRef Op40_A1_W[] = {{0,8,8},};
+const unsigned Op40_A1_B[] = {0,1,};
+const WindowRef Op40_A2_W[] = {{0,39,14},};
+const unsigned Op40_A2_B[] = {0,1,};
+const WindowRef Op40_A3_W[] = {{1,20,19},};
+const unsigned Op40_A3_B[] = {0,1,};
+const GenOperand Op40_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op40_A0_W, Op40_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op40_A1_W, Op40_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op40_A2_W, Op40_A2_B, 1},
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op40_A3_W, Op40_A3_B, 1},
+};
+const GenOperation Op40 = {"IMAD/rrri", {{0x32a0000000000000ull, 0x0ull}, {0xffff800000000000ull, 0x0ull}}, Op40_Guard, 1, Op40_Operands, 4, nullptr, 0};
+
+// --- IMAD/rrrr (114 instances) ---
+const WindowRef Op41_Guard[] = {{0,16,4},};
+const WindowRef Op41_A0_W[] = {{0,0,8},};
+const unsigned Op41_A0_B[] = {0,1,};
+const WindowRef Op41_A1_W[] = {{0,8,8},};
+const unsigned Op41_A1_B[] = {0,1,};
+const GenFeature Op41_A2_U[] = {
+    {"-", 0, {{0x9a30000010270103ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op41_A2_W[] = {{0,20,8},};
+const unsigned Op41_A2_B[] = {0,1,};
+const WindowRef Op41_A3_W[] = {{0,39,13},};
+const unsigned Op41_A3_B[] = {0,1,};
+const GenOperand Op41_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op41_A0_W, Op41_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op41_A1_W, Op41_A1_B, 1},
+    {'r', Op41_A2_U, 1, nullptr, 0, nullptr, 0, Op41_A2_W, Op41_A2_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op41_A3_W, Op41_A3_B, 1},
+};
+const GenOperation Op41 = {"IMAD/rrrr", {{0x9a30000000000000ull, 0x0ull}, {0xffff807fe0000000ull, 0x0ull}}, Op41_Guard, 1, Op41_Operands, 4, nullptr, 0};
+
+// --- IMNMX/rrrp (70 instances) ---
+const WindowRef Op42_Guard[] = {{0,16,4},};
+const WindowRef Op42_A0_W[] = {{0,0,8},};
+const unsigned Op42_A0_B[] = {0,1,};
+const WindowRef Op42_A1_W[] = {{0,8,8},};
+const unsigned Op42_A1_B[] = {0,1,};
+const WindowRef Op42_A2_W[] = {{0,20,19},};
+const unsigned Op42_A2_B[] = {0,1,};
+const GenFeature Op42_A3_U[] = {
+    {"!", 0, {{0xcb10078000170008ull, 0x0ull}, {0xffffffffff1ff1fcull, 0x0ull}}},
+};
+const WindowRef Op42_A3_W[] = {{0,39,3},};
+const unsigned Op42_A3_B[] = {0,1,};
+const GenOperand Op42_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op42_A0_W, Op42_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op42_A1_W, Op42_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op42_A2_W, Op42_A2_B, 1},
+    {'p', Op42_A3_U, 1, nullptr, 0, nullptr, 0, Op42_A3_W, Op42_A3_B, 1},
+};
+const GenOperation Op42 = {"IMNMX/rrrp", {{0xcb10000000000000ull, 0x0ull}, {0xfffff87ff0000000ull, 0x0ull}}, Op42_Guard, 1, Op42_Operands, 4, nullptr, 0};
+
+// --- IMUL/rrc (81 instances) ---
+const GenFeature Op43_Mods[] = {
+    {"HI", 0, {{0x6760800000000000ull, 0x0ull}, {0xffffff8000000000ull, 0x0ull}}},
+};
+const WindowRef Op43_Guard[] = {{0,16,4},};
+const WindowRef Op43_A0_W[] = {{0,0,8},};
+const unsigned Op43_A0_B[] = {0,1,};
+const WindowRef Op43_A1_W[] = {{0,8,8},};
+const unsigned Op43_A1_B[] = {0,1,};
+const WindowRef Op43_A2_W[] = {{0,34,13},{0,20,14},};
+const unsigned Op43_A2_B[] = {0,1,2,};
+const GenOperand Op43_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op43_A0_W, Op43_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op43_A1_W, Op43_A1_B, 1},
+    {'c', nullptr, 0, nullptr, 0, nullptr, 0, Op43_A2_W, Op43_A2_B, 2},
+};
+const GenOperation Op43 = {"IMUL/rrc", {{0x6760000000000000ull, 0x0ull}, {0xffff7f8000000000ull, 0x0ull}}, Op43_Guard, 1, Op43_Operands, 3, Op43_Mods, 1};
+
+// --- IMUL/rri (81 instances) ---
+const GenFeature Op44_Mods[] = {
+    {"HI", 0, {{0x3490800002470306ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op44_Guard[] = {{0,16,4},};
+const WindowRef Op44_A0_W[] = {{0,0,8},};
+const unsigned Op44_A0_B[] = {0,1,};
+const WindowRef Op44_A1_W[] = {{0,8,8},};
+const unsigned Op44_A1_B[] = {0,1,};
+const WindowRef Op44_A2_W[] = {{1,20,19},};
+const unsigned Op44_A2_B[] = {0,1,};
+const GenOperand Op44_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op44_A0_W, Op44_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op44_A1_W, Op44_A1_B, 1},
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op44_A2_W, Op44_A2_B, 1},
+};
+const GenOperation Op44 = {"IMUL/rri", {{0x3490000000000000ull, 0x0ull}, {0xffff7f8000000000ull, 0x0ull}}, Op44_Guard, 1, Op44_Operands, 3, Op44_Mods, 1};
+
+// --- IMUL/rrr (60 instances) ---
+const GenFeature Op45_Mods[] = {
+    {"HI", 0, {{0x1c0800000770608ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op45_Guard[] = {{0,16,4},};
+const WindowRef Op45_A0_W[] = {{0,0,8},};
+const unsigned Op45_A0_B[] = {0,1,};
+const WindowRef Op45_A1_W[] = {{0,8,8},};
+const unsigned Op45_A1_B[] = {0,1,};
+const WindowRef Op45_A2_W[] = {{0,20,27},};
+const unsigned Op45_A2_B[] = {0,1,};
+const GenOperand Op45_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op45_A0_W, Op45_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op45_A1_W, Op45_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op45_A2_W, Op45_A2_B, 1},
+};
+const GenOperation Op45 = {"IMUL/rrr", {{0x1c0000000000000ull, 0x0ull}, {0xffff7ffff0000000ull, 0x0ull}}, Op45_Guard, 1, Op45_Operands, 3, Op45_Mods, 1};
+
+// --- ISETP/pprcp (95 instances) ---
+const GenFeature Op46_Mods[] = {
+    {"AND", 0, {{0x9080000000000000ull, 0x0ull}, {0xfffc7800000000c0ull, 0x0ull}}},
+    {"GE", 0, {{0x9083038001470738ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"LE", 0, {{0x9081838000c70939ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"LT", 0, {{0x9080800000000000ull, 0x0ull}, {0xffffe000000000c0ull, 0x0ull}}},
+    {"NE", 0, {{0x9082838000c70939ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"OR", 0, {{0x90808b8000c70939ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"XOR", 0, {{0x9080938000c70939ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op46_Guard[] = {{0,16,4},};
+const WindowRef Op46_A0_W[] = {{0,0,3},};
+const unsigned Op46_A0_B[] = {0,1,};
+const WindowRef Op46_A1_W[] = {{0,3,5},};
+const unsigned Op46_A1_B[] = {0,1,};
+const WindowRef Op46_A2_W[] = {{0,8,8},};
+const unsigned Op46_A2_B[] = {0,1,};
+const WindowRef Op46_A3_W[] = {{0,34,5},{0,20,14},};
+const unsigned Op46_A3_B[] = {0,1,2,};
+const GenFeature Op46_A4_U[] = {
+    {"!", 0, {{0x9080878000c70939ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op46_A4_W[] = {{0,39,3},};
+const unsigned Op46_A4_B[] = {0,1,};
+const GenOperand Op46_Operands[] = {
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op46_A0_W, Op46_A0_B, 1},
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op46_A1_W, Op46_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op46_A2_W, Op46_A2_B, 1},
+    {'c', nullptr, 0, nullptr, 0, nullptr, 0, Op46_A3_W, Op46_A3_B, 2},
+    {'p', Op46_A4_U, 1, nullptr, 0, nullptr, 0, Op46_A4_W, Op46_A4_B, 1},
+};
+const GenOperation Op46 = {"ISETP/pprcp", {{0x9080000000000000ull, 0x0ull}, {0xfffc6000000000c0ull, 0x0ull}}, Op46_Guard, 1, Op46_Operands, 5, Op46_Mods, 7};
+
+// --- ISETP/pprip (95 instances) ---
+const GenFeature Op47_Mods[] = {
+    {"AND", 0, {{0x5db0000000000000ull, 0x0ull}, {0xfffc7800000000c0ull, 0x0ull}}},
+    {"GT", 0, {{0x5db2038001070238ull, 0x0ull}, {0xfffffffffffff2fdull, 0x0ull}}},
+    {"LE", 0, {{0x5db183800087073aull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"LT", 0, {{0x5db0800000000000ull, 0x0ull}, {0xffffe000000000c0ull, 0x0ull}}},
+    {"NE", 0, {{0x5db283800087073aull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"OR", 0, {{0x5db08b800087073aull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"XOR", 0, {{0x5db093800087073aull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op47_Guard[] = {{0,16,4},};
+const WindowRef Op47_A0_W[] = {{0,0,3},};
+const unsigned Op47_A0_B[] = {0,1,};
+const WindowRef Op47_A1_W[] = {{0,3,5},};
+const unsigned Op47_A1_B[] = {0,1,};
+const WindowRef Op47_A2_W[] = {{0,8,8},};
+const unsigned Op47_A2_B[] = {0,1,};
+const WindowRef Op47_A3_W[] = {{1,20,19},};
+const unsigned Op47_A3_B[] = {0,1,};
+const GenFeature Op47_A4_U[] = {
+    {"!", 0, {{0x5db087800087073aull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op47_A4_W[] = {{0,39,3},};
+const unsigned Op47_A4_B[] = {0,1,};
+const GenOperand Op47_Operands[] = {
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op47_A0_W, Op47_A0_B, 1},
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op47_A1_W, Op47_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op47_A2_W, Op47_A2_B, 1},
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op47_A3_W, Op47_A3_B, 1},
+    {'p', Op47_A4_U, 1, nullptr, 0, nullptr, 0, Op47_A4_W, Op47_A4_B, 1},
+};
+const GenOperation Op47 = {"ISETP/pprip", {{0x5db0000000000000ull, 0x0ull}, {0xfffc6000000000c0ull, 0x0ull}}, Op47_Guard, 1, Op47_Operands, 5, Op47_Mods, 7};
+
+// --- ISETP/pprrp (75 instances) ---
+const GenFeature Op48_Mods[] = {
+    {"AND", 0, {{0x2ae0000000000000ull, 0x0ull}, {0xfffc787ff00000c0ull, 0x0ull}}},
+    {"EQ", 0, {{0x2ae1038000670038ull, 0x0ull}, {0xfffffffff06ff7feull, 0x0ull}}},
+    {"GE", 0, {{0x2ae3038000170238ull, 0x0ull}, {0xffffffffff3ff6fdull, 0x0ull}}},
+    {"GT", 0, {{0x2ae203800ff70238ull, 0x0ull}, {0xfffffffffffff3feull, 0x0ull}}},
+    {"LT", 0, {{0x2ae0838000670039ull, 0x0ull}, {0xfffffffff06ff1ffull, 0x0ull}}},
+    {"NE", 0, {{0x2ae2800000000000ull, 0x0ull}, {0xffffe07ff00000c0ull, 0x0ull}}},
+    {"OR", 0, {{0x2ae28b800ff70639ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"XOR", 0, {{0x2ae293800ff70639ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op48_Guard[] = {{0,16,4},};
+const WindowRef Op48_A0_W[] = {{0,0,3},};
+const unsigned Op48_A0_B[] = {0,1,};
+const WindowRef Op48_A1_W[] = {{0,3,5},};
+const unsigned Op48_A1_B[] = {0,1,};
+const WindowRef Op48_A2_W[] = {{0,8,8},};
+const unsigned Op48_A2_B[] = {0,1,};
+const WindowRef Op48_A3_W[] = {{0,20,8},};
+const unsigned Op48_A3_B[] = {0,1,};
+const GenFeature Op48_A4_U[] = {
+    {"!", 0, {{0x2ae287800ff70639ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op48_A4_W[] = {{0,39,3},};
+const unsigned Op48_A4_B[] = {0,1,};
+const GenOperand Op48_Operands[] = {
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op48_A0_W, Op48_A0_B, 1},
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op48_A1_W, Op48_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op48_A2_W, Op48_A2_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op48_A3_W, Op48_A3_B, 1},
+    {'p', Op48_A4_U, 1, nullptr, 0, nullptr, 0, Op48_A4_W, Op48_A4_B, 1},
+};
+const GenOperation Op48 = {"ISETP/pprrp", {{0x2ae0000000000000ull, 0x0ull}, {0xfffc607ff00000c0ull, 0x0ull}}, Op48_Guard, 1, Op48_Operands, 5, Op48_Mods, 8};
+
+// --- LD/rm (96 instances) ---
+const GenFeature Op49_Mods[] = {
+    {"64", 0, {{0xf052800000870508ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"S16", 0, {{0xf052000000070506ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"S8", 0, {{0xf051000000070506ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"U8", 0, {{0xf050800000070506ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op49_Guard[] = {{0,16,4},};
+const WindowRef Op49_A0_W[] = {{0,0,8},};
+const unsigned Op49_A0_B[] = {0,1,};
+const WindowRef Op49_A1_W[] = {{0,8,8},{1,20,24},};
+const unsigned Op49_A1_B[] = {0,1,2,};
+const GenOperand Op49_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op49_A0_W, Op49_A0_B, 1},
+    {'m', nullptr, 0, nullptr, 0, nullptr, 0, Op49_A1_W, Op49_A1_B, 2},
+};
+const GenOperation Op49 = {"LD/rm", {{0xf050000000000000ull, 0x0ull}, {0xfffc700000000000ull, 0x0ull}}, Op49_Guard, 1, Op49_Operands, 2, Op49_Mods, 4};
+
+// --- LDC/rC (88 instances) ---
+const GenFeature Op50_Mods[] = {
+    {"64", 0, {{0x86d2800000870106ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"S16", 0, {{0x86d2003000070005ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"S8", 0, {{0x86d1003000070005ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"U8", 0, {{0x86d0803000070005ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op50_Guard[] = {{0,16,4},};
+const WindowRef Op50_A0_W[] = {{0,0,8},};
+const unsigned Op50_A0_B[] = {0,1,};
+const WindowRef Op50_A1_W[] = {{0,36,11},{0,20,16},{0,8,8},};
+const unsigned Op50_A1_B[] = {0,1,2,3,};
+const GenOperand Op50_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op50_A0_W, Op50_A0_B, 1},
+    {'C', nullptr, 0, nullptr, 0, nullptr, 0, Op50_A1_W, Op50_A1_B, 3},
+};
+const GenOperation Op50 = {"LDC/rC", {{0x86d0000000000000ull, 0x0ull}, {0xfffc7f0000000000ull, 0x0ull}}, Op50_Guard, 1, Op50_Operands, 2, Op50_Mods, 4};
+
+// --- LDG/rm (143 instances) ---
+const GenFeature Op51_Mods[] = {
+    {"64", 0, {{0x55f6800000070400ull, 0x0ull}, {0xfffffffffffffcf1ull, 0x0ull}}},
+    {"E", 0, {{0x55f4000000000000ull, 0x0ull}, {0xfffc700000000000ull, 0x0ull}}},
+    {"S16", 0, {{0x55f6000000070506ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"S8", 0, {{0x55f5000000070506ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"U8", 0, {{0x55f4800000070506ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op51_Guard[] = {{0,16,4},};
+const WindowRef Op51_A0_W[] = {{0,0,8},};
+const unsigned Op51_A0_B[] = {0,1,};
+const WindowRef Op51_A1_W[] = {{0,8,8},{1,20,24},};
+const unsigned Op51_A1_B[] = {0,1,2,};
+const GenOperand Op51_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op51_A0_W, Op51_A0_B, 1},
+    {'m', nullptr, 0, nullptr, 0, nullptr, 0, Op51_A1_W, Op51_A1_B, 2},
+};
+const GenOperation Op51 = {"LDG/rm", {{0x55f0000000000000ull, 0x0ull}, {0xfff8700000000000ull, 0x0ull}}, Op51_Guard, 1, Op51_Operands, 2, Op51_Mods, 5};
+
+// --- LDL/rm (96 instances) ---
+const GenFeature Op52_Mods[] = {
+    {"S16", 0, {{0xbb92000000070405ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"S8", 0, {{0xbb91000000070405ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"U8", 0, {{0xbb90800000070405ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op52_Guard[] = {{0,16,4},};
+const WindowRef Op52_A0_W[] = {{0,0,8},};
+const unsigned Op52_A0_B[] = {0,1,};
+const WindowRef Op52_A1_W[] = {{0,8,8},{1,20,24},};
+const unsigned Op52_A1_B[] = {0,1,2,};
+const GenOperand Op52_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op52_A0_W, Op52_A0_B, 1},
+    {'m', nullptr, 0, nullptr, 0, nullptr, 0, Op52_A1_W, Op52_A1_B, 2},
+};
+const GenOperation Op52 = {"LDL/rm", {{0xbb90000000000000ull, 0x0ull}, {0xfffc700000000000ull, 0x0ull}}, Op52_Guard, 1, Op52_Operands, 2, Op52_Mods, 3};
+
+// --- LDS/rm (114 instances) ---
+const GenFeature Op53_Mods[] = {
+    {"S16", 0, {{0x213200000007040dull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"S8", 0, {{0x213100000007040dull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"U8", 0, {{0x213080000007040dull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op53_Guard[] = {{0,16,4},};
+const WindowRef Op53_A0_W[] = {{0,0,8},};
+const unsigned Op53_A0_B[] = {0,1,};
+const WindowRef Op53_A1_W[] = {{0,8,8},{1,20,24},};
+const unsigned Op53_A1_B[] = {0,1,2,};
+const GenOperand Op53_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op53_A0_W, Op53_A0_B, 1},
+    {'m', nullptr, 0, nullptr, 0, nullptr, 0, Op53_A1_W, Op53_A1_B, 2},
+};
+const GenOperation Op53 = {"LDS/rm", {{0x2130000000000000ull, 0x0ull}, {0xfffc700000000000ull, 0x0ull}}, Op53_Guard, 1, Op53_Operands, 2, Op53_Mods, 3};
+
+// --- LOP/rrc (83 instances) ---
+const GenFeature Op54_Mods[] = {
+    {"AND", 0, {{0x59d0000000000000ull, 0x0ull}, {0xffffff8000000000ull, 0x0ull}}},
+    {"OR", 0, {{0x59d0800002070c0dull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"XOR", 0, {{0x59d1000002070c0dull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op54_Guard[] = {{0,16,4},};
+const WindowRef Op54_A0_W[] = {{0,0,8},};
+const unsigned Op54_A0_B[] = {0,1,};
+const WindowRef Op54_A1_W[] = {{0,8,8},};
+const unsigned Op54_A1_B[] = {0,1,};
+const WindowRef Op54_A2_W[] = {{0,34,13},{0,20,14},};
+const unsigned Op54_A2_B[] = {0,1,2,};
+const GenOperand Op54_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op54_A0_W, Op54_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op54_A1_W, Op54_A1_B, 1},
+    {'c', nullptr, 0, nullptr, 0, nullptr, 0, Op54_A2_W, Op54_A2_B, 2},
+};
+const GenOperation Op54 = {"LOP/rrc", {{0x59d0000000000000ull, 0x0ull}, {0xfffe7f8000000000ull, 0x0ull}}, Op54_Guard, 1, Op54_Operands, 3, Op54_Mods, 3};
+
+// --- LOP/rri (87 instances) ---
+const GenFeature Op55_Mods[] = {
+    {"AND", 0, {{0x2700000000000000ull, 0x0ull}, {0xffffff8000000000ull, 0x0ull}}},
+    {"OR", 0, {{0x2700800000170708ull, 0x0ull}, {0xfffffffff01fffffull, 0x0ull}}},
+    {"XOR", 0, {{0x270100000ff70708ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op55_Guard[] = {{0,16,4},};
+const WindowRef Op55_A0_W[] = {{0,0,8},};
+const unsigned Op55_A0_B[] = {0,1,};
+const WindowRef Op55_A1_W[] = {{0,8,8},};
+const unsigned Op55_A1_B[] = {0,1,};
+const WindowRef Op55_A2_W[] = {{1,20,19},};
+const unsigned Op55_A2_B[] = {0,1,};
+const GenOperand Op55_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op55_A0_W, Op55_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op55_A1_W, Op55_A1_B, 1},
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op55_A2_W, Op55_A2_B, 1},
+};
+const GenOperation Op55 = {"LOP/rri", {{0x2700000000000000ull, 0x0ull}, {0xfffe7f8000000000ull, 0x0ull}}, Op55_Guard, 1, Op55_Operands, 3, Op55_Mods, 3};
+
+// --- LOP/rrr (62 instances) ---
+const GenFeature Op56_Mods[] = {
+    {"AND", 0, {{0xf430000000870b0cull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"OR", 0, {{0xf430800000000000ull, 0x0ull}, {0xffffffffe0000000ull, 0x0ull}}},
+    {"XOR", 0, {{0xf431000000770608ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op56_Guard[] = {{0,16,4},};
+const WindowRef Op56_A0_W[] = {{0,0,8},};
+const unsigned Op56_A0_B[] = {0,1,};
+const WindowRef Op56_A1_W[] = {{0,8,8},};
+const unsigned Op56_A1_B[] = {0,1,};
+const GenFeature Op56_A2_U[] = {
+    {"~", 0, {{0xf430800010870b0cull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op56_A2_W[] = {{0,20,8},};
+const unsigned Op56_A2_B[] = {0,1,};
+const GenOperand Op56_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op56_A0_W, Op56_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op56_A1_W, Op56_A1_B, 1},
+    {'r', Op56_A2_U, 1, nullptr, 0, nullptr, 0, Op56_A2_W, Op56_A2_B, 1},
+};
+const GenOperation Op56 = {"LOP/rrr", {{0xf430000000000000ull, 0x0ull}, {0xfffe7fffe0000000ull, 0x0ull}}, Op56_Guard, 1, Op56_Operands, 3, Op56_Mods, 3};
+
+// --- LOP3/rrrri (89 instances) ---
+const WindowRef Op57_Guard[] = {{0,16,4},};
+const WindowRef Op57_A0_W[] = {{0,0,8},};
+const unsigned Op57_A0_B[] = {0,1,};
+const WindowRef Op57_A1_W[] = {{0,8,8},};
+const unsigned Op57_A1_B[] = {0,1,};
+const WindowRef Op57_A2_W[] = {{0,20,8},};
+const unsigned Op57_A2_B[] = {0,1,};
+const WindowRef Op57_A3_W[] = {{0,39,13},};
+const unsigned Op57_A3_B[] = {0,1,};
+const WindowRef Op57_A4_W[] = {{0,28,11},{1,28,11},};
+const unsigned Op57_A4_B[] = {0,2,};
+const GenOperand Op57_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op57_A0_W, Op57_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op57_A1_W, Op57_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op57_A2_W, Op57_A2_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op57_A3_W, Op57_A3_B, 1},
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op57_A4_W, Op57_A4_B, 1},
+};
+const GenOperation Op57 = {"LOP3/rrrri", {{0xaff0000000000000ull, 0x0ull}, {0xffff807000000000ull, 0x0ull}}, Op57_Guard, 1, Op57_Operands, 5, nullptr, 0};
+
+// --- MEMBAR/ (11 instances) ---
+const GenFeature Op58_Mods[] = {
+    {"CTA", 0, {{0x1b60000000070000ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"GL", 0, {{0x1b60800000000000ull, 0x0ull}, {0xfffffffffff0ffffull, 0x0ull}}},
+};
+const WindowRef Op58_Guard[] = {{0,16,31},};
+const GenOperation Op58 = {"MEMBAR/", {{0x1b60000000000000ull, 0x0ull}, {0xffff7ffffff0ffffull, 0x0ull}}, Op58_Guard, 1, nullptr, 0, Op58_Mods, 2};
+
+// --- MOV/rc (153 instances) ---
+const WindowRef Op59_Guard[] = {{0,16,4},};
+const WindowRef Op59_A0_W[] = {{0,0,16},};
+const unsigned Op59_A0_B[] = {0,1,};
+const WindowRef Op59_A1_W[] = {{0,34,20},{0,20,14},};
+const unsigned Op59_A1_B[] = {0,1,2,};
+const GenOperand Op59_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op59_A0_W, Op59_A0_B, 1},
+    {'c', nullptr, 0, nullptr, 0, nullptr, 0, Op59_A1_W, Op59_A1_B, 2},
+};
+const GenOperation Op59 = {"MOV/rc", {{0x6b40000000000000ull, 0x0ull}, {0xffffff800000ff00ull, 0x0ull}}, Op59_Guard, 1, Op59_Operands, 2, nullptr, 0};
+
+// --- MOV/ri (65 instances) ---
+const WindowRef Op60_Guard[] = {{0,16,4},};
+const WindowRef Op60_A0_W[] = {{0,0,16},};
+const unsigned Op60_A0_B[] = {0,1,};
+const WindowRef Op60_A1_W[] = {{1,20,19},};
+const unsigned Op60_A1_B[] = {0,1,};
+const GenOperand Op60_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op60_A0_W, Op60_A0_B, 1},
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op60_A1_W, Op60_A1_B, 1},
+};
+const GenOperation Op60 = {"MOV/ri", {{0x3870000000000000ull, 0x0ull}, {0xffffff800000ff00ull, 0x0ull}}, Op60_Guard, 1, Op60_Operands, 2, nullptr, 0};
+
+// --- MOV/rr (52 instances) ---
+const WindowRef Op61_Guard[] = {{0,16,4},};
+const WindowRef Op61_A0_W[] = {{0,0,16},};
+const unsigned Op61_A0_B[] = {0,1,};
+const WindowRef Op61_A1_W[] = {{0,20,8},};
+const unsigned Op61_A1_B[] = {0,1,};
+const GenOperand Op61_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op61_A0_W, Op61_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op61_A1_W, Op61_A1_B, 1},
+};
+const GenOperation Op61 = {"MOV/rr", {{0x5a0000000000000ull, 0x0ull}, {0xfffffffff000ff00ull, 0x0ull}}, Op61_Guard, 1, Op61_Operands, 2, nullptr, 0};
+
+// --- MOV32I/rc (67 instances) ---
+const WindowRef Op62_Guard[] = {{0,16,4},};
+const WindowRef Op62_A0_W[] = {{0,0,16},};
+const unsigned Op62_A0_B[] = {0,1,};
+const WindowRef Op62_A1_W[] = {{0,36,17},{0,20,16},};
+const unsigned Op62_A1_B[] = {0,1,2,};
+const GenOperand Op62_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op62_A0_W, Op62_A0_B, 1},
+    {'c', nullptr, 0, nullptr, 0, nullptr, 0, Op62_A1_W, Op62_A1_B, 2},
+};
+const GenOperation Op62 = {"MOV32I/rc", {{0xd0e0000000000000ull, 0x0ull}, {0xfffffe000000ff00ull, 0x0ull}}, Op62_Guard, 1, Op62_Operands, 2, nullptr, 0};
+
+// --- MOV32I/ri (93 instances) ---
+const WindowRef Op63_Guard[] = {{0,16,4},};
+const WindowRef Op63_A0_W[] = {{0,0,16},};
+const unsigned Op63_A0_B[] = {0,1,};
+const WindowRef Op63_A1_W[] = {{0,20,32},};
+const unsigned Op63_A1_B[] = {0,1,};
+const GenOperand Op63_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op63_A0_W, Op63_A0_B, 1},
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op63_A1_W, Op63_A1_B, 1},
+};
+const GenOperation Op63 = {"MOV32I/ri", {{0x9e10000000000000ull, 0x0ull}, {0xfff000000000ff00ull, 0x0ull}}, Op63_Guard, 1, Op63_Operands, 2, nullptr, 0};
+
+// --- MUFU/rr (64 instances) ---
+const GenFeature Op64_Mods[] = {
+    {"COS", 0, {{0x5fa0000000070600ull, 0x0ull}, {0xfffffffffffffff0ull, 0x0ull}}},
+    {"EX2", 0, {{0x5fa1000000000000ull, 0x0ull}, {0xffffffff3ff00000ull, 0x0ull}}},
+    {"LG2", 0, {{0x5fa1800000070002ull, 0x0ull}, {0xffffffff7ffff0f2ull, 0x0ull}}},
+    {"RCP", 0, {{0x5fa2000000070008ull, 0x0ull}, {0xfffffffffffff0f8ull, 0x0ull}}},
+    {"RSQ", 0, {{0x5fa2800000070000ull, 0x0ull}, {0xffffffff7fffe0e0ull, 0x0ull}}},
+    {"SIN", 0, {{0x5fa0800000070600ull, 0x0ull}, {0xfffffffffffff6e8ull, 0x0ull}}},
+};
+const WindowRef Op64_Guard[] = {{0,16,14},};
+const WindowRef Op64_A0_W[] = {{0,0,8},};
+const unsigned Op64_A0_B[] = {0,1,};
+const GenFeature Op64_A1_U[] = {
+    {"-", 0, {{0x5fa1000040070001ull, 0x0ull}, {0xfffffffffffff1f1ull, 0x0ull}}},
+    {"|", 0, {{0x5fa0000080070000ull, 0x0ull}, {0xfffc7ffffffff0f0ull, 0x0ull}}},
+};
+const WindowRef Op64_A1_W[] = {{0,8,8},};
+const unsigned Op64_A1_B[] = {0,1,};
+const GenOperand Op64_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op64_A0_W, Op64_A0_B, 1},
+    {'r', Op64_A1_U, 2, nullptr, 0, nullptr, 0, Op64_A1_W, Op64_A1_B, 1},
+};
+const GenOperation Op64 = {"MUFU/rr", {{0x5fa0000000000000ull, 0x0ull}, {0xfffc7fff3ff00000ull, 0x0ull}}, Op64_Guard, 1, Op64_Operands, 2, Op64_Mods, 6};
+
+// --- NOP/ (41 instances) ---
+const WindowRef Op65_Guard[] = {{0,16,37},};
+const GenOperation Op65 = {"NOP/", {{0x5020000000000000ull, 0x0ull}, {0xfffffffffff0ffffull, 0x0ull}}, Op65_Guard, 1, nullptr, 0, nullptr, 0};
+
+// --- PBK/i (57 instances) ---
+const WindowRef Op66_Guard[] = {{0,16,4},};
+const WindowRef Op66_A0_W[] = {{2,20,24},};
+const unsigned Op66_A0_B[] = {0,1,};
+const GenOperand Op66_Operands[] = {
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op66_A0_W, Op66_A0_B, 1},
+};
+const GenOperation Op66 = {"PBK/i", {{0x4a50000000000000ull, 0x0ull}, {0xfffff0000000ffffull, 0x0ull}}, Op66_Guard, 1, Op66_Operands, 1, nullptr, 0};
+
+// --- POPC/rr (41 instances) ---
+const WindowRef Op67_Guard[] = {{0,16,4},};
+const WindowRef Op67_A0_W[] = {{0,0,16},};
+const unsigned Op67_A0_B[] = {0,1,};
+const WindowRef Op67_A1_W[] = {{0,20,32},};
+const unsigned Op67_A1_B[] = {0,1,};
+const GenOperand Op67_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op67_A0_W, Op67_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op67_A1_W, Op67_A1_B, 1},
+};
+const GenOperation Op67 = {"POPC/rr", {{0x7f10000000000000ull, 0x0ull}, {0xfffffffff000ff00ull, 0x0ull}}, Op67_Guard, 1, Op67_Operands, 2, nullptr, 0};
+
+// --- PSETP/ppppp (52 instances) ---
+const GenFeature Op68_Mods[] = {
+    {"AND", 0, {{0x5bc0000000000000ull, 0x0ull}, {0xfffdf87fff00f0c0ull, 0x0ull}}},
+    {"AND", 1, {{0x5bc0038000170008ull, 0x0ull}, {0xffff7fffffdff5cdull, 0x0ull}}},
+    {"OR", 0, {{0x5bc0838000170008ull, 0x0ull}, {0xfffdffffffdff5cdull, 0x0ull}}},
+    {"OR", 1, {{0x5bc2000000000000ull, 0x0ull}, {0xfffe787fff00f0c0ull, 0x0ull}}},
+    {"XOR", 0, {{0x5bc3038000370208ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op68_Guard[] = {{0,16,4},};
+const WindowRef Op68_A0_W[] = {{0,0,3},};
+const unsigned Op68_A0_B[] = {0,1,};
+const WindowRef Op68_A1_W[] = {{0,3,5},};
+const unsigned Op68_A1_B[] = {0,1,};
+const GenFeature Op68_A2_U[] = {
+    {"!", 0, {{0x5bc0038000170808ull, 0x0ull}, {0xfffd7fffffdffdcdull, 0x0ull}}},
+};
+const WindowRef Op68_A2_W[] = {{0,8,3},};
+const unsigned Op68_A2_B[] = {0,1,};
+const GenFeature Op68_A3_U[] = {
+    {"!", 0, {{0x5bc2038000b70208ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op68_A3_W[] = {{0,20,3},};
+const unsigned Op68_A3_B[] = {0,1,};
+const GenFeature Op68_A4_U[] = {
+    {"!", 0, {{0x5bc2078000370208ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op68_A4_W[] = {{0,39,3},};
+const unsigned Op68_A4_B[] = {0,1,};
+const GenOperand Op68_Operands[] = {
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op68_A0_W, Op68_A0_B, 1},
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op68_A1_W, Op68_A1_B, 1},
+    {'p', Op68_A2_U, 1, nullptr, 0, nullptr, 0, Op68_A2_W, Op68_A2_B, 1},
+    {'p', Op68_A3_U, 1, nullptr, 0, nullptr, 0, Op68_A3_W, Op68_A3_B, 1},
+    {'p', Op68_A4_U, 1, nullptr, 0, nullptr, 0, Op68_A4_W, Op68_A4_B, 1},
+};
+const GenOperation Op68 = {"PSETP/ppppp", {{0x5bc0000000000000ull, 0x0ull}, {0xfffc787fff00f0c0ull, 0x0ull}}, Op68_Guard, 1, Op68_Operands, 5, Op68_Mods, 5};
+
+// --- RET/ (9 instances) ---
+const WindowRef Op69_Guard[] = {{0,16,39},};
+const GenOperation Op69 = {"RET/", {{0xea80000000000000ull, 0x0ull}, {0xfffffffffff0ffffull, 0x0ull}}, Op69_Guard, 1, nullptr, 0, nullptr, 0};
+
+// --- RRO/rr (48 instances) ---
+const GenFeature Op70_Mods[] = {
+    {"EX2", 0, {{0xe4b0800000070001ull, 0x0ull}, {0xffffffffde1fffe1ull, 0x0ull}}},
+    {"SINCOS", 0, {{0xe4b0000000000000ull, 0x0ull}, {0xffffffffc000ff00ull, 0x0ull}}},
+};
+const WindowRef Op70_Guard[] = {{0,16,4},};
+const WindowRef Op70_A0_W[] = {{0,0,16},};
+const unsigned Op70_A0_B[] = {0,1,};
+const GenFeature Op70_A1_U[] = {
+    {"-", 0, {{0xe4b0000010e7000full, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"|", 0, {{0xe4b0000020070001ull, 0x0ull}, {0xffff7ffffe1fffe1ull, 0x0ull}}},
+};
+const WindowRef Op70_A1_W[] = {{0,20,8},};
+const unsigned Op70_A1_B[] = {0,1,};
+const GenOperand Op70_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op70_A0_W, Op70_A0_B, 1},
+    {'r', Op70_A1_U, 2, nullptr, 0, nullptr, 0, Op70_A1_W, Op70_A1_B, 1},
+};
+const GenOperation Op70 = {"RRO/rr", {{0xe4b0000000000000ull, 0x0ull}, {0xffff7fffc000ff00ull, 0x0ull}}, Op70_Guard, 1, Op70_Operands, 2, Op70_Mods, 2};
+
+// --- S2R/rs (120 instances) ---
+const WindowRef Op71_Guard[] = {{0,16,4},};
+const WindowRef Op71_A0_W[] = {{0,0,16},};
+const unsigned Op71_A0_B[] = {0,1,};
+const GenFeature Op71_A1_T[] = {
+    {"SR_CLOCK_LO", 0, {{0x3b0000005070008ull, 0x0ull}, {0xfffffffffffffffaull, 0x0ull}}},
+    {"SR_CTAID.X", 0, {{0x3b0000002570000ull, 0x0ull}, {0xfffffffffffffffcull, 0x0ull}}},
+    {"SR_CTAID.Y", 0, {{0x3b0000002670004ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"SR_CTAID.Z", 0, {{0x3b0000002770005ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"SR_LANEID", 0, {{0x3b0000000070008ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"SR_NCTAID.X", 0, {{0x3b0000002d70007ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"SR_NTID.X", 0, {{0x3b0000002970000ull, 0x0ull}, {0xfffffffffffffff9ull, 0x0ull}}},
+    {"SR_TID.X", 0, {{0x3b0000002100000ull, 0x0ull}, {0xfffffffffff0ff00ull, 0x0ull}}},
+    {"SR_TID.Y", 0, {{0x3b0000002270001ull, 0x0ull}, {0xfffffffffffffffbull, 0x0ull}}},
+    {"SR_TID.Z", 0, {{0x3b0000002370000ull, 0x0ull}, {0xfffffffffffffffdull, 0x0ull}}},
+};
+const unsigned Op71_A1_B[] = {0,};
+const GenOperand Op71_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op71_A0_W, Op71_A0_B, 1},
+    {'s', nullptr, 0, Op71_A1_T, 10, nullptr, 0, nullptr, Op71_A1_B, 0},
+};
+const GenOperation Op71 = {"S2R/rs", {{0x3b0000000000000ull, 0x0ull}, {0xfffffffff800ff00ull, 0x0ull}}, Op71_Guard, 1, Op71_Operands, 2, nullptr, 0};
+
+// --- SEL/rrip (87 instances) ---
+const WindowRef Op72_Guard[] = {{0,16,4},};
+const WindowRef Op72_A0_W[] = {{0,0,8},};
+const unsigned Op72_A0_B[] = {0,1,};
+const WindowRef Op72_A1_W[] = {{0,8,8},};
+const unsigned Op72_A1_B[] = {0,1,};
+const WindowRef Op72_A2_W[] = {{1,20,19},};
+const unsigned Op72_A2_B[] = {0,1,};
+const GenFeature Op72_A3_U[] = {
+    {"!", 0, {{0xc160040007f7060cull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op72_A3_W[] = {{0,39,3},};
+const unsigned Op72_A3_B[] = {0,1,};
+const GenOperand Op72_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op72_A0_W, Op72_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op72_A1_W, Op72_A1_B, 1},
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op72_A2_W, Op72_A2_B, 1},
+    {'p', Op72_A3_U, 1, nullptr, 0, nullptr, 0, Op72_A3_W, Op72_A3_B, 1},
+};
+const GenOperation Op72 = {"SEL/rrip", {{0xc160000000000000ull, 0x0ull}, {0xfffff80000000000ull, 0x0ull}}, Op72_Guard, 1, Op72_Operands, 4, nullptr, 0};
+
+// --- SEL/rrrp (65 instances) ---
+const WindowRef Op73_Guard[] = {{0,16,4},};
+const WindowRef Op73_A0_W[] = {{0,0,8},};
+const unsigned Op73_A0_B[] = {0,1,};
+const WindowRef Op73_A1_W[] = {{0,8,8},};
+const unsigned Op73_A1_B[] = {0,1,};
+const WindowRef Op73_A2_W[] = {{0,20,19},};
+const unsigned Op73_A2_B[] = {0,1,};
+const GenFeature Op73_A3_U[] = {
+    {"!", 0, {{0x8e90040000870908ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op73_A3_W[] = {{0,39,3},};
+const unsigned Op73_A3_B[] = {0,1,};
+const GenOperand Op73_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op73_A0_W, Op73_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op73_A1_W, Op73_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op73_A2_W, Op73_A2_B, 1},
+    {'p', Op73_A3_U, 1, nullptr, 0, nullptr, 0, Op73_A3_W, Op73_A3_B, 1},
+};
+const GenOperation Op73 = {"SEL/rrrp", {{0x8e90000000000000ull, 0x0ull}, {0xfffff87ff0000000ull, 0x0ull}}, Op73_Guard, 1, Op73_Operands, 4, nullptr, 0};
+
+// --- SHFL/prri (63 instances) ---
+const GenFeature Op74_Mods[] = {
+    {"BFLY", 0, {{0xb3d1800000670001ull, 0x0ull}, {0xfffffffeefffff81ull, 0x0ull}}},
+    {"DOWN", 0, {{0xb3d1000000000000ull, 0x0ull}, {0xfffffffe0000f800ull, 0x0ull}}},
+    {"IDX", 0, {{0xb3d000010067003full, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op74_Guard[] = {{0,16,4},};
+const WindowRef Op74_A0_W[] = {{0,0,3},};
+const unsigned Op74_A0_B[] = {0,1,};
+const WindowRef Op74_A1_W[] = {{0,3,13},};
+const unsigned Op74_A1_B[] = {0,1,};
+const WindowRef Op74_A2_W[] = {{0,20,8},};
+const unsigned Op74_A2_B[] = {0,1,};
+const WindowRef Op74_A3_W[] = {{0,28,19},{1,28,19},};
+const unsigned Op74_A3_B[] = {0,2,};
+const GenOperand Op74_Operands[] = {
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op74_A0_W, Op74_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op74_A1_W, Op74_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op74_A2_W, Op74_A2_B, 1},
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op74_A3_W, Op74_A3_B, 1},
+};
+const GenOperation Op74 = {"SHFL/prri", {{0xb3d0000000000000ull, 0x0ull}, {0xfffe7ffe0000f800ull, 0x0ull}}, Op74_Guard, 1, Op74_Operands, 4, Op74_Mods, 3};
+
+// --- SHFL/prrr (67 instances) ---
+const GenFeature Op75_Mods[] = {
+    {"BFLY", 0, {{0x8101800000670060ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"IDX", 0, {{0x8100000000670060ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"UP", 0, {{0x8100800000000000ull, 0x0ull}, {0xfffffff00000f800ull, 0x0ull}}},
+};
+const WindowRef Op75_Guard[] = {{0,16,4},};
+const WindowRef Op75_A0_W[] = {{0,0,3},};
+const unsigned Op75_A0_B[] = {0,1,};
+const WindowRef Op75_A1_W[] = {{0,3,13},};
+const unsigned Op75_A1_B[] = {0,1,};
+const WindowRef Op75_A2_W[] = {{0,20,8},};
+const unsigned Op75_A2_B[] = {0,1,};
+const WindowRef Op75_A3_W[] = {{0,28,19},};
+const unsigned Op75_A3_B[] = {0,1,};
+const GenOperand Op75_Operands[] = {
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op75_A0_W, Op75_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op75_A1_W, Op75_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op75_A2_W, Op75_A2_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op75_A3_W, Op75_A3_B, 1},
+};
+const GenOperation Op75 = {"SHFL/prrr", {{0x8100000000000000ull, 0x0ull}, {0xfffe7ff00000f800ull, 0x0ull}}, Op75_Guard, 1, Op75_Operands, 4, Op75_Mods, 3};
+
+// --- SHL/rri (145 instances) ---
+const GenFeature Op76_Mods[] = {
+    {"W", 0, {{0xbf70800000270004ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op76_Guard[] = {{0,16,4},};
+const WindowRef Op76_A0_W[] = {{0,0,8},};
+const unsigned Op76_A0_B[] = {0,1,};
+const WindowRef Op76_A1_W[] = {{0,8,8},};
+const unsigned Op76_A1_B[] = {0,1,};
+const WindowRef Op76_A2_W[] = {{0,20,27},{1,20,27},};
+const unsigned Op76_A2_B[] = {0,2,};
+const GenOperand Op76_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op76_A0_W, Op76_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op76_A1_W, Op76_A1_B, 1},
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op76_A2_W, Op76_A2_B, 1},
+};
+const GenOperation Op76 = {"SHL/rri", {{0xbf70000000000000ull, 0x0ull}, {0xffff7ffffe000000ull, 0x0ull}}, Op76_Guard, 1, Op76_Operands, 3, Op76_Mods, 1};
+
+// --- SHL/rrr (59 instances) ---
+const GenFeature Op77_Mods[] = {
+    {"W", 0, {{0x8ca0800000070d0eull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op77_Guard[] = {{0,16,4},};
+const WindowRef Op77_A0_W[] = {{0,0,8},};
+const unsigned Op77_A0_B[] = {0,1,};
+const WindowRef Op77_A1_W[] = {{0,8,8},};
+const unsigned Op77_A1_B[] = {0,1,};
+const WindowRef Op77_A2_W[] = {{0,20,27},};
+const unsigned Op77_A2_B[] = {0,1,};
+const GenOperand Op77_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op77_A0_W, Op77_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op77_A1_W, Op77_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op77_A2_W, Op77_A2_B, 1},
+};
+const GenOperation Op77 = {"SHL/rrr", {{0x8ca0000000000000ull, 0x0ull}, {0xffff7ffff0000000ull, 0x0ull}}, Op77_Guard, 1, Op77_Operands, 3, Op77_Mods, 1};
+
+// --- SHR/rri (55 instances) ---
+const GenFeature Op78_Mods[] = {
+    {"U32", 0, {{0x2510800000000000ull, 0x0ull}, {0xfffffffffe000000ull, 0x0ull}}},
+};
+const WindowRef Op78_Guard[] = {{0,16,4},};
+const WindowRef Op78_A0_W[] = {{0,0,8},};
+const unsigned Op78_A0_B[] = {0,1,};
+const WindowRef Op78_A1_W[] = {{0,8,8},};
+const unsigned Op78_A1_B[] = {0,1,};
+const WindowRef Op78_A2_W[] = {{0,20,27},{1,20,27},};
+const unsigned Op78_A2_B[] = {0,2,};
+const GenOperand Op78_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op78_A0_W, Op78_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op78_A1_W, Op78_A1_B, 1},
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op78_A2_W, Op78_A2_B, 1},
+};
+const GenOperation Op78 = {"SHR/rri", {{0x2510000000000000ull, 0x0ull}, {0xffff7ffffe000000ull, 0x0ull}}, Op78_Guard, 1, Op78_Operands, 3, Op78_Mods, 1};
+
+// --- SHR/rrr (59 instances) ---
+const GenFeature Op79_Mods[] = {
+    {"U32", 0, {{0xf240800000170e0full, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op79_Guard[] = {{0,16,4},};
+const WindowRef Op79_A0_W[] = {{0,0,8},};
+const unsigned Op79_A0_B[] = {0,1,};
+const WindowRef Op79_A1_W[] = {{0,8,8},};
+const unsigned Op79_A1_B[] = {0,1,};
+const WindowRef Op79_A2_W[] = {{0,20,27},};
+const unsigned Op79_A2_B[] = {0,1,};
+const GenOperand Op79_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op79_A0_W, Op79_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op79_A1_W, Op79_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op79_A2_W, Op79_A2_B, 1},
+};
+const GenOperation Op79 = {"SHR/rrr", {{0xf240000000000000ull, 0x0ull}, {0xffff7ffff0000000ull, 0x0ull}}, Op79_Guard, 1, Op79_Operands, 3, Op79_Mods, 1};
+
+// --- SSY/i (59 instances) ---
+const WindowRef Op80_Guard[] = {{0,16,4},};
+const WindowRef Op80_A0_W[] = {{2,20,24},};
+const unsigned Op80_A0_B[] = {0,1,};
+const GenOperand Op80_Operands[] = {
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op80_A0_W, Op80_A0_B, 1},
+};
+const GenOperation Op80 = {"SSY/i", {{0x82f0000000000000ull, 0x0ull}, {0xfffff0000000ffffull, 0x0ull}}, Op80_Guard, 1, Op80_Operands, 1, nullptr, 0};
+
+// --- ST/mr (96 instances) ---
+const GenFeature Op81_Mods[] = {
+    {"64", 0, {{0x232280000087050aull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"S16", 0, {{0x2322000000070506ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"S8", 0, {{0x2321000000070506ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"U8", 0, {{0x2320800000070506ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op81_Guard[] = {{0,16,4},};
+const WindowRef Op81_A0_W[] = {{0,8,8},{1,20,24},};
+const unsigned Op81_A0_B[] = {0,1,2,};
+const WindowRef Op81_A1_W[] = {{0,0,8},};
+const unsigned Op81_A1_B[] = {0,1,};
+const GenOperand Op81_Operands[] = {
+    {'m', nullptr, 0, nullptr, 0, nullptr, 0, Op81_A0_W, Op81_A0_B, 2},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op81_A1_W, Op81_A1_B, 1},
+};
+const GenOperation Op81 = {"ST/mr", {{0x2320000000000000ull, 0x0ull}, {0xfffc700000000000ull, 0x0ull}}, Op81_Guard, 1, Op81_Operands, 2, Op81_Mods, 4};
+
+// --- STG/mr (141 instances) ---
+const GenFeature Op82_Mods[] = {
+    {"64", 0, {{0x88c680000007050cull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"E", 0, {{0x88c4000000000000ull, 0x0ull}, {0xfffc700000000000ull, 0x0ull}}},
+    {"S16", 0, {{0x88c6000000070f0eull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"S8", 0, {{0x88c5000000070f0eull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"U8", 0, {{0x88c4800000070f0eull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op82_Guard[] = {{0,16,4},};
+const WindowRef Op82_A0_W[] = {{0,8,8},{1,20,24},};
+const unsigned Op82_A0_B[] = {0,1,2,};
+const WindowRef Op82_A1_W[] = {{0,0,8},};
+const unsigned Op82_A1_B[] = {0,1,};
+const GenOperand Op82_Operands[] = {
+    {'m', nullptr, 0, nullptr, 0, nullptr, 0, Op82_A0_W, Op82_A0_B, 2},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op82_A1_W, Op82_A1_B, 1},
+};
+const GenOperation Op82 = {"STG/mr", {{0x88c0000000000000ull, 0x0ull}, {0xfff8700000000000ull, 0x0ull}}, Op82_Guard, 1, Op82_Operands, 2, Op82_Mods, 5};
+
+// --- STL/mr (96 instances) ---
+const GenFeature Op83_Mods[] = {
+    {"S16", 0, {{0xee62000000070403ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"S8", 0, {{0xee61000000070403ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"U8", 0, {{0xee60800000070403ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op83_Guard[] = {{0,16,4},};
+const WindowRef Op83_A0_W[] = {{0,8,8},{1,20,24},};
+const unsigned Op83_A0_B[] = {0,1,2,};
+const WindowRef Op83_A1_W[] = {{0,0,8},};
+const unsigned Op83_A1_B[] = {0,1,};
+const GenOperand Op83_Operands[] = {
+    {'m', nullptr, 0, nullptr, 0, nullptr, 0, Op83_A0_W, Op83_A0_B, 2},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op83_A1_W, Op83_A1_B, 1},
+};
+const GenOperation Op83 = {"STL/mr", {{0xee60000000000000ull, 0x0ull}, {0xfffc700000000000ull, 0x0ull}}, Op83_Guard, 1, Op83_Operands, 2, Op83_Mods, 3};
+
+// --- STS/mr (103 instances) ---
+const GenFeature Op84_Mods[] = {
+    {"S16", 0, {{0x540200000007040cull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"S8", 0, {{0x540100000007040cull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"U8", 0, {{0x540080000007040cull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op84_Guard[] = {{0,16,4},};
+const WindowRef Op84_A0_W[] = {{0,8,8},{1,20,24},};
+const unsigned Op84_A0_B[] = {0,1,2,};
+const WindowRef Op84_A1_W[] = {{0,0,8},};
+const unsigned Op84_A1_B[] = {0,1,};
+const GenOperand Op84_Operands[] = {
+    {'m', nullptr, 0, nullptr, 0, nullptr, 0, Op84_A0_W, Op84_A0_B, 2},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op84_A1_W, Op84_A1_B, 1},
+};
+const GenOperation Op84 = {"STS/mr", {{0x5400000000000000ull, 0x0ull}, {0xfffc700000000000ull, 0x0ull}}, Op84_Guard, 1, Op84_Operands, 2, Op84_Mods, 3};
+
+// --- SYNC/ (12 instances) ---
+const WindowRef Op85_Guard[] = {{0,16,38},};
+const GenOperation Op85 = {"SYNC/", {{0xb5c0000000000000ull, 0x0ull}, {0xfffffffffff0ffffull, 0x0ull}}, Op85_Guard, 1, nullptr, 0, nullptr, 0};
+
+// --- TEX/rrith (85 instances) ---
+const WindowRef Op86_Guard[] = {{0,16,4},};
+const WindowRef Op86_A0_W[] = {{0,0,8},};
+const unsigned Op86_A0_B[] = {0,1,};
+const WindowRef Op86_A1_W[] = {{0,8,8},};
+const unsigned Op86_A1_B[] = {0,1,};
+const WindowRef Op86_A2_W[] = {{0,20,13},};
+const unsigned Op86_A2_B[] = {0,1,};
+const GenFeature Op86_A3_T[] = {
+    {"1D", 0, {{0xec70001000070305ull, 0x0ull}, {0xffffffdfffdfffffull, 0x0ull}}},
+    {"2D", 0, {{0xec70000200000000ull, 0x0ull}, {0xffffff0e00000000ull, 0x0ull}}},
+    {"ARRAY_2D", 0, {{0xec70003a00070305ull, 0x0ull}, {0xffffffbfffeffffdull, 0x0ull}}},
+    {"CUBE", 0, {{0xec70003600070305ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const unsigned Op86_A3_B[] = {0,};
+const GenFeature Op86_A4_T[] = {
+    {"G", 0, {{0xec70002200070305ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"R", 0, {{0xec70001000070305ull, 0x0ull}, {0xfffffffdffdfffffull, 0x0ull}}},
+    {"RG", 0, {{0xec70003000000000ull, 0x0ull}, {0xfffffff000000000ull, 0x0ull}}},
+    {"RGA", 0, {{0xec7000b200070305ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"RGB", 0, {{0xec70007200070305ull, 0x0ull}, {0xfffffff7ffeffffdull, 0x0ull}}},
+    {"RGBA", 0, {{0xec7000f200070305ull, 0x0ull}, {0xffffffffffbfffffull, 0x0ull}}},
+};
+const unsigned Op86_A4_B[] = {0,};
+const GenOperand Op86_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op86_A0_W, Op86_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op86_A1_W, Op86_A1_B, 1},
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op86_A2_W, Op86_A2_B, 1},
+    {'t', nullptr, 0, Op86_A3_T, 4, nullptr, 0, nullptr, Op86_A3_B, 0},
+    {'h', nullptr, 0, Op86_A4_T, 6, nullptr, 0, nullptr, Op86_A4_B, 0},
+};
+const GenOperation Op86 = {"TEX/rrith", {{0xec70000000000000ull, 0x0ull}, {0xffffff0000000000ull, 0x0ull}}, Op86_Guard, 1, Op86_Operands, 5, nullptr, 0};
+
+// --- TEXDEPBAR/i (23 instances) ---
+const WindowRef Op87_Guard[] = {{0,16,4},};
+const WindowRef Op87_A0_W[] = {{0,20,34},{1,20,34},};
+const unsigned Op87_A0_B[] = {0,2,};
+const GenOperand Op87_Operands[] = {
+    {'i', nullptr, 0, nullptr, 0, nullptr, 0, Op87_A0_W, Op87_A0_B, 1},
+};
+const GenOperation Op87 = {"TEXDEPBAR/i", {{0x1f40000000000000ull, 0x0ull}, {0xfffffffffc00ffffull, 0x0ull}}, Op87_Guard, 1, Op87_Operands, 1, nullptr, 0};
+
+// --- VOTE/pp (28 instances) ---
+const GenFeature Op88_Mods[] = {
+    {"ALL", 0, {{0x1780000000000000ull, 0x0ull}, {0xfffff87ffff0fff8ull, 0x0ull}}},
+    {"ANY", 0, {{0x1780800000070000ull, 0x0ull}, {0xfffffbfffffffffcull, 0x0ull}}},
+    {"EQ", 0, {{0x1781000000070001ull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op88_Guard[] = {{0,16,23},};
+const WindowRef Op88_A0_W[] = {{0,0,16},};
+const unsigned Op88_A0_B[] = {0,1,};
+const GenFeature Op88_A1_U[] = {
+    {"!", 0, {{0x1780040000070000ull, 0x0ull}, {0xffff7ffffffffffcull, 0x0ull}}},
+};
+const WindowRef Op88_A1_W[] = {{0,39,3},};
+const unsigned Op88_A1_B[] = {0,1,};
+const GenOperand Op88_Operands[] = {
+    {'p', nullptr, 0, nullptr, 0, nullptr, 0, Op88_A0_W, Op88_A0_B, 1},
+    {'p', Op88_A1_U, 1, nullptr, 0, nullptr, 0, Op88_A1_W, Op88_A1_B, 1},
+};
+const GenOperation Op88 = {"VOTE/pp", {{0x1780000000000000ull, 0x0ull}, {0xfffe787ffff0fff8ull, 0x0ull}}, Op88_Guard, 1, Op88_Operands, 2, Op88_Mods, 3};
+
+// --- XMAD/rrrr (84 instances) ---
+const GenFeature Op89_Mods[] = {
+    {"H1A", 0, {{0x6570850000870c0dull, 0x0ull}, {0xfffffffffffffeffull, 0x0ull}}},
+    {"H1B", 0, {{0x6571050000870c0dull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"MRG", 0, {{0x6572050000870c0dull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+    {"PSL", 0, {{0x6574050000870c0dull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op89_Guard[] = {{0,16,4},};
+const WindowRef Op89_A0_W[] = {{0,0,8},};
+const unsigned Op89_A0_B[] = {0,1,};
+const GenFeature Op89_A1_M[] = {
+    {"reuse", 0, {{0x6578050000870c0dull, 0x0ull}, {0xffffffffffffffffull, 0x0ull}}},
+};
+const WindowRef Op89_A1_W[] = {{0,8,8},};
+const unsigned Op89_A1_B[] = {0,1,};
+const WindowRef Op89_A2_W[] = {{0,20,19},};
+const unsigned Op89_A2_B[] = {0,1,};
+const WindowRef Op89_A3_W[] = {{0,39,8},};
+const unsigned Op89_A3_B[] = {0,1,};
+const GenOperand Op89_Operands[] = {
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op89_A0_W, Op89_A0_B, 1},
+    {'r', nullptr, 0, nullptr, 0, Op89_A1_M, 1, Op89_A1_W, Op89_A1_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op89_A2_W, Op89_A2_B, 1},
+    {'r', nullptr, 0, nullptr, 0, nullptr, 0, Op89_A3_W, Op89_A3_B, 1},
+};
+const GenOperation Op89 = {"XMAD/rrrr", {{0x6570000000000000ull, 0x0ull}, {0xfff0007ff0000000ull, 0x0ull}}, Op89_Guard, 1, Op89_Operands, 4, Op89_Mods, 4};
+
+} // namespace
+
+namespace dcb {
+namespace gen {
+
+/// Assembles one SASS instruction at byte address Pc for sm_50.
+Expected<BitString> assemble(const sass::Instruction &Inst, uint64_t Pc) {
+  const std::string Key = dcb::analyzer::operationKey(Inst);
+  if (Key == "ATOM/rmr")
+    return assembleWith(Op0, Inst, Pc, 64);
+  if (Key == "BAR/i")
+    return assembleWith(Op1, Inst, Pc, 64);
+  if (Key == "BFE/rri")
+    return assembleWith(Op2, Inst, Pc, 64);
+  if (Key == "BFE/rrr")
+    return assembleWith(Op3, Inst, Pc, 64);
+  if (Key == "BFI/rrrr")
+    return assembleWith(Op4, Inst, Pc, 64);
+  if (Key == "BRA/c")
+    return assembleWith(Op5, Inst, Pc, 64);
+  if (Key == "BRA/i")
+    return assembleWith(Op6, Inst, Pc, 64);
+  if (Key == "BRK/")
+    return assembleWith(Op7, Inst, Pc, 64);
+  if (Key == "CAL/i")
+    return assembleWith(Op8, Inst, Pc, 64);
+  if (Key == "DADD/rrf")
+    return assembleWith(Op9, Inst, Pc, 64);
+  if (Key == "DADD/rrr")
+    return assembleWith(Op10, Inst, Pc, 64);
+  if (Key == "DEPBAR/bz")
+    return assembleWith(Op11, Inst, Pc, 64);
+  if (Key == "DFMA/rrrr")
+    return assembleWith(Op12, Inst, Pc, 64);
+  if (Key == "DMUL/rrr")
+    return assembleWith(Op13, Inst, Pc, 64);
+  if (Key == "EXIT/")
+    return assembleWith(Op14, Inst, Pc, 64);
+  if (Key == "F2F/rr")
+    return assembleWith(Op15, Inst, Pc, 64);
+  if (Key == "F2I/rr")
+    return assembleWith(Op16, Inst, Pc, 64);
+  if (Key == "FADD/rrc")
+    return assembleWith(Op17, Inst, Pc, 64);
+  if (Key == "FADD/rrf")
+    return assembleWith(Op18, Inst, Pc, 64);
+  if (Key == "FADD/rrr")
+    return assembleWith(Op19, Inst, Pc, 64);
+  if (Key == "FFMA/rrcr")
+    return assembleWith(Op20, Inst, Pc, 64);
+  if (Key == "FFMA/rrfr")
+    return assembleWith(Op21, Inst, Pc, 64);
+  if (Key == "FFMA/rrrr")
+    return assembleWith(Op22, Inst, Pc, 64);
+  if (Key == "FMNMX/rrcp")
+    return assembleWith(Op23, Inst, Pc, 64);
+  if (Key == "FMNMX/rrfp")
+    return assembleWith(Op24, Inst, Pc, 64);
+  if (Key == "FMNMX/rrrp")
+    return assembleWith(Op25, Inst, Pc, 64);
+  if (Key == "FMUL/rrc")
+    return assembleWith(Op26, Inst, Pc, 64);
+  if (Key == "FMUL/rrf")
+    return assembleWith(Op27, Inst, Pc, 64);
+  if (Key == "FMUL/rrr")
+    return assembleWith(Op28, Inst, Pc, 64);
+  if (Key == "FSETP/pprcp")
+    return assembleWith(Op29, Inst, Pc, 64);
+  if (Key == "FSETP/pprfp")
+    return assembleWith(Op30, Inst, Pc, 64);
+  if (Key == "FSETP/pprrp")
+    return assembleWith(Op31, Inst, Pc, 64);
+  if (Key == "I2F/rr")
+    return assembleWith(Op32, Inst, Pc, 64);
+  if (Key == "IADD/rrc")
+    return assembleWith(Op33, Inst, Pc, 64);
+  if (Key == "IADD/rri")
+    return assembleWith(Op34, Inst, Pc, 64);
+  if (Key == "IADD/rrr")
+    return assembleWith(Op35, Inst, Pc, 64);
+  if (Key == "IADD3/rrrr")
+    return assembleWith(Op36, Inst, Pc, 64);
+  if (Key == "IADD32I/rri")
+    return assembleWith(Op37, Inst, Pc, 64);
+  if (Key == "IMAD/rrcr")
+    return assembleWith(Op38, Inst, Pc, 64);
+  if (Key == "IMAD/rrir")
+    return assembleWith(Op39, Inst, Pc, 64);
+  if (Key == "IMAD/rrri")
+    return assembleWith(Op40, Inst, Pc, 64);
+  if (Key == "IMAD/rrrr")
+    return assembleWith(Op41, Inst, Pc, 64);
+  if (Key == "IMNMX/rrrp")
+    return assembleWith(Op42, Inst, Pc, 64);
+  if (Key == "IMUL/rrc")
+    return assembleWith(Op43, Inst, Pc, 64);
+  if (Key == "IMUL/rri")
+    return assembleWith(Op44, Inst, Pc, 64);
+  if (Key == "IMUL/rrr")
+    return assembleWith(Op45, Inst, Pc, 64);
+  if (Key == "ISETP/pprcp")
+    return assembleWith(Op46, Inst, Pc, 64);
+  if (Key == "ISETP/pprip")
+    return assembleWith(Op47, Inst, Pc, 64);
+  if (Key == "ISETP/pprrp")
+    return assembleWith(Op48, Inst, Pc, 64);
+  if (Key == "LD/rm")
+    return assembleWith(Op49, Inst, Pc, 64);
+  if (Key == "LDC/rC")
+    return assembleWith(Op50, Inst, Pc, 64);
+  if (Key == "LDG/rm")
+    return assembleWith(Op51, Inst, Pc, 64);
+  if (Key == "LDL/rm")
+    return assembleWith(Op52, Inst, Pc, 64);
+  if (Key == "LDS/rm")
+    return assembleWith(Op53, Inst, Pc, 64);
+  if (Key == "LOP/rrc")
+    return assembleWith(Op54, Inst, Pc, 64);
+  if (Key == "LOP/rri")
+    return assembleWith(Op55, Inst, Pc, 64);
+  if (Key == "LOP/rrr")
+    return assembleWith(Op56, Inst, Pc, 64);
+  if (Key == "LOP3/rrrri")
+    return assembleWith(Op57, Inst, Pc, 64);
+  if (Key == "MEMBAR/")
+    return assembleWith(Op58, Inst, Pc, 64);
+  if (Key == "MOV/rc")
+    return assembleWith(Op59, Inst, Pc, 64);
+  if (Key == "MOV/ri")
+    return assembleWith(Op60, Inst, Pc, 64);
+  if (Key == "MOV/rr")
+    return assembleWith(Op61, Inst, Pc, 64);
+  if (Key == "MOV32I/rc")
+    return assembleWith(Op62, Inst, Pc, 64);
+  if (Key == "MOV32I/ri")
+    return assembleWith(Op63, Inst, Pc, 64);
+  if (Key == "MUFU/rr")
+    return assembleWith(Op64, Inst, Pc, 64);
+  if (Key == "NOP/")
+    return assembleWith(Op65, Inst, Pc, 64);
+  if (Key == "PBK/i")
+    return assembleWith(Op66, Inst, Pc, 64);
+  if (Key == "POPC/rr")
+    return assembleWith(Op67, Inst, Pc, 64);
+  if (Key == "PSETP/ppppp")
+    return assembleWith(Op68, Inst, Pc, 64);
+  if (Key == "RET/")
+    return assembleWith(Op69, Inst, Pc, 64);
+  if (Key == "RRO/rr")
+    return assembleWith(Op70, Inst, Pc, 64);
+  if (Key == "S2R/rs")
+    return assembleWith(Op71, Inst, Pc, 64);
+  if (Key == "SEL/rrip")
+    return assembleWith(Op72, Inst, Pc, 64);
+  if (Key == "SEL/rrrp")
+    return assembleWith(Op73, Inst, Pc, 64);
+  if (Key == "SHFL/prri")
+    return assembleWith(Op74, Inst, Pc, 64);
+  if (Key == "SHFL/prrr")
+    return assembleWith(Op75, Inst, Pc, 64);
+  if (Key == "SHL/rri")
+    return assembleWith(Op76, Inst, Pc, 64);
+  if (Key == "SHL/rrr")
+    return assembleWith(Op77, Inst, Pc, 64);
+  if (Key == "SHR/rri")
+    return assembleWith(Op78, Inst, Pc, 64);
+  if (Key == "SHR/rrr")
+    return assembleWith(Op79, Inst, Pc, 64);
+  if (Key == "SSY/i")
+    return assembleWith(Op80, Inst, Pc, 64);
+  if (Key == "ST/mr")
+    return assembleWith(Op81, Inst, Pc, 64);
+  if (Key == "STG/mr")
+    return assembleWith(Op82, Inst, Pc, 64);
+  if (Key == "STL/mr")
+    return assembleWith(Op83, Inst, Pc, 64);
+  if (Key == "STS/mr")
+    return assembleWith(Op84, Inst, Pc, 64);
+  if (Key == "SYNC/")
+    return assembleWith(Op85, Inst, Pc, 64);
+  if (Key == "TEX/rrith")
+    return assembleWith(Op86, Inst, Pc, 64);
+  if (Key == "TEXDEPBAR/i")
+    return assembleWith(Op87, Inst, Pc, 64);
+  if (Key == "VOTE/pp")
+    return assembleWith(Op88, Inst, Pc, 64);
+  if (Key == "XMAD/rrrr")
+    return assembleWith(Op89, Inst, Pc, 64);
+  return Failure("generated assembler (sm_50): unknown operation " + Key);
+}
+
+} // namespace gen
+} // namespace dcb
+
+#include <iostream>
+
+int main() {
+  return dcb::gen::runAssemblerMain(&dcb::gen::assemble, std::cin, std::cout, std::cerr);
+}
