@@ -48,6 +48,21 @@ inline analyzer::KernelDisassembler makeDisassembler(Arch A) {
   };
 }
 
+/// The flipper's single-word fast path (see BitFlipper.h).
+inline analyzer::WindowDisassembler makeWindowDisassembler(Arch A) {
+  return [A](const std::string &Name, const std::vector<uint8_t> &Code,
+             uint64_t Addr) {
+    return vendor::disassembleInstructionAt(A, Name, Code, Addr);
+  };
+}
+
+/// A flipper wired with both the full and the fast-path disassembler.
+inline analyzer::BitFlipper makeFlipper(analyzer::IsaAnalyzer &Analyzer,
+                                        Arch A) {
+  return analyzer::BitFlipper(Analyzer, makeDisassembler(A),
+                              makeWindowDisassembler(A));
+}
+
 /// Builds (and caches) the full pipeline state for \p A.
 inline const ArchData &archData(Arch A) {
   static std::map<Arch, std::unique_ptr<ArchData>> Cache;
@@ -86,7 +101,7 @@ inline const ArchData &archData(Arch A) {
   }
   Data->SuiteDb = Analyzer.database();
 
-  analyzer::BitFlipper Flipper(Analyzer, makeDisassembler(A));
+  analyzer::BitFlipper Flipper = makeFlipper(Analyzer, A);
   Flipper.run(Data->KernelCode);
   Data->FlippedDb = Analyzer.database();
 

@@ -4,9 +4,12 @@
 // operation, injects them into an executable, and re-extracts assembly;
 // crashes of the closed-source disassembler are expected and tolerated;
 // the process repeats "until the results converge". The report shows the
-// per-round discovery curve (strictly growing knowledge, then a fixpoint)
-// and the crash/accept split, including the paper's fast mode that skips
-// consistent (opcode-estimate) bits. The benchmark times one flip round.
+// per-round discovery curve (strictly growing knowledge, then a fixpoint),
+// the crash/accept/reject split and the dedup-cache hit rate, the paper's
+// fast mode that skips consistent (opcode-estimate) bits, and the
+// serial-vs-parallel wall clock of the engine (same database either way —
+// the merge is serial in exemplar/bit order). The benchmarks time one flip
+// round at 1 and 4 lanes.
 //
 //===----------------------------------------------------------------------===//
 
@@ -14,10 +17,37 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 using namespace dcb;
 using namespace dcb::bench;
 
 namespace {
+
+/// Runs a full convergence and returns wall-clock milliseconds.
+/// \p UseWindow selects the single-word fast path; without it every trial
+/// re-disassembles the whole kernel, which is what the engine's serial
+/// predecessor did per variant.
+double runConvergence(Arch A, unsigned Jobs, bool UseWindow,
+                      std::string *SerializedOut) {
+  const ArchData &Data = archData(A);
+  analyzer::IsaAnalyzer Analyzer(A);
+  (void)Analyzer.analyzeListing(Data.Listing);
+  analyzer::BitFlipper Flipper(Analyzer, makeDisassembler(A),
+                               UseWindow
+                                   ? makeWindowDisassembler(A)
+                                   : analyzer::WindowDisassembler());
+  analyzer::BitFlipper::Options Opts;
+  Opts.MaxRounds = 6;
+  Opts.NumThreads = Jobs;
+  auto Start = std::chrono::steady_clock::now();
+  Flipper.run(Data.KernelCode, Opts);
+  std::chrono::duration<double, std::milli> Elapsed =
+      std::chrono::steady_clock::now() - Start;
+  if (SerializedOut)
+    *SerializedOut = Analyzer.database().serialize();
+  return Elapsed.count();
+}
 
 void report() {
   std::printf("=== Bit-flip convergence (§III-B) ===\n");
@@ -27,7 +57,7 @@ void report() {
     (void)Analyzer.analyzeListing(Data.Listing);
     auto Before = Analyzer.database().stats();
 
-    analyzer::BitFlipper Flipper(Analyzer, makeDisassembler(A));
+    analyzer::BitFlipper Flipper = makeFlipper(Analyzer, A);
     analyzer::BitFlipper::Options Opts;
     Opts.MaxRounds = 6;
     auto Rounds = Flipper.run(Data.KernelCode, Opts);
@@ -36,21 +66,29 @@ void report() {
                 "tokens) ---\n",
                 archName(A), Before.NumOperations, Before.NumModifiers,
                 Before.NumUnaries, Before.NumTokens);
-    std::printf("%-6s %9s %8s %9s %7s %6s %8s %8s\n", "round", "variants",
-                "crashes", "accepted", "newops", "mods", "unaries",
-                "tokens");
-    for (size_t R = 0; R < Rounds.size(); ++R)
-      std::printf("%-6zu %9u %8u %9u %7u %6zu %8zu %8zu\n", R + 1,
+    std::printf("%-6s %9s %8s %9s %9s %7s %7s %6s %8s %8s\n", "round",
+                "variants", "crashes", "accepted", "rejected", "hits",
+                "newops", "mods", "unaries", "tokens");
+    unsigned TotalVariants = 0, TotalHits = 0;
+    for (size_t R = 0; R < Rounds.size(); ++R) {
+      std::printf("%-6zu %9u %8u %9u %9u %7u %7u %6zu %8zu %8zu\n", R + 1,
                   Rounds[R].VariantsTried, Rounds[R].Crashes,
-                  Rounds[R].Accepted, Rounds[R].NewOperations,
+                  Rounds[R].Accepted, Rounds[R].Rejected,
+                  Rounds[R].CacheHits, Rounds[R].NewOperations,
                   Rounds[R].After.NumModifiers, Rounds[R].After.NumUnaries,
                   Rounds[R].After.NumTokens);
-    std::printf("converged after %zu round(s)\n", Rounds.size());
+      TotalVariants += Rounds[R].VariantsTried;
+      TotalHits += Rounds[R].CacheHits;
+    }
+    std::printf("converged after %zu round(s); dedup cache absorbed "
+                "%u/%u variants (%.1f%%)\n",
+                Rounds.size(), TotalHits, TotalVariants,
+                TotalVariants ? 100.0 * TotalHits / TotalVariants : 0.0);
 
     // Fast mode: skip bits still consistent across every instance.
     analyzer::IsaAnalyzer Fast(A);
     (void)Fast.analyzeListing(Data.Listing);
-    analyzer::BitFlipper FastFlipper(Fast, makeDisassembler(A));
+    analyzer::BitFlipper FastFlipper = makeFlipper(Fast, A);
     analyzer::BitFlipper::Options FastOpts;
     FastOpts.MaxRounds = 6;
     FastOpts.SkipConsistentBits = true;
@@ -67,20 +105,72 @@ void report() {
     }
     std::printf("fast mode (narrowed flip range): %u variants / %u "
                 "crashes vs full %u / %u — fewer disassembler crashes, "
-                "as the paper reports\n\n",
+                "as the paper reports\n",
                 FastVariants, FastCrashes, FullVariants, FullCrashes);
+
+    // Engine wall clock, three configurations, identical database each
+    // time. "full-kernel serial" is how the engine's predecessor spent a
+    // variant (disassemble + parse the whole kernel per trial); the window
+    // fast path alone carries the speedup on single-core machines, and
+    // lanes multiply it where cores exist.
+    std::string FullDb, SerialDb, ParallelDb;
+    double FullMs = runConvergence(A, 1, false, &FullDb);
+    double SerialMs = runConvergence(A, 1, true, &SerialDb);
+    double ParallelMs = runConvergence(A, 4, true, &ParallelDb);
+    std::printf("wall clock: full-kernel serial %.1f ms | window serial "
+                "%.1f ms (%.2fx) | window 4-lane %.1f ms (%.2fx vs "
+                "full-kernel serial, %.2fx vs window serial)\n",
+                FullMs, SerialMs, SerialMs > 0 ? FullMs / SerialMs : 0.0,
+                ParallelMs, ParallelMs > 0 ? FullMs / ParallelMs : 0.0,
+                ParallelMs > 0 ? SerialMs / ParallelMs : 0.0);
+    std::printf("databases byte-identical across all three: %s\n\n",
+                (FullDb == SerialDb && SerialDb == ParallelDb)
+                    ? "yes"
+                    : "NO (BUG)");
   }
+}
+
+analyzer::BitFlipper makeBenchFlipper(analyzer::IsaAnalyzer &Analyzer,
+                                      Arch A, bool UseWindow) {
+  return analyzer::BitFlipper(Analyzer, makeDisassembler(A),
+                              UseWindow
+                                  ? makeWindowDisassembler(A)
+                                  : analyzer::WindowDisassembler());
 }
 
 void BM_OneFlipRound(benchmark::State &State) {
   Arch A = static_cast<Arch>(State.range(0));
+  unsigned Jobs = static_cast<unsigned>(State.range(1));
+  bool Window = State.range(2) != 0;
   const ArchData &Data = archData(A);
   for (auto _ : State) {
+    State.PauseTiming(); // Suite analysis is setup, not the flip loop.
     analyzer::IsaAnalyzer Analyzer(A);
     (void)Analyzer.analyzeListing(Data.Listing);
-    analyzer::BitFlipper Flipper(Analyzer, makeDisassembler(A));
+    analyzer::BitFlipper Flipper = makeBenchFlipper(Analyzer, A, Window);
     analyzer::BitFlipper::Options Opts;
     Opts.MaxRounds = 1;
+    Opts.NumThreads = Jobs;
+    State.ResumeTiming();
+    auto Rounds = Flipper.run(Data.KernelCode, Opts);
+    benchmark::DoNotOptimize(Rounds);
+  }
+}
+
+void BM_FlipToConvergence(benchmark::State &State) {
+  Arch A = static_cast<Arch>(State.range(0));
+  unsigned Jobs = static_cast<unsigned>(State.range(1));
+  bool Window = State.range(2) != 0;
+  const ArchData &Data = archData(A);
+  for (auto _ : State) {
+    State.PauseTiming();
+    analyzer::IsaAnalyzer Analyzer(A);
+    (void)Analyzer.analyzeListing(Data.Listing);
+    analyzer::BitFlipper Flipper = makeBenchFlipper(Analyzer, A, Window);
+    analyzer::BitFlipper::Options Opts;
+    Opts.MaxRounds = 6;
+    Opts.NumThreads = Jobs;
+    State.ResumeTiming();
     auto Rounds = Flipper.run(Data.KernelCode, Opts);
     benchmark::DoNotOptimize(Rounds);
   }
@@ -88,8 +178,22 @@ void BM_OneFlipRound(benchmark::State &State) {
 
 } // namespace
 
+// window:0 / jobs:1 is the engine's predecessor (serial, whole-kernel
+// disassembly per variant); the other rows isolate the fast path and the
+// lane scaling. The databases produced are identical in every row.
 BENCHMARK(BM_OneFlipRound)
-    ->Arg(static_cast<int>(Arch::SM35))
+    ->Args({static_cast<int>(Arch::SM35), 1, 0})
+    ->Args({static_cast<int>(Arch::SM35), 1, 1})
+    ->Args({static_cast<int>(Arch::SM35), 2, 1})
+    ->Args({static_cast<int>(Arch::SM35), 4, 1})
+    ->ArgNames({"arch", "jobs", "window"})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_FlipToConvergence)
+    ->Args({static_cast<int>(Arch::SM35), 1, 0})
+    ->Args({static_cast<int>(Arch::SM35), 1, 1})
+    ->Args({static_cast<int>(Arch::SM35), 4, 1})
+    ->ArgNames({"arch", "jobs", "window"})
     ->Unit(benchmark::kMillisecond);
 
 int main(int argc, char **argv) {

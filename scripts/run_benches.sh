@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Builds Release and records google-benchmark timings so the perf
+# trajectory is tracked PR-over-PR: one BENCH_<label>.json at the repo
+# root per run, keyed by bench binary.
+#
+# usage: scripts/run_benches.sh [label] [bench-binary ...]
+#
+#   label           tag for the output file (default: short git hash)
+#   bench-binary    subset to run, e.g. bench_bitflip_convergence
+#                   (default: every bench_* binary)
+#
+# Timings go through --benchmark_out so the binaries' human-readable
+# report sections (table/figure regenerations) stay on the console and the
+# JSON stays machine-clean.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+LABEL="${1:-$(git -C "$ROOT" rev-parse --short HEAD 2>/dev/null || echo local)}"
+[ "$#" -gt 0 ] && shift
+BUILD="$ROOT/build-release"
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD" -j >/dev/null
+
+if [ "$#" -gt 0 ]; then
+  BENCHES=("$@")
+else
+  BENCHES=()
+  for B in "$BUILD"/bench/bench_*; do
+    [ -x "$B" ] && BENCHES+=("$(basename "$B")")
+  done
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+OUT="$ROOT/BENCH_${LABEL}.json"
+{
+  printf '{\n  "label": "%s",\n  "benches": {\n' "$LABEL"
+  FIRST=1
+  for NAME in "${BENCHES[@]}"; do
+    BIN="$BUILD/bench/$NAME"
+    if [ ! -x "$BIN" ]; then
+      echo "run_benches: no such bench binary: $NAME" >&2
+      exit 1
+    fi
+    echo "running $NAME ..." >&2
+    "$BIN" --benchmark_out="$TMP/$NAME.json" \
+           --benchmark_out_format=json >/dev/null
+    [ "$FIRST" -eq 1 ] || printf ',\n'
+    FIRST=0
+    printf '    "%s":\n' "$NAME"
+    sed 's/^/    /' "$TMP/$NAME.json"
+  done
+  printf '\n  }\n}\n'
+} > "$OUT"
+echo "wrote $OUT"

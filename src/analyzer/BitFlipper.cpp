@@ -2,7 +2,11 @@
 
 #include "analyzer/BitFlipper.h"
 
+#include "support/TaskPool.h"
+
+#include <algorithm>
 #include <cassert>
+#include <unordered_set>
 
 using namespace dcb;
 using namespace dcb::analyzer;
@@ -17,25 +21,45 @@ void writeWord(std::vector<uint8_t> &Code, uint64_t Offset,
     Code[Offset + Byte] = static_cast<uint8_t>(Word.field(Byte * 8, 8));
 }
 
+/// Dedup-cache key for one variant: the patch site plus the patched word.
+std::string variantKey(const std::string &Kernel, uint64_t Addr,
+                       const BitString &Word) {
+  return Kernel + '@' + std::to_string(Addr) + ':' + Word.toHex();
+}
+
 } // namespace
 
-bool BitFlipper::tryVariant(const std::string &KernelName,
-                            const std::vector<uint8_t> &OriginalCode,
-                            uint64_t Addr, const BitString &Variant,
-                            RoundStats &Stats) {
-  ++Stats.VariantsTried;
+struct BitFlipper::Trial {
+  enum Outcome { Crash, Reject, Accept };
+  Outcome Result = Reject;
+  ListingInst Pair; ///< Valid when Result == Accept.
+};
 
-  std::vector<uint8_t> Patched = OriginalCode;
-  if (Addr + Variant.size() / 8 > Patched.size())
-    return false;
-  writeWord(Patched, Addr, Variant);
+BitFlipper::Trial BitFlipper::runTrial(const std::string &KernelName,
+                                       std::vector<uint8_t> &Code,
+                                       uint64_t Addr,
+                                       const BitString &Variant) const {
+  Trial T;
+  const unsigned PatchBytes = Variant.size() / 8;
+  if (Addr + PatchBytes > Code.size())
+    return T; // Rejected: the exemplar does not fit this kernel.
 
-  Expected<std::string> Text = Disassembler(KernelName, Patched);
+  // Patch in place and restore on every exit path — \p Code is a reusable
+  // per-lane scratch buffer, not a throwaway copy.
+  uint8_t Saved[16];
+  assert(PatchBytes <= sizeof(Saved) && "word wider than 128 bits");
+  std::copy_n(Code.begin() + Addr, PatchBytes, Saved);
+  writeWord(Code, Addr, Variant);
+  Expected<std::string> Text = WindowDisasm
+                                   ? WindowDisasm(KernelName, Code, Addr)
+                                   : Disassembler(KernelName, Code);
+  std::copy_n(Saved, PatchBytes, Code.begin() + Addr);
+
   if (!Text) {
     // The closed-source disassembler "crashed" on the variant; discard it
     // (paper §III-B).
-    ++Stats.Crashes;
-    return false;
+    T.Result = Trial::Crash;
+    return T;
   }
 
   // The listing parser needs the architecture header line.
@@ -43,23 +67,20 @@ bool BitFlipper::tryVariant(const std::string &KernelName,
                      archName(Analyzer.database().arch()) + "\n" + *Text;
   Expected<Listing> L = parseListing(Full);
   if (!L) {
-    ++Stats.Crashes;
-    return false;
+    T.Result = Trial::Crash;
+    return T;
   }
 
-  for (const ListingKernel &Kernel : L->Kernels) {
-    for (const ListingInst &Pair : Kernel.Insts) {
+  for (ListingKernel &Kernel : L->Kernels) {
+    for (ListingInst &Pair : Kernel.Insts) {
       if (Pair.Address != Addr)
         continue;
-      size_t Before = Analyzer.database().operations().size();
-      Analyzer.analyzeInst(Pair, KernelName);
-      if (Analyzer.database().operations().size() > Before)
-        ++Stats.NewOperations;
-      ++Stats.Accepted;
-      return true;
+      T.Result = Trial::Accept;
+      T.Pair = std::move(Pair);
+      return T;
     }
   }
-  return false;
+  return T; // Rejected: decoded, but no instruction at the patched address.
 }
 
 std::vector<BitFlipper::RoundStats> BitFlipper::run(
@@ -67,6 +88,18 @@ std::vector<BitFlipper::RoundStats> BitFlipper::run(
     const Options &Opts) {
   std::vector<RoundStats> Rounds;
   EncodingDatabase::Stats Last = Analyzer.database().stats();
+
+  TaskPool Pool(Opts.NumThreads);
+
+  // Per-lane patchable copies of each kernel's code, created on first use
+  // and restored after every trial, so no variant pays a whole-kernel copy.
+  std::vector<std::map<std::string, std::vector<uint8_t>>> LaneCode(
+      Pool.numThreads());
+
+  // Variants already trialled this run. Rounds re-enumerate every
+  // exemplar, but a variant's trial outcome cannot change within a run,
+  // so re-disassembling it would be pure waste.
+  std::unordered_set<std::string> Tried;
 
   for (unsigned Round = 0; Round < Opts.MaxRounds; ++Round) {
     RoundStats Stats;
@@ -92,17 +125,66 @@ std::vector<BitFlipper::RoundStats> BitFlipper::run(
       Exemplars.push_back(std::move(E));
     }
 
+    // Enumerate this round's variant jobs in the canonical
+    // (exemplar index, bit index) order; the dedup cache filters repeats
+    // before any work is queued.
+    struct Job {
+      const Exemplar *E;
+      BitString Variant;
+    };
+    std::vector<Job> Jobs;
     for (const Exemplar &E : Exemplars) {
-      const std::vector<uint8_t> &Code = KernelCode.at(E.Kernel);
       unsigned Limit = std::min<unsigned>(Opts.MaxFlipBit, E.Word.size());
       for (unsigned Bit = 0; Bit < Limit; ++Bit) {
         if (!E.SkipBits.empty() && E.SkipBits[Bit])
           continue;
         BitString Variant = E.Word;
         Variant.flip(Bit);
-        tryVariant(E.Kernel, Code, E.Addr, Variant, Stats);
+        ++Stats.VariantsTried;
+        if (!Tried.insert(variantKey(E.Kernel, E.Addr, Variant)).second) {
+          ++Stats.CacheHits;
+          continue;
+        }
+        Jobs.push_back(Job{&E, std::move(Variant)});
       }
     }
+
+    // Fan the side-effect-free trials across the pool. Each lane owns its
+    // scratch buffers; nothing else is written concurrently.
+    std::vector<Trial> Trials(Jobs.size());
+    Pool.parallelFor(Jobs.size(), [&](unsigned Lane, size_t Idx) {
+      const Job &J = Jobs[Idx];
+      auto &Scratch = LaneCode[Lane];
+      auto It = Scratch.find(J.E->Kernel);
+      if (It == Scratch.end())
+        It = Scratch.emplace(J.E->Kernel, KernelCode.at(J.E->Kernel)).first;
+      Trials[Idx] = runTrial(J.E->Kernel, It->second, J.E->Addr, J.Variant);
+    });
+
+    // Merge serially in job order: the learned database is bit-for-bit
+    // independent of NumThreads and of the pool's scheduling.
+    for (size_t Idx = 0; Idx < Trials.size(); ++Idx) {
+      Trial &T = Trials[Idx];
+      switch (T.Result) {
+      case Trial::Crash:
+        ++Stats.Crashes;
+        break;
+      case Trial::Reject:
+        ++Stats.Rejected;
+        break;
+      case Trial::Accept: {
+        size_t Before = Analyzer.database().operations().size();
+        Analyzer.analyzeInst(T.Pair, Jobs[Idx].E->Kernel);
+        if (Analyzer.database().operations().size() > Before)
+          ++Stats.NewOperations;
+        ++Stats.Accepted;
+        break;
+      }
+      }
+    }
+    assert(Stats.VariantsTried == Stats.Crashes + Stats.Accepted +
+                                      Stats.Rejected + Stats.CacheHits &&
+           "RoundStats do not account for every variant");
 
     Stats.After = Analyzer.database().stats();
     Rounds.push_back(Stats);

@@ -14,11 +14,27 @@
 /// The disassembler is an opaque callback (in production: the closed-source
 /// cuobjdump binary; here: the vendor simulator, wired in by the caller so
 /// this library stays on the analyzer side of the firewall). The flipper
-/// patches each variant into a copy of the executable's kernel code at the
-/// exemplar's address, disassembles, and feeds whatever comes back — a new
-/// instance of the operation, or an entirely new operation — back into the
-/// analyzer. Disassembler crashes on invalid variants are expected and
-/// tolerated. Rounds repeat "until the results converge".
+/// patches each variant into the executable's kernel code at the exemplar's
+/// address, disassembles, and feeds whatever comes back — a new instance of
+/// the operation, or an entirely new operation — back into the analyzer.
+/// Disassembler crashes on invalid variants are expected and tolerated.
+/// Rounds repeat "until the results converge".
+///
+/// This is the system's hottest loop, so it is engineered accordingly:
+///
+///  - variant trials (patch → disassemble → parse → extract the pair at the
+///    patched address) are side-effect-free and fan out across a
+///    support::TaskPool; candidate pairs are then merged into the analyzer
+///    serially in (exemplar, bit) order, so the learned database is
+///    bit-for-bit identical for every Options::NumThreads value;
+///  - a per-run dedup cache keyed on (kernel, address, word) skips variants
+///    already trialled in an earlier round — their outcome cannot change;
+///  - patches go into reusable per-lane scratch buffers with save/restore
+///    of the patched word, instead of copying whole kernels per variant;
+///  - when the caller provides a WindowDisassembler, only the one-word
+///    window at the patched address is disassembled instead of the whole
+///    kernel (sound here because every other word already disassembled
+///    cleanly in the original listing).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,6 +56,14 @@ namespace analyzer {
 using KernelDisassembler = std::function<Expected<std::string>(
     const std::string &KernelName, const std::vector<uint8_t> &Code)>;
 
+/// Disassembles only the instruction word at byte offset \p Addr of a
+/// kernel's code, returning a listing in the same format restricted to that
+/// one line — the flipper's fast path (vendor::disassembleInstructionAt in
+/// this repo). Optional: without it the flipper disassembles whole kernels.
+using WindowDisassembler = std::function<Expected<std::string>(
+    const std::string &KernelName, const std::vector<uint8_t> &Code,
+    uint64_t Addr)>;
+
 class BitFlipper {
 public:
   struct Options {
@@ -53,18 +77,29 @@ public:
     /// Cap on flip positions (Volta's upper control bits are skipped by
     /// limiting to the low 64 bits, matching the paper's 64-bit focus).
     unsigned MaxFlipBit = 64;
+    /// Execution width for variant trials: 1 runs fully serial on the
+    /// calling thread, N > 1 fans trials across a TaskPool of N lanes,
+    /// 0 uses the hardware concurrency. The learned database is identical
+    /// for every value (serial merge order).
+    unsigned NumThreads = 1;
   };
 
   struct RoundStats {
     unsigned VariantsTried = 0;
-    unsigned Crashes = 0;      ///< Disassembler refused the variant.
-    unsigned Accepted = 0;     ///< Variant produced a decodable pair.
+    unsigned Crashes = 0;   ///< Disassembler refused the variant.
+    unsigned Accepted = 0;  ///< Variant produced a decodable pair.
+    unsigned Rejected = 0;  ///< Disassembled, but no usable pair at Addr
+                            ///< (SCHI position or out-of-range patch).
+    unsigned CacheHits = 0; ///< Variant already trialled in a prior round.
     unsigned NewOperations = 0;
     EncodingDatabase::Stats After;
+    // Invariant: VariantsTried == Crashes + Accepted + Rejected + CacheHits.
   };
 
-  BitFlipper(IsaAnalyzer &Analyzer, KernelDisassembler Disassembler)
-      : Analyzer(Analyzer), Disassembler(std::move(Disassembler)) {}
+  BitFlipper(IsaAnalyzer &Analyzer, KernelDisassembler Disassembler,
+             WindowDisassembler WindowDisasm = nullptr)
+      : Analyzer(Analyzer), Disassembler(std::move(Disassembler)),
+        WindowDisasm(std::move(WindowDisasm)) {}
 
   /// Runs flip rounds until convergence (no new operations, modifiers,
   /// unary operators or tokens) or Options::MaxRounds.
@@ -81,11 +116,18 @@ public:
 private:
   IsaAnalyzer &Analyzer;
   KernelDisassembler Disassembler;
+  WindowDisassembler WindowDisasm;
 
-  /// Tries one variant; returns true when it yielded a usable pair.
-  bool tryVariant(const std::string &KernelName,
-                  const std::vector<uint8_t> &OriginalCode, uint64_t Addr,
-                  const BitString &Variant, RoundStats &Stats);
+  /// One variant's side-effect-free outcome, produced on any lane and
+  /// merged on the caller's thread.
+  struct Trial;
+
+  /// Patches \p Variant into \p Code at \p Addr (restoring the original
+  /// word before returning), disassembles, and extracts the pair at the
+  /// patched address. Touches no analyzer state: safe to run concurrently
+  /// as long as each lane owns its \p Code buffer.
+  Trial runTrial(const std::string &KernelName, std::vector<uint8_t> &Code,
+                 uint64_t Addr, const BitString &Variant) const;
 };
 
 } // namespace analyzer

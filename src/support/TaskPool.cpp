@@ -1,0 +1,87 @@
+//===- support/TaskPool.cpp -----------------------------------------------===//
+
+#include "support/TaskPool.h"
+
+using namespace dcb;
+
+TaskPool::TaskPool(unsigned NumThreads) {
+  if (NumThreads == 0) {
+    NumThreads = std::thread::hardware_concurrency();
+    if (NumThreads == 0)
+      NumThreads = 1;
+  }
+  Workers.reserve(NumThreads - 1);
+  for (unsigned W = 0; W + 1 < NumThreads; ++W)
+    Workers.emplace_back([this, W] { workerLoop(W); });
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Stopping = true;
+  }
+  BatchStart.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+void TaskPool::workerLoop(unsigned WorkerIdx) {
+  uint64_t SeenBatch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      BatchStart.wait(Lock,
+                      [&] { return Stopping || Batch != SeenBatch; });
+      if (Stopping)
+        return;
+      SeenBatch = Batch;
+    }
+    drainBatch(WorkerIdx);
+  }
+}
+
+void TaskPool::drainBatch(unsigned WorkerIdx) {
+  for (;;) {
+    size_t Idx = Next.fetch_add(1, std::memory_order_relaxed);
+    if (Idx >= NumTasks)
+      break;
+    try {
+      (*Fn)(WorkerIdx, Idx);
+    } catch (...) {
+      std::lock_guard<std::mutex> Lock(M);
+      if (!FirstError || Idx < FirstErrorIdx) {
+        FirstError = std::current_exception();
+        FirstErrorIdx = Idx;
+      }
+    }
+  }
+  std::lock_guard<std::mutex> Lock(M);
+  if (--Active == 0)
+    BatchDone.notify_all();
+}
+
+void TaskPool::parallelFor(
+    size_t Tasks, const std::function<void(unsigned, size_t)> &TaskFn) {
+  if (Tasks == 0)
+    return;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Fn = &TaskFn;
+    NumTasks = Tasks;
+    Next.store(0, std::memory_order_relaxed);
+    Active = Workers.size() + 1; // Workers + this (the calling) thread.
+    FirstError = nullptr;
+    FirstErrorIdx = 0;
+    ++Batch;
+  }
+  BatchStart.notify_all();
+
+  // The caller is the highest-numbered lane.
+  drainBatch(static_cast<unsigned>(Workers.size()));
+
+  std::unique_lock<std::mutex> Lock(M);
+  BatchDone.wait(Lock, [&] { return Active == 0; });
+  Fn = nullptr;
+  if (FirstError)
+    std::rethrow_exception(FirstError);
+}

@@ -1,0 +1,91 @@
+//===- support/TaskPool.h - Reusable worker-thread pool ---------*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size worker pool for data-parallel loops. The design goal
+/// is deterministic *results* under nondeterministic scheduling: callers
+/// index a preallocated output slot by task index, so however the pool
+/// interleaves execution, draining the slots in index order reproduces the
+/// serial order exactly. The bit flipper is the first client; any subsystem
+/// with an embarrassingly parallel hot loop (batch disassembly, per-kernel
+/// transforms) can reuse it.
+///
+/// Threads are spawned once in the constructor and parked on a condition
+/// variable between batches, so repeated parallelFor calls (one per flip
+/// round) pay no thread-creation cost after the first.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_SUPPORT_TASKPOOL_H
+#define DCB_SUPPORT_TASKPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dcb {
+
+/// Fixed-size pool executing indexed task batches.
+///
+/// Concurrency = \p NumThreads total, *including* the calling thread: the
+/// pool spawns NumThreads - 1 workers and the caller participates in every
+/// batch, so TaskPool(1) runs everything inline with zero threads — the
+/// serial path and the parallel path share one code path.
+class TaskPool {
+public:
+  /// \p NumThreads = 0 picks the hardware concurrency.
+  explicit TaskPool(unsigned NumThreads = 0);
+  ~TaskPool();
+
+  TaskPool(const TaskPool &) = delete;
+  TaskPool &operator=(const TaskPool &) = delete;
+
+  /// Total execution width (workers + the calling thread), always >= 1.
+  unsigned numThreads() const {
+    return static_cast<unsigned>(Workers.size()) + 1;
+  }
+
+  /// Runs Fn(WorkerIdx, TaskIdx) for every TaskIdx in [0, NumTasks),
+  /// distributing indices dynamically, and blocks until all complete.
+  /// WorkerIdx < numThreads() identifies the executing lane, letting
+  /// callers keep per-lane scratch state without locking.
+  ///
+  /// If tasks throw, the exception from the lowest-numbered throwing task
+  /// is rethrown here (deterministically, regardless of scheduling) after
+  /// the batch drains. Not reentrant: Fn must not call parallelFor on the
+  /// same pool.
+  void parallelFor(size_t NumTasks,
+                   const std::function<void(unsigned, size_t)> &Fn);
+
+private:
+  void workerLoop(unsigned WorkerIdx);
+  void drainBatch(unsigned WorkerIdx);
+
+  std::vector<std::thread> Workers;
+
+  std::mutex M;
+  std::condition_variable BatchStart; ///< Wakes parked workers.
+  std::condition_variable BatchDone;  ///< Wakes the caller in parallelFor.
+  const std::function<void(unsigned, size_t)> *Fn = nullptr;
+  size_t NumTasks = 0;
+  std::atomic<size_t> Next{0}; ///< Next unclaimed task index (lock-free:
+                               ///< tasks can be microseconds long).
+  size_t Active = 0;           ///< Lanes still draining the current batch.
+  uint64_t Batch = 0; ///< Generation counter workers wait on.
+  bool Stopping = false;
+
+  std::exception_ptr FirstError;
+  size_t FirstErrorIdx = 0;
+};
+
+} // namespace dcb
+
+#endif // DCB_SUPPORT_TASKPOOL_H

@@ -27,6 +27,28 @@ bool isSchiWordIndex(SchiKind Kind, size_t WordIdx) {
   return Group > 1 && WordIdx % Group == 0;
 }
 
+/// Renders the listing line for the word at \p Addr, appending to \p Out.
+Error renderWordLine(const isa::ArchSpec &Spec, SchiKind Schi,
+                     const std::vector<uint8_t> &Code, size_t Addr,
+                     std::string &Out) {
+  const unsigned WordBytes = Spec.WordBits / 8;
+  BitString Word = wordAt(Code, Addr, WordBytes);
+  Out += "        /*" + toPaddedHex(Addr, 4) + "*/ ";
+  if (isSchiWordIndex(Schi, Addr / WordBytes)) {
+    // Scheduling words print as raw hex only (paper: the disassembler
+    // "offers no indication of its meaning").
+    Out += "/* 0x" + Word.toHex() + " */\n";
+    return Error::success();
+  }
+  Expected<sass::Instruction> Inst =
+      encoder::decodeInstruction(Spec, Word, Addr);
+  if (!Inst)
+    return Error::failure("cuobjdump-sim: " + Inst.message());
+  Out += sass::printInstruction(*Inst);
+  Out += " /* 0x" + Word.toHex() + " */\n";
+  return Error::success();
+}
+
 } // namespace
 
 Expected<std::string> vendor::disassembleKernelCode(
@@ -43,23 +65,26 @@ Expected<std::string> vendor::disassembleKernelCode(
   Out += "\t\tFunction : " + KernelName + "\n";
 
   size_t NumWords = Code.size() / WordBytes;
-  for (size_t WordIdx = 0; WordIdx < NumWords; ++WordIdx) {
-    size_t Addr = WordIdx * WordBytes;
-    BitString Word = wordAt(Code, Addr, WordBytes);
-    Out += "        /*" + toPaddedHex(Addr, 4) + "*/ ";
-    if (isSchiWordIndex(Schi, WordIdx)) {
-      // Scheduling words print as raw hex only (paper: the disassembler
-      // "offers no indication of its meaning").
-      Out += "/* 0x" + Word.toHex() + " */\n";
-      continue;
-    }
-    Expected<sass::Instruction> Inst =
-        encoder::decodeInstruction(Spec, Word, Addr);
-    if (!Inst)
-      return Failure("cuobjdump-sim: " + Inst.message());
-    Out += sass::printInstruction(*Inst);
-    Out += " /* 0x" + Word.toHex() + " */\n";
-  }
+  for (size_t WordIdx = 0; WordIdx < NumWords; ++WordIdx)
+    if (Error E = renderWordLine(Spec, Schi, Code, WordIdx * WordBytes, Out))
+      return Failure(E.message());
+  return Out;
+}
+
+Expected<std::string> vendor::disassembleInstructionAt(
+    Arch A, const std::string &KernelName, const std::vector<uint8_t> &Code,
+    uint64_t Addr) {
+  const isa::ArchSpec &Spec = isa::getArchSpec(A);
+  const unsigned WordBytes = Spec.WordBits / 8;
+
+  if (Addr % WordBytes != 0 || Addr + WordBytes > Code.size())
+    return Failure("cuobjdump-sim: address " + toHexString(Addr) +
+                   " is not an instruction word of kernel " + KernelName);
+
+  std::string Out;
+  Out += "\t\tFunction : " + KernelName + "\n";
+  if (Error E = renderWordLine(Spec, archSchiKind(A), Code, Addr, Out))
+    return Failure(E.message());
   return Out;
 }
 

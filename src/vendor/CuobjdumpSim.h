@@ -47,6 +47,18 @@ Expected<std::string> disassembleKernelCode(Arch A,
                                             const std::string &KernelName,
                                             const std::vector<uint8_t> &Code);
 
+/// Disassembles only the instruction word at byte offset \p Addr — the bit
+/// flipper's fast path, which avoids re-disassembling a whole kernel to
+/// inspect a one-word patch. Output has the same "Function :" + listing
+/// line shape as disassembleKernelCode restricted to that word: a SCHI
+/// position prints as a bare hex comment, an undecodable word fails the
+/// same way the full listing would, and a misaligned or out-of-range
+/// address is an error.
+Expected<std::string> disassembleInstructionAt(Arch A,
+                                               const std::string &KernelName,
+                                               const std::vector<uint8_t> &Code,
+                                               uint64_t Addr);
+
 } // namespace vendor
 } // namespace dcb
 

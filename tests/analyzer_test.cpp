@@ -54,6 +54,13 @@ KernelDisassembler makeDisassembler(Arch A) {
   };
 }
 
+WindowDisassembler makeWindowDisassembler(Arch A) {
+  return [A](const std::string &Name, const std::vector<uint8_t> &Code,
+             uint64_t Addr) {
+    return vendor::disassembleInstructionAt(A, Name, Code, Addr);
+  };
+}
+
 } // namespace
 
 TEST(Signature, OperandChars) {
@@ -195,9 +202,13 @@ TEST_P(AnalyzerPerArch, BitFlippingConvergesAndEnriches) {
   ASSERT_FALSE(Analyzer.analyzeListing(Data.L));
   auto Before = Analyzer.database().stats();
 
-  BitFlipper Flipper(Analyzer, makeDisassembler(GetParam()));
+  // Parallel lanes plus the single-word fast path: the common production
+  // configuration, exercised here on every architecture.
+  BitFlipper Flipper(Analyzer, makeDisassembler(GetParam()),
+                     makeWindowDisassembler(GetParam()));
   BitFlipper::Options Opts;
   Opts.MaxRounds = 3;
+  Opts.NumThreads = 4;
   auto Rounds = Flipper.run(Data.KernelCode, Opts);
   ASSERT_FALSE(Rounds.empty());
   auto After = Analyzer.database().stats();
@@ -209,6 +220,27 @@ TEST_P(AnalyzerPerArch, BitFlippingConvergesAndEnriches) {
   // Some variants crash the disassembler; that is expected and tolerated.
   EXPECT_GT(Rounds.front().Crashes, 0u);
   EXPECT_GT(Rounds.front().Accepted, 0u);
+}
+
+TEST_P(AnalyzerPerArch, RoundStatsAccountForEveryVariant) {
+  SuiteData Data = makeSuiteData(GetParam());
+  IsaAnalyzer Analyzer(GetParam());
+  ASSERT_FALSE(Analyzer.analyzeListing(Data.L));
+
+  BitFlipper Flipper(Analyzer, makeDisassembler(GetParam()),
+                     makeWindowDisassembler(GetParam()));
+  BitFlipper::Options Opts;
+  Opts.MaxRounds = 3;
+  auto Rounds = Flipper.run(Data.KernelCode, Opts);
+  ASSERT_FALSE(Rounds.empty());
+  for (const auto &R : Rounds)
+    EXPECT_EQ(R.VariantsTried,
+              R.Crashes + R.Accepted + R.Rejected + R.CacheHits);
+  // Round 1 sees only fresh variants; later rounds re-enumerate the same
+  // exemplars and the dedup cache absorbs the repeats.
+  EXPECT_EQ(Rounds.front().CacheHits, 0u);
+  if (Rounds.size() > 1)
+    EXPECT_GT(Rounds[1].CacheHits, 0u);
 }
 
 TEST_P(AnalyzerPerArch, ReassemblyStillExactAfterFlipping) {
@@ -244,6 +276,33 @@ TEST_P(AnalyzerPerArch, DatabaseSerializationRoundTrips) {
   for (const ListingKernel &Kernel : Data.L.Kernels) {
     unsigned Identical = asmgen::reassembleKernel(*Back, Kernel, nullptr);
     EXPECT_EQ(Identical, Kernel.Insts.size()) << Kernel.Name;
+  }
+}
+
+TEST(BitFlipperDeterminism, ParallelRunMatchesSerialByteForByte) {
+  // The engine's core guarantee: however many lanes run the trials, the
+  // merge into the analyzer is serial in (exemplar, bit) order, so the
+  // learned database is identical — across the whole serialized artifact.
+  for (Arch A : {Arch::SM35, Arch::SM52}) {
+    SuiteData Data = makeSuiteData(A);
+    auto runWith = [&](unsigned Jobs, bool UseWindow) {
+      IsaAnalyzer Analyzer(A);
+      EXPECT_FALSE(Analyzer.analyzeListing(Data.L));
+      BitFlipper Flipper(Analyzer, makeDisassembler(A),
+                         UseWindow ? makeWindowDisassembler(A)
+                                   : WindowDisassembler());
+      BitFlipper::Options Opts;
+      Opts.MaxRounds = 3;
+      Opts.NumThreads = Jobs;
+      Flipper.run(Data.KernelCode, Opts);
+      return Analyzer.database().serialize();
+    };
+    std::string Serial = runWith(1, true);
+    EXPECT_EQ(Serial, runWith(2, true)) << archName(A);
+    EXPECT_EQ(Serial, runWith(4, true)) << archName(A);
+    // The single-word fast path learns exactly what full-kernel
+    // disassembly learns (only the patched word ever differs).
+    EXPECT_EQ(Serial, runWith(4, false)) << archName(A);
   }
 }
 

@@ -5,8 +5,13 @@
 #include "support/Errors.h"
 #include "support/Rng.h"
 #include "support/StringUtils.h"
+#include "support/TaskPool.h"
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
 
 using namespace dcb;
 
@@ -177,6 +182,83 @@ TEST(Rng, RangesStayInBounds) {
     EXPECT_GE(V, 3u);
     EXPECT_LE(V, 9u);
   }
+}
+
+TEST(TaskPool, EveryIndexRunsExactlyOnceAndInOrderSlots) {
+  TaskPool Pool(4);
+  EXPECT_EQ(Pool.numThreads(), 4u);
+  // Each index is claimed by exactly one lane, so per-slot writes need no
+  // locking; draining the slots by index reproduces the serial order.
+  std::vector<size_t> Out(1000, ~size_t(0));
+  std::atomic<unsigned> MaxLane{0};
+  Pool.parallelFor(1000, [&](unsigned Lane, size_t Idx) {
+    unsigned Seen = MaxLane.load();
+    while (Lane > Seen && !MaxLane.compare_exchange_weak(Seen, Lane))
+      ;
+    Out[Idx] = Idx * Idx;
+  });
+  for (size_t I = 0; I < Out.size(); ++I)
+    EXPECT_EQ(Out[I], I * I);
+  EXPECT_LT(MaxLane.load(), Pool.numThreads());
+}
+
+TEST(TaskPool, ZeroTasksIsANoOp) {
+  TaskPool Pool(3);
+  std::atomic<bool> Ran{false};
+  Pool.parallelFor(0, [&](unsigned, size_t) { Ran = true; });
+  EXPECT_FALSE(Ran.load());
+}
+
+TEST(TaskPool, OneThreadRunsInlineOnTheCaller) {
+  TaskPool Pool(1);
+  EXPECT_EQ(Pool.numThreads(), 1u);
+  std::vector<size_t> Order;
+  std::vector<std::thread::id> Ids;
+  Pool.parallelFor(50, [&](unsigned Lane, size_t Idx) {
+    EXPECT_EQ(Lane, 0u);
+    Order.push_back(Idx);
+    Ids.push_back(std::this_thread::get_id());
+  });
+  ASSERT_EQ(Order.size(), 50u);
+  for (size_t I = 0; I < Order.size(); ++I) {
+    EXPECT_EQ(Order[I], I); // Inline execution preserves index order.
+    EXPECT_EQ(Ids[I], std::this_thread::get_id());
+  }
+}
+
+TEST(TaskPool, PropagatesLowestIndexException) {
+  TaskPool Pool(4);
+  std::atomic<unsigned> Completed{0};
+  try {
+    Pool.parallelFor(200, [&](unsigned, size_t Idx) {
+      if (Idx % 7 == 3)
+        throw std::runtime_error("task " + std::to_string(Idx));
+      ++Completed;
+    });
+    FAIL() << "expected parallelFor to rethrow";
+  } catch (const std::runtime_error &E) {
+    // The winner is chosen by task index, not completion time, so the
+    // rethrown exception is deterministic under any scheduling.
+    EXPECT_STREQ(E.what(), "task 3");
+  }
+  // The batch drained fully despite the throws.
+  EXPECT_EQ(Completed.load(), 200u - 200u / 7u - 1u);
+}
+
+TEST(TaskPool, ReusableAcrossBatches) {
+  TaskPool Pool(3);
+  std::atomic<uint64_t> Sum{0};
+  for (unsigned Batch = 0; Batch < 5; ++Batch)
+    Pool.parallelFor(100, [&](unsigned, size_t Idx) { Sum += Idx; });
+  EXPECT_EQ(Sum.load(), 5u * (99u * 100u / 2u));
+}
+
+TEST(TaskPool, ZeroThreadsPicksHardwareWidth) {
+  TaskPool Pool(0);
+  EXPECT_GE(Pool.numThreads(), 1u);
+  std::atomic<uint64_t> Sum{0};
+  Pool.parallelFor(64, [&](unsigned, size_t Idx) { Sum += Idx + 1; });
+  EXPECT_EQ(Sum.load(), 64u * 65u / 2u);
 }
 
 TEST(Arch, NamesRoundTrip) {

@@ -9,7 +9,7 @@
 //                                            when a CUDA toolchain exists)
 //   dcb disasm <cubin>                       cuobjdump-style listing
 //   dcb analyze <listing> [--db in] -o out   run the ISA Analyzer
-//   dcb flip <cubin> --db in -o out          bit-flip enrichment rounds
+//   dcb flip <cubin> --db in [--jobs N] -o out   bit-flip enrichment rounds
 //   dcb genasm --db db -o asm2bin.cpp        emit the C++ assembler (Alg. 3)
 //   dcb asm --db db <listing>                reassemble, print hex words
 //   dcb verify --db db <listing>             reassemble + compare binary
@@ -181,7 +181,7 @@ int cmdAnalyze(const Args &A) {
 
 int cmdFlip(const Args &A) {
   if (A.Positional.empty())
-    die("usage: dcb flip <cubin> --db in.db -o <out.db>");
+    die("usage: dcb flip <cubin> --db in.db [--jobs N] -o <out.db>");
   Expected<elf::Cubin> Cubin =
       elf::Cubin::deserialize(readBinary(A.Positional[0]));
   if (!Cubin)
@@ -195,15 +195,28 @@ int cmdFlip(const Args &A) {
     KernelCode[Kernel.Name] = Kernel.Code;
   Arch Target = Cubin->arch();
   analyzer::BitFlipper Flipper(
-      Analyzer, [Target](const std::string &Name,
-                         const std::vector<uint8_t> &Code) {
+      Analyzer,
+      [Target](const std::string &Name, const std::vector<uint8_t> &Code) {
         return vendor::disassembleKernelCode(Target, Name, Code);
+      },
+      [Target](const std::string &Name, const std::vector<uint8_t> &Code,
+               uint64_t Addr) {
+        return vendor::disassembleInstructionAt(Target, Name, Code, Addr);
       });
-  auto Rounds = Flipper.run(KernelCode);
+  analyzer::BitFlipper::Options Opts;
+  if (auto Jobs = A.get("--jobs")) {
+    std::optional<uint64_t> N = parseUInt(*Jobs);
+    if (!N)
+      die("bad --jobs value '" + *Jobs + "'");
+    Opts.NumThreads = static_cast<unsigned>(*N); // 0 = hardware width.
+  }
+  auto Rounds = Flipper.run(KernelCode, Opts);
   for (size_t R = 0; R < Rounds.size(); ++R)
-    std::printf("round %zu: %u variants, %u crashes, %u accepted\n", R + 1,
-                Rounds[R].VariantsTried, Rounds[R].Crashes,
-                Rounds[R].Accepted);
+    std::printf("round %zu: %u variants, %u crashes, %u accepted, "
+                "%u rejected, %u cache hits\n",
+                R + 1, Rounds[R].VariantsTried, Rounds[R].Crashes,
+                Rounds[R].Accepted, Rounds[R].Rejected,
+                Rounds[R].CacheHits);
   writeFile(A.need("--out"), Analyzer.database().serialize());
   return 0;
 }
@@ -317,7 +330,9 @@ void usage() {
       "  make-suite <arch> -o <cubin>            compile the synthetic suite\n"
       "  disasm <cubin>                          print the listing\n"
       "  analyze <listing>... [--db in] -o <db>  learn encodings\n"
-      "  flip <cubin> --db <db> -o <db>          bit-flip enrichment\n"
+      "  flip <cubin> --db <db> [--jobs N] -o <db>\n"
+      "                                          bit-flip enrichment\n"
+      "                                          (--jobs 0 = all cores)\n"
       "  genasm --db <db> -o <cpp>               generate an assembler\n"
       "  asm --db <db> <listing>                 assemble, print hex\n"
       "  verify --db <db> <listing>              reassemble and compare\n"
