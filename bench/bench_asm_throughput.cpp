@@ -1,0 +1,166 @@
+//===- bench/bench_asm_throughput.cpp - Batched assembly pipeline ----------===//
+//
+// Measures SASS -> binary assembly throughput over the whole synthetic
+// suite, per architecture family:
+//
+//  * the original string-map interpreter (operation key built and looked up
+//    as a string, modifier/token maps probed by spelling, windows
+//    recollected per instruction), and
+//  * the interned-symbol pipeline (integer operation keys, id-indexed
+//    frozen tables, precomputed windows) at 1, 2 and 4 lanes via
+//    asmgen::assembleProgram.
+//
+// The report section prints the single-thread speedup of the frozen path
+// over the string-map path and checks that every lane count produces
+// byte-identical words — the batch pipeline's determinism contract.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "asmgen/TableAssembler.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+using namespace dcb;
+using namespace dcb::bench;
+
+namespace {
+
+/// Every instruction of the suite listing, with its byte address.
+std::vector<asmgen::AsmJob> suiteJobs(const analyzer::Listing &L) {
+  std::vector<asmgen::AsmJob> Jobs;
+  for (const analyzer::ListingKernel &Kernel : L.Kernels)
+    for (const analyzer::ListingInst &Pair : Kernel.Insts)
+      Jobs.push_back({&Pair.Inst, Pair.Address});
+  return Jobs;
+}
+
+/// One family representative per supported encoding generation.
+const Arch ReportArchs[] = {Arch::SM20, Arch::SM35, Arch::SM50, Arch::SM61};
+
+double secondsPerSweep(const analyzer::EncodingDatabase &Db,
+                       const std::vector<asmgen::AsmJob> &Jobs,
+                       unsigned Repeats) {
+  auto Start = std::chrono::steady_clock::now();
+  for (unsigned R = 0; R < Repeats; ++R)
+    for (const asmgen::AsmJob &Job : Jobs) {
+      Expected<BitString> Word =
+          asmgen::assembleInstruction(Db, *Job.Inst, Job.Pc);
+      benchmark::DoNotOptimize(Word);
+    }
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(End - Start).count() / Repeats;
+}
+
+void report() {
+  std::printf("=== Assembly throughput: string maps vs frozen index ===\n");
+  for (Arch A : ReportArchs) {
+    const ArchData &Data = archData(A);
+    std::vector<asmgen::AsmJob> Jobs = suiteJobs(Data.Listing);
+
+    // The cached database may have been frozen by earlier phases; a copy
+    // drops the index, giving the pre-change string-map baseline.
+    analyzer::EncodingDatabase Unfrozen = Data.FlippedDb;
+    const unsigned Repeats = 20;
+    double MapSec = secondsPerSweep(Unfrozen, Jobs, Repeats);
+
+    analyzer::EncodingDatabase Frozen = Data.FlippedDb;
+    Frozen.freeze();
+    double IdxSec = secondsPerSweep(Frozen, Jobs, Repeats);
+
+    double MapRate = Jobs.size() / MapSec, IdxRate = Jobs.size() / IdxSec;
+    std::printf("%-6s %5zu insts  string-map %9.0f insts/s  "
+                "frozen %9.0f insts/s  speedup %.2fx\n",
+                archName(A), Jobs.size(), MapRate, IdxRate,
+                IdxSec > 0 ? MapSec / IdxSec : 0.0);
+
+    // Determinism: every lane count must produce byte-identical output.
+    auto Serial = asmgen::assembleProgram(Frozen, Jobs, {1, 64});
+    for (unsigned Lanes : {2u, 4u, 0u}) {
+      auto Parallel = asmgen::assembleProgram(Frozen, Jobs, {Lanes, 16});
+      bool Identical = Serial.size() == Parallel.size();
+      for (size_t I = 0; Identical && I < Serial.size(); ++I) {
+        Identical = Serial[I].hasValue() == Parallel[I].hasValue() &&
+                    (Serial[I].hasValue()
+                         ? *Serial[I] == *Parallel[I]
+                         : Serial[I].message() == Parallel[I].message());
+      }
+      if (!Identical) {
+        std::printf("DETERMINISM VIOLATION at %u lanes on %s\n", Lanes,
+                    archName(A));
+        std::abort();
+      }
+    }
+  }
+  std::printf("determinism: 1/2/4/hw lanes byte-identical on all "
+              "report architectures\n\n");
+}
+
+/// Pre-change baseline: per-instruction assembly against string-keyed maps.
+void BM_AssembleStringMap(benchmark::State &State) {
+  Arch A = static_cast<Arch>(State.range(0));
+  const ArchData &Data = archData(A);
+  analyzer::EncodingDatabase Db = Data.FlippedDb; // Copy = unfrozen.
+  std::vector<asmgen::AsmJob> Jobs = suiteJobs(Data.Listing);
+  for (auto _ : State)
+    for (const asmgen::AsmJob &Job : Jobs) {
+      Expected<BitString> Word =
+          asmgen::assembleInstruction(Db, *Job.Inst, Job.Pc);
+      benchmark::DoNotOptimize(Word);
+    }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Jobs.size()));
+  State.SetBytesProcessed(State.iterations() *
+                          static_cast<int64_t>(Jobs.size()) *
+                          (Db.wordBits() / 8));
+}
+
+/// The interned-symbol pipeline at State.range(1) lanes.
+void BM_AssembleBatch(benchmark::State &State) {
+  Arch A = static_cast<Arch>(State.range(0));
+  const ArchData &Data = archData(A);
+  analyzer::EncodingDatabase Db = Data.FlippedDb;
+  Db.freeze();
+  std::vector<asmgen::AsmJob> Jobs = suiteJobs(Data.Listing);
+  BatchOptions Options;
+  Options.NumThreads = static_cast<unsigned>(State.range(1));
+  for (auto _ : State) {
+    auto Words = asmgen::assembleProgram(Db, Jobs, Options);
+    benchmark::DoNotOptimize(Words);
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Jobs.size()));
+  State.SetBytesProcessed(State.iterations() *
+                          static_cast<int64_t>(Jobs.size()) *
+                          (Db.wordBits() / 8));
+}
+
+void forEachReportArch(benchmark::internal::Benchmark *B) {
+  for (Arch A : ReportArchs)
+    B->Arg(static_cast<int>(A));
+}
+
+void forEachArchAndLanes(benchmark::internal::Benchmark *B) {
+  for (Arch A : ReportArchs)
+    for (int Lanes : {1, 2, 4})
+      B->Args({static_cast<int>(A), Lanes});
+}
+
+} // namespace
+
+BENCHMARK(BM_AssembleStringMap)
+    ->Apply(forEachReportArch)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AssembleBatch)
+    ->Apply(forEachArchAndLanes)
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char **argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

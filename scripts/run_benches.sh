@@ -31,27 +31,43 @@ else
   done
 fi
 
+if [ "${#BENCHES[@]}" -eq 0 ]; then
+  echo "run_benches: no bench binaries found under $BUILD/bench —" \
+       "did the Release build produce them?" >&2
+  exit 1
+fi
+
+for NAME in "${BENCHES[@]}"; do
+  if [ ! -x "$BUILD/bench/$NAME" ]; then
+    echo "run_benches: no such bench binary: $NAME" >&2
+    exit 1
+  fi
+done
+
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
+# Assemble the combined report in the temp dir and move it into place only
+# after every bench has succeeded, so a failing bench aborts the run loudly
+# instead of leaving a truncated BENCH_<label>.json behind.
 OUT="$ROOT/BENCH_${LABEL}.json"
 {
   printf '{\n  "label": "%s",\n  "benches": {\n' "$LABEL"
   FIRST=1
   for NAME in "${BENCHES[@]}"; do
     BIN="$BUILD/bench/$NAME"
-    if [ ! -x "$BIN" ]; then
-      echo "run_benches: no such bench binary: $NAME" >&2
+    echo "running $NAME ..." >&2
+    if ! "$BIN" --benchmark_out="$TMP/$NAME.json" \
+                --benchmark_out_format=json >/dev/null; then
+      echo "run_benches: $NAME exited non-zero; no output written" >&2
       exit 1
     fi
-    echo "running $NAME ..." >&2
-    "$BIN" --benchmark_out="$TMP/$NAME.json" \
-           --benchmark_out_format=json >/dev/null
     [ "$FIRST" -eq 1 ] || printf ',\n'
     FIRST=0
     printf '    "%s":\n' "$NAME"
     sed 's/^/    /' "$TMP/$NAME.json"
   done
   printf '\n  }\n}\n'
-} > "$OUT"
+} > "$TMP/combined.json"
+mv "$TMP/combined.json" "$OUT"
 echo "wrote $OUT"

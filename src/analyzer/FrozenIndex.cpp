@@ -1,0 +1,139 @@
+//===- analyzer/FrozenIndex.cpp - Database freeze step --------------------===//
+
+#include "analyzer/FrozenIndex.h"
+
+#include "analyzer/IsaAnalyzer.h"
+#include "analyzer/ModifierTypes.h"
+
+#include <cassert>
+
+using namespace dcb;
+using namespace dcb::analyzer;
+
+PackedPattern analyzer::packPattern(const PatternRec &Rec) {
+  PackedPattern P;
+  unsigned Bits = static_cast<unsigned>(Rec.Bits.size());
+  assert(Bits <= PackedPattern::MaxWords * 64 && "instruction word too wide");
+  P.NumWords = (Bits + 63) / 64;
+  if (P.NumWords == 0)
+    P.NumWords = 1; // A started-but-empty pattern still applies as a no-op.
+  for (unsigned B = 0; B < Bits; ++B) {
+    if (!Rec.Bits[B])
+      continue;
+    P.Mask[B / 64] |= uint64_t(1) << (B % 64);
+    if (Rec.Binary.get(B))
+      P.Value[B / 64] |= uint64_t(1) << (B % 64);
+  }
+  return P;
+}
+
+FrozenIndex::FrozenIndex(const std::map<std::string, OperationRec> &Ops) {
+  SymbolTable &Syms = SymbolTable::global();
+  Map.reserve(Ops.size());
+  for (const auto &[Key, Op] : Ops) {
+    (void)Key;
+    FrozenOperation Frozen;
+    Frozen.Rec = &Op;
+    Frozen.Opcode = packPattern(Op.Opcode);
+
+    Frozen.Mods.reserve(Op.Mods.size());
+    for (const auto &[NameOcc, Rec] : Op.Mods) {
+      FrozenMod M;
+      M.Name = Syms.intern(NameOcc.first);
+      M.Type = Syms.intern(modifierType(NameOcc.first));
+      M.Occurrence = NameOcc.second;
+      M.Pattern = packPattern(Rec);
+      Frozen.Mods.push_back(M);
+    }
+
+    Frozen.Operands.reserve(Op.Operands.size());
+    for (const OperandRec &Operand : Op.Operands) {
+      FrozenOperand F;
+      F.SigChar = Operand.SigChar;
+      for (const auto &[Ch, Rec] : Operand.Unaries) {
+        int Slot = unarySlot(Ch);
+        assert(Slot >= 0 && "unknown unary operator in learned records");
+        if (Slot >= 0)
+          F.Unaries[Slot] = packPattern(Rec);
+      }
+      F.Tokens.reserve(Operand.Tokens.size());
+      for (const auto &[Name, Rec] : Operand.Tokens)
+        F.Tokens.emplace_back(Syms.intern(Name), packPattern(Rec));
+      F.Mods.reserve(Operand.Mods.size());
+      for (const auto &[Name, Rec] : Operand.Mods)
+        F.Mods.emplace_back(Syms.intern(Name), packPattern(Rec));
+      F.CompWindows.reserve(Operand.Comps.size());
+      for (size_t C = 0; C < Operand.Comps.size(); ++C)
+        F.CompWindows.push_back(Operand.Comps[C].collectWindows(
+            interpKindsFor(Operand.SigChar, static_cast<unsigned>(C),
+                           Op.Mnemonic)));
+      Frozen.Operands.push_back(std::move(F));
+    }
+
+    Frozen.GuardWindows = Op.Guard.collectWindows({InterpKind::Plain});
+
+    Map.emplace(operationKeyId(Op.Mnemonic, Op.Signature),
+                std::move(Frozen));
+  }
+}
+
+// --- EncodingDatabase freeze plumbing --------------------------------------
+//
+// Lives here rather than in Database.cpp so the (de)serialization unit does
+// not pull in the index; the database header only forward-declares
+// FrozenIndex.
+
+EncodingDatabase::EncodingDatabase(Arch A)
+    : A(A), WordBits(archWordBits(A)) {}
+
+EncodingDatabase::~EncodingDatabase() = default;
+
+EncodingDatabase::EncodingDatabase(const EncodingDatabase &O)
+    : A(O.A), WordBits(O.WordBits), Ops(O.Ops) {}
+
+EncodingDatabase::EncodingDatabase(EncodingDatabase &&O) noexcept
+    : A(O.A), WordBits(O.WordBits), Ops(std::move(O.Ops)) {
+  O.thaw();
+}
+
+EncodingDatabase &EncodingDatabase::operator=(const EncodingDatabase &O) {
+  if (this != &O) {
+    thaw();
+    A = O.A;
+    WordBits = O.WordBits;
+    Ops = O.Ops;
+  }
+  return *this;
+}
+
+EncodingDatabase &EncodingDatabase::operator=(EncodingDatabase &&O) noexcept {
+  if (this != &O) {
+    thaw();
+    A = O.A;
+    WordBits = O.WordBits;
+    Ops = std::move(O.Ops);
+    O.thaw();
+  }
+  return *this;
+}
+
+const FrozenIndex &EncodingDatabase::freeze() const {
+  if (const FrozenIndex *Existing = FrozenPtr.load(std::memory_order_acquire))
+    return *Existing;
+  std::lock_guard<std::mutex> Lock(FreezeM);
+  if (!FrozenStore)
+    FrozenStore = std::make_unique<FrozenIndex>(Ops);
+  FrozenPtr.store(FrozenStore.get(), std::memory_order_release);
+  return *FrozenStore;
+}
+
+void EncodingDatabase::thaw() {
+  // operations() calls this once per learned instruction; skip the lock in
+  // the common never-frozen case. (Thawing concurrently with freeze() or
+  // with readers is already a documented data race on Ops itself.)
+  if (!FrozenPtr.load(std::memory_order_relaxed) && !FrozenStore)
+    return;
+  std::lock_guard<std::mutex> Lock(FreezeM);
+  FrozenPtr.store(nullptr, std::memory_order_release);
+  FrozenStore.reset();
+}

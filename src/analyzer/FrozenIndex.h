@@ -1,0 +1,147 @@
+//===- analyzer/FrozenIndex.h - Id-indexed learned encodings ----*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The assembly fast path's view of an EncodingDatabase: every
+/// `std::map<std::string, …>` the learning side accumulates is re-indexed
+/// by interned SymbolId, and every derived quantity that is constant per
+/// record — component windows, modifier type ids, unary slots — is computed
+/// once. Built by EncodingDatabase::freeze() after learning finishes and
+/// shared read-only across assembly lanes; any later mutation of the
+/// database discards it (see EncodingDatabase::operations()).
+///
+/// The index borrows the PatternRecs of the database it was built from: it
+/// is a view, valid only while that database is alive and unmodified.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_ANALYZER_FROZENINDEX_H
+#define DCB_ANALYZER_FROZENINDEX_H
+
+#include "analyzer/Records.h"
+#include "analyzer/Signature.h"
+#include "support/SymbolTable.h"
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace dcb {
+namespace analyzer {
+
+/// A PatternRec's consistent bits packed as little-endian (value, mask)
+/// 64-bit words — the same shape generated assemblers bake in as literals,
+/// applied with whole-word stores instead of a bit-at-a-time loop.
+/// NumWords == 0 marks an absent pattern.
+struct PackedPattern {
+  static constexpr unsigned MaxWords = 2; ///< Up to 128-bit words (Volta).
+  uint64_t Value[MaxWords] = {0, 0};
+  uint64_t Mask[MaxWords] = {0, 0};
+  unsigned NumWords = 0;
+
+  explicit operator bool() const { return NumWords != 0; }
+};
+
+/// Packs every still-consistent bit of \p Rec.
+PackedPattern packPattern(const PatternRec &Rec);
+
+/// One opcode-attached modifier record, resolved to ids. Type is the
+/// interned modifierType() of the name — needed to replay the
+/// same-type-occurrence matching of §III-A without string work.
+struct FrozenMod {
+  SymbolId Name = InvalidSymbolId;
+  SymbolId Type = InvalidSymbolId;
+  unsigned Occurrence = 0;
+  PackedPattern Pattern;
+};
+
+/// One operand's id-indexed tables plus precomputed component windows.
+struct FrozenOperand {
+  char SigChar = '?';
+  /// Indexed by FrozenIndex::unarySlot ('-', '~', '|', '!').
+  PackedPattern Unaries[4];
+  std::vector<std::pair<SymbolId, PackedPattern>> Tokens;
+  std::vector<std::pair<SymbolId, PackedPattern>> Mods;
+  /// CompWindows[c] = surviving windows of component c under the
+  /// interpretation kinds fixed by (SigChar, c, mnemonic).
+  std::vector<std::vector<WindowRef>> CompWindows;
+
+  const PackedPattern *findToken(SymbolId Id) const {
+    for (const auto &[Sym, Rec] : Tokens)
+      if (Sym == Id)
+        return &Rec;
+    return nullptr;
+  }
+  const PackedPattern *findMod(SymbolId Id) const {
+    for (const auto &[Sym, Rec] : Mods)
+      if (Sym == Id)
+        return &Rec;
+    return nullptr;
+  }
+};
+
+/// One operation, fully resolved for assembly.
+struct FrozenOperation {
+  const OperationRec *Rec = nullptr;
+  PackedPattern Opcode;
+  std::vector<FrozenMod> Mods;
+  std::vector<FrozenOperand> Operands;
+  std::vector<WindowRef> GuardWindows;
+
+  /// The type id of modifier name \p Id, or InvalidSymbolId when no
+  /// occurrence of that name was learned for this operation.
+  SymbolId modType(SymbolId Id) const {
+    for (const FrozenMod &M : Mods)
+      if (M.Name == Id)
+        return M.Type;
+    return InvalidSymbolId;
+  }
+  const PackedPattern *findMod(SymbolId Id, unsigned Occurrence) const {
+    for (const FrozenMod &M : Mods)
+      if (M.Name == Id && M.Occurrence == Occurrence)
+        return &M.Pattern;
+    return nullptr;
+  }
+};
+
+/// The whole database, keyed by integer operation key.
+class FrozenIndex {
+public:
+  explicit FrozenIndex(const std::map<std::string, OperationRec> &Ops);
+
+  const FrozenOperation *lookup(const OperationKeyId &Key) const {
+    auto It = Map.find(Key);
+    return It == Map.end() ? nullptr : &It->second;
+  }
+
+  size_t size() const { return Map.size(); }
+
+  /// Slot of a unary-operator char in FrozenOperand::Unaries; -1 for
+  /// non-unary chars.
+  static int unarySlot(char Ch) {
+    switch (Ch) {
+    case '-':
+      return 0;
+    case '~':
+      return 1;
+    case '|':
+      return 2;
+    case '!':
+      return 3;
+    }
+    return -1;
+  }
+
+private:
+  std::unordered_map<OperationKeyId, FrozenOperation, OperationKeyIdHash> Map;
+};
+
+} // namespace analyzer
+} // namespace dcb
+
+#endif // DCB_ANALYZER_FROZENINDEX_H

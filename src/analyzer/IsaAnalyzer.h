@@ -22,22 +22,46 @@
 #include "analyzer/Records.h"
 #include "support/Arch.h"
 
+#include <atomic>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 
 namespace dcb {
 namespace analyzer {
 
+class FrozenIndex;
+
 /// The set of learned operation encodings for one architecture.
+///
+/// Two access regimes:
+///  - *learning*: records are accumulated through the mutable operations()
+///    map, keyed by operation string for the serialized artifact's sake;
+///  - *serving*: freeze() derives an id-indexed FrozenIndex (integer keys,
+///    precomputed windows) that assembly lanes share read-only.
+/// Mutating operations() discards any frozen index; freezing is cheap
+/// relative to one learning round, so freeze-after-learn is the expected
+/// rhythm. Do not mutate the database while other threads assemble with it.
 class EncodingDatabase {
 public:
-  explicit EncodingDatabase(Arch A = Arch::SM35)
-      : A(A), WordBits(archWordBits(A)) {}
+  explicit EncodingDatabase(Arch A = Arch::SM35);
+  ~EncodingDatabase();
+
+  /// Copies and moves transfer the learned records only; the frozen index
+  /// is a view tied to one database instance and is rebuilt on demand.
+  EncodingDatabase(const EncodingDatabase &O);
+  EncodingDatabase(EncodingDatabase &&O) noexcept;
+  EncodingDatabase &operator=(const EncodingDatabase &O);
+  EncodingDatabase &operator=(EncodingDatabase &&O) noexcept;
 
   Arch arch() const { return A; }
   unsigned wordBits() const { return WordBits; }
 
-  std::map<std::string, OperationRec> &operations() { return Ops; }
+  std::map<std::string, OperationRec> &operations() {
+    thaw();
+    return Ops;
+  }
   const std::map<std::string, OperationRec> &operations() const {
     return Ops;
   }
@@ -45,6 +69,16 @@ public:
   const OperationRec *lookup(const std::string &Key) const {
     auto It = Ops.find(Key);
     return It == Ops.end() ? nullptr : &It->second;
+  }
+
+  /// Builds (or returns) the id-indexed lookup structure. Thread-safe;
+  /// concurrent callers share one build.
+  const FrozenIndex &freeze() const;
+
+  /// The frozen index, or nullptr when the database is not frozen. A
+  /// lock-free read, safe to call per assembled instruction.
+  const FrozenIndex *frozen() const {
+    return FrozenPtr.load(std::memory_order_acquire);
   }
 
   /// Aggregate statistics (drive the convergence loop and the benches).
@@ -69,10 +103,21 @@ public:
   /// Reloads a database written by serialize().
   static Expected<EncodingDatabase> deserialize(const std::string &Text);
 
+  /// Drops the frozen index (if any). Called automatically when mutable
+  /// access is handed out.
+  void thaw();
+
 private:
   Arch A;
   unsigned WordBits;
   std::map<std::string, OperationRec> Ops;
+
+  /// Freeze state. FrozenPtr mirrors FrozenStore.get() so frozen() is a
+  /// single atomic load on the assembly hot path; FreezeM serializes
+  /// build/teardown.
+  mutable std::atomic<const FrozenIndex *> FrozenPtr{nullptr};
+  mutable std::unique_ptr<FrozenIndex> FrozenStore;
+  mutable std::mutex FreezeM;
 };
 
 /// The analyzer itself.

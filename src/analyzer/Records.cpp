@@ -114,6 +114,18 @@ ComponentRec::windows(InterpKind Kind) const {
   return Result;
 }
 
+std::vector<WindowRef>
+ComponentRec::collectWindows(const std::vector<InterpKind> &Kinds) const {
+  std::vector<WindowRef> Result;
+  for (InterpKind Kind : Kinds) {
+    for (auto [B, S] : windows(Kind))
+      Result.push_back(WindowRef{static_cast<uint8_t>(Kind),
+                                 static_cast<uint8_t>(B),
+                                 static_cast<uint8_t>(S)});
+  }
+  return Result;
+}
+
 bool ComponentRec::anyWindow() const {
   for (const auto &Masks : WidthMask)
     for (uint64_t Mask : Masks)

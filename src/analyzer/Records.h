@@ -91,6 +91,16 @@ struct PatternRec {
   }
 };
 
+/// One surviving component window: interpretation kind + field position.
+/// The unit the assembler consumes — computed from ComponentRec masks once
+/// at database-freeze time (and baked as literals into generated
+/// assemblers).
+struct WindowRef {
+  uint8_t Kind;
+  uint8_t Lo;
+  uint8_t Size;
+};
+
 /// Per-component window search state (the paper's COMPONENT 'size' array),
 /// kept separately for each interpretation kind so that an interpretation
 /// survives only if it matched in every instance.
@@ -118,6 +128,11 @@ struct ComponentRec {
   /// surviving window per start position.
   std::vector<std::pair<unsigned, unsigned>>
   windows(InterpKind Kind) const;
+
+  /// The surviving windows restricted to \p Kinds, in kind order — the
+  /// flat form the assembler iterates.
+  std::vector<WindowRef>
+  collectWindows(const std::vector<InterpKind> &Kinds) const;
 
   /// True if any window of any kind survives.
   bool anyWindow() const;

@@ -17,7 +17,9 @@
 #define DCB_ANALYZER_SIGNATURE_H
 
 #include "sass/Ast.h"
+#include "support/SymbolTable.h"
 
+#include <cstdint>
 #include <string>
 
 namespace dcb {
@@ -35,6 +37,43 @@ std::string operandSignature(const sass::Instruction &Inst);
 
 /// The lookup key for an operation: "MNEMONIC/sig".
 std::string operationKey(const sass::Instruction &Inst);
+
+/// The integer form of operationKey: the interned mnemonic plus the
+/// operand-type signature packed into a word. Building one does no heap
+/// work for instructions of up to 8 operands (signature chars pack 8 bits
+/// each, zero-padded; no signature char is NUL so lengths stay
+/// distinguishable); longer signatures — absent from every supported ISA —
+/// fall back to interning the signature string, flagged in bit 63 (packed
+/// chars are 7-bit, so the forms can never collide). Two instructions
+/// compare equal here iff their operationKey strings compare equal.
+struct OperationKeyId {
+  SymbolId Mnemonic = InvalidSymbolId;
+  uint64_t Sig = 0;
+
+  bool operator==(const OperationKeyId &O) const {
+    return Mnemonic == O.Mnemonic && Sig == O.Sig;
+  }
+  bool operator!=(const OperationKeyId &O) const { return !(*this == O); }
+};
+
+struct OperationKeyIdHash {
+  size_t operator()(const OperationKeyId &K) const {
+    uint64_t H = K.Sig + 0x9e3779b97f4a7c15ull * (uint64_t(K.Mnemonic) + 1);
+    H ^= H >> 29;
+    H *= 0xbf58476d1ce4e5b9ull;
+    H ^= H >> 32;
+    return static_cast<size_t>(H);
+  }
+};
+
+/// Integer key of an instruction. Uses the parser-interned OpcodeSym when
+/// present, interning the spelling otherwise.
+OperationKeyId operationKeyId(const sass::Instruction &Inst);
+
+/// Integer key from the spellings a learned record stores — the freeze
+/// step's side of the same mapping.
+OperationKeyId operationKeyId(const std::string &Mnemonic,
+                              const std::string &Signature);
 
 } // namespace analyzer
 } // namespace dcb

@@ -121,15 +121,28 @@ std::string asmgen::tokenName(const sass::Operand &Op) {
   }
 }
 
+std::string_view asmgen::tokenView(const sass::Operand &Op, char (&Buf)[4]) {
+  using sass::OperandKind;
+  switch (Op.Kind) {
+  case OperandKind::SpecialReg:
+    return Op.Text;
+  case OperandKind::TexShape:
+    return sass::texShapeName(static_cast<sass::TexShapeKind>(Op.Value[0]));
+  case OperandKind::TexChannel: {
+    static const char Names[4] = {'R', 'G', 'B', 'A'};
+    size_t Len = 0;
+    for (unsigned I = 0; I < 4; ++I)
+      if (Op.Value[0] & (1 << I))
+        Buf[Len++] = Names[I];
+    return std::string_view(Buf, Len);
+  }
+  default:
+    return std::string_view();
+  }
+}
+
 std::vector<WindowRef>
 asmgen::collectWindows(const ComponentRec &Comp,
                        const std::vector<InterpKind> &Kinds) {
-  std::vector<WindowRef> Result;
-  for (InterpKind Kind : Kinds) {
-    for (auto [B, S] : Comp.windows(Kind))
-      Result.push_back(WindowRef{static_cast<uint8_t>(Kind),
-                                 static_cast<uint8_t>(B),
-                                 static_cast<uint8_t>(S)});
-  }
-  return Result;
+  return Comp.collectWindows(Kinds);
 }

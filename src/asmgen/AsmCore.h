@@ -20,17 +20,16 @@
 #include "support/BitString.h"
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace dcb {
 namespace asmgen {
 
 /// One surviving component window: interpretation kind + field position.
-struct WindowRef {
-  uint8_t Kind;
-  uint8_t Lo;
-  uint8_t Size;
-};
+/// Defined next to the records it is computed from (analyzer/Records.h);
+/// the alias keeps the generated assemblers' `asmgen::WindowRef` spelling.
+using WindowRef = analyzer::WindowRef;
 
 /// Forces every consistent bit of a recorded instance onto \p Word
 /// (Algorithm 3's "binary[b] = m.binary[b]").
@@ -57,6 +56,10 @@ bool componentValue(const sass::Operand &Op, unsigned CompIdx, uint64_t Addr,
 /// The token spelling of a named operand (special register, texture shape,
 /// channel combination); empty for value operands.
 std::string tokenName(const sass::Operand &Op);
+
+/// Allocation-free tokenName: views the operand's own text or a static
+/// name, or composes into \p Buf (texture channels, at most 4 chars).
+std::string_view tokenView(const sass::Operand &Op, char (&Buf)[4]);
 
 /// Collects the surviving windows of a component restricted to \p Kinds.
 std::vector<WindowRef>

@@ -25,14 +25,34 @@
 #include "sass/Ast.h"
 #include "support/BitString.h"
 #include "support/Errors.h"
+#include "support/TaskPool.h"
+
+#include <vector>
 
 namespace dcb {
 namespace asmgen {
 
-/// Assembles one instruction at byte address \p Pc.
+/// Assembles one instruction at byte address \p Pc. Uses the database's
+/// frozen index when present (see EncodingDatabase::freeze()); otherwise
+/// interprets the string-keyed records directly.
 Expected<BitString> assembleInstruction(const analyzer::EncodingDatabase &Db,
                                         const sass::Instruction &Inst,
                                         uint64_t Pc);
+
+/// One unit of batch assembly: an instruction and its byte address.
+struct AsmJob {
+  const sass::Instruction *Inst = nullptr;
+  uint64_t Pc = 0;
+};
+
+/// Assembles a whole program: freezes \p Db once, fans the jobs across
+/// Options.NumThreads lanes, and merges per-index results in order.
+/// Results[i] corresponds to Jobs[i] — successes and failures alike — and
+/// the output is byte-identical for every thread count and chunk size.
+std::vector<Expected<BitString>>
+assembleProgram(const analyzer::EncodingDatabase &Db,
+                const std::vector<AsmJob> &Jobs,
+                const BatchOptions &Options = BatchOptions());
 
 /// Assembles every instruction of a parsed listing kernel and checks the
 /// result against the listing's binary column. Returns the number of

@@ -252,19 +252,21 @@ Error InstEncoder::encodeOperand(const OperandSlot &Slot, const Operand &Op,
     break;
   }
 
-  // Operand-attached modifiers (e.g. ".reuse").
-  std::vector<bool> Consumed(Slot.OperandMods.size(), false);
+  // Operand-attached modifiers (e.g. ".reuse"). Group counts are tiny, so
+  // a word of consumed-bits avoids touching the heap per operand.
+  assert(Slot.OperandMods.size() <= 64 && "operand modifier groups > 64");
+  uint64_t Consumed = 0;
   for (const std::string &Mod : Op.Mods) {
     bool Matched = false;
     for (size_t G = 0; G < Slot.OperandMods.size(); ++G) {
-      if (Consumed[G])
+      if (Consumed & (uint64_t(1) << G))
         continue;
       const ModifierGroup &Group = IS.ModGroups[Slot.OperandMods[G]];
       const isa::ModifierChoice *Choice = Group.findByName(Mod);
       if (!Choice)
         continue;
       Word.setField(Group.Field.Lo, Group.Field.Width, Choice->Value);
-      Consumed[G] = true;
+      Consumed |= uint64_t(1) << G;
       Matched = true;
       break;
     }
@@ -276,21 +278,22 @@ Error InstEncoder::encodeOperand(const OperandSlot &Slot, const Operand &Op,
 }
 
 Error InstEncoder::encodeModifiers(const InstrSpec &IS) {
-  std::vector<bool> Consumed(IS.NumOpcodeMods, false);
+  assert(IS.NumOpcodeMods <= 64 && "opcode modifier groups > 64");
+  uint64_t Consumed = 0;
   // Match written modifiers to groups in order, so repeated groups of the
   // same type (PSETP's two logic steps, F2F's two formats) bind positionally
   // (paper §III-A).
   for (const std::string &Mod : Inst.Modifiers) {
     bool Matched = false;
     for (unsigned G = 0; G < IS.NumOpcodeMods; ++G) {
-      if (Consumed[G])
+      if (Consumed & (uint64_t(1) << G))
         continue;
       const ModifierGroup &Group = IS.ModGroups[G];
       const isa::ModifierChoice *Choice = Group.findByName(Mod);
       if (!Choice)
         continue;
       Word.setField(Group.Field.Lo, Group.Field.Width, Choice->Value);
-      Consumed[G] = true;
+      Consumed |= uint64_t(1) << G;
       Matched = true;
       break;
     }
@@ -298,7 +301,7 @@ Error InstEncoder::encodeModifiers(const InstrSpec &IS) {
       return Error::failure(error("unknown modifier '." + Mod + "'").Msg);
   }
   for (unsigned G = 0; G < IS.NumOpcodeMods; ++G) {
-    if (Consumed[G])
+    if (Consumed & (uint64_t(1) << G))
       continue;
     const ModifierGroup &Group = IS.ModGroups[G];
     if (!Group.HasDefault)
@@ -488,6 +491,21 @@ Expected<BitString> encoder::encodeInstruction(const ArchSpec &Spec,
                                                const Instruction &Inst,
                                                uint64_t Pc) {
   return InstEncoder(Spec, Inst, Pc).run();
+}
+
+std::vector<Expected<BitString>>
+encoder::encodeProgram(const ArchSpec &Spec,
+                       const std::vector<EncodeJob> &Jobs,
+                       const BatchOptions &Options) {
+  // Expected<> has no empty state; fill the slots with placeholder
+  // successes, each overwritten exactly once by its own index.
+  std::vector<Expected<BitString>> Results(
+      Jobs.size(), Expected<BitString>(BitString()));
+  TaskPool Pool(Options.NumThreads);
+  parallelForChunked(Pool, Jobs.size(), Options.ChunkSize, [&](size_t I) {
+    Results[I] = InstEncoder(Spec, *Jobs[I].Inst, Jobs[I].Pc).run();
+  });
+  return Results;
 }
 
 Expected<Instruction> encoder::decodeInstruction(const ArchSpec &Spec,

@@ -21,6 +21,8 @@
 #ifndef DCB_SASS_AST_H
 #define DCB_SASS_AST_H
 
+#include "support/SymbolTable.h"
+
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -131,6 +133,15 @@ struct Instruction {
   /// Opcode-attached modifiers in source order, without dots, e.g. for
   /// "PSETP.AND.OR" this is {"AND", "OR"}. Order matters (paper §III-A).
   std::vector<std::string> Modifiers;
+
+  /// Interned ids of Opcode / Modifiers (support/SymbolTable::global()),
+  /// filled by the parser so the assembly fast path skips re-hashing the
+  /// spellings. Optional caches: producers that build Instructions by hand
+  /// may leave them unset (InvalidSymbolId / empty) and consumers fall back
+  /// to interning on demand; when set, they must match the strings. Not
+  /// part of the instruction's identity (operator== ignores them).
+  SymbolId OpcodeSym = InvalidSymbolId;
+  std::vector<SymbolId> ModifierSyms;
 
   std::vector<Operand> Operands;
 

@@ -99,16 +99,19 @@ Expected<Instruction> InstParser::parseBody() {
     skipSpace();
   }
 
-  // Opcode and its dotted modifiers.
+  // Opcode and its dotted modifiers, interned as they are read so the
+  // assembly pipeline dispatches on integer ids.
   std::string Opcode = readIdent();
   if (Opcode.empty())
     return error("expected an opcode");
-  Inst.Opcode = Opcode;
+  Inst.OpcodeSym = SymbolTable::global().intern(Opcode);
+  Inst.Opcode = std::move(Opcode);
   while (consume('.')) {
     std::string Mod = readIdent();
     if (Mod.empty())
       return error("expected a modifier after '.'");
-    Inst.Modifiers.push_back(Mod);
+    Inst.ModifierSyms.push_back(SymbolTable::global().intern(Mod));
+    Inst.Modifiers.push_back(std::move(Mod));
   }
 
   skipSpace();

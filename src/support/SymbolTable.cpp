@@ -1,0 +1,48 @@
+//===- support/SymbolTable.cpp --------------------------------------------===//
+
+#include "support/SymbolTable.h"
+
+#include <cassert>
+#include <mutex>
+
+using namespace dcb;
+
+SymbolTable &SymbolTable::global() {
+  static SymbolTable Table;
+  return Table;
+}
+
+SymbolId SymbolTable::intern(std::string_view Spelling) {
+  {
+    std::shared_lock<std::shared_mutex> Lock(M);
+    auto It = Index.find(Spelling);
+    if (It != Index.end())
+      return It->second;
+  }
+  std::unique_lock<std::shared_mutex> Lock(M);
+  // Re-probe: another thread may have interned it between the locks.
+  auto It = Index.find(Spelling);
+  if (It != Index.end())
+    return It->second;
+  SymbolId Id = static_cast<SymbolId>(Storage.size());
+  Storage.emplace_back(Spelling);
+  Index.emplace(std::string_view(Storage.back()), Id);
+  return Id;
+}
+
+SymbolId SymbolTable::find(std::string_view Spelling) const {
+  std::shared_lock<std::shared_mutex> Lock(M);
+  auto It = Index.find(Spelling);
+  return It == Index.end() ? InvalidSymbolId : It->second;
+}
+
+std::string_view SymbolTable::spelling(SymbolId Id) const {
+  std::shared_lock<std::shared_mutex> Lock(M);
+  assert(Id < Storage.size() && "spelling of a foreign SymbolId");
+  return Storage[Id];
+}
+
+size_t SymbolTable::size() const {
+  std::shared_lock<std::shared_mutex> Lock(M);
+  return Storage.size();
+}

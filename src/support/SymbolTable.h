@@ -1,0 +1,77 @@
+//===- support/SymbolTable.h - Thread-safe string interner ------*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe string interner mapping spellings (mnemonics, modifier and
+/// token names) to dense SymbolIds. Interning turns the assembly pipeline's
+/// hot-path keys from heap strings compared character-by-character into
+/// integers compared in one instruction: the database freeze step
+/// (analyzer/FrozenIndex.h) indexes every learned record by SymbolId, and
+/// the assembler resolves an instruction's spellings to ids once per
+/// lookup instead of rebuilding `std::string` keys per record walk.
+///
+/// Ids are dense, stable for the lifetime of the process, and identical
+/// across threads (two threads interning the same spelling concurrently get
+/// the same id). Ids are *not* stable across processes — nothing serialized
+/// may contain one; persisted artifacts always store spellings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_SUPPORT_SYMBOLTABLE_H
+#define DCB_SUPPORT_SYMBOLTABLE_H
+
+#include <cstdint>
+#include <deque>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace dcb {
+
+/// Dense identifier of one interned spelling.
+using SymbolId = uint32_t;
+
+/// The id no spelling ever receives; returned by SymbolTable::find on miss.
+constexpr SymbolId InvalidSymbolId = ~SymbolId(0);
+
+/// The interner. Readers (find / spelling) take a shared lock; only the
+/// first interning of a new spelling takes the exclusive lock, so a warmed
+/// table serves concurrent assembly lanes without serialization.
+class SymbolTable {
+public:
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable &) = delete;
+  SymbolTable &operator=(const SymbolTable &) = delete;
+
+  /// The process-wide table the SASS parser and the assembly pipeline
+  /// share. A single table keeps ids comparable across databases.
+  static SymbolTable &global();
+
+  /// Returns the id of \p Spelling, interning it if new.
+  SymbolId intern(std::string_view Spelling);
+
+  /// Returns the id of \p Spelling, or InvalidSymbolId if it was never
+  /// interned. Never mutates the table, so misses on unlearned spellings
+  /// (error paths) stay allocation-free.
+  SymbolId find(std::string_view Spelling) const;
+
+  /// The spelling of \p Id. \p Id must come from this table.
+  std::string_view spelling(SymbolId Id) const;
+
+  /// Number of interned spellings.
+  size_t size() const;
+
+private:
+  mutable std::shared_mutex M;
+  /// Keys are views into Storage entries, which never move (deque).
+  std::unordered_map<std::string_view, SymbolId> Index;
+  std::deque<std::string> Storage;
+};
+
+} // namespace dcb
+
+#endif // DCB_SUPPORT_SYMBOLTABLE_H

@@ -22,6 +22,7 @@
 #ifndef DCB_SUPPORT_TASKPOOL_H
 #define DCB_SUPPORT_TASKPOOL_H
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -85,6 +86,35 @@ private:
   std::exception_ptr FirstError;
   size_t FirstErrorIdx = 0;
 };
+
+/// Options shared by the batched assembly/encoding entry points
+/// (asmgen::assembleProgram, encoder::encodeProgram).
+struct BatchOptions {
+  /// Total lanes including the caller; 0 = hardware concurrency, 1 = inline.
+  unsigned NumThreads = 1;
+  /// Items claimed per pool task. Individual items are sub-microsecond, so
+  /// contiguous chunks amortize the pool's per-task index claim; results
+  /// are still written to per-item slots, so the merge order — and the
+  /// output — is byte-identical for every chunk size and thread count.
+  size_t ChunkSize = 64;
+};
+
+/// Runs Fn(ItemIdx) for every index in [0, NumItems), dispatching chunks of
+/// ChunkSize contiguous items per pool task. Callers write results to
+/// preallocated per-index slots, preserving TaskPool's deterministic-merge
+/// contract independent of scheduling.
+template <typename Fn>
+void parallelForChunked(TaskPool &Pool, size_t NumItems, size_t ChunkSize,
+                        const Fn &F) {
+  ChunkSize = std::max<size_t>(1, ChunkSize);
+  size_t NumChunks = (NumItems + ChunkSize - 1) / ChunkSize;
+  Pool.parallelFor(NumChunks, [&](unsigned, size_t Chunk) {
+    size_t Lo = Chunk * ChunkSize;
+    size_t Hi = std::min(NumItems, Lo + ChunkSize);
+    for (size_t I = Lo; I < Hi; ++I)
+      F(I);
+  });
+}
 
 } // namespace dcb
 

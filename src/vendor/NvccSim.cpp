@@ -298,12 +298,17 @@ Expected<CompiledKernel> NvccSim::compileKernel(
   }
   std::vector<CtrlInfo> Ctrl = scheduleCtrl(Spec, Insts);
 
-  // 5. Encode instructions.
+  // 5. Encode instructions, through the shared batch machinery (serial by
+  //    default; callers wanting lanes pass BatchOptions here).
+  std::vector<encoder::EncodeJob> Jobs(Insts.size());
+  for (size_t I = 0; I < Insts.size(); ++I)
+    Jobs[I] = {&Insts[I], Addrs[I]};
+  std::vector<Expected<BitString>> Encoded =
+      encoder::encodeProgram(Spec, Jobs);
   std::vector<BitString> Words(Insts.size());
   unsigned MaxReg = 0;
   for (size_t I = 0; I < Insts.size(); ++I) {
-    Expected<BitString> Word = encoder::encodeInstruction(Spec, Insts[I],
-                                                          Addrs[I]);
+    Expected<BitString> &Word = Encoded[I];
     if (!Word)
       return Failure("nvcc-sim: " + Word.message());
     Words[I] = Word.takeValue();

@@ -8,6 +8,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analyzer/BitFlipper.h"
+#include "analyzer/FrozenIndex.h"
 #include "analyzer/IsaAnalyzer.h"
 #include "asmgen/AssemblerGenerator.h"
 #include "asmgen/TableAssembler.h"
@@ -173,6 +174,129 @@ TEST(AssemblerGenerator, TableAssemblerMatchesListings) {
           << archName(A) << "/" << Kernel.Name;
     }
   }
+}
+
+namespace {
+
+/// All instructions of a listing as batch jobs, with a few known-bad
+/// instructions appended so error slots are exercised too.
+std::vector<asmgen::AsmJob>
+listingJobs(const Listing &L, const std::vector<sass::Instruction> &Extra) {
+  std::vector<asmgen::AsmJob> Jobs;
+  for (const ListingKernel &Kernel : L.Kernels)
+    for (const ListingInst &Pair : Kernel.Insts)
+      Jobs.push_back({&Pair.Inst, Pair.Address});
+  for (const sass::Instruction &Inst : Extra)
+    Jobs.push_back({&Inst, 0x40});
+  return Jobs;
+}
+
+/// Instructions the database cannot assemble: unknown operation, unknown
+/// modifier — their error messages must also be deterministic.
+std::vector<sass::Instruction> badInstructions() {
+  std::vector<sass::Instruction> Bad;
+  sass::Instruction UnknownOp;
+  UnknownOp.Opcode = "FROBNICATE";
+  UnknownOp.Operands.push_back(sass::Operand::makeRegister(1));
+  Bad.push_back(UnknownOp);
+  sass::Instruction BadMod;
+  BadMod.Opcode = "IADD";
+  BadMod.Modifiers.push_back("BOGUS");
+  for (unsigned R = 1; R <= 3; ++R)
+    BadMod.Operands.push_back(sass::Operand::makeRegister(R));
+  Bad.push_back(BadMod);
+  return Bad;
+}
+
+void expectSameResults(const std::vector<Expected<BitString>> &A,
+                       const std::vector<Expected<BitString>> &B,
+                       const char *What) {
+  ASSERT_EQ(A.size(), B.size()) << What;
+  for (size_t I = 0; I < A.size(); ++I) {
+    ASSERT_EQ(A[I].hasValue(), B[I].hasValue()) << What << " slot " << I;
+    if (A[I].hasValue())
+      EXPECT_EQ(*A[I], *B[I]) << What << " slot " << I;
+    else
+      EXPECT_EQ(A[I].message(), B[I].message()) << What << " slot " << I;
+  }
+}
+
+} // namespace
+
+// The tentpole determinism contract: assembleProgram output — successes and
+// failure messages alike — is byte-identical for every thread count and
+// chunk size.
+TEST(BatchAssembly, CrossThreadDeterminism) {
+  EncodingDatabase Db = learnSuite(Arch::SM35);
+  Expected<Listing> L = suiteListing(Arch::SM35);
+  ASSERT_TRUE(L.hasValue());
+  std::vector<sass::Instruction> Bad = badInstructions();
+  std::vector<asmgen::AsmJob> Jobs = listingJobs(*L, Bad);
+
+  BatchOptions Serial;
+  Serial.NumThreads = 1;
+  std::vector<Expected<BitString>> Reference =
+      asmgen::assembleProgram(Db, Jobs, Serial);
+
+  size_t Failures = 0;
+  for (const Expected<BitString> &R : Reference)
+    Failures += !R.hasValue();
+  EXPECT_EQ(Failures, Bad.size()) << "only the injected bad jobs may fail";
+
+  for (unsigned Lanes : {2u, 4u, 0u}) {
+    for (size_t Chunk : {size_t(1), size_t(7), size_t(64)}) {
+      BatchOptions Options;
+      Options.NumThreads = Lanes;
+      Options.ChunkSize = Chunk;
+      std::vector<Expected<BitString>> Parallel =
+          asmgen::assembleProgram(Db, Jobs, Options);
+      expectSameResults(Reference, Parallel, "lanes/chunk sweep");
+    }
+  }
+}
+
+// The frozen fast path must be result-equivalent to the string-map
+// interpreter on every suite instruction and on failing input.
+TEST(BatchAssembly, FrozenPathMatchesStringMapPath) {
+  for (Arch A : {Arch::SM20, Arch::SM50}) {
+    EncodingDatabase Frozen = learnSuite(A);
+    EncodingDatabase Unfrozen = Frozen; // Copies never share the index.
+    Frozen.freeze();
+    ASSERT_NE(Frozen.frozen(), nullptr);
+    ASSERT_EQ(Unfrozen.frozen(), nullptr);
+
+    Expected<Listing> L = suiteListing(A);
+    ASSERT_TRUE(L.hasValue());
+    std::vector<sass::Instruction> Bad = badInstructions();
+    std::vector<asmgen::AsmJob> Jobs = listingJobs(*L, Bad);
+    for (const asmgen::AsmJob &Job : Jobs) {
+      Expected<BitString> Fast =
+          asmgen::assembleInstruction(Frozen, *Job.Inst, Job.Pc);
+      Expected<BitString> Slow =
+          asmgen::assembleInstruction(Unfrozen, *Job.Inst, Job.Pc);
+      ASSERT_EQ(Fast.hasValue(), Slow.hasValue()) << archName(A);
+      if (Fast.hasValue())
+        EXPECT_EQ(*Fast, *Slow) << archName(A);
+      else
+        EXPECT_EQ(Fast.message(), Slow.message()) << archName(A);
+    }
+  }
+}
+
+// Mutable access to the operation records must invalidate the index, and
+// refreezing must pick up newly learned operations.
+TEST(BatchAssembly, MutationThawsTheIndex) {
+  EncodingDatabase Db = learnSuite(Arch::SM35);
+  size_t NumOps =
+      static_cast<const EncodingDatabase &>(Db).operations().size();
+  const FrozenIndex &Idx = Db.freeze();
+  EXPECT_EQ(Idx.size(), NumOps);
+  Db.operations(); // Mutable access discards the index.
+  EXPECT_EQ(Db.frozen(), nullptr);
+  Db.freeze();
+  EXPECT_NE(Db.frozen(), nullptr);
+  EncodingDatabase Moved = std::move(Db);
+  EXPECT_EQ(Moved.frozen(), nullptr) << "the index is not transferable";
 }
 
 #include "asmgen/GenRuntime.h"

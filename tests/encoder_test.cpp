@@ -253,6 +253,69 @@ TEST(Encoder, RejectsOutOfRangeValues) {
       encodeInstruction(Fermi, parse("MOV R100, R1;"), 0).hasValue());
 }
 
+// Table-driven rejection matrix: malformed input must fail on every
+// encoding generation with the expected diagnostic, not assert or encode
+// garbage. One row per (family representative, defect class). Register ids
+// past the parser's own limit are forced onto a parsed AST, mirroring
+// programmatically built instructions.
+TEST(Encoder, RejectionMessagesAcrossFamilies) {
+  struct RejectCase {
+    Arch A;
+    const char *Text;
+    int ForceRegOperand; ///< Operand index to overwrite, or -1.
+    int64_t ForcedReg;
+    const char *ExpectSubstr;
+  };
+  const Arch Fermi = Arch::SM20, Kepler = Arch::SM35, Maxwell = Arch::SM50,
+             Pascal = Arch::SM61;
+  const RejectCase Cases[] = {
+      // Out-of-range register ids (Fermi has 64 registers, later 255).
+      {Fermi, "MOV R100, R1;", -1, 0, "register id out of range for sm_20"},
+      {Kepler, "MOV R1, R2;", 0, 300, "register id out of range for sm_35"},
+      {Maxwell, "MOV R1, R2;", 1, 300, "register id out of range for sm_50"},
+      {Pascal, "MOV R1, R2;", 0, 300, "register id out of range for sm_61"},
+      {Pascal, "LD R0, [R1];", 1, 300, "register id out of range for sm_61"},
+      // Unknown opcode-attached modifiers.
+      {Fermi, "IADD.BOGUS R1, R2, R3;", -1, 0, "unknown modifier '.BOGUS'"},
+      {Kepler, "IADD.BOGUS R1, R2, R3;", -1, 0, "unknown modifier '.BOGUS'"},
+      {Maxwell, "IADD.BOGUS R1, R2, R3;", -1, 0,
+       "unknown modifier '.BOGUS'"},
+      {Pascal, "IADD.BOGUS R1, R2, R3;", -1, 0, "unknown modifier '.BOGUS'"},
+      // Out-of-range immediates: unsigned shift counts, signed literals,
+      // memory offsets, branch targets.
+      {Fermi, "SHL R1, R2, 0x40;", -1, 0,
+       "literal does not fit unsigned field"},
+      {Kepler, "SHL R1, R2, 0x40;", -1, 0,
+       "literal does not fit unsigned field"},
+      {Maxwell, "SHL R1, R2, 0x40;", -1, 0,
+       "literal does not fit unsigned field"},
+      {Pascal, "SHL R1, R2, 0x40;", -1, 0,
+       "literal does not fit unsigned field"},
+      {Kepler, "IADD R1, R2, 0x100000;", -1, 0,
+       "literal does not fit signed field"},
+      {Pascal, "IADD R1, R2, 0x100000;", -1, 0,
+       "literal does not fit signed field"},
+      {Kepler, "LD R0, [R1+0x7fffffff];", -1, 0,
+       "memory offset out of range"},
+      {Maxwell, "LD R0, [R1+0x7fffffff];", -1, 0,
+       "memory offset out of range"},
+      {Kepler, "BRA 0x7fffffff;", -1, 0, "branch offset out of range"},
+      {Pascal, "BRA 0x7fffffff;", -1, 0, "branch offset out of range"},
+  };
+  for (const RejectCase &C : Cases) {
+    const isa::ArchSpec &Spec = isa::getArchSpec(C.A);
+    Instruction Inst = parse(C.Text);
+    if (C.ForceRegOperand >= 0)
+      Inst.Operands[C.ForceRegOperand].Value[0] = C.ForcedReg;
+    Expected<BitString> Word = encodeInstruction(Spec, Inst, 0);
+    ASSERT_FALSE(Word.hasValue())
+        << archName(C.A) << " accepted '" << C.Text << "'";
+    EXPECT_NE(Word.message().find(C.ExpectSubstr), std::string::npos)
+        << archName(C.A) << " '" << C.Text << "': got \"" << Word.message()
+        << "\", expected substring \"" << C.ExpectSubstr << "\"";
+  }
+}
+
 TEST(Encoder, DecoderRejectsGarbageWords) {
   // The disassembler "may crash without producing output upon encountering
   // unexpected instructions" (paper §III-B).

@@ -5,6 +5,7 @@
 #include "support/Errors.h"
 #include "support/Rng.h"
 #include "support/StringUtils.h"
+#include "support/SymbolTable.h"
 #include "support/TaskPool.h"
 
 #include <gtest/gtest.h>
@@ -259,6 +260,68 @@ TEST(TaskPool, ZeroThreadsPicksHardwareWidth) {
   std::atomic<uint64_t> Sum{0};
   Pool.parallelFor(64, [&](unsigned, size_t Idx) { Sum += Idx + 1; });
   EXPECT_EQ(Sum.load(), 64u * 65u / 2u);
+}
+
+TEST(TaskPool, ChunkedDispatchCoversEveryIndexOnce) {
+  for (size_t Chunk : {size_t(1), size_t(7), size_t(64), size_t(1000)}) {
+    TaskPool Pool(4);
+    std::vector<std::atomic<int>> Hits(200);
+    parallelForChunked(Pool, Hits.size(), Chunk,
+                       [&](size_t I) { Hits[I] += 1; });
+    for (size_t I = 0; I < Hits.size(); ++I)
+      EXPECT_EQ(Hits[I].load(), 1) << "index " << I << " chunk " << Chunk;
+  }
+}
+
+TEST(TaskPool, ChunkedDispatchToleratesZeroChunkSize) {
+  TaskPool Pool(2);
+  std::atomic<uint64_t> Sum{0};
+  parallelForChunked(Pool, 10, 0, [&](size_t I) { Sum += I + 1; });
+  EXPECT_EQ(Sum.load(), 55u);
+}
+
+TEST(SymbolTable, InternIsIdempotentAndOrdered) {
+  SymbolTable &Syms = SymbolTable::global();
+  SymbolId A = Syms.intern("symtab-test-alpha");
+  SymbolId B = Syms.intern("symtab-test-beta");
+  EXPECT_NE(A, B);
+  EXPECT_EQ(Syms.intern("symtab-test-alpha"), A);
+  EXPECT_EQ(Syms.intern("symtab-test-beta"), B);
+  EXPECT_EQ(Syms.spelling(A), "symtab-test-alpha");
+  EXPECT_EQ(Syms.spelling(B), "symtab-test-beta");
+}
+
+TEST(SymbolTable, FindDoesNotIntern) {
+  SymbolTable &Syms = SymbolTable::global();
+  size_t Before = Syms.size();
+  EXPECT_EQ(Syms.find("symtab-test-never-interned"), InvalidSymbolId);
+  EXPECT_EQ(Syms.size(), Before);
+  SymbolId Id = Syms.intern("symtab-test-find-me");
+  EXPECT_EQ(Syms.find("symtab-test-find-me"), Id);
+}
+
+TEST(SymbolTable, ConcurrentInterningConverges) {
+  // All threads intern the same spellings; every spelling must map to one
+  // id and ids must stay resolvable while insertions continue elsewhere.
+  SymbolTable &Syms = SymbolTable::global();
+  constexpr unsigned NumThreads = 4, NumSymbols = 200;
+  std::vector<std::vector<SymbolId>> PerThread(NumThreads);
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      PerThread[T].reserve(NumSymbols);
+      for (unsigned I = 0; I < NumSymbols; ++I) {
+        std::string Spelling =
+            "symtab-test-concurrent-" + std::to_string(I);
+        SymbolId Id = Syms.intern(Spelling);
+        EXPECT_EQ(Syms.spelling(Id), Spelling);
+        PerThread[T].push_back(Id);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  for (unsigned T = 1; T < NumThreads; ++T)
+    EXPECT_EQ(PerThread[T], PerThread[0]);
 }
 
 TEST(Arch, NamesRoundTrip) {

@@ -129,6 +129,34 @@ TEST(DcbTool, IrDumpAndInstrument) {
   EXPECT_NE(NewListing.find("MOV R10, RZ;"), std::string::npos);
 }
 
+TEST(DcbTool, AsmJobsOutputIsByteIdentical) {
+  const std::string Dcb = toolPath();
+  const std::string Work = workDir();
+  ASSERT_EQ(runCmd("mkdir -p " + Work), 0);
+  ASSERT_EQ(runCmd(Dcb + " make-suite sm_61 -o " + Work +
+                   "/j.cubin > /dev/null"),
+            0);
+  ASSERT_EQ(runCmd(Dcb + " disasm " + Work + "/j.cubin > " + Work +
+                   "/j.sass"),
+            0);
+  ASSERT_EQ(runCmd(Dcb + " analyze " + Work + "/j.sass -o " + Work +
+                   "/j.db > /dev/null"),
+            0);
+  for (const char *Jobs : {"1", "4", "0"}) {
+    ASSERT_EQ(runCmd(Dcb + " asm --db " + Work + "/j.db --jobs " + Jobs +
+                     " " + Work + "/j.sass > " + Work + "/j" + Jobs +
+                     ".hex"),
+              0);
+  }
+  std::string Serial = slurp(Work + "/j1.hex");
+  EXPECT_FALSE(Serial.empty());
+  EXPECT_EQ(Serial, slurp(Work + "/j4.hex"));
+  EXPECT_EQ(Serial, slurp(Work + "/j0.hex"));
+  EXPECT_NE(runCmd(Dcb + " asm --db " + Work + "/j.db --jobs banana " +
+                   Work + "/j.sass 2> /dev/null"),
+            0);
+}
+
 TEST(DcbTool, RejectsBadInput) {
   const std::string Dcb = toolPath();
   const std::string Work = workDir();

@@ -11,8 +11,8 @@
 //   dcb analyze <listing> [--db in] -o out   run the ISA Analyzer
 //   dcb flip <cubin> --db in [--jobs N] -o out   bit-flip enrichment rounds
 //   dcb genasm --db db -o asm2bin.cpp        emit the C++ assembler (Alg. 3)
-//   dcb asm --db db <listing>                reassemble, print hex words
-//   dcb verify --db db <listing>             reassemble + compare binary
+//   dcb asm --db db [--jobs N] <listing>     reassemble, print hex words
+//   dcb verify --db db [--jobs N] <listing>  reassemble + compare binary
 //   dcb ir <cubin> <kernel>                  human-readable IR dump
 //   dcb instrument <cubin> --db db --clear-regs 9,10 -o out.cubin
 //
@@ -230,15 +230,30 @@ int cmdGenasm(const Args &A) {
 
 int cmdAsmOrVerify(const Args &A, bool Verify) {
   if (A.Positional.empty())
-    die("usage: dcb asm|verify --db db <listing>");
+    die("usage: dcb asm|verify --db db [--jobs N] <listing>");
   analyzer::EncodingDatabase Db = loadDb(A.need("--db"));
   analyzer::Listing L = loadListing(A.Positional[0]);
-  size_t Total = 0, Identical = 0;
+  BatchOptions Batch;
+  if (auto Jobs = A.get("--jobs")) {
+    std::optional<uint64_t> N = parseUInt(*Jobs);
+    if (!N)
+      die("bad --jobs value '" + *Jobs + "'");
+    Batch.NumThreads = static_cast<unsigned>(*N); // 0 = hardware width.
+  }
+
+  // Whole-listing batch; results come back in listing order, so the output
+  // is identical for every --jobs value.
+  std::vector<asmgen::AsmJob> JobList;
+  for (const analyzer::ListingKernel &Kernel : L.Kernels)
+    for (const analyzer::ListingInst &Pair : Kernel.Insts)
+      JobList.push_back({&Pair.Inst, Pair.Address});
+  std::vector<Expected<BitString>> Words =
+      asmgen::assembleProgram(Db, JobList, Batch);
+
+  size_t Total = JobList.size(), Identical = 0, Idx = 0;
   for (const analyzer::ListingKernel &Kernel : L.Kernels) {
     for (const analyzer::ListingInst &Pair : Kernel.Insts) {
-      ++Total;
-      Expected<BitString> Word =
-          asmgen::assembleInstruction(Db, Pair.Inst, Pair.Address);
+      Expected<BitString> &Word = Words[Idx++];
       if (!Word) {
         std::fprintf(stderr, "error: %s\n", Word.message().c_str());
         continue;
@@ -334,8 +349,11 @@ void usage() {
       "                                          bit-flip enrichment\n"
       "                                          (--jobs 0 = all cores)\n"
       "  genasm --db <db> -o <cpp>               generate an assembler\n"
-      "  asm --db <db> <listing>                 assemble, print hex\n"
-      "  verify --db <db> <listing>              reassemble and compare\n"
+      "  asm --db <db> [--jobs N] <listing>      assemble, print hex\n"
+      "  verify --db <db> [--jobs N] <listing>   reassemble and compare\n"
+      "                                          (--jobs 0 = all cores;\n"
+      "                                          output is identical for\n"
+      "                                          every --jobs value)\n"
       "  ir <cubin> <kernel>                     dump the IR\n"
       "  instrument <cubin> --db <db> --clear-regs N[,N...] -o <cubin>\n");
   std::exit(2);
