@@ -56,11 +56,32 @@ inline analyzer::WindowDisassembler makeWindowDisassembler(Arch A) {
   };
 }
 
-/// A flipper wired with both the full and the fast-path disassembler.
+/// The flipper's print-free structured fast path (see BitFlipper.h).
+inline analyzer::WindowDecoder makeWindowDecoder(Arch A) {
+  return [A](const std::string &Name, const std::vector<uint8_t> &Code,
+             uint64_t Addr) -> Expected<analyzer::WindowDecode> {
+    Expected<vendor::DecodedWord> W =
+        vendor::decodeInstructionAt(A, Name, Code, Addr);
+    if (!W)
+      return W.takeError();
+    analyzer::WindowDecode D;
+    if (!W->IsSchi) {
+      D.HasPair = true;
+      D.Pair.Address = W->Address;
+      D.Pair.Inst = std::move(W->Inst);
+      D.Pair.Binary = std::move(W->Word);
+    }
+    return D;
+  };
+}
+
+/// A flipper wired with every callback tier: the full-kernel disassembler,
+/// the one-word window, and the print-free structured decoder (which wins).
 inline analyzer::BitFlipper makeFlipper(analyzer::IsaAnalyzer &Analyzer,
                                         Arch A) {
   return analyzer::BitFlipper(Analyzer, makeDisassembler(A),
-                              makeWindowDisassembler(A));
+                              makeWindowDisassembler(A),
+                              makeWindowDecoder(A));
 }
 
 /// Builds (and caches) the full pipeline state for \p A.

@@ -1,0 +1,30 @@
+//===- bench/BenchContext.cpp - Build-provenance for bench JSON ------------===//
+//
+// The distro's google-benchmark library is a Debug build, so the
+// "library_build_type" field in every --benchmark_out JSON says "debug"
+// regardless of how THIS project was compiled — which silently mislabels
+// results. Record the truth about the benchmark binary itself instead:
+// scripts/run_benches.sh refuses to publish results whose
+// "dcb_build_type" is not "release".
+//
+// A global constructor is safe here: AddCustomContext appends to a plain
+// zero-initialized pointer inside the library, with no static-init-order
+// hazard, and runs before main() parses --benchmark_out.
+//
+//===----------------------------------------------------------------------===//
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+struct RegisterBuildType {
+  RegisterBuildType() {
+#ifdef NDEBUG
+    benchmark::AddCustomContext("dcb_build_type", "release");
+#else
+    benchmark::AddCustomContext("dcb_build_type", "debug");
+#endif
+  }
+} Registrar;
+
+} // namespace

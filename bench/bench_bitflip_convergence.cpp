@@ -24,19 +24,29 @@ using namespace dcb::bench;
 
 namespace {
 
+/// Which callback tier a configuration exercises. FullKernel is how the
+/// engine's predecessor spent a variant (disassemble + parse the whole
+/// kernel); Window narrows that to one listing line; Decoder drops the
+/// print -> parse round trip entirely (structured sass::Instructions).
+enum class TrialMode { FullKernel, Window, Decoder };
+
+analyzer::BitFlipper makeModeFlipper(analyzer::IsaAnalyzer &Analyzer,
+                                     Arch A, TrialMode Mode) {
+  return analyzer::BitFlipper(
+      Analyzer, makeDisassembler(A),
+      Mode == TrialMode::Window ? makeWindowDisassembler(A)
+                                : analyzer::WindowDisassembler(),
+      Mode == TrialMode::Decoder ? makeWindowDecoder(A)
+                                 : analyzer::WindowDecoder());
+}
+
 /// Runs a full convergence and returns wall-clock milliseconds.
-/// \p UseWindow selects the single-word fast path; without it every trial
-/// re-disassembles the whole kernel, which is what the engine's serial
-/// predecessor did per variant.
-double runConvergence(Arch A, unsigned Jobs, bool UseWindow,
+double runConvergence(Arch A, unsigned Jobs, TrialMode Mode,
                       std::string *SerializedOut) {
   const ArchData &Data = archData(A);
   analyzer::IsaAnalyzer Analyzer(A);
   (void)Analyzer.analyzeListing(Data.Listing);
-  analyzer::BitFlipper Flipper(Analyzer, makeDisassembler(A),
-                               UseWindow
-                                   ? makeWindowDisassembler(A)
-                                   : analyzer::WindowDisassembler());
+  analyzer::BitFlipper Flipper = makeModeFlipper(Analyzer, A, Mode);
   analyzer::BitFlipper::Options Opts;
   Opts.MaxRounds = 6;
   Opts.NumThreads = Jobs;
@@ -108,46 +118,42 @@ void report() {
                 "as the paper reports\n",
                 FastVariants, FastCrashes, FullVariants, FullCrashes);
 
-    // Engine wall clock, three configurations, identical database each
+    // Engine wall clock, four configurations, identical database each
     // time. "full-kernel serial" is how the engine's predecessor spent a
-    // variant (disassemble + parse the whole kernel per trial); the window
-    // fast path alone carries the speedup on single-core machines, and
-    // lanes multiply it where cores exist.
-    std::string FullDb, SerialDb, ParallelDb;
-    double FullMs = runConvergence(A, 1, false, &FullDb);
-    double SerialMs = runConvergence(A, 1, true, &SerialDb);
-    double ParallelMs = runConvergence(A, 4, true, &ParallelDb);
+    // variant; the window fast path narrows the disassembly; the decoder
+    // path also skips print -> parse; lanes multiply the win where cores
+    // exist.
+    std::string FullDb, WindowDb, DecodeDb, ParallelDb;
+    double FullMs = runConvergence(A, 1, TrialMode::FullKernel, &FullDb);
+    double WindowMs = runConvergence(A, 1, TrialMode::Window, &WindowDb);
+    double DecodeMs = runConvergence(A, 1, TrialMode::Decoder, &DecodeDb);
+    double ParallelMs =
+        runConvergence(A, 4, TrialMode::Decoder, &ParallelDb);
     std::printf("wall clock: full-kernel serial %.1f ms | window serial "
-                "%.1f ms (%.2fx) | window 4-lane %.1f ms (%.2fx vs "
-                "full-kernel serial, %.2fx vs window serial)\n",
-                FullMs, SerialMs, SerialMs > 0 ? FullMs / SerialMs : 0.0,
-                ParallelMs, ParallelMs > 0 ? FullMs / ParallelMs : 0.0,
-                ParallelMs > 0 ? SerialMs / ParallelMs : 0.0);
-    std::printf("databases byte-identical across all three: %s\n\n",
-                (FullDb == SerialDb && SerialDb == ParallelDb)
+                "%.1f ms (%.2fx) | decoder serial %.1f ms (%.2fx, %.2fx "
+                "vs window) | decoder 4-lane %.1f ms (%.2fx)\n",
+                FullMs, WindowMs, WindowMs > 0 ? FullMs / WindowMs : 0.0,
+                DecodeMs, DecodeMs > 0 ? FullMs / DecodeMs : 0.0,
+                DecodeMs > 0 ? WindowMs / DecodeMs : 0.0, ParallelMs,
+                ParallelMs > 0 ? FullMs / ParallelMs : 0.0);
+    std::printf("databases byte-identical across all four: %s\n\n",
+                (FullDb == WindowDb && WindowDb == DecodeDb &&
+                 DecodeDb == ParallelDb)
                     ? "yes"
                     : "NO (BUG)");
   }
 }
 
-analyzer::BitFlipper makeBenchFlipper(analyzer::IsaAnalyzer &Analyzer,
-                                      Arch A, bool UseWindow) {
-  return analyzer::BitFlipper(Analyzer, makeDisassembler(A),
-                              UseWindow
-                                  ? makeWindowDisassembler(A)
-                                  : analyzer::WindowDisassembler());
-}
-
 void BM_OneFlipRound(benchmark::State &State) {
   Arch A = static_cast<Arch>(State.range(0));
   unsigned Jobs = static_cast<unsigned>(State.range(1));
-  bool Window = State.range(2) != 0;
+  TrialMode Mode = static_cast<TrialMode>(State.range(2));
   const ArchData &Data = archData(A);
   for (auto _ : State) {
     State.PauseTiming(); // Suite analysis is setup, not the flip loop.
     analyzer::IsaAnalyzer Analyzer(A);
     (void)Analyzer.analyzeListing(Data.Listing);
-    analyzer::BitFlipper Flipper = makeBenchFlipper(Analyzer, A, Window);
+    analyzer::BitFlipper Flipper = makeModeFlipper(Analyzer, A, Mode);
     analyzer::BitFlipper::Options Opts;
     Opts.MaxRounds = 1;
     Opts.NumThreads = Jobs;
@@ -160,13 +166,13 @@ void BM_OneFlipRound(benchmark::State &State) {
 void BM_FlipToConvergence(benchmark::State &State) {
   Arch A = static_cast<Arch>(State.range(0));
   unsigned Jobs = static_cast<unsigned>(State.range(1));
-  bool Window = State.range(2) != 0;
+  TrialMode Mode = static_cast<TrialMode>(State.range(2));
   const ArchData &Data = archData(A);
   for (auto _ : State) {
     State.PauseTiming();
     analyzer::IsaAnalyzer Analyzer(A);
     (void)Analyzer.analyzeListing(Data.Listing);
-    analyzer::BitFlipper Flipper = makeBenchFlipper(Analyzer, A, Window);
+    analyzer::BitFlipper Flipper = makeModeFlipper(Analyzer, A, Mode);
     analyzer::BitFlipper::Options Opts;
     Opts.MaxRounds = 6;
     Opts.NumThreads = Jobs;
@@ -178,22 +184,25 @@ void BM_FlipToConvergence(benchmark::State &State) {
 
 } // namespace
 
-// window:0 / jobs:1 is the engine's predecessor (serial, whole-kernel
-// disassembly per variant); the other rows isolate the fast path and the
-// lane scaling. The databases produced are identical in every row.
+// mode:0 / jobs:1 is the engine's predecessor (serial, whole-kernel
+// disassembly per variant); mode:1 is the one-word window; mode:2 adds the
+// print-free structured decode. The databases produced are identical in
+// every row.
 BENCHMARK(BM_OneFlipRound)
     ->Args({static_cast<int>(Arch::SM35), 1, 0})
     ->Args({static_cast<int>(Arch::SM35), 1, 1})
-    ->Args({static_cast<int>(Arch::SM35), 2, 1})
-    ->Args({static_cast<int>(Arch::SM35), 4, 1})
-    ->ArgNames({"arch", "jobs", "window"})
+    ->Args({static_cast<int>(Arch::SM35), 1, 2})
+    ->Args({static_cast<int>(Arch::SM35), 2, 2})
+    ->Args({static_cast<int>(Arch::SM35), 4, 2})
+    ->ArgNames({"arch", "jobs", "mode"})
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK(BM_FlipToConvergence)
     ->Args({static_cast<int>(Arch::SM35), 1, 0})
     ->Args({static_cast<int>(Arch::SM35), 1, 1})
-    ->Args({static_cast<int>(Arch::SM35), 4, 1})
-    ->ArgNames({"arch", "jobs", "window"})
+    ->Args({static_cast<int>(Arch::SM35), 1, 2})
+    ->Args({static_cast<int>(Arch::SM35), 4, 2})
+    ->ArgNames({"arch", "jobs", "mode"})
     ->Unit(benchmark::kMillisecond);
 
 int main(int argc, char **argv) {

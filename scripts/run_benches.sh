@@ -62,6 +62,14 @@ OUT="$ROOT/BENCH_${LABEL}.json"
       echo "run_benches: $NAME exited non-zero; no output written" >&2
       exit 1
     fi
+    # Provenance check: the system benchmark library always reports its own
+    # "library_build_type" as debug; what matters is how OUR code was
+    # compiled, which each binary stamps as dcb_build_type (BenchContext.cpp).
+    if ! grep -q '"dcb_build_type": "release"' "$TMP/$NAME.json"; then
+      echo "run_benches: $NAME was not compiled as a Release (NDEBUG) build;" \
+           "refusing to record misleading timings" >&2
+      exit 1
+    fi
     [ "$FIRST" -eq 1 ] || printf ',\n'
     FIRST=0
     printf '    "%s":\n' "$NAME"

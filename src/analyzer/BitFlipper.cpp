@@ -17,8 +17,7 @@ namespace {
 void writeWord(std::vector<uint8_t> &Code, uint64_t Offset,
                const BitString &Word) {
   assert(Offset + Word.size() / 8 <= Code.size() && "patch out of range");
-  for (unsigned Byte = 0; Byte < Word.size() / 8; ++Byte)
-    Code[Offset + Byte] = static_cast<uint8_t>(Word.field(Byte * 8, 8));
+  Word.toBytes(Code.data() + Offset);
 }
 
 /// Dedup-cache key for one variant: the patch site plus the patched word.
@@ -50,6 +49,25 @@ BitFlipper::Trial BitFlipper::runTrial(const std::string &KernelName,
   assert(PatchBytes <= sizeof(Saved) && "word wider than 128 bits");
   std::copy_n(Code.begin() + Addr, PatchBytes, Saved);
   writeWord(Code, Addr, Variant);
+
+  if (WindowDec) {
+    // Print-free fast path: consume the decoded instruction directly,
+    // skipping the listing print -> parse round trip. The decoder fails on
+    // exactly the words the text path would fail on (decode error, or a
+    // rendering that would not re-parse), so outcomes are identical.
+    Expected<WindowDecode> D = WindowDec(KernelName, Code, Addr);
+    std::copy_n(Saved, PatchBytes, Code.begin() + Addr);
+    if (!D) {
+      T.Result = Trial::Crash;
+      return T;
+    }
+    if (!D->HasPair || D->Pair.Address != Addr)
+      return T; // Rejected: a SCHI position, no instruction to learn from.
+    T.Result = Trial::Accept;
+    T.Pair = std::move(D->Pair);
+    return T;
+  }
+
   Expected<std::string> Text = WindowDisasm
                                    ? WindowDisasm(KernelName, Code, Addr)
                                    : Disassembler(KernelName, Code);

@@ -34,7 +34,12 @@
 ///  - when the caller provides a WindowDisassembler, only the one-word
 ///    window at the patched address is disassembled instead of the whole
 ///    kernel (sound here because every other word already disassembled
-///    cleanly in the original listing).
+///    cleanly in the original listing);
+///  - when the caller provides a WindowDecoder, the trial consumes the
+///    decoded instruction directly and skips the print -> parse round trip
+///    entirely — the print-free fast path. Because the decoder fails on
+///    exactly the words whose printed rendering would not re-parse, the
+///    learned database is bit-for-bit identical to the text paths'.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -61,6 +66,23 @@ using KernelDisassembler = std::function<Expected<std::string>(
 /// one line — the flipper's fast path (vendor::disassembleInstructionAt in
 /// this repo). Optional: without it the flipper disassembles whole kernels.
 using WindowDisassembler = std::function<Expected<std::string>(
+    const std::string &KernelName, const std::vector<uint8_t> &Code,
+    uint64_t Addr)>;
+
+/// Structured result of decoding the one-word window at the patched
+/// address: either the decoded instruction pair, or nothing (a SCHI
+/// position — the tool succeeded but printed no instruction there).
+struct WindowDecode {
+  bool HasPair = false;
+  ListingInst Pair; ///< Valid when HasPair. AsmText may be empty: the
+                    ///< analyzer works from the structured Inst.
+};
+
+/// Decodes only the instruction word at byte offset \p Addr of a kernel's
+/// code into structured form, failing exactly when the text disassembler
+/// would (vendor::decodeInstructionAt in this repo). Optional: the
+/// flipper's fastest path, preferred over both text callbacks when set.
+using WindowDecoder = std::function<Expected<WindowDecode>(
     const std::string &KernelName, const std::vector<uint8_t> &Code,
     uint64_t Addr)>;
 
@@ -97,9 +119,11 @@ public:
   };
 
   BitFlipper(IsaAnalyzer &Analyzer, KernelDisassembler Disassembler,
-             WindowDisassembler WindowDisasm = nullptr)
+             WindowDisassembler WindowDisasm = nullptr,
+             WindowDecoder WindowDec = nullptr)
       : Analyzer(Analyzer), Disassembler(std::move(Disassembler)),
-        WindowDisasm(std::move(WindowDisasm)) {}
+        WindowDisasm(std::move(WindowDisasm)),
+        WindowDec(std::move(WindowDec)) {}
 
   /// Runs flip rounds until convergence (no new operations, modifiers,
   /// unary operators or tokens) or Options::MaxRounds.
@@ -117,6 +141,7 @@ private:
   IsaAnalyzer &Analyzer;
   KernelDisassembler Disassembler;
   WindowDisassembler WindowDisasm;
+  WindowDecoder WindowDec;
 
   /// One variant's side-effect-free outcome, produced on any lane and
   /// merged on the caller's thread.

@@ -404,12 +404,20 @@ Expected<Operand> InstDecoder::decodeOperand(const OperandSlot &Slot,
   case SlotEncoding::FImm32: {
     uint32_t Bits =
         static_cast<uint32_t>(Word.field(F0.Lo, F0.Width) << (32 - F0.Width));
-    Op = Operand::makeFloatImm(floatFromBits(Bits));
+    float F = floatFromBits(Bits);
+    // Inf/NaN have no re-parseable assembly spelling; the real tool's
+    // listing for such words is garbage the toolchain itself rejects.
+    if (!std::isfinite(F))
+      return error("non-finite float immediate");
+    Op = Operand::makeFloatImm(F);
     break;
   }
   case SlotEncoding::FImm64: {
     uint64_t Bits = Word.field(F0.Lo, F0.Width) << (64 - F0.Width);
-    Op = Operand::makeFloatImm(doubleFromBits(Bits));
+    double D = doubleFromBits(Bits);
+    if (!std::isfinite(D))
+      return error("non-finite float immediate");
+    Op = Operand::makeFloatImm(D);
     break;
   }
   case SlotEncoding::RelAddr: {
@@ -449,10 +457,15 @@ Expected<Operand> InstDecoder::decodeOperand(const OperandSlot &Slot,
     Op = Operand::makeTexShape(static_cast<sass::TexShapeKind>(Value));
     break;
   }
-  case SlotEncoding::TexChannel:
-    Op = Operand::makeTexChannel(
-        static_cast<unsigned>(Word.field(F0.Lo, F0.Width)));
+  case SlotEncoding::TexChannel: {
+    uint64_t Mask = Word.field(F0.Lo, F0.Width);
+    // An all-zero mask would print as an empty operand, which no parser
+    // (including ours) accepts back.
+    if (Mask == 0)
+      return error("empty texture channel mask");
+    Op = Operand::makeTexChannel(static_cast<unsigned>(Mask));
     break;
+  }
   case SlotEncoding::Barrier:
     Op = Operand::makeBarrier(
         static_cast<unsigned>(Word.field(F0.Lo, F0.Width)));
@@ -512,4 +525,19 @@ Expected<Instruction> encoder::decodeInstruction(const ArchSpec &Spec,
                                                  const BitString &Word,
                                                  uint64_t Pc) {
   return InstDecoder(Spec, Word, Pc).run();
+}
+
+std::vector<Expected<Instruction>>
+encoder::decodeProgram(const ArchSpec &Spec,
+                       const std::vector<DecodeJob> &Jobs,
+                       const BatchOptions &Options) {
+  // Same placeholder-slot scheme as encodeProgram: Expected<> has no empty
+  // state, so prefill with successes, each overwritten by its own index.
+  std::vector<Expected<Instruction>> Results(
+      Jobs.size(), Expected<Instruction>(Instruction()));
+  TaskPool Pool(Options.NumThreads);
+  parallelForChunked(Pool, Jobs.size(), Options.ChunkSize, [&](size_t I) {
+    Results[I] = InstDecoder(Spec, *Jobs[I].Word, Jobs[I].Pc).run();
+  });
+  return Results;
 }

@@ -52,10 +52,27 @@ encodeProgram(const isa::ArchSpec &Spec, const std::vector<EncodeJob> &Jobs,
 
 /// Decodes one instruction word at byte address \p Pc. Fails ("crashes")
 /// when the word matches no known opcode pattern or contains an invalid
-/// modifier encoding.
+/// operand or modifier encoding — including encodings whose assembly
+/// rendering would not re-parse (non-finite float immediates, empty
+/// texture channel masks), so a successful decode always round-trips
+/// through print and parse.
 Expected<sass::Instruction> decodeInstruction(const isa::ArchSpec &Spec,
                                               const BitString &Word,
                                               uint64_t Pc);
+
+/// One unit of batch decoding: an instruction word and its byte address.
+struct DecodeJob {
+  const BitString *Word = nullptr;
+  uint64_t Pc = 0;
+};
+
+/// Decodes a whole program, fanning the jobs across Options.NumThreads
+/// lanes with an in-order merge: Results[i] corresponds to Jobs[i]
+/// (values *and* diagnostics), byte-identical for every thread count and
+/// chunk size — the decode-side twin of encodeProgram.
+std::vector<Expected<sass::Instruction>>
+decodeProgram(const isa::ArchSpec &Spec, const std::vector<DecodeJob> &Jobs,
+              const BatchOptions &Options = BatchOptions());
 
 } // namespace encoder
 } // namespace dcb

@@ -30,6 +30,9 @@ std::unique_ptr<ArchSpec> buildSpec(Arch A) {
     break;
   }
   assert(!Spec->checkNoAmbiguity() && "ambiguous opcode patterns");
+  // Eagerly index decode dispatch: built-in specs are immutable from here
+  // on, so every consumer shares the frozen index without a first-use race.
+  Spec->freezeDecode();
   return Spec;
 }
 

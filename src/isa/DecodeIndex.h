@@ -1,0 +1,107 @@
+//===- isa/DecodeIndex.h - Opcode-dispatch index for decode -----*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The decode-side twin of the assembler's FrozenIndex: a per-arch dispatch
+/// table computed once from the hidden spec that replaces the O(#forms)
+/// linear scan of ArchSpec::match with one table lookup plus a short
+/// masked-compare list.
+///
+/// Construction greedily picks up to MaxSelectorBits discriminating bit
+/// positions from the union of the forms' opcode masks — the bits whose
+/// values split the form set most evenly. The low instruction word's
+/// selector bits index a first-level table of 2^k buckets (CSR layout);
+/// each bucket holds the masked-compare entries of every form whose opcode
+/// pattern is compatible with that selector value. A form that does not
+/// constrain some selector bit is replicated into both halves of that
+/// split, so a miss in the bucket is a definitive "no form matches".
+///
+/// Entries within a bucket keep the original Instrs order, making the
+/// index's first match identical to the linear scan's — including on
+/// deliberately ambiguous hand-built specs.
+///
+/// The index borrows InstrSpec pointers from the ArchSpec it was built
+/// from: it is a view, valid only while that spec's Instrs vector is alive
+/// and unmodified (see ArchSpec::freezeDecode / thawDecode).
+///
+/// FIREWALL: like Spec.h, nothing under src/analyzer, src/asmgen, src/ir,
+/// src/transform or src/vm may include this header.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_ISA_DECODEINDEX_H
+#define DCB_ISA_DECODEINDEX_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dcb {
+namespace isa {
+
+struct InstrSpec;
+
+class DecodeIndex {
+public:
+  /// Upper bound on first-level table size: 2^12 buckets. The greedy
+  /// builder stops earlier when an extra bit no longer sharpens dispatch.
+  static constexpr unsigned MaxSelectorBits = 12;
+
+  explicit DecodeIndex(const std::vector<InstrSpec> &Instrs);
+
+  /// Returns the first form (in original table order) whose opcode pattern
+  /// matches the low 64 bits \p Low, or nullptr. Only the low word carries
+  /// opcode bits on every supported generation (128-bit Volta included).
+  const InstrSpec *match(uint64_t Low) const {
+    size_t B = bucketOf(Low);
+    for (uint32_t I = BucketStart[B], E = BucketStart[B + 1]; I != E; ++I)
+      if ((Low & Entries[I].Mask) == Entries[I].Value)
+        return Entries[I].Spec;
+    return nullptr;
+  }
+
+  // --- Introspection (tests, docs, bench reports) -------------------------
+  unsigned numSelectorBits() const {
+    return static_cast<unsigned>(SelBits.size());
+  }
+  size_t numBuckets() const { return BucketStart.size() - 1; }
+  size_t numEntries() const { return Entries.size(); }
+  /// Longest masked-compare list any word can hit.
+  size_t maxBucketLen() const;
+
+private:
+  struct Entry {
+    uint64_t Value = 0;
+    uint64_t Mask = 0;
+    const InstrSpec *Spec = nullptr;
+  };
+
+  /// One maximal run of adjacent selector bits, pre-positioned so the
+  /// gather is a single shift-and-mask. Opcode bits cluster in practice,
+  /// so a whole index is typically one or two runs — the reason bucketOf
+  /// is not a per-bit loop.
+  struct Gather {
+    uint8_t Shift = 0;
+    uint64_t Mask = 0;
+  };
+
+  size_t bucketOf(uint64_t Low) const {
+    size_t Idx = 0;
+    for (const Gather &G : Gathers)
+      Idx |= (Low >> G.Shift) & G.Mask;
+    return Idx;
+  }
+
+  std::vector<uint8_t> SelBits;      ///< Selector bit positions, ascending.
+  std::vector<Gather> Gathers;       ///< Run-compressed form of SelBits.
+  std::vector<uint32_t> BucketStart; ///< CSR: 2^k + 1 offsets into Entries.
+  std::vector<Entry> Entries;
+};
+
+} // namespace isa
+} // namespace dcb
+
+#endif // DCB_ISA_DECODEINDEX_H

@@ -2,6 +2,8 @@
 
 #include "isa/Spec.h"
 
+#include "isa/DecodeIndex.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -62,13 +64,46 @@ const InstrSpec *ArchSpec::findSpec(const sass::Instruction &Inst) const {
   return nullptr;
 }
 
+// Out-of-line so unique_ptr<DecodeIndex> can live behind the forward
+// declaration in the header.
+ArchSpec::ArchSpec() = default;
+ArchSpec::~ArchSpec() = default;
+
 const InstrSpec *ArchSpec::match(const BitString &Word) const {
+  assert(Word.size() == WordBits && "word width mismatch");
+  uint64_t Low = Word.field(0, 64);
+  if (const DecodeIndex *Idx = decodeIndex())
+    return Idx->match(Low);
+  for (const InstrSpec &Spec : Instrs)
+    if ((Low & Spec.OpcodeMask) == Spec.OpcodeValue)
+      return &Spec;
+  return nullptr;
+}
+
+const InstrSpec *ArchSpec::matchLinear(const BitString &Word) const {
   assert(Word.size() == WordBits && "word width mismatch");
   uint64_t Low = Word.field(0, 64);
   for (const InstrSpec &Spec : Instrs)
     if ((Low & Spec.OpcodeMask) == Spec.OpcodeValue)
       return &Spec;
   return nullptr;
+}
+
+const DecodeIndex &ArchSpec::freezeDecode() const {
+  if (const DecodeIndex *Idx = decodeIndex())
+    return *Idx;
+  std::lock_guard<std::mutex> Lock(DecodeM);
+  if (!DecodeStore) {
+    DecodeStore = std::make_unique<DecodeIndex>(Instrs);
+    DecodePtr.store(DecodeStore.get(), std::memory_order_release);
+  }
+  return *DecodeStore;
+}
+
+void ArchSpec::thawDecode() {
+  std::lock_guard<std::mutex> Lock(DecodeM);
+  DecodePtr.store(nullptr, std::memory_order_release);
+  DecodeStore.reset();
 }
 
 std::optional<std::string> ArchSpec::checkNoAmbiguity() const {

@@ -24,15 +24,19 @@
 #include "support/Arch.h"
 #include "support/BitString.h"
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 namespace dcb {
 namespace isa {
+
+class DecodeIndex;
 
 /// A contiguous bit field inside an instruction word.
 struct FieldRef {
@@ -174,6 +178,11 @@ struct ArchSpec {
 
   std::vector<InstrSpec> Instrs;
 
+  ArchSpec();
+  ~ArchSpec();
+  ArchSpec(const ArchSpec &) = delete;
+  ArchSpec &operator=(const ArchSpec &) = delete;
+
   const char *name() const { return archName(A); }
   unsigned zeroReg() const { return NumRegs - 1; }
 
@@ -182,12 +191,42 @@ struct ArchSpec {
   const InstrSpec *findSpec(const sass::Instruction &Inst) const;
 
   /// Finds the form whose opcode pattern matches \p Word. Returns nullptr
-  /// for undecodable words.
+  /// for undecodable words. Dispatches through the frozen DecodeIndex when
+  /// one has been built (getArchSpec freezes every built-in spec), falling
+  /// back to the linear scan otherwise. Both paths return the first
+  /// matching form in table order.
   const InstrSpec *match(const BitString &Word) const;
+
+  /// The pre-index baseline: scans Instrs front to back. Kept callable so
+  /// tests can assert index/scan parity and benches can measure the win.
+  const InstrSpec *matchLinear(const BitString &Word) const;
+
+  /// Builds (or returns) the decode dispatch index. Thread-safe;
+  /// concurrent callers share one build. The index borrows pointers into
+  /// Instrs: any later mutation of Instrs must call thawDecode() first and
+  /// re-freeze afterwards.
+  const DecodeIndex &freezeDecode() const;
+
+  /// The frozen index, or nullptr when decode is not frozen. A lock-free
+  /// acquire load, safe to call per decoded word.
+  const DecodeIndex *decodeIndex() const {
+    return DecodePtr.load(std::memory_order_acquire);
+  }
+
+  /// Drops the decode index (if any); match() reverts to the linear scan.
+  void thawDecode();
 
   /// Checks that no two forms have compatible opcode patterns (decode
   /// ambiguity); returns a description of the first conflict, if any.
   std::optional<std::string> checkNoAmbiguity() const;
+
+private:
+  /// Freeze state, mirroring analyzer::EncodingDatabase: DecodePtr tracks
+  /// DecodeStore.get() so decodeIndex() is one atomic load on the decode
+  /// hot path; DecodeM serializes build/teardown.
+  mutable std::atomic<const DecodeIndex *> DecodePtr{nullptr};
+  mutable std::unique_ptr<DecodeIndex> DecodeStore;
+  mutable std::mutex DecodeM;
 };
 
 /// Returns the (lazily constructed, immutable) specification for \p A.

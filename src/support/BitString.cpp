@@ -94,6 +94,25 @@ BitString BitString::fromHex(const std::string &Hex, unsigned Bits) {
   return Result;
 }
 
+BitString BitString::fromBytes(const uint8_t *Bytes, unsigned NumBytes) {
+  BitString Result(NumBytes * 8);
+  for (unsigned I = 0; I < NumBytes; ++I)
+    Result.Words[I / 8] |= static_cast<uint64_t>(Bytes[I]) << (8 * (I % 8));
+  return Result;
+}
+
+void BitString::toBytes(uint8_t *Out) const {
+  assert(NumBits % 8 == 0 && "width is not a whole number of bytes");
+  for (unsigned I = 0; I < NumBits / 8; ++I)
+    Out[I] = static_cast<uint8_t>(Words[I / 8] >> (8 * (I % 8)));
+}
+
+void BitString::appendBytes(std::vector<uint8_t> &Out) const {
+  size_t Old = Out.size();
+  Out.resize(Old + NumBits / 8);
+  toBytes(Out.data() + Old);
+}
+
 unsigned BitString::popcount() const {
   unsigned Count = 0;
   for (uint64_t W : Words)

@@ -84,6 +84,17 @@ public:
   /// or if the value does not fit.
   static BitString fromHex(const std::string &Hex, unsigned Bits);
 
+  /// Builds a NumBytes*8-bit string from little-endian bytes in one bulk
+  /// load — byte I lands at bits [8*I, 8*I+8). The inverse of toBytes.
+  static BitString fromBytes(const uint8_t *Bytes, unsigned NumBytes);
+
+  /// Writes the bits as size()/8 little-endian bytes to \p Out. The width
+  /// must be a whole number of bytes.
+  void toBytes(uint8_t *Out) const;
+
+  /// Appends the little-endian byte rendering to \p Out.
+  void appendBytes(std::vector<uint8_t> &Out) const;
+
   /// Number of set bits.
   unsigned popcount() const;
 

@@ -14,45 +14,31 @@ using namespace dcb::vendor;
 
 namespace {
 
-BitString wordAt(const std::vector<uint8_t> &Code, size_t Offset,
-                 unsigned WordBytes) {
-  BitString Word(WordBytes * 8);
-  for (unsigned Byte = 0; Byte < WordBytes; ++Byte)
-    Word.setField(Byte * 8, 8, Code[Offset + Byte]);
-  return Word;
-}
-
 bool isSchiWordIndex(SchiKind Kind, size_t WordIdx) {
   unsigned Group = schiGroupSize(Kind);
   return Group > 1 && WordIdx % Group == 0;
 }
 
-/// Renders the listing line for the word at \p Addr, appending to \p Out.
-Error renderWordLine(const isa::ArchSpec &Spec, SchiKind Schi,
-                     const std::vector<uint8_t> &Code, size_t Addr,
-                     std::string &Out) {
-  const unsigned WordBytes = Spec.WordBits / 8;
-  BitString Word = wordAt(Code, Addr, WordBytes);
-  Out += "        /*" + toPaddedHex(Addr, 4) + "*/ ";
-  if (isSchiWordIndex(Schi, Addr / WordBytes)) {
+/// Renders one decoded word as its listing line, appending to \p Out.
+/// Rendering is kept serial (and cheap) so the listing bytes cannot depend
+/// on how the decode work was divided among lanes.
+void renderWordLine(const DecodedWord &W, std::string &Out) {
+  Out += "        /*" + toPaddedHex(W.Address, 4) + "*/ ";
+  if (W.IsSchi) {
     // Scheduling words print as raw hex only (paper: the disassembler
     // "offers no indication of its meaning").
-    Out += "/* 0x" + Word.toHex() + " */\n";
-    return Error::success();
+    Out += "/* 0x" + W.Word.toHex() + " */\n";
+    return;
   }
-  Expected<sass::Instruction> Inst =
-      encoder::decodeInstruction(Spec, Word, Addr);
-  if (!Inst)
-    return Error::failure("cuobjdump-sim: " + Inst.message());
-  Out += sass::printInstruction(*Inst);
-  Out += " /* 0x" + Word.toHex() + " */\n";
-  return Error::success();
+  Out += sass::printInstruction(W.Inst);
+  Out += " /* 0x" + W.Word.toHex() + " */\n";
 }
 
 } // namespace
 
-Expected<std::string> vendor::disassembleKernelCode(
-    Arch A, const std::string &KernelName, const std::vector<uint8_t> &Code) {
+Expected<std::vector<DecodedWord>> vendor::decodeKernelCode(
+    Arch A, const std::string &KernelName, const std::vector<uint8_t> &Code,
+    const DisasmOptions &Options) {
   const isa::ArchSpec &Spec = isa::getArchSpec(A);
   const unsigned WordBytes = Spec.WordBits / 8;
   const SchiKind Schi = archSchiKind(A);
@@ -61,17 +47,40 @@ Expected<std::string> vendor::disassembleKernelCode(
     return Failure("cuobjdump-sim: kernel " + KernelName +
                    " is not a whole number of instruction words");
 
-  std::string Out;
-  Out += "\t\tFunction : " + KernelName + "\n";
-
+  // Slice the code into words up front; SCHI scheduling words carry no
+  // instruction and are excluded from the decode fan-out.
   size_t NumWords = Code.size() / WordBytes;
-  for (size_t WordIdx = 0; WordIdx < NumWords; ++WordIdx)
-    if (Error E = renderWordLine(Spec, Schi, Code, WordIdx * WordBytes, Out))
-      return Failure(E.message());
-  return Out;
+  std::vector<DecodedWord> Words(NumWords);
+  std::vector<encoder::DecodeJob> Jobs;
+  std::vector<size_t> JobWordIdx;
+  for (size_t WordIdx = 0; WordIdx < NumWords; ++WordIdx) {
+    DecodedWord &W = Words[WordIdx];
+    W.Address = WordIdx * WordBytes;
+    W.Word = BitString::fromBytes(Code.data() + W.Address, WordBytes);
+    W.IsSchi = isSchiWordIndex(Schi, WordIdx);
+    if (!W.IsSchi) {
+      Jobs.push_back({&W.Word, W.Address});
+      JobWordIdx.push_back(WordIdx);
+    }
+  }
+
+  BatchOptions Batch;
+  Batch.NumThreads = Options.NumThreads;
+  Batch.ChunkSize = Options.ChunkSize;
+  std::vector<Expected<sass::Instruction>> Results =
+      encoder::decodeProgram(Spec, Jobs, Batch);
+
+  // Merge in word order so the first failing word wins, exactly as a
+  // serial front-to-back decode would report it.
+  for (size_t J = 0; J < Results.size(); ++J) {
+    if (!Results[J])
+      return Failure("cuobjdump-sim: " + Results[J].message());
+    Words[JobWordIdx[J]].Inst = std::move(*Results[J]);
+  }
+  return Words;
 }
 
-Expected<std::string> vendor::disassembleInstructionAt(
+Expected<DecodedWord> vendor::decodeInstructionAt(
     Arch A, const std::string &KernelName, const std::vector<uint8_t> &Code,
     uint64_t Addr) {
   const isa::ArchSpec &Spec = isa::getArchSpec(A);
@@ -81,19 +90,56 @@ Expected<std::string> vendor::disassembleInstructionAt(
     return Failure("cuobjdump-sim: address " + toHexString(Addr) +
                    " is not an instruction word of kernel " + KernelName);
 
+  DecodedWord W;
+  W.Address = Addr;
+  W.Word = BitString::fromBytes(Code.data() + Addr, WordBytes);
+  W.IsSchi = isSchiWordIndex(archSchiKind(A), Addr / WordBytes);
+  if (W.IsSchi)
+    return W;
+
+  Expected<sass::Instruction> Inst =
+      encoder::decodeInstruction(Spec, W.Word, Addr);
+  if (!Inst)
+    return Failure("cuobjdump-sim: " + Inst.message());
+  W.Inst = std::move(*Inst);
+  return W;
+}
+
+Expected<std::string> vendor::disassembleKernelCode(
+    Arch A, const std::string &KernelName, const std::vector<uint8_t> &Code,
+    const DisasmOptions &Options) {
+  Expected<std::vector<DecodedWord>> Words =
+      decodeKernelCode(A, KernelName, Code, Options);
+  if (!Words)
+    return Words.takeError();
+
   std::string Out;
   Out += "\t\tFunction : " + KernelName + "\n";
-  if (Error E = renderWordLine(Spec, archSchiKind(A), Code, Addr, Out))
-    return Failure(E.message());
+  for (const DecodedWord &W : *Words)
+    renderWordLine(W, Out);
   return Out;
 }
 
-Expected<std::string> vendor::disassembleCubin(const elf::Cubin &Cubin) {
+Expected<std::string> vendor::disassembleInstructionAt(
+    Arch A, const std::string &KernelName, const std::vector<uint8_t> &Code,
+    uint64_t Addr) {
+  Expected<DecodedWord> W = decodeInstructionAt(A, KernelName, Code, Addr);
+  if (!W)
+    return W.takeError();
+
+  std::string Out;
+  Out += "\t\tFunction : " + KernelName + "\n";
+  renderWordLine(*W, Out);
+  return Out;
+}
+
+Expected<std::string> vendor::disassembleCubin(const elf::Cubin &Cubin,
+                                               const DisasmOptions &Options) {
   std::string Out;
   Out += "code for " + std::string(archName(Cubin.arch())) + "\n";
   for (const elf::KernelSection &Kernel : Cubin.kernels()) {
     Expected<std::string> Text =
-        disassembleKernelCode(Cubin.arch(), Kernel.Name, Kernel.Code);
+        disassembleKernelCode(Cubin.arch(), Kernel.Name, Kernel.Code, Options);
     if (!Text)
       return Text.takeError();
     Out += *Text;
@@ -103,9 +149,9 @@ Expected<std::string> vendor::disassembleCubin(const elf::Cubin &Cubin) {
 }
 
 Expected<std::string> vendor::disassembleImage(
-    const std::vector<uint8_t> &Image) {
+    const std::vector<uint8_t> &Image, const DisasmOptions &Options) {
   Expected<elf::Cubin> Cubin = elf::Cubin::deserialize(Image);
   if (!Cubin)
     return Cubin.takeError();
-  return disassembleCubin(*Cubin);
+  return disassembleCubin(*Cubin, Options);
 }

@@ -21,12 +21,29 @@
 /// decode ("may crash without producing output upon encountering unexpected
 /// instructions", §III-B) — the behaviour the bit flipper must tolerate.
 ///
+/// Two entry-point families:
+///
+///  - the string listings above (disassemble*), for the analyzer's
+///    parse-based pipeline and the CLI;
+///  - structured decoding (decodeKernelCode / decodeInstructionAt), which
+///    returns sass::Instructions directly so decode-heavy consumers (the
+///    bit flipper's inner loop, the VM, transforms) skip the print -> parse
+///    round trip. A successful structured decode is guaranteed to equal
+///    what parsing the printed listing line would produce.
+///
+/// Whole-kernel entry points accept DisasmOptions and fan word decoding
+/// across a support::TaskPool into per-index slots; output (listing bytes,
+/// decoded instructions, and diagnostics — the first failing word by
+/// address wins) is identical for every thread count and chunk size.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DCB_VENDOR_CUOBJDUMPSIM_H
 #define DCB_VENDOR_CUOBJDUMPSIM_H
 
 #include "elf/Cubin.h"
+#include "sass/Ast.h"
+#include "support/BitString.h"
 #include "support/Errors.h"
 
 #include <string>
@@ -35,17 +52,53 @@
 namespace dcb {
 namespace vendor {
 
+/// Batch execution knobs for whole-kernel / whole-cubin disassembly.
+struct DisasmOptions {
+  /// Total lanes including the caller; 0 = hardware concurrency, 1 = inline.
+  unsigned NumThreads = 1;
+  /// Words claimed per pool task (see BatchOptions::ChunkSize).
+  size_t ChunkSize = 64;
+};
+
+/// One decoded word of a kernel listing.
+struct DecodedWord {
+  uint64_t Address = 0;
+  bool IsSchi = false;    ///< Scheduling word: no instruction, bits only.
+  BitString Word;         ///< The raw word bits.
+  sass::Instruction Inst; ///< Valid when !IsSchi.
+};
+
+/// Decodes every word of a kernel's code bytes into structured form.
+/// Fails like disassembleKernelCode does, with the same diagnostic, when
+/// any non-SCHI word does not decode.
+Expected<std::vector<DecodedWord>>
+decodeKernelCode(Arch A, const std::string &KernelName,
+                 const std::vector<uint8_t> &Code,
+                 const DisasmOptions &Options = DisasmOptions());
+
+/// Decodes only the word at byte offset \p Addr — the structured twin of
+/// disassembleInstructionAt and the bit flipper's print-free fast path.
+Expected<DecodedWord> decodeInstructionAt(Arch A,
+                                          const std::string &KernelName,
+                                          const std::vector<uint8_t> &Code,
+                                          uint64_t Addr);
+
 /// Disassembles every kernel of an in-memory cubin.
-Expected<std::string> disassembleCubin(const elf::Cubin &Cubin);
+Expected<std::string>
+disassembleCubin(const elf::Cubin &Cubin,
+                 const DisasmOptions &Options = DisasmOptions());
 
 /// Disassembles a serialized ELF image (the common entry point; this is
 /// what "running cuobjdump on the executable" means in the workflow).
-Expected<std::string> disassembleImage(const std::vector<uint8_t> &Image);
+Expected<std::string>
+disassembleImage(const std::vector<uint8_t> &Image,
+                 const DisasmOptions &Options = DisasmOptions());
 
 /// Disassembles a single kernel's code bytes for architecture \p A.
-Expected<std::string> disassembleKernelCode(Arch A,
-                                            const std::string &KernelName,
-                                            const std::vector<uint8_t> &Code);
+Expected<std::string>
+disassembleKernelCode(Arch A, const std::string &KernelName,
+                      const std::vector<uint8_t> &Code,
+                      const DisasmOptions &Options = DisasmOptions());
 
 /// Disassembles only the instruction word at byte offset \p Addr — the bit
 /// flipper's fast path, which avoids re-disassembling a whole kernel to

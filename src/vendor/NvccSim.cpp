@@ -238,8 +238,7 @@ uint64_t instAddress(SchiKind Kind, unsigned WordBytes, size_t Index) {
 }
 
 void appendWord(std::vector<uint8_t> &Out, const BitString &Word) {
-  for (unsigned Byte = 0; Byte < Word.size() / 8; ++Byte)
-    Out.push_back(static_cast<uint8_t>(Word.field(Byte * 8, 8)));
+  Word.appendBytes(Out);
 }
 
 } // namespace

@@ -83,6 +83,280 @@ struct Thread {
   }
 };
 
+// --- Predecoded instruction forms ----------------------------------------
+//
+// step() is the VM's hot loop; comparing opcode and modifier strings there
+// costs more than the arithmetic it guards. Each flattened instruction is
+// classified ONCE when the Interp is built, into a compact Pre record:
+// an OpKind to switch on plus every modifier-derived datum (memory width,
+// comparison kind, MUFU function, ...) resolved to an enum or flag. The
+// strings are never touched again, no matter how many threads or steps run.
+
+enum class OpKind : uint8_t {
+  Mov, S2R, IAdd, IMul, IMad, Xmad, IAdd3, Bfe, Bfi, Popc, Lop3, Imnmx,
+  FAdd, FMul, Ffma, Fmnmx, Dfma, Rro, Vote, DAdd, DMul, Mufu, F2F, F2I,
+  I2F, Setp, Psetp, Sel, Lop, Shl, Shr, Load, Store, Ldc, Atom, Tex,
+  Bra, Cal, Ret, Ssy, Pbk, Brk, Sync, Exit, Nop, Unknown,
+};
+
+enum class CmpKind : uint8_t { LT, EQ, LE, GT, NE, GE };
+enum class LogicKind : uint8_t { And, Or, Xor };
+enum class MufuKind : uint8_t { Cos, Sin, Ex2, Lg2, Rcp, Rsq, Zero };
+enum class AtomKind : uint8_t { Add, Min, Max, Exch, And, Or, Xor, None };
+enum class F2FKind : uint8_t { F32F64, F64F32, Other };
+enum class SrKind : uint8_t { TidX, CtaidX, NtidX, LaneId, ClockLo, Zero };
+enum class RegionKind : uint8_t { Global, Local, Shared };
+
+struct Pre {
+  OpKind Kind = OpKind::Unknown;
+  RegionKind Region = RegionKind::Global; ///< Load/Store/Atom target.
+  uint8_t MemBytes = 4;                   ///< Load/Store/Ldc access width.
+  CmpKind Cmp = CmpKind::GE;              ///< Setp comparison.
+  LogicKind L1 = LogicKind::And;          ///< Setp/Psetp/Lop first logic op.
+  LogicKind L2 = LogicKind::And;          ///< Psetp second logic op.
+  MufuKind Mufu = MufuKind::Zero;
+  AtomKind Atom = AtomKind::None;
+  F2FKind F2F = F2FKind::Other;
+  SrKind Sr = SrKind::Zero;
+  bool Hi = false;                ///< IMUL.HI.
+  bool H1A = false, H1B = false;  ///< XMAD operand-half selects.
+  bool U32 = false;               ///< BFE/SHR unsigned variant.
+  bool FloatSetp = false;         ///< FSETP (vs ISETP).
+  bool VoteEq = false;            ///< VOTE.EQ: trivially true, warp of one.
+  bool I2FUnsigned = false;
+  bool RejoinS = false;           ///< NOP carrying an "S" modifier anywhere.
+  bool SyncNotTaken = false;      ///< SYNC, or NOP whose FIRST mod is "S":
+                                  ///< guard-false still means "fall through
+                                  ///< into the divergent path".
+  bool HasMods2 = false;          ///< At least two modifiers present.
+};
+
+CmpKind cmpKind(const std::string &Cmp) {
+  if (Cmp == "LT")
+    return CmpKind::LT;
+  if (Cmp == "EQ")
+    return CmpKind::EQ;
+  if (Cmp == "LE")
+    return CmpKind::LE;
+  if (Cmp == "GT")
+    return CmpKind::GT;
+  if (Cmp == "NE")
+    return CmpKind::NE;
+  return CmpKind::GE;
+}
+
+LogicKind logicKind(const std::string &Op) {
+  if (Op == "OR")
+    return LogicKind::Or;
+  if (Op == "XOR")
+    return LogicKind::Xor;
+  return LogicKind::And;
+}
+
+/// First width-selecting modifier wins, as the text path always read them.
+uint8_t memBytes(const Instruction &Asm) {
+  for (const std::string &Mod : Asm.Modifiers) {
+    if (Mod == "64")
+      return 8;
+    if (Mod == "128")
+      return 16;
+    if (Mod == "U8" || Mod == "S8")
+      return 1;
+    if (Mod == "U16" || Mod == "S16")
+      return 2;
+  }
+  return 4;
+}
+
+bool hasMod(const Instruction &Asm, const char *Name) {
+  for (const std::string &Mod : Asm.Modifiers)
+    if (Mod == Name)
+      return true;
+  return false;
+}
+
+/// Classifies one instruction. Every modifier string is resolved here;
+/// unknown values keep the same defaults the interpreted path used
+/// (comparison GE, logic AND, MUFU result 0, ATOM no-op).
+Pre predecode(const Instruction &Asm) {
+  Pre P;
+  const std::string &Op = Asm.Opcode;
+  const auto &Mods = Asm.Modifiers;
+  P.HasMods2 = Mods.size() >= 2;
+  P.SyncNotTaken =
+      Op == "SYNC" || (Op == "NOP" && !Mods.empty() && Mods[0] == "S");
+
+  if (Op == "MOV" || Op == "MOV32I") {
+    P.Kind = OpKind::Mov;
+  } else if (Op == "S2R") {
+    P.Kind = OpKind::S2R;
+    // Predecode runs over never-executed instructions too; only classify
+    // the source when it is actually there.
+    static const std::string Empty;
+    const std::string &Name =
+        Asm.Operands.size() >= 2 ? Asm.Operands[1].Text : Empty;
+    if (Name == "SR_TID.X")
+      P.Sr = SrKind::TidX;
+    else if (Name == "SR_CTAID.X")
+      P.Sr = SrKind::CtaidX;
+    else if (Name == "SR_NTID.X")
+      P.Sr = SrKind::NtidX;
+    else if (Name == "SR_LANEID")
+      P.Sr = SrKind::LaneId;
+    else if (Name == "SR_CLOCK_LO")
+      P.Sr = SrKind::ClockLo;
+  } else if (Op == "IADD" || Op == "IADD32I") {
+    P.Kind = OpKind::IAdd;
+  } else if (Op == "IMUL") {
+    P.Kind = OpKind::IMul;
+    P.Hi = hasMod(Asm, "HI");
+  } else if (Op == "IMAD") {
+    P.Kind = OpKind::IMad;
+  } else if (Op == "XMAD") {
+    P.Kind = OpKind::Xmad;
+    P.H1A = hasMod(Asm, "H1A");
+    P.H1B = hasMod(Asm, "H1B");
+  } else if (Op == "IADD3") {
+    P.Kind = OpKind::IAdd3;
+  } else if (Op == "BFE") {
+    P.Kind = OpKind::Bfe;
+    P.U32 = hasMod(Asm, "U32");
+  } else if (Op == "BFI") {
+    P.Kind = OpKind::Bfi;
+  } else if (Op == "POPC") {
+    P.Kind = OpKind::Popc;
+  } else if (Op == "LOP3") {
+    P.Kind = OpKind::Lop3;
+  } else if (Op == "IMNMX") {
+    P.Kind = OpKind::Imnmx;
+  } else if (Op == "FADD") {
+    P.Kind = OpKind::FAdd;
+  } else if (Op == "FMUL") {
+    P.Kind = OpKind::FMul;
+  } else if (Op == "FFMA") {
+    P.Kind = OpKind::Ffma;
+  } else if (Op == "FMNMX") {
+    P.Kind = OpKind::Fmnmx;
+  } else if (Op == "DFMA") {
+    P.Kind = OpKind::Dfma;
+  } else if (Op == "RRO") {
+    P.Kind = OpKind::Rro;
+  } else if (Op == "VOTE") {
+    P.Kind = OpKind::Vote;
+    P.VoteEq = !Mods.empty() && Mods[0] == "EQ";
+  } else if (Op == "DADD") {
+    P.Kind = OpKind::DAdd;
+  } else if (Op == "DMUL") {
+    P.Kind = OpKind::DMul;
+  } else if (Op == "MUFU") {
+    P.Kind = OpKind::Mufu;
+    const std::string &Fn = Mods.empty() ? std::string() : Mods[0];
+    if (Fn == "COS")
+      P.Mufu = MufuKind::Cos;
+    else if (Fn == "SIN")
+      P.Mufu = MufuKind::Sin;
+    else if (Fn == "EX2")
+      P.Mufu = MufuKind::Ex2;
+    else if (Fn == "LG2")
+      P.Mufu = MufuKind::Lg2;
+    else if (Fn == "RCP")
+      P.Mufu = MufuKind::Rcp;
+    else if (Fn == "RSQ")
+      P.Mufu = MufuKind::Rsq;
+  } else if (Op == "F2F") {
+    P.Kind = OpKind::F2F;
+    if (P.HasMods2 && Mods[0] == "F32" && Mods[1] == "F64")
+      P.F2F = F2FKind::F32F64;
+    else if (P.HasMods2 && Mods[0] == "F64" && Mods[1] == "F32")
+      P.F2F = F2FKind::F64F32;
+  } else if (Op == "F2I") {
+    P.Kind = OpKind::F2I;
+  } else if (Op == "I2F") {
+    P.Kind = OpKind::I2F;
+    P.I2FUnsigned = !Mods.empty() && !Mods[0].empty() && Mods[0][0] == 'U';
+  } else if (Op == "ISETP" || Op == "FSETP") {
+    P.Kind = OpKind::Setp;
+    P.FloatSetp = Op[0] == 'F';
+    if (!Mods.empty())
+      P.Cmp = cmpKind(Mods[0]);
+    if (P.HasMods2)
+      P.L1 = logicKind(Mods[1]);
+  } else if (Op == "PSETP") {
+    P.Kind = OpKind::Psetp;
+    if (!Mods.empty())
+      P.L1 = logicKind(Mods[0]);
+    if (P.HasMods2)
+      P.L2 = logicKind(Mods[1]);
+  } else if (Op == "SEL") {
+    P.Kind = OpKind::Sel;
+  } else if (Op == "LOP") {
+    P.Kind = OpKind::Lop;
+    if (!Mods.empty())
+      P.L1 = logicKind(Mods[0]);
+  } else if (Op == "SHL") {
+    P.Kind = OpKind::Shl;
+  } else if (Op == "SHR") {
+    P.Kind = OpKind::Shr;
+    P.U32 = hasMod(Asm, "U32");
+  } else if (Op == "LD" || Op == "LDG" || Op == "LDL" || Op == "LDS") {
+    P.Kind = OpKind::Load;
+    P.MemBytes = memBytes(Asm);
+    P.Region = Op == "LDL"   ? RegionKind::Local
+               : Op == "LDS" ? RegionKind::Shared
+                             : RegionKind::Global;
+  } else if (Op == "ST" || Op == "STG" || Op == "STL" || Op == "STS") {
+    P.Kind = OpKind::Store;
+    P.MemBytes = memBytes(Asm);
+    P.Region = Op == "STL"   ? RegionKind::Local
+               : Op == "STS" ? RegionKind::Shared
+                             : RegionKind::Global;
+  } else if (Op == "LDC") {
+    P.Kind = OpKind::Ldc;
+    P.MemBytes = memBytes(Asm);
+  } else if (Op == "ATOM") {
+    P.Kind = OpKind::Atom;
+    const std::string &Kind = Mods.empty() ? std::string() : Mods[0];
+    if (Kind == "ADD")
+      P.Atom = AtomKind::Add;
+    else if (Kind == "MIN")
+      P.Atom = AtomKind::Min;
+    else if (Kind == "MAX")
+      P.Atom = AtomKind::Max;
+    else if (Kind == "EXCH")
+      P.Atom = AtomKind::Exch;
+    else if (Kind == "AND")
+      P.Atom = AtomKind::And;
+    else if (Kind == "OR")
+      P.Atom = AtomKind::Or;
+    else if (Kind == "XOR")
+      P.Atom = AtomKind::Xor;
+  } else if (Op == "TEX") {
+    P.Kind = OpKind::Tex;
+  } else if (Op == "BRA") {
+    P.Kind = OpKind::Bra;
+  } else if (Op == "CAL") {
+    P.Kind = OpKind::Cal;
+  } else if (Op == "RET") {
+    P.Kind = OpKind::Ret;
+  } else if (Op == "SSY") {
+    P.Kind = OpKind::Ssy;
+  } else if (Op == "PBK") {
+    P.Kind = OpKind::Pbk;
+  } else if (Op == "BRK") {
+    P.Kind = OpKind::Brk;
+  } else if (Op == "SYNC") {
+    P.Kind = OpKind::Sync;
+  } else if (Op == "EXIT") {
+    P.Kind = OpKind::Exit;
+  } else if (Op == "NOP" || Op == "BAR" || Op == "MEMBAR" ||
+             Op == "DEPBAR" || Op == "TEXDEPBAR") {
+    P.Kind = OpKind::Nop;
+    // The ".S" reconvergence modifier on NOP behaves like SYNC.
+    P.RejoinS = Op == "NOP" && hasMod(Asm, "S");
+  }
+  return P;
+}
+
 /// The interpreter over one flattened kernel.
 class Interp {
 public:
@@ -94,6 +368,11 @@ public:
         Flat.push_back(&Entry);
     }
     BlockStart.push_back(Flat.size());
+    // Predecode every instruction once; runThread re-uses the cache for
+    // all threads of the launch.
+    PreFlat.reserve(Flat.size());
+    for (const Inst *Entry : Flat)
+      PreFlat.push_back(predecode(Entry->Asm));
   }
 
   Expected<ThreadResult> runThread(unsigned Tid);
@@ -103,6 +382,7 @@ private:
   Memory &Mem;
   const LaunchConfig &Config;
   std::vector<const Inst *> Flat;
+  std::vector<Pre> PreFlat; ///< Parallel to Flat.
   std::vector<size_t> BlockStart;
 
   Failure unsupported(const Instruction &Asm, const std::string &Why) {
@@ -128,11 +408,15 @@ private:
       *at(R, Addr + I) = static_cast<uint8_t>(Value >> (8 * I));
   }
 
-  std::vector<uint8_t> &regionFor(const std::string &Opcode, Thread &T) {
-    if (Opcode == "LDL" || Opcode == "STL")
+  std::vector<uint8_t> &regionFor(RegionKind Region, Thread &T) {
+    switch (Region) {
+    case RegionKind::Local:
       return T.Local;
-    if (Opcode == "LDS" || Opcode == "STS")
+    case RegionKind::Shared:
       return Mem.Shared;
+    case RegionKind::Global:
+      break;
+    }
     return Mem.Global; // LD/ST/LDG/STG/ATOM.
   }
 
@@ -212,59 +496,50 @@ private:
     return T.reg(Op.Value[0]) + static_cast<uint64_t>(Op.Value[1]);
   }
 
-  static bool compare(const std::string &Cmp, float A, float B) {
-    if (Cmp == "LT")
+  static bool compare(CmpKind Cmp, float A, float B) {
+    switch (Cmp) {
+    case CmpKind::LT:
       return A < B;
-    if (Cmp == "EQ")
+    case CmpKind::EQ:
       return A == B;
-    if (Cmp == "LE")
+    case CmpKind::LE:
       return A <= B;
-    if (Cmp == "GT")
+    case CmpKind::GT:
       return A > B;
-    if (Cmp == "NE")
+    case CmpKind::NE:
       return A != B;
-    return A >= B; // GE
-  }
-  static bool compareI(const std::string &Cmp, int32_t A, int32_t B) {
-    if (Cmp == "LT")
-      return A < B;
-    if (Cmp == "EQ")
-      return A == B;
-    if (Cmp == "LE")
-      return A <= B;
-    if (Cmp == "GT")
-      return A > B;
-    if (Cmp == "NE")
-      return A != B;
+    case CmpKind::GE:
+      break;
+    }
     return A >= B;
   }
-  static bool logic(const std::string &Op, bool A, bool B) {
-    if (Op == "OR")
-      return A || B;
-    if (Op == "XOR")
+  static bool compareI(CmpKind Cmp, int32_t A, int32_t B) {
+    switch (Cmp) {
+    case CmpKind::LT:
+      return A < B;
+    case CmpKind::EQ:
+      return A == B;
+    case CmpKind::LE:
+      return A <= B;
+    case CmpKind::GT:
+      return A > B;
+    case CmpKind::NE:
       return A != B;
-    return A && B; // AND
-  }
-
-  bool hasMod(const Instruction &Asm, const char *Name) {
-    for (const std::string &Mod : Asm.Modifiers)
-      if (Mod == Name)
-        return true;
-    return false;
-  }
-
-  unsigned memBytes(const Instruction &Asm) {
-    for (const std::string &Mod : Asm.Modifiers) {
-      if (Mod == "64")
-        return 8;
-      if (Mod == "128")
-        return 16;
-      if (Mod == "U8" || Mod == "S8")
-        return 1;
-      if (Mod == "U16" || Mod == "S16")
-        return 2;
+    case CmpKind::GE:
+      break;
     }
-    return 4;
+    return A >= B;
+  }
+  static bool logic(LogicKind Op, bool A, bool B) {
+    switch (Op) {
+    case LogicKind::Or:
+      return A || B;
+    case LogicKind::Xor:
+      return A != B;
+    case LogicKind::And:
+      break;
+    }
+    return A && B;
   }
 
   /// Executes one instruction; updates \p Pc. Returns false to halt the
@@ -275,6 +550,7 @@ private:
 Expected<bool> Interp::step(Thread &T, size_t &Pc) {
   const Inst &Entry = *Flat[Pc];
   const Instruction &Asm = Entry.Asm;
+  const Pre &P = PreFlat[Pc];
   size_t Next = Pc + 1;
 
   // Conditional guard.
@@ -283,53 +559,73 @@ Expected<bool> Interp::step(Thread &T, size_t &Pc) {
     GuardOk = !GuardOk;
 
   if (GuardOk) {
-    const std::string &Op = Asm.Opcode;
     const auto &Ops = Asm.Operands;
 
-    if (Op == "MOV" || Op == "MOV32I") {
+    switch (P.Kind) {
+    case OpKind::Mov:
       T.setReg(Ops[0].Value[0], value32(T, Ops[1]));
-    } else if (Op == "S2R") {
-      const std::string &Name = Ops[1].Text;
+      break;
+    case OpKind::S2R: {
       uint32_t V = 0;
-      if (Name == "SR_TID.X")
+      switch (P.Sr) {
+      case SrKind::TidX:
         V = T.Tid;
-      else if (Name == "SR_CTAID.X")
+        break;
+      case SrKind::CtaidX:
         V = Config.BlockId;
-      else if (Name == "SR_NTID.X")
+        break;
+      case SrKind::NtidX:
         V = Config.NumThreads;
-      else if (Name == "SR_LANEID")
+        break;
+      case SrKind::LaneId:
         V = T.Tid % 32;
-      else if (Name == "SR_CLOCK_LO")
+        break;
+      case SrKind::ClockLo:
         V = static_cast<uint32_t>(T.Steps);
+        break;
+      case SrKind::Zero:
+        break;
+      }
       T.setReg(Ops[0].Value[0], V);
-    } else if (Op == "IADD" || Op == "IADD32I") {
+      break;
+    }
+    case OpKind::IAdd: {
       // Register negation is already folded inside value32.
       uint32_t A = value32(T, Ops[1]);
       uint32_t B = value32(T, Ops[2]);
       T.setReg(Ops[0].Value[0], A + B);
-    } else if (Op == "IMUL") {
+      break;
+    }
+    case OpKind::IMul: {
       uint64_t Product = static_cast<uint64_t>(value32(T, Ops[1])) *
                          value32(T, Ops[2]);
       T.setReg(Ops[0].Value[0],
-               hasMod(Asm, "HI") ? static_cast<uint32_t>(Product >> 32)
-                                 : static_cast<uint32_t>(Product));
-    } else if (Op == "IMAD") {
+               P.Hi ? static_cast<uint32_t>(Product >> 32)
+                    : static_cast<uint32_t>(Product));
+      break;
+    }
+    case OpKind::IMad: {
       uint32_t V = value32(T, Ops[1]) * value32(T, Ops[2]) +
                    value32(T, Ops[3]);
       T.setReg(Ops[0].Value[0], V);
-    } else if (Op == "XMAD") {
+      break;
+    }
+    case OpKind::Xmad: {
       uint32_t A = value32(T, Ops[1]);
       uint32_t B = value32(T, Ops[2]);
-      if (hasMod(Asm, "H1A"))
+      if (P.H1A)
         A >>= 16;
-      if (hasMod(Asm, "H1B"))
+      if (P.H1B)
         B >>= 16;
       T.setReg(Ops[0].Value[0],
                (A & 0xffff) * (B & 0xffff) + value32(T, Ops[3]));
-    } else if (Op == "IADD3") {
+      break;
+    }
+    case OpKind::IAdd3:
       T.setReg(Ops[0].Value[0], value32(T, Ops[1]) + value32(T, Ops[2]) +
                                     value32(T, Ops[3]));
-    } else if (Op == "BFE") {
+      break;
+    case OpKind::Bfe: {
       // Operand 2 packs position (bits 0..7) and length (bits 8..15).
       uint32_t Src = value32(T, Ops[1]);
       uint32_t Ctl = value32(T, Ops[2]);
@@ -339,10 +635,12 @@ Expected<bool> Interp::step(Thread &T, size_t &Pc) {
       uint32_t Field = Pos >= 32 ? 0 : (Src >> Pos);
       if (Len < 32)
         Field &= (1u << Len) - 1;
-      if (!hasMod(Asm, "U32") && Len < 32 && (Field >> (Len - 1)) & 1)
+      if (!P.U32 && Len < 32 && (Field >> (Len - 1)) & 1)
         Field |= ~((1u << Len) - 1); // Sign-extend.
       T.setReg(Ops[0].Value[0], Field);
-    } else if (Op == "BFI") {
+      break;
+    }
+    case OpKind::Bfi: {
       uint32_t Src = value32(T, Ops[1]);
       uint32_t Ctl = value32(T, Ops[2]);
       uint32_t Base = value32(T, Ops[3]);
@@ -353,11 +651,14 @@ Expected<bool> Interp::step(Thread &T, size_t &Pc) {
           (Len >= 32 ? ~0u : ((1u << Len) - 1)) << (Pos & 31);
       T.setReg(Ops[0].Value[0],
                (Base & ~Mask) | ((Src << (Pos & 31)) & Mask));
-    } else if (Op == "POPC") {
+      break;
+    }
+    case OpKind::Popc:
       T.setReg(Ops[0].Value[0],
                static_cast<uint32_t>(
                    __builtin_popcount(value32(T, Ops[1]))));
-    } else if (Op == "LOP3") {
+      break;
+    case OpKind::Lop3: {
       uint32_t ValA = value32(T, Ops[1]);
       uint32_t ValB = value32(T, Ops[2]);
       uint32_t ValC = value32(T, Ops[3]);
@@ -369,193 +670,242 @@ Expected<bool> Interp::step(Thread &T, size_t &Pc) {
         Out |= ((Lut >> Index) & 1) << Bit;
       }
       T.setReg(Ops[0].Value[0], Out);
-    } else if (Op == "IMNMX") {
+      break;
+    }
+    case OpKind::Imnmx: {
       int32_t A = static_cast<int32_t>(value32(T, Ops[1]));
       int32_t B = static_cast<int32_t>(value32(T, Ops[2]));
       bool TakeMin = predValue(T, Ops[3]);
       T.setReg(Ops[0].Value[0],
                static_cast<uint32_t>(TakeMin ? std::min(A, B)
                                              : std::max(A, B)));
-    } else if (Op == "FADD") {
+      break;
+    }
+    case OpKind::FAdd:
       T.setReg(Ops[0].Value[0],
                fromFloat(valueF32(T, Ops[1]) + valueF32(T, Ops[2])));
-    } else if (Op == "FMUL") {
+      break;
+    case OpKind::FMul:
       T.setReg(Ops[0].Value[0],
                fromFloat(valueF32(T, Ops[1]) * valueF32(T, Ops[2])));
-    } else if (Op == "FFMA") {
+      break;
+    case OpKind::Ffma:
       T.setReg(Ops[0].Value[0],
                fromFloat(valueF32(T, Ops[1]) * valueF32(T, Ops[2]) +
                          valueF32(T, Ops[3])));
-    } else if (Op == "FMNMX") {
+      break;
+    case OpKind::Fmnmx: {
       float A = valueF32(T, Ops[1]);
       float B = valueF32(T, Ops[2]);
       bool TakeMin = predValue(T, Ops[3]);
       T.setReg(Ops[0].Value[0],
                fromFloat(TakeMin ? std::fmin(A, B) : std::fmax(A, B)));
-    } else if (Op == "DFMA") {
+      break;
+    }
+    case OpKind::Dfma:
       T.setReg64(Ops[0].Value[0],
                  fromDouble(valueF64(T, Ops[1]) * valueF64(T, Ops[2]) +
                             valueF64(T, Ops[3])));
-    } else if (Op == "RRO") {
+      break;
+    case OpKind::Rro:
       // Range reduction: modeled as the identity (MUFU consumes it).
       T.setReg(Ops[0].Value[0], fromFloat(valueF32(T, Ops[1])));
-    } else if (Op == "VOTE") {
+      break;
+    case OpKind::Vote: {
       // Sequential-thread semantics: the warp is this one thread.
       bool Src = predValue(T, Ops[1]);
-      const std::string &Kind = Asm.Modifiers.at(0);
-      bool Out = Kind == "EQ" ? true : Src;
-      T.setPred(Ops[0].Value[0], Out);
-    } else if (Op == "DADD") {
+      T.setPred(Ops[0].Value[0], P.VoteEq ? true : Src);
+      break;
+    }
+    case OpKind::DAdd:
       T.setReg64(Ops[0].Value[0],
                  fromDouble(valueF64(T, Ops[1]) + valueF64(T, Ops[2])));
-    } else if (Op == "DMUL") {
+      break;
+    case OpKind::DMul:
       T.setReg64(Ops[0].Value[0],
                  fromDouble(valueF64(T, Ops[1]) * valueF64(T, Ops[2])));
-    } else if (Op == "MUFU") {
+      break;
+    case OpKind::Mufu: {
       float X = valueF32(T, Ops[1]);
       float R = 0;
-      const std::string &Fn = Asm.Modifiers.at(0);
-      if (Fn == "COS")
+      switch (P.Mufu) {
+      case MufuKind::Cos:
         R = std::cos(X);
-      else if (Fn == "SIN")
+        break;
+      case MufuKind::Sin:
         R = std::sin(X);
-      else if (Fn == "EX2")
+        break;
+      case MufuKind::Ex2:
         R = std::exp2(X);
-      else if (Fn == "LG2")
+        break;
+      case MufuKind::Lg2:
         R = std::log2(X);
-      else if (Fn == "RCP")
+        break;
+      case MufuKind::Rcp:
         R = 1.0f / X;
-      else if (Fn == "RSQ")
+        break;
+      case MufuKind::Rsq:
         R = 1.0f / std::sqrt(X);
+        break;
+      case MufuKind::Zero:
+        break;
+      }
       T.setReg(Ops[0].Value[0], fromFloat(R));
-    } else if (Op == "F2F") {
+      break;
+    }
+    case OpKind::F2F:
       // Modifiers are <dst>.<src>.
-      const std::string &Dst = Asm.Modifiers.at(0);
-      const std::string &Src = Asm.Modifiers.at(1);
-      if (Dst == "F32" && Src == "F64") {
+      if (P.F2F == F2FKind::F32F64) {
         T.setReg(Ops[0].Value[0],
                  fromFloat(static_cast<float>(valueF64(T, Ops[1]))));
-      } else if (Dst == "F64" && Src == "F32") {
+      } else if (P.F2F == F2FKind::F64F32) {
         T.setReg64(Ops[0].Value[0],
                    fromDouble(static_cast<double>(valueF32(T, Ops[1]))));
       } else {
         return unsupported(Asm, "unhandled F2F format pair");
       }
-    } else if (Op == "F2I") {
+      break;
+    case OpKind::F2I:
       T.setReg(Ops[0].Value[0],
                static_cast<uint32_t>(
                    static_cast<int32_t>(valueF32(T, Ops[1]))));
-    } else if (Op == "I2F") {
-      bool Unsigned = !Asm.Modifiers.empty() && Asm.Modifiers[0][0] == 'U';
+      break;
+    case OpKind::I2F: {
       uint32_t Raw = value32(T, Ops[1]);
-      float F = Unsigned
+      float F = P.I2FUnsigned
                     ? static_cast<float>(Raw)
                     : static_cast<float>(static_cast<int32_t>(Raw));
       T.setReg(Ops[0].Value[0], fromFloat(F));
-    } else if (Op == "ISETP" || Op == "FSETP") {
-      const std::string &Cmp = Asm.Modifiers.at(0);
-      const std::string &Lgc = Asm.Modifiers.at(1);
+      break;
+    }
+    case OpKind::Setp: {
+      if (!P.HasMods2)
+        return unsupported(Asm, "missing comparison or logic modifier");
       bool Test;
-      if (Op[0] == 'F') {
-        Test = compare(Cmp, valueF32(T, Ops[2]), valueF32(T, Ops[3]));
+      if (P.FloatSetp) {
+        Test = compare(P.Cmp, valueF32(T, Ops[2]), valueF32(T, Ops[3]));
       } else {
-        Test = compareI(Cmp, static_cast<int32_t>(value32(T, Ops[2])),
+        Test = compareI(P.Cmp, static_cast<int32_t>(value32(T, Ops[2])),
                         static_cast<int32_t>(value32(T, Ops[3])));
       }
-      bool Combined = logic(Lgc, Test, predValue(T, Ops[4]));
+      bool Combined = logic(P.L1, Test, predValue(T, Ops[4]));
       T.setPred(Ops[0].Value[0], Combined);
       T.setPred(Ops[1].Value[0], !Combined);
-    } else if (Op == "PSETP") {
-      const std::string &L1 = Asm.Modifiers.at(0);
-      const std::string &L2 = Asm.Modifiers.at(1);
-      bool V = logic(L2, logic(L1, predValue(T, Ops[2]),
-                               predValue(T, Ops[3])),
+      break;
+    }
+    case OpKind::Psetp: {
+      if (!P.HasMods2)
+        return unsupported(Asm, "missing logic modifier");
+      bool V = logic(P.L2, logic(P.L1, predValue(T, Ops[2]),
+                                 predValue(T, Ops[3])),
                      predValue(T, Ops[4]));
       T.setPred(Ops[0].Value[0], V);
       T.setPred(Ops[1].Value[0], !V);
-    } else if (Op == "SEL") {
+      break;
+    }
+    case OpKind::Sel:
       T.setReg(Ops[0].Value[0], predValue(T, Ops[3])
                                     ? value32(T, Ops[1])
                                     : value32(T, Ops[2]));
-    } else if (Op == "LOP") {
+      break;
+    case OpKind::Lop: {
       uint32_t A = value32(T, Ops[1]);
       uint32_t B = value32(T, Ops[2]);
-      const std::string &Kind = Asm.Modifiers.at(0);
-      uint32_t V = Kind == "OR" ? (A | B)
-                   : Kind == "XOR" ? (A ^ B)
-                                   : (A & B);
+      uint32_t V = P.L1 == LogicKind::Or    ? (A | B)
+                   : P.L1 == LogicKind::Xor ? (A ^ B)
+                                            : (A & B);
       T.setReg(Ops[0].Value[0], V);
-    } else if (Op == "SHL") {
+      break;
+    }
+    case OpKind::Shl:
       T.setReg(Ops[0].Value[0],
                value32(T, Ops[1]) << (value32(T, Ops[2]) & 31));
-    } else if (Op == "SHR") {
+      break;
+    case OpKind::Shr: {
       uint32_t Amount = value32(T, Ops[2]) & 31;
-      if (hasMod(Asm, "U32"))
+      if (P.U32)
         T.setReg(Ops[0].Value[0], value32(T, Ops[1]) >> Amount);
       else
         T.setReg(Ops[0].Value[0],
                  static_cast<uint32_t>(
                      static_cast<int32_t>(value32(T, Ops[1])) >> Amount));
-    } else if (Op == "LD" || Op == "LDG" || Op == "LDL" || Op == "LDS") {
-      unsigned Bytes = memBytes(Asm);
-      std::vector<uint8_t> &Region = regionFor(Op, T);
+      break;
+    }
+    case OpKind::Load: {
+      std::vector<uint8_t> &Region = regionFor(P.Region, T);
       uint64_t Addr = memAddress(T, Ops[1]);
-      if (Bytes <= 4)
+      if (P.MemBytes <= 4)
         T.setReg(Ops[0].Value[0],
-                 static_cast<uint32_t>(loadBytes(Region, Addr, Bytes)));
-      else if (Bytes == 8)
+                 static_cast<uint32_t>(loadBytes(Region, Addr, P.MemBytes)));
+      else if (P.MemBytes == 8)
         T.setReg64(Ops[0].Value[0], loadBytes(Region, Addr, 8));
       else
         for (unsigned I = 0; I < 4; ++I)
           T.setReg(Ops[0].Value[0] + I,
                    static_cast<uint32_t>(loadBytes(Region, Addr + 4 * I, 4)));
-    } else if (Op == "ST" || Op == "STG" || Op == "STL" || Op == "STS") {
-      unsigned Bytes = memBytes(Asm);
-      std::vector<uint8_t> &Region = regionFor(Op, T);
+      break;
+    }
+    case OpKind::Store: {
+      std::vector<uint8_t> &Region = regionFor(P.Region, T);
       uint64_t Addr = memAddress(T, Ops[0]);
-      if (Bytes <= 4)
-        storeBytes(Region, Addr, Bytes, T.reg(Ops[1].Value[0]));
-      else if (Bytes == 8)
+      if (P.MemBytes <= 4)
+        storeBytes(Region, Addr, P.MemBytes, T.reg(Ops[1].Value[0]));
+      else if (P.MemBytes == 8)
         storeBytes(Region, Addr, 8, T.reg64(Ops[1].Value[0]));
       else
         for (unsigned I = 0; I < 4; ++I)
           storeBytes(Region, Addr + 4 * I, 4, T.reg(Ops[1].Value[0] + I));
-    } else if (Op == "LDC") {
+      break;
+    }
+    case OpKind::Ldc: {
       const Operand &C = Ops[1];
       auto It = Mem.ConstBanks.find(static_cast<unsigned>(C.Value[0]));
       uint64_t Addr = C.Value[1] + (C.HasRegister ? T.reg(C.Value[2]) : 0);
-      unsigned Bytes = memBytes(Asm);
       uint64_t V = It == Mem.ConstBanks.end() || It->second.empty()
                        ? 0
-                       : loadBytes(It->second, Addr, Bytes);
-      if (Bytes == 8)
+                       : loadBytes(It->second, Addr, P.MemBytes);
+      if (P.MemBytes == 8)
         T.setReg64(Ops[0].Value[0], V);
       else
         T.setReg(Ops[0].Value[0], static_cast<uint32_t>(V));
-    } else if (Op == "ATOM") {
+      break;
+    }
+    case OpKind::Atom: {
       uint64_t Addr = memAddress(T, Ops[1]);
       uint32_t Old =
           static_cast<uint32_t>(loadBytes(Mem.Global, Addr, 4));
       uint32_t Src = T.reg(Ops[2].Value[0]);
-      const std::string &Kind = Asm.Modifiers.at(0);
       uint32_t New = Old;
-      if (Kind == "ADD")
+      switch (P.Atom) {
+      case AtomKind::Add:
         New = Old + Src;
-      else if (Kind == "MIN")
+        break;
+      case AtomKind::Min:
         New = std::min(Old, Src);
-      else if (Kind == "MAX")
+        break;
+      case AtomKind::Max:
         New = std::max(Old, Src);
-      else if (Kind == "EXCH")
+        break;
+      case AtomKind::Exch:
         New = Src;
-      else if (Kind == "AND")
+        break;
+      case AtomKind::And:
         New = Old & Src;
-      else if (Kind == "OR")
+        break;
+      case AtomKind::Or:
         New = Old | Src;
-      else if (Kind == "XOR")
+        break;
+      case AtomKind::Xor:
         New = Old ^ Src;
+        break;
+      case AtomKind::None:
+        break;
+      }
       storeBytes(Mem.Global, Addr, 4, New);
       T.setReg(Ops[0].Value[0], Old);
-    } else if (Op == "TEX") {
+      break;
+    }
+    case OpKind::Tex: {
       // Deterministic synthetic texture: a hash of unit, coordinate and
       // shape, so transformed code can be checked for equivalence.
       uint64_t H = 0x9e3779b97f4a7c15ull;
@@ -564,58 +914,61 @@ Expected<bool> Interp::step(Thread &T, size_t &Pc) {
       H ^= static_cast<uint64_t>(Ops[2].Value[0]) << 32;
       H ^= static_cast<uint64_t>(Ops[3].Value[0]) << 8;
       T.setReg(Ops[0].Value[0], static_cast<uint32_t>(H >> 16));
-    } else if (Op == "BRA") {
+      break;
+    }
+    case OpKind::Bra:
       if (Entry.TargetBlock < 0)
         return unsupported(Asm, "indirect branch");
       Next = BlockStart[Entry.TargetBlock];
-    } else if (Op == "CAL") {
+      break;
+    case OpKind::Cal:
       if (Entry.TargetBlock < 0)
         return unsupported(Asm, "indirect call");
       T.CallStack.push_back(Pc + 1);
       Next = BlockStart[Entry.TargetBlock];
-    } else if (Op == "RET") {
+      break;
+    case OpKind::Ret:
       if (T.CallStack.empty())
         return unsupported(Asm, "RET with an empty call stack");
       Next = T.CallStack.back();
       T.CallStack.pop_back();
-    } else if (Op == "SSY") {
+      break;
+    case OpKind::Ssy:
       if (Entry.TargetBlock < 0)
         return unsupported(Asm, "SSY without a target");
       T.SsyStack.push_back(BlockStart[Entry.TargetBlock]);
-    } else if (Op == "PBK") {
+      break;
+    case OpKind::Pbk:
       if (Entry.TargetBlock < 0)
         return unsupported(Asm, "PBK without a target");
       T.BreakStack.push_back(BlockStart[Entry.TargetBlock]);
-    } else if (Op == "BRK") {
+      break;
+    case OpKind::Brk:
       if (T.BreakStack.empty())
         return unsupported(Asm, "BRK without an armed PBK");
       Next = T.BreakStack.back();
       T.BreakStack.pop_back();
-    } else if (Op == "SYNC") {
+      break;
+    case OpKind::Sync:
       if (T.SsyStack.empty())
         return unsupported(Asm, "SYNC without an armed SSY");
       Next = T.SsyStack.back();
       T.SsyStack.pop_back();
-    } else if (Op == "EXIT") {
+      break;
+    case OpKind::Exit:
       return false;
-    } else if (Op == "NOP" || Op == "BAR" || Op == "MEMBAR" ||
-               Op == "DEPBAR" || Op == "TEXDEPBAR") {
-      // The ".S" reconvergence modifier on NOP behaves like SYNC.
-      bool Rejoin = false;
-      for (const std::string &Mod : Asm.Modifiers)
-        Rejoin |= (Op == "NOP" && Mod == "S");
-      if (Rejoin) {
+    case OpKind::Nop:
+      if (P.RejoinS) {
         if (T.SsyStack.empty())
           return unsupported(Asm, "NOP.S without an armed SSY");
         Next = T.SsyStack.back();
         T.SsyStack.pop_back();
       }
-    } else {
-      return unsupported(Asm, "unimplemented opcode " + Op);
+      break;
+    case OpKind::Unknown:
+      return unsupported(Asm, "unimplemented opcode " + Asm.Opcode);
     }
-  } else if (Asm.Opcode == "SYNC" ||
-             (Asm.Opcode == "NOP" && !Asm.Modifiers.empty() &&
-              Asm.Modifiers[0] == "S")) {
+  } else if (P.SyncNotTaken) {
     // A guarded reconvergence not taken: the thread continues into the
     // divergent path; the SSY target stays armed.
   }

@@ -61,6 +61,24 @@ WindowDisassembler makeWindowDisassembler(Arch A) {
   };
 }
 
+WindowDecoder makeWindowDecoder(Arch A) {
+  return [A](const std::string &Name, const std::vector<uint8_t> &Code,
+             uint64_t Addr) -> Expected<WindowDecode> {
+    Expected<vendor::DecodedWord> W =
+        vendor::decodeInstructionAt(A, Name, Code, Addr);
+    if (!W)
+      return W.takeError();
+    WindowDecode D;
+    if (!W->IsSchi) {
+      D.HasPair = true;
+      D.Pair.Address = W->Address;
+      D.Pair.Inst = std::move(W->Inst);
+      D.Pair.Binary = std::move(W->Word);
+    }
+    return D;
+  };
+}
+
 } // namespace
 
 TEST(Signature, OperandChars) {
@@ -239,8 +257,9 @@ TEST_P(AnalyzerPerArch, RoundStatsAccountForEveryVariant) {
   // Round 1 sees only fresh variants; later rounds re-enumerate the same
   // exemplars and the dedup cache absorbs the repeats.
   EXPECT_EQ(Rounds.front().CacheHits, 0u);
-  if (Rounds.size() > 1)
+  if (Rounds.size() > 1) {
     EXPECT_GT(Rounds[1].CacheHits, 0u);
+  }
 }
 
 TEST_P(AnalyzerPerArch, ReassemblyStillExactAfterFlipping) {
@@ -303,6 +322,33 @@ TEST(BitFlipperDeterminism, ParallelRunMatchesSerialByteForByte) {
     // The single-word fast path learns exactly what full-kernel
     // disassembly learns (only the patched word ever differs).
     EXPECT_EQ(Serial, runWith(4, false)) << archName(A);
+  }
+}
+
+TEST(BitFlipperDeterminism, StructuredDecoderMatchesPrintedPathByteForByte) {
+  // The print-free tier: trials go through vendor::decodeInstructionAt
+  // (structured sass::Instructions, no print -> parse round trip). The
+  // decoder rejects exactly the words whose printed line would not
+  // re-parse, so the learned database must equal the text path's, byte
+  // for byte, at any lane count.
+  for (Arch A : {Arch::SM35, Arch::SM52}) {
+    SuiteData Data = makeSuiteData(A);
+    auto runWith = [&](unsigned Jobs, bool UseDecoder) {
+      IsaAnalyzer Analyzer(A);
+      EXPECT_FALSE(Analyzer.analyzeListing(Data.L));
+      BitFlipper Flipper(Analyzer, makeDisassembler(A),
+                         makeWindowDisassembler(A),
+                         UseDecoder ? makeWindowDecoder(A)
+                                    : WindowDecoder());
+      BitFlipper::Options Opts;
+      Opts.MaxRounds = 3;
+      Opts.NumThreads = Jobs;
+      Flipper.run(Data.KernelCode, Opts);
+      return Analyzer.database().serialize();
+    };
+    std::string Printed = runWith(1, false);
+    EXPECT_EQ(Printed, runWith(1, true)) << archName(A);
+    EXPECT_EQ(Printed, runWith(4, true)) << archName(A);
   }
 }
 

@@ -98,6 +98,33 @@ TEST(BitString, FromHexRejectsOverflow) {
   EXPECT_FALSE(BitString::fromHex("0ff", 8).empty());
 }
 
+TEST(BitString, BytesRoundTripLittleEndian) {
+  // fromBytes is the bulk little-endian load the disassembler and flipper
+  // word paths use: byte I lands at bits [8*I, 8*I+8).
+  const uint8_t Bytes[16] = {0xef, 0xcd, 0xab, 0x89, 0x67, 0x45, 0x23, 0x01,
+                             0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88};
+  BitString Word64 = BitString::fromBytes(Bytes, 8);
+  EXPECT_EQ(Word64.size(), 64u);
+  EXPECT_EQ(Word64.field(0, 64), 0x0123456789abcdefull);
+
+  BitString Word128 = BitString::fromBytes(Bytes, 16);
+  EXPECT_EQ(Word128.size(), 128u);
+  EXPECT_EQ(Word128.field(0, 64), 0x0123456789abcdefull);
+  EXPECT_EQ(Word128.field(64, 64), 0x8877665544332211ull);
+
+  uint8_t Out[16] = {0};
+  Word128.toBytes(Out);
+  for (unsigned I = 0; I < 16; ++I)
+    EXPECT_EQ(Out[I], Bytes[I]) << "byte " << I;
+
+  std::vector<uint8_t> Appended{0xaa};
+  Word64.appendBytes(Appended);
+  ASSERT_EQ(Appended.size(), 9u);
+  EXPECT_EQ(Appended[0], 0xaa);
+  for (unsigned I = 0; I < 8; ++I)
+    EXPECT_EQ(Appended[I + 1], Bytes[I]) << "byte " << I;
+}
+
 TEST(BitString, OrderingIsByWidthThenValue) {
   BitString A(8, 5), B(8, 9), C(16, 1);
   EXPECT_TRUE(A < B);

@@ -157,6 +157,33 @@ TEST(DcbTool, AsmJobsOutputIsByteIdentical) {
             0);
 }
 
+TEST(DcbTool, DisasmJobsOutputIsByteIdentical) {
+  const std::string Dcb = toolPath();
+  const std::string Work = workDir();
+  ASSERT_EQ(runCmd("mkdir -p " + Work), 0);
+  ASSERT_EQ(runCmd(Dcb + " make-suite sm_61 -o " + Work +
+                   "/d.cubin > /dev/null"),
+            0);
+  for (const char *Jobs : {"1", "4", "0"}) {
+    ASSERT_EQ(runCmd(Dcb + " disasm " + Work + "/d.cubin --jobs " +
+                     std::string(Jobs) + " > " + Work + "/d" + Jobs +
+                     ".sass"),
+              0);
+  }
+  std::string Serial = slurp(Work + "/d1.sass");
+  EXPECT_NE(Serial.find("code for sm_61"), std::string::npos);
+  EXPECT_EQ(Serial, slurp(Work + "/d4.sass"));
+  EXPECT_EQ(Serial, slurp(Work + "/d0.sass"));
+  // And the flag's output equals the default serial path.
+  ASSERT_EQ(runCmd(Dcb + " disasm " + Work + "/d.cubin > " + Work +
+                   "/dplain.sass"),
+            0);
+  EXPECT_EQ(Serial, slurp(Work + "/dplain.sass"));
+  EXPECT_NE(runCmd(Dcb + " disasm " + Work + "/d.cubin --jobs banana" +
+                   " 2> /dev/null"),
+            0);
+}
+
 TEST(DcbTool, RejectsBadInput) {
   const std::string Dcb = toolPath();
   const std::string Work = workDir();

@@ -7,7 +7,7 @@
 //                                            (the closed-source compiler's
 //                                            role; replace with real cubins
 //                                            when a CUDA toolchain exists)
-//   dcb disasm <cubin>                       cuobjdump-style listing
+//   dcb disasm <cubin> [--jobs N]            cuobjdump-style listing
 //   dcb analyze <listing> [--db in] -o out   run the ISA Analyzer
 //   dcb flip <cubin> --db in [--jobs N] -o out   bit-flip enrichment rounds
 //   dcb genasm --db db -o asm2bin.cpp        emit the C++ assembler (Alg. 3)
@@ -148,9 +148,16 @@ int cmdMakeSuite(const Args &A) {
 
 int cmdDisasm(const Args &A) {
   if (A.Positional.empty())
-    die("usage: dcb disasm <cubin>");
+    die("usage: dcb disasm <cubin> [--jobs N]");
+  vendor::DisasmOptions Opts;
+  if (auto Jobs = A.get("--jobs")) {
+    std::optional<uint64_t> N = parseUInt(*Jobs);
+    if (!N)
+      die("bad --jobs value '" + *Jobs + "'");
+    Opts.NumThreads = static_cast<unsigned>(*N); // 0 = hardware width.
+  }
   Expected<std::string> Text =
-      vendor::disassembleImage(readBinary(A.Positional[0]));
+      vendor::disassembleImage(readBinary(A.Positional[0]), Opts);
   if (!Text)
     die(Text.message());
   std::fputs(Text->c_str(), stdout);
@@ -202,6 +209,23 @@ int cmdFlip(const Args &A) {
       [Target](const std::string &Name, const std::vector<uint8_t> &Code,
                uint64_t Addr) {
         return vendor::disassembleInstructionAt(Target, Name, Code, Addr);
+      },
+      // Print-free fast path: hand the flipper decoded instructions
+      // directly instead of listing text it would have to re-parse.
+      [Target](const std::string &Name, const std::vector<uint8_t> &Code,
+               uint64_t Addr) -> Expected<analyzer::WindowDecode> {
+        Expected<vendor::DecodedWord> W =
+            vendor::decodeInstructionAt(Target, Name, Code, Addr);
+        if (!W)
+          return W.takeError();
+        analyzer::WindowDecode D;
+        if (!W->IsSchi) {
+          D.HasPair = true;
+          D.Pair.Address = W->Address;
+          D.Pair.Inst = std::move(W->Inst);
+          D.Pair.Binary = std::move(W->Word);
+        }
+        return D;
       });
   analyzer::BitFlipper::Options Opts;
   if (auto Jobs = A.get("--jobs")) {
@@ -343,7 +367,10 @@ void usage() {
       stderr,
       "usage: dcb <command> ...\n"
       "  make-suite <arch> -o <cubin>            compile the synthetic suite\n"
-      "  disasm <cubin>                          print the listing\n"
+      "  disasm <cubin> [--jobs N]               print the listing\n"
+      "                                          (--jobs 0 = all cores;\n"
+      "                                          output is identical for\n"
+      "                                          every --jobs value)\n"
       "  analyze <listing>... [--db in] -o <db>  learn encodings\n"
       "  flip <cubin> --db <db> [--jobs N] -o <db>\n"
       "                                          bit-flip enrichment\n"
