@@ -31,6 +31,12 @@
 namespace dcb {
 namespace bench {
 
+/// Embeds the current telemetry counter snapshot into the benchmark JSON
+/// context as "dcb_telemetry_snapshot" (defined in BenchContext.cpp).
+/// Call it from main() after the report section and before
+/// benchmark::Initialize, so AddCustomContext lands ahead of the reporter.
+void addTelemetryContext();
+
 /// Everything derived from one architecture's suite build.
 struct ArchData {
   Arch A;

@@ -7,13 +7,27 @@
 // scripts/run_benches.sh refuses to publish results whose
 // "dcb_build_type" is not "release".
 //
+// The same context block carries the rest of the provenance story:
+// - dcb_git_rev / dcb_git_dirty: stamped from the DCB_GIT_REV /
+//   DCB_GIT_DIRTY environment variables exported by scripts/run_benches.sh,
+//   so a BENCH_*.json can always be traced to the exact tree it measured.
+// - dcb_telemetry: whether this binary was compiled with instrumentation
+//   (DCB_TELEMETRY) and whether it is counting (DCB_BENCH_TELEMETRY=1 in
+//   the environment turns the counters on for overhead experiments).
+// - dcb_telemetry_snapshot: added by addTelemetryContext() after the
+//   report section runs, capturing the setup phase's counter values.
+//
 // A global constructor is safe here: AddCustomContext appends to a plain
 // zero-initialized pointer inside the library, with no static-init-order
 // hazard, and runs before main() parses --benchmark_out.
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/Telemetry.h"
+
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
 
 namespace {
 
@@ -24,7 +38,31 @@ struct RegisterBuildType {
 #else
     benchmark::AddCustomContext("dcb_build_type", "debug");
 #endif
+    const char *Rev = std::getenv("DCB_GIT_REV");
+    benchmark::AddCustomContext("dcb_git_rev", Rev ? Rev : "unknown");
+    const char *Dirty = std::getenv("DCB_GIT_DIRTY");
+    benchmark::AddCustomContext("dcb_git_dirty", Dirty ? Dirty : "unknown");
+
+#if DCB_TELEMETRY
+    const char *Tel = std::getenv("DCB_BENCH_TELEMETRY");
+    bool On = Tel && Tel[0] == '1';
+    dcb::telemetry::setCountersEnabled(On);
+    benchmark::AddCustomContext("dcb_telemetry", On ? "on" : "off");
+#else
+    benchmark::AddCustomContext("dcb_telemetry", "compiled-out");
+#endif
   }
 } Registrar;
 
 } // namespace
+
+namespace dcb {
+namespace bench {
+
+void addTelemetryContext() {
+  benchmark::AddCustomContext("dcb_telemetry_snapshot",
+                              telemetry::statsCompact());
+}
+
+} // namespace bench
+} // namespace dcb

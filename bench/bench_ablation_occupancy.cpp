@@ -118,6 +118,7 @@ BENCHMARK(BM_AnalyzeRegisterUsage);
 
 int main(int argc, char **argv) {
   report();
+  dcb::bench::addTelemetryContext();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

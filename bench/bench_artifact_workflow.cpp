@@ -133,6 +133,7 @@ BENCHMARK(BM_FlippingOnly)
 
 int main(int argc, char **argv) {
   report();
+  dcb::bench::addTelemetryContext();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -148,6 +148,7 @@ BENCHMARK(BM_CoverageMatrixCell)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char **argv) {
   report();
+  dcb::bench::addTelemetryContext();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

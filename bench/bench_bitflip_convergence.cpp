@@ -207,6 +207,7 @@ BENCHMARK(BM_FlipToConvergence)
 
 int main(int argc, char **argv) {
   report();
+  dcb::bench::addTelemetryContext();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -117,6 +117,7 @@ BENCHMARK(BM_SplitSchiMaxwellSuite)->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char **argv) {
   report();
+  dcb::bench::addTelemetryContext();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -119,6 +119,7 @@ BENCHMARK(BM_LocalToSharedPipeline)
 
 int main(int argc, char **argv) {
   report();
+  dcb::bench::addTelemetryContext();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

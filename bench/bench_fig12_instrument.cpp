@@ -121,6 +121,7 @@ BENCHMARK(BM_InstrumentAndRelayout)
 
 int main(int argc, char **argv) {
   report();
+  dcb::bench::addTelemetryContext();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -101,6 +101,7 @@ BENCHMARK(BM_LookupAndInspectOperation);
 
 int main(int argc, char **argv) {
   report();
+  dcb::bench::addTelemetryContext();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -113,6 +113,7 @@ BENCHMARK(BM_BuildCfgForSuite)
 
 int main(int argc, char **argv) {
   report();
+  dcb::bench::addTelemetryContext();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

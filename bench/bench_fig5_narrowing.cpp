@@ -122,6 +122,7 @@ BENCHMARK(BM_AnalyzeInstFullPipeline);
 
 int main(int argc, char **argv) {
   report();
+  dcb::bench::addTelemetryContext();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

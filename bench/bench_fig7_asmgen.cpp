@@ -86,6 +86,7 @@ BENCHMARK(BM_DeserializeDatabase)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char **argv) {
   report();
+  dcb::bench::addTelemetryContext();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -104,6 +104,7 @@ BENCHMARK(BM_WindowQueryAllOperations)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char **argv) {
   report();
+  dcb::bench::addTelemetryContext();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -82,6 +82,7 @@ BENCHMARK(BM_SplitSchiWholeSuite)
 
 int main(int argc, char **argv) {
   report();
+  dcb::bench::addTelemetryContext();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -81,6 +81,7 @@ BENCHMARK(BM_AnalyzeMemoryHeavyListing)
 
 int main(int argc, char **argv) {
   report();
+  dcb::bench::addTelemetryContext();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

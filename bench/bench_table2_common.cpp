@@ -108,6 +108,7 @@ BENCHMARK(BM_AssembleSingleInstruction);
 
 int main(int argc, char **argv) {
   report();
+  dcb::bench::addTelemetryContext();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

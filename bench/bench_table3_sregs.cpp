@@ -131,6 +131,7 @@ BENCHMARK(BM_RecoverSpecialRegisterTable);
 
 int main(int argc, char **argv) {
   report();
+  dcb::bench::addTelemetryContext();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

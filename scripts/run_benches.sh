@@ -19,6 +19,16 @@ LABEL="${1:-$(git -C "$ROOT" rev-parse --short HEAD 2>/dev/null || echo local)}"
 [ "$#" -gt 0 ] && shift
 BUILD="$ROOT/build-release"
 
+# Stamp git provenance into every bench JSON ("dcb_git_rev" /
+# "dcb_git_dirty" context, read by BenchContext.cpp), so a BENCH file can
+# always be traced to the exact tree that produced it.
+export DCB_GIT_REV="$(git -C "$ROOT" rev-parse HEAD 2>/dev/null || echo unknown)"
+if git -C "$ROOT" diff --quiet HEAD 2>/dev/null; then
+  export DCB_GIT_DIRTY="clean"
+else
+  export DCB_GIT_DIRTY="dirty"
+fi
+
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j >/dev/null
 

@@ -3,6 +3,7 @@
 #include "analyzer/BitFlipper.h"
 
 #include "support/TaskPool.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -12,6 +13,22 @@ using namespace dcb;
 using namespace dcb::analyzer;
 
 namespace {
+
+/// Registry twins of the per-round RoundStats fields, plus round latency.
+/// RoundStats stays the API-visible record; these feed the global `--stats`
+/// view and let tests check that the two bookkeepings agree.
+struct FlipTelemetry {
+  telemetry::Counter &Rounds = telemetry::counter("bitflip.rounds");
+  telemetry::Counter &VariantsTried =
+      telemetry::counter("bitflip.variants_tried");
+  telemetry::Counter &Accepted = telemetry::counter("bitflip.accepted");
+  telemetry::Counter &Rejected = telemetry::counter("bitflip.rejected");
+  telemetry::Counter &Crashes = telemetry::counter("bitflip.crashes");
+  telemetry::Counter &CacheHits = telemetry::counter("bitflip.cache_hits");
+  telemetry::Counter &NewOperations =
+      telemetry::counter("bitflip.new_operations");
+  telemetry::Histogram &RoundNs = telemetry::histogram("bitflip.round_ns");
+} FlipTel;
 
 /// Serializes a word into little-endian bytes at \p Offset of \p Code.
 void writeWord(std::vector<uint8_t> &Code, uint64_t Offset,
@@ -120,6 +137,8 @@ std::vector<BitFlipper::RoundStats> BitFlipper::run(
   std::unordered_set<std::string> Tried;
 
   for (unsigned Round = 0; Round < Opts.MaxRounds; ++Round) {
+    telemetry::ScopedSpan RoundSpan("bitflip.round");
+    const uint64_t RoundStart = telemetry::nowNs();
     RoundStats Stats;
 
     // Snapshot the exemplars first: analyzing variants mutates the
@@ -170,17 +189,21 @@ std::vector<BitFlipper::RoundStats> BitFlipper::run(
     // Fan the side-effect-free trials across the pool. Each lane owns its
     // scratch buffers; nothing else is written concurrently.
     std::vector<Trial> Trials(Jobs.size());
-    Pool.parallelFor(Jobs.size(), [&](unsigned Lane, size_t Idx) {
-      const Job &J = Jobs[Idx];
-      auto &Scratch = LaneCode[Lane];
-      auto It = Scratch.find(J.E->Kernel);
-      if (It == Scratch.end())
-        It = Scratch.emplace(J.E->Kernel, KernelCode.at(J.E->Kernel)).first;
-      Trials[Idx] = runTrial(J.E->Kernel, It->second, J.E->Addr, J.Variant);
-    });
+    {
+      telemetry::ScopedSpan TrialsSpan("bitflip.trials");
+      Pool.parallelFor(Jobs.size(), [&](unsigned Lane, size_t Idx) {
+        const Job &J = Jobs[Idx];
+        auto &Scratch = LaneCode[Lane];
+        auto It = Scratch.find(J.E->Kernel);
+        if (It == Scratch.end())
+          It = Scratch.emplace(J.E->Kernel, KernelCode.at(J.E->Kernel)).first;
+        Trials[Idx] = runTrial(J.E->Kernel, It->second, J.E->Addr, J.Variant);
+      });
+    }
 
     // Merge serially in job order: the learned database is bit-for-bit
     // independent of NumThreads and of the pool's scheduling.
+    telemetry::ScopedSpan MergeSpan("bitflip.merge");
     for (size_t Idx = 0; Idx < Trials.size(); ++Idx) {
       Trial &T = Trials[Idx];
       switch (T.Result) {
@@ -203,6 +226,33 @@ std::vector<BitFlipper::RoundStats> BitFlipper::run(
     assert(Stats.VariantsTried == Stats.Crashes + Stats.Accepted +
                                       Stats.Rejected + Stats.CacheHits &&
            "RoundStats do not account for every variant");
+
+#ifndef NDEBUG
+    const uint64_t TriedBefore = FlipTel.VariantsTried.value();
+    const uint64_t OutcomesBefore = FlipTel.Crashes.value() +
+                                    FlipTel.Accepted.value() +
+                                    FlipTel.Rejected.value() +
+                                    FlipTel.CacheHits.value();
+#endif
+    // Mirror the round's tallies into the registry (one add per field per
+    // round, never per variant).
+    FlipTel.Rounds.add();
+    FlipTel.VariantsTried.add(Stats.VariantsTried);
+    FlipTel.Accepted.add(Stats.Accepted);
+    FlipTel.Rejected.add(Stats.Rejected);
+    FlipTel.Crashes.add(Stats.Crashes);
+    FlipTel.CacheHits.add(Stats.CacheHits);
+    FlipTel.NewOperations.add(Stats.NewOperations);
+    FlipTel.RoundNs.record(telemetry::nowNs() - RoundStart);
+#ifndef NDEBUG
+    // The registry deltas must preserve the RoundStats invariant: every
+    // variant tried this round is accounted for by exactly one outcome.
+    assert(FlipTel.VariantsTried.value() - TriedBefore ==
+               FlipTel.Crashes.value() + FlipTel.Accepted.value() +
+                   FlipTel.Rejected.value() + FlipTel.CacheHits.value() -
+                   OutcomesBefore &&
+           "registry counters diverged from RoundStats");
+#endif
 
     Stats.After = Analyzer.database().stats();
     Rounds.push_back(Stats);

@@ -4,6 +4,7 @@
 
 #include "analyzer/IsaAnalyzer.h"
 #include "analyzer/ModifierTypes.h"
+#include "support/Telemetry.h"
 
 #include <cassert>
 
@@ -121,8 +122,14 @@ const FrozenIndex &EncodingDatabase::freeze() const {
   if (const FrozenIndex *Existing = FrozenPtr.load(std::memory_order_acquire))
     return *Existing;
   std::lock_guard<std::mutex> Lock(FreezeM);
-  if (!FrozenStore)
+  if (!FrozenStore) {
+    DCB_SPAN("db.freeze");
+    uint64_t Start = telemetry::nowNs();
     FrozenStore = std::make_unique<FrozenIndex>(Ops);
+    telemetry::histogram("db.freeze_ns").record(telemetry::nowNs() - Start);
+    telemetry::gauge("db.frozen_index.operations")
+        .set(static_cast<int64_t>(FrozenStore->size()));
+  }
   FrozenPtr.store(FrozenStore.get(), std::memory_order_release);
   return *FrozenStore;
 }

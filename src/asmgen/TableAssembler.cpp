@@ -7,6 +7,7 @@
 #include "analyzer/Signature.h"
 #include "asmgen/AsmCore.h"
 #include "sass/Printer.h"
+#include "support/Telemetry.h"
 
 using namespace dcb;
 using namespace dcb::asmgen;
@@ -271,15 +272,25 @@ std::vector<Expected<BitString>>
 asmgen::assembleProgram(const EncodingDatabase &Db,
                         const std::vector<AsmJob> &Jobs,
                         const BatchOptions &Options) {
+  DCB_SPAN("asmgen.assembleProgram");
+  static telemetry::Counter &AsmJobs =
+      telemetry::counter("asmgen.assemble.jobs");
+  static telemetry::Histogram &AsmBatchSize =
+      telemetry::histogram("asmgen.assemble.batch_size");
+  AsmJobs.add(Jobs.size());
+  AsmBatchSize.record(Jobs.size());
   const FrozenIndex &Idx = Db.freeze();
   // Expected<> has no empty state; fill the slots with placeholder
   // successes, each overwritten exactly once by its own index.
   std::vector<Expected<BitString>> Results(
       Jobs.size(), Expected<BitString>(BitString()));
   TaskPool Pool(Options.NumThreads);
-  parallelForChunked(Pool, Jobs.size(), Options.ChunkSize, [&](size_t I) {
-    Results[I] = assembleWithIndex(Db, Idx, *Jobs[I].Inst, Jobs[I].Pc);
-  });
+  parallelForChunked(
+      Pool, Jobs.size(), Options.ChunkSize,
+      [&](size_t I) {
+        Results[I] = assembleWithIndex(Db, Idx, *Jobs[I].Inst, Jobs[I].Pc);
+      },
+      "asmgen.assemble.chunk");
   return Results;
 }
 

@@ -63,6 +63,21 @@ public:
     return nullptr;
   }
 
+  /// match() plus the number of masked-compare entries inspected — the
+  /// telemetry variant feeding the `isa.decode.bucket_scan` histogram.
+  struct Counted {
+    const InstrSpec *Spec = nullptr;
+    uint32_t ScanLen = 0;
+  };
+  Counted matchCounted(uint64_t Low) const {
+    size_t B = bucketOf(Low);
+    uint32_t Start = BucketStart[B], E = BucketStart[B + 1];
+    for (uint32_t I = Start; I != E; ++I)
+      if ((Low & Entries[I].Mask) == Entries[I].Value)
+        return {Entries[I].Spec, I - Start + 1};
+    return {nullptr, E - Start};
+  }
+
   // --- Introspection (tests, docs, bench reports) -------------------------
   unsigned numSelectorBits() const {
     return static_cast<unsigned>(SelBits.size());

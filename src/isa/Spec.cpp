@@ -3,12 +3,50 @@
 #include "isa/Spec.h"
 
 #include "isa/DecodeIndex.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
 
 using namespace dcb;
 using namespace dcb::isa;
+
+namespace {
+
+/// Dispatch-path metrics; handles resolved once at static init so the
+/// per-word cost is one relaxed gate load when telemetry is off.
+struct DecodeTelemetry {
+  telemetry::Counter &Dispatches = telemetry::counter("isa.decode.dispatch");
+  telemetry::Counter &LinearFallbacks =
+      telemetry::counter("isa.decode.linear_fallback");
+  telemetry::Counter &Misses = telemetry::counter("isa.decode.miss");
+  telemetry::Histogram &BucketScan =
+      telemetry::histogram("isa.decode.bucket_scan");
+  telemetry::Histogram &FreezeNs =
+      telemetry::histogram("isa.freeze_decode_ns");
+  telemetry::Gauge &IndexBuckets =
+      telemetry::gauge("isa.decode_index.buckets");
+  telemetry::Gauge &IndexEntries =
+      telemetry::gauge("isa.decode_index.entries");
+  telemetry::Gauge &IndexSelectorBits =
+      telemetry::gauge("isa.decode_index.selector_bits");
+} DecTel;
+
+#if DCB_TELEMETRY
+/// Kept out of line so the common gates-off dispatch stays a tiny
+/// load-branch-tailcall and the counting code never costs I-cache there.
+[[gnu::noinline]] const InstrSpec *matchCounted(const DecodeIndex *Idx,
+                                                uint64_t Low) {
+  DecodeIndex::Counted R = Idx->matchCounted(Low);
+  DecTel.Dispatches.add();
+  DecTel.BucketScan.record(R.ScanLen);
+  if (!R.Spec)
+    DecTel.Misses.add();
+  return R.Spec;
+}
+#endif
+
+} // namespace
 
 bool isa::slotAcceptsOperand(const OperandSlot &Slot, const sass::Operand &Op) {
   using sass::OperandKind;
@@ -72,11 +110,18 @@ ArchSpec::~ArchSpec() = default;
 const InstrSpec *ArchSpec::match(const BitString &Word) const {
   assert(Word.size() == WordBits && "word width mismatch");
   uint64_t Low = Word.field(0, 64);
-  if (const DecodeIndex *Idx = decodeIndex())
+  if (const DecodeIndex *Idx = decodeIndex()) {
+#if DCB_TELEMETRY
+    if (telemetry::countersEnabled()) [[unlikely]]
+      return matchCounted(Idx, Low);
+#endif
     return Idx->match(Low);
+  }
+  DecTel.LinearFallbacks.add();
   for (const InstrSpec &Spec : Instrs)
     if ((Low & Spec.OpcodeMask) == Spec.OpcodeValue)
       return &Spec;
+  DecTel.Misses.add();
   return nullptr;
 }
 
@@ -94,7 +139,13 @@ const DecodeIndex &ArchSpec::freezeDecode() const {
     return *Idx;
   std::lock_guard<std::mutex> Lock(DecodeM);
   if (!DecodeStore) {
+    DCB_SPAN("isa.freezeDecode");
+    uint64_t Start = telemetry::nowNs();
     DecodeStore = std::make_unique<DecodeIndex>(Instrs);
+    DecTel.FreezeNs.record(telemetry::nowNs() - Start);
+    DecTel.IndexBuckets.set(static_cast<int64_t>(DecodeStore->numBuckets()));
+    DecTel.IndexEntries.set(static_cast<int64_t>(DecodeStore->numEntries()));
+    DecTel.IndexSelectorBits.set(DecodeStore->numSelectorBits());
     DecodePtr.store(DecodeStore.get(), std::memory_order_release);
   }
   return *DecodeStore;

@@ -4,6 +4,23 @@
 
 using namespace dcb;
 
+namespace {
+
+/// Handles resolved once at static init; add()/record() on a disabled
+/// registry cost one relaxed load each (see Telemetry.h).
+struct PoolTelemetry {
+  telemetry::Counter &Batches = telemetry::counter("taskpool.batches");
+  telemetry::Counter &Tasks = telemetry::counter("taskpool.tasks");
+  telemetry::Counter &BusyNs = telemetry::counter("taskpool.busy_ns");
+  telemetry::Histogram &BatchNs = telemetry::histogram("taskpool.batch_ns");
+  telemetry::Histogram &QueueWaitNs =
+      telemetry::histogram("taskpool.queue_wait_ns");
+  telemetry::Histogram &LaneBusyNs =
+      telemetry::histogram("taskpool.lane_busy_ns");
+} Tel;
+
+} // namespace
+
 TaskPool::TaskPool(unsigned NumThreads) {
   if (NumThreads == 0) {
     NumThreads = std::thread::hardware_concurrency();
@@ -41,6 +58,12 @@ void TaskPool::workerLoop(unsigned WorkerIdx) {
 }
 
 void TaskPool::drainBatch(unsigned WorkerIdx) {
+  // Timing/BatchStartNs were written under M before this lane woke (or, for
+  // the calling lane, on this thread), so the unlocked reads are ordered.
+  // Two clock reads per lane per batch — queue wait (publish -> first
+  // claim) and busy time (whole drain) — keep the per-task loop clean.
+  const bool Timed = Timing;
+  const uint64_t DrainStart = Timed ? telemetry::nowNs() : 0;
   for (;;) {
     size_t Idx = Next.fetch_add(1, std::memory_order_relaxed);
     if (Idx >= NumTasks)
@@ -55,6 +78,15 @@ void TaskPool::drainBatch(unsigned WorkerIdx) {
       }
     }
   }
+  if (Timed) {
+    uint64_t DrainEnd = telemetry::nowNs();
+    Tel.QueueWaitNs.record(DrainStart - BatchStartNs);
+    Tel.LaneBusyNs.record(DrainEnd - DrainStart);
+    Tel.BusyNs.add(DrainEnd - DrainStart);
+    if (telemetry::spansEnabled())
+      telemetry::recordSpan("taskpool.drain", DrainStart,
+                            DrainEnd - DrainStart);
+  }
   std::lock_guard<std::mutex> Lock(M);
   if (--Active == 0)
     BatchDone.notify_all();
@@ -64,6 +96,12 @@ void TaskPool::parallelFor(
     size_t Tasks, const std::function<void(unsigned, size_t)> &TaskFn) {
   if (Tasks == 0)
     return;
+  telemetry::ScopedSpan Span("taskpool.batch");
+  const bool Counting = telemetry::countersEnabled();
+  if (Counting) {
+    Tel.Batches.add();
+    Tel.Tasks.add(Tasks);
+  }
   {
     std::lock_guard<std::mutex> Lock(M);
     Fn = &TaskFn;
@@ -72,6 +110,8 @@ void TaskPool::parallelFor(
     Active = Workers.size() + 1; // Workers + this (the calling) thread.
     FirstError = nullptr;
     FirstErrorIdx = 0;
+    Timing = Counting || telemetry::spansEnabled();
+    BatchStartNs = Timing ? telemetry::nowNs() : 0;
     ++Batch;
   }
   BatchStart.notify_all();
@@ -82,6 +122,8 @@ void TaskPool::parallelFor(
   std::unique_lock<std::mutex> Lock(M);
   BatchDone.wait(Lock, [&] { return Active == 0; });
   Fn = nullptr;
+  if (Counting)
+    Tel.BatchNs.record(telemetry::nowNs() - BatchStartNs);
   if (FirstError)
     std::rethrow_exception(FirstError);
 }

@@ -22,6 +22,8 @@
 #ifndef DCB_SUPPORT_TASKPOOL_H
 #define DCB_SUPPORT_TASKPOOL_H
 
+#include "support/Telemetry.h"
+
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
@@ -85,6 +87,12 @@ private:
 
   std::exception_ptr FirstError;
   size_t FirstErrorIdx = 0;
+
+  /// Telemetry state for the current batch, written under M in parallelFor
+  /// and read by lanes after the mutex-ordered wakeup: whether this batch
+  /// is being measured, and its publish timestamp (for queue-wait).
+  bool Timing = false;
+  uint64_t BatchStartNs = 0;
 };
 
 /// Options shared by the batched assembly/encoding entry points
@@ -99,20 +107,40 @@ struct BatchOptions {
   size_t ChunkSize = 64;
 };
 
+namespace detail {
+/// Shared chunk-latency histogram for every parallelForChunked client.
+/// Looked up lazily and only on the telemetry-enabled path.
+inline telemetry::Histogram &chunkNsHistogram() {
+  static telemetry::Histogram &H = telemetry::histogram("taskpool.chunk_ns");
+  return H;
+}
+} // namespace detail
+
 /// Runs Fn(ItemIdx) for every index in [0, NumItems), dispatching chunks of
 /// ChunkSize contiguous items per pool task. Callers write results to
 /// preallocated per-index slots, preserving TaskPool's deterministic-merge
 /// contract independent of scheduling.
+///
+/// When telemetry is enabled each chunk records its latency into the
+/// shared `taskpool.chunk_ns` histogram and (when tracing) a span named
+/// \p ChunkSpanName, letting callers attribute chunks to their stage
+/// ("encoder.decode.chunk", "asmgen.assemble.chunk", ...).
 template <typename Fn>
 void parallelForChunked(TaskPool &Pool, size_t NumItems, size_t ChunkSize,
-                        const Fn &F) {
+                        const Fn &F,
+                        const char *ChunkSpanName = "taskpool.chunk") {
   ChunkSize = std::max<size_t>(1, ChunkSize);
   size_t NumChunks = (NumItems + ChunkSize - 1) / ChunkSize;
   Pool.parallelFor(NumChunks, [&](unsigned, size_t Chunk) {
+    telemetry::ScopedSpan Span(ChunkSpanName);
+    const bool Counting = telemetry::countersEnabled();
+    uint64_t Start = Counting ? telemetry::nowNs() : 0;
     size_t Lo = Chunk * ChunkSize;
     size_t Hi = std::min(NumItems, Lo + ChunkSize);
     for (size_t I = Lo; I < Hi; ++I)
       F(I);
+    if (Counting)
+      detail::chunkNsHistogram().record(telemetry::nowNs() - Start);
   });
 }
 

@@ -1,0 +1,607 @@
+//===- support/Telemetry.cpp ----------------------------------------------===//
+
+#include "support/Telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+using namespace dcb;
+using namespace dcb::telemetry;
+
+// --- JSON helpers shared by both build modes -------------------------------
+
+namespace {
+
+void appendEscaped(std::string &Out, const std::string &S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      Out += C;
+    }
+  }
+}
+
+std::string u64(uint64_t V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%" PRIu64, V);
+  return Buf;
+}
+
+std::string i64(int64_t V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%" PRId64, V);
+  return Buf;
+}
+
+/// Snapshot of the whole registry, decoupled from the live atomics so the
+/// table / JSON / compact renderers share one consistent view.
+struct Snapshot {
+  std::map<std::string, uint64_t> Counters;
+  std::map<std::string, int64_t> Gauges;
+  std::map<std::string, HistData> Histograms;
+};
+
+/// Lower bound of histogram bucket \p B (see HistData).
+uint64_t bucketLowerBound(unsigned B) {
+  return B == 0 ? 0 : uint64_t(1) << (B - 1);
+}
+
+/// Approximate p50: lower bound of the bucket holding the median sample.
+uint64_t approxP50(const HistData &H) {
+  if (H.Count == 0)
+    return 0;
+  uint64_t Seen = 0, Half = (H.Count + 1) / 2;
+  for (unsigned B = 0; B < HistData::NumBuckets; ++B) {
+    Seen += H.Buckets[B];
+    if (Seen >= Half)
+      return bucketLowerBound(B);
+  }
+  return H.Max;
+}
+
+std::string renderTable(const Snapshot &S) {
+  if (S.Counters.empty() && S.Gauges.empty() && S.Histograms.empty())
+    return "telemetry: no metrics recorded\n";
+  std::string Out;
+  size_t NameWidth = 8;
+  for (const auto &[Name, V] : S.Counters)
+    NameWidth = std::max(NameWidth, Name.size());
+  for (const auto &[Name, V] : S.Gauges)
+    NameWidth = std::max(NameWidth, Name.size());
+  for (const auto &[Name, V] : S.Histograms)
+    NameWidth = std::max(NameWidth, Name.size());
+
+  char Line[512];
+  if (!S.Counters.empty()) {
+    Out += "counters:\n";
+    for (const auto &[Name, V] : S.Counters) {
+      std::snprintf(Line, sizeof(Line), "  %-*s %14" PRIu64 "\n",
+                    static_cast<int>(NameWidth), Name.c_str(), V);
+      Out += Line;
+    }
+  }
+  if (!S.Gauges.empty()) {
+    Out += "gauges:\n";
+    for (const auto &[Name, V] : S.Gauges) {
+      std::snprintf(Line, sizeof(Line), "  %-*s %14" PRId64 "\n",
+                    static_cast<int>(NameWidth), Name.c_str(), V);
+      Out += Line;
+    }
+  }
+  if (!S.Histograms.empty()) {
+    std::snprintf(Line, sizeof(Line),
+                  "histograms: %-*s %12s %16s %12s %12s %12s\n",
+                  static_cast<int>(NameWidth) - 10, "", "count", "sum",
+                  "mean", "~p50", "max");
+    Out += Line;
+    for (const auto &[Name, H] : S.Histograms) {
+      uint64_t Mean = H.Count ? H.Sum / H.Count : 0;
+      std::snprintf(Line, sizeof(Line),
+                    "  %-*s %12" PRIu64 " %16" PRIu64 " %12" PRIu64
+                    " %12" PRIu64 " %12" PRIu64 "\n",
+                    static_cast<int>(NameWidth), Name.c_str(), H.Count,
+                    H.Sum, Mean, approxP50(H), H.Max);
+      Out += Line;
+    }
+  }
+  return Out;
+}
+
+std::string renderJson(const Snapshot &S) {
+  std::string Out = "{\n  \"schema\": \"dcb-stats-v1\",\n  \"counters\": {";
+  bool First = true;
+  for (const auto &[Name, V] : S.Counters) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += "    \"";
+    appendEscaped(Out, Name);
+    Out += "\": " + u64(V);
+  }
+  Out += First ? "}" : "\n  }";
+  Out += ",\n  \"gauges\": {";
+  First = true;
+  for (const auto &[Name, V] : S.Gauges) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += "    \"";
+    appendEscaped(Out, Name);
+    Out += "\": " + i64(V);
+  }
+  Out += First ? "}" : "\n  }";
+  Out += ",\n  \"histograms\": {";
+  First = true;
+  for (const auto &[Name, H] : S.Histograms) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += "    \"";
+    appendEscaped(Out, Name);
+    Out += "\": {\"count\": " + u64(H.Count) + ", \"sum\": " + u64(H.Sum) +
+           ", \"max\": " + u64(H.Max) + ", \"buckets\": [";
+    bool FirstBucket = true;
+    for (unsigned B = 0; B < HistData::NumBuckets; ++B) {
+      if (!H.Buckets[B])
+        continue;
+      if (!FirstBucket)
+        Out += ", ";
+      FirstBucket = false;
+      Out += "[" + u64(B) + ", " + u64(H.Buckets[B]) + "]";
+    }
+    Out += "]}";
+  }
+  Out += First ? "}" : "\n  }";
+  Out += "\n}\n";
+  return Out;
+}
+
+std::string renderCompact(const Snapshot &S) {
+  std::string Out;
+  for (const auto &[Name, V] : S.Counters) {
+    if (!Out.empty())
+      Out += "; ";
+    Out += Name + "=" + u64(V);
+  }
+  for (const auto &[Name, V] : S.Gauges) {
+    if (!Out.empty())
+      Out += "; ";
+    Out += Name + "=" + i64(V);
+  }
+  return Out;
+}
+
+// --- Minimal JSON reader for renderStatsJson -------------------------------
+//
+// Parses exactly the subset statsJson() emits: objects, arrays, strings
+// (with the escapes appendEscaped produces) and integer numbers. Kept tiny
+// on purpose; this is the `dcb stats` pretty-printer, not a general parser.
+
+struct JsonCursor {
+  const char *P;
+  const char *End;
+
+  void skipWs() {
+    while (P != End && (*P == ' ' || *P == '\n' || *P == '\t' || *P == '\r'))
+      ++P;
+  }
+  bool consume(char C) {
+    skipWs();
+    if (P == End || *P != C)
+      return false;
+    ++P;
+    return true;
+  }
+  bool peek(char C) {
+    skipWs();
+    return P != End && *P == C;
+  }
+  bool parseString(std::string &Out) {
+    if (!consume('"'))
+      return false;
+    Out.clear();
+    while (P != End && *P != '"') {
+      if (*P == '\\') {
+        ++P;
+        if (P == End)
+          return false;
+        switch (*P) {
+        case 'n':
+          Out += '\n';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        default:
+          Out += *P;
+        }
+      } else {
+        Out += *P;
+      }
+      ++P;
+    }
+    return consume('"');
+  }
+  bool parseInt(int64_t &Out) {
+    skipWs();
+    bool Neg = P != End && *P == '-';
+    if (Neg)
+      ++P;
+    if (P == End || *P < '0' || *P > '9')
+      return false;
+    uint64_t V = 0;
+    while (P != End && *P >= '0' && *P <= '9')
+      V = V * 10 + static_cast<uint64_t>(*P++ - '0');
+    Out = Neg ? -static_cast<int64_t>(V) : static_cast<int64_t>(V);
+    return true;
+  }
+};
+
+/// Parses one `"name": <int>` map; cursor sits after the opening '{'.
+bool parseIntMap(JsonCursor &C, std::map<std::string, int64_t> &Out) {
+  if (C.consume('}'))
+    return true;
+  for (;;) {
+    std::string Key;
+    int64_t V;
+    if (!C.parseString(Key) || !C.consume(':') || !C.parseInt(V))
+      return false;
+    Out[Key] = V;
+    if (C.consume('}'))
+      return true;
+    if (!C.consume(','))
+      return false;
+  }
+}
+
+bool parseHistMap(JsonCursor &C, std::map<std::string, HistData> &Out) {
+  if (C.consume('}'))
+    return true;
+  for (;;) {
+    std::string Key;
+    if (!C.parseString(Key) || !C.consume(':') || !C.consume('{'))
+      return false;
+    HistData H;
+    if (!C.consume('}')) {
+      for (;;) {
+        std::string Field;
+        if (!C.parseString(Field) || !C.consume(':'))
+          return false;
+        if (Field == "buckets") {
+          if (!C.consume('['))
+            return false;
+          if (!C.consume(']')) {
+            for (;;) {
+              int64_t B, N;
+              if (!C.consume('[') || !C.parseInt(B) || !C.consume(',') ||
+                  !C.parseInt(N) || !C.consume(']'))
+                return false;
+              if (B < 0 || B >= static_cast<int64_t>(HistData::NumBuckets))
+                return false;
+              H.Buckets[B] = static_cast<uint64_t>(N);
+              if (C.consume(']'))
+                break;
+              if (!C.consume(','))
+                return false;
+            }
+          }
+        } else {
+          int64_t V;
+          if (!C.parseInt(V))
+            return false;
+          if (Field == "count")
+            H.Count = static_cast<uint64_t>(V);
+          else if (Field == "sum")
+            H.Sum = static_cast<uint64_t>(V);
+          else if (Field == "max")
+            H.Max = static_cast<uint64_t>(V);
+        }
+        if (C.consume('}'))
+          break;
+        if (!C.consume(','))
+          return false;
+      }
+    }
+    Out[Key] = H;
+    if (C.consume('}'))
+      return true;
+    if (!C.consume(','))
+      return false;
+  }
+}
+
+} // namespace
+
+Expected<std::string> telemetry::renderStatsJson(const std::string &Json) {
+  JsonCursor C{Json.data(), Json.data() + Json.size()};
+  if (!C.consume('{'))
+    return Failure("stats JSON: expected top-level object");
+  Snapshot S;
+  bool SawSchema = false;
+  if (!C.consume('}')) {
+    for (;;) {
+      std::string Key;
+      if (!C.parseString(Key) || !C.consume(':'))
+        return Failure("stats JSON: malformed key");
+      if (Key == "schema") {
+        std::string Schema;
+        if (!C.parseString(Schema))
+          return Failure("stats JSON: malformed schema");
+        if (Schema != "dcb-stats-v1")
+          return Failure("stats JSON: unsupported schema '" + Schema + "'");
+        SawSchema = true;
+      } else if (Key == "counters" || Key == "gauges") {
+        std::map<std::string, int64_t> Values;
+        if (!C.consume('{') || !parseIntMap(C, Values))
+          return Failure("stats JSON: malformed " + Key + " map");
+        for (const auto &[Name, V] : Values) {
+          if (Key == "counters")
+            S.Counters[Name] = static_cast<uint64_t>(V);
+          else
+            S.Gauges[Name] = V;
+        }
+      } else if (Key == "histograms") {
+        if (!C.consume('{') || !parseHistMap(C, S.Histograms))
+          return Failure("stats JSON: malformed histograms map");
+      } else if (Key == "compiled_out") {
+        // Tolerated: emitted by -DDCB_TELEMETRY=0 builds.
+        if (!C.consume('t') || !C.consume('r') || !C.consume('u') ||
+            !C.consume('e'))
+          return Failure("stats JSON: malformed compiled_out flag");
+      } else {
+        return Failure("stats JSON: unknown key '" + Key + "'");
+      }
+      if (C.consume('}'))
+        break;
+      if (!C.consume(','))
+        return Failure("stats JSON: expected ',' or '}'");
+    }
+  }
+  if (!SawSchema)
+    return Failure("stats JSON: missing schema marker");
+  return renderTable(S);
+}
+
+#if DCB_TELEMETRY
+
+// --- Live registry ---------------------------------------------------------
+
+std::atomic<bool> detail::CountersOn{false};
+std::atomic<bool> detail::SpansOn{false};
+
+unsigned detail::bitWidth(uint64_t V) {
+  unsigned W = 0;
+  while (V) {
+    ++W;
+    V >>= 1;
+  }
+  return W;
+}
+
+namespace {
+
+/// One span event; Name points at static storage (documented contract).
+struct SpanEvent {
+  const char *Name;
+  uint64_t StartNs;
+  uint64_t DurNs;
+};
+
+/// Per-thread span buffer. Owned jointly by the registry (so events
+/// survive thread exit, e.g. TaskPool workers joined before export) and
+/// referenced by a thread_local pointer on the recording side.
+struct ThreadBuf {
+  unsigned Tid = 0;
+  std::mutex M; ///< Uncontended except during a concurrent export.
+  std::vector<SpanEvent> Events;
+};
+
+/// The process-wide registry. Deliberately leaked: spans can be recorded
+/// by threads that outlive main()'s locals, and exports can run from
+/// atexit paths; a destructed registry would turn those into UB.
+struct Registry {
+  std::mutex M;
+  std::map<std::string, Counter> Counters;
+  std::map<std::string, Gauge> Gauges;
+  std::map<std::string, Histogram> Histograms;
+
+  std::mutex SpanM;
+  std::vector<std::shared_ptr<ThreadBuf>> Threads;
+  unsigned NextTid = 1;
+};
+
+Registry &registry() {
+  static Registry *R = new Registry;
+  return *R;
+}
+
+ThreadBuf &threadBuf() {
+  thread_local std::shared_ptr<ThreadBuf> Buf = [] {
+    auto B = std::make_shared<ThreadBuf>();
+    Registry &R = registry();
+    std::lock_guard<std::mutex> Lock(R.SpanM);
+    B->Tid = R.NextTid++;
+    R.Threads.push_back(B);
+    return B;
+  }();
+  return *Buf;
+}
+
+Snapshot takeSnapshot() {
+  Registry &R = registry();
+  Snapshot S;
+  std::lock_guard<std::mutex> Lock(R.M);
+  for (const auto &[Name, C] : R.Counters)
+    S.Counters[Name] = C.value();
+  for (const auto &[Name, G] : R.Gauges)
+    S.Gauges[Name] = G.value();
+  for (const auto &[Name, H] : R.Histograms)
+    S.Histograms[Name] = H.snapshot();
+  return S;
+}
+
+} // namespace
+
+void telemetry::setCountersEnabled(bool On) {
+  detail::CountersOn.store(On, std::memory_order_relaxed);
+}
+void telemetry::setSpansEnabled(bool On) {
+  detail::SpansOn.store(On, std::memory_order_relaxed);
+}
+void telemetry::setEnabled(bool On) {
+  setCountersEnabled(On);
+  setSpansEnabled(On);
+}
+
+Counter &telemetry::counter(const std::string &Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.M);
+  return R.Counters[Name]; // std::map: stable addresses, in-place default.
+}
+
+Gauge &telemetry::gauge(const std::string &Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.M);
+  return R.Gauges[Name];
+}
+
+Histogram &telemetry::histogram(const std::string &Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.M);
+  return R.Histograms[Name];
+}
+
+HistData Histogram::snapshot() const {
+  HistData D;
+  for (unsigned B = 0; B < HistData::NumBuckets; ++B) {
+    D.Buckets[B] = Buckets[B].load(std::memory_order_relaxed);
+    D.Count += D.Buckets[B];
+  }
+  D.Sum = Sum.load(std::memory_order_relaxed);
+  D.Max = Max.load(std::memory_order_relaxed);
+  return D;
+}
+
+uint64_t telemetry::nowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point Epoch = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           Epoch)
+          .count());
+}
+
+void telemetry::recordSpan(const char *Name, uint64_t StartNs,
+                           uint64_t DurNs) {
+  ThreadBuf &Buf = threadBuf();
+  std::lock_guard<std::mutex> Lock(Buf.M);
+  Buf.Events.push_back({Name, StartNs, DurNs});
+}
+
+std::string telemetry::statsTable() { return renderTable(takeSnapshot()); }
+std::string telemetry::statsJson() { return renderJson(takeSnapshot()); }
+std::string telemetry::statsCompact() {
+  return renderCompact(takeSnapshot());
+}
+
+std::string telemetry::traceJson() {
+  struct Flat {
+    SpanEvent E;
+    unsigned Tid;
+  };
+  std::vector<Flat> All;
+  {
+    Registry &R = registry();
+    std::lock_guard<std::mutex> Lock(R.SpanM);
+    for (const std::shared_ptr<ThreadBuf> &Buf : R.Threads) {
+      std::lock_guard<std::mutex> BufLock(Buf->M);
+      for (const SpanEvent &E : Buf->Events)
+        All.push_back({E, Buf->Tid});
+    }
+  }
+  std::stable_sort(All.begin(), All.end(),
+                   [](const Flat &A, const Flat &B) {
+                     return A.E.StartNs < B.E.StartNs;
+                   });
+
+  std::string Out = "{\"traceEvents\": [";
+  char Line[256];
+  bool First = true;
+  for (const Flat &F : All) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    // ts / dur are microseconds in the trace_event format; keep ns
+    // precision with three decimals.
+    std::snprintf(Line, sizeof(Line),
+                  " {\"name\": \"%s\", \"cat\": \"dcb\", \"ph\": \"X\", "
+                  "\"pid\": 1, \"tid\": %u, \"ts\": %" PRIu64 ".%03u, "
+                  "\"dur\": %" PRIu64 ".%03u}",
+                  F.E.Name, F.Tid, F.E.StartNs / 1000,
+                  static_cast<unsigned>(F.E.StartNs % 1000),
+                  F.E.DurNs / 1000,
+                  static_cast<unsigned>(F.E.DurNs % 1000));
+    Out += Line;
+  }
+  Out += First ? "]" : "\n]";
+  Out += ", \"displayTimeUnit\": \"ms\"}\n";
+  return Out;
+}
+
+void telemetry::resetForTest() {
+  Registry &R = registry();
+  {
+    std::lock_guard<std::mutex> Lock(R.M);
+    for (auto &[Name, C] : R.Counters)
+      C.V.store(0, std::memory_order_relaxed);
+    for (auto &[Name, G] : R.Gauges)
+      G.V.store(0, std::memory_order_relaxed);
+    for (auto &[Name, H] : R.Histograms) {
+      for (unsigned B = 0; B < HistData::NumBuckets; ++B)
+        H.Buckets[B].store(0, std::memory_order_relaxed);
+      H.Sum.store(0, std::memory_order_relaxed);
+      H.Max.store(0, std::memory_order_relaxed);
+    }
+  }
+  std::lock_guard<std::mutex> Lock(R.SpanM);
+  for (const std::shared_ptr<ThreadBuf> &Buf : R.Threads) {
+    std::lock_guard<std::mutex> BufLock(Buf->M);
+    Buf->Events.clear();
+  }
+}
+
+#else // !DCB_TELEMETRY — exports still produce valid (empty) documents.
+
+std::string telemetry::statsTable() {
+  return "telemetry: compiled out (DCB_TELEMETRY=0)\n";
+}
+
+std::string telemetry::statsJson() {
+  return "{\n  \"schema\": \"dcb-stats-v1\",\n  \"compiled_out\": true,\n"
+         "  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {}\n}\n";
+}
+
+std::string telemetry::statsCompact() { return std::string(); }
+
+std::string telemetry::traceJson() {
+  return "{\"traceEvents\": [], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+void telemetry::resetForTest() {}
+
+#endif // DCB_TELEMETRY

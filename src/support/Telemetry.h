@@ -1,0 +1,272 @@
+//===- support/Telemetry.h - Pipeline-wide metrics & tracing ----*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A low-overhead, thread-safe telemetry layer shared by every stage of the
+/// learn / assemble / decode pipeline:
+///
+///  - a global metrics registry of named monotonic Counters, Gauges and
+///    power-of-two-bucket Histograms (latencies, sizes, scan lengths);
+///  - a span tracer recording `{name, thread, start, duration}` events into
+///    per-thread buffers, exportable as a Chrome `trace_event` JSON that
+///    `chrome://tracing` and Perfetto load directly;
+///  - human-readable (`statsTable`) and machine-readable (`statsJson`)
+///    snapshots of the registry.
+///
+/// Design rules, enforced throughout:
+///
+///  - **Disabled is (almost) free.** Counters/histograms and spans are each
+///    gated on one global `std::atomic<bool>` read with relaxed ordering;
+///    a site whose gate is off costs exactly that one relaxed load. Metric
+///    handles are resolved once (namespace-scope structs of references in
+///    each instrumented .cpp), never per event.
+///  - **Observability never changes outputs.** Instrumented code records
+///    numbers and timestamps only; listings, learned databases and
+///    diagnostics are byte-identical with telemetry on or off (tier-1
+///    tests assert this through the `dcb` CLI).
+///  - **Compile-time escape hatch.** Building with `-DDCB_TELEMETRY=0`
+///    replaces every class below with an empty inline shell, so all call
+///    sites compile away entirely; exports still return valid (empty)
+///    documents so tooling like `dcb --stats` keeps working.
+///
+/// Span names (and counter names passed at registration) follow the
+/// `subsystem.verb_or_noun` convention catalogued in docs/OBSERVABILITY.md.
+/// Span name strings must have static storage duration (use literals): the
+/// tracer stores the pointer, not a copy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_SUPPORT_TELEMETRY_H
+#define DCB_SUPPORT_TELEMETRY_H
+
+// Compile-time master switch. 1 (default) compiles the instrumentation in;
+// 0 turns every site into a no-op the optimizer deletes.
+#ifndef DCB_TELEMETRY
+#define DCB_TELEMETRY 1
+#endif
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "support/Errors.h"
+
+namespace dcb {
+namespace telemetry {
+
+/// Decoded state of one histogram: power-of-two buckets where bucket 0
+/// counts zero values and bucket B >= 1 counts values V with
+/// 2^(B-1) <= V < 2^B (i.e. B = bit_width(V)).
+struct HistData {
+  static constexpr unsigned NumBuckets = 65;
+  uint64_t Count = 0;
+  uint64_t Sum = 0;
+  uint64_t Max = 0;
+  uint64_t Buckets[NumBuckets] = {};
+};
+
+#if DCB_TELEMETRY
+
+namespace detail {
+extern std::atomic<bool> CountersOn; ///< Gates Counter/Gauge/Histogram.
+extern std::atomic<bool> SpansOn;    ///< Gates the span tracer.
+unsigned bitWidth(uint64_t V);
+} // namespace detail
+
+/// Whether counter/gauge/histogram sites record. One relaxed load.
+inline bool countersEnabled() {
+  return detail::CountersOn.load(std::memory_order_relaxed);
+}
+/// Whether span sites record. One relaxed load.
+inline bool spansEnabled() {
+  return detail::SpansOn.load(std::memory_order_relaxed);
+}
+
+void setCountersEnabled(bool On);
+void setSpansEnabled(bool On);
+/// Enables/disables both counters and spans.
+void setEnabled(bool On);
+
+/// Monotonic counter. add() is wait-free: one gate load plus one relaxed
+/// fetch_add when enabled.
+class Counter {
+public:
+  void add(uint64_t N = 1) {
+    if (countersEnabled())
+      V.fetch_add(N, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  friend void resetForTest();
+  std::atomic<uint64_t> V{0};
+};
+
+/// Last-write-wins instantaneous value (index sizes, lane counts).
+class Gauge {
+public:
+  void set(int64_t X) {
+    if (countersEnabled())
+      V.store(X, std::memory_order_relaxed);
+  }
+  int64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  friend void resetForTest();
+  std::atomic<int64_t> V{0};
+};
+
+/// Power-of-two-bucket histogram; see HistData for bucket semantics.
+/// record() is a handful of relaxed atomic ops — no locks, exact counts
+/// and sums under any concurrency.
+class Histogram {
+public:
+  void record(uint64_t Value) {
+    if (!countersEnabled())
+      return;
+    Buckets[detail::bitWidth(Value)].fetch_add(1, std::memory_order_relaxed);
+    Sum.fetch_add(Value, std::memory_order_relaxed);
+    uint64_t Cur = Max.load(std::memory_order_relaxed);
+    while (Value > Cur &&
+           !Max.compare_exchange_weak(Cur, Value, std::memory_order_relaxed))
+      ;
+  }
+  HistData snapshot() const;
+
+private:
+  friend void resetForTest();
+  std::atomic<uint64_t> Buckets[HistData::NumBuckets] = {};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> Max{0};
+};
+
+/// Registry lookups: intern \p Name and return the (process-lifetime)
+/// metric instance. Takes a lock — resolve handles once at static-init or
+/// setup time, never on a hot path.
+Counter &counter(const std::string &Name);
+Gauge &gauge(const std::string &Name);
+Histogram &histogram(const std::string &Name);
+
+/// Nanoseconds on the steady clock since the process-global trace epoch.
+uint64_t nowNs();
+
+/// Appends one completed span to the calling thread's trace buffer.
+/// \p Name must have static storage duration.
+void recordSpan(const char *Name, uint64_t StartNs, uint64_t DurNs);
+
+/// RAII span: captures the gate and the start time at construction, records
+/// at destruction. When tracing is off the whole object is one relaxed
+/// load and two dead stores.
+class ScopedSpan {
+public:
+  explicit ScopedSpan(const char *SpanName)
+      : Name(spansEnabled() ? SpanName : nullptr),
+        Start(Name ? nowNs() : 0) {}
+  ~ScopedSpan() {
+    if (Name)
+      recordSpan(Name, Start, nowNs() - Start);
+  }
+  ScopedSpan(const ScopedSpan &) = delete;
+  ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+private:
+  const char *Name;
+  uint64_t Start;
+};
+
+#else // !DCB_TELEMETRY — every site compiles to nothing.
+
+inline bool countersEnabled() { return false; }
+inline bool spansEnabled() { return false; }
+inline void setCountersEnabled(bool) {}
+inline void setSpansEnabled(bool) {}
+inline void setEnabled(bool) {}
+
+class Counter {
+public:
+  void add(uint64_t = 1) {}
+  uint64_t value() const { return 0; }
+};
+
+class Gauge {
+public:
+  void set(int64_t) {}
+  int64_t value() const { return 0; }
+};
+
+class Histogram {
+public:
+  void record(uint64_t) {}
+  HistData snapshot() const { return HistData(); }
+};
+
+inline Counter &counter(const std::string &) {
+  static Counter C;
+  return C;
+}
+inline Gauge &gauge(const std::string &) {
+  static Gauge G;
+  return G;
+}
+inline Histogram &histogram(const std::string &) {
+  static Histogram H;
+  return H;
+}
+
+inline uint64_t nowNs() { return 0; }
+inline void recordSpan(const char *, uint64_t, uint64_t) {}
+
+class ScopedSpan {
+public:
+  explicit ScopedSpan(const char *) {}
+  ScopedSpan(const ScopedSpan &) = delete;
+  ScopedSpan &operator=(const ScopedSpan &) = delete;
+};
+
+#endif // DCB_TELEMETRY
+
+/// Convenience RAII span covering the rest of the scope:
+///   DCB_SPAN("encoder.decodeProgram");
+#define DCB_TELEMETRY_CONCAT_IMPL(A, B) A##B
+#define DCB_TELEMETRY_CONCAT(A, B) DCB_TELEMETRY_CONCAT_IMPL(A, B)
+#define DCB_SPAN(NAME)                                                       \
+  ::dcb::telemetry::ScopedSpan DCB_TELEMETRY_CONCAT(DcbSpan_,                \
+                                                    __LINE__)(NAME)
+
+// --- Exports (available in both build modes) -------------------------------
+
+/// Human-readable snapshot: counters, gauges, then histograms with
+/// count / sum / mean / max and an approximate p50 (power-of-two bucket
+/// lower bound). Names sort lexicographically. Empty registry -> a single
+/// explanatory line.
+std::string statsTable();
+
+/// Machine-readable snapshot (schema `dcb-stats-v1`):
+///   {"schema":"dcb-stats-v1","counters":{...},"gauges":{...},
+///    "histograms":{"name":{"count":C,"sum":S,"max":M,
+///                          "buckets":[[bucket,count],...]}}}
+std::string statsJson();
+
+/// One-line `name=value` pairs (counters and gauges only), semicolon
+/// separated — safe to embed as a benchmark context string.
+std::string statsCompact();
+
+/// Chrome trace_event JSON of every recorded span, sorted by start time
+/// (ts/dur in microseconds). Loads in chrome://tracing and Perfetto.
+std::string traceJson();
+
+/// Renders a statsJson() document back into the statsTable() layout — the
+/// `dcb stats <file>` pretty-printer. Fails on malformed input.
+Expected<std::string> renderStatsJson(const std::string &Json);
+
+/// Zeroes every registered metric and drops all span buffers (tests only;
+/// racing with concurrent recorders is the caller's problem).
+void resetForTest();
+
+} // namespace telemetry
+} // namespace dcb
+
+#endif // DCB_SUPPORT_TELEMETRY_H

@@ -6,6 +6,7 @@
 #include "isa/Spec.h"
 #include "sass/Printer.h"
 #include "support/StringUtils.h"
+#include "support/Telemetry.h"
 
 #include <cassert>
 
@@ -34,11 +35,21 @@ void renderWordLine(const DecodedWord &W, std::string &Out) {
   Out += " /* 0x" + W.Word.toHex() + " */\n";
 }
 
+/// Entry-point tallies for the simulated cuobjdump. Word counts are batch
+/// adds; the per-word cost stays in the decode dispatch counters (isa.*).
+struct CuobjdumpTelemetry {
+  telemetry::Counter &Kernels = telemetry::counter("vendor.disasm.kernels");
+  telemetry::Counter &Words = telemetry::counter("vendor.disasm.words");
+  telemetry::Counter &SingleWords =
+      telemetry::counter("vendor.disasm.single_words");
+} CuTel;
+
 } // namespace
 
 Expected<std::vector<DecodedWord>> vendor::decodeKernelCode(
     Arch A, const std::string &KernelName, const std::vector<uint8_t> &Code,
     const DisasmOptions &Options) {
+  DCB_SPAN("vendor.decodeKernelCode");
   const isa::ArchSpec &Spec = isa::getArchSpec(A);
   const unsigned WordBytes = Spec.WordBits / 8;
   const SchiKind Schi = archSchiKind(A);
@@ -50,6 +61,8 @@ Expected<std::vector<DecodedWord>> vendor::decodeKernelCode(
   // Slice the code into words up front; SCHI scheduling words carry no
   // instruction and are excluded from the decode fan-out.
   size_t NumWords = Code.size() / WordBytes;
+  CuTel.Kernels.add();
+  CuTel.Words.add(NumWords);
   std::vector<DecodedWord> Words(NumWords);
   std::vector<encoder::DecodeJob> Jobs;
   std::vector<size_t> JobWordIdx;
@@ -83,6 +96,9 @@ Expected<std::vector<DecodedWord>> vendor::decodeKernelCode(
 Expected<DecodedWord> vendor::decodeInstructionAt(
     Arch A, const std::string &KernelName, const std::vector<uint8_t> &Code,
     uint64_t Addr) {
+  // No span here: this is the bit flipper's per-variant hot path, so it
+  // gets one counter bump and nothing else.
+  CuTel.SingleWords.add();
   const isa::ArchSpec &Spec = isa::getArchSpec(A);
   const unsigned WordBytes = Spec.WordBits / 8;
 
@@ -135,6 +151,7 @@ Expected<std::string> vendor::disassembleInstructionAt(
 
 Expected<std::string> vendor::disassembleCubin(const elf::Cubin &Cubin,
                                                const DisasmOptions &Options) {
+  DCB_SPAN("vendor.disassembleCubin");
   std::string Out;
   Out += "code for " + std::string(archName(Cubin.arch())) + "\n";
   for (const elf::KernelSection &Kernel : Cubin.kernels()) {
@@ -150,6 +167,7 @@ Expected<std::string> vendor::disassembleCubin(const elf::Cubin &Cubin,
 
 Expected<std::string> vendor::disassembleImage(
     const std::vector<uint8_t> &Image, const DisasmOptions &Options) {
+  DCB_SPAN("vendor.disassembleImage");
   Expected<elf::Cubin> Cubin = elf::Cubin::deserialize(Image);
   if (!Cubin)
     return Cubin.takeError();

@@ -6,6 +6,7 @@
 #include "isa/Spec.h"
 #include "sass/Parser.h"
 #include "sass/Printer.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -245,6 +246,13 @@ void appendWord(std::vector<uint8_t> &Out, const BitString &Word) {
 
 Expected<CompiledKernel> NvccSim::compileKernel(
     const KernelBuilder &Builder) const {
+  DCB_SPAN("vendor.compileKernel");
+  static telemetry::Counter &CompiledKernels =
+      telemetry::counter("vendor.compile.kernels");
+  static telemetry::Counter &CompiledInsts =
+      telemetry::counter("vendor.compile.insts");
+  CompiledKernels.add();
+  CompiledInsts.add(Builder.instructions().size());
   const ArchSpec &Spec = isa::getArchSpec(A);
   const SchiKind Schi = archSchiKind(A);
   const unsigned WordBytes = Spec.WordBits / 8;
@@ -357,6 +365,7 @@ Expected<CompiledKernel> NvccSim::compileKernel(
 
 Expected<elf::Cubin> NvccSim::compile(
     const std::vector<KernelBuilder> &Kernels) const {
+  DCB_SPAN("vendor.compile");
   elf::Cubin Cubin(A);
   for (const KernelBuilder &Builder : Kernels) {
     Expected<CompiledKernel> Compiled = compileKernel(Builder);

@@ -1,0 +1,187 @@
+//===- tests/telemetry_test.cpp - Telemetry registry and tracer ------------===//
+//
+// Exercises the metrics registry under concurrency (counts must be exact,
+// not sampled), the span tracer's export format, and the runtime gates.
+// Every test body is written to hold in both build modes: with
+// -DDCB_TELEMETRY=0 the registry records nothing and the exports degrade
+// to valid empty documents, which is itself the contract under test.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace dcb;
+using namespace dcb::telemetry;
+
+namespace {
+
+class TelemetryTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    resetForTest();
+    setEnabled(true);
+  }
+  void TearDown() override {
+    setEnabled(false);
+    resetForTest();
+  }
+};
+
+} // namespace
+
+TEST_F(TelemetryTest, ConcurrentCounterSumsExactly) {
+  Counter &C = counter("test.hammer");
+  constexpr unsigned Threads = 8;
+  constexpr uint64_t PerThread = 20000;
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T < Threads; ++T)
+    Pool.emplace_back([&C] {
+      for (uint64_t I = 0; I < PerThread; ++I)
+        C.add();
+    });
+  for (std::thread &T : Pool)
+    T.join();
+#if DCB_TELEMETRY
+  EXPECT_EQ(C.value(), Threads * PerThread);
+#else
+  EXPECT_EQ(C.value(), 0u);
+#endif
+}
+
+TEST_F(TelemetryTest, ConcurrentHistogramCountsAndSumsExactly) {
+  Histogram &H = histogram("test.hammer_hist");
+  constexpr unsigned Threads = 8;
+  constexpr uint64_t PerThread = 20000;
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T < Threads; ++T)
+    Pool.emplace_back([&H, T] {
+      for (uint64_t I = 0; I < PerThread; ++I)
+        H.record(T + 1);
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  HistData D = H.snapshot();
+#if DCB_TELEMETRY
+  EXPECT_EQ(D.Count, Threads * PerThread);
+  // Sum of (T+1) * PerThread for T in [0, Threads).
+  EXPECT_EQ(D.Sum, PerThread * Threads * (Threads + 1) / 2);
+  EXPECT_EQ(D.Max, Threads);
+#else
+  EXPECT_EQ(D.Count, 0u);
+#endif
+}
+
+TEST_F(TelemetryTest, HistogramBucketSemantics) {
+  Histogram &H = histogram("test.buckets");
+  H.record(0); // bucket 0: zero values.
+  H.record(1); // bucket 1: bit_width 1.
+  H.record(2); // bucket 2.
+  H.record(3); // bucket 2.
+  H.record(4); // bucket 3.
+  HistData D = H.snapshot();
+#if DCB_TELEMETRY
+  EXPECT_EQ(D.Buckets[0], 1u);
+  EXPECT_EQ(D.Buckets[1], 1u);
+  EXPECT_EQ(D.Buckets[2], 2u);
+  EXPECT_EQ(D.Buckets[3], 1u);
+  EXPECT_EQ(D.Count, 5u);
+  EXPECT_EQ(D.Sum, 10u);
+  EXPECT_EQ(D.Max, 4u);
+#else
+  EXPECT_EQ(D.Count, 0u);
+#endif
+}
+
+TEST_F(TelemetryTest, DisabledGateRecordsNothing) {
+  setEnabled(false);
+  Counter &C = counter("test.gated");
+  Histogram &H = histogram("test.gated_hist");
+  C.add(42);
+  H.record(42);
+  {
+    ScopedSpan Span("test.gated_span");
+  }
+  EXPECT_EQ(C.value(), 0u);
+  EXPECT_EQ(H.snapshot().Count, 0u);
+  setSpansEnabled(true);
+  EXPECT_EQ(traceJson().find("test.gated_span"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, GaugeLastWriteWins) {
+  Gauge &G = gauge("test.gauge");
+  G.set(7);
+  G.set(3);
+#if DCB_TELEMETRY
+  EXPECT_EQ(G.value(), 3);
+#else
+  EXPECT_EQ(G.value(), 0);
+#endif
+}
+
+TEST_F(TelemetryTest, TraceJsonIsWellFormedAndMonotonic) {
+  {
+    DCB_SPAN("test.outer");
+    DCB_SPAN("test.inner");
+  }
+  std::thread([] { DCB_SPAN("test.worker"); }).join();
+  std::string J = traceJson();
+
+  // Minimal shape checks; CI additionally runs the output through a real
+  // JSON parser (python3 -m json.tool).
+  EXPECT_EQ(J.find("{\"traceEvents\": ["), 0u);
+  const std::string Tail = "\"displayTimeUnit\": \"ms\"}\n";
+  ASSERT_GE(J.size(), Tail.size());
+  EXPECT_EQ(J.substr(J.size() - Tail.size()), Tail);
+#if DCB_TELEMETRY
+  EXPECT_NE(J.find("\"test.outer\""), std::string::npos);
+  EXPECT_NE(J.find("\"test.inner\""), std::string::npos);
+  EXPECT_NE(J.find("\"test.worker\""), std::string::npos);
+  EXPECT_NE(J.find("\"ph\": \"X\""), std::string::npos);
+
+  // Events are exported sorted by start time.
+  double LastTs = -1.0;
+  size_t Events = 0;
+  for (size_t Pos = J.find("\"ts\": "); Pos != std::string::npos;
+       Pos = J.find("\"ts\": ", Pos + 1)) {
+    double Ts = std::stod(J.substr(Pos + 6));
+    EXPECT_GE(Ts, LastTs);
+    LastTs = Ts;
+    ++Events;
+  }
+  EXPECT_EQ(Events, 3u);
+#else
+  EXPECT_EQ(J.find("\"ts\""), std::string::npos);
+#endif
+}
+
+TEST_F(TelemetryTest, StatsJsonRoundTripsThroughRenderer) {
+  counter("test.roundtrip").add(5);
+  gauge("test.roundtrip_gauge").set(-2);
+  histogram("test.roundtrip_hist").record(100);
+  std::string J = statsJson();
+  EXPECT_NE(J.find("\"schema\": \"dcb-stats-v1\""), std::string::npos);
+
+  Expected<std::string> Rendered = renderStatsJson(J);
+  ASSERT_TRUE(bool(Rendered)) << Rendered.message();
+#if DCB_TELEMETRY
+  EXPECT_NE(Rendered->find("test.roundtrip"), std::string::npos);
+  EXPECT_EQ(*Rendered, statsTable());
+#endif
+  EXPECT_FALSE(bool(renderStatsJson("not json")));
+  EXPECT_FALSE(bool(renderStatsJson("{\"schema\": \"wrong\"}")));
+}
+
+TEST_F(TelemetryTest, ResetZeroesEverything) {
+  counter("test.reset").add(9);
+  histogram("test.reset_hist").record(9);
+  { DCB_SPAN("test.reset_span"); }
+  resetForTest();
+  EXPECT_EQ(counter("test.reset").value(), 0u);
+  EXPECT_EQ(histogram("test.reset_hist").snapshot().Count, 0u);
+  EXPECT_EQ(traceJson().find("test.reset_span"), std::string::npos);
+}

@@ -5,6 +5,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/Telemetry.h"
+
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -195,4 +197,135 @@ TEST(DcbTool, RejectsBadInput) {
   EXPECT_NE(runCmd(Dcb + " genasm --db " + Work +
                    "/bad.db -o /dev/null 2> /dev/null"),
             0);
+}
+
+// --- Telemetry surface (--stats / --trace / stats) --------------------------
+
+TEST(DcbTelemetry, StatsDoesNotChangeStdout) {
+  const std::string Dcb = toolPath();
+  const std::string Work = workDir();
+  ASSERT_EQ(runCmd("mkdir -p " + Work), 0);
+  ASSERT_EQ(runCmd(Dcb + " make-suite sm_50 -o " + Work +
+                   "/tel.cubin > /dev/null"),
+            0);
+
+  // disasm: stdout must be byte-identical with and without --stats.
+  ASSERT_EQ(runCmd(Dcb + " disasm " + Work + "/tel.cubin > " + Work +
+                   "/tel_plain.sass"),
+            0);
+  ASSERT_EQ(runCmd(Dcb + " disasm " + Work + "/tel.cubin --stats > " + Work +
+                   "/tel_stats.sass 2> " + Work + "/tel_stats.txt"),
+            0);
+  EXPECT_EQ(slurp(Work + "/tel_plain.sass"), slurp(Work + "/tel_stats.sass"));
+  // The stderr table names the decode-path counters (or says the build
+  // compiled them out).
+  std::string Table = slurp(Work + "/tel_stats.txt");
+#if DCB_TELEMETRY
+  EXPECT_NE(Table.find("counters:"), std::string::npos);
+  EXPECT_NE(Table.find("isa.decode.dispatch"), std::string::npos);
+#else
+  EXPECT_NE(Table.find("compiled out"), std::string::npos);
+#endif
+
+  // asm: same contract.
+  ASSERT_EQ(runCmd(Dcb + " analyze " + Work + "/tel_plain.sass -o " + Work +
+                   "/tel.db > /dev/null"),
+            0);
+  ASSERT_EQ(runCmd(Dcb + " asm --db " + Work + "/tel.db " + Work +
+                   "/tel_plain.sass > " + Work + "/tel_plain.hex"),
+            0);
+  ASSERT_EQ(runCmd(Dcb + " asm --db " + Work + "/tel.db " + Work +
+                   "/tel_plain.sass --stats > " + Work +
+                   "/tel_stats.hex 2> /dev/null"),
+            0);
+  EXPECT_EQ(slurp(Work + "/tel_plain.hex"), slurp(Work + "/tel_stats.hex"));
+
+  // flip: identical stdout AND identical learned database.
+  ASSERT_EQ(runCmd(Dcb + " flip " + Work + "/tel.cubin --db " + Work +
+                   "/tel.db -o " + Work + "/tel_plain_out.db > " + Work +
+                   "/tel_flip_plain.txt"),
+            0);
+  ASSERT_EQ(runCmd(Dcb + " flip " + Work + "/tel.cubin --db " + Work +
+                   "/tel.db -o " + Work + "/tel_stats_out.db --stats > " +
+                   Work + "/tel_flip_stats.txt 2> " + Work +
+                   "/tel_flip_table.txt"),
+            0);
+  EXPECT_EQ(slurp(Work + "/tel_flip_plain.txt"),
+            slurp(Work + "/tel_flip_stats.txt"));
+  EXPECT_EQ(slurp(Work + "/tel_plain_out.db"),
+            slurp(Work + "/tel_stats_out.db"));
+}
+
+TEST(DcbTelemetry, FlipStatsTableSatisfiesInvariant) {
+  const std::string Dcb = toolPath();
+  const std::string Work = workDir();
+  ASSERT_EQ(runCmd("mkdir -p " + Work), 0);
+  ASSERT_EQ(runCmd(Dcb + " make-suite sm_50 -o " + Work +
+                   "/inv.cubin > /dev/null"),
+            0);
+  ASSERT_EQ(runCmd(Dcb + " disasm " + Work + "/inv.cubin > " + Work +
+                   "/inv.sass"),
+            0);
+  ASSERT_EQ(runCmd(Dcb + " analyze " + Work + "/inv.sass -o " + Work +
+                   "/inv.db > /dev/null"),
+            0);
+  ASSERT_EQ(runCmd(Dcb + " flip " + Work + "/inv.cubin --db " + Work +
+                   "/inv.db -o /dev/null --stats > /dev/null 2> " + Work +
+                   "/inv_table.txt"),
+            0);
+  std::string Table = slurp(Work + "/inv_table.txt");
+
+  auto counterValue = [&Table](const std::string &Name) -> long long {
+    size_t Pos = Table.find(Name);
+    EXPECT_NE(Pos, std::string::npos) << "missing counter " << Name;
+    if (Pos == std::string::npos)
+      return -1;
+    return std::stoll(Table.substr(Pos + Name.size()));
+  };
+#if DCB_TELEMETRY
+  long long Tried = counterValue("bitflip.variants_tried");
+  long long Crashes = counterValue("bitflip.crashes");
+  long long Accepted = counterValue("bitflip.accepted");
+  long long Rejected = counterValue("bitflip.rejected");
+  long long CacheHits = counterValue("bitflip.cache_hits");
+  EXPECT_GT(Tried, 0);
+  EXPECT_EQ(Tried, Crashes + Accepted + Rejected + CacheHits);
+#else
+  (void)counterValue;
+  EXPECT_NE(Table.find("compiled out"), std::string::npos);
+#endif
+}
+
+TEST(DcbTelemetry, TraceAndStatsFilesAreRenderable) {
+  const std::string Dcb = toolPath();
+  const std::string Work = workDir();
+  ASSERT_EQ(runCmd("mkdir -p " + Work), 0);
+  ASSERT_EQ(runCmd(Dcb + " make-suite sm_50 -o " + Work +
+                   "/tr.cubin > /dev/null"),
+            0);
+  ASSERT_EQ(runCmd(Dcb + " disasm " + Work + "/tr.cubin --trace=" + Work +
+                   "/tr_trace.json --stats=" + Work +
+                   "/tr_stats.json > /dev/null"),
+            0);
+  std::string Trace = slurp(Work + "/tr_trace.json");
+  EXPECT_EQ(Trace.find("{\"traceEvents\": ["), 0u);
+#if DCB_TELEMETRY
+  // The decode path must be visible in the trace: pool batches, the batch
+  // decode entry point, and the decode-index freeze.
+  EXPECT_NE(Trace.find("\"taskpool.batch\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"encoder.decodeProgram\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"isa.freezeDecode\""), std::string::npos);
+#endif
+
+  // `dcb stats` renders the saved JSON back into the table layout.
+  ASSERT_EQ(runCmd(Dcb + " stats " + Work + "/tr_stats.json > " + Work +
+                   "/tr_rendered.txt"),
+            0);
+  std::string Rendered = slurp(Work + "/tr_rendered.txt");
+#if DCB_TELEMETRY
+  EXPECT_NE(Rendered.find("isa.decode.dispatch"), std::string::npos);
+#else
+  EXPECT_NE(Rendered.find("telemetry:"), std::string::npos);
+#endif
+  EXPECT_NE(runCmd(Dcb + " stats /nonexistent 2> /dev/null"), 0);
 }

@@ -30,6 +30,7 @@
 #include "workloads/Suite.h"
 
 #include "support/StringUtils.h"
+#include "support/Telemetry.h"
 
 #include <cstdio>
 #include <cstring>
@@ -81,6 +82,17 @@ struct Args {
       std::string Arg = Argv[I];
       if (Arg.rfind("--", 0) == 0 || Arg == "-o") {
         std::string Key = Arg == "-o" ? "--out" : Arg;
+        // --key=value binds the value inline; --stats alone is also legal
+        // (it is the only value-optional flag).
+        size_t Eq = Key.find('=');
+        if (Eq != std::string::npos) {
+          A.Options[Key.substr(0, Eq)] = Key.substr(Eq + 1);
+          continue;
+        }
+        if (Key == "--stats") {
+          A.Options[Key] = "";
+          continue;
+        }
         if (I + 1 >= Argc)
           die("option " + Arg + " needs a value");
         A.Options[Key] = Argv[++I];
@@ -295,6 +307,17 @@ int cmdAsmOrVerify(const Args &A, bool Verify) {
   return 0;
 }
 
+int cmdStats(const Args &A) {
+  if (A.Positional.empty())
+    die("usage: dcb stats <stats.json>");
+  Expected<std::string> Table =
+      telemetry::renderStatsJson(readFile(A.Positional[0]));
+  if (!Table)
+    die(Table.message());
+  std::fputs(Table->c_str(), stdout);
+  return 0;
+}
+
 int cmdIr(const Args &A) {
   if (A.Positional.size() < 2)
     die("usage: dcb ir <cubin> <kernel>");
@@ -362,7 +385,7 @@ int cmdInstrument(const Args &A) {
   return 0;
 }
 
-void usage() {
+[[noreturn]] void usage() {
   std::fprintf(
       stderr,
       "usage: dcb <command> ...\n"
@@ -382,17 +405,18 @@ void usage() {
       "                                          output is identical for\n"
       "                                          every --jobs value)\n"
       "  ir <cubin> <kernel>                     dump the IR\n"
-      "  instrument <cubin> --db <db> --clear-regs N[,N...] -o <cubin>\n");
+      "  instrument <cubin> --db <db> --clear-regs N[,N...] -o <cubin>\n"
+      "  stats <stats.json>                      render a saved stats file\n"
+      "\n"
+      "global options (every command):\n"
+      "  --stats            print the telemetry table to stderr on exit\n"
+      "  --stats=FILE.json  write the telemetry snapshot as JSON instead\n"
+      "  --trace=FILE.json  write a Chrome trace_event span trace\n"
+      "                     (load in chrome://tracing or ui.perfetto.dev)\n");
   std::exit(2);
 }
 
-} // namespace
-
-int main(int Argc, char **Argv) {
-  if (Argc < 2)
-    usage();
-  std::string Cmd = Argv[1];
-  Args A = Args::parse(Argc, Argv, 2);
+int runCommand(const std::string &Cmd, const Args &A) {
   if (Cmd == "make-suite")
     return cmdMakeSuite(A);
   if (Cmd == "disasm")
@@ -411,5 +435,45 @@ int main(int Argc, char **Argv) {
     return cmdIr(A);
   if (Cmd == "instrument")
     return cmdInstrument(A);
+  if (Cmd == "stats")
+    return cmdStats(A);
   usage();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    usage();
+  std::string Cmd = Argv[1];
+  Args A = Args::parse(Argc, Argv, 2);
+
+  // Global telemetry flags, stripped before subcommand dispatch. Counters
+  // and spans stay off unless requested, so the default run pays only the
+  // per-site gate loads; the stats table goes to stderr and JSON goes to
+  // files, keeping stdout byte-identical either way.
+  std::optional<std::string> Stats = A.Options.count("--stats")
+                                         ? std::optional(A.Options["--stats"])
+                                         : std::nullopt;
+  std::optional<std::string> Trace = A.Options.count("--trace")
+                                         ? std::optional(A.Options["--trace"])
+                                         : std::nullopt;
+  A.Options.erase("--stats");
+  A.Options.erase("--trace");
+  if (Trace && Trace->empty())
+    die("--trace needs a file: --trace=FILE.json");
+  telemetry::setCountersEnabled(Stats.has_value());
+  telemetry::setSpansEnabled(Trace.has_value());
+
+  int Ret = runCommand(Cmd, A);
+
+  if (Stats) {
+    if (Stats->empty())
+      std::fputs(telemetry::statsTable().c_str(), stderr);
+    else
+      writeFile(*Stats, telemetry::statsJson());
+  }
+  if (Trace)
+    writeFile(*Trace, telemetry::traceJson());
+  return Ret;
 }
