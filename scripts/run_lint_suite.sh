@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Lints every workload-suite program on every supported generation with
+# `dcb lint`, saving one dcb-lint-v1 JSON report per architecture. Any
+# finding (the tool exits nonzero) fails the run. Also audits the
+# ground-truth ISA tables themselves.
+#
+# Usage: scripts/run_lint_suite.sh [path-to-dcb] [output-dir]
+set -euo pipefail
+
+DCB="${1:-./build/tools/dcb}"
+OUT="${2:-lint-reports}"
+ARCHS=(sm_20 sm_21 sm_30 sm_35 sm_50 sm_52 sm_60 sm_61 sm_70)
+
+mkdir -p "$OUT"
+status=0
+
+for arch in "${ARCHS[@]}"; do
+  cubin="$OUT/suite-$arch.cubin"
+  report="$OUT/lint-$arch.json"
+  "$DCB" make-suite "$arch" -o "$cubin" > /dev/null
+  if "$DCB" lint "$cubin" --json="$report" > /dev/null; then
+    echo "lint $arch: clean"
+  else
+    echo "lint $arch: FINDINGS (see $report)" >&2
+    status=1
+  fi
+  rm -f "$cubin"
+done
+
+if "$DCB" lint --isa all --json="$OUT/lint-isa.json" > /dev/null; then
+  echo "lint isa tables: clean"
+else
+  echo "lint isa tables: FINDINGS (see $OUT/lint-isa.json)" >&2
+  status=1
+fi
+
+exit $status

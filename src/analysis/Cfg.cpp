@@ -1,0 +1,94 @@
+//===- analysis/Cfg.cpp ---------------------------------------------------===//
+
+#include "analysis/Cfg.h"
+
+#include <algorithm>
+
+using namespace dcb;
+using namespace dcb::analysis;
+
+Cfg Cfg::build(const ir::Kernel &K) {
+  const size_t N = K.Blocks.size();
+  Cfg C;
+  C.Preds.resize(N);
+  C.RpoNumber.assign(N, -1);
+  C.Reachable.assign(N, false);
+
+  for (size_t B = 0; B < N; ++B)
+    for (int S : K.Blocks[B].Succs)
+      if (S >= 0 && static_cast<size_t>(S) < N)
+        C.Preds[S].push_back(static_cast<int>(B));
+  for (std::vector<int> &P : C.Preds) {
+    std::sort(P.begin(), P.end());
+    P.erase(std::unique(P.begin(), P.end()), P.end());
+  }
+
+  // Iterative DFS from the entry; postorder then reversed. The explicit
+  // stack carries (block, next-successor-to-visit) so the postorder matches
+  // the recursive definition exactly.
+  std::vector<int> Postorder;
+  if (N != 0) {
+    std::vector<std::pair<int, size_t>> Stack;
+    C.Reachable[0] = true;
+    Stack.emplace_back(0, 0);
+    while (!Stack.empty()) {
+      const int B = Stack.back().first;
+      const std::vector<int> &Succs = K.Blocks[B].Succs;
+      size_t I = Stack.back().second;
+      bool Descended = false;
+      for (; I < Succs.size(); ++I) {
+        int S = Succs[I];
+        if (S < 0 || static_cast<size_t>(S) >= N || C.Reachable[S])
+          continue;
+        // Record the resume point before pushing: the push may reallocate.
+        Stack.back().second = I + 1;
+        C.Reachable[S] = true;
+        Stack.emplace_back(S, 0);
+        Descended = true;
+        break;
+      }
+      if (!Descended) {
+        Postorder.push_back(B);
+        Stack.pop_back();
+      }
+    }
+  }
+  C.Rpo.assign(Postorder.rbegin(), Postorder.rend());
+  for (size_t B = 0; B < N; ++B)
+    if (!C.Reachable[B])
+      C.Rpo.push_back(static_cast<int>(B));
+  for (size_t I = 0; I < C.Rpo.size(); ++I)
+    C.RpoNumber[C.Rpo[I]] = static_cast<int>(I);
+  return C;
+}
+
+Report analysis::validateCfg(const ir::Kernel &K) {
+  Report R;
+  const int N = static_cast<int>(K.Blocks.size());
+  for (int B = 0; B < N; ++B) {
+    for (int S : K.Blocks[B].Succs) {
+      if (S < 0 || S >= N) {
+        Finding F;
+        F.Rule = "CFG001";
+        F.Message = "successor index " + std::to_string(S) +
+                    " is out of range (kernel has " + std::to_string(N) +
+                    " blocks)";
+        F.Kernel = K.Name;
+        F.Block = B;
+        R.add(std::move(F));
+      }
+    }
+    int RB = K.Blocks[B].ReconvergeBlock;
+    if (RB != -1 && (RB < 0 || RB >= N)) {
+      Finding F;
+      F.Rule = "CFG001";
+      F.Message = "reconvergence block index " + std::to_string(RB) +
+                  " is out of range (kernel has " + std::to_string(N) +
+                  " blocks)";
+      F.Kernel = K.Name;
+      F.Block = B;
+      R.add(std::move(F));
+    }
+  }
+  return R;
+}

@@ -1,0 +1,64 @@
+//===- analysis/Cfg.h - CFG utilities over ir::Kernel -----------*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Derived control-flow structure over an `ir::Kernel`'s `Block::Succs`
+/// edges: predecessor lists, reverse-postorder numbering and reachability.
+/// The dataflow solver (Dataflow.h) iterates in these orders; the passes
+/// in Liveness.h / Hazards.h consume them.
+///
+/// Divergence structure (`Block::ReconvergeBlock`) is deliberately *not*
+/// folded into the edge set here: registers are per-thread state, so the
+/// dataflow problems this layer solves follow the plain branch edges the
+/// builder records (which already include the SYNC -> reconvergence jump).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_ANALYSIS_CFG_H
+#define DCB_ANALYSIS_CFG_H
+
+#include "analysis/Findings.h"
+#include "ir/Ir.h"
+
+#include <vector>
+
+namespace dcb {
+namespace analysis {
+
+/// Precomputed CFG facts for one kernel. A value snapshot: rebuild after
+/// any mutation of the kernel's blocks or edges.
+struct Cfg {
+  /// Predecessor block indices per block, ascending, deduplicated.
+  std::vector<std::vector<int>> Preds;
+
+  /// Block indices in reverse postorder of a DFS from the entry block.
+  /// Unreachable blocks are appended afterwards in index order, so every
+  /// block appears exactly once (iteration orders must cover hand-built
+  /// kernels with detached blocks).
+  std::vector<int> Rpo;
+
+  /// Position of each block in Rpo.
+  std::vector<int> RpoNumber;
+
+  /// Whether the block is reachable from the entry along Succs edges.
+  std::vector<bool> Reachable;
+
+  size_t numBlocks() const { return Preds.size(); }
+
+  /// Builds the CFG facts for \p K. Out-of-range successor indices are
+  /// ignored here (validateCfg reports them).
+  static Cfg build(const ir::Kernel &K);
+};
+
+/// Structural validation: every successor index in range (CFG001). The
+/// builder never emits broken edges; hand-edited or transformed kernels
+/// might. Part of the post-transform verifier.
+Report validateCfg(const ir::Kernel &K);
+
+} // namespace analysis
+} // namespace dcb
+
+#endif // DCB_ANALYSIS_CFG_H

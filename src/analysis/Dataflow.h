@@ -1,0 +1,213 @@
+//===- analysis/Dataflow.h - Bit-set worklist dataflow solver ---*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reusable core of the analysis layer: a dense bit set and a
+/// worklist solver for gen/kill dataflow problems over the Cfg. Liveness
+/// (Liveness.h) instantiates the backward-may direction; the solver also
+/// provides the forward-may twin for future reaching-style analyses.
+///
+/// Determinism: the worklist is seeded in a fixed traversal order
+/// (postorder for backward problems, reverse postorder for forward ones)
+/// and processed FIFO, so iteration counts and results are reproducible —
+/// tests assert that.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_ANALYSIS_DATAFLOW_H
+#define DCB_ANALYSIS_DATAFLOW_H
+
+#include "analysis/Cfg.h"
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace dcb {
+namespace analysis {
+
+/// A fixed-capacity dense bit set (word-array; no dynamic growth after
+/// construction). Sized once per problem at kNumSlots or a caller-chosen
+/// universe.
+class BitSet {
+public:
+  BitSet() = default;
+  explicit BitSet(size_t NumBits) : NumBits(NumBits), W((NumBits + 63) / 64) {}
+
+  size_t size() const { return NumBits; }
+
+  void set(size_t I) { W[I / 64] |= uint64_t(1) << (I % 64); }
+  void reset(size_t I) { W[I / 64] &= ~(uint64_t(1) << (I % 64)); }
+  bool test(size_t I) const {
+    return (W[I / 64] >> (I % 64)) & 1;
+  }
+  void clear() {
+    for (uint64_t &Word : W)
+      Word = 0;
+  }
+
+  /// this |= O; returns true when any bit changed.
+  bool unionWith(const BitSet &O) {
+    bool Changed = false;
+    for (size_t I = 0; I < W.size(); ++I) {
+      uint64_t New = W[I] | O.W[I];
+      Changed |= New != W[I];
+      W[I] = New;
+    }
+    return Changed;
+  }
+
+  /// this &= ~O.
+  void subtract(const BitSet &O) {
+    for (size_t I = 0; I < W.size(); ++I)
+      W[I] &= ~O.W[I];
+  }
+
+  /// True when this and O share a set bit.
+  bool intersects(const BitSet &O) const {
+    for (size_t I = 0; I < W.size(); ++I)
+      if (W[I] & O.W[I])
+        return true;
+    return false;
+  }
+
+  size_t count() const {
+    size_t N = 0;
+    for (uint64_t Word : W)
+      N += __builtin_popcountll(Word);
+    return N;
+  }
+
+  /// Population count restricted to bits [Lo, Hi).
+  size_t countRange(size_t Lo, size_t Hi) const {
+    size_t N = 0;
+    for (size_t I = Lo; I < Hi; ++I)
+      N += test(I);
+    return N;
+  }
+
+  template <typename Fn> void forEach(Fn Visit) const {
+    for (size_t WI = 0; WI < W.size(); ++WI) {
+      uint64_t Word = W[WI];
+      while (Word) {
+        unsigned Bit = static_cast<unsigned>(__builtin_ctzll(Word));
+        Visit(WI * 64 + Bit);
+        Word &= Word - 1;
+      }
+    }
+  }
+
+  bool operator==(const BitSet &O) const {
+    return NumBits == O.NumBits && W == O.W;
+  }
+  bool operator!=(const BitSet &O) const { return !(*this == O); }
+
+private:
+  size_t NumBits = 0;
+  std::vector<uint64_t> W;
+};
+
+/// Result bookkeeping shared by both solver directions.
+struct SolveStats {
+  unsigned Iterations = 0; ///< Total block visits until the fixed point.
+};
+
+/// Solves the backward may-problem
+///   Out[B] = union of In[S] over S in Succs(B)
+///   In[B]  = Gen[B] | (Out[B] & ~Kill[B])
+/// with a FIFO worklist seeded in postorder (successors first), which for
+/// liveness converges in one pass over loop-free code. \p In and \p Out
+/// must be pre-sized to numBlocks() sets of equal width.
+template <typename KernelT>
+SolveStats solveBackwardMay(const KernelT &K, const Cfg &C,
+                            const std::vector<BitSet> &Gen,
+                            const std::vector<BitSet> &Kill,
+                            std::vector<BitSet> &In,
+                            std::vector<BitSet> &Out) {
+  SolveStats Stats;
+  const size_t N = C.numBlocks();
+  std::deque<int> Worklist;
+  std::vector<bool> Queued(N, false);
+  // Postorder = reverse of Rpo (with unreachable blocks first, which is
+  // harmless: they converge independently).
+  for (auto It = C.Rpo.rbegin(); It != C.Rpo.rend(); ++It) {
+    Worklist.push_back(*It);
+    Queued[*It] = true;
+  }
+  while (!Worklist.empty()) {
+    int B = Worklist.front();
+    Worklist.pop_front();
+    Queued[B] = false;
+    ++Stats.Iterations;
+
+    Out[B].clear();
+    for (int S : K.Blocks[B].Succs)
+      if (S >= 0 && static_cast<size_t>(S) < N)
+        Out[B].unionWith(In[S]);
+
+    BitSet NewIn = Out[B];
+    NewIn.subtract(Kill[B]);
+    NewIn.unionWith(Gen[B]);
+    if (NewIn != In[B]) {
+      In[B] = std::move(NewIn);
+      for (int P : C.Preds[B]) {
+        if (!Queued[P]) {
+          Queued[P] = true;
+          Worklist.push_back(P);
+        }
+      }
+    }
+  }
+  return Stats;
+}
+
+/// Forward twin:
+///   In[B]  = union of Out[P] over P in Preds(B)
+///   Out[B] = Gen[B] | (In[B] & ~Kill[B])
+template <typename KernelT>
+SolveStats solveForwardMay(const KernelT &K, const Cfg &C,
+                           const std::vector<BitSet> &Gen,
+                           const std::vector<BitSet> &Kill,
+                           std::vector<BitSet> &In,
+                           std::vector<BitSet> &Out) {
+  SolveStats Stats;
+  const size_t N = C.numBlocks();
+  std::deque<int> Worklist;
+  std::vector<bool> Queued(N, false);
+  for (int B : C.Rpo) {
+    Worklist.push_back(B);
+    Queued[B] = true;
+  }
+  while (!Worklist.empty()) {
+    int B = Worklist.front();
+    Worklist.pop_front();
+    Queued[B] = false;
+    ++Stats.Iterations;
+
+    In[B].clear();
+    for (int P : C.Preds[B])
+      In[B].unionWith(Out[P]);
+
+    BitSet NewOut = In[B];
+    NewOut.subtract(Kill[B]);
+    NewOut.unionWith(Gen[B]);
+    if (NewOut != Out[B]) {
+      Out[B] = std::move(NewOut);
+      for (int S : K.Blocks[B].Succs) {
+        if (S >= 0 && static_cast<size_t>(S) < N && !Queued[S]) {
+          Queued[S] = true;
+          Worklist.push_back(S);
+        }
+      }
+    }
+  }
+  return Stats;
+}
+
+} // namespace analysis
+} // namespace dcb
+
+#endif // DCB_ANALYSIS_DATAFLOW_H

@@ -1,0 +1,127 @@
+//===- analysis/Liveness.cpp ----------------------------------------------===//
+
+#include "analysis/Liveness.h"
+
+#include "analysis/RegModel.h"
+#include "support/Telemetry.h"
+
+#include <algorithm>
+
+using namespace dcb;
+using namespace dcb::analysis;
+
+namespace {
+
+struct Metrics {
+  telemetry::Counter &Kernels = telemetry::counter("analysis.liveness.kernels");
+  telemetry::Counter &Visits =
+      telemetry::counter("analysis.liveness.block_visits");
+};
+Metrics &metrics() {
+  static Metrics M;
+  return M;
+}
+
+/// Slot-expanded defs and uses of one instruction.
+struct InstRegs {
+  std::vector<unsigned> Defs;
+  std::vector<unsigned> Uses;
+  bool Guarded = false;
+};
+
+InstRegs collectRegs(const ir::Inst &I) {
+  InstRegs R;
+  R.Guarded = I.Asm.hasGuard();
+  visitRegs(I.Asm, [&R](int Slot, unsigned Width, bool IsDef) {
+    for (unsigned Off = 0; Off < Width; ++Off) {
+      unsigned S = static_cast<unsigned>(Slot) + Off;
+      // Register groups that would run past R255 are truncated (the tail
+      // is the unencodable zero register's neighborhood).
+      if (isRegSlot(static_cast<unsigned>(Slot)) && S >= kNumRegSlots)
+        break;
+      (IsDef ? R.Defs : R.Uses).push_back(S);
+    }
+  });
+  return R;
+}
+
+/// Applies one instruction's backward transfer to \p Live (which holds the
+/// live-after set and becomes the live-before set).
+void applyBackward(const InstRegs &R, bool CountUses, BitSet &Live) {
+  // A guarded write may not happen, so it does not kill.
+  if (!R.Guarded)
+    for (unsigned D : R.Defs)
+      Live.reset(D);
+  if (CountUses)
+    for (unsigned U : R.Uses)
+      Live.set(U);
+}
+
+bool countsUses(const ir::Inst &I, const LivenessOptions &Opts) {
+  return !Opts.OriginalUsesOnly || !I.isInserted();
+}
+
+} // namespace
+
+Liveness analysis::computeLiveness(const ir::Kernel &K,
+                                   const LivenessOptions &Opts) {
+  DCB_SPAN("analysis.liveness");
+  metrics().Kernels.add(1);
+
+  const size_t N = K.Blocks.size();
+  Liveness L;
+  L.LiveIn.assign(N, BitSet(kNumSlots));
+  L.LiveOut.assign(N, BitSet(kNumSlots));
+
+  std::vector<BitSet> Gen(N, BitSet(kNumSlots));
+  std::vector<BitSet> Kill(N, BitSet(kNumSlots));
+  for (size_t B = 0; B < N; ++B) {
+    for (const ir::Inst &I : K.Blocks[B].Insts) {
+      InstRegs R = collectRegs(I);
+      if (countsUses(I, Opts))
+        for (unsigned U : R.Uses)
+          if (!Kill[B].test(U))
+            Gen[B].set(U);
+      if (!R.Guarded)
+        for (unsigned D : R.Defs)
+          Kill[B].set(D);
+    }
+  }
+
+  Cfg C = Cfg::build(K);
+  SolveStats Stats = solveBackwardMay(K, C, Gen, Kill, L.LiveIn, L.LiveOut);
+  L.Iterations = Stats.Iterations;
+  metrics().Visits.add(Stats.Iterations);
+
+  // Pressure sweep: peak live set over every live-before point.
+  for (size_t B = 0; B < N; ++B) {
+    BitSet Live = L.LiveOut[B];
+    const std::vector<ir::Inst> &Insts = K.Blocks[B].Insts;
+    for (size_t I = Insts.size(); I-- > 0;) {
+      InstRegs R = collectRegs(Insts[I]);
+      applyBackward(R, countsUses(Insts[I], Opts), Live);
+      unsigned Regs =
+          static_cast<unsigned>(Live.countRange(0, kNumRegSlots));
+      unsigned Preds = static_cast<unsigned>(
+          Live.countRange(kNumRegSlots, kNumSlots));
+      if (Regs > L.MaxLiveRegs) {
+        L.MaxLiveRegs = Regs;
+        L.PeakBlock = static_cast<int>(B);
+        L.PeakInst = static_cast<int>(I);
+      }
+      L.MaxLivePreds = std::max(L.MaxLivePreds, Preds);
+    }
+  }
+  return L;
+}
+
+void Liveness::forEachLiveAfter(
+    const ir::Kernel &K, int B, const LivenessOptions &Opts,
+    const std::function<void(int, const BitSet &)> &Visit) const {
+  BitSet Live = LiveOut[B];
+  const std::vector<ir::Inst> &Insts = K.Blocks[B].Insts;
+  for (size_t I = Insts.size(); I-- > 0;) {
+    Visit(static_cast<int>(I), Live);
+    applyBackward(collectRegs(Insts[I]), countsUses(Insts[I], Opts), Live);
+  }
+}

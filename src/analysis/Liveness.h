@@ -1,0 +1,74 @@
+//===- analysis/Liveness.h - Register liveness / def-use pass ---*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic backward may-liveness over the flat register/predicate slot
+/// space of RegModel.h, solved with the Dataflow.h worklist engine:
+/// per-block live-in/out sets, a per-point register-pressure sweep (the
+/// peak number of simultaneously live general registers, cross-checked
+/// against transform::Occupancy by the verifier), and a live-set walker
+/// the post-transform clobber check uses.
+///
+/// Soundness conventions (the analysis over-approximates):
+///  - guarded (predicated) definitions do not kill — the write may not
+///    happen, so the incoming value may survive;
+///  - multi-register groups (64/128-bit operands, double pairs) define and
+///    use every covered slot.
+///
+/// `OriginalUsesOnly` restricts the GEN sets to uses by instructions that
+/// came from the original binary (`!Inst::isInserted()`). The verifier
+/// checks inserted code against *that* liveness: an inserted definition is
+/// a clobber only if an original instruction still needs the value, not if
+/// the instrumentation's own payload consumes it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_ANALYSIS_LIVENESS_H
+#define DCB_ANALYSIS_LIVENESS_H
+
+#include "analysis/Dataflow.h"
+#include "ir/Ir.h"
+
+#include <functional>
+#include <vector>
+
+namespace dcb {
+namespace analysis {
+
+struct LivenessOptions {
+  /// GEN only from non-inserted instructions (see file comment).
+  bool OriginalUsesOnly = false;
+};
+
+struct Liveness {
+  std::vector<BitSet> LiveIn;  ///< Per block, kNumSlots wide.
+  std::vector<BitSet> LiveOut; ///< Per block.
+  unsigned Iterations = 0;     ///< Solver block visits (determinism tests).
+
+  /// Peak number of simultaneously live general registers / predicates
+  /// over every program point, and where the peak occurs.
+  unsigned MaxLiveRegs = 0;
+  unsigned MaxLivePreds = 0;
+  int PeakBlock = -1;
+  int PeakInst = -1; ///< Instruction index whose live-before is the peak.
+
+  /// Walks block \p B backwards re-applying transfer functions and calls
+  /// \p Visit(InstIdx, LiveAfter) for every instruction, last to first.
+  /// \p LiveAfter is the live set immediately after the instruction.
+  void forEachLiveAfter(
+      const ir::Kernel &K, int B, const LivenessOptions &Opts,
+      const std::function<void(int, const BitSet &)> &Visit) const;
+};
+
+/// Runs the pass. Block granularity facts are exact for the options given;
+/// use forEachLiveAfter for instruction granularity.
+Liveness computeLiveness(const ir::Kernel &K,
+                         const LivenessOptions &Opts = {});
+
+} // namespace analysis
+} // namespace dcb
+
+#endif // DCB_ANALYSIS_LIVENESS_H

@@ -1,0 +1,128 @@
+//===- analysis/RegModel.cpp ----------------------------------------------===//
+
+#include "analysis/RegModel.h"
+
+using namespace dcb;
+using namespace dcb::analysis;
+using sass::Operand;
+using sass::OperandKind;
+
+std::string analysis::slotName(unsigned Slot) {
+  if (isRegSlot(Slot))
+    return "R" + std::to_string(Slot);
+  return "P" + std::to_string(Slot - kNumRegSlots);
+}
+
+bool analysis::isStoreMnemonic(const std::string &Opcode) {
+  return Opcode == "ST" || Opcode == "STG" || Opcode == "STL" ||
+         Opcode == "STS" || Opcode == "RED";
+}
+
+bool analysis::isControlMnemonic(const std::string &Opcode) {
+  static const char *const Names[] = {
+      "BRA", "BRX",    "CAL",    "JCAL",      "JMP", "RET", "EXIT",
+      "SSY", "SYNC",   "BAR",    "BRK",       "PBK", "PCNT", "MEMBAR",
+      "DEPBAR", "TEXDEPBAR", "NOP"};
+  for (const char *Name : Names)
+    if (Opcode == Name)
+      return true;
+  return false;
+}
+
+unsigned analysis::defCount(const sass::Instruction &Asm) {
+  if (Asm.Operands.empty())
+    return 0;
+  if (isStoreMnemonic(Asm.Opcode) || isControlMnemonic(Asm.Opcode))
+    return 0;
+  // Two-result forms: the SETP family writes two predicates, SHFL writes
+  // an in-bounds predicate plus the data register.
+  const std::string &Op = Asm.Opcode;
+  if (Op == "SHFL" || (Op.size() > 4 && Op.compare(Op.size() - 4, 4,
+                                                   "SETP") == 0) ||
+      Op == "SETP" || Op == "PSETP")
+    return Asm.Operands.size() >= 2 ? 2 : 1;
+  return 1;
+}
+
+unsigned analysis::operandRegWidth(const sass::Instruction &Asm, size_t Idx) {
+  const std::string &Op = Asm.Opcode;
+  auto memWidth = [&Asm]() {
+    for (const std::string &Mod : Asm.Modifiers) {
+      if (Mod == "64")
+        return 2u;
+      if (Mod == "128")
+        return 4u;
+    }
+    return 1u;
+  };
+  const bool IsLoad = Op == "LD" || Op == "LDG" || Op == "LDL" ||
+                      Op == "LDS" || Op == "LDC";
+  const bool IsStore =
+      Op == "ST" || Op == "STG" || Op == "STL" || Op == "STS";
+  if (IsLoad && Idx == 0)
+    return memWidth();
+  if (IsStore && Idx == 1)
+    return memWidth();
+
+  // Double-precision operations use register pairs for register operands.
+  if ((Op == "DADD" || Op == "DMUL" || Op == "DFMA") &&
+      Asm.Operands[Idx].Kind == OperandKind::Register)
+    return 2;
+
+  // Casts: the side whose format modifier says F64 is a pair. Modifier
+  // order is <dst>.<src>.
+  if ((Op == "F2F" || Op == "F2I" || Op == "I2F") &&
+      Asm.Modifiers.size() >= 2) {
+    const std::string &Fmt = Asm.Modifiers[Idx == 0 ? 0 : 1];
+    if (Fmt == "F64" || Fmt == "S64" || Fmt == "U64")
+      return 2;
+  }
+  return 1;
+}
+
+void analysis::visitRegs(const sass::Instruction &Asm,
+                         const RegVisitor &Visit) {
+  const unsigned NumDefs = defCount(Asm);
+  for (size_t Idx = 0; Idx < Asm.Operands.size(); ++Idx) {
+    const Operand &Op = Asm.Operands[Idx];
+    const bool DefPos = Idx < NumDefs;
+    switch (Op.Kind) {
+    case OperandKind::Register:
+      if (Op.Value[0] >= 0) {
+        int Slot = regSlot(static_cast<unsigned>(Op.Value[0]));
+        if (Slot >= 0)
+          Visit(Slot, operandRegWidth(Asm, Idx), DefPos);
+      }
+      break;
+    case OperandKind::Predicate:
+      if (Op.Value[0] >= 0 && Op.Value[0] != 7) {
+        int Slot = predSlot(static_cast<unsigned>(Op.Value[0]));
+        if (Slot >= 0)
+          Visit(Slot, 1, DefPos);
+      }
+      break;
+    case OperandKind::Memory:
+      // The base register is always a use, even in a definition slot.
+      if (Op.Value[0] >= 0) {
+        int Slot = regSlot(static_cast<unsigned>(Op.Value[0]));
+        if (Slot >= 0)
+          Visit(Slot, 1, false);
+      }
+      break;
+    case OperandKind::ConstMem:
+      if (Op.HasRegister && Op.Value[2] >= 0) {
+        int Slot = regSlot(static_cast<unsigned>(Op.Value[2]));
+        if (Slot >= 0)
+          Visit(Slot, 1, false);
+      }
+      break;
+    default:
+      break;
+    }
+  }
+  if (Asm.hasGuard() && Asm.GuardPredicate != 7) {
+    int Slot = predSlot(Asm.GuardPredicate);
+    if (Slot >= 0)
+      Visit(Slot, 1, false);
+  }
+}

@@ -1,0 +1,81 @@
+//===- analysis/RegModel.h - Public register/def-use model ------*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The framework-side model of which registers a SASS instruction reads
+/// and writes — *public* knowledge only (mnemonic conventions and operand
+/// syntax), never the hidden vendor tables. Shared by the liveness pass,
+/// the post-transform verifier and transform's register-usage analysis:
+///
+///  - a flat slot space covering general registers (R0..R255) and guard
+///    predicates (P0..P6), sized for BitSet dataflow;
+///  - operand register widths (64/128-bit memory ops, double-precision
+///    pairs, widening casts) — one group of consecutive registers per
+///    operand;
+///  - the def/use convention: the leading operand(s) of a value-producing
+///    instruction are definitions (two for the SETP family and SHFL's
+///    predicate+register results), stores and control flow define nothing,
+///    memory bases / const-memory index registers / guards are always uses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_ANALYSIS_REGMODEL_H
+#define DCB_ANALYSIS_REGMODEL_H
+
+#include "sass/Ast.h"
+
+#include <functional>
+#include <string>
+
+namespace dcb {
+namespace analysis {
+
+/// Slot-space layout: general registers first, then guard predicates.
+/// RZ / PT never appear (the parser records them as "no register").
+constexpr unsigned kNumRegSlots = 256;
+constexpr unsigned kNumPredSlots = 7;
+constexpr unsigned kNumSlots = kNumRegSlots + kNumPredSlots;
+
+inline int regSlot(unsigned RegId) {
+  return RegId < kNumRegSlots ? static_cast<int>(RegId) : -1;
+}
+inline int predSlot(unsigned PredId) {
+  return PredId < kNumPredSlots ? static_cast<int>(kNumRegSlots + PredId)
+                                : -1;
+}
+inline bool isRegSlot(unsigned Slot) { return Slot < kNumRegSlots; }
+
+/// "R5" / "P3" for report rendering.
+std::string slotName(unsigned Slot);
+
+/// Mnemonic classes (public naming conventions, paper §V).
+bool isStoreMnemonic(const std::string &Opcode);
+bool isControlMnemonic(const std::string &Opcode);
+
+/// Number of leading operands the instruction defines under the public
+/// model: 0 for stores/control/operand-less forms, 2 for the SETP family
+/// and SHFL, 1 otherwise.
+unsigned defCount(const sass::Instruction &Asm);
+
+/// Number of consecutive registers operand \p Idx occupies (1, 2 or 4):
+/// memory-op data registers follow the .64/.128 size modifier, double
+/// -precision register operands are pairs, casts widen per their format
+/// modifiers.
+unsigned operandRegWidth(const sass::Instruction &Asm, size_t Idx);
+
+/// One register reference: a group of \p Width consecutive slots rooted at
+/// \p Slot. IsDef follows defCount; memory bases, const-memory index
+/// registers and the guard predicate are always uses.
+using RegVisitor = std::function<void(int Slot, unsigned Width, bool IsDef)>;
+
+/// Visits every register and guard-predicate reference of \p Asm,
+/// including the guard. RZ/PT references are skipped.
+void visitRegs(const sass::Instruction &Asm, const RegVisitor &Visit);
+
+} // namespace analysis
+} // namespace dcb
+
+#endif // DCB_ANALYSIS_REGMODEL_H

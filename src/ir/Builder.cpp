@@ -29,6 +29,15 @@ bool isReconvergence(const sass::Instruction &Inst) {
   return false;
 }
 
+/// Does the reconvergence instruction *jump* to the armed SSY target?
+/// Only SYNC and NOP.S transfer control (matching the interpreter); a .S
+/// marker on an ordinary instruction labels the reconvergence point but
+/// the instruction executes and falls through.
+bool isReconvergenceJump(const sass::Instruction &Inst) {
+  return Inst.Opcode == "SYNC" ||
+         (Inst.Opcode == "NOP" && isReconvergence(Inst));
+}
+
 /// Does this instruction end a basic block?
 bool isTerminator(const sass::Instruction &Inst) {
   if (Inst.Opcode == "BRA" || Inst.Opcode == "EXIT" ||
@@ -182,16 +191,18 @@ Expected<Kernel> ir::buildKernel(Arch A, const ListingKernel &Listing) {
         B.Succs.push_back(Last.TargetBlock);
       if (Last.Asm.hasGuard() && HasNext)
         B.Succs.push_back(static_cast<int>(BlockIdx) + 1);
-    } else if (isReconvergence(Last.Asm)) {
+    } else if (isReconvergenceJump(Last.Asm)) {
       // Threads parking here resume at the SSY target; a guarded
-      // reconvergence lets the rest of the warp fall through.
-      if (CurrentReconverge >= 0)
+      // reconvergence lets the rest of the warp fall through. An
+      // *unguarded* jump with a known target has no fall-through edge.
+      if (CurrentReconverge >= 0) {
         B.Succs.push_back(CurrentReconverge);
-      if (HasNext &&
-          (Last.Asm.hasGuard() ||
-           B.Succs.empty() ||
-           B.Succs.front() != static_cast<int>(BlockIdx) + 1))
+        if (Last.Asm.hasGuard() && HasNext)
+          B.Succs.push_back(static_cast<int>(BlockIdx) + 1);
+      } else if (HasNext) {
+        // No armed SSY in sight: fall through conservatively.
         B.Succs.push_back(static_cast<int>(BlockIdx) + 1);
+      }
     } else if (HasNext) {
       B.Succs.push_back(static_cast<int>(BlockIdx) + 1);
     }

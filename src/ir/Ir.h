@@ -48,7 +48,7 @@ struct Inst {
 struct Block {
   std::vector<Inst> Insts;
 
-  /// Successor block indices (branch target first, then fall-through).
+  /// Successor block indices, sorted ascending and deduplicated.
   std::vector<int> Succs;
 
   /// The SSY reconvergence block in effect at this block's end, -1 if none

@@ -148,3 +148,14 @@ size_t DecodeIndex::maxBucketLen() const {
     Max = std::max<size_t>(Max, BucketStart[B + 1] - BucketStart[B]);
   return Max;
 }
+
+std::vector<DecodeIndex::EntryView>
+DecodeIndex::bucketEntries(size_t Bucket) const {
+  std::vector<EntryView> Views;
+  if (Bucket + 1 >= BucketStart.size())
+    return Views;
+  for (uint32_t I = BucketStart[Bucket], E = BucketStart[Bucket + 1]; I != E;
+       ++I)
+    Views.push_back({Entries[I].Value, Entries[I].Mask, Entries[I].Spec});
+  return Views;
+}

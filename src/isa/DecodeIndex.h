@@ -78,7 +78,7 @@ public:
     return {nullptr, E - Start};
   }
 
-  // --- Introspection (tests, docs, bench reports) -------------------------
+  // --- Introspection (tests, docs, bench reports, the index linter) -------
   unsigned numSelectorBits() const {
     return static_cast<unsigned>(SelBits.size());
   }
@@ -86,6 +86,22 @@ public:
   size_t numEntries() const { return Entries.size(); }
   /// Longest masked-compare list any word can hit.
   size_t maxBucketLen() const;
+
+  /// Selector bit positions, ascending. Empty for a 1-bucket index.
+  const std::vector<uint8_t> &selectorBits() const { return SelBits; }
+
+  /// The bucket a low word dispatches to — public so the index linter can
+  /// verify replication (every selector assignment compatible with a form
+  /// reaches an entry for that form).
+  size_t bucketIndexOf(uint64_t Low) const { return bucketOf(Low); }
+
+  /// One bucket entry exposed for auditing, in scan order.
+  struct EntryView {
+    uint64_t Value = 0;
+    uint64_t Mask = 0;
+    const InstrSpec *Spec = nullptr;
+  };
+  std::vector<EntryView> bucketEntries(size_t Bucket) const;
 
 private:
   struct Entry {

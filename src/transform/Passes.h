@@ -25,10 +25,13 @@
 #ifndef DCB_TRANSFORM_PASSES_H
 #define DCB_TRANSFORM_PASSES_H
 
+#include "analysis/Findings.h"
 #include "ir/Ir.h"
 #include "support/Errors.h"
+#include "transform/Occupancy.h"
 
 #include <functional>
+#include <string>
 #include <vector>
 
 namespace dcb {
@@ -67,6 +70,75 @@ unsigned insertAfter(ir::Kernel &K, const InstPredicate &Pred,
 /// Sound but slower than compiler scheduling — the price of editing code
 /// without the vendor's latency tables.
 void recomputeControlInfo(ir::Kernel &K);
+
+// --- Post-transform verification -----------------------------------------
+//
+// Transforms used to be trusted blindly; these checks make a broken edit
+// loud before it reaches the assembler. Built on src/analysis: CFG
+// validation (CFG001), SCHI hazard checking (HAZ*), an inserted-code
+// clobber check against liveness (VER001) and a register-pressure /
+// occupancy cross-check (VER002).
+
+struct VerifyOptions {
+  bool CheckCfg = true;
+  bool CheckHazards = true;
+  /// VER001: an inserted instruction overwrites a register or predicate
+  /// some *original* instruction still reads. Uses liveness restricted to
+  /// original uses, so instrumentation payloads may feed their own
+  /// scratch registers freely.
+  bool CheckClobbers = true;
+  /// VER002: liveness pressure and transform::Occupancy must agree
+  /// (peak live registers cannot exceed the referenced-register count,
+  /// and occupancy at the live peak cannot be worse than at the full
+  /// footprint).
+  bool CheckPressure = true;
+  unsigned ThreadsPerBlock = 256; ///< Launch shape for the occupancy check.
+};
+
+/// Runs every enabled check over \p K. An empty (clean) report means the
+/// kernel is structurally sound under the framework's public model.
+analysis::Report verifyKernel(const ir::Kernel &K,
+                              const VerifyOptions &Opts = {});
+
+/// The liveness-vs-occupancy cross-check data (also surfaced by
+/// `dcb analyze --liveness`).
+struct PressureReport {
+  unsigned LiveRegs = 0;  ///< Peak simultaneously live general registers.
+  unsigned LivePreds = 0; ///< Peak simultaneously live predicates.
+  unsigned UsageRegs = 0; ///< Distinct general registers referenced.
+  unsigned AllocRegs = 0; ///< Highest referenced register id + 1.
+  Occupancy LiveOcc;      ///< Occupancy if compacted to the live peak.
+  Occupancy UsageOcc;     ///< Occupancy at the current footprint.
+};
+PressureReport pressureReport(const ir::Kernel &K,
+                              unsigned ThreadsPerBlock = 256);
+
+/// One named transformation in a pipeline.
+struct Pass {
+  std::string Name;
+  std::function<void(ir::Kernel &)> Fn;
+};
+
+struct PipelineOptions {
+  /// Verify after the pipeline runs. On by default: every transform
+  /// pipeline must produce hazard-clean, liveness-consistent IR.
+  bool Verify = true;
+  VerifyOptions Verification;
+};
+
+struct PipelineResult {
+  analysis::Report Verification;
+  bool Verified = false; ///< False when PipelineOptions::Verify was off.
+
+  /// True when verification ran clean (or was disabled).
+  bool ok() const { return Verification.clean(); }
+};
+
+/// Runs \p Passes over \p K in order, then the post-transform verifier.
+/// The kernel is mutated in place either way; callers must treat a
+/// non-ok() result as a failed transformation.
+PipelineResult runPasses(ir::Kernel &K, const std::vector<Pass> &Passes,
+                         const PipelineOptions &Opts = {});
 
 } // namespace transform
 } // namespace dcb

@@ -2,6 +2,9 @@
 
 #include "transform/Registers.h"
 
+#include "analysis/RegModel.h"
+
+#include <algorithm>
 #include <cassert>
 
 using namespace dcb;
@@ -12,91 +15,24 @@ using ir::Kernel;
 using sass::Operand;
 using sass::OperandKind;
 
-namespace {
-
-/// Number of consecutive registers operand \p Idx of \p Asm occupies.
-/// Approximations follow the ISA conventions: D-prefixed (double) opcodes
-/// use pairs for their register operands; memory ops use the size modifier
-/// for the data register; F2F/F2I/I2F widen per their format modifiers.
-unsigned operandWidth(const sass::Instruction &Asm, size_t Idx) {
-  const std::string &Op = Asm.Opcode;
-  auto memWidth = [&Asm]() {
-    for (const std::string &Mod : Asm.Modifiers) {
-      if (Mod == "64")
-        return 2u;
-      if (Mod == "128")
-        return 4u;
-    }
-    return 1u;
-  };
-  const bool IsLoad = Op == "LD" || Op == "LDG" || Op == "LDL" ||
-                      Op == "LDS" || Op == "LDC";
-  const bool IsStore =
-      Op == "ST" || Op == "STG" || Op == "STL" || Op == "STS";
-  if (IsLoad && Idx == 0)
-    return memWidth();
-  if (IsStore && Idx == 1)
-    return memWidth();
-
-  // Double-precision operations use register pairs for register operands.
-  if ((Op == "DADD" || Op == "DMUL" || Op == "DFMA") &&
-      Asm.Operands[Idx].Kind == OperandKind::Register)
-    return 2;
-
-  // Casts: the side whose format modifier says F64 is a pair. Modifier
-  // order is <dst>.<src>.
-  if ((Op == "F2F" || Op == "F2I" || Op == "I2F") &&
-      Asm.Modifiers.size() >= 2) {
-    const std::string &Fmt = Asm.Modifiers[Idx == 0 ? 0 : 1];
-    if (Fmt == "F64" || Fmt == "S64" || Fmt == "U64")
-      return 2;
-  }
-  return 1;
-}
-
-/// Visits every register reference of an operand: the main value, memory
-/// bases and const-memory index registers. \p Visit receives (register id,
-/// width, isGroupRoot).
-template <typename Fn>
-void visitOperandRegs(const sass::Instruction &Asm, size_t Idx, Fn Visit) {
-  const Operand &Op = Asm.Operands[Idx];
-  switch (Op.Kind) {
-  case OperandKind::Register:
-    if (Op.Value[0] >= 0)
-      Visit(static_cast<unsigned>(Op.Value[0]), operandWidth(Asm, Idx));
-    break;
-  case OperandKind::Memory:
-    if (Op.Value[0] >= 0)
-      Visit(static_cast<unsigned>(Op.Value[0]), 1u);
-    break;
-  case OperandKind::ConstMem:
-    if (Op.HasRegister && Op.Value[2] >= 0)
-      Visit(static_cast<unsigned>(Op.Value[2]), 1u);
-    break;
-  default:
-    break;
-  }
-}
-
-} // namespace
-
 RegisterUsage transform::analyzeRegisterUsage(const Kernel &K) {
   RegisterUsage Usage;
-  // First pass: record the widest group rooted at each register.
+  // First pass: record the widest group rooted at each register. The
+  // register/width model is shared with the analysis layer; predicate
+  // slots are filtered out because usage tracks the general file only.
   for (const Block &B : K.Blocks) {
     for (const Inst &Entry : B.Insts) {
-      for (size_t Idx = 0; Idx < Entry.Asm.Operands.size(); ++Idx) {
-        visitOperandRegs(Entry.Asm, Idx,
-                         [&Usage](unsigned Reg, unsigned Width) {
-                           auto [It, Inserted] =
-                               Usage.Groups.try_emplace(Reg, Width);
-                           if (!Inserted && It->second < Width)
-                             It->second = Width;
-                           Usage.MaxRegister =
-                               std::max(Usage.MaxRegister,
-                                        static_cast<int>(Reg + Width - 1));
-                         });
-      }
+      analysis::visitRegs(
+          Entry.Asm, [&Usage](int Slot, unsigned Width, bool /*IsDef*/) {
+            if (!analysis::isRegSlot(static_cast<unsigned>(Slot)))
+              return;
+            const unsigned Reg = static_cast<unsigned>(Slot);
+            auto [It, Inserted] = Usage.Groups.try_emplace(Reg, Width);
+            if (!Inserted && It->second < Width)
+              It->second = Width;
+            Usage.MaxRegister = std::max(
+                Usage.MaxRegister, static_cast<int>(Reg + Width - 1));
+          });
     }
   }
   // Second pass: registers covered by a wider group are not independent

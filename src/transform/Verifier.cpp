@@ -1,0 +1,173 @@
+//===- transform/Verifier.cpp - Post-transform binary verifier ------------===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The safety net under every transformation pipeline. Passes edit decoded
+/// binaries without the compiler's knowledge, so each pipeline run ends in
+/// a verification sweep built on src/analysis:
+///
+///   CFG001  broken successor / reconvergence edges   (analysis::validateCfg)
+///   HAZ*    SCHI control-word violations             (analysis::checkHazards)
+///   VER001  inserted instruction clobbers a register an original
+///           instruction still reads (liveness restricted to original uses)
+///   VER002  liveness pressure disagrees with the register-usage footprint
+///           or the occupancy model (peak live > referenced count, or
+///           occupancy at the live peak worse than at the full footprint)
+///
+//===----------------------------------------------------------------------===//
+
+#include "transform/Passes.h"
+
+#include "analysis/Cfg.h"
+#include "analysis/Hazards.h"
+#include "analysis/Liveness.h"
+#include "analysis/RegModel.h"
+#include "transform/Occupancy.h"
+#include "transform/Registers.h"
+#include "support/Telemetry.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+using namespace dcb;
+using namespace dcb::transform;
+using analysis::Finding;
+using analysis::Report;
+
+namespace {
+
+struct Metrics {
+  telemetry::Counter &Runs = telemetry::counter("analysis.verify.runs");
+  telemetry::Counter &Found = telemetry::counter("analysis.verify.findings");
+};
+Metrics &metrics() {
+  static Metrics M;
+  return M;
+}
+
+/// VER001: walks every block backward with liveness restricted to original
+/// uses and flags inserted instructions whose definitions overwrite a slot
+/// that is still live-after. Defs count regardless of guard — a predicated
+/// clobber is still a clobber on the taken path.
+void checkClobbers(const ir::Kernel &K, Report &R) {
+  analysis::LivenessOptions LO;
+  LO.OriginalUsesOnly = true;
+  analysis::Liveness L = analysis::computeLiveness(K, LO);
+
+  for (size_t B = 0; B < K.Blocks.size(); ++B) {
+    L.forEachLiveAfter(
+        K, static_cast<int>(B), LO,
+        [&](int InstIdx, const analysis::BitSet &LiveAfter) {
+          const ir::Inst &Entry = K.Blocks[B].Insts[InstIdx];
+          if (!Entry.isInserted())
+            return;
+          analysis::visitRegs(
+              Entry.Asm, [&](int Slot, unsigned Width, bool IsDef) {
+                if (!IsDef)
+                  return;
+                const unsigned End = std::min<unsigned>(
+                    Slot + Width, analysis::isRegSlot(Slot)
+                                      ? analysis::kNumRegSlots
+                                      : analysis::kNumSlots);
+                for (unsigned S = static_cast<unsigned>(Slot); S < End; ++S) {
+                  if (!LiveAfter.test(S))
+                    continue;
+                  Finding F;
+                  F.Rule = "VER001";
+                  F.Kernel = K.Name;
+                  F.Block = static_cast<int>(B);
+                  F.Inst = InstIdx;
+                  F.Object = Entry.Asm.Opcode;
+                  F.Message = "inserted instruction overwrites " +
+                              analysis::slotName(S) +
+                              ", which an original instruction still reads";
+                  R.add(std::move(F));
+                  break; // One finding per def operand is enough.
+                }
+              });
+        });
+  }
+}
+
+/// VER002: the cross-check between two independent register models.
+void checkPressure(const ir::Kernel &K, unsigned ThreadsPerBlock, Report &R) {
+  PressureReport P = pressureReport(K, ThreadsPerBlock);
+  auto add = [&](std::string Msg) {
+    Finding F;
+    F.Rule = "VER002";
+    F.Kernel = K.Name;
+    F.Object = "pressure";
+    F.Message = std::move(Msg);
+    R.add(std::move(F));
+  };
+  if (P.LiveRegs > P.UsageRegs)
+    add("peak live registers (" + std::to_string(P.LiveRegs) +
+        ") exceed the number of referenced registers (" +
+        std::to_string(P.UsageRegs) + ")");
+  if (P.LiveOcc.ResidentWarps < P.UsageOcc.ResidentWarps)
+    add("occupancy at the live peak (" +
+        std::to_string(P.LiveOcc.ResidentWarps) +
+        " warps) is worse than at the full footprint (" +
+        std::to_string(P.UsageOcc.ResidentWarps) +
+        " warps); the occupancy model is inconsistent");
+}
+
+} // namespace
+
+PressureReport transform::pressureReport(const ir::Kernel &K,
+                                         unsigned ThreadsPerBlock) {
+  PressureReport P;
+  analysis::Liveness L = analysis::computeLiveness(K);
+  P.LiveRegs = L.MaxLiveRegs;
+  P.LivePreds = L.MaxLivePreds;
+
+  RegisterUsage Usage = analyzeRegisterUsage(K);
+  P.UsageRegs = Usage.liveCount();
+  P.AllocRegs = Usage.MaxRegister >= 0
+                    ? static_cast<unsigned>(Usage.MaxRegister) + 1
+                    : 0;
+
+  P.LiveOcc = computeOccupancy(K.A, P.LiveRegs, K.SharedMemBytes,
+                               ThreadsPerBlock);
+  P.UsageOcc = computeOccupancy(K.A, P.AllocRegs, K.SharedMemBytes,
+                                ThreadsPerBlock);
+  return P;
+}
+
+Report transform::verifyKernel(const ir::Kernel &K,
+                               const VerifyOptions &Opts) {
+  DCB_SPAN("analysis.verify");
+  metrics().Runs.add(1);
+
+  Report R;
+  if (Opts.CheckCfg)
+    R.append(analysis::validateCfg(K));
+  if (Opts.CheckHazards)
+    R.append(analysis::checkHazards(K));
+  if (Opts.CheckClobbers)
+    checkClobbers(K, R);
+  if (Opts.CheckPressure)
+    checkPressure(K, Opts.ThreadsPerBlock, R);
+
+  metrics().Found.add(R.Findings.size());
+  return R;
+}
+
+PipelineResult transform::runPasses(ir::Kernel &K,
+                                    const std::vector<Pass> &Passes,
+                                    const PipelineOptions &Opts) {
+  DCB_SPAN("transform.pipeline");
+  for (const Pass &P : Passes)
+    if (P.Fn)
+      P.Fn(K);
+  PipelineResult Result;
+  if (Opts.Verify) {
+    Result.Verified = true;
+    Result.Verification = verifyKernel(K, Opts.Verification);
+  }
+  return Result;
+}

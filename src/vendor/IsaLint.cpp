@@ -1,0 +1,248 @@
+//===- vendor/IsaLint.cpp -------------------------------------------------===//
+
+#include "vendor/IsaLint.h"
+
+#include "analysis/DbLint.h"
+#include "isa/DecodeIndex.h"
+#include "isa/Spec.h"
+#include "support/Telemetry.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace dcb;
+using namespace dcb::vendor;
+using analysis::Finding;
+using analysis::LintOperation;
+using analysis::Report;
+using isa::ArchSpec;
+using isa::DecodeIndex;
+using isa::FieldRef;
+using isa::InstrSpec;
+using isa::ModifierGroup;
+using isa::OperandSlot;
+
+namespace {
+
+struct Metrics {
+  telemetry::Counter &Forms = telemetry::counter("analysis.isalint.forms");
+  telemetry::Counter &Found = telemetry::counter("analysis.isalint.findings");
+};
+Metrics &metrics() {
+  static Metrics M;
+  return M;
+}
+
+std::string formName(const InstrSpec &Spec) {
+  return Spec.Mnemonic + "/" + Spec.FormTag;
+}
+
+Finding specFinding(const char *Rule, const ArchSpec &Spec,
+                    std::string Object, std::string Message) {
+  Finding F;
+  F.Rule = Rule;
+  F.Object = std::move(Object);
+  F.Message = std::string(Spec.name()) + " tables: " + std::move(Message);
+  return F;
+}
+
+/// ENC007: replays SpecBuilder's claim bookkeeping without its asserts
+/// (which vanish in Release builds — the linter is the production check).
+void lintClaims(const ArchSpec &Spec, const InstrSpec &Form, Report &R) {
+  std::vector<int> ClaimedBy(Spec.WordBits, -1); // Claim site index.
+  std::vector<std::string> Sites;
+  auto claimBit = [&](unsigned Bit, const std::string &Site) {
+    if (Bit >= Spec.WordBits) {
+      R.add(specFinding("ENC007", Spec, formName(Form),
+                        Site + " claims bit " + std::to_string(Bit) +
+                            " outside the " +
+                            std::to_string(Spec.WordBits) +
+                            "-bit instruction word"));
+      return;
+    }
+    if (ClaimedBy[Bit] >= 0) {
+      R.add(specFinding("ENC007", Spec, formName(Form),
+                        Site + " overlaps " + Sites[ClaimedBy[Bit]] +
+                            " at bit " + std::to_string(Bit)));
+      return;
+    }
+    ClaimedBy[Bit] = static_cast<int>(Sites.size());
+  };
+  auto claimField = [&](FieldRef Field, const std::string &Site) {
+    if (!Field.valid())
+      return;
+    for (unsigned I = 0; I < Field.Width; ++I)
+      claimBit(Field.Lo + I, Site);
+    Sites.push_back(Site);
+  };
+  auto claimSingle = [&](uint8_t Bit, const std::string &Site) {
+    if (Bit == 0xff)
+      return;
+    claimBit(Bit, Site);
+    Sites.push_back(Site);
+  };
+
+  // Opcode bits (low word only, as in InstrBuilder::fixed).
+  for (unsigned B = 0; B < 64 && B < Spec.WordBits; ++B)
+    if ((Form.OpcodeMask >> B) & 1)
+      claimBit(B, "opcode");
+  Sites.push_back("opcode");
+
+  claimField(Spec.GuardField, "guard");
+  for (size_t I = 0; I < Form.Operands.size(); ++I) {
+    const OperandSlot &Slot = Form.Operands[I];
+    const std::string Site = "operand " + std::to_string(I);
+    claimField(Slot.Fields[0], Site);
+    claimField(Slot.Fields[1], Site + " (secondary)");
+    claimSingle(Slot.NegBit, Site + " neg");
+    claimSingle(Slot.AbsBit, Site + " abs");
+    claimSingle(Slot.InvBit, Site + " inv");
+    claimSingle(Slot.NotBit, Site + " not");
+  }
+  for (size_t G = 0; G < Form.ModGroups.size(); ++G)
+    claimField(Form.ModGroups[G].Field,
+               "modifier group " + Form.ModGroups[G].TypeName);
+}
+
+void lintModGroups(const ArchSpec &Spec, const InstrSpec &Form, Report &R) {
+  for (const ModifierGroup &Group : Form.ModGroups) {
+    if (!Group.Field.valid())
+      continue;
+    // ENC004: group field bits that the fixed opcode pattern already
+    // constrains — writing any modifier would corrupt the opcode.
+    uint64_t FieldMask = 0;
+    if (Group.Field.Lo < 64) {
+      unsigned Width = Group.Field.Width;
+      if (Group.Field.Lo + Width > 64)
+        Width = 64 - Group.Field.Lo;
+      FieldMask = (Width >= 64 ? ~uint64_t(0)
+                               : ((uint64_t(1) << Width) - 1))
+                  << Group.Field.Lo;
+    }
+    if ((FieldMask & Form.OpcodeMask) != 0)
+      R.add(specFinding("ENC004", Spec,
+                        formName(Form) + "." + Group.TypeName,
+                        "modifier group field overlaps the form's fixed "
+                        "opcode bits"));
+
+    std::map<uint64_t, const char *> Seen;
+    for (const isa::ModifierChoice &Choice : Group.Choices) {
+      // ENC006: a value the field cannot hold.
+      if (Group.Field.Width < 64 &&
+          (Choice.Value >> Group.Field.Width) != 0)
+        R.add(specFinding("ENC006", Spec,
+                          formName(Form) + "." + Group.TypeName + "." +
+                              Choice.Name,
+                          "choice value " + std::to_string(Choice.Value) +
+                              " is wider than the " +
+                              std::to_string(Group.Field.Width) +
+                              "-bit field"));
+      // ENC005: two spellings for one encoding are un-roundtrippable.
+      auto [It, Inserted] =
+          Seen.emplace(Choice.Value, Choice.Name.c_str());
+      if (!Inserted)
+        R.add(specFinding("ENC005", Spec,
+                          formName(Form) + "." + Group.TypeName,
+                          "choices '" + std::string(It->second) +
+                              "' and '" + Choice.Name +
+                              "' share encoding value " +
+                              std::to_string(Choice.Value)));
+    }
+  }
+}
+
+void lintDecodeIndex(const ArchSpec &Spec, Report &R) {
+  const DecodeIndex &Idx = Spec.freezeDecode();
+
+  // IDX001: an entry no word can reach because an earlier entry in the
+  // same bucket subsumes it.
+  for (size_t B = 0; B < Idx.numBuckets(); ++B) {
+    std::vector<DecodeIndex::EntryView> Entries = Idx.bucketEntries(B);
+    for (size_t J = 1; J < Entries.size(); ++J) {
+      for (size_t I = 0; I < J; ++I) {
+        const bool MaskSubset =
+            (Entries[I].Mask & ~Entries[J].Mask) == 0;
+        const bool ValuesAgree =
+            ((Entries[I].Value ^ Entries[J].Value) & Entries[I].Mask) == 0;
+        if (MaskSubset && ValuesAgree) {
+          R.add(specFinding(
+              "IDX001", Spec,
+              formName(*Entries[J].Spec),
+              "bucket " + std::to_string(B) + " entry is shadowed by '" +
+                  formName(*Entries[I].Spec) +
+                  "': no word can reach it"));
+          break;
+        }
+      }
+    }
+  }
+
+  // IDX002: replication coverage. Every assignment of the selector bits a
+  // form leaves unconstrained must lead to a bucket containing the form.
+  const std::vector<uint8_t> &Sel = Idx.selectorBits();
+  for (const InstrSpec &Form : Spec.Instrs) {
+    std::vector<uint8_t> Unconstrained;
+    for (uint8_t Bit : Sel)
+      if (((Form.OpcodeMask >> Bit) & 1) == 0)
+        Unconstrained.push_back(Bit);
+    const size_t Combos = size_t(1) << Unconstrained.size();
+    for (size_t Assign = 0; Assign < Combos; ++Assign) {
+      uint64_t Low = Form.OpcodeValue;
+      for (size_t I = 0; I < Unconstrained.size(); ++I)
+        if ((Assign >> I) & 1)
+          Low |= uint64_t(1) << Unconstrained[I];
+      bool Present = false;
+      for (const DecodeIndex::EntryView &E :
+           Idx.bucketEntries(Idx.bucketIndexOf(Low)))
+        if (E.Spec == &Form) {
+          Present = true;
+          break;
+        }
+      if (!Present) {
+        R.add(specFinding("IDX002", Spec, formName(Form),
+                          "form is missing from the bucket selector "
+                          "assignment " +
+                              std::to_string(Assign) +
+                              " dispatches to (broken replication)"));
+        break; // One finding per form is enough.
+      }
+    }
+  }
+}
+
+} // namespace
+
+Report vendor::lintIsaSpec(const ArchSpec &Spec) {
+  DCB_SPAN("analysis.isalint");
+  metrics().Forms.add(Spec.Instrs.size());
+
+  // Shared ENC001..ENC003 over the neutral model. Ground-truth modifier
+  // semantics differ from learned patterns, so Mods stays empty here and
+  // the modifier rules below work on the real group/choice structure.
+  std::vector<LintOperation> Ops;
+  Ops.reserve(Spec.Instrs.size());
+  for (const InstrSpec &Form : Spec.Instrs) {
+    LintOperation Op;
+    Op.Name = formName(Form);
+    Op.WordBits = Spec.WordBits;
+    Op.Opcode.Value[0] = Form.OpcodeValue;
+    Op.Opcode.Mask[0] = Form.OpcodeMask;
+    Ops.push_back(std::move(Op));
+  }
+  Report R = analysis::lintOperations(Ops, std::string(Spec.name()) +
+                                               " tables");
+
+  for (const InstrSpec &Form : Spec.Instrs) {
+    lintClaims(Spec, Form, R);
+    lintModGroups(Spec, Form, R);
+  }
+  lintDecodeIndex(Spec, R);
+
+  metrics().Found.add(R.Findings.size());
+  return R;
+}
+
+Report vendor::lintIsaTables(Arch A) {
+  return lintIsaSpec(isa::getArchSpec(A));
+}

@@ -1,0 +1,48 @@
+//===- vendor/IsaLint.h - Ground-truth ISA table linter ---------*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The vendor-side adapter that runs the analysis layer's encoding-lint
+/// rules over the hidden ground-truth tables (`isa::ArchSpec`) and their
+/// frozen `isa::DecodeIndex`. Lives under src/vendor because the analyzer
+/// firewall forbids `src/analysis` from including `isa/` headers; the
+/// findings come back in the same `analysis::Report` currency.
+///
+/// Ground-truth-only rules on top of the shared ENC001..ENC003:
+///   ENC004 modifier-group field overlaps the form's fixed opcode bits
+///   ENC005 duplicate choice value inside one modifier group
+///   ENC006 choice value wider than the group's field
+///   ENC007 two claimed fields of one form overlap
+///   IDX001 decode-index bucket entry shadowed by an earlier entry
+///   IDX002 form missing from a bucket its pattern is compatible with
+///           (broken unconstrained-selector-bit replication)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_VENDOR_ISALINT_H
+#define DCB_VENDOR_ISALINT_H
+
+#include "analysis/Findings.h"
+#include "support/Arch.h"
+
+namespace dcb {
+namespace isa {
+struct ArchSpec;
+} // namespace isa
+
+namespace vendor {
+
+/// Audits one spec (forms + modifier layout + decode index). Builds the
+/// spec's decode index if it is not frozen yet.
+analysis::Report lintIsaSpec(const isa::ArchSpec &Spec);
+
+/// Audits the built-in tables for \p A.
+analysis::Report lintIsaTables(Arch A);
+
+} // namespace vendor
+} // namespace dcb
+
+#endif // DCB_VENDOR_ISALINT_H

@@ -123,6 +123,10 @@ std::vector<CtrlInfo> scheduleCtrl(const ArchSpec &Spec,
           std::min<uint64_t>(Ctrl[I - 1].Stall + Extra, MaxStall);
       Ctrl[I - 1].Stall = static_cast<unsigned>(NewStall);
       Ctrl[I - 1].DualIssue = false;
+      // The stretch can push the predecessor past the yield threshold
+      // after its own yield hint was already decided.
+      if (!KeplerStyle && NewStall >= 12)
+        Ctrl[I - 1].Yield = true;
       Dispatch = Need;
     }
     Slack[I] = Dispatch - Need;

@@ -326,3 +326,133 @@ TEST(IrBincode, MalformedBincodeIsRejected) {
   Expected<std::vector<uint8_t>> Code = emitKernel(E.Db, K);
   EXPECT_FALSE(Code.hasValue());
 }
+
+// --- Successor-edge shape regressions (hand-built listings) --------------
+//
+// Each test hand-assembles a ListingKernel with the SCHI address cadence of
+// the target architecture, so the builder sees exactly the layout the
+// disassembler would produce, without involving the compiler oracle.
+
+namespace {
+
+analyzer::ListingKernel makeShapeKernel(Arch A,
+                                        const std::vector<std::string> &Lines) {
+  const unsigned Group = schiGroupSize(archSchiKind(A));
+  const unsigned WordBytes = archWordBits(A) / 8;
+  analyzer::ListingKernel KL;
+  KL.Name = "shape";
+  for (size_t I = 0; I < Lines.size(); ++I) {
+    analyzer::ListingInst Pair;
+    // Instructions occupy every word except the leading SCHI word of each
+    // group (slot 0); with Group == 1 there are no SCHI words at all.
+    uint64_t Word =
+        Group == 1 ? I : (I / (Group - 1)) * Group + 1 + I % (Group - 1);
+    Pair.Address = Word * WordBytes;
+    Expected<sass::Instruction> P = sass::parseInstruction(Lines[I]);
+    EXPECT_TRUE(P.hasValue()) << Lines[I] << ": " << P.message();
+    Pair.Inst = P.takeValue();
+    KL.Insts.push_back(std::move(Pair));
+  }
+  return KL;
+}
+
+Kernel buildShape(Arch A, const std::vector<std::string> &Lines) {
+  Expected<Kernel> K = buildKernel(A, makeShapeKernel(A, Lines));
+  EXPECT_TRUE(K.hasValue()) << K.message();
+  return K.takeValue();
+}
+
+} // namespace
+
+TEST(IrSuccs, GuardedBranchKeepsFallThrough) {
+  Kernel K = buildShape(Arch::SM52, {
+                                        "@P0 BRA 0x18;", // BB0 -> BB2 + fall
+                                        "MOV R0, R1;",   // BB1
+                                        "EXIT;",         // BB2
+                                    });
+  ASSERT_EQ(K.Blocks.size(), 3u);
+  EXPECT_EQ(K.Blocks[0].Succs, (std::vector<int>{1, 2}));
+  EXPECT_EQ(K.Blocks[1].Succs, (std::vector<int>{2}));
+  EXPECT_TRUE(K.Blocks[2].Succs.empty());
+}
+
+TEST(IrSuccs, UnguardedBranchToNextBlockHasOneEdge) {
+  Kernel K = buildShape(Arch::SM52, {
+                                        "BRA 0x10;", // BB0 -> BB1, no fall
+                                        "EXIT;",     // BB1
+                                    });
+  ASSERT_EQ(K.Blocks.size(), 2u);
+  EXPECT_EQ(K.Blocks[0].Succs, (std::vector<int>{1}));
+}
+
+TEST(IrSuccs, SelfLoopBranch) {
+  Kernel K = buildShape(Arch::SM52, {"BRA 0x8;"});
+  ASSERT_EQ(K.Blocks.size(), 1u);
+  EXPECT_EQ(K.Blocks[0].Succs, (std::vector<int>{0}));
+}
+
+TEST(IrSuccs, GuardedExitFallsThrough) {
+  Kernel K = buildShape(Arch::SM52, {
+                                        "@P0 EXIT;",   // BB0
+                                        "MOV R0, R1;", // BB1
+                                        "EXIT;",       // BB1 (no leader)
+                                    });
+  ASSERT_EQ(K.Blocks.size(), 2u);
+  EXPECT_EQ(K.Blocks[0].Succs, (std::vector<int>{1}));
+  EXPECT_TRUE(K.Blocks[1].Succs.empty());
+}
+
+TEST(IrSuccs, UnguardedSyncJumpHasNoFallThroughEdge) {
+  // Regression: an unconditional SYNC whose reconvergence target is *not*
+  // the next block used to grow a spurious fall-through edge.
+  Kernel K = buildShape(Arch::SM52, {
+                                        "SSY 0x38;",     // BB0
+                                        "@P0 BRA 0x28;", // BB0 -> BB2 + fall
+                                        "MOV R0, R1;",   // BB1
+                                        "SYNC;",         // BB2 -> BB4 only
+                                        "MOV R2, R3;",   // BB3
+                                        "MOV R4, R5;",   // BB4 (SSY target)
+                                        "EXIT;",         // BB4
+                                    });
+  ASSERT_EQ(K.Blocks.size(), 5u);
+  EXPECT_EQ(K.Blocks[0].Succs, (std::vector<int>{1, 2}));
+  EXPECT_EQ(K.Blocks[1].Succs, (std::vector<int>{2}));
+  EXPECT_EQ(K.Blocks[2].Succs, (std::vector<int>{4}));
+  EXPECT_EQ(K.Blocks[2].ReconvergeBlock, 4);
+  EXPECT_EQ(K.Blocks[3].Succs, (std::vector<int>{4}));
+  EXPECT_EQ(K.Blocks[4].ReconvergeBlock, -1);
+}
+
+TEST(IrSuccs, GuardedSyncKeepsBothEdges) {
+  Kernel K = buildShape(Arch::SM52, {
+                                        "SSY 0x30;",   // BB0
+                                        "@P0 SYNC;",   // BB0 -> BB2 + fall
+                                        "MOV R0, R1;", // BB1
+                                        "SYNC;",       // BB1 -> BB2
+                                        "MOV R2, R3;", // BB2 (SSY target)
+                                        "EXIT;",       // BB2
+                                    });
+  ASSERT_EQ(K.Blocks.size(), 3u);
+  EXPECT_EQ(K.Blocks[0].Succs, (std::vector<int>{1, 2}));
+  EXPECT_EQ(K.Blocks[1].Succs, (std::vector<int>{2}));
+}
+
+TEST(IrSuccs, MarkerSModifierExecutesAndFallsThrough) {
+  // Regression: a Kepler-style ".S" reconvergence *marker* on an ordinary
+  // instruction is not a jump — the instruction executes and control
+  // continues into the next block. It used to receive a bogus edge to the
+  // armed SSY target.
+  Kernel K = buildShape(Arch::SM35, {
+                                        "SSY 0x30;",          // BB0
+                                        "@P0 BRA 0x28;",      // BB0
+                                        "MOV R0, R1;",        // BB1
+                                        "IADD.S R2, R3, R4;", // BB1 (marker)
+                                        "MOV R4, R5;",        // BB2
+                                        "EXIT;",              // BB3 (target)
+                                    });
+  ASSERT_EQ(K.Blocks.size(), 4u);
+  EXPECT_EQ(K.Blocks[0].Succs, (std::vector<int>{1, 2}));
+  EXPECT_EQ(K.Blocks[1].Succs, (std::vector<int>{2}));
+  EXPECT_EQ(K.Blocks[1].ReconvergeBlock, 3);
+  EXPECT_EQ(K.Blocks[2].Succs, (std::vector<int>{3}));
+}

@@ -12,14 +12,18 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/DbLint.h"
+#include "analysis/Hazards.h"
 #include "analyzer/IsaAnalyzer.h"
 #include "asmgen/TableAssembler.h"
+#include "ir/Builder.h"
 #include "encoder/Encoder.h"
 #include "isa/Spec.h"
 #include "sass/Parser.h"
 #include "sass/Printer.h"
 #include "support/Rng.h"
 #include "vendor/CuobjdumpSim.h"
+#include "vendor/IsaLint.h"
 #include "vendor/NvccSim.h"
 #include "vendor/SampleGen.h"
 
@@ -131,6 +135,51 @@ TEST_P(PropertyPerArch, LearnedDatabaseReassemblesRandomPrograms) {
   EXPECT_EQ(Identical, L->Kernels.front().Insts.size())
       << "first mismatch: "
       << (Mismatches.empty() ? "?" : Mismatches.front());
+}
+
+TEST_P(PropertyPerArch, FuzzedRoundTripsSatisfyTheCheckers) {
+  // 5. Checker soundness: anything the oracle pipeline produces — random
+  //    program in, vendor-scheduled binary out — must pass the SCHI
+  //    hazard rules, and the database learned from it must lint clean.
+  Arch A = GetParam();
+  const isa::ArchSpec &Spec = isa::getArchSpec(A);
+  Rng R(0x11171 + static_cast<uint64_t>(A));
+
+  std::vector<sass::Instruction> Program =
+      vendor::randomStraightLineProgram(Spec, R, 80);
+  vendor::KernelBuilder K("fuzz", A);
+  for (sass::Instruction &Inst : Program)
+    K.ins(Inst);
+  K.exit();
+
+  vendor::NvccSim Nvcc(A);
+  Expected<vendor::CompiledKernel> Compiled = Nvcc.compileKernel(K);
+  ASSERT_TRUE(Compiled.hasValue()) << Compiled.message();
+  Expected<std::string> Text =
+      vendor::disassembleKernelCode(A, "fuzz", Compiled->Section.Code);
+  ASSERT_TRUE(Text.hasValue()) << Text.message();
+  Expected<analyzer::Listing> L = analyzer::parseListing(
+      "code for " + std::string(archName(A)) + "\n" + *Text);
+  ASSERT_TRUE(L.hasValue()) << L.message();
+
+  Expected<ir::Program> P = ir::buildProgram(*L);
+  ASSERT_TRUE(P.hasValue()) << P.message();
+  for (const ir::Kernel &Kern : P->Kernels) {
+    analysis::Report Hazards = analysis::checkHazards(Kern);
+    EXPECT_EQ(Hazards.errorCount(), 0u) << Hazards.toText();
+  }
+
+  analyzer::IsaAnalyzer Analyzer(A);
+  ASSERT_FALSE(Analyzer.analyzeListing(*L));
+  analysis::Report Db = analysis::lintDatabase(Analyzer.database());
+  EXPECT_TRUE(Db.clean()) << Db.toText();
+}
+
+TEST_P(PropertyPerArch, GroundTruthIsaTablesLintClean) {
+  // The encoding linter's rules must hold for the hand-written vendor
+  // tables themselves: zero findings, any severity.
+  analysis::Report R = vendor::lintIsaTables(GetParam());
+  EXPECT_TRUE(R.clean()) << R.toText();
 }
 
 INSTANTIATE_TEST_SUITE_P(AllArchs, PropertyPerArch,

@@ -131,6 +131,47 @@ TEST(DcbTool, IrDumpAndInstrument) {
   EXPECT_NE(NewListing.find("MOV R10, RZ;"), std::string::npos);
 }
 
+TEST(DcbTool, LintAndAnalyzeModes) {
+  const std::string Dcb = toolPath();
+  const std::string Work = workDir();
+  ASSERT_EQ(runCmd("mkdir -p " + Work), 0);
+  ASSERT_EQ(runCmd(Dcb + " make-suite sm_52 -o " + Work +
+                   "/lint.cubin > /dev/null"),
+            0);
+
+  // A clean vendor binary lints with exit code 0.
+  ASSERT_EQ(runCmd(Dcb + " lint " + Work + "/lint.cubin > " + Work +
+                   "/lint.txt"),
+            0);
+  EXPECT_NE(slurp(Work + "/lint.txt").find("0 error(s), 0 warning(s)"),
+            std::string::npos);
+
+  // JSON report: schema marker present, saved to a file via --json=FILE.
+  ASSERT_EQ(runCmd(Dcb + " lint " + Work + "/lint.cubin --json=" + Work +
+                   "/lint.json > /dev/null"),
+            0);
+  std::string Json = slurp(Work + "/lint.json");
+  EXPECT_NE(Json.find("dcb-lint-v1"), std::string::npos);
+  EXPECT_NE(Json.find("\"errors\": 0"), std::string::npos);
+
+  // The ground-truth ISA tables audit clean for every generation.
+  ASSERT_EQ(runCmd(Dcb + " lint --isa all > /dev/null"), 0);
+
+  // Analysis modes over the same binary.
+  ASSERT_EQ(runCmd(Dcb + " analyze --liveness " + Work +
+                   "/lint.cubin > " + Work + "/live.txt"),
+            0);
+  EXPECT_NE(slurp(Work + "/live.txt").find("live regs"), std::string::npos);
+  ASSERT_EQ(runCmd(Dcb + " analyze --liveness --json " + Work +
+                   "/lint.cubin > " + Work + "/live.json"),
+            0);
+  EXPECT_NE(slurp(Work + "/live.json").find("dcb-analysis-v1"),
+            std::string::npos);
+  ASSERT_EQ(runCmd(Dcb + " analyze --hazards " + Work +
+                   "/lint.cubin > /dev/null"),
+            0);
+}
+
 TEST(DcbTool, AsmJobsOutputIsByteIdentical) {
   const std::string Dcb = toolPath();
   const std::string Work = workDir();

@@ -481,3 +481,118 @@ TEST(Occupancy, PerGenerationLimitsDiffer) {
   EXPECT_EQ(transform::smLimits(Arch::SM20).MaxRegsPerThread, 63u);
   EXPECT_EQ(transform::smLimits(Arch::SM35).MaxRegsPerThread, 255u);
 }
+
+// --- Post-transform verifier ----------------------------------------------
+
+namespace {
+
+bool hasRule(const analysis::Report &R, const std::string &Rule) {
+  for (const analysis::Finding &F : R.Findings)
+    if (F.Rule == Rule)
+      return true;
+  return false;
+}
+
+/// A small straight-line kernel where R2 is live between its def and a
+/// later use — the probe target for the clobber checks below.
+ir::Kernel liftProbeKernel(Pipeline &P) {
+  vendor::KernelBuilder K("probe", P.A);
+  K.ins("S2R R0, SR_TID.X;");
+  K.ins("IADD R2, R0, 0x7;");
+  K.ins("IADD R3, R2, 0x1;");
+  return P.lift(K.exit());
+}
+
+} // namespace
+
+TEST(Verifier, CleanPipelineVerifiesByDefault) {
+  Pipeline P(Arch::SM52);
+  ir::Kernel Kern = liftProbeKernel(P);
+  std::vector<Pass> Passes = {
+      {"clear-regs",
+       [](ir::Kernel &K) { clearRegistersBeforeExit(K, {2, 3}); }}};
+  PipelineResult R = runPasses(Kern, Passes);
+  EXPECT_TRUE(R.Verified) << "verification must be on by default";
+  EXPECT_TRUE(R.ok()) << R.Verification.toText();
+}
+
+TEST(Verifier, CatchesClobberOfLiveRegister) {
+  // A buggy pass inserts MOV R2, RZ between R2's def and its original
+  // use: the verifier must flag the inserted instruction as a clobber.
+  Pipeline P(Arch::SM52);
+  ir::Kernel Kern = liftProbeKernel(P);
+  std::vector<Pass> Passes = {
+      {"inject-clobber", [](ir::Kernel &K) {
+         for (ir::Block &B : K.Blocks) {
+           for (size_t I = 0; I < B.Insts.size(); ++I) {
+             const sass::Instruction &Asm = B.Insts[I].Asm;
+             if (Asm.Opcode != "IADD" || Asm.Operands.empty() ||
+                 Asm.Operands[0].Value[0] != 3)
+               continue;
+             ir::Inst Clobber;
+             Expected<sass::Instruction> Parsed =
+                 sass::parseInstruction("MOV R2, RZ;");
+             ASSERT_TRUE(Parsed.hasValue());
+             Clobber.Asm = Parsed.takeValue();
+             Clobber.Ctrl = ir::conservativeCtrl();
+             // OrigAddress stays kNoAddress: this is inserted code.
+             B.Insts.insert(B.Insts.begin() + static_cast<long>(I),
+                            std::move(Clobber));
+             return;
+           }
+         }
+         FAIL() << "probe use not found";
+       }}};
+  PipelineResult R = runPasses(Kern, Passes);
+  ASSERT_TRUE(R.Verified);
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(hasRule(R.Verification, "VER001")) << R.Verification.toText();
+}
+
+TEST(Verifier, CatchesStallCountViolation) {
+  // A pass that corrupts scheduling info must be caught by the SCHI
+  // hazard rules (Maxwell stall counts saturate at 15).
+  Pipeline P(Arch::SM52);
+  ir::Kernel Kern = liftProbeKernel(P);
+  std::vector<Pass> Passes = {{"break-schi", [](ir::Kernel &K) {
+                                 ASSERT_FALSE(K.Blocks.empty());
+                                 ASSERT_FALSE(K.Blocks[0].Insts.empty());
+                                 K.Blocks[0].Insts[0].Ctrl.Stall = 20;
+                               }}};
+  PipelineResult R = runPasses(Kern, Passes);
+  ASSERT_TRUE(R.Verified);
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(hasRule(R.Verification, "HAZ001")) << R.Verification.toText();
+}
+
+TEST(Verifier, CanBeDisabled) {
+  Pipeline P(Arch::SM52);
+  ir::Kernel Kern = liftProbeKernel(P);
+  PipelineOptions Opts;
+  Opts.Verify = false;
+  std::vector<Pass> Passes = {{"break-schi", [](ir::Kernel &K) {
+                                 K.Blocks[0].Insts[0].Ctrl.Stall = 20;
+                               }}};
+  PipelineResult R = runPasses(Kern, Passes, Opts);
+  EXPECT_FALSE(R.Verified);
+  EXPECT_TRUE(R.ok()) << "skipped verification reports an empty (clean) "
+                         "report";
+}
+
+TEST(Verifier, VendorSuiteVerifiesClean) {
+  // Untransformed vendor output must sail through every verifier rule:
+  // CFG, hazards, clobbers (no inserted code) and pressure.
+  vendor::NvccSim Nvcc(Arch::SM52);
+  Expected<elf::Cubin> Cubin = Nvcc.compile(workloads::buildSuite(Arch::SM52));
+  ASSERT_TRUE(Cubin.hasValue());
+  Expected<std::string> Text = vendor::disassembleCubin(*Cubin);
+  ASSERT_TRUE(Text.hasValue());
+  Expected<analyzer::Listing> L = analyzer::parseListing(*Text);
+  ASSERT_TRUE(L.hasValue());
+  Expected<ir::Program> Prog = ir::buildProgram(*L);
+  ASSERT_TRUE(Prog.hasValue());
+  for (const ir::Kernel &K : Prog->Kernels) {
+    analysis::Report R = verifyKernel(K);
+    EXPECT_TRUE(R.clean()) << K.Name << ":\n" << R.toText();
+  }
+}

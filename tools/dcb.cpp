@@ -18,6 +18,12 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Cfg.h"
+#include "analysis/DbLint.h"
+#include "analysis/Findings.h"
+#include "analysis/Hazards.h"
+#include "analysis/Liveness.h"
+#include "analysis/RegModel.h"
 #include "analyzer/BitFlipper.h"
 #include "analyzer/IsaAnalyzer.h"
 #include "asmgen/AssemblerGenerator.h"
@@ -26,6 +32,7 @@
 #include "ir/Layout.h"
 #include "transform/Passes.h"
 #include "vendor/CuobjdumpSim.h"
+#include "vendor/IsaLint.h"
 #include "vendor/NvccSim.h"
 #include "workloads/Suite.h"
 
@@ -82,14 +89,16 @@ struct Args {
       std::string Arg = Argv[I];
       if (Arg.rfind("--", 0) == 0 || Arg == "-o") {
         std::string Key = Arg == "-o" ? "--out" : Arg;
-        // --key=value binds the value inline; --stats alone is also legal
-        // (it is the only value-optional flag).
+        // --key=value binds the value inline; a few flags are also legal
+        // bare (--stats prints to stderr, --json prints to stdout, the
+        // mode/disable switches take no value at all).
         size_t Eq = Key.find('=');
         if (Eq != std::string::npos) {
           A.Options[Key.substr(0, Eq)] = Key.substr(Eq + 1);
           continue;
         }
-        if (Key == "--stats") {
+        if (Key == "--stats" || Key == "--json" || Key == "--liveness" ||
+            Key == "--hazards" || Key == "--no-verify") {
           A.Options[Key] = "";
           continue;
         }
@@ -139,6 +148,56 @@ analyzer::Listing loadListing(const std::string &Path) {
   return L.takeValue();
 }
 
+/// Loads \p Path as either a cubin (disassembling it first) or a listing,
+/// and lifts it to IR. The lint/analyze commands accept both formats.
+ir::Program loadProgramFile(const std::string &Path) {
+  std::string Raw = readFile(Path);
+  std::string ListingText;
+  Expected<elf::Cubin> Cubin =
+      elf::Cubin::deserialize(std::vector<uint8_t>(Raw.begin(), Raw.end()));
+  if (Cubin) {
+    Expected<std::string> Text = vendor::disassembleCubin(*Cubin);
+    if (!Text)
+      die(Text.message());
+    ListingText = std::move(*Text);
+  } else {
+    ListingText = std::move(Raw);
+  }
+  Expected<analyzer::Listing> L = analyzer::parseListing(ListingText);
+  if (!L)
+    die(Path + ": not a cubin, and not a listing either: " + L.message());
+  Expected<ir::Program> P = ir::buildProgram(*L);
+  if (!P)
+    die(P.message());
+  return P.takeValue();
+}
+
+/// Renders \p R as text (stdout) or as dcb-lint-v1 JSON (stdout or a file)
+/// per the --json option, and returns the process exit code.
+int emitReport(const analysis::Report &R, const std::string &Target,
+               const std::optional<std::string> &Json) {
+  if (Json) {
+    std::string Doc = R.toJson(Target);
+    if (Json->empty())
+      std::fputs(Doc.c_str(), stdout);
+    else
+      writeFile(*Json, Doc);
+  } else {
+    std::fputs(R.toText().c_str(), stdout);
+  }
+  return R.clean() ? 0 : 1;
+}
+
+/// The architectures `--isa all` audits: every fully supported generation
+/// plus the partially decoded Volta tables.
+std::vector<Arch> allIsaArchs() {
+  unsigned Count = 0;
+  const Arch *All = supportedArchs(Count);
+  std::vector<Arch> Archs(All, All + Count);
+  Archs.push_back(Arch::SM70);
+  return Archs;
+}
+
 int cmdMakeSuite(const Args &A) {
   if (A.Positional.empty())
     die("usage: dcb make-suite <arch> -o <cubin>");
@@ -176,7 +235,115 @@ int cmdDisasm(const Args &A) {
   return 0;
 }
 
+/// Comma-separated slot names of a live set ("-" when empty).
+std::string slotList(const analysis::BitSet &S) {
+  std::string Out;
+  S.forEach([&Out](unsigned Slot) {
+    if (!Out.empty())
+      Out += ",";
+    Out += analysis::slotName(Slot);
+  });
+  return Out.empty() ? "-" : Out;
+}
+
+std::string slotListJson(const analysis::BitSet &S) {
+  std::string Out = "[";
+  bool First = true;
+  S.forEach([&](unsigned Slot) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\"" + analysis::slotName(Slot) + "\"";
+  });
+  return Out + "]";
+}
+
+/// `dcb analyze --liveness`: the dataflow report (per-block live-in/out,
+/// peak pressure, and the occupancy cross-check of docs/ANALYSIS.md).
+int cmdAnalyzeLiveness(const Args &A) {
+  const std::string &Path = A.Positional[0];
+  ir::Program P = loadProgramFile(Path);
+  std::optional<std::string> Json = A.get("--json");
+
+  std::string Doc = "{\"schema\": \"dcb-analysis-v1\", \"target\": \"";
+  analysis::appendJsonEscaped(Doc, Path);
+  Doc += "\", \"kernels\": [";
+  bool FirstKernel = true;
+  for (const ir::Kernel &K : P.Kernels) {
+    analysis::Liveness L = analysis::computeLiveness(K);
+    transform::PressureReport PR = transform::pressureReport(K);
+    if (Json) {
+      if (!FirstKernel)
+        Doc += ", ";
+      FirstKernel = false;
+      Doc += "{\"name\": \"";
+      analysis::appendJsonEscaped(Doc, K.Name);
+      Doc += "\", \"arch\": \"" + std::string(archName(K.A)) + "\"";
+      Doc += ", \"peak_live_regs\": " + std::to_string(L.MaxLiveRegs);
+      Doc += ", \"peak_live_preds\": " + std::to_string(L.MaxLivePreds);
+      Doc += ", \"peak_block\": " + std::to_string(L.PeakBlock);
+      Doc += ", \"peak_inst\": " + std::to_string(L.PeakInst);
+      Doc += ", \"referenced_regs\": " + std::to_string(PR.UsageRegs);
+      Doc += ", \"alloc_regs\": " + std::to_string(PR.AllocRegs);
+      Doc += ", \"occupancy\": {\"live_warps\": " +
+             std::to_string(PR.LiveOcc.ResidentWarps) +
+             ", \"footprint_warps\": " +
+             std::to_string(PR.UsageOcc.ResidentWarps) + "}";
+      Doc += ", \"blocks\": [";
+      for (size_t B = 0; B < K.Blocks.size(); ++B) {
+        if (B)
+          Doc += ", ";
+        Doc += "{\"live_in\": " + slotListJson(L.LiveIn[B]) +
+               ", \"live_out\": " + slotListJson(L.LiveOut[B]) + "}";
+      }
+      Doc += "]}";
+    } else {
+      std::printf("kernel %s (%s): peak %u live regs + %u preds at BB%d:%d\n",
+                  K.Name.c_str(), archName(K.A), L.MaxLiveRegs,
+                  L.MaxLivePreds, L.PeakBlock, L.PeakInst);
+      std::printf("  referenced %u regs (alloc %u); occupancy live %u "
+                  "warps, footprint %u warps\n",
+                  PR.UsageRegs, PR.AllocRegs, PR.LiveOcc.ResidentWarps,
+                  PR.UsageOcc.ResidentWarps);
+      for (size_t B = 0; B < K.Blocks.size(); ++B)
+        std::printf("  BB%zu live-in: %s live-out: %s\n", B,
+                    slotList(L.LiveIn[B]).c_str(),
+                    slotList(L.LiveOut[B]).c_str());
+    }
+  }
+  if (Json) {
+    Doc += "]}\n";
+    if (Json->empty())
+      std::fputs(Doc.c_str(), stdout);
+    else
+      writeFile(*Json, Doc);
+  }
+  return 0;
+}
+
+/// `dcb analyze --hazards`: CFG + SCHI hazard findings for one program.
+int cmdAnalyzeHazards(const Args &A) {
+  const std::string &Path = A.Positional[0];
+  ir::Program P = loadProgramFile(Path);
+  analysis::Report R;
+  for (const ir::Kernel &K : P.Kernels) {
+    R.append(analysis::validateCfg(K));
+    R.append(analysis::checkHazards(K));
+  }
+  return emitReport(R, Path, A.get("--json"));
+}
+
 int cmdAnalyze(const Args &A) {
+  const bool WantLiveness = A.Options.count("--liveness") != 0;
+  const bool WantHazards = A.Options.count("--hazards") != 0;
+  if (WantLiveness && WantHazards)
+    die("pick one of --liveness / --hazards");
+  if (WantLiveness || WantHazards) {
+    if (A.Positional.empty())
+      die("usage: dcb analyze --liveness|--hazards <cubin|listing> "
+          "[--json[=FILE]]");
+    return WantLiveness ? cmdAnalyzeLiveness(A) : cmdAnalyzeHazards(A);
+  }
   if (A.Positional.empty())
     die("usage: dcb analyze <listing>... [--db in.db] -o <out.db>");
   std::optional<analyzer::IsaAnalyzer> Analyzer;
@@ -307,6 +474,47 @@ int cmdAsmOrVerify(const Args &A, bool Verify) {
   return 0;
 }
 
+/// `dcb lint`: the static verifier over programs, learned databases and
+/// ground-truth ISA tables. Any mix of targets is allowed; the findings
+/// merge into one report (docs/ANALYSIS.md catalogs the rule ids).
+int cmdLint(const Args &A) {
+  if (A.Positional.empty() && !A.get("--db") && !A.get("--isa"))
+    die("usage: dcb lint [<cubin|listing>...] [--db <db>] "
+        "[--isa <arch|all>] [--json[=FILE]]");
+
+  analysis::Report R;
+  std::string Target;
+  auto addTarget = [&Target](const std::string &T) {
+    if (!Target.empty())
+      Target += " ";
+    Target += T;
+  };
+
+  for (const std::string &Path : A.Positional) {
+    addTarget(Path);
+    ir::Program P = loadProgramFile(Path);
+    for (const ir::Kernel &K : P.Kernels) {
+      R.append(analysis::validateCfg(K));
+      R.append(analysis::checkHazards(K));
+    }
+  }
+  if (auto DbPath = A.get("--db")) {
+    addTarget(*DbPath);
+    R.append(analysis::lintDatabase(loadDb(*DbPath)));
+  }
+  if (auto IsaName = A.get("--isa")) {
+    addTarget("isa:" + *IsaName);
+    std::vector<Arch> Archs;
+    if (*IsaName == "all")
+      Archs = allIsaArchs();
+    else
+      Archs.push_back(archOrDie(*IsaName));
+    for (Arch Spec : Archs)
+      R.append(vendor::lintIsaTables(Spec));
+  }
+  return emitReport(R, Target, A.get("--json"));
+}
+
 int cmdStats(const Args &A) {
   if (A.Positional.empty())
     die("usage: dcb stats <stats.json>");
@@ -371,9 +579,23 @@ int cmdInstrument(const Args &A) {
   if (!P)
     die(P.message());
 
+  // Every pipeline runs through runPasses so the post-transform verifier
+  // (CFG, hazards, clobbers, pressure) guards the output by default.
+  transform::PipelineOptions PO;
+  PO.Verify = !A.Options.count("--no-verify");
   unsigned Sites = 0;
-  for (ir::Kernel &K : P->Kernels)
-    Sites += transform::clearRegistersBeforeExit(K, Regs);
+  std::vector<transform::Pass> Pipeline = {
+      {"clear-regs", [&Regs, &Sites](ir::Kernel &K) {
+         Sites += transform::clearRegistersBeforeExit(K, Regs);
+       }}};
+  for (ir::Kernel &K : P->Kernels) {
+    transform::PipelineResult Result = transform::runPasses(K, Pipeline, PO);
+    if (!Result.ok()) {
+      std::fputs(Result.Verification.toText().c_str(), stderr);
+      die("verification failed for kernel " + K.Name +
+          " (use --no-verify to override)");
+    }
+  }
   std::vector<uint8_t> Original = readBinary(A.Positional[0]);
   Expected<std::vector<uint8_t>> NewImage = ir::emitProgram(Db, *P,
                                                             Original);
@@ -406,6 +628,17 @@ int cmdInstrument(const Args &A) {
       "                                          every --jobs value)\n"
       "  ir <cubin> <kernel>                     dump the IR\n"
       "  instrument <cubin> --db <db> --clear-regs N[,N...] -o <cubin>\n"
+      "                                          (verified by default;\n"
+      "                                          --no-verify to override)\n"
+      "  lint [<cubin|listing>...] [--db <db>] [--isa <arch|all>]\n"
+      "                                          static checks: CFG/SCHI\n"
+      "                                          hazards, database and ISA\n"
+      "                                          table audits; exits 1 on\n"
+      "                                          any error finding\n"
+      "  analyze --liveness|--hazards <cubin|listing>\n"
+      "                                          dataflow / hazard report\n"
+      "                                          for one program\n"
+      "  (lint/analyze: --json prints dcb-lint-v1 JSON, --json=FILE saves)\n"
       "  stats <stats.json>                      render a saved stats file\n"
       "\n"
       "global options (every command):\n"
@@ -435,6 +668,8 @@ int runCommand(const std::string &Cmd, const Args &A) {
     return cmdIr(A);
   if (Cmd == "instrument")
     return cmdInstrument(A);
+  if (Cmd == "lint")
+    return cmdLint(A);
   if (Cmd == "stats")
     return cmdStats(A);
   usage();
