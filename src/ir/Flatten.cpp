@@ -1,0 +1,22 @@
+//===- ir/Flatten.cpp -----------------------------------------------------===//
+
+#include "ir/Flatten.h"
+
+using namespace dcb;
+using namespace dcb::ir;
+
+FlatKernel ir::flattenKernel(const Kernel &K) {
+  FlatKernel F;
+  size_t Total = 0;
+  for (const Block &B : K.Blocks)
+    Total += B.Insts.size();
+  F.Insts.reserve(Total);
+  F.BlockStart.reserve(K.Blocks.size() + 1);
+  for (const Block &B : K.Blocks) {
+    F.BlockStart.push_back(F.Insts.size());
+    for (const Inst &Entry : B.Insts)
+      F.Insts.push_back(&Entry);
+  }
+  F.BlockStart.push_back(F.Insts.size());
+  return F;
+}

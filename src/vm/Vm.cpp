@@ -1,11 +1,20 @@
-//===- vm/Vm.cpp ----------------------------------------------------------===//
+//===- vm/Vm.cpp - RefVm, the reference oracle ----------------------------===//
+//
+// The slow tier. Every issued instruction is re-classified from its
+// opcode/modifier strings (predecode in the hot loop) and operands are
+// walked in their generic sass::Operand form, constant banks through the
+// std::map — the honest naive cost the predecoded GridVm is measured
+// against. Scheduling (warps, divergence, barriers, blocks) and all
+// floating-point expressions are shared with GridVm via Dispatch.h, so
+// the two tiers can only drift where GridVm's packing is wrong — which is
+// exactly what the parity suite tests.
+//
+//===----------------------------------------------------------------------===//
 
 #include "vm/Vm.h"
 
-#include "sass/Printer.h"
+#include "vm/Dispatch.h"
 
-#include <cassert>
-#include <cmath>
 #include <cstring>
 
 using namespace dcb;
@@ -15,417 +24,55 @@ using ir::Kernel;
 using sass::Instruction;
 using sass::Operand;
 using sass::OperandKind;
+using scalar::asDouble;
+using scalar::asFloat;
+using scalar::fromDouble;
+using scalar::fromFloat;
 
 namespace {
 
-float asFloat(uint32_t Bits) {
-  float F;
-  std::memcpy(&F, &Bits, sizeof(F));
-  return F;
-}
-
-uint32_t fromFloat(float F) {
-  uint32_t Bits;
-  std::memcpy(&Bits, &F, sizeof(Bits));
-  return Bits;
-}
-
-double asDouble(uint64_t Bits) {
-  double D;
-  std::memcpy(&D, &Bits, sizeof(D));
-  return D;
-}
-
-uint64_t fromDouble(double D) {
-  uint64_t Bits;
-  std::memcpy(&Bits, &D, sizeof(Bits));
-  return Bits;
-}
-
-/// One thread's architectural state.
-struct Thread {
-  std::vector<uint32_t> Regs = std::vector<uint32_t>(256, 0);
-  std::vector<bool> Preds = std::vector<bool>(7, false);
-  std::vector<uint8_t> Local;
-  std::vector<size_t> SsyStack;   ///< Flat reconvergence targets.
-  std::vector<size_t> BreakStack; ///< Flat PBK break targets.
-  std::vector<size_t> CallStack;  ///< Flat return targets.
-  unsigned Tid = 0;
-  uint64_t Steps = 0;
-
-  uint32_t reg(int64_t Id) const {
-    if (Id < 0)
-      return 0; // RZ.
-    assert(Id < 255 && "register id out of range");
-    return Regs[Id];
-  }
-  void setReg(int64_t Id, uint32_t Value) {
-    if (Id < 0)
-      return; // Writes to RZ are discarded.
-    Regs[Id] = Value;
-  }
-  uint64_t reg64(int64_t Id) const {
-    if (Id < 0)
-      return 0;
-    return static_cast<uint64_t>(Regs[Id]) |
-           (static_cast<uint64_t>(Regs[Id + 1]) << 32);
-  }
-  void setReg64(int64_t Id, uint64_t Value) {
-    if (Id < 0)
-      return;
-    Regs[Id] = static_cast<uint32_t>(Value);
-    Regs[Id + 1] = static_cast<uint32_t>(Value >> 32);
-  }
-  bool pred(int64_t Id) const { return Id == 7 ? true : Preds[Id]; }
-  void setPred(int64_t Id, bool Value) {
-    if (Id != 7)
-      Preds[Id] = Value;
-  }
-};
-
-// --- Predecoded instruction forms ----------------------------------------
-//
-// step() is the VM's hot loop; comparing opcode and modifier strings there
-// costs more than the arithmetic it guards. Each flattened instruction is
-// classified ONCE when the Interp is built, into a compact Pre record:
-// an OpKind to switch on plus every modifier-derived datum (memory width,
-// comparison kind, MUFU function, ...) resolved to an enum or flag. The
-// strings are never touched again, no matter how many threads or steps run.
-
-enum class OpKind : uint8_t {
-  Mov, S2R, IAdd, IMul, IMad, Xmad, IAdd3, Bfe, Bfi, Popc, Lop3, Imnmx,
-  FAdd, FMul, Ffma, Fmnmx, Dfma, Rro, Vote, DAdd, DMul, Mufu, F2F, F2I,
-  I2F, Setp, Psetp, Sel, Lop, Shl, Shr, Load, Store, Ldc, Atom, Tex,
-  Bra, Cal, Ret, Ssy, Pbk, Brk, Sync, Exit, Nop, Unknown,
-};
-
-enum class CmpKind : uint8_t { LT, EQ, LE, GT, NE, GE };
-enum class LogicKind : uint8_t { And, Or, Xor };
-enum class MufuKind : uint8_t { Cos, Sin, Ex2, Lg2, Rcp, Rsq, Zero };
-enum class AtomKind : uint8_t { Add, Min, Max, Exch, And, Or, Xor, None };
-enum class F2FKind : uint8_t { F32F64, F64F32, Other };
-enum class SrKind : uint8_t { TidX, CtaidX, NtidX, LaneId, ClockLo, Zero };
-enum class RegionKind : uint8_t { Global, Local, Shared };
-
-struct Pre {
-  OpKind Kind = OpKind::Unknown;
-  RegionKind Region = RegionKind::Global; ///< Load/Store/Atom target.
-  uint8_t MemBytes = 4;                   ///< Load/Store/Ldc access width.
-  CmpKind Cmp = CmpKind::GE;              ///< Setp comparison.
-  LogicKind L1 = LogicKind::And;          ///< Setp/Psetp/Lop first logic op.
-  LogicKind L2 = LogicKind::And;          ///< Psetp second logic op.
-  MufuKind Mufu = MufuKind::Zero;
-  AtomKind Atom = AtomKind::None;
-  F2FKind F2F = F2FKind::Other;
-  SrKind Sr = SrKind::Zero;
-  bool Hi = false;                ///< IMUL.HI.
-  bool H1A = false, H1B = false;  ///< XMAD operand-half selects.
-  bool U32 = false;               ///< BFE/SHR unsigned variant.
-  bool FloatSetp = false;         ///< FSETP (vs ISETP).
-  bool VoteEq = false;            ///< VOTE.EQ: trivially true, warp of one.
-  bool I2FUnsigned = false;
-  bool RejoinS = false;           ///< NOP carrying an "S" modifier anywhere.
-  bool SyncNotTaken = false;      ///< SYNC, or NOP whose FIRST mod is "S":
-                                  ///< guard-false still means "fall through
-                                  ///< into the divergent path".
-  bool HasMods2 = false;          ///< At least two modifiers present.
-};
-
-CmpKind cmpKind(const std::string &Cmp) {
-  if (Cmp == "LT")
-    return CmpKind::LT;
-  if (Cmp == "EQ")
-    return CmpKind::EQ;
-  if (Cmp == "LE")
-    return CmpKind::LE;
-  if (Cmp == "GT")
-    return CmpKind::GT;
-  if (Cmp == "NE")
-    return CmpKind::NE;
-  return CmpKind::GE;
-}
-
-LogicKind logicKind(const std::string &Op) {
-  if (Op == "OR")
-    return LogicKind::Or;
-  if (Op == "XOR")
-    return LogicKind::Xor;
-  return LogicKind::And;
-}
-
-/// First width-selecting modifier wins, as the text path always read them.
-uint8_t memBytes(const Instruction &Asm) {
-  for (const std::string &Mod : Asm.Modifiers) {
-    if (Mod == "64")
-      return 8;
-    if (Mod == "128")
-      return 16;
-    if (Mod == "U8" || Mod == "S8")
-      return 1;
-    if (Mod == "U16" || Mod == "S16")
-      return 2;
-  }
-  return 4;
-}
-
-bool hasMod(const Instruction &Asm, const char *Name) {
-  for (const std::string &Mod : Asm.Modifiers)
-    if (Mod == Name)
-      return true;
-  return false;
-}
-
-/// Classifies one instruction. Every modifier string is resolved here;
-/// unknown values keep the same defaults the interpreted path used
-/// (comparison GE, logic AND, MUFU result 0, ATOM no-op).
-Pre predecode(const Instruction &Asm) {
-  Pre P;
-  const std::string &Op = Asm.Opcode;
-  const auto &Mods = Asm.Modifiers;
-  P.HasMods2 = Mods.size() >= 2;
-  P.SyncNotTaken =
-      Op == "SYNC" || (Op == "NOP" && !Mods.empty() && Mods[0] == "S");
-
-  if (Op == "MOV" || Op == "MOV32I") {
-    P.Kind = OpKind::Mov;
-  } else if (Op == "S2R") {
-    P.Kind = OpKind::S2R;
-    // Predecode runs over never-executed instructions too; only classify
-    // the source when it is actually there.
-    static const std::string Empty;
-    const std::string &Name =
-        Asm.Operands.size() >= 2 ? Asm.Operands[1].Text : Empty;
-    if (Name == "SR_TID.X")
-      P.Sr = SrKind::TidX;
-    else if (Name == "SR_CTAID.X")
-      P.Sr = SrKind::CtaidX;
-    else if (Name == "SR_NTID.X")
-      P.Sr = SrKind::NtidX;
-    else if (Name == "SR_LANEID")
-      P.Sr = SrKind::LaneId;
-    else if (Name == "SR_CLOCK_LO")
-      P.Sr = SrKind::ClockLo;
-  } else if (Op == "IADD" || Op == "IADD32I") {
-    P.Kind = OpKind::IAdd;
-  } else if (Op == "IMUL") {
-    P.Kind = OpKind::IMul;
-    P.Hi = hasMod(Asm, "HI");
-  } else if (Op == "IMAD") {
-    P.Kind = OpKind::IMad;
-  } else if (Op == "XMAD") {
-    P.Kind = OpKind::Xmad;
-    P.H1A = hasMod(Asm, "H1A");
-    P.H1B = hasMod(Asm, "H1B");
-  } else if (Op == "IADD3") {
-    P.Kind = OpKind::IAdd3;
-  } else if (Op == "BFE") {
-    P.Kind = OpKind::Bfe;
-    P.U32 = hasMod(Asm, "U32");
-  } else if (Op == "BFI") {
-    P.Kind = OpKind::Bfi;
-  } else if (Op == "POPC") {
-    P.Kind = OpKind::Popc;
-  } else if (Op == "LOP3") {
-    P.Kind = OpKind::Lop3;
-  } else if (Op == "IMNMX") {
-    P.Kind = OpKind::Imnmx;
-  } else if (Op == "FADD") {
-    P.Kind = OpKind::FAdd;
-  } else if (Op == "FMUL") {
-    P.Kind = OpKind::FMul;
-  } else if (Op == "FFMA") {
-    P.Kind = OpKind::Ffma;
-  } else if (Op == "FMNMX") {
-    P.Kind = OpKind::Fmnmx;
-  } else if (Op == "DFMA") {
-    P.Kind = OpKind::Dfma;
-  } else if (Op == "RRO") {
-    P.Kind = OpKind::Rro;
-  } else if (Op == "VOTE") {
-    P.Kind = OpKind::Vote;
-    P.VoteEq = !Mods.empty() && Mods[0] == "EQ";
-  } else if (Op == "DADD") {
-    P.Kind = OpKind::DAdd;
-  } else if (Op == "DMUL") {
-    P.Kind = OpKind::DMul;
-  } else if (Op == "MUFU") {
-    P.Kind = OpKind::Mufu;
-    const std::string &Fn = Mods.empty() ? std::string() : Mods[0];
-    if (Fn == "COS")
-      P.Mufu = MufuKind::Cos;
-    else if (Fn == "SIN")
-      P.Mufu = MufuKind::Sin;
-    else if (Fn == "EX2")
-      P.Mufu = MufuKind::Ex2;
-    else if (Fn == "LG2")
-      P.Mufu = MufuKind::Lg2;
-    else if (Fn == "RCP")
-      P.Mufu = MufuKind::Rcp;
-    else if (Fn == "RSQ")
-      P.Mufu = MufuKind::Rsq;
-  } else if (Op == "F2F") {
-    P.Kind = OpKind::F2F;
-    if (P.HasMods2 && Mods[0] == "F32" && Mods[1] == "F64")
-      P.F2F = F2FKind::F32F64;
-    else if (P.HasMods2 && Mods[0] == "F64" && Mods[1] == "F32")
-      P.F2F = F2FKind::F64F32;
-  } else if (Op == "F2I") {
-    P.Kind = OpKind::F2I;
-  } else if (Op == "I2F") {
-    P.Kind = OpKind::I2F;
-    P.I2FUnsigned = !Mods.empty() && !Mods[0].empty() && Mods[0][0] == 'U';
-  } else if (Op == "ISETP" || Op == "FSETP") {
-    P.Kind = OpKind::Setp;
-    P.FloatSetp = Op[0] == 'F';
-    if (!Mods.empty())
-      P.Cmp = cmpKind(Mods[0]);
-    if (P.HasMods2)
-      P.L1 = logicKind(Mods[1]);
-  } else if (Op == "PSETP") {
-    P.Kind = OpKind::Psetp;
-    if (!Mods.empty())
-      P.L1 = logicKind(Mods[0]);
-    if (P.HasMods2)
-      P.L2 = logicKind(Mods[1]);
-  } else if (Op == "SEL") {
-    P.Kind = OpKind::Sel;
-  } else if (Op == "LOP") {
-    P.Kind = OpKind::Lop;
-    if (!Mods.empty())
-      P.L1 = logicKind(Mods[0]);
-  } else if (Op == "SHL") {
-    P.Kind = OpKind::Shl;
-  } else if (Op == "SHR") {
-    P.Kind = OpKind::Shr;
-    P.U32 = hasMod(Asm, "U32");
-  } else if (Op == "LD" || Op == "LDG" || Op == "LDL" || Op == "LDS") {
-    P.Kind = OpKind::Load;
-    P.MemBytes = memBytes(Asm);
-    P.Region = Op == "LDL"   ? RegionKind::Local
-               : Op == "LDS" ? RegionKind::Shared
-                             : RegionKind::Global;
-  } else if (Op == "ST" || Op == "STG" || Op == "STL" || Op == "STS") {
-    P.Kind = OpKind::Store;
-    P.MemBytes = memBytes(Asm);
-    P.Region = Op == "STL"   ? RegionKind::Local
-               : Op == "STS" ? RegionKind::Shared
-                             : RegionKind::Global;
-  } else if (Op == "LDC") {
-    P.Kind = OpKind::Ldc;
-    P.MemBytes = memBytes(Asm);
-  } else if (Op == "ATOM") {
-    P.Kind = OpKind::Atom;
-    const std::string &Kind = Mods.empty() ? std::string() : Mods[0];
-    if (Kind == "ADD")
-      P.Atom = AtomKind::Add;
-    else if (Kind == "MIN")
-      P.Atom = AtomKind::Min;
-    else if (Kind == "MAX")
-      P.Atom = AtomKind::Max;
-    else if (Kind == "EXCH")
-      P.Atom = AtomKind::Exch;
-    else if (Kind == "AND")
-      P.Atom = AtomKind::And;
-    else if (Kind == "OR")
-      P.Atom = AtomKind::Or;
-    else if (Kind == "XOR")
-      P.Atom = AtomKind::Xor;
-  } else if (Op == "TEX") {
-    P.Kind = OpKind::Tex;
-  } else if (Op == "BRA") {
-    P.Kind = OpKind::Bra;
-  } else if (Op == "CAL") {
-    P.Kind = OpKind::Cal;
-  } else if (Op == "RET") {
-    P.Kind = OpKind::Ret;
-  } else if (Op == "SSY") {
-    P.Kind = OpKind::Ssy;
-  } else if (Op == "PBK") {
-    P.Kind = OpKind::Pbk;
-  } else if (Op == "BRK") {
-    P.Kind = OpKind::Brk;
-  } else if (Op == "SYNC") {
-    P.Kind = OpKind::Sync;
-  } else if (Op == "EXIT") {
-    P.Kind = OpKind::Exit;
-  } else if (Op == "NOP" || Op == "BAR" || Op == "MEMBAR" ||
-             Op == "DEPBAR" || Op == "TEXDEPBAR") {
-    P.Kind = OpKind::Nop;
-    // The ".S" reconvergence modifier on NOP behaves like SYNC.
-    P.RejoinS = Op == "NOP" && hasMod(Asm, "S");
-  }
-  return P;
-}
-
-/// The interpreter over one flattened kernel.
-class Interp {
+/// The oracle's per-block machine: classification re-derived per issue,
+/// operands evaluated from the AST.
+class RefMachine {
 public:
-  Interp(const Kernel &K, Memory &Mem, const LaunchConfig &Config)
-      : K(K), Mem(Mem), Config(Config) {
-    for (size_t BlockIdx = 0; BlockIdx < K.Blocks.size(); ++BlockIdx) {
-      BlockStart.push_back(Flat.size());
-      for (const Inst &Entry : K.Blocks[BlockIdx].Insts)
-        Flat.push_back(&Entry);
-    }
-    BlockStart.push_back(Flat.size());
-    // Predecode every instruction once; runThread re-uses the cache for
-    // all threads of the launch.
-    PreFlat.reserve(Flat.size());
-    for (const Inst *Entry : Flat)
-      PreFlat.push_back(predecode(Entry->Asm));
-  }
+  explicit RefMachine(const ir::FlatKernel &Flat) : Flat(Flat) {}
 
-  Expected<ThreadResult> runThread(unsigned Tid);
+  size_t size() const { return Flat.size(); }
+  // By value, on purpose: the oracle re-derives the classification from
+  // the instruction text on every issue.
+  Pre pre(size_t Pc) const { return predecode(Flat.Insts[Pc]->Asm); }
+  const Inst &inst(size_t Pc) const { return *Flat.Insts[Pc]; }
+  GuardRef guard(size_t Pc) const {
+    const Instruction &Asm = Flat.Insts[Pc]->Asm;
+    return {Asm.GuardPredicate, Asm.GuardNegated};
+  }
+  int64_t target(size_t Pc) const { return Flat.targetPc(Pc); }
+
+  Expected<bool> execData(BlockState &B, size_t Pc, const Pre &P,
+                          uint32_t Mask, uint32_t Base, unsigned Lanes);
 
 private:
-  const Kernel &K;
-  Memory &Mem;
-  const LaunchConfig &Config;
-  std::vector<const Inst *> Flat;
-  std::vector<Pre> PreFlat; ///< Parallel to Flat.
-  std::vector<size_t> BlockStart;
+  const ir::FlatKernel &Flat;
+  MemFault Fault;
+  bool FaultStore = false;
 
-  Failure unsupported(const Instruction &Asm, const std::string &Why) {
-    return Failure("vm: " + Why + " in '" + sass::printInstruction(Asm) +
-                   "'");
+  uint64_t loadR(BlockState &B, std::vector<uint8_t> &R, uint64_t Addr,
+                 unsigned Bytes) {
+    return loadMem(R, Addr, Bytes, B.Oob, B.Stats.MemWraps, Fault);
   }
-
-  // --- Memory helpers (addresses wrap to the region size) ---------------
-  template <typename Region>
-  uint8_t *at(Region &R, uint64_t Addr) {
-    return R.data() + (Addr % R.size());
-  }
-  uint64_t loadBytes(std::vector<uint8_t> &R, uint64_t Addr,
-                     unsigned Bytes) {
-    uint64_t Value = 0;
-    for (unsigned I = 0; I < Bytes; ++I)
-      Value |= static_cast<uint64_t>(*at(R, Addr + I)) << (8 * I);
-    return Value;
-  }
-  void storeBytes(std::vector<uint8_t> &R, uint64_t Addr, unsigned Bytes,
-                  uint64_t Value) {
-    for (unsigned I = 0; I < Bytes; ++I)
-      *at(R, Addr + I) = static_cast<uint8_t>(Value >> (8 * I));
+  void storeR(BlockState &B, std::vector<uint8_t> &R, uint64_t Addr,
+              unsigned Bytes, uint64_t Value) {
+    storeMem(R, Addr, Bytes, Value, B.Oob, B.Stats.MemWraps, Fault);
+    if (Fault.Faulted)
+      FaultStore = true;
   }
 
-  std::vector<uint8_t> &regionFor(RegionKind Region, Thread &T) {
-    switch (Region) {
-    case RegionKind::Local:
-      return T.Local;
-    case RegionKind::Shared:
-      return Mem.Shared;
-    case RegionKind::Global:
-      break;
-    }
-    return Mem.Global; // LD/ST/LDG/STG/ATOM.
-  }
-
-  // --- Operand evaluation -------------------------------------------------
-  uint32_t value32(Thread &T, const Operand &Op) {
+  // --- Operand evaluation (the seed interpreter's rules, verbatim) ------
+  uint32_t value32(BlockState &B, unsigned Tid, const Operand &Op) {
     uint32_t V = 0;
     switch (Op.Kind) {
     case OperandKind::Register:
-      V = T.reg(Op.Value[0]);
+      V = B.reg(Tid, Op.Value[0]);
       break;
     case OperandKind::IntImm:
       V = static_cast<uint32_t>(Op.Value[0]);
@@ -434,13 +81,18 @@ private:
       V = fromFloat(static_cast<float>(Op.FValue));
       break;
     case OperandKind::ConstMem: {
-      auto It = Mem.ConstBanks.find(static_cast<unsigned>(Op.Value[0]));
-      if (It == Mem.ConstBanks.end() || It->second.empty())
+      auto It =
+          B.Banks->ConstBanks.find(static_cast<unsigned>(Op.Value[0]));
+      if (It == B.Banks->ConstBanks.end() || It->second.empty())
         return 0;
       uint64_t Addr = Op.Value[1];
       if (Op.HasRegister)
-        Addr += T.reg(Op.Value[2]);
-      return static_cast<uint32_t>(loadBytes(It->second, Addr, 4));
+        Addr += B.reg(Tid, Op.Value[2]);
+      // Constant banks always wrap regardless of policy, so operand
+      // evaluation can never fault mid-expression.
+      return static_cast<uint32_t>(loadMem(It->second, Addr, 4,
+                                           OobPolicy::Wrap,
+                                           B.Stats.MemWraps, Fault));
     }
     default:
       break;
@@ -454,14 +106,14 @@ private:
     return V;
   }
 
-  float valueF32(Thread &T, const Operand &Op) {
+  float valueF32(BlockState &B, unsigned Tid, const Operand &Op) {
     float F;
     if (Op.Kind == OperandKind::FloatImm) {
       F = static_cast<float>(Op.FValue);
     } else {
       Operand Plain = Op;
       Plain.Negated = Plain.Absolute = Plain.Complemented = false;
-      F = asFloat(value32(T, Plain));
+      F = asFloat(value32(B, Tid, Plain));
     }
     if (Op.Absolute)
       F = std::fabs(F);
@@ -470,14 +122,14 @@ private:
     return F;
   }
 
-  double valueF64(Thread &T, const Operand &Op) {
+  double valueF64(BlockState &B, unsigned Tid, const Operand &Op) {
     double D;
     if (Op.Kind == OperandKind::FloatImm) {
       D = Op.FValue;
     } else if (Op.Kind == OperandKind::Register) {
-      D = asDouble(T.reg64(Op.Value[0]));
+      D = asDouble(B.reg64(Tid, Op.Value[0]));
     } else {
-      D = static_cast<double>(valueF32(T, Op));
+      D = static_cast<double>(valueF32(B, Tid, Op));
     }
     if (Op.Absolute)
       D = std::fabs(D);
@@ -486,534 +138,425 @@ private:
     return D;
   }
 
-  bool predValue(Thread &T, const Operand &Op) {
-    bool V = T.pred(Op.Value[0]);
+  bool predValue(BlockState &B, unsigned Tid, const Operand &Op) {
+    bool V = B.pred(Tid, Op.Value[0]);
     return Op.LogicalNot ? !V : V;
   }
 
-  uint64_t memAddress(Thread &T, const Operand &Op) {
+  uint64_t memAddress(BlockState &B, unsigned Tid, const Operand &Op) {
     assert(Op.Kind == OperandKind::Memory && "not a memory operand");
-    return T.reg(Op.Value[0]) + static_cast<uint64_t>(Op.Value[1]);
+    return B.reg(Tid, Op.Value[0]) + static_cast<uint64_t>(Op.Value[1]);
   }
 
-  static bool compare(CmpKind Cmp, float A, float B) {
-    switch (Cmp) {
-    case CmpKind::LT:
-      return A < B;
-    case CmpKind::EQ:
-      return A == B;
-    case CmpKind::LE:
-      return A <= B;
-    case CmpKind::GT:
-      return A > B;
-    case CmpKind::NE:
-      return A != B;
-    case CmpKind::GE:
-      break;
-    }
-    return A >= B;
-  }
-  static bool compareI(CmpKind Cmp, int32_t A, int32_t B) {
-    switch (Cmp) {
-    case CmpKind::LT:
-      return A < B;
-    case CmpKind::EQ:
-      return A == B;
-    case CmpKind::LE:
-      return A <= B;
-    case CmpKind::GT:
-      return A > B;
-    case CmpKind::NE:
-      return A != B;
-    case CmpKind::GE:
-      break;
-    }
-    return A >= B;
-  }
-  static bool logic(LogicKind Op, bool A, bool B) {
-    switch (Op) {
-    case LogicKind::Or:
-      return A || B;
-    case LogicKind::Xor:
-      return A != B;
-    case LogicKind::And:
-      break;
-    }
-    return A && B;
-  }
-
-  /// Executes one instruction; updates \p Pc. Returns false to halt the
-  /// thread (EXIT) or an error for unsupported input.
-  Expected<bool> step(Thread &T, size_t &Pc);
+  Expected<bool> execLane(BlockState &B, const Inst &Entry, unsigned Tid);
 };
 
-Expected<bool> Interp::step(Thread &T, size_t &Pc) {
-  const Inst &Entry = *Flat[Pc];
+Expected<bool> RefMachine::execData(BlockState &B, size_t Pc, const Pre &P,
+                                    uint32_t Mask, uint32_t Base,
+                                    unsigned Lanes) {
+  const Inst &Entry = *Flat.Insts[Pc];
   const Instruction &Asm = Entry.Asm;
-  const Pre &P = PreFlat[Pc];
-  size_t Next = Pc + 1;
+  const auto &Ops = Asm.Operands;
 
-  // Conditional guard.
-  bool GuardOk = T.pred(Asm.GuardPredicate);
-  if (Asm.GuardNegated)
-    GuardOk = !GuardOk;
-
-  if (GuardOk) {
-    const auto &Ops = Asm.Operands;
-
-    switch (P.Kind) {
-    case OpKind::Mov:
-      T.setReg(Ops[0].Value[0], value32(T, Ops[1]));
-      break;
-    case OpKind::S2R: {
-      uint32_t V = 0;
-      switch (P.Sr) {
-      case SrKind::TidX:
-        V = T.Tid;
-        break;
-      case SrKind::CtaidX:
-        V = Config.BlockId;
-        break;
-      case SrKind::NtidX:
-        V = Config.NumThreads;
-        break;
-      case SrKind::LaneId:
-        V = T.Tid % 32;
-        break;
-      case SrKind::ClockLo:
-        V = static_cast<uint32_t>(T.Steps);
-        break;
-      case SrKind::Zero:
-        break;
-      }
-      T.setReg(Ops[0].Value[0], V);
-      break;
-    }
-    case OpKind::IAdd: {
-      // Register negation is already folded inside value32.
-      uint32_t A = value32(T, Ops[1]);
-      uint32_t B = value32(T, Ops[2]);
-      T.setReg(Ops[0].Value[0], A + B);
-      break;
-    }
-    case OpKind::IMul: {
-      uint64_t Product = static_cast<uint64_t>(value32(T, Ops[1])) *
-                         value32(T, Ops[2]);
-      T.setReg(Ops[0].Value[0],
-               P.Hi ? static_cast<uint32_t>(Product >> 32)
-                    : static_cast<uint32_t>(Product));
-      break;
-    }
-    case OpKind::IMad: {
-      uint32_t V = value32(T, Ops[1]) * value32(T, Ops[2]) +
-                   value32(T, Ops[3]);
-      T.setReg(Ops[0].Value[0], V);
-      break;
-    }
-    case OpKind::Xmad: {
-      uint32_t A = value32(T, Ops[1]);
-      uint32_t B = value32(T, Ops[2]);
-      if (P.H1A)
-        A >>= 16;
-      if (P.H1B)
-        B >>= 16;
-      T.setReg(Ops[0].Value[0],
-               (A & 0xffff) * (B & 0xffff) + value32(T, Ops[3]));
-      break;
-    }
-    case OpKind::IAdd3:
-      T.setReg(Ops[0].Value[0], value32(T, Ops[1]) + value32(T, Ops[2]) +
-                                    value32(T, Ops[3]));
-      break;
-    case OpKind::Bfe: {
-      // Operand 2 packs position (bits 0..7) and length (bits 8..15).
-      uint32_t Src = value32(T, Ops[1]);
-      uint32_t Ctl = value32(T, Ops[2]);
-      unsigned Pos = Ctl & 0xff, Len = (Ctl >> 8) & 0xff;
-      if (Len == 0 || Len > 32)
-        Len = 32;
-      uint32_t Field = Pos >= 32 ? 0 : (Src >> Pos);
-      if (Len < 32)
-        Field &= (1u << Len) - 1;
-      if (!P.U32 && Len < 32 && (Field >> (Len - 1)) & 1)
-        Field |= ~((1u << Len) - 1); // Sign-extend.
-      T.setReg(Ops[0].Value[0], Field);
-      break;
-    }
-    case OpKind::Bfi: {
-      uint32_t Src = value32(T, Ops[1]);
-      uint32_t Ctl = value32(T, Ops[2]);
-      uint32_t Base = value32(T, Ops[3]);
-      unsigned Pos = Ctl & 0xff, Len = (Ctl >> 8) & 0xff;
-      if (Len == 0 || Len > 32)
-        Len = 32;
-      uint32_t Mask =
-          (Len >= 32 ? ~0u : ((1u << Len) - 1)) << (Pos & 31);
-      T.setReg(Ops[0].Value[0],
-               (Base & ~Mask) | ((Src << (Pos & 31)) & Mask));
-      break;
-    }
-    case OpKind::Popc:
-      T.setReg(Ops[0].Value[0],
-               static_cast<uint32_t>(
-                   __builtin_popcount(value32(T, Ops[1]))));
-      break;
-    case OpKind::Lop3: {
-      uint32_t ValA = value32(T, Ops[1]);
-      uint32_t ValB = value32(T, Ops[2]);
-      uint32_t ValC = value32(T, Ops[3]);
-      uint32_t Lut = value32(T, Ops[4]);
-      uint32_t Out = 0;
-      for (unsigned Bit = 0; Bit < 32; ++Bit) {
-        unsigned Index = (((ValA >> Bit) & 1) << 2) |
-                         (((ValB >> Bit) & 1) << 1) | ((ValC >> Bit) & 1);
-        Out |= ((Lut >> Index) & 1) << Bit;
-      }
-      T.setReg(Ops[0].Value[0], Out);
-      break;
-    }
-    case OpKind::Imnmx: {
-      int32_t A = static_cast<int32_t>(value32(T, Ops[1]));
-      int32_t B = static_cast<int32_t>(value32(T, Ops[2]));
-      bool TakeMin = predValue(T, Ops[3]);
-      T.setReg(Ops[0].Value[0],
-               static_cast<uint32_t>(TakeMin ? std::min(A, B)
-                                             : std::max(A, B)));
-      break;
-    }
-    case OpKind::FAdd:
-      T.setReg(Ops[0].Value[0],
-               fromFloat(valueF32(T, Ops[1]) + valueF32(T, Ops[2])));
-      break;
-    case OpKind::FMul:
-      T.setReg(Ops[0].Value[0],
-               fromFloat(valueF32(T, Ops[1]) * valueF32(T, Ops[2])));
-      break;
-    case OpKind::Ffma:
-      T.setReg(Ops[0].Value[0],
-               fromFloat(valueF32(T, Ops[1]) * valueF32(T, Ops[2]) +
-                         valueF32(T, Ops[3])));
-      break;
-    case OpKind::Fmnmx: {
-      float A = valueF32(T, Ops[1]);
-      float B = valueF32(T, Ops[2]);
-      bool TakeMin = predValue(T, Ops[3]);
-      T.setReg(Ops[0].Value[0],
-               fromFloat(TakeMin ? std::fmin(A, B) : std::fmax(A, B)));
-      break;
-    }
-    case OpKind::Dfma:
-      T.setReg64(Ops[0].Value[0],
-                 fromDouble(valueF64(T, Ops[1]) * valueF64(T, Ops[2]) +
-                            valueF64(T, Ops[3])));
-      break;
-    case OpKind::Rro:
-      // Range reduction: modeled as the identity (MUFU consumes it).
-      T.setReg(Ops[0].Value[0], fromFloat(valueF32(T, Ops[1])));
-      break;
-    case OpKind::Vote: {
-      // Sequential-thread semantics: the warp is this one thread.
-      bool Src = predValue(T, Ops[1]);
-      T.setPred(Ops[0].Value[0], P.VoteEq ? true : Src);
-      break;
-    }
-    case OpKind::DAdd:
-      T.setReg64(Ops[0].Value[0],
-                 fromDouble(valueF64(T, Ops[1]) + valueF64(T, Ops[2])));
-      break;
-    case OpKind::DMul:
-      T.setReg64(Ops[0].Value[0],
-                 fromDouble(valueF64(T, Ops[1]) * valueF64(T, Ops[2])));
-      break;
-    case OpKind::Mufu: {
-      float X = valueF32(T, Ops[1]);
-      float R = 0;
-      switch (P.Mufu) {
-      case MufuKind::Cos:
-        R = std::cos(X);
-        break;
-      case MufuKind::Sin:
-        R = std::sin(X);
-        break;
-      case MufuKind::Ex2:
-        R = std::exp2(X);
-        break;
-      case MufuKind::Lg2:
-        R = std::log2(X);
-        break;
-      case MufuKind::Rcp:
-        R = 1.0f / X;
-        break;
-      case MufuKind::Rsq:
-        R = 1.0f / std::sqrt(X);
-        break;
-      case MufuKind::Zero:
-        break;
-      }
-      T.setReg(Ops[0].Value[0], fromFloat(R));
-      break;
-    }
-    case OpKind::F2F:
-      // Modifiers are <dst>.<src>.
-      if (P.F2F == F2FKind::F32F64) {
-        T.setReg(Ops[0].Value[0],
-                 fromFloat(static_cast<float>(valueF64(T, Ops[1]))));
-      } else if (P.F2F == F2FKind::F64F32) {
-        T.setReg64(Ops[0].Value[0],
-                   fromDouble(static_cast<double>(valueF32(T, Ops[1]))));
+  // Warp-wide operations see the whole issue mask at once.
+  if (P.Kind == OpKind::Vote) {
+    bool All = true, Any = false, Eq = true, First = true, FirstVal = false;
+    for (uint32_t Bits = Mask; Bits; Bits &= Bits - 1) {
+      unsigned Tid = Base + static_cast<unsigned>(__builtin_ctz(Bits));
+      bool S = predValue(B, Tid, Ops[1]);
+      All = All && S;
+      Any = Any || S;
+      if (First) {
+        FirstVal = S;
+        First = false;
       } else {
-        return unsupported(Asm, "unhandled F2F format pair");
+        Eq = Eq && S == FirstVal;
       }
-      break;
-    case OpKind::F2I:
-      T.setReg(Ops[0].Value[0],
-               static_cast<uint32_t>(
-                   static_cast<int32_t>(valueF32(T, Ops[1]))));
-      break;
-    case OpKind::I2F: {
-      uint32_t Raw = value32(T, Ops[1]);
-      float F = P.I2FUnsigned
-                    ? static_cast<float>(Raw)
-                    : static_cast<float>(static_cast<int32_t>(Raw));
-      T.setReg(Ops[0].Value[0], fromFloat(F));
-      break;
     }
-    case OpKind::Setp: {
-      if (!P.HasMods2)
-        return unsupported(Asm, "missing comparison or logic modifier");
-      bool Test;
-      if (P.FloatSetp) {
-        Test = compare(P.Cmp, valueF32(T, Ops[2]), valueF32(T, Ops[3]));
-      } else {
-        Test = compareI(P.Cmp, static_cast<int32_t>(value32(T, Ops[2])),
-                        static_cast<int32_t>(value32(T, Ops[3])));
-      }
-      bool Combined = logic(P.L1, Test, predValue(T, Ops[4]));
-      T.setPred(Ops[0].Value[0], Combined);
-      T.setPred(Ops[1].Value[0], !Combined);
-      break;
+    bool Out = P.Vote == VoteKind::Any  ? Any
+               : P.Vote == VoteKind::Eq ? Eq
+                                        : All;
+    for (uint32_t Bits = Mask; Bits; Bits &= Bits - 1) {
+      unsigned Tid = Base + static_cast<unsigned>(__builtin_ctz(Bits));
+      B.setPred(Tid, Ops[0].Value[0], Out);
     }
-    case OpKind::Psetp: {
-      if (!P.HasMods2)
-        return unsupported(Asm, "missing logic modifier");
-      bool V = logic(P.L2, logic(P.L1, predValue(T, Ops[2]),
-                                 predValue(T, Ops[3])),
-                     predValue(T, Ops[4]));
-      T.setPred(Ops[0].Value[0], V);
-      T.setPred(Ops[1].Value[0], !V);
-      break;
+    return true;
+  }
+  if (P.Kind == OpKind::Shfl) {
+    if (P.Shfl == ShflKind::None)
+      return vmUnsupported(Asm, "unhandled SHFL mode");
+    uint32_t Src[32] = {0};
+    int64_t Sel[32] = {0};
+    for (uint32_t Bits = Mask; Bits; Bits &= Bits - 1) {
+      unsigned L = static_cast<unsigned>(__builtin_ctz(Bits));
+      Src[L] = B.reg(Base + L, Ops[2].Value[0]);
+      Sel[L] = value32(B, Base + L, Ops[3]);
     }
-    case OpKind::Sel:
-      T.setReg(Ops[0].Value[0], predValue(T, Ops[3])
-                                    ? value32(T, Ops[1])
-                                    : value32(T, Ops[2]));
-      break;
-    case OpKind::Lop: {
-      uint32_t A = value32(T, Ops[1]);
-      uint32_t B = value32(T, Ops[2]);
-      uint32_t V = P.L1 == LogicKind::Or    ? (A | B)
-                   : P.L1 == LogicKind::Xor ? (A ^ B)
-                                            : (A & B);
-      T.setReg(Ops[0].Value[0], V);
-      break;
-    }
-    case OpKind::Shl:
-      T.setReg(Ops[0].Value[0],
-               value32(T, Ops[1]) << (value32(T, Ops[2]) & 31));
-      break;
-    case OpKind::Shr: {
-      uint32_t Amount = value32(T, Ops[2]) & 31;
-      if (P.U32)
-        T.setReg(Ops[0].Value[0], value32(T, Ops[1]) >> Amount);
-      else
-        T.setReg(Ops[0].Value[0],
-                 static_cast<uint32_t>(
-                     static_cast<int32_t>(value32(T, Ops[1])) >> Amount));
-      break;
-    }
-    case OpKind::Load: {
-      std::vector<uint8_t> &Region = regionFor(P.Region, T);
-      uint64_t Addr = memAddress(T, Ops[1]);
-      if (P.MemBytes <= 4)
-        T.setReg(Ops[0].Value[0],
-                 static_cast<uint32_t>(loadBytes(Region, Addr, P.MemBytes)));
-      else if (P.MemBytes == 8)
-        T.setReg64(Ops[0].Value[0], loadBytes(Region, Addr, 8));
-      else
-        for (unsigned I = 0; I < 4; ++I)
-          T.setReg(Ops[0].Value[0] + I,
-                   static_cast<uint32_t>(loadBytes(Region, Addr + 4 * I, 4)));
-      break;
-    }
-    case OpKind::Store: {
-      std::vector<uint8_t> &Region = regionFor(P.Region, T);
-      uint64_t Addr = memAddress(T, Ops[0]);
-      if (P.MemBytes <= 4)
-        storeBytes(Region, Addr, P.MemBytes, T.reg(Ops[1].Value[0]));
-      else if (P.MemBytes == 8)
-        storeBytes(Region, Addr, 8, T.reg64(Ops[1].Value[0]));
-      else
-        for (unsigned I = 0; I < 4; ++I)
-          storeBytes(Region, Addr + 4 * I, 4, T.reg(Ops[1].Value[0] + I));
-      break;
-    }
-    case OpKind::Ldc: {
-      const Operand &C = Ops[1];
-      auto It = Mem.ConstBanks.find(static_cast<unsigned>(C.Value[0]));
-      uint64_t Addr = C.Value[1] + (C.HasRegister ? T.reg(C.Value[2]) : 0);
-      uint64_t V = It == Mem.ConstBanks.end() || It->second.empty()
-                       ? 0
-                       : loadBytes(It->second, Addr, P.MemBytes);
-      if (P.MemBytes == 8)
-        T.setReg64(Ops[0].Value[0], V);
-      else
-        T.setReg(Ops[0].Value[0], static_cast<uint32_t>(V));
-      break;
-    }
-    case OpKind::Atom: {
-      uint64_t Addr = memAddress(T, Ops[1]);
-      uint32_t Old =
-          static_cast<uint32_t>(loadBytes(Mem.Global, Addr, 4));
-      uint32_t Src = T.reg(Ops[2].Value[0]);
-      uint32_t New = Old;
-      switch (P.Atom) {
-      case AtomKind::Add:
-        New = Old + Src;
+    for (uint32_t Bits = Mask; Bits; Bits &= Bits - 1) {
+      unsigned L = static_cast<unsigned>(__builtin_ctz(Bits));
+      int64_t S = 0;
+      switch (P.Shfl) {
+      case ShflKind::Idx:
+        S = Sel[L];
         break;
-      case AtomKind::Min:
-        New = std::min(Old, Src);
+      case ShflKind::Up:
+        S = static_cast<int64_t>(L) - Sel[L];
         break;
-      case AtomKind::Max:
-        New = std::max(Old, Src);
+      case ShflKind::Down:
+        S = static_cast<int64_t>(L) + Sel[L];
         break;
-      case AtomKind::Exch:
-        New = Src;
+      case ShflKind::Bfly:
+        S = static_cast<int64_t>(L) ^ (Sel[L] & 31);
         break;
-      case AtomKind::And:
-        New = Old & Src;
-        break;
-      case AtomKind::Or:
-        New = Old | Src;
-        break;
-      case AtomKind::Xor:
-        New = Old ^ Src;
-        break;
-      case AtomKind::None:
+      case ShflKind::None:
         break;
       }
-      storeBytes(Mem.Global, Addr, 4, New);
-      T.setReg(Ops[0].Value[0], Old);
-      break;
+      bool Valid = S >= 0 && S < static_cast<int64_t>(Lanes) &&
+                   ((Mask >> S) & 1) != 0;
+      B.setReg(Base + L, Ops[1].Value[0], Valid ? Src[S] : Src[L]);
+      B.setPred(Base + L, Ops[0].Value[0], Valid);
     }
-    case OpKind::Tex: {
-      // Deterministic synthetic texture: a hash of unit, coordinate and
-      // shape, so transformed code can be checked for equivalence.
-      uint64_t H = 0x9e3779b97f4a7c15ull;
-      H ^= value32(T, Ops[1]);
-      H *= 0xbf58476d1ce4e5b9ull;
-      H ^= static_cast<uint64_t>(Ops[2].Value[0]) << 32;
-      H ^= static_cast<uint64_t>(Ops[3].Value[0]) << 8;
-      T.setReg(Ops[0].Value[0], static_cast<uint32_t>(H >> 16));
-      break;
-    }
-    case OpKind::Bra:
-      if (Entry.TargetBlock < 0)
-        return unsupported(Asm, "indirect branch");
-      Next = BlockStart[Entry.TargetBlock];
-      break;
-    case OpKind::Cal:
-      if (Entry.TargetBlock < 0)
-        return unsupported(Asm, "indirect call");
-      T.CallStack.push_back(Pc + 1);
-      Next = BlockStart[Entry.TargetBlock];
-      break;
-    case OpKind::Ret:
-      if (T.CallStack.empty())
-        return unsupported(Asm, "RET with an empty call stack");
-      Next = T.CallStack.back();
-      T.CallStack.pop_back();
-      break;
-    case OpKind::Ssy:
-      if (Entry.TargetBlock < 0)
-        return unsupported(Asm, "SSY without a target");
-      T.SsyStack.push_back(BlockStart[Entry.TargetBlock]);
-      break;
-    case OpKind::Pbk:
-      if (Entry.TargetBlock < 0)
-        return unsupported(Asm, "PBK without a target");
-      T.BreakStack.push_back(BlockStart[Entry.TargetBlock]);
-      break;
-    case OpKind::Brk:
-      if (T.BreakStack.empty())
-        return unsupported(Asm, "BRK without an armed PBK");
-      Next = T.BreakStack.back();
-      T.BreakStack.pop_back();
-      break;
-    case OpKind::Sync:
-      if (T.SsyStack.empty())
-        return unsupported(Asm, "SYNC without an armed SSY");
-      Next = T.SsyStack.back();
-      T.SsyStack.pop_back();
-      break;
-    case OpKind::Exit:
-      return false;
-    case OpKind::Nop:
-      if (P.RejoinS) {
-        if (T.SsyStack.empty())
-          return unsupported(Asm, "NOP.S without an armed SSY");
-        Next = T.SsyStack.back();
-        T.SsyStack.pop_back();
-      }
-      break;
-    case OpKind::Unknown:
-      return unsupported(Asm, "unimplemented opcode " + Asm.Opcode);
-    }
-  } else if (P.SyncNotTaken) {
-    // A guarded reconvergence not taken: the thread continues into the
-    // divergent path; the SSY target stays armed.
+    return true;
   }
 
-  Pc = Next;
+  for (uint32_t Bits = Mask; Bits; Bits &= Bits - 1) {
+    unsigned Tid = Base + static_cast<unsigned>(__builtin_ctz(Bits));
+    Expected<bool> R = execLane(B, Entry, Tid);
+    if (!R)
+      return R.takeError();
+    if (Fault.Faulted)
+      return vmUnsupported(Asm, oobDescription(Fault, FaultStore));
+  }
   return true;
 }
 
-Expected<ThreadResult> Interp::runThread(unsigned Tid) {
-  Thread T;
-  T.Tid = Tid;
-  T.Local.assign(Config.LocalSizePerThread, 0);
+Expected<bool> RefMachine::execLane(BlockState &B, const Inst &Entry,
+                                    unsigned Tid) {
+  const Instruction &Asm = Entry.Asm;
+  const auto &Ops = Asm.Operands;
 
-  size_t Pc = 0;
-  while (Pc < Flat.size()) {
-    if (++T.Steps > Config.MaxStepsPerThread)
-      return Failure("vm: thread " + std::to_string(Tid) +
-                     " exceeded the step limit (runaway loop?)");
-    Expected<bool> Continue = step(T, Pc);
-    if (!Continue)
-      return Continue.takeError();
-    if (!*Continue)
+  // The oracle's honest cost model, preserved from the original
+  // one-thread-at-a-time interpreter: every lane re-derives the
+  // instruction's classification from its opcode/modifier strings at the
+  // moment it executes. Nothing is shared across lanes or steps — that is
+  // exactly the cost the predecoded tier is measured against.
+  const Pre P = predecode(Asm);
+
+  switch (P.Kind) {
+  case OpKind::Mov:
+    B.setReg(Tid, Ops[0].Value[0], value32(B, Tid, Ops[1]));
+    break;
+  case OpKind::S2R: {
+    uint32_t V = 0;
+    switch (P.Sr) {
+    case SrKind::TidX:
+      V = Tid;
       break;
+    case SrKind::CtaidX:
+      V = B.Ctaid;
+      break;
+    case SrKind::NtidX:
+      V = B.NumThreads;
+      break;
+    case SrKind::LaneId:
+      V = Tid % B.WarpSize;
+      break;
+    case SrKind::ClockLo:
+      V = static_cast<uint32_t>(B.Steps[Tid]);
+      break;
+    case SrKind::Zero:
+      break;
+    }
+    B.setReg(Tid, Ops[0].Value[0], V);
+    break;
   }
-
-  ThreadResult Result;
-  Result.Regs = std::move(T.Regs);
-  Result.Preds = std::move(T.Preds);
-  Result.Steps = T.Steps;
-  return Result;
+  case OpKind::IAdd: {
+    // Register negation is already folded inside value32.
+    uint32_t A = value32(B, Tid, Ops[1]);
+    uint32_t C = value32(B, Tid, Ops[2]);
+    B.setReg(Tid, Ops[0].Value[0], A + C);
+    break;
+  }
+  case OpKind::IMul: {
+    uint64_t Product = static_cast<uint64_t>(value32(B, Tid, Ops[1])) *
+                       value32(B, Tid, Ops[2]);
+    B.setReg(Tid, Ops[0].Value[0],
+             P.Hi ? static_cast<uint32_t>(Product >> 32)
+                  : static_cast<uint32_t>(Product));
+    break;
+  }
+  case OpKind::IMad: {
+    uint32_t V = value32(B, Tid, Ops[1]) * value32(B, Tid, Ops[2]) +
+                 value32(B, Tid, Ops[3]);
+    B.setReg(Tid, Ops[0].Value[0], V);
+    break;
+  }
+  case OpKind::Xmad:
+    B.setReg(Tid, Ops[0].Value[0],
+             scalar::xmad(value32(B, Tid, Ops[1]), value32(B, Tid, Ops[2]),
+                          value32(B, Tid, Ops[3]), P.H1A, P.H1B));
+    break;
+  case OpKind::IAdd3:
+    B.setReg(Tid, Ops[0].Value[0],
+             value32(B, Tid, Ops[1]) + value32(B, Tid, Ops[2]) +
+                 value32(B, Tid, Ops[3]));
+    break;
+  case OpKind::Bfe:
+    B.setReg(Tid, Ops[0].Value[0],
+             scalar::bfe(value32(B, Tid, Ops[1]), value32(B, Tid, Ops[2]),
+                         P.U32));
+    break;
+  case OpKind::Bfi:
+    B.setReg(Tid, Ops[0].Value[0],
+             scalar::bfi(value32(B, Tid, Ops[1]), value32(B, Tid, Ops[2]),
+                         value32(B, Tid, Ops[3])));
+    break;
+  case OpKind::Popc:
+    B.setReg(Tid, Ops[0].Value[0],
+             static_cast<uint32_t>(
+                 __builtin_popcount(value32(B, Tid, Ops[1]))));
+    break;
+  case OpKind::Lop3:
+    B.setReg(Tid, Ops[0].Value[0],
+             scalar::lop3(value32(B, Tid, Ops[1]), value32(B, Tid, Ops[2]),
+                          value32(B, Tid, Ops[3]),
+                          value32(B, Tid, Ops[4])));
+    break;
+  case OpKind::Imnmx: {
+    int32_t A = static_cast<int32_t>(value32(B, Tid, Ops[1]));
+    int32_t C = static_cast<int32_t>(value32(B, Tid, Ops[2]));
+    bool TakeMin = predValue(B, Tid, Ops[3]);
+    int32_t Min = A < C ? A : C, Max = A > C ? A : C;
+    B.setReg(Tid, Ops[0].Value[0],
+             static_cast<uint32_t>(TakeMin ? Min : Max));
+    break;
+  }
+  case OpKind::FAdd:
+    B.setReg(Tid, Ops[0].Value[0],
+             scalar::fadd(valueF32(B, Tid, Ops[1]),
+                          valueF32(B, Tid, Ops[2])));
+    break;
+  case OpKind::FMul:
+    B.setReg(Tid, Ops[0].Value[0],
+             scalar::fmul(valueF32(B, Tid, Ops[1]),
+                          valueF32(B, Tid, Ops[2])));
+    break;
+  case OpKind::Ffma:
+    B.setReg(Tid, Ops[0].Value[0],
+             scalar::ffma(valueF32(B, Tid, Ops[1]),
+                          valueF32(B, Tid, Ops[2]),
+                          valueF32(B, Tid, Ops[3])));
+    break;
+  case OpKind::Fmnmx:
+    B.setReg(Tid, Ops[0].Value[0],
+             scalar::fmnmx(valueF32(B, Tid, Ops[1]),
+                           valueF32(B, Tid, Ops[2]),
+                           predValue(B, Tid, Ops[3])));
+    break;
+  case OpKind::Dfma:
+    B.setReg64(Tid, Ops[0].Value[0],
+               scalar::dfma(valueF64(B, Tid, Ops[1]),
+                            valueF64(B, Tid, Ops[2]),
+                            valueF64(B, Tid, Ops[3])));
+    break;
+  case OpKind::Rro:
+    // Range reduction: modeled as the identity (MUFU consumes it).
+    B.setReg(Tid, Ops[0].Value[0], fromFloat(valueF32(B, Tid, Ops[1])));
+    break;
+  case OpKind::DAdd:
+    B.setReg64(Tid, Ops[0].Value[0],
+               scalar::dadd(valueF64(B, Tid, Ops[1]),
+                            valueF64(B, Tid, Ops[2])));
+    break;
+  case OpKind::DMul:
+    B.setReg64(Tid, Ops[0].Value[0],
+               scalar::dmul(valueF64(B, Tid, Ops[1]),
+                            valueF64(B, Tid, Ops[2])));
+    break;
+  case OpKind::Mufu:
+    B.setReg(Tid, Ops[0].Value[0],
+             scalar::mufu(P.Mufu, valueF32(B, Tid, Ops[1])));
+    break;
+  case OpKind::F2F:
+    // Modifiers are <dst>.<src>.
+    if (P.F2F == F2FKind::F32F64) {
+      B.setReg(Tid, Ops[0].Value[0],
+               fromFloat(static_cast<float>(valueF64(B, Tid, Ops[1]))));
+    } else if (P.F2F == F2FKind::F64F32) {
+      B.setReg64(Tid, Ops[0].Value[0],
+                 fromDouble(static_cast<double>(valueF32(B, Tid, Ops[1]))));
+    } else {
+      return vmUnsupported(Asm, "unhandled F2F format pair");
+    }
+    break;
+  case OpKind::F2I:
+    B.setReg(Tid, Ops[0].Value[0],
+             static_cast<uint32_t>(
+                 static_cast<int32_t>(valueF32(B, Tid, Ops[1]))));
+    break;
+  case OpKind::I2F: {
+    uint32_t Raw = value32(B, Tid, Ops[1]);
+    float F = P.I2FUnsigned
+                  ? static_cast<float>(Raw)
+                  : static_cast<float>(static_cast<int32_t>(Raw));
+    B.setReg(Tid, Ops[0].Value[0], fromFloat(F));
+    break;
+  }
+  case OpKind::Setp: {
+    if (!P.HasMods2)
+      return vmUnsupported(Asm, "missing comparison or logic modifier");
+    bool Test;
+    if (P.FloatSetp) {
+      Test = scalar::compareF(P.Cmp, valueF32(B, Tid, Ops[2]),
+                              valueF32(B, Tid, Ops[3]));
+    } else {
+      Test = scalar::compareI(P.Cmp,
+                              static_cast<int32_t>(value32(B, Tid, Ops[2])),
+                              static_cast<int32_t>(value32(B, Tid, Ops[3])));
+    }
+    bool Combined = scalar::logic(P.L1, Test, predValue(B, Tid, Ops[4]));
+    B.setPred(Tid, Ops[0].Value[0], Combined);
+    B.setPred(Tid, Ops[1].Value[0], !Combined);
+    break;
+  }
+  case OpKind::Psetp: {
+    if (!P.HasMods2)
+      return vmUnsupported(Asm, "missing logic modifier");
+    bool V = scalar::logic(P.L2,
+                           scalar::logic(P.L1, predValue(B, Tid, Ops[2]),
+                                         predValue(B, Tid, Ops[3])),
+                           predValue(B, Tid, Ops[4]));
+    B.setPred(Tid, Ops[0].Value[0], V);
+    B.setPred(Tid, Ops[1].Value[0], !V);
+    break;
+  }
+  case OpKind::Sel:
+    B.setReg(Tid, Ops[0].Value[0], predValue(B, Tid, Ops[3])
+                                       ? value32(B, Tid, Ops[1])
+                                       : value32(B, Tid, Ops[2]));
+    break;
+  case OpKind::Lop: {
+    uint32_t A = value32(B, Tid, Ops[1]);
+    uint32_t C = value32(B, Tid, Ops[2]);
+    uint32_t V = P.L1 == LogicKind::Or    ? (A | C)
+                 : P.L1 == LogicKind::Xor ? (A ^ C)
+                                          : (A & C);
+    B.setReg(Tid, Ops[0].Value[0], V);
+    break;
+  }
+  case OpKind::Shl:
+    B.setReg(Tid, Ops[0].Value[0],
+             value32(B, Tid, Ops[1]) << (value32(B, Tid, Ops[2]) & 31));
+    break;
+  case OpKind::Shr: {
+    uint32_t Amount = value32(B, Tid, Ops[2]) & 31;
+    if (P.U32)
+      B.setReg(Tid, Ops[0].Value[0], value32(B, Tid, Ops[1]) >> Amount);
+    else
+      B.setReg(Tid, Ops[0].Value[0],
+               static_cast<uint32_t>(
+                   static_cast<int32_t>(value32(B, Tid, Ops[1])) >>
+                   Amount));
+    break;
+  }
+  case OpKind::Load: {
+    std::vector<uint8_t> &Region = B.regionFor(P.Region, Tid);
+    uint64_t Addr = memAddress(B, Tid, Ops[1]);
+    if (P.MemBytes <= 4)
+      B.setReg(Tid, Ops[0].Value[0],
+               static_cast<uint32_t>(loadR(B, Region, Addr, P.MemBytes)));
+    else if (P.MemBytes == 8)
+      B.setReg64(Tid, Ops[0].Value[0], loadR(B, Region, Addr, 8));
+    else
+      for (unsigned I = 0; I < 4; ++I)
+        B.setReg(Tid, Ops[0].Value[0] + I,
+                 static_cast<uint32_t>(loadR(B, Region, Addr + 4 * I, 4)));
+    break;
+  }
+  case OpKind::Store: {
+    std::vector<uint8_t> &Region = B.regionFor(P.Region, Tid);
+    uint64_t Addr = memAddress(B, Tid, Ops[0]);
+    if (P.MemBytes <= 4)
+      storeR(B, Region, Addr, P.MemBytes, B.reg(Tid, Ops[1].Value[0]));
+    else if (P.MemBytes == 8)
+      storeR(B, Region, Addr, 8, B.reg64(Tid, Ops[1].Value[0]));
+    else
+      for (unsigned I = 0; I < 4; ++I)
+        storeR(B, Region, Addr + 4 * I, 4,
+               B.reg(Tid, Ops[1].Value[0] + I));
+    break;
+  }
+  case OpKind::Ldc: {
+    const Operand &C = Ops[1];
+    auto It = B.Banks->ConstBanks.find(static_cast<unsigned>(C.Value[0]));
+    uint64_t Addr =
+        C.Value[1] + (C.HasRegister ? B.reg(Tid, C.Value[2]) : 0);
+    uint64_t V = It == B.Banks->ConstBanks.end() || It->second.empty()
+                     ? 0
+                     : loadMem(It->second, Addr, P.MemBytes,
+                               OobPolicy::Wrap, B.Stats.MemWraps, Fault);
+    if (P.MemBytes == 8)
+      B.setReg64(Tid, Ops[0].Value[0], V);
+    else
+      B.setReg(Tid, Ops[0].Value[0], static_cast<uint32_t>(V));
+    break;
+  }
+  case OpKind::Atom: {
+    uint64_t Addr = memAddress(B, Tid, Ops[1]);
+    uint32_t Old = static_cast<uint32_t>(loadR(B, B.Global, Addr, 4));
+    if (Fault.Faulted) // Report the load fault, not the store's.
+      break;
+    uint32_t Src = B.reg(Tid, Ops[2].Value[0]);
+    storeR(B, B.Global, Addr, 4, scalar::atomApply(P.Atom, Old, Src));
+    B.setReg(Tid, Ops[0].Value[0], Old);
+    break;
+  }
+  case OpKind::Tex:
+    B.setReg(Tid, Ops[0].Value[0],
+             scalar::texHash(value32(B, Tid, Ops[1]), Ops[2].Value[0],
+                             Ops[3].Value[0]));
+    break;
+  case OpKind::Unknown:
+    return vmUnsupported(Asm, "unimplemented opcode " + Asm.Opcode);
+  default:
+    // Control kinds never reach execData; the scheduler owns them.
+    return vmUnsupported(Asm, "unimplemented opcode " + Asm.Opcode);
+  }
+  return true;
 }
 
 } // namespace
 
-Expected<std::vector<ThreadResult>> vm::run(const Kernel &K, Memory &Mem,
-                                            const LaunchConfig &Config) {
-  assert(!Mem.Global.empty() && !Mem.Shared.empty() &&
-         "memory regions must be non-empty");
-  Interp I(K, Mem, Config);
-  std::vector<ThreadResult> Results;
-  for (unsigned Tid = 0; Tid < Config.NumThreads; ++Tid) {
-    Expected<ThreadResult> R = I.runThread(Tid);
+Expected<GridResult> RefVm::run(const Kernel &K, Memory &Mem,
+                                const LaunchConfig &Config) {
+  Expected<bool> Valid = validateLaunch(Mem, Config.WarpSize);
+  if (!Valid)
+    return Valid.takeError();
+
+  const ir::FlatKernel Flat = ir::flattenKernel(K);
+  const unsigned NumBlocks = Config.NumBlocks ? Config.NumBlocks : 1;
+  std::vector<BlockState> Blocks(NumBlocks);
+  for (unsigned Idx = 0; Idx < NumBlocks; ++Idx) {
+    BlockState &B = Blocks[Idx];
+    B.init(Mem, Config.NumThreads, Config.WarpSize, Config.BlockId + Idx,
+           Config.MaxStepsPerThread, Config.LocalSizePerThread, Config.Oob);
+    RefMachine Machine(Flat);
+    Expected<bool> R = runBlockWarps(Machine, B);
     if (!R)
       return R.takeError();
-    Results.push_back(R.takeValue());
+    ++B.Stats.Blocks;
   }
-  return Results;
+
+  GridResult Out;
+  mergeBlocks(Mem, Blocks, Out);
+  return Out;
+}
+
+Expected<std::vector<ThreadResult>> vm::run(const Kernel &K, Memory &Mem,
+                                            const LaunchConfig &Config) {
+  RefVm Vm;
+  Expected<GridResult> R = Vm.run(K, Mem, Config);
+  if (!R)
+    return R.takeError();
+  return std::move(R->Threads);
 }

@@ -1,21 +1,34 @@
-//===- vm/Vm.h - SASS interpreter -------------------------------*- C++ -*-===//
+//===- vm/Vm.h - Two-tier SASS simulator ------------------------*- C++ -*-===//
 //
 // Part of the Decoding-CUDA-Binary reproduction. MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A small SASS interpreter used to check that transformed binaries are
+/// A SASS simulator used to check that transformed binaries are
 /// functionally equivalent to their originals — the role a real GPU plays
 /// in the paper's workflow ("tested on each benchmark to confirm its
-/// correctness"). Threads execute sequentially with private registers,
-/// predicates and local memory, sharing global/shared/constant memory;
-/// divergence is modeled per-thread with an SSY target stack (SSY pushes,
-/// SYNC/.S pops and jumps).
+/// correctness"). Two tiers share one semantic contract (docs/VM.md):
 ///
-/// Deliberately simplified: BAR is a no-op under sequential-thread
-/// semantics, so equivalence checks should use kernels without cross-thread
-/// shared-memory hand-offs; warp shuffles are unsupported.
+///  - RefVm, the oracle: re-derives every instruction's classification
+///    from its opcode/modifier strings on each issued step and walks the
+///    generic operand representation. Slow on purpose; it is the
+///    reference the fast tier is differentially tested against.
+///
+///  - GridVm, the fast tier: predecodes each kernel once into packed
+///    records with resolved constant-bank pointers, dispatches through a
+///    function table, and runs blocks concurrently on TaskPool lanes
+///    with a deterministic merge-by-block-index — results are
+///    bit-identical to RefVm and across any `--jobs` value.
+///
+/// Both tiers execute warps in lockstep with per-warp divergence stacks;
+/// BAR.SYNC is a real intra-block barrier at warp granularity, and VOTE /
+/// SHFL operate across the warp's issue mask.
+///
+/// Remaining simplifications: warps inside a block run to the next
+/// barrier in index order (no interleaving finer than a barrier), ATOM
+/// touches global memory only, TEX returns a deterministic hash, and
+/// kernels launch over the X dimension only (SR_TID.Y etc. read zero).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,29 +37,26 @@
 
 #include "ir/Ir.h"
 #include "support/Errors.h"
+#include "vm/MemModel.h"
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
 namespace dcb {
 namespace vm {
 
-/// Shared machine memory (addresses wrap modulo each region size).
-struct Memory {
-  std::vector<uint8_t> Global;
-  std::vector<uint8_t> Shared;
-  std::map<unsigned, std::vector<uint8_t>> ConstBanks;
-
-  explicit Memory(size_t GlobalSize = 1 << 16, size_t SharedSize = 1 << 14)
-      : Global(GlobalSize, 0), Shared(SharedSize, 0) {}
-};
+struct VmStats; // Dispatch.h
 
 struct LaunchConfig {
-  unsigned NumThreads = 8; ///< Thread ids 0..N-1 (one block).
-  unsigned BlockId = 0;
+  unsigned NumThreads = 8; ///< Threads per block.
+  unsigned BlockId = 0;    ///< CTAID.X of the first block.
   unsigned MaxStepsPerThread = 200000;
   size_t LocalSizePerThread = 1 << 12;
+  unsigned NumBlocks = 1;
+  unsigned WarpSize = 32;            ///< 1..32 lanes per warp.
+  OobPolicy Oob = OobPolicy::Wrap;   ///< Out-of-region access policy.
+  unsigned NumLanes = 1; ///< TaskPool lanes for GridVm blocks (0 = all
+                         ///< hardware threads). Never changes results.
 };
 
 /// Final per-thread register state, exposed so instrumentation effects
@@ -57,8 +67,34 @@ struct ThreadResult {
   uint64_t Steps = 0;
 };
 
-/// Runs every thread of the launch to completion. Fails on unsupported
-/// instructions, runaway execution or malformed control flow.
+/// Everything one grid run produced. Threads are block-major: block b's
+/// thread t lands at b * NumThreads + t.
+struct GridResult {
+  std::vector<ThreadResult> Threads;
+  uint64_t Issues = 0;    ///< Warp-issued instructions.
+  uint64_t LaneSteps = 0; ///< Per-lane executed instructions.
+  uint64_t MemWraps = 0;  ///< Accesses that wrapped (OobPolicy::Wrap).
+  uint64_t Barriers = 0;  ///< Warp arrivals at BAR.SYNC.
+};
+
+/// The reference oracle. Stateless; run() re-derives everything from the
+/// kernel text on every step.
+class RefVm {
+public:
+  Expected<GridResult> run(const ir::Kernel &K, Memory &Mem,
+                           const LaunchConfig &Config);
+};
+
+/// The predecoded, block-parallel tier. Bit-identical to RefVm for every
+/// kernel and launch, at any NumLanes.
+class GridVm {
+public:
+  Expected<GridResult> run(const ir::Kernel &K, Memory &Mem,
+                           const LaunchConfig &Config);
+};
+
+/// Legacy single-call entry point: RefVm over Config (one block by
+/// default), returning only the per-thread results.
 Expected<std::vector<ThreadResult>> run(const ir::Kernel &K, Memory &Mem,
                                         const LaunchConfig &Config);
 

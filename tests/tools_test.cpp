@@ -370,3 +370,119 @@ TEST(DcbTelemetry, TraceAndStatsFilesAreRenderable) {
 #endif
   EXPECT_NE(runCmd(Dcb + " stats /nonexistent 2> /dev/null"), 0);
 }
+
+// --- The grid VM surface (exec / diffexec) ----------------------------------
+
+TEST(DcbTool, ExecOutputIsEngineAndJobsInvariant) {
+  const std::string Dcb = toolPath();
+  const std::string Work = workDir();
+  ASSERT_EQ(runCmd("mkdir -p " + Work), 0);
+  ASSERT_EQ(runCmd(Dcb + " make-suite sm_35 -o " + Work +
+                   "/vm.cubin > /dev/null"),
+            0);
+
+  // reduction's deliberate indirect branch makes `exec all` exit 1; the
+  // per-kernel lines must still be byte-identical for the fast tier, the
+  // oracle, and every --jobs value.
+  EXPECT_NE(runCmd(Dcb + " exec " + Work + "/vm.cubin all > " + Work +
+                   "/exec_grid.txt"),
+            0);
+  EXPECT_NE(runCmd(Dcb + " exec " + Work + "/vm.cubin all --ref > " + Work +
+                   "/exec_ref.txt"),
+            0);
+  EXPECT_NE(runCmd(Dcb + " exec " + Work + "/vm.cubin all --jobs 4 > " +
+                   Work + "/exec_j4.txt"),
+            0);
+  EXPECT_NE(runCmd(Dcb + " exec " + Work + "/vm.cubin all --jobs 0 > " +
+                   Work + "/exec_j0.txt"),
+            0);
+  const std::string Grid = slurp(Work + "/exec_grid.txt");
+  EXPECT_FALSE(Grid.empty());
+  EXPECT_NE(Grid.find("matrixMul: issues="), std::string::npos);
+  EXPECT_EQ(Grid, slurp(Work + "/exec_ref.txt"));
+  EXPECT_EQ(Grid, slurp(Work + "/exec_j4.txt"));
+  EXPECT_EQ(Grid, slurp(Work + "/exec_j0.txt"));
+
+  // A single supported kernel exits 0; an unknown kernel does not.
+  EXPECT_EQ(runCmd(Dcb + " exec " + Work +
+                   "/vm.cubin matrixMul > /dev/null"),
+            0);
+  EXPECT_NE(runCmd(Dcb + " exec " + Work +
+                   "/vm.cubin nosuchkernel > /dev/null 2>&1"),
+            0);
+}
+
+TEST(DcbTool, DiffexecInstrumentRoundTrip) {
+  const std::string Dcb = toolPath();
+  const std::string Work = workDir();
+  ASSERT_EQ(runCmd("mkdir -p " + Work), 0);
+  ASSERT_EQ(runCmd(Dcb + " make-suite sm_35 -o " + Work +
+                   "/de.cubin > /dev/null"),
+            0);
+
+  // A binary diffed against itself is clean.
+  ASSERT_EQ(runCmd(Dcb + " diffexec " + Work + "/de.cubin " + Work +
+                   "/de.cubin --seeds 2 > " + Work + "/de_self.txt"),
+            0);
+  EXPECT_NE(slurp(Work + "/de_self.txt").find("0 mismatched"),
+            std::string::npos);
+
+  // The paper's Fig. 12 loop: learn encodings, instrument (clear two
+  // registers at every exit), then confirm the transformed binary is
+  // observably equivalent on memory — and observably different once the
+  // comparison includes the cleared registers.
+  ASSERT_EQ(runCmd(Dcb + " disasm " + Work + "/de.cubin > " + Work +
+                   "/de.sass"),
+            0);
+  ASSERT_EQ(runCmd(Dcb + " analyze " + Work + "/de.sass -o " + Work +
+                   "/de1.db > /dev/null"),
+            0);
+  ASSERT_EQ(runCmd(Dcb + " flip " + Work + "/de.cubin --db " + Work +
+                   "/de1.db -o " + Work + "/de.db > /dev/null"),
+            0);
+  ASSERT_EQ(runCmd(Dcb + " instrument " + Work + "/de.cubin --db " + Work +
+                   "/de.db --clear-regs 4,5 -o " + Work +
+                   "/de.instr.cubin > /dev/null"),
+            0);
+
+  ASSERT_EQ(runCmd(Dcb + " diffexec " + Work + "/de.cubin " + Work +
+                   "/de.instr.cubin --seeds 2 > " + Work + "/de_mem.txt"),
+            0);
+  EXPECT_NE(slurp(Work + "/de_mem.txt").find("0 mismatched"),
+            std::string::npos);
+
+  EXPECT_NE(runCmd(Dcb + " diffexec " + Work + "/de.cubin " + Work +
+                   "/de.instr.cubin --seeds 2 --regs > " + Work +
+                   "/de_regs.txt"),
+            0);
+  EXPECT_NE(slurp(Work + "/de_regs.txt").find("final registers differ"),
+            std::string::npos);
+}
+
+TEST(DcbTelemetry, ExecStatsExposeVmCounters) {
+  const std::string Dcb = toolPath();
+  const std::string Work = workDir();
+  ASSERT_EQ(runCmd("mkdir -p " + Work), 0);
+  ASSERT_EQ(runCmd(Dcb + " make-suite sm_35 -o " + Work +
+                   "/vt.cubin > /dev/null"),
+            0);
+
+  // --stats never changes stdout.
+  ASSERT_EQ(runCmd(Dcb + " exec " + Work + "/vt.cubin matrixMul > " + Work +
+                   "/vt_plain.txt"),
+            0);
+  ASSERT_EQ(runCmd(Dcb + " exec " + Work + "/vt.cubin matrixMul --stats > " +
+                   Work + "/vt_stats.txt 2> " + Work + "/vt_table.txt"),
+            0);
+  EXPECT_EQ(slurp(Work + "/vt_plain.txt"), slurp(Work + "/vt_stats.txt"));
+
+  std::string Table = slurp(Work + "/vt_table.txt");
+#if DCB_TELEMETRY
+  EXPECT_NE(Table.find("vm.issues"), std::string::npos);
+  EXPECT_NE(Table.find("vm.lane_steps"), std::string::npos);
+  EXPECT_NE(Table.find("vm.barriers"), std::string::npos);
+  EXPECT_NE(Table.find("vm.blocks"), std::string::npos);
+#else
+  EXPECT_NE(Table.find("compiled out"), std::string::npos);
+#endif
+}

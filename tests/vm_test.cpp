@@ -265,8 +265,8 @@ TEST(Vm, RunawayLoopsAreCaught) {
 }
 
 TEST(Vm, UnsupportedInstructionIsReported) {
-  vendor::KernelBuilder K("shfl", Arch::SM35);
-  K.ins("SHFL.IDX P0, R1, R2, 0x3;");
+  vendor::KernelBuilder K("f2f16", Arch::SM35);
+  K.ins("F2F.F16.F32 R4, R5;"); // Half precision is outside the VM's scope.
   K.exit();
   ir::Kernel Kern = makeIr(Arch::SM35, K);
   Memory Mem;
@@ -274,7 +274,7 @@ TEST(Vm, UnsupportedInstructionIsReported) {
   Config.NumThreads = 1;
   Expected<std::vector<ThreadResult>> R = run(Kern, Mem, Config);
   ASSERT_FALSE(R.hasValue());
-  EXPECT_NE(R.message().find("SHFL"), std::string::npos);
+  EXPECT_NE(R.message().find("F2F"), std::string::npos);
 }
 
 TEST(Vm, DoubleArithmeticUsesRegisterPairs) {
@@ -472,4 +472,124 @@ TEST(Vm, SubWordMemoryAccess) {
   EXPECT_EQ(global32(Mem, 0x10), 0x33u);
   EXPECT_EQ(global32(Mem, 0x14), 0x1122u);
   EXPECT_EQ(global32(Mem, 0x18), 0x44u);
+}
+
+TEST(Vm, ShflMovesValuesAcrossTheWarp) {
+  // 8 threads in one warp: SHFL.UP by 1 shifts each thread's value from
+  // its lower neighbor; lane 0 has no source, keeps its own value and
+  // gets a false predicate.
+  vendor::KernelBuilder K("shfl", Arch::SM35);
+  K.ins("S2R R0, SR_TID.X;");
+  K.ins("IMUL R2, R0, 0x3;");
+  K.ins("SHFL.UP P0, R3, R2, 0x1;");
+  K.ins("SHL R4, R0, 0x2;");
+  K.ins("STG.E [R4+0x40], R3;");
+  K.ins("MOV R8, 0x1;");
+  K.ins("SEL R5, R8, RZ, P0;");
+  K.ins("STG.E [R4+0x80], R5;");
+  K.exit();
+  ir::Kernel Kern = makeIr(Arch::SM35, K);
+  Memory Mem;
+  LaunchConfig Config;
+  Config.NumThreads = 8;
+  Expected<std::vector<ThreadResult>> R = run(Kern, Mem, Config);
+  ASSERT_TRUE(R.hasValue()) << R.message();
+  EXPECT_EQ(global32(Mem, 0x40), 0u); // Lane 0: own value (tid 0 * 3).
+  EXPECT_EQ(global32(Mem, 0x80), 0u); // ...and an invalid-source flag.
+  for (unsigned I = 1; I < 8; ++I) {
+    EXPECT_EQ(global32(Mem, 0x40 + 4 * I), 3 * (I - 1)) << I;
+    EXPECT_EQ(global32(Mem, 0x80 + 4 * I), 1u) << I;
+  }
+}
+
+TEST(Vm, BarrierHandsDataBetweenWarps) {
+  // Two warps of 4: every thread publishes its id to shared memory, BARs,
+  // then reads its cross-warp partner's slot. Correct results require a
+  // real barrier — if warp 0 simply ran to completion first, it would
+  // read zeros from the slots warp 1 had not written yet.
+  vendor::KernelBuilder K("bar", Arch::SM35);
+  K.ins("S2R R0, SR_TID.X;");
+  K.ins("SHL R4, R0, 0x2;");
+  K.ins("STS [R4], R0;");
+  K.ins("BAR.SYNC 0x0;");
+  K.ins("IADD R5, R0, 0x4;");
+  K.ins("LOP.AND R5, R5, 0x7;"); // Partner = (tid + 4) % 8.
+  K.ins("SHL R6, R5, 0x2;");
+  K.ins("LDS R7, [R6];");
+  K.ins("STG.E [R4+0x100], R7;");
+  K.exit();
+  ir::Kernel Kern = makeIr(Arch::SM35, K);
+  LaunchConfig Config;
+  Config.NumThreads = 8;
+  Config.WarpSize = 4;
+  for (int UseGrid = 0; UseGrid < 2; ++UseGrid) {
+    Memory Mem;
+    Expected<GridResult> R = UseGrid ? GridVm().run(Kern, Mem, Config)
+                                     : RefVm().run(Kern, Mem, Config);
+    ASSERT_TRUE(R.hasValue()) << R.message();
+    for (unsigned I = 0; I < 8; ++I)
+      EXPECT_EQ(global32(Mem, 0x100 + 4 * I), (I + 4) % 8)
+          << (UseGrid ? "grid" : "ref") << " thread " << I;
+    EXPECT_EQ(R->Barriers, 2u); // Two warps arrived at one BAR.SYNC.
+  }
+}
+
+TEST(Vm, OobPolicySelectsWrapOrFault) {
+  // Global memory is 64 KiB; a store at 0x10040 is 0x40 bytes past the
+  // end. Under Wrap it aliases onto offset 0x40 and is counted; under
+  // Fault the run fails, naming the access.
+  vendor::KernelBuilder K("oob", Arch::SM35);
+  K.ins("MOV32I R1, 0x10040;");
+  K.ins("MOV32I R2, 0xabcd;");
+  K.ins("STG.E [R1], R2;");
+  K.exit();
+  ir::Kernel Kern = makeIr(Arch::SM35, K);
+  LaunchConfig Config;
+  Config.NumThreads = 1;
+
+  for (int UseGrid = 0; UseGrid < 2; ++UseGrid) {
+    Memory Mem;
+    Config.Oob = OobPolicy::Wrap;
+    Expected<GridResult> R = UseGrid ? GridVm().run(Kern, Mem, Config)
+                                     : RefVm().run(Kern, Mem, Config);
+    ASSERT_TRUE(R.hasValue()) << R.message();
+    EXPECT_EQ(global32(Mem, 0x40), 0xabcdu);
+    EXPECT_EQ(R->MemWraps, 1u);
+
+    Memory Mem2;
+    Config.Oob = OobPolicy::Fault;
+    Expected<GridResult> F = UseGrid ? GridVm().run(Kern, Mem2, Config)
+                                     : RefVm().run(Kern, Mem2, Config);
+    ASSERT_FALSE(F.hasValue());
+    EXPECT_NE(F.message().find("out-of-bounds store"), std::string::npos)
+        << F.message();
+    EXPECT_EQ(global32(Mem2, 0x40), 0u); // The faulting store was dropped.
+  }
+}
+
+TEST(Vm, MultiBlockGridMergesByBlockIndex) {
+  // Each block stores (ctaid+1) into its own slot. Blocks run on private
+  // memory images merged by ascending block index, so disjoint writes all
+  // land and Threads is block-major.
+  vendor::KernelBuilder K("grid", Arch::SM35);
+  K.ins("S2R R0, SR_CTAID.X;");
+  K.ins("SHL R4, R0, 0x2;");
+  K.ins("IADD R2, R0, 0x1;");
+  K.ins("STG.E [R4+0x40], R2;");
+  K.exit();
+  ir::Kernel Kern = makeIr(Arch::SM35, K);
+  LaunchConfig Config;
+  Config.NumThreads = 4;
+  Config.NumBlocks = 3;
+  Config.NumLanes = 0; // All cores; results are merge-order deterministic.
+  Memory Mem;
+  Expected<GridResult> R = GridVm().run(Kern, Mem, Config);
+  ASSERT_TRUE(R.hasValue()) << R.message();
+  ASSERT_EQ(R->Threads.size(), 12u);
+  for (unsigned B = 0; B < 3; ++B) {
+    EXPECT_EQ(global32(Mem, 0x40 + 4 * B), B + 1) << B;
+    // Block-major thread order: every thread of block B saw CTAID.X == B.
+    for (unsigned T = 0; T < 4; ++T)
+      EXPECT_EQ(R->Threads[B * 4 + T].Regs[0], B) << B << "/" << T;
+  }
 }

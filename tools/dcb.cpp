@@ -34,6 +34,7 @@
 #include "vendor/CuobjdumpSim.h"
 #include "vendor/IsaLint.h"
 #include "vendor/NvccSim.h"
+#include "vm/Differ.h"
 #include "workloads/Suite.h"
 
 #include "support/StringUtils.h"
@@ -98,7 +99,8 @@ struct Args {
           continue;
         }
         if (Key == "--stats" || Key == "--json" || Key == "--liveness" ||
-            Key == "--hazards" || Key == "--no-verify") {
+            Key == "--hazards" || Key == "--no-verify" || Key == "--ref" ||
+            Key == "--regs") {
           A.Options[Key] = "";
           continue;
         }
@@ -607,6 +609,107 @@ int cmdInstrument(const Args &A) {
   return 0;
 }
 
+/// Shared option parsing for exec/diffexec. Both commands drive the VM
+/// through the same vm::ExecOptions, so the launch shape flags are one
+/// vocabulary.
+vm::ExecOptions execOptions(const Args &A) {
+  vm::ExecOptions Opts;
+  auto Uint = [&A](const char *Key, unsigned &Slot, bool AllowZero) {
+    if (auto V = A.get(Key)) {
+      std::optional<uint64_t> N = parseUInt(*V);
+      if (!N || (!AllowZero && *N == 0))
+        die(std::string("bad ") + Key + " value '" + *V + "'");
+      Slot = static_cast<unsigned>(*N);
+    }
+  };
+  Uint("--threads", Opts.NumThreads, false);
+  Uint("--blocks", Opts.NumBlocks, false);
+  Uint("--warp-size", Opts.WarpSize, false);
+  Uint("--jobs", Opts.NumLanes, true); // 0 = all cores, like disasm.
+  Uint("--seeds", Opts.Seeds, false);
+  if (auto V = A.get("--seed")) {
+    std::optional<uint64_t> N = parseUInt(*V);
+    if (!N)
+      die("bad --seed value '" + *V + "'");
+    Opts.FirstSeed = *N;
+  }
+  Opts.UseRef = A.Options.count("--ref") != 0;
+  Opts.CompareRegs = A.Options.count("--regs") != 0;
+  if (auto V = A.get("--oob")) {
+    if (*V == "wrap")
+      Opts.Oob = vm::OobPolicy::Wrap;
+    else if (*V == "fault")
+      Opts.Oob = vm::OobPolicy::Fault;
+    else
+      die("bad --oob value '" + *V + "' (wrap|fault)");
+  }
+  return Opts;
+}
+
+int cmdExec(const Args &A) {
+  if (A.Positional.size() < 2)
+    die("usage: dcb exec <cubin|listing> <kernel|all> [--jobs N] [--ref] "
+        "[--seed N] [--threads N] [--blocks N] [--warp-size N] "
+        "[--oob wrap|fault]");
+  ir::Program P = loadProgramFile(A.Positional[0]);
+  vm::ExecOptions Opts = execOptions(A);
+
+  std::vector<const ir::Kernel *> Kernels;
+  if (A.Positional[1] == "all") {
+    for (const ir::Kernel &K : P.Kernels)
+      Kernels.push_back(&K);
+  } else {
+    const ir::Kernel *K = P.findKernel(A.Positional[1]);
+    if (!K)
+      die("no kernel named " + A.Positional[1]);
+    Kernels.push_back(K);
+  }
+
+  int Rc = 0;
+  for (const ir::Kernel *K : Kernels) {
+    vm::ExecSummary S = vm::execKernel(*K, Opts.FirstSeed, Opts);
+    if (S.Failed) {
+      std::printf("%s: error: %s\n", S.Kernel.c_str(), S.Error.c_str());
+      Rc = 1;
+      continue;
+    }
+    std::printf("%s: issues=%llu steps=%llu wraps=%llu barriers=%llu "
+                "global=%016llx regs=%016llx\n",
+                S.Kernel.c_str(),
+                static_cast<unsigned long long>(S.Issues),
+                static_cast<unsigned long long>(S.LaneSteps),
+                static_cast<unsigned long long>(S.MemWraps),
+                static_cast<unsigned long long>(S.Barriers),
+                static_cast<unsigned long long>(S.GlobalCrc),
+                static_cast<unsigned long long>(S.RegsCrc));
+  }
+  return Rc;
+}
+
+int cmdDiffexec(const Args &A) {
+  if (A.Positional.size() < 2)
+    die("usage: dcb diffexec <orig> <transformed> [--seeds N] [--regs] "
+        "[--jobs N] [--ref] [--threads N] [--blocks N] [--warp-size N]");
+  ir::Program Orig = loadProgramFile(A.Positional[0]);
+  ir::Program Transformed = loadProgramFile(A.Positional[1]);
+  vm::ExecOptions Opts = execOptions(A);
+
+  vm::DiffResult R = vm::diffPrograms(Orig, Transformed, Opts);
+  for (const vm::KernelDiff &D : R.Kernels) {
+    const char *Verdict = D.Verdict == vm::DiffVerdict::Match      ? "match"
+                          : D.Verdict == vm::DiffVerdict::Skipped ? "skipped"
+                                                                  : "MISMATCH";
+    if (D.Detail.empty())
+      std::printf("%s: %s\n", D.Kernel.c_str(), Verdict);
+    else
+      std::printf("%s: %s (%s)\n", D.Kernel.c_str(), Verdict,
+                  D.Detail.c_str());
+  }
+  std::printf("diffexec: %u matched, %u skipped, %u mismatched\n", R.Matched,
+              R.Skipped, R.Mismatched);
+  return R.clean() ? 0 : 1;
+}
+
 [[noreturn]] void usage() {
   std::fprintf(
       stderr,
@@ -639,6 +742,18 @@ int cmdInstrument(const Args &A) {
       "                                          dataflow / hazard report\n"
       "                                          for one program\n"
       "  (lint/analyze: --json prints dcb-lint-v1 JSON, --json=FILE saves)\n"
+      "  exec <cubin|listing> <kernel|all> [--jobs N] [--ref] [--seed N]\n"
+      "       [--threads N] [--blocks N] [--warp-size N] [--oob wrap|fault]\n"
+      "                                          run kernels on the grid VM\n"
+      "                                          over a seeded input image\n"
+      "                                          (--ref = oracle engine;\n"
+      "                                          --jobs 0 = all cores)\n"
+      "  diffexec <orig> <transformed> [--seeds N] [--regs] [--jobs N]\n"
+      "                                          run both binaries on\n"
+      "                                          randomized inputs, compare\n"
+      "                                          final memory (--regs: also\n"
+      "                                          registers); exits 1 on any\n"
+      "                                          behavioral mismatch\n"
       "  stats <stats.json>                      render a saved stats file\n"
       "\n"
       "global options (every command):\n"
@@ -668,6 +783,10 @@ int runCommand(const std::string &Cmd, const Args &A) {
     return cmdIr(A);
   if (Cmd == "instrument")
     return cmdInstrument(A);
+  if (Cmd == "exec")
+    return cmdExec(A);
+  if (Cmd == "diffexec")
+    return cmdDiffexec(A);
   if (Cmd == "lint")
     return cmdLint(A);
   if (Cmd == "stats")
