@@ -1,0 +1,378 @@
+//===- bench/bench_serve_throughput.cpp - Daemon amortization --------------===//
+//
+// The serve daemon's performance contract (ROADMAP item 1): a warm result
+// cache must turn repeated traffic into hash lookups, beating the
+// one-shot pipeline by an order of magnitude. The report drives an
+// in-process server over real loopback sockets at 1/4/16 concurrent
+// clients, cold (a zero-budget cache declines every entry, so each
+// request runs the full pipeline) and warm (cache hits), prints
+// requests/s plus
+// p50/p95/p99 latency, and first proves every served response is
+// byte-identical to the one-shot op — the bench aborts on divergence,
+// and aborts if warm throughput at 16 clients is under 10x the cold
+// one-shot baseline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "serve/Client.h"
+#include "serve/Json.h"
+#include "serve/Ops.h"
+#include "serve/Server.h"
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+extern char **environ;
+
+using namespace dcb;
+using namespace dcb::bench;
+
+namespace {
+
+const Arch BenchArch = Arch::SM35;
+
+double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+serve::Server *startServer(size_t CacheBytes) {
+  serve::ServerOptions Opts;
+  Opts.CacheBytes = CacheBytes;
+  auto *Server = new serve::Server(Opts, std::nullopt);
+  if (Error E = Server->start()) {
+    std::fprintf(stderr, "serve bench: %s\n", E.message().c_str());
+    std::abort();
+  }
+  return Server;
+}
+
+/// The warm server: a normal cache, so repeated traffic is a hash lookup.
+serve::Server &server() {
+  static serve::Server *S = startServer(64ull << 20);
+  return *S;
+}
+
+/// The cold server: a zero-byte cache budget declines every entry, so
+/// every request runs the full pipeline — same transport, no reuse.
+serve::Server &coldServer() {
+  static serve::Server *S = startServer(0);
+  return *S;
+}
+
+const std::vector<uint8_t> &image() {
+  static std::vector<uint8_t> *Image = [] {
+    vendor::NvccSim Nvcc(BenchArch);
+    Expected<std::vector<uint8_t>> I =
+        Nvcc.compileToImage(workloads::buildSuite(BenchArch));
+    if (!I) {
+      std::fprintf(stderr, "serve bench: %s\n", I.message().c_str());
+      std::abort();
+    }
+    return new std::vector<uint8_t>(*I);
+  }();
+  return *Image;
+}
+
+const std::string &expectedOutput() {
+  static std::string *Out = [] {
+    Expected<serve::OpResult> R =
+        serve::opDisasm(image(), vendor::DisasmOptions());
+    if (!R) {
+      std::fprintf(stderr, "serve bench: %s\n", R.message().c_str());
+      std::abort();
+    }
+    return new std::string(R->Output);
+  }();
+  return *Out;
+}
+
+/// One disasm request line; every request in the bench is this one key.
+const std::string &requestLine() {
+  static const std::string *Line = [] {
+    return new std::string("{\"op\":\"disasm\",\"data_b64\":\"" +
+                           serve::json::base64Encode(image()) +
+                           "\",\"jobs\":1}");
+  }();
+  return *Line;
+}
+
+/// Sends one request and verifies the response carries the one-shot
+/// bytes. Divergence is a correctness failure: abort, don't report.
+void checkedRoundTrip(serve::Client &C, const std::string &Req) {
+  Expected<std::string> Resp = C.roundTrip(Req);
+  if (!Resp) {
+    std::fprintf(stderr, "serve bench: %s\n", Resp.message().c_str());
+    std::abort();
+  }
+  Expected<serve::json::Value> V = serve::json::parse(*Resp);
+  if (!V || V->str("status") != "ok" ||
+      V->str("output") != expectedOutput()) {
+    std::fprintf(stderr,
+                 "serve bench: served response diverged from the one-shot "
+                 "op output\n");
+    std::abort();
+  }
+}
+
+struct LoadResult {
+  double RequestsPerSec = 0;
+  double P50Ms = 0, P95Ms = 0, P99Ms = 0;
+};
+
+/// Drives \p NumClients concurrent connections for \p PerClient requests
+/// each against \p S (warm server: hits after the first request; cold
+/// server: a full decode every time).
+LoadResult drive(serve::Server &S, unsigned NumClients, unsigned PerClient) {
+  std::vector<std::vector<double>> Latencies(NumClients);
+  std::vector<std::thread> Threads;
+  std::atomic<unsigned> Ready{0};
+  std::atomic<bool> Go{false};
+
+  for (unsigned T = 0; T < NumClients; ++T)
+    Threads.emplace_back([&, T] {
+      Expected<serve::Client> C = serve::Client::connect(S.port());
+      if (!C) {
+        std::fprintf(stderr, "serve bench: %s\n", C.message().c_str());
+        std::abort();
+      }
+      Ready.fetch_add(1);
+      while (!Go.load())
+        std::this_thread::yield();
+      Latencies[T].reserve(PerClient);
+      for (unsigned I = 0; I < PerClient; ++I) {
+        double T0 = now();
+        checkedRoundTrip(*C, requestLine());
+        Latencies[T].push_back(now() - T0);
+      }
+    });
+
+  while (Ready.load() != NumClients)
+    std::this_thread::yield();
+  double Start = now();
+  Go.store(true);
+  for (std::thread &T : Threads)
+    T.join();
+  double Elapsed = now() - Start;
+
+  std::vector<double> All;
+  for (const std::vector<double> &L : Latencies)
+    All.insert(All.end(), L.begin(), L.end());
+  std::sort(All.begin(), All.end());
+  auto Pct = [&All](double P) {
+    size_t Idx = static_cast<size_t>(P * (All.size() - 1));
+    return All[Idx] * 1e3;
+  };
+  LoadResult R;
+  R.RequestsPerSec = All.size() / Elapsed;
+  R.P50Ms = Pct(0.50);
+  R.P95Ms = Pct(0.95);
+  R.P99Ms = Pct(0.99);
+  return R;
+}
+
+/// The in-process op alone — the pipeline with startup already paid.
+double inProcessOpRequestsPerSec(unsigned Iters) {
+  double Start = now();
+  for (unsigned I = 0; I < Iters; ++I) {
+    Expected<serve::OpResult> R =
+        serve::opDisasm(image(), vendor::DisasmOptions());
+    if (!R || R->Output != expectedOutput()) {
+      std::fprintf(stderr, "serve bench: one-shot op diverged\n");
+      std::abort();
+    }
+  }
+  return Iters / (now() - Start);
+}
+
+/// The cold one-shot baseline the daemon exists to beat: a `dcb disasm`
+/// *process* per request, paying exec, runtime init and decode-table
+/// construction every time. Every run's stdout is checked against the
+/// expected bytes.
+double oneShotProcessRequestsPerSec(unsigned Iters) {
+  const std::string Tool = DCB_BINARY_DIR "/tools/dcb";
+  const std::string Base =
+      "/tmp/dcb_serve_bench." + std::to_string(getpid());
+  const std::string CubinPath = Base + ".cubin";
+  const std::string OutPath = Base + ".out";
+  {
+    std::ofstream F(CubinPath, std::ios::binary);
+    F.write(reinterpret_cast<const char *>(image().data()),
+            static_cast<std::streamsize>(image().size()));
+  }
+
+  double Start = now();
+  for (unsigned I = 0; I < Iters; ++I) {
+    posix_spawn_file_actions_t Actions;
+    posix_spawn_file_actions_init(&Actions);
+    posix_spawn_file_actions_addopen(&Actions, STDOUT_FILENO,
+                                     OutPath.c_str(),
+                                     O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    const char *Argv[] = {Tool.c_str(), "disasm", CubinPath.c_str(),
+                          nullptr};
+    pid_t Pid = -1;
+    int Rc = posix_spawn(&Pid, Tool.c_str(), &Actions, nullptr,
+                         const_cast<char **>(Argv), environ);
+    posix_spawn_file_actions_destroy(&Actions);
+    int Status = 0;
+    if (Rc != 0 || waitpid(Pid, &Status, 0) != Pid ||
+        !WIFEXITED(Status) || WEXITSTATUS(Status) != 0) {
+      std::fprintf(stderr, "serve bench: one-shot dcb run failed\n");
+      std::abort();
+    }
+    std::ifstream F(OutPath, std::ios::binary);
+    std::ostringstream Got;
+    Got << F.rdbuf();
+    if (Got.str() != expectedOutput()) {
+      std::fprintf(stderr,
+                   "serve bench: one-shot dcb output diverged from the "
+                   "served bytes\n");
+      std::abort();
+    }
+  }
+  double PerSec = Iters / (now() - Start);
+  unlink(CubinPath.c_str());
+  unlink(OutPath.c_str());
+  return PerSec;
+}
+
+void report() {
+  // Prime: expected bytes, both servers, and the warm cache entry.
+  (void)expectedOutput();
+  (void)coldServer();
+  {
+    Expected<serve::Client> C = serve::Client::connect(server().port());
+    if (!C)
+      std::abort();
+    checkedRoundTrip(*C, requestLine());
+  }
+
+  double OneShot = oneShotProcessRequestsPerSec(20);
+  double InProcess = inProcessOpRequestsPerSec(20);
+
+  std::printf("=== serve daemon: amortized vs one-shot (sm_35 suite, "
+              "%zu-byte cubin) ===\n",
+              image().size());
+  std::printf("one-shot dcb process          %10.0f req/s (cold baseline: "
+              "exec + init per request)\n",
+              OneShot);
+  std::printf("one-shot op, in-process       %10.0f req/s (startup already "
+              "paid)\n",
+              InProcess);
+
+  const unsigned PerClient = 40;
+  double Warm16 = 0;
+  for (unsigned Clients : {1u, 4u, 16u}) {
+    LoadResult Cold = drive(coldServer(), Clients, PerClient / 4);
+    LoadResult Warm = drive(server(), Clients, PerClient);
+    if (Clients == 16)
+      Warm16 = Warm.RequestsPerSec;
+    std::printf("served cold, %2u client(s)    %10.0f req/s   "
+                "p50 %7.3f ms  p95 %7.3f ms  p99 %7.3f ms\n",
+                Clients, Cold.RequestsPerSec, Cold.P50Ms, Cold.P95Ms,
+                Cold.P99Ms);
+    std::printf("served warm, %2u client(s)    %10.0f req/s   "
+                "p50 %7.3f ms  p95 %7.3f ms  p99 %7.3f ms\n",
+                Clients, Warm.RequestsPerSec, Warm.P50Ms, Warm.P95Ms,
+                Warm.P99Ms);
+  }
+
+  serve::ResultCache::Stats Stats = server().cache().stats();
+  std::printf("cache: %llu hits / %llu misses, %zu entries, %zu bytes\n",
+              static_cast<unsigned long long>(Stats.Hits),
+              static_cast<unsigned long long>(Stats.Misses), Stats.Entries,
+              Stats.Bytes);
+  std::printf("every served response byte-identical to one-shot: yes\n");
+
+  double Speedup = Warm16 / OneShot;
+  std::printf("warm 16-client throughput vs cold one-shot: %.1fx\n\n",
+              Speedup);
+  if (Speedup < 10.0) {
+#ifdef NDEBUG
+    std::fprintf(stderr,
+                 "serve bench: warm throughput %.1fx one-shot, need >= 10x\n",
+                 Speedup);
+    std::abort();
+#else
+    std::printf("(debug build: the >=10x contract is only enforced under "
+                "NDEBUG; run_benches.sh builds Release)\n");
+#endif
+  }
+}
+
+void BM_OneShotDisasm(benchmark::State &State) {
+  for (auto _ : State) {
+    Expected<serve::OpResult> R =
+        serve::opDisasm(image(), vendor::DisasmOptions());
+    benchmark::DoNotOptimize(R.hasValue());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_OneShotDisasm)->Unit(benchmark::kMillisecond);
+
+void BM_PingRoundTrip(benchmark::State &State) {
+  Expected<serve::Client> C = serve::Client::connect(server().port());
+  if (!C)
+    std::abort();
+  for (auto _ : State) {
+    Expected<std::string> R = C->roundTrip("{\"op\":\"ping\"}");
+    if (!R)
+      std::abort();
+    benchmark::DoNotOptimize(R->size());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_PingRoundTrip)->Unit(benchmark::kMicrosecond);
+
+void BM_ServedWarmHit(benchmark::State &State) {
+  Expected<serve::Client> C = serve::Client::connect(server().port());
+  if (!C)
+    std::abort();
+  checkedRoundTrip(*C, requestLine()); // Prime the entry.
+  for (auto _ : State)
+    checkedRoundTrip(*C, requestLine());
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_ServedWarmHit)->Unit(benchmark::kMicrosecond);
+
+void BM_ServedColdMiss(benchmark::State &State) {
+  Expected<serve::Client> C = serve::Client::connect(coldServer().port());
+  if (!C)
+    std::abort();
+  for (auto _ : State)
+    checkedRoundTrip(*C, requestLine());
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_ServedColdMiss)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  // DCB_BENCH_NO_REPORT=1 skips the load report (and its >=10x assert)
+  // to iterate on the micro-benchmarks alone.
+  if (!std::getenv("DCB_BENCH_NO_REPORT"))
+    report();
+  addTelemetryContext();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  coldServer().stop();
+  server().stop();
+  return 0;
+}

@@ -32,24 +32,31 @@ fi
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j >/dev/null
 
+# The expected bench set comes from bench/CMakeLists.txt, not from
+# globbing the build tree: a bench that failed to build (or was renamed
+# without updating CMake) must fail this run loudly, not silently vanish
+# from the recorded JSON.
+EXPECTED=()
+while IFS= read -r NAME; do
+  EXPECTED+=("$NAME")
+done < <(sed -n 's/^dcb_add_bench(\([A-Za-z0-9_]*\).*/\1/p' \
+         "$ROOT/bench/CMakeLists.txt")
+
+if [ "${#EXPECTED[@]}" -eq 0 ]; then
+  echo "run_benches: no dcb_add_bench entries found in bench/CMakeLists.txt" >&2
+  exit 1
+fi
+
 if [ "$#" -gt 0 ]; then
   BENCHES=("$@")
 else
-  BENCHES=()
-  for B in "$BUILD"/bench/bench_*; do
-    [ -x "$B" ] && BENCHES+=("$(basename "$B")")
-  done
-fi
-
-if [ "${#BENCHES[@]}" -eq 0 ]; then
-  echo "run_benches: no bench binaries found under $BUILD/bench —" \
-       "did the Release build produce them?" >&2
-  exit 1
+  BENCHES=("${EXPECTED[@]}")
 fi
 
 for NAME in "${BENCHES[@]}"; do
   if [ ! -x "$BUILD/bench/$NAME" ]; then
-    echo "run_benches: no such bench binary: $NAME" >&2
+    echo "run_benches: expected bench binary missing or not executable:" \
+         "$BUILD/bench/$NAME (declared in bench/CMakeLists.txt)" >&2
     exit 1
   fi
 done

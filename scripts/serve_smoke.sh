@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the `dcb serve` daemon: start it, hit it with
+# concurrent clients, require every served response byte-identical to the
+# one-shot CLI output and the second round to be all cache hits, then shut
+# down cleanly via SIGTERM and validate the exported dcb-stats-v1 file.
+#
+# usage: scripts/serve_smoke.sh <dcb-binary> [workdir]
+set -euo pipefail
+
+if [ "$#" -lt 1 ]; then
+  echo "usage: scripts/serve_smoke.sh <dcb-binary> [workdir]" >&2
+  exit 2
+fi
+DCB="$(cd "$(dirname "$1")" && pwd)/$(basename "$1")"
+WORK="${2:-serve-smoke}"
+NUM_CLIENTS=4
+
+mkdir -p "$WORK"
+cd "$WORK"
+rm -f port.txt serve-stats.json serve.log
+
+"$DCB" make-suite sm_35 -o suite.cubin > /dev/null
+"$DCB" disasm suite.cubin > oneshot.sass
+
+"$DCB" serve --port-file port.txt --stats=serve-stats.json \
+    2> serve.log &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 100); do
+  [ -s port.txt ] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || {
+    echo "serve_smoke: daemon died during startup" >&2
+    cat serve.log >&2
+    exit 1
+  }
+  sleep 0.1
+done
+[ -s port.txt ] || {
+  echo "serve_smoke: daemon never wrote the port file" >&2
+  exit 1
+}
+
+# Two rounds of concurrent clients. Round 1 populates the cache; round 2
+# must be served from it. Every response must match the one-shot bytes.
+for ROUND in 1 2; do
+  PIDS=()
+  for I in $(seq "$NUM_CLIENTS"); do
+    "$DCB" client --port-file port.txt disasm suite.cubin \
+        > "served.$ROUND.$I.sass" &
+    PIDS+=("$!")
+  done
+  for P in "${PIDS[@]}"; do wait "$P"; done
+  for I in $(seq "$NUM_CLIENTS"); do
+    cmp oneshot.sass "served.$ROUND.$I.sass" || {
+      echo "serve_smoke: served bytes diverged (round $ROUND, client $I)" >&2
+      exit 1
+    }
+  done
+done
+
+# The live stats op must report at least a full second round of hits and
+# exactly one distinct decode per cache key (one key in play here).
+"$DCB" client --port-file port.txt stats > stats-line.json
+python3 - stats-line.json "$NUM_CLIENTS" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+clients = int(sys.argv[2])
+cache = doc["cache"]
+assert doc["status"] == "ok", doc
+assert cache["hits"] >= clients, cache
+assert 1 <= cache["misses"] <= clients, cache
+assert doc["sessions"]["requests"] >= 2 * clients, doc["sessions"]
+PY
+
+# Clean SIGTERM shutdown: the daemon must exit by itself (no KILL) and
+# flush its telemetry to the --stats file on the way out.
+kill -TERM "$SERVE_PID"
+for _ in $(seq 100); do
+  kill -0 "$SERVE_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SERVE_PID" 2>/dev/null; then
+  echo "serve_smoke: daemon ignored SIGTERM" >&2
+  exit 1
+fi
+trap - EXIT
+
+[ -s serve-stats.json ] || {
+  echo "serve_smoke: daemon exited without writing serve-stats.json" >&2
+  exit 1
+}
+python3 - serve-stats.json <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "dcb-stats-v1", doc.get("schema")
+counters = doc["counters"]
+assert counters["serve.requests"] >= 9, counters.get("serve.requests")
+assert counters["serve.cache_hits"] >= 4, counters.get("serve.cache_hits")
+assert counters["serve.cache_misses"] >= 1, counters.get("serve.cache_misses")
+PY
+
+echo "serve_smoke: ok (bytes identical, cache hit, clean shutdown)"

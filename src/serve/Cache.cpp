@@ -1,0 +1,91 @@
+//===- serve/Cache.cpp ----------------------------------------------------===//
+
+#include "serve/Cache.h"
+
+#include "support/Telemetry.h"
+
+#include <algorithm>
+
+using namespace dcb;
+using namespace dcb::serve;
+
+namespace {
+
+struct CacheTelemetry {
+  telemetry::Counter &Hits = telemetry::counter("serve.cache_hits");
+  telemetry::Counter &Misses = telemetry::counter("serve.cache_misses");
+  telemetry::Counter &Evictions = telemetry::counter("serve.cache_evictions");
+  telemetry::Gauge &Bytes = telemetry::gauge("serve.cache_bytes");
+  telemetry::Gauge &Entries = telemetry::gauge("serve.cache_entries");
+} Tel;
+
+} // namespace
+
+Hash128 dcb::serve::cacheKey(const Hash128 &ContentHash, std::string_view Op,
+                             std::string_view OptionsFingerprint) {
+  Hasher H;
+  H.updateU64(ContentHash.Hi);
+  H.updateU64(ContentHash.Lo);
+  // Length-framed fields, so ("disasm", "a=1") never collides with a
+  // hostile ("disasma", "=1") split of the same byte stream.
+  H.updateU64(Op.size());
+  H.update(Op);
+  H.updateU64(OptionsFingerprint.size());
+  H.update(OptionsFingerprint);
+  return H.digest128();
+}
+
+ResultCache::ResultCache(size_t ByteBudget, unsigned NumShards) {
+  NumShards = std::max(1u, NumShards);
+  size_t PerShard = std::max<size_t>(1, ByteBudget / NumShards);
+  Shards.reserve(NumShards);
+  for (unsigned I = 0; I < NumShards; ++I)
+    Shards.push_back(std::make_unique<Shard>(PerShard));
+}
+
+std::unique_ptr<OpResult> ResultCache::get(const Hash128 &Key) {
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.M);
+  if (OpResult *Hit = S.Map.get(Key)) {
+    ++S.Hits;
+    Tel.Hits.add();
+    return std::make_unique<OpResult>(*Hit);
+  }
+  ++S.Misses;
+  Tel.Misses.add();
+  return nullptr;
+}
+
+void ResultCache::put(const Hash128 &Key, const OpResult &Result) {
+  Shard &S = shardFor(Key);
+  uint64_t Evicted;
+  {
+    std::lock_guard<std::mutex> Lock(S.M);
+    uint64_t Before = S.Map.evictions();
+    S.Map.put(Key, Result, Result.byteSize());
+    Evicted = S.Map.evictions() - Before;
+  }
+  if (Evicted)
+    Tel.Evictions.add(Evicted);
+  if (telemetry::countersEnabled()) {
+    // Last-write-wins gauges, refreshed outside the shard lock; stats()
+    // re-locks each shard, so the update must not nest inside one.
+    Stats Totals = stats();
+    Tel.Bytes.set(static_cast<int64_t>(Totals.Bytes));
+    Tel.Entries.set(static_cast<int64_t>(Totals.Entries));
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  Stats Out;
+  for (const std::unique_ptr<Shard> &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->M);
+    Out.Hits += S->Hits;
+    Out.Misses += S->Misses;
+    Out.Evictions += S->Map.evictions();
+    Out.Entries += S->Map.size();
+    Out.Bytes += S->Map.bytes();
+    Out.Budget += S->Map.budget();
+  }
+  return Out;
+}

@@ -1,0 +1,110 @@
+//===- serve/Cache.h - Content-addressed result cache -----------*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon's result cache: a sharded map from a 128-bit content key to
+/// a finished operation result, with per-shard LRU eviction under a
+/// configurable total byte budget.
+///
+/// Keying is *content-addressed*: the key hashes the input bytes
+/// themselves (not a path or mtime) together with the operation and an
+/// options fingerprint covering every request knob that could change the
+/// output (docs/SERVE.md spells out the fields). Two clients uploading
+/// the same cubin therefore share one entry, while the same cubin under a
+/// different OOB policy or launch shape never aliases.
+///
+/// Sharding keeps the lock narrow: the key's low bits pick a shard, each
+/// shard is an independently locked support::LruMap with 1/N of the byte
+/// budget. Hits and misses count into the `serve.cache_*` telemetry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_SERVE_CACHE_H
+#define DCB_SERVE_CACHE_H
+
+#include "support/Hash.h"
+#include "support/Lru.h"
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dcb {
+namespace serve {
+
+/// A finished operation, exactly as the one-shot CLI would have emitted
+/// it: Output is the stdout byte stream, Errors the per-item stderr
+/// diagnostics (in emission order), Exit the process exit code.
+struct OpResult {
+  std::string Output;
+  std::vector<std::string> Errors;
+  int Exit = 0;
+
+  size_t byteSize() const {
+    size_t N = Output.size() + sizeof(OpResult);
+    for (const std::string &E : Errors)
+      N += E.size() + sizeof(std::string);
+    return N;
+  }
+};
+
+/// Builds the content-addressed key for one request: the hash of the
+/// input bytes, extended with the operation name and the options
+/// fingerprint (a canonical "k=v;" list — see Server.cpp's
+/// optionsFingerprint). Callers hash the input once and reuse the digest.
+Hash128 cacheKey(const Hash128 &ContentHash, std::string_view Op,
+                 std::string_view OptionsFingerprint);
+
+/// Sharded LRU cache of OpResults. Thread-safe; all methods may be called
+/// concurrently from any number of request lanes.
+class ResultCache {
+public:
+  /// \p ByteBudget is the total across shards; \p NumShards is clamped to
+  /// at least 1 and each shard gets an equal slice.
+  ResultCache(size_t ByteBudget, unsigned NumShards = 16);
+
+  /// Returns the cached result (copied out under the shard lock) or
+  /// nothing. Counts a hit or miss.
+  std::unique_ptr<OpResult> get(const Hash128 &Key);
+
+  /// Inserts \p Result. Oversized entries (larger than a whole shard's
+  /// budget) are declined silently — the request was still served, it
+  /// just won't be cached.
+  void put(const Hash128 &Key, const OpResult &Result);
+
+  /// Point-in-time totals across shards (for stats responses and tests).
+  struct Stats {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Evictions = 0;
+    size_t Entries = 0;
+    size_t Bytes = 0;
+    size_t Budget = 0;
+  };
+  Stats stats() const;
+
+private:
+  struct Shard {
+    mutable std::mutex M;
+    LruMap<Hash128, OpResult, Hash128Hasher> Map;
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+
+    explicit Shard(size_t Budget) : Map(Budget) {}
+  };
+
+  Shard &shardFor(const Hash128 &Key) {
+    return *Shards[Key.Lo % Shards.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> Shards;
+};
+
+} // namespace serve
+} // namespace dcb
+
+#endif // DCB_SERVE_CACHE_H

@@ -1,0 +1,52 @@
+//===- serve/Client.h - Blocking client for the dcb daemon ------*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal blocking client for the serve protocol: connect to the
+/// loopback port, write one JSON request line, read one JSON response
+/// line. This is all `dcb client`, the serve tests and the throughput
+/// bench need — pipelining is possible on the wire (the server answers in
+/// arrival order per connection) but nothing here requires it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_SERVE_CLIENT_H
+#define DCB_SERVE_CLIENT_H
+
+#include "support/Errors.h"
+
+#include <cstdint>
+#include <string>
+
+namespace dcb {
+namespace serve {
+
+class Client {
+public:
+  /// Connects to 127.0.0.1:\p Port.
+  static Expected<Client> connect(uint16_t Port);
+
+  Client(Client &&Other) noexcept;
+  Client &operator=(Client &&Other) noexcept;
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+  ~Client();
+
+  /// Sends \p RequestLine (newline appended if missing) and blocks for the
+  /// matching response line, returned without its newline.
+  Expected<std::string> roundTrip(const std::string &RequestLine);
+
+private:
+  explicit Client(int Fd) : Fd(Fd) {}
+
+  int Fd = -1;
+  std::string Buffer; ///< Bytes past the last consumed newline.
+};
+
+} // namespace serve
+} // namespace dcb
+
+#endif // DCB_SERVE_CLIENT_H

@@ -1,0 +1,132 @@
+//===- serve/Ops.cpp ------------------------------------------------------===//
+
+#include "serve/Ops.h"
+
+#include "analysis/Cfg.h"
+#include "analysis/Findings.h"
+#include "analysis/Hazards.h"
+#include "asmgen/TableAssembler.h"
+#include "elf/Cubin.h"
+#include "ir/Builder.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace dcb;
+using namespace dcb::serve;
+
+Expected<ir::Program> dcb::serve::loadProgramBytes(const std::string &Raw,
+                                                   const std::string &Name) {
+  std::string ListingText;
+  Expected<elf::Cubin> Cubin =
+      elf::Cubin::deserialize(std::vector<uint8_t>(Raw.begin(), Raw.end()));
+  if (Cubin) {
+    Expected<std::string> Text = vendor::disassembleCubin(*Cubin);
+    if (!Text)
+      return Text.takeError();
+    ListingText = std::move(*Text);
+  } else {
+    ListingText = Raw;
+  }
+  Expected<analyzer::Listing> L = analyzer::parseListing(ListingText);
+  if (!L)
+    return Failure(Name + ": not a cubin, and not a listing either: " +
+                   L.message());
+  Expected<ir::Program> P = ir::buildProgram(*L);
+  if (!P)
+    return P.takeError();
+  return P;
+}
+
+Expected<OpResult>
+dcb::serve::opDisasm(const std::vector<uint8_t> &Image,
+                     const vendor::DisasmOptions &Options) {
+  Expected<std::string> Text = vendor::disassembleImage(Image, Options);
+  if (!Text)
+    return Text.takeError();
+  OpResult R;
+  R.Output = std::move(*Text);
+  return R;
+}
+
+Expected<OpResult> dcb::serve::opAsm(const analyzer::EncodingDatabase &Db,
+                                     const std::string &ListingText,
+                                     const BatchOptions &Batch) {
+  Expected<analyzer::Listing> L = analyzer::parseListing(ListingText);
+  if (!L)
+    return L.takeError();
+
+  // Whole-listing batch; results come back in listing order, so the
+  // output is identical for every thread count.
+  std::vector<asmgen::AsmJob> Jobs;
+  for (const analyzer::ListingKernel &Kernel : L->Kernels)
+    for (const analyzer::ListingInst &Pair : Kernel.Insts)
+      Jobs.push_back({&Pair.Inst, Pair.Address});
+  std::vector<Expected<BitString>> Words =
+      asmgen::assembleProgram(Db, Jobs, Batch);
+
+  OpResult R;
+  for (Expected<BitString> &Word : Words) {
+    if (!Word) {
+      R.Errors.push_back("error: " + Word.message());
+      continue;
+    }
+    R.Output += "0x" + Word->toHex() + "\n";
+  }
+  return R;
+}
+
+Expected<OpResult> dcb::serve::opExec(const std::string &FileBytes,
+                                      const std::string &FileName,
+                                      const std::string &Kernel,
+                                      const vm::ExecOptions &Options) {
+  Expected<ir::Program> P = loadProgramBytes(FileBytes, FileName);
+  if (!P)
+    return P.takeError();
+
+  std::vector<const ir::Kernel *> Kernels;
+  if (Kernel == "all") {
+    for (const ir::Kernel &K : P->Kernels)
+      Kernels.push_back(&K);
+  } else {
+    const ir::Kernel *K = P->findKernel(Kernel);
+    if (!K)
+      return Failure("no kernel named " + Kernel);
+    Kernels.push_back(K);
+  }
+
+  OpResult R;
+  char Line[512];
+  for (const ir::Kernel *K : Kernels) {
+    vm::ExecSummary S = vm::execKernel(*K, Options.FirstSeed, Options);
+    if (S.Failed) {
+      R.Output += S.Kernel + ": error: " + S.Error + "\n";
+      R.Exit = 1;
+      continue;
+    }
+    std::snprintf(Line, sizeof(Line),
+                  "%s: issues=%" PRIu64 " steps=%" PRIu64 " wraps=%" PRIu64
+                  " barriers=%" PRIu64 " global=%016" PRIx64
+                  " regs=%016" PRIx64 "\n",
+                  S.Kernel.c_str(), S.Issues, S.LaneSteps, S.MemWraps,
+                  S.Barriers, S.GlobalCrc, S.RegsCrc);
+    R.Output += Line;
+  }
+  return R;
+}
+
+Expected<OpResult> dcb::serve::opLint(const std::string &FileBytes,
+                                      const std::string &TargetName) {
+  Expected<ir::Program> P = loadProgramBytes(FileBytes, TargetName);
+  if (!P)
+    return P.takeError();
+  analysis::Report R;
+  for (const ir::Kernel &K : P->Kernels) {
+    R.append(analysis::validateCfg(K));
+    R.append(analysis::checkHazards(K));
+  }
+  OpResult Out;
+  Out.Output = R.toJson(TargetName);
+  Out.Exit = R.clean() ? 0 : 1;
+  return Out;
+}

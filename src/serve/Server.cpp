@@ -1,0 +1,547 @@
+//===- serve/Server.cpp ---------------------------------------------------===//
+//
+// The daemon proper: loopback listener, line framing, request dispatch.
+// Protocol reference: docs/SERVE.md. Everything here is plain POSIX
+// sockets — no event library, one thread per connection, poll() with a
+// short timeout everywhere a blocking call could outlive a stop request.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "serve/Json.h"
+#include "serve/Ops.h"
+#include "support/Telemetry.h"
+#include "vendor/CuobjdumpSim.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <fstream>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+using namespace dcb;
+using namespace dcb::serve;
+
+namespace {
+
+/// Upper bound on the `jobs` request knob. It sizes worker pools and VM
+/// lanes, so it must not scale with whatever number a client sends.
+constexpr unsigned MaxRequestJobs = 64;
+
+struct ServeTelemetry {
+  telemetry::Counter &Requests = telemetry::counter("serve.requests");
+  telemetry::Counter &Busy = telemetry::counter("serve.busy");
+  telemetry::Counter &Errors = telemetry::counter("serve.errors");
+  telemetry::Counter &Connections = telemetry::counter("serve.connections");
+  telemetry::Counter &BytesIn = telemetry::counter("serve.bytes_in");
+  telemetry::Counter &BytesOut = telemetry::counter("serve.bytes_out");
+  telemetry::Histogram &QueueWait =
+      telemetry::histogram("serve.queue_wait_ns");
+  telemetry::Histogram &RequestNs = telemetry::histogram("serve.request_ns");
+} Tel;
+
+uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Completion slot shared between the connection thread and the pool lane
+/// running its request. The connection thread owns it by shared_ptr too,
+/// so a worker finishing after a (hypothetical) early exit never writes
+/// through a dangling reference.
+struct Pending {
+  std::mutex M;
+  std::condition_variable Cv;
+  bool Done = false;
+  std::string Error; ///< Non-empty when the op failed.
+  OpResult Result;
+
+  void finish(Expected<OpResult> R) {
+    std::lock_guard<std::mutex> Lock(M);
+    if (R)
+      Result = std::move(*R);
+    else
+      Error = R.message();
+    Done = true;
+    Cv.notify_all();
+  }
+  void wait() {
+    std::unique_lock<std::mutex> Lock(M);
+    Cv.wait(Lock, [&] { return Done; });
+  }
+};
+
+/// Everything request-shaped decoded out of one JSON line.
+struct Request {
+  std::string Op;
+  std::string Id;      ///< Echoed back verbatim; optional.
+  std::string Raw;     ///< Input bytes (from data_b64 or path).
+  std::string Name;    ///< Diagnostic label for the input.
+  bool HasInput = false;
+
+  // Option knobs, defaulted exactly like the CLI.
+  unsigned Jobs = 1;
+  std::string Kernel = "all";
+  vm::ExecOptions Exec;
+  std::string LintName;
+};
+
+std::string jsonError(const std::string &Id, const std::string &Message) {
+  std::string Out = "{\"status\":\"error\"";
+  if (!Id.empty()) {
+    Out += ",\"id\":";
+    json::appendString(Out, Id);
+  }
+  Out += ",\"error\":";
+  json::appendString(Out, Message);
+  Out += "}";
+  return Out;
+}
+
+/// Canonical options fingerprint per op — every request knob, even the
+/// ones (like `jobs`) whose output is invariant by construction. The
+/// cache is a correctness mechanism, so it keys on what was *asked*, not
+/// on what we believe cannot matter; a jobs=1 and a jobs=8 request never
+/// alias (docs/SERVE.md lists the fields per op). `asm` folds in the
+/// database fingerprint because the learned database is an input too.
+std::string optionsFingerprint(const Request &R, const Hash128 &DbFp) {
+  if (R.Op == "disasm")
+    return "jobs=" + std::to_string(R.Jobs);
+  if (R.Op == "asm")
+    return "jobs=" + std::to_string(R.Jobs) + ";db=" + DbFp.toHex();
+  if (R.Op == "lint")
+    return "name=" + R.LintName;
+  if (R.Op == "exec") {
+    const vm::ExecOptions &E = R.Exec;
+    return "kernel=" + R.Kernel + ";threads=" + std::to_string(E.NumThreads) +
+           ";blocks=" + std::to_string(E.NumBlocks) +
+           ";warp=" + std::to_string(E.WarpSize) +
+           ";lanes=" + std::to_string(E.NumLanes) +
+           ";seeds=" + std::to_string(E.Seeds) +
+           ";seed=" + std::to_string(E.FirstSeed) +
+           (E.UseRef ? ";ref=1" : ";ref=0") +
+           (E.Oob == vm::OobPolicy::Fault ? ";oob=fault" : ";oob=wrap");
+  }
+  return "";
+}
+
+/// Reads a whole file as bytes; the daemon-side twin of the CLI readFile.
+Expected<std::string> slurpFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return Failure("cannot open " + Path);
+  std::string Bytes((std::istreambuf_iterator<char>(In)),
+                    std::istreambuf_iterator<char>());
+  return Bytes;
+}
+
+bool sendAll(int Fd, const char *Data, size_t Len) {
+  while (Len) {
+    ssize_t N = ::send(Fd, Data, Len, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+} // namespace
+
+Server::Server(ServerOptions Opts, std::optional<analyzer::EncodingDatabase> D)
+    : Options(Opts), Db(std::move(D)),
+      Cache(Opts.CacheBytes, Opts.CacheShards), Pool(Opts.Jobs) {}
+
+Server::~Server() { stop(); }
+
+Error Server::start() {
+  // Pay every lazy initialization now, while no client is waiting: the
+  // hidden decode tables and — when a database was loaded — its frozen
+  // id-indexed form and content fingerprint.
+  vendor::warmDecodeTables();
+  if (Db) {
+    (void)Db->freeze();
+    DbFingerprint = hash128(Db->serialize());
+  }
+
+  ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (ListenFd < 0)
+    return Error::failure(std::string("socket: ") + std::strerror(errno));
+  int One = 1;
+  ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Options.Port);
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+      0) {
+    Error E = Error::failure(std::string("bind 127.0.0.1:") +
+                             std::to_string(Options.Port) + ": " +
+                             std::strerror(errno));
+    ::close(ListenFd);
+    ListenFd = -1;
+    return E;
+  }
+  if (::listen(ListenFd, 64) < 0) {
+    Error E = Error::failure(std::string("listen: ") + std::strerror(errno));
+    ::close(ListenFd);
+    ListenFd = -1;
+    return E;
+  }
+
+  socklen_t AddrLen = sizeof(Addr);
+  if (::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+                    &AddrLen) == 0)
+    BoundPort = ntohs(Addr.sin_port);
+
+  AcceptThread = std::thread([this] { acceptLoop(); });
+  return Error::success();
+}
+
+void Server::stop() {
+  requestStop();
+  if (AcceptThread.joinable())
+    AcceptThread.join();
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+  // Joining under ConnectionsM is safe: connection threads never take the
+  // lock on their exit path (they only flip their Done flag).
+  std::lock_guard<std::mutex> Lock(ConnectionsM);
+  for (std::unique_ptr<Connection> &C : Connections)
+    if (C->Thread.joinable())
+      C->Thread.join();
+  Connections.clear();
+  Pool.drainSubmitted();
+}
+
+Server::SessionStats Server::sessions() const {
+  SessionStats S;
+  S.Connections = TotalConnections.load(std::memory_order_relaxed);
+  S.Active = ActiveConnections.load(std::memory_order_relaxed);
+  S.Requests = TotalRequests.load(std::memory_order_relaxed);
+  S.Busy = TotalBusy.load(std::memory_order_relaxed);
+  S.Errors = TotalErrors.load(std::memory_order_relaxed);
+  S.BytesIn = TotalBytesIn.load(std::memory_order_relaxed);
+  S.BytesOut = TotalBytesOut.load(std::memory_order_relaxed);
+  return S;
+}
+
+void Server::acceptLoop() {
+  while (!stopRequested()) {
+    pollfd Pfd{ListenFd, POLLIN, 0};
+    int Ready = ::poll(&Pfd, 1, 200);
+    if (Ready <= 0)
+      continue;
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      continue;
+    TotalConnections.fetch_add(1, std::memory_order_relaxed);
+    ActiveConnections.fetch_add(1, std::memory_order_relaxed);
+    Tel.Connections.add();
+
+    std::lock_guard<std::mutex> Lock(ConnectionsM);
+    // Reap finished connections so a long-lived daemon doesn't grow an
+    // unbounded vector of joined-out threads.
+    for (size_t I = 0; I < Connections.size();) {
+      if (Connections[I]->Done.load(std::memory_order_acquire)) {
+        if (Connections[I]->Thread.joinable())
+          Connections[I]->Thread.join();
+        Connections.erase(Connections.begin() + I);
+      } else {
+        ++I;
+      }
+    }
+    auto Conn = std::make_unique<Connection>();
+    Conn->Fd = Fd;
+    Conn->Id = NextConnectionId++;
+    Connection *Raw = Conn.get();
+    Connections.push_back(std::move(Conn));
+    // Assigning the thread under ConnectionsM keeps stop()'s join from
+    // racing a half-constructed std::thread.
+    Raw->Thread = std::thread([this, Raw] { connectionLoop(*Raw); });
+  }
+}
+
+void Server::connectionLoop(Connection &Conn) {
+  std::string Buffer;
+  char Chunk[64 * 1024];
+  bool Overlong = false;
+
+  while (!stopRequested()) {
+    pollfd Pfd{Conn.Fd, POLLIN, 0};
+    int Ready = ::poll(&Pfd, 1, 200);
+    if (Ready < 0 && errno != EINTR)
+      break;
+    if (Ready <= 0)
+      continue;
+    ssize_t N = ::recv(Conn.Fd, Chunk, sizeof(Chunk), 0);
+    if (N <= 0)
+      break; // Peer closed (or hard error).
+    TotalBytesIn.fetch_add(static_cast<uint64_t>(N),
+                           std::memory_order_relaxed);
+    Tel.BytesIn.add(static_cast<uint64_t>(N));
+    Buffer.append(Chunk, static_cast<size_t>(N));
+
+    size_t Start = 0;
+    for (;;) {
+      size_t Nl = Buffer.find('\n', Start);
+      if (Nl == std::string::npos)
+        break;
+      std::string_view Line(Buffer.data() + Start, Nl - Start);
+      Start = Nl + 1;
+      if (Overlong) {
+        // The tail of a line we already refused; swallow it silently.
+        Overlong = false;
+        continue;
+      }
+      std::string Response = handleLine(Line);
+      Response += '\n';
+      if (!sendAll(Conn.Fd, Response.data(), Response.size()))
+        goto done;
+      TotalBytesOut.fetch_add(Response.size(), std::memory_order_relaxed);
+      Tel.BytesOut.add(Response.size());
+    }
+    Buffer.erase(0, Start);
+
+    if (Buffer.size() > Options.MaxLineBytes) {
+      // A request line exceeding the framing bound: answer once, then
+      // discard bytes until its terminating newline shows up.
+      Buffer.clear();
+      Overlong = true;
+      TotalErrors.fetch_add(1, std::memory_order_relaxed);
+      Tel.Errors.add();
+      std::string Response =
+          jsonError("", "request line exceeds " +
+                            std::to_string(Options.MaxLineBytes) + " bytes") +
+          "\n";
+      if (!sendAll(Conn.Fd, Response.data(), Response.size()))
+        break;
+      TotalBytesOut.fetch_add(Response.size(), std::memory_order_relaxed);
+      Tel.BytesOut.add(Response.size());
+    }
+  }
+
+done:
+  ::close(Conn.Fd);
+  Conn.Fd = -1;
+  ActiveConnections.fetch_sub(1, std::memory_order_relaxed);
+  Conn.Done.store(true, std::memory_order_release);
+}
+
+std::string Server::handleLine(std::string_view Line) {
+  DCB_SPAN("serve.request");
+  uint64_t T0 = nowNs();
+  TotalRequests.fetch_add(1, std::memory_order_relaxed);
+  Tel.Requests.add();
+
+  auto Fail = [&](const std::string &Id, const std::string &Msg) {
+    TotalErrors.fetch_add(1, std::memory_order_relaxed);
+    Tel.Errors.add();
+    return jsonError(Id, Msg);
+  };
+
+  Expected<json::Value> Parsed = json::parse(Line);
+  if (!Parsed)
+    return Fail("", "bad json: " + Parsed.message());
+  const json::Value &V = *Parsed;
+  if (V.K != json::Value::Kind::Object)
+    return Fail("", "request must be a json object");
+
+  Request R;
+  R.Op = V.str("op");
+  R.Id = V.str("id");
+  if (R.Op.empty())
+    return Fail(R.Id, "missing op");
+
+  // --- Control ops answered on the connection thread. ---------------------
+
+  if (R.Op == "ping") {
+    std::string Out = "{\"status\":\"ok\",\"op\":\"ping\"";
+    if (!R.Id.empty()) {
+      Out += ",\"id\":";
+      json::appendString(Out, R.Id);
+    }
+    Out += ",\"have_db\":";
+    Out += Db ? "true" : "false";
+    Out += "}";
+    return Out;
+  }
+
+  if (R.Op == "shutdown") {
+    requestStop();
+    return "{\"status\":\"ok\",\"op\":\"shutdown\"}";
+  }
+
+  if (R.Op == "stats") {
+    ResultCache::Stats C = Cache.stats();
+    SessionStats S = sessions();
+    std::string Out = "{\"status\":\"ok\",\"op\":\"stats\",\"cache\":{";
+    Out += "\"hits\":" + std::to_string(C.Hits);
+    Out += ",\"misses\":" + std::to_string(C.Misses);
+    Out += ",\"evictions\":" + std::to_string(C.Evictions);
+    Out += ",\"entries\":" + std::to_string(C.Entries);
+    Out += ",\"bytes\":" + std::to_string(C.Bytes);
+    Out += ",\"budget\":" + std::to_string(C.Budget);
+    Out += "},\"sessions\":{";
+    Out += "\"connections\":" + std::to_string(S.Connections);
+    Out += ",\"active\":" + std::to_string(S.Active);
+    Out += ",\"requests\":" + std::to_string(S.Requests);
+    Out += ",\"busy\":" + std::to_string(S.Busy);
+    Out += ",\"errors\":" + std::to_string(S.Errors);
+    Out += ",\"bytes_in\":" + std::to_string(S.BytesIn);
+    Out += ",\"bytes_out\":" + std::to_string(S.BytesOut);
+    Out += "},\"telemetry\":";
+    json::appendString(Out, telemetry::statsCompact());
+    Out += "}";
+    return Out;
+  }
+
+  // --- Work ops: decode input, consult cache, fan through the pool. -------
+
+  if (R.Op != "disasm" && R.Op != "asm" && R.Op != "lint" && R.Op != "exec")
+    return Fail(R.Id, "unknown op: " + R.Op);
+
+  if (const json::Value *B64 = V.field("data_b64")) {
+    if (B64->K != json::Value::Kind::String)
+      return Fail(R.Id, "data_b64 must be a string");
+    Expected<std::vector<uint8_t>> Bytes = json::base64Decode(B64->Str);
+    if (!Bytes)
+      return Fail(R.Id, "data_b64: " + Bytes.message());
+    R.Raw.assign(Bytes->begin(), Bytes->end());
+    R.Name = V.str("name", "<request>");
+    R.HasInput = true;
+  } else if (const json::Value *Path = V.field("path")) {
+    if (Path->K != json::Value::Kind::String)
+      return Fail(R.Id, "path must be a string");
+    Expected<std::string> Bytes = slurpFile(Path->Str);
+    if (!Bytes)
+      return Fail(R.Id, Bytes.message());
+    R.Raw = std::move(*Bytes);
+    R.Name = Path->Str;
+    R.HasInput = true;
+  }
+  if (!R.HasInput)
+    return Fail(R.Id, R.Op + " needs data_b64 or path");
+
+  if (R.Op == "asm" && !Db)
+    return Fail(R.Id, "server has no encoding database (start with --db)");
+
+  // `jobs` sizes real thread pools downstream, so an untrusted request
+  // saying jobs=1000000 would be a thread bomb. Clamp before it reaches
+  // anything (including the fingerprint: clamped-equal requests alias,
+  // which is correct — they do identical work).
+  R.Jobs = std::min(static_cast<unsigned>(V.num("jobs", 1)), MaxRequestJobs);
+  R.Kernel = V.str("kernel", "all");
+  R.LintName = V.str("name", R.Name);
+  R.Exec.NumThreads = static_cast<unsigned>(V.num("threads", 32));
+  R.Exec.NumBlocks = static_cast<unsigned>(V.num("blocks", 2));
+  R.Exec.WarpSize = static_cast<unsigned>(V.num("warp", 32));
+  R.Exec.NumLanes = R.Jobs; // `jobs` means VM lanes for exec, like the CLI.
+  R.Exec.Seeds = static_cast<unsigned>(V.num("seeds", 5));
+  R.Exec.FirstSeed = static_cast<uint64_t>(V.num("seed", 1));
+  R.Exec.UseRef = V.boolean("ref", false);
+  std::string Oob = V.str("oob", "wrap");
+  if (Oob != "wrap" && Oob != "fault")
+    return Fail(R.Id, "oob must be wrap or fault");
+  R.Exec.Oob = Oob == "fault" ? vm::OobPolicy::Fault : vm::OobPolicy::Wrap;
+
+  Hash128 Content = hash128(R.Raw);
+  Hash128 Key = cacheKey(Content, R.Op, optionsFingerprint(R, DbFingerprint));
+
+  bool Cached = false;
+  std::unique_ptr<OpResult> Result = Cache.get(Key);
+  if (Result) {
+    Cached = true;
+  } else {
+    auto Slot = std::make_shared<Pending>();
+    uint64_t Queued = nowNs();
+    // The closure owns the request payload; the connection thread only
+    // keeps what the response needs.
+    auto Work = [this, Slot, Queued, R = std::move(R)]() mutable {
+      Tel.QueueWait.record(nowNs() - Queued);
+      DCB_SPAN("serve.op");
+      Expected<OpResult> Out = [&]() -> Expected<OpResult> {
+        if (R.Op == "disasm") {
+          vendor::DisasmOptions D;
+          D.NumThreads = R.Jobs;
+          return opDisasm(std::vector<uint8_t>(R.Raw.begin(), R.Raw.end()),
+                          D);
+        }
+        if (R.Op == "asm") {
+          BatchOptions B;
+          B.NumThreads = R.Jobs;
+          return opAsm(*Db, R.Raw, B);
+        }
+        if (R.Op == "lint")
+          return opLint(R.Raw, R.LintName);
+        return opExec(R.Raw, R.Name, R.Kernel, R.Exec);
+      }();
+      Slot->finish(std::move(Out));
+    };
+    // R was moved into Work; re-fetch the response fields from the slot
+    // and locals captured before the move.
+    std::string Id = V.str("id");
+    std::string Op = V.str("op");
+
+    TaskPool::Submit S = Pool.trySubmit(std::move(Work), Options.MaxQueued);
+    if (S == TaskPool::Submit::WouldBlock) {
+      TotalBusy.fetch_add(1, std::memory_order_relaxed);
+      Tel.Busy.add();
+      std::string Out = "{\"status\":\"busy\"";
+      if (!Id.empty()) {
+        Out += ",\"id\":";
+        json::appendString(Out, Id);
+      }
+      Out += ",\"retry\":true}";
+      return Out;
+    }
+    Slot->wait();
+    if (!Slot->Error.empty())
+      return Fail(Id, Slot->Error);
+    Result = std::make_unique<OpResult>(std::move(Slot->Result));
+    Cache.put(Key, *Result);
+  }
+
+  std::string Out = "{\"status\":\"ok\",\"op\":";
+  json::appendString(Out, V.str("op"));
+  std::string Id = V.str("id");
+  if (!Id.empty()) {
+    Out += ",\"id\":";
+    json::appendString(Out, Id);
+  }
+  Out += ",\"cached\":";
+  Out += Cached ? "true" : "false";
+  Out += ",\"exit\":" + std::to_string(Result->Exit);
+  Out += ",\"output\":";
+  json::appendString(Out, Result->Output);
+  Out += ",\"errors\":[";
+  for (size_t I = 0; I < Result->Errors.size(); ++I) {
+    if (I)
+      Out += ",";
+    json::appendString(Out, Result->Errors[I]);
+  }
+  Out += "]}";
+  Tel.RequestNs.record(nowNs() - T0);
+  return Out;
+}

@@ -1,0 +1,152 @@
+//===- serve/Server.h - The dcb decode/assemble daemon ----------*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A long-running daemon serving decode/assemble/lint/exec requests over a
+/// loopback TCP socket speaking a newline-delimited JSON protocol
+/// (docs/SERVE.md). The point is amortization: a one-shot `dcb` run pays
+/// process startup, database load and `EncodingDatabase::freeze()` /
+/// `DecodeIndex` construction per invocation; the server pays them once at
+/// start() and then shares the frozen, immutable indexes across every
+/// connection and worker lane.
+///
+/// Three load-shedding layers, outermost first:
+///
+///  1. a sharded content-addressed ResultCache — repeated traffic is a
+///     hash lookup, not a decode;
+///  2. a TaskPool with bounded submission — at most `Jobs` requests decode
+///     concurrently and at most `MaxQueued` wait behind them;
+///  3. explicit back-pressure — when the queue is full the client gets a
+///     retryable `{"status":"busy"}` immediately instead of the daemon
+///     queueing unboundedly.
+///
+/// Connections are one thread each (the expected client population is
+/// tens, not thousands; the *work* is bounded by the pool either way),
+/// binding to 127.0.0.1 only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_SERVE_SERVER_H
+#define DCB_SERVE_SERVER_H
+
+#include "analyzer/IsaAnalyzer.h"
+#include "serve/Cache.h"
+#include "support/Errors.h"
+#include "support/Hash.h"
+#include "support/TaskPool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dcb {
+namespace serve {
+
+struct ServerOptions {
+  uint16_t Port = 0;     ///< 0 = kernel-assigned ephemeral port.
+  unsigned Jobs = 0;     ///< Pool lanes incl. caller (0 = hardware).
+  size_t MaxQueued = 64; ///< Bounded submission depth before `busy`.
+  size_t CacheBytes = 64ull << 20;
+  unsigned CacheShards = 16;
+  size_t MaxLineBytes = 64ull << 20; ///< Per-request framing bound.
+};
+
+class Server {
+public:
+  /// \p Db is the learned database backing `asm` requests; without one,
+  /// `asm` requests are refused (everything else works from the built-in
+  /// ISA tables).
+  Server(ServerOptions Options,
+         std::optional<analyzer::EncodingDatabase> Db);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds and listens, freezes the shared indexes (database FrozenIndex,
+  /// per-arch DecodeIndex), and starts the accept thread. Call once.
+  Error start();
+
+  /// The bound port (valid after a successful start()).
+  uint16_t port() const { return BoundPort; }
+
+  /// Requests an orderly shutdown (also triggered by a client `shutdown`
+  /// op). Safe from any thread; stop() performs the actual teardown.
+  void requestStop() { StopFlag.store(true, std::memory_order_relaxed); }
+  bool stopRequested() const {
+    return StopFlag.load(std::memory_order_relaxed);
+  }
+
+  /// Stops accepting, joins every connection, and drains in-flight work.
+  /// Idempotent; the destructor calls it too.
+  void stop();
+
+  ResultCache &cache() { return Cache; }
+
+  /// The request pool. Exposed so tests and the bench can saturate it
+  /// deterministically (back-pressure is impossible to force reliably
+  /// from the outside of a fast server).
+  TaskPool &pool() { return Pool; }
+
+  /// Session accounting totals (exact, independent of telemetry gating).
+  struct SessionStats {
+    uint64_t Connections = 0; ///< Lifetime accepted.
+    uint64_t Active = 0;      ///< Currently open.
+    uint64_t Requests = 0;
+    uint64_t Busy = 0;   ///< Requests shed with `busy`.
+    uint64_t Errors = 0; ///< Requests answered with `error`.
+    uint64_t BytesIn = 0;
+    uint64_t BytesOut = 0;
+  };
+  SessionStats sessions() const;
+
+private:
+  struct Connection {
+    int Fd = -1;
+    uint64_t Id = 0;
+    std::thread Thread;
+    std::atomic<bool> Done{false};
+  };
+
+  void acceptLoop();
+  void connectionLoop(Connection &Conn);
+  /// One request line in, one response line (no trailing newline) out.
+  std::string handleLine(std::string_view Line);
+
+  ServerOptions Options;
+  std::optional<analyzer::EncodingDatabase> Db;
+  Hash128 DbFingerprint{}; ///< Content hash of the serialized database.
+
+  ResultCache Cache;
+  TaskPool Pool;
+
+  int ListenFd = -1;
+  uint16_t BoundPort = 0;
+  std::thread AcceptThread;
+  std::atomic<bool> StopFlag{false};
+
+  std::mutex ConnectionsM;
+  std::vector<std::unique_ptr<Connection>> Connections;
+  uint64_t NextConnectionId = 1;
+
+  std::atomic<uint64_t> TotalConnections{0};
+  std::atomic<uint64_t> ActiveConnections{0};
+  std::atomic<uint64_t> TotalRequests{0};
+  std::atomic<uint64_t> TotalBusy{0};
+  std::atomic<uint64_t> TotalErrors{0};
+  std::atomic<uint64_t> TotalBytesIn{0};
+  std::atomic<uint64_t> TotalBytesOut{0};
+};
+
+} // namespace serve
+} // namespace dcb
+
+#endif // DCB_SERVE_SERVER_H

@@ -1,0 +1,127 @@
+//===- support/Hash.cpp ---------------------------------------------------===//
+
+#include "support/Hash.h"
+
+#include <cstring>
+
+using namespace dcb;
+
+namespace {
+
+constexpr uint64_t Seed0 = 0xcbf29ce484222325ull; // FNV-1a offset basis.
+constexpr uint64_t Seed1 = 0x9e3779b97f4a7c15ull; // 2^64 / golden ratio.
+constexpr uint64_t Mult = 0x2545f4914f6cdd1dull;  // splitmix64 multiplier.
+
+/// xorshift-multiply avalanche (splitmix64 finisher); bijective, so mixing
+/// never loses state entropy.
+uint64_t avalanche(uint64_t X) {
+  X ^= X >> 30;
+  X *= 0xbf58476d1ce4e5b9ull;
+  X ^= X >> 27;
+  X *= 0x94d049bb133111ebull;
+  X ^= X >> 31;
+  return X;
+}
+
+/// Folds one 8-byte little-endian chunk into a lane.
+uint64_t mixChunk(uint64_t Lane, uint64_t Chunk) {
+  return avalanche((Lane ^ Chunk) * Mult);
+}
+
+uint64_t loadLe64(const uint8_t *P) {
+  uint64_t V;
+  std::memcpy(&V, P, 8);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  V = __builtin_bswap64(V);
+#endif
+  return V;
+}
+
+} // namespace
+
+std::string Hash128::toHex() const {
+  static const char Digits[] = "0123456789abcdef";
+  std::string Out;
+  Out.reserve(32);
+  for (uint64_t Half : {Hi, Lo})
+    for (int Shift = 60; Shift >= 0; Shift -= 4)
+      Out.push_back(Digits[(Half >> Shift) & 0xf]);
+  return Out;
+}
+
+Hasher::Hasher() : Lane0(Seed0), Lane1(Seed1) {}
+
+void Hasher::update(const void *Data, size_t Size) {
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  TotalBytes += Size;
+
+  // Top up a partially filled pending buffer first.
+  if (NumPending != 0) {
+    while (NumPending < 8 && Size != 0) {
+      Pending[NumPending++] = *P++;
+      --Size;
+    }
+    if (NumPending < 8)
+      return;
+    uint64_t Chunk = loadLe64(Pending);
+    Lane0 = mixChunk(Lane0, Chunk);
+    Lane1 = mixChunk(Lane1, ~Chunk);
+    NumPending = 0;
+  }
+
+  while (Size >= 8) {
+    uint64_t Chunk = loadLe64(P);
+    Lane0 = mixChunk(Lane0, Chunk);
+    Lane1 = mixChunk(Lane1, ~Chunk);
+    P += 8;
+    Size -= 8;
+  }
+
+  while (Size != 0) {
+    Pending[NumPending++] = *P++;
+    --Size;
+  }
+}
+
+void Hasher::updateU64(uint64_t V) {
+  uint8_t Bytes[8];
+  for (unsigned I = 0; I < 8; ++I)
+    Bytes[I] = static_cast<uint8_t>(V >> (8 * I));
+  update(Bytes, 8);
+}
+
+uint64_t Hasher::digest64() const {
+  Hash128 H = digest128();
+  return H.Hi ^ avalanche(H.Lo);
+}
+
+Hash128 Hasher::digest128() const {
+  // Fold the tail and the total length without disturbing the stream
+  // state, so digests can be taken mid-stream.
+  uint64_t L0 = Lane0, L1 = Lane1;
+  if (NumPending != 0) {
+    uint8_t Tail[8] = {};
+    std::memcpy(Tail, Pending, NumPending);
+    uint64_t Chunk = loadLe64(Tail);
+    L0 = mixChunk(L0, Chunk);
+    L1 = mixChunk(L1, ~Chunk);
+  }
+  // Length framing: "ab" + "" and "a" + "b" collide by design (stream
+  // semantics), but inputs of different lengths never do.
+  L0 = mixChunk(L0, TotalBytes);
+  L1 = mixChunk(L1, TotalBytes * Seed1);
+  // Cross-pollinate so each output half depends on both lanes.
+  return Hash128{avalanche(L0 + (L1 >> 32)), avalanche(L1 + (L0 << 32))};
+}
+
+uint64_t dcb::hash64(std::string_view Bytes) {
+  Hasher H;
+  H.update(Bytes);
+  return H.digest64();
+}
+
+Hash128 dcb::hash128(std::string_view Bytes) {
+  Hasher H;
+  H.update(Bytes);
+  return H.digest128();
+}

@@ -1,0 +1,126 @@
+//===- support/Lru.h - Byte-budgeted LRU map --------------------*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A least-recently-used map with a byte budget instead of an entry count:
+/// every entry carries a caller-declared cost, and inserts evict from the
+/// cold end until the total fits. The serve result cache shards over
+/// these; any subsystem that wants "keep the hot N megabytes" semantics
+/// (learned-database snapshots, decoded-listing caches) can reuse it.
+///
+/// Not thread-safe by design — callers shard and lock (one mutex per
+/// shard keeps the lock narrow), rather than this class guessing at a
+/// locking policy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_SUPPORT_LRU_H
+#define DCB_SUPPORT_LRU_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+namespace dcb {
+
+/// Maps K -> V under a byte budget with least-recently-used eviction.
+/// get() and put() both count as a "use". An entry larger than the whole
+/// budget is rejected outright (put returns false) — caching it would
+/// just evict everything and then itself.
+template <typename K, typename V, typename Hash = std::hash<K>>
+class LruMap {
+public:
+  explicit LruMap(size_t ByteBudget) : Budget(ByteBudget) {}
+
+  /// Inserts or replaces \p Key, declaring the entry costs \p Bytes.
+  /// Returns false (and caches nothing) when Bytes exceeds the budget.
+  bool put(const K &Key, V Value, size_t Bytes) {
+    if (Bytes > Budget) {
+      erase(Key); // A stale smaller entry must not outlive its replacement.
+      return false;
+    }
+    auto It = Index.find(Key);
+    if (It != Index.end()) {
+      TotalBytes -= It->second->Bytes;
+      Entries.erase(It->second);
+      Index.erase(It);
+    }
+    Entries.push_front(Entry{Key, std::move(Value), Bytes});
+    Index[Key] = Entries.begin();
+    TotalBytes += Bytes;
+    while (TotalBytes > Budget)
+      evictColdest();
+    return true;
+  }
+
+  /// Returns the entry for \p Key (marking it most recently used), or
+  /// nullptr. The pointer is valid until the next put/erase.
+  V *get(const K &Key) {
+    auto It = Index.find(Key);
+    if (It == Index.end())
+      return nullptr;
+    Entries.splice(Entries.begin(), Entries, It->second);
+    return &It->second->Value;
+  }
+
+  /// Peeks without touching recency (for tests and stats).
+  const V *peek(const K &Key) const {
+    auto It = Index.find(Key);
+    return It == Index.end() ? nullptr : &It->second->Value;
+  }
+
+  bool erase(const K &Key) {
+    auto It = Index.find(Key);
+    if (It == Index.end())
+      return false;
+    TotalBytes -= It->second->Bytes;
+    Entries.erase(It->second);
+    Index.erase(It);
+    return true;
+  }
+
+  void clear() {
+    Entries.clear();
+    Index.clear();
+    TotalBytes = 0;
+  }
+
+  size_t size() const { return Index.size(); }
+  size_t bytes() const { return TotalBytes; }
+  size_t budget() const { return Budget; }
+  /// Total entries evicted (not erased/replaced) over the map's lifetime.
+  uint64_t evictions() const { return Evictions; }
+
+private:
+  struct Entry {
+    K Key;
+    V Value;
+    size_t Bytes;
+  };
+
+  void evictColdest() {
+    assert(!Entries.empty() && "over budget with no entries");
+    const Entry &Cold = Entries.back();
+    TotalBytes -= Cold.Bytes;
+    Index.erase(Cold.Key);
+    Entries.pop_back();
+    ++Evictions;
+  }
+
+  size_t Budget;
+  size_t TotalBytes = 0;
+  uint64_t Evictions = 0;
+  std::list<Entry> Entries; ///< Front = hottest.
+  std::unordered_map<K, typename std::list<Entry>::iterator, Hash> Index;
+};
+
+} // namespace dcb
+
+#endif // DCB_SUPPORT_LRU_H

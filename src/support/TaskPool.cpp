@@ -17,6 +17,11 @@ struct PoolTelemetry {
       telemetry::histogram("taskpool.queue_wait_ns");
   telemetry::Histogram &LaneBusyNs =
       telemetry::histogram("taskpool.lane_busy_ns");
+  telemetry::Counter &Submitted = telemetry::counter("taskpool.submitted");
+  telemetry::Counter &SubmitRejected =
+      telemetry::counter("taskpool.submit_rejected");
+  telemetry::Counter &SubmitExceptions =
+      telemetry::counter("taskpool.submit_exceptions");
 } Tel;
 
 } // namespace
@@ -45,16 +50,78 @@ TaskPool::~TaskPool() {
 void TaskPool::workerLoop(unsigned WorkerIdx) {
   uint64_t SeenBatch = 0;
   for (;;) {
+    std::function<void()> Task;
     {
       std::unique_lock<std::mutex> Lock(M);
-      BatchStart.wait(Lock,
-                      [&] { return Stopping || Batch != SeenBatch; });
-      if (Stopping)
+      BatchStart.wait(Lock, [&] {
+        return Stopping || Batch != SeenBatch || !Submitted.empty();
+      });
+      // Batches are barriers the whole pool waits on, so they outrank
+      // queued tasks; submitted work drains whenever no batch is pending.
+      // On shutdown, accepted submissions still run before the worker
+      // exits — trySubmit never silently drops a task.
+      if (Batch != SeenBatch) {
+        SeenBatch = Batch;
+      } else if (!Submitted.empty()) {
+        Task = std::move(Submitted.front());
+        Submitted.pop_front();
+        ++SubmittedRunning;
+      } else if (Stopping) {
         return;
-      SeenBatch = Batch;
+      } else {
+        continue; // Spurious wakeup with nothing to do.
+      }
     }
-    drainBatch(WorkerIdx);
+    if (Task)
+      runSubmitted(Task);
+    else
+      drainBatch(WorkerIdx);
   }
+}
+
+void TaskPool::runSubmitted(std::function<void()> &Task) {
+  try {
+    Task();
+  } catch (...) {
+    Tel.SubmitExceptions.add();
+  }
+  std::lock_guard<std::mutex> Lock(M);
+  if (--SubmittedRunning == 0 && Submitted.empty())
+    SubmittedDone.notify_all();
+}
+
+TaskPool::Submit TaskPool::trySubmit(std::function<void()> Task,
+                                     size_t MaxQueued) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (!Workers.empty()) {
+      if (MaxQueued != 0 && Submitted.size() >= MaxQueued) {
+        Tel.SubmitRejected.add();
+        return Submit::WouldBlock;
+      }
+      Submitted.push_back(std::move(Task));
+      Tel.Submitted.add();
+      BatchStart.notify_one();
+      return Submit::Queued;
+    }
+    // No workers: run inline below. The queue never grows, so a bound
+    // can't be exceeded; count the task as started while still locked.
+    ++SubmittedRunning;
+    Tel.Submitted.add();
+  }
+  runSubmitted(Task);
+  return Submit::Queued;
+}
+
+void TaskPool::drainSubmitted() {
+  std::unique_lock<std::mutex> Lock(M);
+  SubmittedDone.wait(
+      Lock, [&] { return Submitted.empty() && SubmittedRunning == 0; });
+}
+
+size_t TaskPool::submittedPending() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Submitted.size() + SubmittedRunning;
 }
 
 void TaskPool::drainBatch(unsigned WorkerIdx) {

@@ -28,6 +28,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -68,13 +69,42 @@ public:
   void parallelFor(size_t NumTasks,
                    const std::function<void(unsigned, size_t)> &Fn);
 
+  /// Outcome of trySubmit: Queued means the task was accepted (and will
+  /// run, or already ran inline); WouldBlock means the bounded queue was
+  /// full and nothing was enqueued — the caller's back-pressure signal.
+  enum class Submit { Queued, WouldBlock };
+
+  /// Queues one independent task for asynchronous execution on the pool's
+  /// worker threads — the daemon-style counterpart to the batch-barrier
+  /// parallelFor. If \p MaxQueued > 0 and that many submitted tasks are
+  /// already waiting (not yet started), returns WouldBlock instead of
+  /// growing the queue unboundedly; MaxQueued = 0 never blocks the
+  /// submitter. On a pool with no workers (numThreads() == 1) accepted
+  /// tasks run inline in the submitting thread.
+  ///
+  /// Submitted tasks must not throw (exceptions are swallowed and counted
+  /// as `taskpool.submit_exceptions`: there is no submitter left to
+  /// rethrow to) and must not touch this pool. Batches from parallelFor
+  /// take priority over queued tasks; both modes share the same lanes.
+  Submit trySubmit(std::function<void()> Task, size_t MaxQueued = 0);
+
+  /// Blocks until every task accepted by trySubmit has finished. The
+  /// destructor also drains accepted tasks before joining workers, so
+  /// a submitted task is never silently dropped.
+  void drainSubmitted();
+
+  /// Submitted tasks accepted but not yet finished (approximate under
+  /// concurrency; exact when the caller is the only submitter).
+  size_t submittedPending() const;
+
 private:
   void workerLoop(unsigned WorkerIdx);
   void drainBatch(unsigned WorkerIdx);
+  void runSubmitted(std::function<void()> &Task);
 
   std::vector<std::thread> Workers;
 
-  std::mutex M;
+  mutable std::mutex M;
   std::condition_variable BatchStart; ///< Wakes parked workers.
   std::condition_variable BatchDone;  ///< Wakes the caller in parallelFor.
   const std::function<void(unsigned, size_t)> *Fn = nullptr;
@@ -87,6 +117,11 @@ private:
 
   std::exception_ptr FirstError;
   size_t FirstErrorIdx = 0;
+
+  /// Bounded-submission state (trySubmit/drainSubmitted).
+  std::deque<std::function<void()>> Submitted; ///< Accepted, not started.
+  size_t SubmittedRunning = 0;                 ///< Started, not finished.
+  std::condition_variable SubmittedDone; ///< Wakes drainSubmitted waiters.
 
   /// Telemetry state for the current batch, written under M in parallelFor
   /// and read by lanes after the mutex-ordered wakeup: whether this batch

@@ -46,6 +46,13 @@ struct CuobjdumpTelemetry {
 
 } // namespace
 
+void vendor::warmDecodeTables() {
+  unsigned Count = 0;
+  const Arch *Archs = supportedArchs(Count);
+  for (unsigned I = 0; I < Count; ++I)
+    (void)isa::getArchSpec(Archs[I]); // Constructing freezes the index.
+}
+
 Expected<std::vector<DecodedWord>> vendor::decodeKernelCode(
     Arch A, const std::string &KernelName, const std::vector<uint8_t> &Code,
     const DisasmOptions &Options) {

@@ -52,6 +52,11 @@
 namespace dcb {
 namespace vendor {
 
+/// Forces construction (and decode-index freezing) of every supported
+/// architecture's spec. One-shot runs pay this lazily on first decode; a
+/// daemon calls it once at startup so no request ever eats the cost.
+void warmDecodeTables();
+
 /// Batch execution knobs for whole-kernel / whole-cubin disassembly.
 struct DisasmOptions {
   /// Total lanes including the caller; 0 = hardware concurrency, 1 = inline.

@@ -1,0 +1,506 @@
+//===- tests/serve_test.cpp - Daemon, cache, protocol ---------------------===//
+//
+// The serve subsystem end to end: JSON line protocol, content-addressed
+// result cache (hit/miss/eviction determinism, options-fingerprint
+// sensitivity), byte-identity of served responses against the one-shot
+// ops, bounded-queue back-pressure, and concurrent clients against an
+// in-process server.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/IsaAnalyzer.h"
+#include "serve/Cache.h"
+#include "serve/Client.h"
+#include "serve/Json.h"
+#include "serve/Ops.h"
+#include "serve/Server.h"
+#include "vendor/CuobjdumpSim.h"
+#include "vendor/NvccSim.h"
+#include "workloads/Suite.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace dcb;
+using namespace dcb::serve;
+
+namespace {
+
+std::vector<uint8_t> suiteImage(Arch A) {
+  vendor::NvccSim Nvcc(A);
+  Expected<std::vector<uint8_t>> Image =
+      Nvcc.compileToImage(workloads::buildSuite(A));
+  EXPECT_TRUE(Image.hasValue()) << Image.message();
+  return *Image;
+}
+
+analyzer::EncodingDatabase learnSuite(Arch A) {
+  vendor::NvccSim Nvcc(A);
+  Expected<elf::Cubin> Cubin = Nvcc.compile(workloads::buildSuite(A));
+  EXPECT_TRUE(Cubin.hasValue()) << Cubin.message();
+  Expected<std::string> Text = vendor::disassembleCubin(*Cubin);
+  EXPECT_TRUE(Text.hasValue()) << Text.message();
+  Expected<analyzer::Listing> L = analyzer::parseListing(*Text);
+  EXPECT_TRUE(L.hasValue()) << L.message();
+  analyzer::IsaAnalyzer Analyzer(A);
+  EXPECT_FALSE(Analyzer.analyzeListing(*L));
+  return Analyzer.database();
+}
+
+/// Starts an in-process server on an ephemeral port and returns it.
+std::unique_ptr<Server> startServer(ServerOptions Opts,
+                                    std::optional<analyzer::EncodingDatabase>
+                                        Db = std::nullopt) {
+  auto S = std::make_unique<Server>(Opts, std::move(Db));
+  Error E = S->start();
+  EXPECT_FALSE(E) << E.message();
+  EXPECT_NE(S->port(), 0);
+  return S;
+}
+
+std::string requestFor(const std::string &Op,
+                       const std::vector<uint8_t> &Image,
+                       const std::string &Extra = "") {
+  std::string Req = "{\"op\":\"" + Op + "\",\"data_b64\":\"" +
+                    json::base64Encode(Image) + "\"" + Extra + "}";
+  return Req;
+}
+
+json::Value roundTripOk(Client &C, const std::string &Req) {
+  Expected<std::string> Resp = C.roundTrip(Req);
+  EXPECT_TRUE(Resp.hasValue()) << Resp.message();
+  Expected<json::Value> V = json::parse(*Resp);
+  EXPECT_TRUE(V.hasValue()) << V.message() << " in " << *Resp;
+  return *V;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// JSON
+//===----------------------------------------------------------------------===//
+
+TEST(ServeJson, ParsesScalarsAndNesting) {
+  Expected<json::Value> V = json::parse(
+      R"({"op":"exec","jobs":4,"ref":true,"pi":3.5,"n":null,)"
+      R"("arr":[1,"two",{"three":3}],"esc":"a\"b\\c\ndA"})");
+  ASSERT_TRUE(V.hasValue()) << V.message();
+  EXPECT_EQ(V->str("op"), "exec");
+  EXPECT_EQ(V->num("jobs"), 4u);
+  EXPECT_TRUE(V->boolean("ref"));
+  EXPECT_EQ(V->field("n")->K, json::Value::Kind::Null);
+  ASSERT_EQ(V->field("arr")->Arr.size(), 3u);
+  EXPECT_EQ(V->field("arr")->Arr[1].Str, "two");
+  EXPECT_EQ(V->field("arr")->Arr[2].num("three"), 3u);
+  EXPECT_EQ(V->str("esc"), "a\"b\\c\ndA");
+}
+
+TEST(ServeJson, DefaultsOnAbsentOrMistypedFields) {
+  Expected<json::Value> V = json::parse(R"({"s":7})");
+  ASSERT_TRUE(V.hasValue());
+  EXPECT_EQ(V->str("s", "dflt"), "dflt"); // Wrong type -> default.
+  EXPECT_EQ(V->str("missing", "dflt"), "dflt");
+  EXPECT_EQ(V->num("missing", 9), 9u);
+  EXPECT_EQ(V->field("missing"), nullptr);
+}
+
+TEST(ServeJson, RejectsMalformedInput) {
+  EXPECT_FALSE(json::parse("").hasValue());
+  EXPECT_FALSE(json::parse("{").hasValue());
+  EXPECT_FALSE(json::parse("{}garbage").hasValue());
+  EXPECT_FALSE(json::parse(R"({"a":01})").hasValue());
+  EXPECT_FALSE(json::parse(R"({"a":"unterminated})").hasValue());
+  EXPECT_FALSE(json::parse("[1,2,]").hasValue());
+  // Depth bomb: 64 nested arrays exceed the 32-deep bound.
+  std::string Deep(64, '[');
+  Deep += std::string(64, ']');
+  EXPECT_FALSE(json::parse(Deep).hasValue());
+}
+
+TEST(ServeJson, StringEscapingRoundTrips) {
+  std::string Raw = "line1\nline2\ttab \"quoted\" back\\slash \x01 end";
+  std::string Doc = "{\"k\":";
+  json::appendString(Doc, Raw);
+  Doc += "}";
+  Expected<json::Value> V = json::parse(Doc);
+  ASSERT_TRUE(V.hasValue()) << V.message();
+  EXPECT_EQ(V->str("k"), Raw);
+}
+
+TEST(ServeJson, Base64RoundTripsAllLengths) {
+  for (size_t Len = 0; Len < 70; ++Len) {
+    std::vector<uint8_t> Bytes;
+    for (size_t I = 0; I < Len; ++I)
+      Bytes.push_back(static_cast<uint8_t>(I * 37 + Len));
+    Expected<std::vector<uint8_t>> Back =
+        json::base64Decode(json::base64Encode(Bytes));
+    ASSERT_TRUE(Back.hasValue()) << Back.message();
+    EXPECT_EQ(*Back, Bytes) << "length " << Len;
+  }
+}
+
+TEST(ServeJson, Base64RejectsBadInput) {
+  EXPECT_FALSE(json::base64Decode("a").hasValue());      // Bad length.
+  EXPECT_FALSE(json::base64Decode("a!==").hasValue());   // Bad alphabet.
+  EXPECT_FALSE(json::base64Decode("====").hasValue());   // All padding.
+  EXPECT_FALSE(json::base64Decode("ab=c").hasValue());   // Interior pad.
+  EXPECT_TRUE(json::base64Decode("abcd").hasValue());
+}
+
+//===----------------------------------------------------------------------===//
+// Cache
+//===----------------------------------------------------------------------===//
+
+TEST(ServeCache, KeySeparatesContentOpAndFingerprint) {
+  Hash128 C1 = hash128("cubin-one"), C2 = hash128("cubin-two");
+  EXPECT_EQ(cacheKey(C1, "disasm", "jobs=1"),
+            cacheKey(C1, "disasm", "jobs=1"));
+  EXPECT_NE(cacheKey(C1, "disasm", "jobs=1"),
+            cacheKey(C2, "disasm", "jobs=1"));
+  EXPECT_NE(cacheKey(C1, "disasm", "jobs=1"), cacheKey(C1, "lint", "jobs=1"));
+  EXPECT_NE(cacheKey(C1, "disasm", "jobs=1"),
+            cacheKey(C1, "disasm", "jobs=8"));
+  // Field framing: moving bytes across the op/fingerprint boundary must
+  // not produce the same key.
+  EXPECT_NE(cacheKey(C1, "disasmjobs", "=1"), cacheKey(C1, "disasm", "jobs=1"));
+}
+
+TEST(ServeCache, HitMissAndStats) {
+  ResultCache Cache(1 << 20, 4);
+  Hash128 K = cacheKey(hash128("x"), "disasm", "jobs=1");
+  EXPECT_EQ(Cache.get(K), nullptr);
+  OpResult R;
+  R.Output = "listing bytes";
+  R.Exit = 0;
+  Cache.put(K, R);
+  std::unique_ptr<OpResult> Hit = Cache.get(K);
+  ASSERT_NE(Hit, nullptr);
+  EXPECT_EQ(Hit->Output, "listing bytes");
+  ResultCache::Stats S = Cache.stats();
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.Entries, 1u);
+  EXPECT_GT(S.Bytes, 0u);
+}
+
+TEST(ServeCache, EvictionIsDeterministicUnderByteBudget) {
+  // One shard so LRU order is globally observable.
+  ResultCache Cache(4096, 1);
+  OpResult Big;
+  Big.Output.assign(1024, 'x');
+  std::vector<Hash128> Keys;
+  for (int I = 0; I < 8; ++I) {
+    Keys.push_back(cacheKey(hash128("k" + std::to_string(I)), "disasm", ""));
+    Cache.put(Keys.back(), Big);
+  }
+  ResultCache::Stats S = Cache.stats();
+  EXPECT_GT(S.Evictions, 0u);
+  EXPECT_LE(S.Bytes, 4096u);
+  // The most recently inserted key must still be resident; the very first
+  // must have been evicted (coldest-first order).
+  EXPECT_NE(Cache.get(Keys.back()), nullptr);
+  EXPECT_EQ(Cache.get(Keys.front()), nullptr);
+}
+
+TEST(ServeCache, OversizedResultIsServedButNotCached) {
+  ResultCache Cache(256, 1);
+  OpResult Huge;
+  Huge.Output.assign(10000, 'y');
+  Hash128 K = cacheKey(hash128("big"), "disasm", "");
+  Cache.put(K, Huge);
+  EXPECT_EQ(Cache.get(K), nullptr);
+  EXPECT_EQ(Cache.stats().Entries, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Ops byte-identity
+//===----------------------------------------------------------------------===//
+
+TEST(ServeOps, DisasmMatchesVendorByteForByte) {
+  std::vector<uint8_t> Image = suiteImage(Arch::SM35);
+  Expected<std::string> Direct = vendor::disassembleImage(Image);
+  ASSERT_TRUE(Direct.hasValue()) << Direct.message();
+  Expected<OpResult> Served = opDisasm(Image, vendor::DisasmOptions());
+  ASSERT_TRUE(Served.hasValue()) << Served.message();
+  EXPECT_EQ(Served->Output, *Direct);
+  EXPECT_EQ(Served->Exit, 0);
+}
+
+TEST(ServeOps, DisasmIsJobsInvariant) {
+  std::vector<uint8_t> Image = suiteImage(Arch::SM50);
+  vendor::DisasmOptions One, Eight;
+  One.NumThreads = 1;
+  Eight.NumThreads = 8;
+  Expected<OpResult> A = opDisasm(Image, One);
+  Expected<OpResult> B = opDisasm(Image, Eight);
+  ASSERT_TRUE(A.hasValue());
+  ASSERT_TRUE(B.hasValue());
+  EXPECT_EQ(A->Output, B->Output);
+}
+
+TEST(ServeOps, AsmEmitsHexLinesInListingOrder) {
+  analyzer::EncodingDatabase Db = learnSuite(Arch::SM35);
+  std::vector<uint8_t> Image = suiteImage(Arch::SM35);
+  Expected<std::string> Listing = vendor::disassembleImage(Image);
+  ASSERT_TRUE(Listing.hasValue());
+  Expected<OpResult> R = opAsm(Db, *Listing, BatchOptions());
+  ASSERT_TRUE(R.hasValue()) << R.message();
+  EXPECT_EQ(R->Exit, 0);
+  // Every successful word prints as an 0x line; learning from the very
+  // listing we reassemble means no failures.
+  EXPECT_TRUE(R->Errors.empty());
+  EXPECT_EQ(R->Output.compare(0, 2, "0x"), 0);
+  size_t Lines = 0;
+  for (char Ch : R->Output)
+    Lines += Ch == '\n';
+  EXPECT_GT(Lines, 100u);
+
+  BatchOptions Par;
+  Par.NumThreads = 8;
+  Expected<OpResult> R8 = opAsm(Db, *Listing, Par);
+  ASSERT_TRUE(R8.hasValue());
+  EXPECT_EQ(R->Output, R8->Output) << "asm output must be jobs-invariant";
+}
+
+TEST(ServeOps, ExecReportsPerKernelSummaries) {
+  std::vector<uint8_t> Image = suiteImage(Arch::SM35);
+  std::string Bytes(Image.begin(), Image.end());
+  vm::ExecOptions Opts;
+  Expected<OpResult> R = opExec(Bytes, "suite", "all", Opts);
+  ASSERT_TRUE(R.hasValue()) << R.message();
+  EXPECT_FALSE(R->Output.empty());
+  EXPECT_NE(R->Output.find("issues="), std::string::npos);
+}
+
+TEST(ServeOps, LintEmitsJsonReport) {
+  std::vector<uint8_t> Image = suiteImage(Arch::SM35);
+  std::string Bytes(Image.begin(), Image.end());
+  Expected<OpResult> R = opLint(Bytes, "the-target");
+  ASSERT_TRUE(R.hasValue()) << R.message();
+  EXPECT_NE(R->Output.find("dcb-lint-v1"), std::string::npos);
+  EXPECT_NE(R->Output.find("the-target"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Server end-to-end
+//===----------------------------------------------------------------------===//
+
+TEST(ServeServer, DisasmOverTheWireMatchesOpAndCaches) {
+  std::vector<uint8_t> Image = suiteImage(Arch::SM35);
+  Expected<OpResult> Direct = opDisasm(Image, vendor::DisasmOptions());
+  ASSERT_TRUE(Direct.hasValue());
+
+  std::unique_ptr<Server> S = startServer(ServerOptions());
+  Expected<Client> C = Client::connect(S->port());
+  ASSERT_TRUE(C.hasValue()) << C.message();
+
+  json::Value First = roundTripOk(*C, requestFor("disasm", Image));
+  EXPECT_EQ(First.str("status"), "ok");
+  EXPECT_FALSE(First.boolean("cached"));
+  EXPECT_EQ(First.str("output"), Direct->Output)
+      << "served bytes must equal the one-shot op";
+
+  json::Value Second = roundTripOk(*C, requestFor("disasm", Image));
+  EXPECT_EQ(Second.str("status"), "ok");
+  EXPECT_TRUE(Second.boolean("cached")) << "repeat must be a cache hit";
+  EXPECT_EQ(Second.str("output"), Direct->Output)
+      << "cache hits must serve byte-identical responses";
+
+  ResultCache::Stats Stats = S->cache().stats();
+  EXPECT_EQ(Stats.Hits, 1u);
+  EXPECT_EQ(Stats.Misses, 1u);
+}
+
+TEST(ServeServer, OptionsFingerprintSplitsTheCache) {
+  std::vector<uint8_t> Image = suiteImage(Arch::SM35);
+  std::unique_ptr<Server> S = startServer(ServerOptions());
+  Expected<Client> C = Client::connect(S->port());
+  ASSERT_TRUE(C.hasValue()) << C.message();
+
+  // Same cubin, different --jobs: must NOT alias.
+  json::Value J1 = roundTripOk(*C, requestFor("disasm", Image,
+                                              ",\"jobs\":1"));
+  json::Value J8 = roundTripOk(*C, requestFor("disasm", Image,
+                                              ",\"jobs\":8"));
+  EXPECT_FALSE(J1.boolean("cached"));
+  EXPECT_FALSE(J8.boolean("cached")) << "jobs=8 must not hit the jobs=1 entry";
+  EXPECT_EQ(J1.str("output"), J8.str("output"));
+
+  // Same cubin, different OOB policy for exec: must NOT alias.
+  json::Value W = roundTripOk(
+      *C, requestFor("exec", Image, ",\"kernel\":\"all\",\"oob\":\"wrap\""));
+  json::Value F = roundTripOk(
+      *C, requestFor("exec", Image, ",\"kernel\":\"all\",\"oob\":\"fault\""));
+  EXPECT_FALSE(W.boolean("cached"));
+  EXPECT_FALSE(F.boolean("cached"))
+      << "oob=fault must not hit the oob=wrap entry";
+
+  // Unchanged options repeat: both now hit.
+  json::Value J1Again = roundTripOk(*C, requestFor("disasm", Image,
+                                                   ",\"jobs\":1"));
+  EXPECT_TRUE(J1Again.boolean("cached"));
+}
+
+TEST(ServeServer, AbsurdJobsValueIsClampedNotHonored) {
+  std::vector<uint8_t> Image = suiteImage(Arch::SM35);
+  std::unique_ptr<Server> S = startServer(ServerOptions());
+  Expected<Client> C = Client::connect(S->port());
+  ASSERT_TRUE(C.hasValue()) << C.message();
+
+  // jobs sizes real thread pools downstream; a request asking for a
+  // million must be served (clamped), not turned into a thread bomb.
+  json::Value Huge = roundTripOk(*C, requestFor("disasm", Image,
+                                                ",\"jobs\":1000000"));
+  EXPECT_FALSE(Huge.boolean("cached"));
+
+  // Clamped-equal requests alias: both run the identical clamped work.
+  json::Value AtCap = roundTripOk(*C, requestFor("disasm", Image,
+                                                 ",\"jobs\":64"));
+  EXPECT_TRUE(AtCap.boolean("cached"))
+      << "jobs beyond the cap must alias with jobs at the cap";
+  EXPECT_EQ(Huge.str("output"), AtCap.str("output"));
+}
+
+TEST(ServeServer, AsmOverTheWireNeedsDbAndMatchesOneShot) {
+  std::vector<uint8_t> Image = suiteImage(Arch::SM35);
+  Expected<std::string> Listing = vendor::disassembleImage(Image);
+  ASSERT_TRUE(Listing.hasValue());
+  std::vector<uint8_t> ListingBytes(Listing->begin(), Listing->end());
+
+  // Without a database the request is refused...
+  {
+    std::unique_ptr<Server> S = startServer(ServerOptions());
+    Expected<Client> C = Client::connect(S->port());
+    ASSERT_TRUE(C.hasValue());
+    json::Value V = roundTripOk(*C, requestFor("asm", ListingBytes));
+    EXPECT_EQ(V.str("status"), "error");
+  }
+
+  // ...with one, the served bytes equal the direct op.
+  analyzer::EncodingDatabase Db = learnSuite(Arch::SM35);
+  Expected<OpResult> Direct = opAsm(Db, *Listing, BatchOptions());
+  ASSERT_TRUE(Direct.hasValue());
+  std::unique_ptr<Server> S = startServer(ServerOptions(), std::move(Db));
+  Expected<Client> C = Client::connect(S->port());
+  ASSERT_TRUE(C.hasValue());
+  json::Value V = roundTripOk(*C, requestFor("asm", ListingBytes));
+  EXPECT_EQ(V.str("status"), "ok");
+  EXPECT_EQ(V.str("output"), Direct->Output);
+}
+
+TEST(ServeServer, ProtocolErrorsAreAnsweredNotFatal) {
+  std::unique_ptr<Server> S = startServer(ServerOptions());
+  Expected<Client> C = Client::connect(S->port());
+  ASSERT_TRUE(C.hasValue());
+
+  Expected<std::string> Bad = C->roundTrip("this is not json");
+  ASSERT_TRUE(Bad.hasValue());
+  EXPECT_NE(Bad->find("\"status\":\"error\""), std::string::npos);
+
+  Expected<std::string> NoOp = C->roundTrip("{}");
+  ASSERT_TRUE(NoOp.hasValue());
+  EXPECT_NE(NoOp->find("missing op"), std::string::npos);
+
+  Expected<std::string> Unknown = C->roundTrip(R"({"op":"frobnicate"})");
+  ASSERT_TRUE(Unknown.hasValue());
+  EXPECT_NE(Unknown->find("unknown op"), std::string::npos);
+
+  Expected<std::string> NoInput = C->roundTrip(R"({"op":"disasm"})");
+  ASSERT_TRUE(NoInput.hasValue());
+  EXPECT_NE(NoInput->find("data_b64 or path"), std::string::npos);
+
+  // The connection survives all of the above.
+  json::Value Ping = roundTripOk(*C, R"({"op":"ping","id":"p1"})");
+  EXPECT_EQ(Ping.str("status"), "ok");
+  EXPECT_EQ(Ping.str("id"), "p1");
+
+  EXPECT_EQ(S->sessions().Errors, 4u);
+}
+
+TEST(ServeServer, BoundedQueueShedsWithBusy) {
+  std::vector<uint8_t> Image = suiteImage(Arch::SM35);
+  ServerOptions Opts;
+  Opts.Jobs = 2;      // One pool worker.
+  Opts.MaxQueued = 1; // One waiter behind it.
+  std::unique_ptr<Server> S = startServer(Opts);
+
+  // Saturate deterministically: occupy the worker, then fill the queue.
+  std::atomic<bool> Started{false}, Release{false};
+  ASSERT_EQ(S->pool().trySubmit([&] {
+    Started.store(true);
+    while (!Release.load())
+      std::this_thread::yield();
+  }),
+            TaskPool::Submit::Queued);
+  while (!Started.load())
+    std::this_thread::yield();
+  ASSERT_EQ(S->pool().trySubmit([] {}), TaskPool::Submit::Queued);
+
+  Expected<Client> C = Client::connect(S->port());
+  ASSERT_TRUE(C.hasValue());
+  json::Value Busy = roundTripOk(*C, requestFor("disasm", Image));
+  EXPECT_EQ(Busy.str("status"), "busy");
+  EXPECT_TRUE(Busy.boolean("retry"));
+  EXPECT_EQ(S->sessions().Busy, 1u);
+
+  // Draining the pool makes the same request succeed.
+  Release.store(true);
+  S->pool().drainSubmitted();
+  json::Value Ok = roundTripOk(*C, requestFor("disasm", Image));
+  EXPECT_EQ(Ok.str("status"), "ok");
+}
+
+TEST(ServeServer, ConcurrentClientsAllGetCorrectBytes) {
+  std::vector<uint8_t> Image = suiteImage(Arch::SM35);
+  Expected<OpResult> Direct = opDisasm(Image, vendor::DisasmOptions());
+  ASSERT_TRUE(Direct.hasValue());
+
+  ServerOptions Opts;
+  Opts.Jobs = 4;
+  std::unique_ptr<Server> S = startServer(Opts);
+  const std::string Req = requestFor("disasm", Image);
+
+  constexpr unsigned NumClients = 4, PerClient = 5;
+  std::atomic<unsigned> Correct{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumClients; ++T)
+    Threads.emplace_back([&] {
+      Expected<Client> C = Client::connect(S->port());
+      if (!C.hasValue())
+        return;
+      for (unsigned I = 0; I < PerClient; ++I) {
+        Expected<std::string> Resp = C->roundTrip(Req);
+        if (!Resp.hasValue())
+          return;
+        Expected<json::Value> V = json::parse(*Resp);
+        if (V.hasValue() && V->str("status") == "ok" &&
+            V->str("output") == Direct->Output)
+          Correct.fetch_add(1);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Correct.load(), NumClients * PerClient);
+
+  ResultCache::Stats Stats = S->cache().stats();
+  EXPECT_EQ(Stats.Hits + Stats.Misses, NumClients * PerClient);
+  // The first round can race (up to one miss per client before a put
+  // lands); each client's later requests must all hit.
+  EXPECT_LE(Stats.Misses, NumClients);
+  EXPECT_GE(Stats.Hits, NumClients * (PerClient - 1));
+  EXPECT_EQ(S->sessions().Requests, NumClients * PerClient);
+}
+
+TEST(ServeServer, ShutdownOpStopsTheServer) {
+  std::unique_ptr<Server> S = startServer(ServerOptions());
+  Expected<Client> C = Client::connect(S->port());
+  ASSERT_TRUE(C.hasValue());
+  Expected<std::string> Resp = C->roundTrip(R"({"op":"shutdown"})");
+  ASSERT_TRUE(Resp.hasValue());
+  EXPECT_NE(Resp->find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_TRUE(S->stopRequested());
+  S->stop(); // Must complete without hanging on live connections.
+}

@@ -3,6 +3,8 @@
 #include "support/Arch.h"
 #include "support/BitString.h"
 #include "support/Errors.h"
+#include "support/Hash.h"
+#include "support/Lru.h"
 #include "support/Rng.h"
 #include "support/StringUtils.h"
 #include "support/SymbolTable.h"
@@ -11,8 +13,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <set>
 #include <stdexcept>
 #include <thread>
+#include <vector>
 
 using namespace dcb;
 
@@ -372,4 +376,226 @@ TEST(Arch, FamilyAndSchiFacts) {
   EXPECT_EQ(schiGroupSize(SchiKind::Kepler35), 8u);
   EXPECT_EQ(schiGroupSize(SchiKind::Maxwell), 4u);
   EXPECT_EQ(archWordBits(Arch::SM70), 128u);
+}
+
+//===----------------------------------------------------------------------===//
+// Hash
+//===----------------------------------------------------------------------===//
+
+TEST(Hash, GoldenVectorsPinTheFunction) {
+  // The cache keys content by these digests; silently changing the
+  // function would orphan every persisted fingerprint, so the values are
+  // pinned. Update deliberately or not at all.
+  EXPECT_EQ(hash64(""), 0x6f6ce74cb236be27ull);
+  EXPECT_EQ(hash64("dcb"), 0x34c5c20d341a923full);
+  EXPECT_EQ(hash128("").toHex(), "8846315c7c5b3b8d19fb3903420c69d2");
+  EXPECT_EQ(hash128("decoding cuda binary").toHex(),
+            "5f691d6da8af050f7a975b540f98faf1");
+}
+
+TEST(Hash, SplitStreamingEqualsOneShot) {
+  const std::string Text =
+      "a moderately long input that spans several 8-byte chunks plus tail";
+  for (size_t Split = 0; Split <= Text.size(); Split += 7) {
+    Hasher H;
+    H.update(std::string_view(Text).substr(0, Split));
+    H.update(std::string_view(Text).substr(Split));
+    EXPECT_EQ(H.digest128(), hash128(Text)) << "split at " << Split;
+  }
+}
+
+TEST(Hash, LengthFramedU64DiffersFromRawBytes) {
+  Hasher A;
+  A.updateU64(0x6263u); // "bc\0\0\0\0\0\0" little-endian framing.
+  Hasher B;
+  B.update("bc");
+  EXPECT_NE(A.digest128(), B.digest128());
+}
+
+TEST(Hash, CollisionSanityOverManyKeys) {
+  // 64k distinct short keys: no 128-bit collisions, and the low 64 bits
+  // spread well enough that a sharded cache won't starve.
+  std::set<std::string> Seen128;
+  std::vector<unsigned> ShardLoad(16, 0);
+  for (unsigned I = 0; I < 65536; ++I) {
+    Hash128 H = hash128("key-" + std::to_string(I));
+    Seen128.insert(H.toHex());
+    ++ShardLoad[H.Lo % 16];
+  }
+  EXPECT_EQ(Seen128.size(), 65536u);
+  for (unsigned Load : ShardLoad) {
+    EXPECT_GT(Load, 65536u / 16 / 2);
+    EXPECT_LT(Load, 65536u / 16 * 2);
+  }
+}
+
+TEST(Hash, DigestIsRepeatableAndPrefixInsensitive) {
+  EXPECT_EQ(hash128("abc"), hash128("abc"));
+  EXPECT_NE(hash128("abc"), hash128("abd"));
+  EXPECT_NE(hash128("abc"), hash128("abcabc"));
+  EXPECT_NE(hash64("abc"), hash64("abd"));
+  // digest*() is observation, not consumption: calling it twice agrees.
+  Hasher H;
+  H.update("abc");
+  EXPECT_EQ(H.digest64(), H.digest64());
+  EXPECT_EQ(H.digest128(), H.digest128());
+}
+
+//===----------------------------------------------------------------------===//
+// LruMap
+//===----------------------------------------------------------------------===//
+
+TEST(Lru, PutGetAndTouchOrder) {
+  LruMap<int, std::string> M(100);
+  EXPECT_TRUE(M.put(1, "one", 30));
+  EXPECT_TRUE(M.put(2, "two", 30));
+  EXPECT_TRUE(M.put(3, "three", 30));
+  ASSERT_NE(M.get(1), nullptr); // Touch 1: now 2 is the coldest.
+  EXPECT_TRUE(M.put(4, "four", 30));
+  EXPECT_EQ(M.get(2), nullptr) << "2 was coldest and must have evicted";
+  EXPECT_NE(M.get(1), nullptr);
+  EXPECT_NE(M.get(3), nullptr);
+  EXPECT_NE(M.get(4), nullptr);
+  EXPECT_EQ(M.evictions(), 1u);
+}
+
+TEST(Lru, EvictsColdestWhileOverBudget) {
+  LruMap<int, int> M(100);
+  for (int I = 0; I < 10; ++I)
+    EXPECT_TRUE(M.put(I, I, 10));
+  EXPECT_EQ(M.size(), 10u);
+  // One 95-byte entry forces out enough cold entries to fit.
+  EXPECT_TRUE(M.put(99, 99, 95));
+  EXPECT_LE(M.bytes(), M.budget());
+  EXPECT_NE(M.get(99), nullptr);
+  EXPECT_EQ(M.get(0), nullptr);
+}
+
+TEST(Lru, OversizedEntryIsDeclinedAndStaleValueDropped) {
+  LruMap<int, int> M(50);
+  EXPECT_TRUE(M.put(1, 10, 20));
+  // Updating 1 with an oversized value must not leave the stale 10 behind.
+  EXPECT_FALSE(M.put(1, 11, 500));
+  EXPECT_EQ(M.get(1), nullptr);
+  EXPECT_EQ(M.bytes(), 0u);
+}
+
+TEST(Lru, PeekDoesNotTouch) {
+  LruMap<int, int> M(60);
+  M.put(1, 1, 20);
+  M.put(2, 2, 20);
+  M.put(3, 3, 20);
+  EXPECT_NE(M.peek(1), nullptr); // No touch: 1 stays coldest.
+  M.put(4, 4, 20);
+  EXPECT_EQ(M.get(1), nullptr);
+  EXPECT_NE(M.get(2), nullptr);
+}
+
+TEST(Lru, UpdateReplacesValueAndBytes) {
+  LruMap<int, std::string> M(100);
+  M.put(1, "short", 10);
+  M.put(1, "longer", 40);
+  EXPECT_EQ(M.bytes(), 40u);
+  ASSERT_NE(M.get(1), nullptr);
+  EXPECT_EQ(*M.get(1), "longer");
+  EXPECT_EQ(M.size(), 1u);
+}
+
+TEST(Lru, EraseAndClear) {
+  LruMap<int, int> M(100);
+  M.put(1, 1, 10);
+  M.put(2, 2, 10);
+  EXPECT_TRUE(M.erase(1));
+  EXPECT_FALSE(M.erase(1));
+  EXPECT_EQ(M.bytes(), 10u);
+  M.clear();
+  EXPECT_EQ(M.size(), 0u);
+  EXPECT_EQ(M.bytes(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// TaskPool bounded submission
+//===----------------------------------------------------------------------===//
+
+TEST(TaskPoolSubmit, RunsSubmittedTasksOnWorkers) {
+  TaskPool Pool(4);
+  std::atomic<int> Ran{0};
+  for (int I = 0; I < 32; ++I)
+    EXPECT_EQ(Pool.trySubmit([&Ran] { Ran.fetch_add(1); }),
+              TaskPool::Submit::Queued);
+  Pool.drainSubmitted();
+  EXPECT_EQ(Ran.load(), 32);
+  EXPECT_EQ(Pool.submittedPending(), 0u);
+}
+
+TEST(TaskPoolSubmit, BoundedModeRejectsWhenQueueIsFull) {
+  TaskPool Pool(2); // One worker thread.
+  std::atomic<bool> Started{false};
+  std::atomic<bool> Release{false};
+  std::atomic<int> Ran{0};
+  // Occupy the worker so queued depth is observable.
+  ASSERT_EQ(Pool.trySubmit([&] {
+    Started.store(true);
+    while (!Release.load())
+      std::this_thread::yield();
+    Ran.fetch_add(1);
+  }),
+            TaskPool::Submit::Queued);
+  // Wait for the worker to pick the blocker up (queue empties).
+  while (!Started.load())
+    std::this_thread::yield();
+
+  ASSERT_EQ(Pool.trySubmit([&] { Ran.fetch_add(1); }, 2),
+            TaskPool::Submit::Queued);
+  ASSERT_EQ(Pool.trySubmit([&] { Ran.fetch_add(1); }, 2),
+            TaskPool::Submit::Queued);
+  // Queue now holds 2 of max 2: the next bounded submit must shed.
+  EXPECT_EQ(Pool.trySubmit([&] { Ran.fetch_add(1); }, 2),
+            TaskPool::Submit::WouldBlock);
+  // Unbounded submit on the same pool still queues.
+  EXPECT_EQ(Pool.trySubmit([&] { Ran.fetch_add(1); }),
+            TaskPool::Submit::Queued);
+
+  Release.store(true);
+  Pool.drainSubmitted();
+  EXPECT_EQ(Ran.load(), 4) << "the shed task must not have run";
+}
+
+TEST(TaskPoolSubmit, NoWorkerPoolRunsInline) {
+  TaskPool Pool(1); // Width 1: no worker threads at all.
+  int Ran = 0;
+  EXPECT_EQ(Pool.trySubmit([&Ran] { ++Ran; }, 1), TaskPool::Submit::Queued);
+  EXPECT_EQ(Ran, 1) << "no-worker pools run the task on the caller";
+  Pool.drainSubmitted();
+}
+
+TEST(TaskPoolSubmit, DrainIsSafeWithNothingSubmitted) {
+  TaskPool Pool(3);
+  Pool.drainSubmitted();
+  EXPECT_EQ(Pool.submittedPending(), 0u);
+}
+
+TEST(TaskPoolSubmit, ParallelForStillWorksAlongsideSubmission) {
+  TaskPool Pool(4);
+  std::atomic<int> Submitted{0};
+  for (int I = 0; I < 8; ++I)
+    Pool.trySubmit([&Submitted] { Submitted.fetch_add(1); });
+  std::vector<int> Out(64, 0);
+  Pool.parallelFor(Out.size(),
+                   [&Out](unsigned, size_t I) { Out[I] = int(I); });
+  Pool.drainSubmitted();
+  for (size_t I = 0; I < Out.size(); ++I)
+    EXPECT_EQ(Out[I], int(I));
+  EXPECT_EQ(Submitted.load(), 8);
+}
+
+TEST(TaskPoolSubmit, SubmittedExceptionsAreSwallowed) {
+  TaskPool Pool(2);
+  EXPECT_EQ(Pool.trySubmit([] { throw std::runtime_error("boom"); }),
+            TaskPool::Submit::Queued);
+  Pool.drainSubmitted(); // Must not rethrow or wedge the worker.
+  std::atomic<int> Ran{0};
+  Pool.trySubmit([&Ran] { Ran.fetch_add(1); });
+  Pool.drainSubmitted();
+  EXPECT_EQ(Ran.load(), 1);
 }

@@ -486,3 +486,62 @@ TEST(DcbTelemetry, ExecStatsExposeVmCounters) {
   EXPECT_NE(Table.find("compiled out"), std::string::npos);
 #endif
 }
+
+TEST(DcbServe, DaemonSmokeOverPortFile) {
+  const std::string Dcb = toolPath();
+  const std::string Work = workDir() + "/serve";
+  ASSERT_EQ(runCmd("mkdir -p " + Work), 0);
+  ASSERT_EQ(runCmd(Dcb + " make-suite sm_35 -o " + Work +
+                   "/suite.cubin > /dev/null"),
+            0);
+  ASSERT_EQ(runCmd(Dcb + " disasm " + Work + "/suite.cubin > " + Work +
+                   "/oneshot.txt"),
+            0);
+
+  // Start the daemon on an ephemeral port; the bound port lands in the
+  // port file. `sh -c ... &` detaches it; the PID file lets us reap it.
+  ASSERT_EQ(runCmd("rm -f " + Work + "/port.txt && sh -c '" + Dcb +
+                   " serve --port-file " + Work + "/port.txt --cache-mb 8 2> " +
+                   Work + "/serve.log & echo $! > " + Work + "/serve.pid'"),
+            0);
+  bool PortUp = false;
+  for (int I = 0; I < 100 && !PortUp; ++I) {
+    PortUp = !slurp(Work + "/port.txt").empty();
+    if (!PortUp)
+      runCmd("sleep 0.1");
+  }
+  ASSERT_TRUE(PortUp) << slurp(Work + "/serve.log");
+
+  // A served disasm must print the one-shot bytes; a repeat must too (and
+  // is a cache hit server-side).
+  EXPECT_EQ(runCmd(Dcb + " client disasm " + Work + "/suite.cubin" +
+                   " --port-file " + Work + "/port.txt > " + Work +
+                   "/served.txt"),
+            0);
+  EXPECT_EQ(slurp(Work + "/served.txt"), slurp(Work + "/oneshot.txt"));
+  EXPECT_EQ(runCmd(Dcb + " client disasm " + Work + "/suite.cubin" +
+                   " --port-file " + Work + "/port.txt > " + Work +
+                   "/served2.txt"),
+            0);
+  EXPECT_EQ(slurp(Work + "/served2.txt"), slurp(Work + "/oneshot.txt"));
+
+  EXPECT_EQ(runCmd(Dcb + " client stats --port-file " + Work +
+                   "/port.txt > " + Work + "/stats.txt"),
+            0);
+  std::string Stats = slurp(Work + "/stats.txt");
+  EXPECT_NE(Stats.find("\"hits\":1"), std::string::npos) << Stats;
+
+  // `shutdown` stops the daemon; give it a moment, then make sure the
+  // process is really gone (kill -0 failing = exited).
+  EXPECT_EQ(runCmd(Dcb + " client shutdown --port-file " + Work +
+                   "/port.txt > /dev/null"),
+            0);
+  bool Exited = false;
+  for (int I = 0; I < 100 && !Exited; ++I) {
+    Exited = runCmd("kill -0 $(cat " + Work + "/serve.pid) 2> /dev/null") != 0;
+    if (!Exited)
+      runCmd("sleep 0.1");
+  }
+  EXPECT_TRUE(Exited) << "daemon did not exit after the shutdown op";
+  runCmd("kill $(cat " + Work + "/serve.pid) 2> /dev/null");
+}

@@ -30,6 +30,10 @@
 #include "asmgen/TableAssembler.h"
 #include "ir/Builder.h"
 #include "ir/Layout.h"
+#include "serve/Client.h"
+#include "serve/Json.h"
+#include "serve/Ops.h"
+#include "serve/Server.h"
 #include "transform/Passes.h"
 #include "vendor/CuobjdumpSim.h"
 #include "vendor/IsaLint.h"
@@ -40,9 +44,12 @@
 #include "support/StringUtils.h"
 #include "support/Telemetry.h"
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <thread>
 #include <sstream>
 
 using namespace dcb;
@@ -229,12 +236,14 @@ int cmdDisasm(const Args &A) {
       die("bad --jobs value '" + *Jobs + "'");
     Opts.NumThreads = static_cast<unsigned>(*N); // 0 = hardware width.
   }
-  Expected<std::string> Text =
-      vendor::disassembleImage(readBinary(A.Positional[0]), Opts);
-  if (!Text)
-    die(Text.message());
-  std::fputs(Text->c_str(), stdout);
-  return 0;
+  // Routed through the daemon-shared op, so a served disasm request and
+  // this one-shot are the same code path (byte-identical by construction).
+  Expected<serve::OpResult> R = serve::opDisasm(readBinary(A.Positional[0]),
+                                                Opts);
+  if (!R)
+    die(R.message());
+  std::fputs(R->Output.c_str(), stdout);
+  return R->Exit;
 }
 
 /// Comma-separated slot names of a live set ("-" when empty).
@@ -437,7 +446,6 @@ int cmdAsmOrVerify(const Args &A, bool Verify) {
   if (A.Positional.empty())
     die("usage: dcb asm|verify --db db [--jobs N] <listing>");
   analyzer::EncodingDatabase Db = loadDb(A.need("--db"));
-  analyzer::Listing L = loadListing(A.Positional[0]);
   BatchOptions Batch;
   if (auto Jobs = A.get("--jobs")) {
     std::optional<uint64_t> N = parseUInt(*Jobs);
@@ -446,6 +454,20 @@ int cmdAsmOrVerify(const Args &A, bool Verify) {
     Batch.NumThreads = static_cast<unsigned>(*N); // 0 = hardware width.
   }
 
+  if (!Verify) {
+    // Routed through the daemon-shared op: hex words to stdout, failed
+    // instructions to stderr, same bytes served or one-shot.
+    Expected<serve::OpResult> R =
+        serve::opAsm(Db, readFile(A.Positional[0]), Batch);
+    if (!R)
+      die(R.message());
+    for (const std::string &E : R->Errors)
+      std::fprintf(stderr, "%s\n", E.c_str());
+    std::fputs(R->Output.c_str(), stdout);
+    return R->Exit;
+  }
+
+  analyzer::Listing L = loadListing(A.Positional[0]);
   // Whole-listing batch; results come back in listing order, so the output
   // is identical for every --jobs value.
   std::vector<asmgen::AsmJob> JobList;
@@ -463,17 +485,11 @@ int cmdAsmOrVerify(const Args &A, bool Verify) {
         std::fprintf(stderr, "error: %s\n", Word.message().c_str());
         continue;
       }
-      if (Verify)
-        Identical += *Word == Pair.Binary;
-      else
-        std::printf("0x%s\n", Word->toHex().c_str());
+      Identical += *Word == Pair.Binary;
     }
   }
-  if (Verify) {
-    std::printf("%zu/%zu instructions byte-identical\n", Identical, Total);
-    return Identical == Total ? 0 : 1;
-  }
-  return 0;
+  std::printf("%zu/%zu instructions byte-identical\n", Identical, Total);
+  return Identical == Total ? 0 : 1;
 }
 
 /// `dcb lint`: the static verifier over programs, learned databases and
@@ -651,39 +667,16 @@ int cmdExec(const Args &A) {
     die("usage: dcb exec <cubin|listing> <kernel|all> [--jobs N] [--ref] "
         "[--seed N] [--threads N] [--blocks N] [--warp-size N] "
         "[--oob wrap|fault]");
-  ir::Program P = loadProgramFile(A.Positional[0]);
-  vm::ExecOptions Opts = execOptions(A);
-
-  std::vector<const ir::Kernel *> Kernels;
-  if (A.Positional[1] == "all") {
-    for (const ir::Kernel &K : P.Kernels)
-      Kernels.push_back(&K);
-  } else {
-    const ir::Kernel *K = P.findKernel(A.Positional[1]);
-    if (!K)
-      die("no kernel named " + A.Positional[1]);
-    Kernels.push_back(K);
-  }
-
-  int Rc = 0;
-  for (const ir::Kernel *K : Kernels) {
-    vm::ExecSummary S = vm::execKernel(*K, Opts.FirstSeed, Opts);
-    if (S.Failed) {
-      std::printf("%s: error: %s\n", S.Kernel.c_str(), S.Error.c_str());
-      Rc = 1;
-      continue;
-    }
-    std::printf("%s: issues=%llu steps=%llu wraps=%llu barriers=%llu "
-                "global=%016llx regs=%016llx\n",
-                S.Kernel.c_str(),
-                static_cast<unsigned long long>(S.Issues),
-                static_cast<unsigned long long>(S.LaneSteps),
-                static_cast<unsigned long long>(S.MemWraps),
-                static_cast<unsigned long long>(S.Barriers),
-                static_cast<unsigned long long>(S.GlobalCrc),
-                static_cast<unsigned long long>(S.RegsCrc));
-  }
-  return Rc;
+  // Routed through the daemon-shared op (one summary line per kernel on
+  // stdout, exit 1 when any kernel failed) so served exec requests return
+  // the same bytes this one-shot prints.
+  Expected<serve::OpResult> R =
+      serve::opExec(readFile(A.Positional[0]), A.Positional[0],
+                    A.Positional[1], execOptions(A));
+  if (!R)
+    die(R.message());
+  std::fputs(R->Output.c_str(), stdout);
+  return R->Exit;
 }
 
 int cmdDiffexec(const Args &A) {
@@ -708,6 +701,153 @@ int cmdDiffexec(const Args &A) {
   std::printf("diffexec: %u matched, %u skipped, %u mismatched\n", R.Matched,
               R.Skipped, R.Mismatched);
   return R.clean() ? 0 : 1;
+}
+
+volatile std::sig_atomic_t ServeStopSignal = 0;
+
+void onServeSignal(int) { ServeStopSignal = 1; }
+
+int cmdServe(const Args &A) {
+  serve::ServerOptions Opts;
+  auto Uint = [&A](const char *Key, auto &Slot) {
+    if (auto V = A.get(Key)) {
+      std::optional<uint64_t> N = parseUInt(*V);
+      if (!N)
+        die(std::string("bad ") + Key + " value '" + *V + "'");
+      Slot = static_cast<std::decay_t<decltype(Slot)>>(*N);
+    }
+  };
+  uint64_t Port = 0, CacheMb = 0;
+  Uint("--port", Port);
+  if (Port > 65535)
+    die("bad --port value (must be <= 65535)");
+  Opts.Port = static_cast<uint16_t>(Port);
+  Uint("--jobs", Opts.Jobs);
+  Uint("--max-queued", Opts.MaxQueued);
+  if (auto V = A.get("--cache-mb")) {
+    std::optional<uint64_t> N = parseUInt(*V);
+    if (!N || *N == 0)
+      die("bad --cache-mb value '" + *V + "'");
+    CacheMb = *N;
+    Opts.CacheBytes = static_cast<size_t>(CacheMb) << 20;
+  }
+  Uint("--shards", Opts.CacheShards);
+
+  std::optional<analyzer::EncodingDatabase> Db;
+  if (auto V = A.get("--db"))
+    Db.emplace(loadDb(*V));
+
+  serve::Server Server(Opts, std::move(Db));
+  if (Error E = Server.start())
+    die(E.message());
+  if (auto V = A.get("--port-file"))
+    writeFile(*V, std::to_string(Server.port()) + "\n");
+  std::fprintf(stderr, "dcb serve: listening on 127.0.0.1:%u\n",
+               static_cast<unsigned>(Server.port()));
+
+  // SIGTERM/SIGINT and the client `shutdown` op land on the same flagged
+  // path; the loop below is the only place that observes either.
+  std::signal(SIGTERM, onServeSignal);
+  std::signal(SIGINT, onServeSignal);
+  while (!ServeStopSignal && !Server.stopRequested())
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::fprintf(stderr, "dcb serve: shutting down\n");
+  Server.stop();
+  return 0;
+}
+
+uint16_t clientPort(const Args &A) {
+  std::string Text;
+  if (auto V = A.get("--port"))
+    Text = *V;
+  else if (auto V = A.get("--port-file"))
+    Text = readFile(*V);
+  else
+    die("client needs --port N or --port-file FILE");
+  while (!Text.empty() && (Text.back() == '\n' || Text.back() == '\r' ||
+                           Text.back() == ' '))
+    Text.pop_back();
+  std::optional<uint64_t> N = parseUInt(Text);
+  if (!N || *N == 0 || *N > 65535)
+    die("bad port '" + Text + "'");
+  return static_cast<uint16_t>(*N);
+}
+
+int cmdClient(const Args &A) {
+  if (A.Positional.empty())
+    die("usage: dcb client <op> [<file> [<kernel|all>]] "
+        "(--port N | --port-file FILE) [op options]");
+  const std::string &Op = A.Positional[0];
+
+  std::string Req = "{\"op\":";
+  serve::json::appendString(Req, Op);
+  if (A.Positional.size() > 1) {
+    Req += ",\"data_b64\":\"";
+    Req += serve::json::base64Encode(readFile(A.Positional[1]));
+    Req += "\",\"name\":";
+    serve::json::appendString(Req, A.Positional[1]);
+  }
+  if (A.Positional.size() > 2) {
+    Req += ",\"kernel\":";
+    serve::json::appendString(Req, A.Positional[2]);
+  }
+  // Option passthrough, one wire field per CLI flag (same names as the
+  // one-shot subcommands; --warp-size travels as "warp").
+  struct {
+    const char *Flag, *Field;
+  } NumKeys[] = {{"--jobs", "jobs"},   {"--threads", "threads"},
+                 {"--blocks", "blocks"}, {"--warp-size", "warp"},
+                 {"--seeds", "seeds"}, {"--seed", "seed"}};
+  for (const auto &Key : NumKeys) {
+    if (auto V = A.get(Key.Flag)) {
+      std::optional<uint64_t> N = parseUInt(*V);
+      if (!N)
+        die(std::string("bad ") + Key.Flag + " value '" + *V + "'");
+      Req += ",\"" + std::string(Key.Field) + "\":" + std::to_string(*N);
+    }
+  }
+  if (A.Options.count("--ref"))
+    Req += ",\"ref\":true";
+  if (auto V = A.get("--oob")) {
+    Req += ",\"oob\":";
+    serve::json::appendString(Req, *V);
+  }
+  if (auto V = A.get("--name")) {
+    Req += ",\"name\":";
+    serve::json::appendString(Req, *V);
+  }
+  Req += "}";
+
+  Expected<serve::Client> C = serve::Client::connect(clientPort(A));
+  if (!C)
+    die(C.message());
+  Expected<std::string> Resp = C->roundTrip(Req);
+  if (!Resp)
+    die(Resp.message());
+  Expected<serve::json::Value> V = serve::json::parse(*Resp);
+  if (!V)
+    die("bad response: " + V.message());
+
+  std::string Status = V->str("status");
+  if (Status == "busy") {
+    // EX_TEMPFAIL-style: distinguishable from a hard error so callers can
+    // back off and retry.
+    std::fprintf(stderr, "dcb client: server busy, retry\n");
+    return 75;
+  }
+  if (Status != "ok")
+    die(V->str("error", "server error"));
+  if (const serve::json::Value *Output = V->field("output")) {
+    if (const serve::json::Value *Errs = V->field("errors"))
+      for (const serve::json::Value &Err : Errs->Arr)
+        std::fprintf(stderr, "%s\n", Err.Str.c_str());
+    std::fputs(Output->Str.c_str(), stdout);
+    return static_cast<int>(V->num("exit", 0));
+  }
+  // Control ops (ping/stats/shutdown): the raw response line is the
+  // payload.
+  std::printf("%s\n", Resp->c_str());
+  return 0;
 }
 
 [[noreturn]] void usage() {
@@ -755,6 +895,20 @@ int cmdDiffexec(const Args &A) {
       "                                          registers); exits 1 on any\n"
       "                                          behavioral mismatch\n"
       "  stats <stats.json>                      render a saved stats file\n"
+      "  serve [--port N] [--port-file FILE] [--db <db>] [--jobs N]\n"
+      "        [--max-queued N] [--cache-mb N] [--shards N]\n"
+      "                                          long-running daemon on\n"
+      "                                          127.0.0.1 (newline-JSON\n"
+      "                                          protocol, docs/SERVE.md);\n"
+      "                                          --port 0 = ephemeral, the\n"
+      "                                          bound port goes to\n"
+      "                                          --port-file\n"
+      "  client <op> [<file> [<kernel|all>]] (--port N | --port-file FILE)\n"
+      "                                          send one request to a\n"
+      "                                          running daemon; work ops\n"
+      "                                          print the same bytes the\n"
+      "                                          one-shot subcommand would\n"
+      "                                          (exit 75 = busy, retry)\n"
       "\n"
       "global options (every command):\n"
       "  --stats            print the telemetry table to stderr on exit\n"
@@ -791,6 +945,10 @@ int runCommand(const std::string &Cmd, const Args &A) {
     return cmdLint(A);
   if (Cmd == "stats")
     return cmdStats(A);
+  if (Cmd == "serve")
+    return cmdServe(A);
+  if (Cmd == "client")
+    return cmdClient(A);
   usage();
 }
 
