@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # End-to-end smoke of the `dcb serve` daemon: start it, hit it with
 # concurrent clients, require every served response byte-identical to the
-# one-shot CLI output and the second round to be all cache hits, then shut
-# down cleanly via SIGTERM and validate the exported dcb-stats-v1 file.
+# one-shot CLI output and the second round to be all cache hits, soak it
+# with 256 parked idle connections while a ping still round-trips, then
+# shut down cleanly via SIGTERM and validate the exported dcb-stats-v1
+# file. A second daemon run exercises --persist: populate, SIGTERM,
+# restart on the same segment, and require the first request after the
+# restart to be a warm cache hit with byte-identical output.
 #
 # usage: scripts/serve_smoke.sh <dcb-binary> [workdir]
 set -euo pipefail
@@ -14,6 +18,35 @@ fi
 DCB="$(cd "$(dirname "$1")" && pwd)/$(basename "$1")"
 WORK="${2:-serve-smoke}"
 NUM_CLIENTS=4
+
+# Waits for $2 to write the port file $1, failing if the daemon dies or
+# stalls. The daemon truncates a stale port file at startup, so callers
+# just need a fresh name per run.
+wait_port() {
+  local FILE="$1" PID="$2"
+  for _ in $(seq 100); do
+    [ -s "$FILE" ] && return 0
+    kill -0 "$PID" 2>/dev/null || {
+      echo "serve_smoke: daemon died during startup" >&2
+      exit 1
+    }
+    sleep 0.1
+  done
+  echo "serve_smoke: daemon never wrote the port file" >&2
+  exit 1
+}
+
+# SIGTERMs $1 and waits for it to exit on its own (no KILL).
+term_and_wait() {
+  local PID="$1"
+  kill -TERM "$PID"
+  for _ in $(seq 100); do
+    kill -0 "$PID" 2>/dev/null || return 0
+    sleep 0.1
+  done
+  echo "serve_smoke: daemon ignored SIGTERM" >&2
+  exit 1
+}
 
 mkdir -p "$WORK"
 cd "$WORK"
@@ -27,19 +60,7 @@ rm -f port.txt serve-stats.json serve.log
 SERVE_PID=$!
 trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
 
-for _ in $(seq 100); do
-  [ -s port.txt ] && break
-  kill -0 "$SERVE_PID" 2>/dev/null || {
-    echo "serve_smoke: daemon died during startup" >&2
-    cat serve.log >&2
-    exit 1
-  }
-  sleep 0.1
-done
-[ -s port.txt ] || {
-  echo "serve_smoke: daemon never wrote the port file" >&2
-  exit 1
-}
+wait_port port.txt "$SERVE_PID"
 
 # Two rounds of concurrent clients. Round 1 populates the cache; round 2
 # must be served from it. Every response must match the one-shot bytes.
@@ -68,22 +89,35 @@ doc = json.load(open(sys.argv[1]))
 clients = int(sys.argv[2])
 cache = doc["cache"]
 assert doc["status"] == "ok", doc
-assert cache["hits"] >= clients, cache
+# Identical request lines are answered by the render memo once the first
+# content-cache hit populated it, so warm traffic splits across the two
+# layers; together they must cover everything past the initial misses.
+warm = cache["hits"] + doc["render"]["hits"]
+assert warm >= clients, (cache, doc["render"])
 assert 1 <= cache["misses"] <= clients, cache
 assert doc["sessions"]["requests"] >= 2 * clients, doc["sessions"]
 PY
 
+# Idle-connection soak: 256 parked connections are buffers, not threads —
+# the daemon must keep serving while they sit there, and a ping must
+# still round-trip in-band.
+python3 - "$DCB" <<'PY'
+import json, socket, subprocess, sys
+dcb = sys.argv[1]
+port = int(open("port.txt").read().strip())
+socks = [socket.create_connection(("127.0.0.1", port)) for _ in range(256)]
+out = subprocess.run(
+    [dcb, "client", "--port", str(port), "ping"],
+    capture_output=True, text=True, check=True).stdout
+doc = json.loads(out) if out.lstrip().startswith("{") else {"raw": out}
+assert doc.get("status", "ok") == "ok", doc
+for s in socks:
+    s.close()
+PY
+
 # Clean SIGTERM shutdown: the daemon must exit by itself (no KILL) and
 # flush its telemetry to the --stats file on the way out.
-kill -TERM "$SERVE_PID"
-for _ in $(seq 100); do
-  kill -0 "$SERVE_PID" 2>/dev/null || break
-  sleep 0.1
-done
-if kill -0 "$SERVE_PID" 2>/dev/null; then
-  echo "serve_smoke: daemon ignored SIGTERM" >&2
-  exit 1
-fi
+term_and_wait "$SERVE_PID"
 trap - EXIT
 
 [ -s serve-stats.json ] || {
@@ -96,8 +130,55 @@ doc = json.load(open(sys.argv[1]))
 assert doc["schema"] == "dcb-stats-v1", doc.get("schema")
 counters = doc["counters"]
 assert counters["serve.requests"] >= 9, counters.get("serve.requests")
-assert counters["serve.cache_hits"] >= 4, counters.get("serve.cache_hits")
+warm = counters.get("serve.cache_hits", 0) + \
+    counters.get("serve.cache.render_hits", 0)
+assert warm >= 4, counters
 assert counters["serve.cache_misses"] >= 1, counters.get("serve.cache_misses")
 PY
 
-echo "serve_smoke: ok (bytes identical, cache hit, clean shutdown)"
+# --persist round trip: populate a segment, kill the daemon, restart on
+# the same segment, and require the very first request of the new process
+# to be a warm cache hit (loaded from disk, zero misses) with output
+# byte-identical to the one-shot run.
+rm -f persist-port.txt cache.seg persist1.log persist2.log
+"$DCB" serve --port-file persist-port.txt --persist cache.seg \
+    2> persist1.log &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+wait_port persist-port.txt "$SERVE_PID"
+"$DCB" client --port-file persist-port.txt disasm suite.cubin \
+    > persist.1.sass
+cmp oneshot.sass persist.1.sass
+term_and_wait "$SERVE_PID"
+
+[ -s cache.seg ] || {
+  echo "serve_smoke: daemon exited without writing the persist segment" >&2
+  exit 1
+}
+rm -f persist-port.txt
+"$DCB" serve --port-file persist-port.txt --persist cache.seg \
+    2> persist2.log &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+wait_port persist-port.txt "$SERVE_PID"
+"$DCB" client --port-file persist-port.txt disasm suite.cubin \
+    > persist.2.sass
+cmp oneshot.sass persist.2.sass || {
+  echo "serve_smoke: restarted daemon served different bytes" >&2
+  exit 1
+}
+"$DCB" client --port-file persist-port.txt stats > persist-stats-line.json
+python3 - persist-stats-line.json <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["status"] == "ok", doc
+assert doc["persist"]["enabled"] is True, doc["persist"]
+assert doc["persist"]["loaded"] >= 1, doc["persist"]
+assert doc["cache"]["hits"] >= 1, doc["cache"]
+assert doc["cache"]["misses"] == 0, doc["cache"]
+PY
+term_and_wait "$SERVE_PID"
+trap - EXIT
+
+echo "serve_smoke: ok (bytes identical, cache hit, idle soak," \
+     "persist warm restart, clean shutdown)"

@@ -56,13 +56,14 @@ std::unique_ptr<OpResult> ResultCache::get(const Hash128 &Key) {
   return nullptr;
 }
 
-void ResultCache::put(const Hash128 &Key, const OpResult &Result) {
+bool ResultCache::put(const Hash128 &Key, const OpResult &Result) {
   Shard &S = shardFor(Key);
   uint64_t Evicted;
+  bool Stored;
   {
     std::lock_guard<std::mutex> Lock(S.M);
     uint64_t Before = S.Map.evictions();
-    S.Map.put(Key, Result, Result.byteSize());
+    Stored = S.Map.put(Key, Result, Result.byteSize());
     Evicted = S.Map.evictions() - Before;
   }
   if (Evicted)
@@ -74,6 +75,16 @@ void ResultCache::put(const Hash128 &Key, const OpResult &Result) {
     Tel.Bytes.set(static_cast<int64_t>(Totals.Bytes));
     Tel.Entries.set(static_cast<int64_t>(Totals.Entries));
   }
+  return Stored;
+}
+
+uint64_t ResultCache::retiredBytes() const {
+  uint64_t Total = 0;
+  for (const std::unique_ptr<Shard> &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->M);
+    Total += S->Map.retiredBytes();
+  }
+  return Total;
 }
 
 ResultCache::Stats ResultCache::stats() const {

@@ -72,9 +72,27 @@ public:
   std::unique_ptr<OpResult> get(const Hash128 &Key);
 
   /// Inserts \p Result. Oversized entries (larger than a whole shard's
-  /// budget) are declined silently — the request was still served, it
-  /// just won't be cached.
-  void put(const Hash128 &Key, const OpResult &Result);
+  /// budget) are declined — the request was still served, it just won't
+  /// be cached. Returns whether the entry actually landed, so a persister
+  /// mirrors exactly what the in-memory cache holds.
+  bool put(const Hash128 &Key, const OpResult &Result);
+
+  /// Visits every entry, coldest to hottest within each shard, without
+  /// touching recency. Shards are walked in order, each under its own
+  /// lock; concurrent puts to other shards may land mid-walk, which is
+  /// fine for the compaction snapshot this exists for (replaying the
+  /// visit order through put() reproduces each shard's LRU order).
+  template <typename Fn> void forEachColdToHot(Fn &&Visit) const {
+    for (const std::unique_ptr<Shard> &S : Shards) {
+      std::lock_guard<std::mutex> Lock(S->M);
+      S->Map.forEachOldest([&](const Hash128 &Key, const OpResult &Value,
+                               size_t) { Visit(Key, Value); });
+    }
+  }
+
+  /// Lifetime bytes retired across shards (evicted, erased, or replaced) —
+  /// the persister's measure of dead weight accumulated on disk.
+  uint64_t retiredBytes() const;
 
   /// Point-in-time totals across shards (for stats responses and tests).
   struct Stats {

@@ -54,26 +54,23 @@ Client::~Client() {
     ::close(Fd);
 }
 
-Expected<std::string> Client::roundTrip(const std::string &RequestLine) {
-  if (Fd < 0)
-    return Failure("client is not connected");
-
-  std::string Framed = RequestLine;
-  if (Framed.empty() || Framed.back() != '\n')
-    Framed += '\n';
-  const char *Data = Framed.data();
-  size_t Len = Framed.size();
+Error Client::sendBytes(std::string_view Bytes) {
+  const char *Data = Bytes.data();
+  size_t Len = Bytes.size();
   while (Len) {
     ssize_t N = ::send(Fd, Data, Len, MSG_NOSIGNAL);
     if (N < 0) {
       if (errno == EINTR)
         continue;
-      return Failure(std::string("send: ") + std::strerror(errno));
+      return Error::failure(std::string("send: ") + std::strerror(errno));
     }
     Data += N;
     Len -= static_cast<size_t>(N);
   }
+  return Error::success();
+}
 
+Expected<std::string> Client::recvLine() {
   for (;;) {
     size_t Nl = Buffer.find('\n');
     if (Nl != std::string::npos) {
@@ -92,4 +89,56 @@ Expected<std::string> Client::roundTrip(const std::string &RequestLine) {
       return Failure("server closed the connection mid-response");
     Buffer.append(Chunk, static_cast<size_t>(N));
   }
+}
+
+Expected<std::string> Client::roundTrip(const std::string &RequestLine) {
+  if (Fd < 0)
+    return Failure("client is not connected");
+  std::string Framed = RequestLine;
+  if (Framed.empty() || Framed.back() != '\n')
+    Framed += '\n';
+  if (Error E = sendBytes(Framed))
+    return Failure(E.message());
+  return recvLine();
+}
+
+Error Client::sendAll(const std::vector<std::string> &RequestLines) {
+  if (Fd < 0)
+    return Error::failure("client is not connected");
+  // One buffered write for the whole batch: the server sees every frame
+  // in as few reads as the kernel allows, and small requests don't pay a
+  // syscall each.
+  std::string Framed;
+  size_t Total = 0;
+  for (const std::string &L : RequestLines)
+    Total += L.size() + 1;
+  Framed.reserve(Total);
+  for (const std::string &L : RequestLines) {
+    Framed += L;
+    if (L.empty() || L.back() != '\n')
+      Framed += '\n';
+  }
+  return sendBytes(Framed);
+}
+
+Expected<std::vector<std::string>> Client::recvAll(size_t Count) {
+  if (Fd < 0)
+    return Failure("client is not connected");
+  std::vector<std::string> Lines;
+  Lines.reserve(Count);
+  for (size_t I = 0; I < Count; ++I) {
+    Expected<std::string> Line = recvLine();
+    if (!Line)
+      return Failure("response " + std::to_string(I + 1) + " of " +
+                     std::to_string(Count) + ": " + Line.message());
+    Lines.push_back(Line.takeValue());
+  }
+  return Lines;
+}
+
+Expected<std::vector<std::string>>
+Client::batch(const std::vector<std::string> &RequestLines) {
+  if (Error E = sendAll(RequestLines))
+    return Failure(E.message());
+  return recvAll(RequestLines.size());
 }

@@ -6,10 +6,16 @@
 ///
 /// \file
 /// A minimal blocking client for the serve protocol: connect to the
-/// loopback port, write one JSON request line, read one JSON response
-/// line. This is all `dcb client`, the serve tests and the throughput
-/// bench need — pipelining is possible on the wire (the server answers in
-/// arrival order per connection) but nothing here requires it.
+/// loopback port, write JSON request lines, read JSON response lines.
+/// Two shapes:
+///
+///  - roundTrip(): one request, one response — a full network round-trip
+///    per request.
+///  - sendAll()/recvAll() (or the batch() convenience): pipeline N
+///    requests in one write, then collect the N responses. The server
+///    answers in arrival order per connection, so response i always
+///    matches request i; for small requests this amortizes the
+///    round-trip latency across the whole batch.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,6 +26,8 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace dcb {
 namespace serve {
@@ -39,8 +47,23 @@ public:
   /// matching response line, returned without its newline.
   Expected<std::string> roundTrip(const std::string &RequestLine);
 
+  /// Pipelines every request line (newlines appended as needed) in one
+  /// buffered write without waiting for any response.
+  Error sendAll(const std::vector<std::string> &RequestLines);
+
+  /// Blocks for the next \p Count response lines, in order, each without
+  /// its newline. Pairs with sendAll: response i answers request i.
+  Expected<std::vector<std::string>> recvAll(size_t Count);
+
+  /// sendAll + recvAll in one call.
+  Expected<std::vector<std::string>>
+  batch(const std::vector<std::string> &RequestLines);
+
 private:
   explicit Client(int Fd) : Fd(Fd) {}
+
+  Error sendBytes(std::string_view Bytes);
+  Expected<std::string> recvLine();
 
   int Fd = -1;
   std::string Buffer; ///< Bytes past the last consumed newline.

@@ -1,0 +1,250 @@
+//===- serve/Persist.cpp --------------------------------------------------===//
+
+#include "serve/Persist.h"
+
+#include "support/Telemetry.h"
+
+#include <chrono>
+#include <cstring>
+
+using namespace dcb;
+using namespace dcb::serve;
+
+namespace {
+
+constexpr char Magic[8] = {'D', 'C', 'B', 'R', 'C', '0', '0', '1'};
+constexpr uint64_t FormatVersion = 1;
+constexpr size_t HeaderBytes = sizeof(Magic) + 3 * sizeof(uint64_t);
+constexpr size_t RecordPrefixBytes = 2 * sizeof(uint64_t);
+
+struct PersistTelemetry {
+  telemetry::Histogram &LoadNs =
+      telemetry::histogram("serve.cache.persist.load_ns");
+  telemetry::Histogram &AppendNs =
+      telemetry::histogram("serve.cache.persist.append_ns");
+  telemetry::Histogram &CompactNs =
+      telemetry::histogram("serve.cache.persist.compact_ns");
+  telemetry::Counter &Loaded =
+      telemetry::counter("serve.cache.persist.loaded");
+  telemetry::Counter &Dropped =
+      telemetry::counter("serve.cache.persist.dropped");
+  telemetry::Counter &Appends =
+      telemetry::counter("serve.cache.persist.appends");
+  telemetry::Counter &Compactions =
+      telemetry::counter("serve.cache.persist.compactions");
+} Tel;
+
+uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void putU64(std::string &Out, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+/// Little-endian u64 at \p Ofs; the caller has bounds-checked.
+uint64_t getU64(std::string_view Bytes, size_t Ofs) {
+  uint64_t V = 0;
+  for (int I = 0; I < 8; ++I)
+    V |= static_cast<uint64_t>(static_cast<unsigned char>(Bytes[Ofs + I]))
+         << (8 * I);
+  return V;
+}
+
+/// Parses one record payload back into (Key, Result). Returns false on any
+/// structural violation — the caller treats that as a torn tail.
+bool decodePayload(std::string_view Payload, Hash128 &Key, OpResult &Result) {
+  size_t Ofs = 0;
+  auto TakeU64 = [&](uint64_t &V) {
+    if (Payload.size() - Ofs < 8)
+      return false;
+    V = getU64(Payload, Ofs);
+    Ofs += 8;
+    return true;
+  };
+  auto TakeBytes = [&](std::string &S) {
+    uint64_t Len;
+    if (!TakeU64(Len) || Payload.size() - Ofs < Len)
+      return false;
+    S.assign(Payload.data() + Ofs, static_cast<size_t>(Len));
+    Ofs += static_cast<size_t>(Len);
+    return true;
+  };
+  uint64_t ExitWord, NumErrors;
+  if (!TakeU64(Key.Hi) || !TakeU64(Key.Lo) || !TakeU64(ExitWord))
+    return false;
+  Result.Exit = static_cast<int>(static_cast<int64_t>(ExitWord));
+  if (!TakeBytes(Result.Output) || !TakeU64(NumErrors))
+    return false;
+  // A record can't hold more errors than it has bytes for; reject early so
+  // a corrupt count can't drive a giant reserve.
+  if (NumErrors > Payload.size())
+    return false;
+  Result.Errors.resize(static_cast<size_t>(NumErrors));
+  for (std::string &E : Result.Errors)
+    if (!TakeBytes(E))
+      return false;
+  return Ofs == Payload.size();
+}
+
+} // namespace
+
+std::string dcb::serve::encodeCacheHeader(const Hash128 &DbFp) {
+  std::string Out;
+  Out.reserve(HeaderBytes);
+  Out.append(Magic, sizeof(Magic));
+  putU64(Out, FormatVersion);
+  putU64(Out, DbFp.Hi);
+  putU64(Out, DbFp.Lo);
+  return Out;
+}
+
+std::string dcb::serve::encodeCacheRecord(const Hash128 &Key,
+                                          const OpResult &Result) {
+  std::string Payload;
+  Payload.reserve(3 * 8 + Result.Output.size() + 8);
+  putU64(Payload, Key.Hi);
+  putU64(Payload, Key.Lo);
+  putU64(Payload, static_cast<uint64_t>(static_cast<int64_t>(Result.Exit)));
+  putU64(Payload, Result.Output.size());
+  Payload += Result.Output;
+  putU64(Payload, Result.Errors.size());
+  for (const std::string &E : Result.Errors) {
+    putU64(Payload, E.size());
+    Payload += E;
+  }
+  std::string Out;
+  Out.reserve(RecordPrefixBytes + Payload.size());
+  putU64(Out, Payload.size());
+  putU64(Out, hash64(Payload));
+  Out += Payload;
+  return Out;
+}
+
+CachePersister::CachePersister(Options Opts, ResultCache &Cache,
+                               Hash128 DbFingerprint)
+    : Opts(std::move(Opts)), Cache(Cache), DbFp(DbFingerprint) {}
+
+Error CachePersister::writeFreshHeader() {
+  Counters.ColdStart = true;
+  if (Error E = writeFileAtomic(Opts.Path, encodeCacheHeader(DbFp)))
+    return E;
+  auto File = AppendFile::open(Opts.Path);
+  if (!File.hasValue())
+    return Error::failure(File.message());
+  Out = File.takeValue();
+  return Error::success();
+}
+
+Error CachePersister::load() {
+  std::lock_guard<std::mutex> Lock(M);
+  uint64_t T0 = nowNs();
+  Counters = Stats();
+  if (!fileExists(Opts.Path)) {
+    Error E = writeFreshHeader();
+    Tel.LoadNs.record(nowNs() - T0);
+    return E;
+  }
+  auto Bytes = readFileBytes(Opts.Path);
+  if (!Bytes.hasValue())
+    return Error::failure(Bytes.message());
+  const std::string Segment = Bytes.takeValue();
+  bool HeaderOk = Segment.size() >= HeaderBytes &&
+                  std::memcmp(Segment.data(), Magic, sizeof(Magic)) == 0 &&
+                  getU64(Segment, sizeof(Magic)) == FormatVersion &&
+                  getU64(Segment, sizeof(Magic) + 8) == DbFp.Hi &&
+                  getU64(Segment, sizeof(Magic) + 16) == DbFp.Lo;
+  if (!HeaderOk) {
+    // Wrong format or a retrained database: the entries would be stale or
+    // unreadable, so start cold rather than guess.
+    Error E = writeFreshHeader();
+    Tel.LoadNs.record(nowNs() - T0);
+    return E;
+  }
+  size_t Ofs = HeaderBytes;
+  size_t LastGood = Ofs;
+  while (Ofs < Segment.size()) {
+    if (Segment.size() - Ofs < RecordPrefixBytes)
+      break;
+    uint64_t PayloadLen = getU64(Segment, Ofs);
+    uint64_t PayloadHash = getU64(Segment, Ofs + 8);
+    if (Segment.size() - Ofs - RecordPrefixBytes < PayloadLen)
+      break;
+    std::string_view Payload(Segment.data() + Ofs + RecordPrefixBytes,
+                             static_cast<size_t>(PayloadLen));
+    Hash128 Key;
+    OpResult Result;
+    if (hash64(Payload) != PayloadHash || !decodePayload(Payload, Key, Result))
+      break;
+    Cache.put(Key, Result);
+    ++Counters.LoadedEntries;
+    Ofs += RecordPrefixBytes + static_cast<size_t>(PayloadLen);
+    LastGood = Ofs;
+  }
+  if (LastGood < Segment.size())
+    ++Counters.DroppedEntries;
+  auto File = AppendFile::open(Opts.Path);
+  if (!File.hasValue())
+    return Error::failure(File.message());
+  Out = File.takeValue();
+  if (LastGood < Segment.size()) {
+    // Torn tail: drop the partial record so the next append starts on a
+    // record boundary. Everything before it stays valid.
+    if (Error E = Out.truncateTo(LastGood))
+      return E;
+  }
+  Tel.Loaded.add(Counters.LoadedEntries);
+  Tel.Dropped.add(Counters.DroppedEntries);
+  Tel.LoadNs.record(nowNs() - T0);
+  return Error::success();
+}
+
+Error CachePersister::append(const Hash128 &Key, const OpResult &Result) {
+  std::string Record = encodeCacheRecord(Key, Result);
+  std::lock_guard<std::mutex> Lock(M);
+  if (!Out.isOpen())
+    return Error::failure("persist segment is not open (load() not run?)");
+  uint64_t T0 = nowNs();
+  if (Error E = Out.append(Record))
+    return E;
+  ++Counters.Appends;
+  Tel.Appends.add();
+  Tel.AppendNs.record(nowNs() - T0);
+  if (Cache.retiredBytes() - RetiredAtLastCompact > Opts.CompactSlack)
+    return compactLocked();
+  return Error::success();
+}
+
+Error CachePersister::compact() {
+  std::lock_guard<std::mutex> Lock(M);
+  return compactLocked();
+}
+
+Error CachePersister::compactLocked() {
+  uint64_t T0 = nowNs();
+  RetiredAtLastCompact = Cache.retiredBytes();
+  std::string Segment = encodeCacheHeader(DbFp);
+  Cache.forEachColdToHot([&](const Hash128 &Key, const OpResult &Result) {
+    Segment += encodeCacheRecord(Key, Result);
+  });
+  Out.close();
+  if (Error E = writeFileAtomic(Opts.Path, Segment))
+    return E;
+  auto File = AppendFile::open(Opts.Path);
+  if (!File.hasValue())
+    return Error::failure(File.message());
+  Out = File.takeValue();
+  ++Counters.Compactions;
+  Tel.Compactions.add();
+  Tel.CompactNs.record(nowNs() - T0);
+  return Error::success();
+}
+
+CachePersister::Stats CachePersister::stats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Counters;
+}

@@ -1,0 +1,120 @@
+//===- serve/Persist.h - Durable result-cache segment -----------*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Durability for the daemon's content-addressed ResultCache: an
+/// append-only on-disk segment that mirrors cache inserts so a restarted
+/// daemon starts warm instead of recomputing everything it already
+/// answered. The entries are keyed by `hash128(content ‖ op ‖
+/// options-fingerprint)`, which makes them valid across restarts by
+/// construction — the key *is* the inputs.
+///
+/// Segment layout (all integers little-endian u64):
+///
+///   header:  magic "DCBRC001" · format version · DbFp.Hi · DbFp.Lo
+///   record*: payload length · hash64(payload) ·
+///            payload = Key.Hi · Key.Lo · exit ·
+///                      output length · output bytes ·
+///                      error count · (error length · error bytes)*
+///
+/// Records append in insert order, so replaying the file through
+/// ResultCache::put restores both contents and LRU recency (later
+/// records are hotter; duplicate keys resolve to the newest). Load
+/// tolerates a torn tail — the first record whose length or checksum
+/// does not hold truncates the file back to the last good offset and
+/// everything before it survives. A header whose version or database
+/// fingerprint does not match the running daemon triggers a clean cold
+/// start (the file is rewritten), so a retrained database can never
+/// serve stale bytes.
+///
+/// Appends accumulate dead weight (evicted or replaced entries stay on
+/// disk); once the cache's retired-byte counter outgrows CompactSlack,
+/// the persister rewrites the segment from the live cache via an atomic
+/// temp+rename replace.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_SERVE_PERSIST_H
+#define DCB_SERVE_PERSIST_H
+
+#include "serve/Cache.h"
+#include "support/Errors.h"
+#include "support/FileIo.h"
+#include "support/Hash.h"
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace dcb {
+namespace serve {
+
+/// Keeps an on-disk segment in sync with a ResultCache. All methods are
+/// thread-safe (one internal mutex serialises file writes); load() is
+/// meant to run once at startup before requests flow.
+class CachePersister {
+public:
+  struct Options {
+    std::string Path;
+    /// Rewrite the segment once the cache has retired this many bytes
+    /// since the last compaction (dead weight on disk).
+    uint64_t CompactSlack = 16ull << 20;
+  };
+
+  /// Point-in-time counters (for the stats op and tests).
+  struct Stats {
+    uint64_t LoadedEntries = 0;  ///< Records replayed into the cache.
+    uint64_t DroppedEntries = 0; ///< Torn/corrupt tail records discarded.
+    uint64_t Appends = 0;
+    uint64_t Compactions = 0;
+    bool ColdStart = false; ///< Last load found no usable segment.
+  };
+
+  CachePersister(Options Opts, ResultCache &Cache, Hash128 DbFingerprint);
+
+  /// Opens the segment, replays valid records into the cache, truncates a
+  /// torn tail, and rewrites the file from scratch on any header mismatch
+  /// (missing file, wrong magic/version, different db fingerprint). Only
+  /// I/O failures that leave the persister unusable are errors.
+  Error load();
+
+  /// Appends one just-cached entry. Call only when ResultCache::put
+  /// returned true, so disk mirrors memory. May trigger a compaction
+  /// when dead weight has outgrown CompactSlack.
+  Error append(const Hash128 &Key, const OpResult &Result);
+
+  /// Rewrites the segment from the cache's live entries (coldest first),
+  /// atomically replacing the file. Resets the dead-weight baseline.
+  Error compact();
+
+  Stats stats() const;
+
+private:
+  Error writeFreshHeader();
+  Error compactLocked();
+
+  Options Opts;
+  ResultCache &Cache;
+  Hash128 DbFp;
+
+  mutable std::mutex M;
+  AppendFile Out;
+  uint64_t RetiredAtLastCompact = 0;
+  Stats Counters;
+};
+
+/// Serialises one record (length + checksum + payload) — shared between
+/// append and compaction, and exposed for tests that build segments by
+/// hand.
+std::string encodeCacheRecord(const Hash128 &Key, const OpResult &Result);
+
+/// The 32-byte segment header for \p DbFp at the current format version.
+std::string encodeCacheHeader(const Hash128 &DbFp);
+
+} // namespace serve
+} // namespace dcb
+
+#endif // DCB_SERVE_PERSIST_H

@@ -1,9 +1,18 @@
 //===- serve/Server.cpp ---------------------------------------------------===//
 //
-// The daemon proper: loopback listener, line framing, request dispatch.
-// Protocol reference: docs/SERVE.md. Everything here is plain POSIX
-// sockets — no event library, one thread per connection, poll() with a
-// short timeout everywhere a blocking call could outlive a stop request.
+// The daemon proper: loopback listener, epoll reactor, line framing,
+// request dispatch. Protocol reference: docs/SERVE.md. Everything here is
+// plain POSIX — one level-triggered epoll loop owns every socket; the
+// TaskPool owns every op; an eventfd is the only thing the two share.
+//
+// Threading contract, because it is the whole design:
+//  - The reactor thread is the only thread that touches sockets, epoll,
+//    connection objects, and read/write buffers.
+//  - Worker lanes touch only their request's heap-owned ResponseSlot, the
+//    (internally locked) cache/persister, and the completion queue; they
+//    finish by Ready-flagging the slot and signalling the eventfd.
+//  - Per-connection response order is the InFlight deque's order, which is
+//    frame arrival order; the reactor only ever flushes the ready prefix.
 //
 //===----------------------------------------------------------------------===//
 
@@ -11,19 +20,24 @@
 
 #include "serve/Json.h"
 #include "serve/Ops.h"
+#include "support/FileIo.h"
 #include "support/Telemetry.h"
+#include "support/Wakeup.h"
 #include "vendor/CuobjdumpSim.h"
 
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
-#include <condition_variable>
 #include <cstring>
-#include <fstream>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
-#include <poll.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -40,6 +54,15 @@ namespace {
 /// lanes, so it must not scale with whatever number a client sends.
 constexpr unsigned MaxRequestJobs = 64;
 
+/// epoll user-data sentinels; connection ids start above these.
+constexpr uint64_t ListenTag = 0;
+constexpr uint64_t WakeTag = 1;
+constexpr uint64_t FirstConnId = 2;
+
+/// How long the reactor keeps flushing in-flight responses after a stop
+/// request before abandoning unread clients.
+constexpr uint64_t StopGraceNs = 5ull * 1000 * 1000 * 1000;
+
 struct ServeTelemetry {
   telemetry::Counter &Requests = telemetry::counter("serve.requests");
   telemetry::Counter &Busy = telemetry::counter("serve.busy");
@@ -50,6 +73,15 @@ struct ServeTelemetry {
   telemetry::Histogram &QueueWait =
       telemetry::histogram("serve.queue_wait_ns");
   telemetry::Histogram &RequestNs = telemetry::histogram("serve.request_ns");
+  telemetry::Counter &EpollWakeups = telemetry::counter("serve.epoll.wakeups");
+  telemetry::Counter &WriteWouldBlock =
+      telemetry::counter("serve.epoll.write_would_block");
+  telemetry::Histogram &FramesPerWakeup =
+      telemetry::histogram("serve.epoll.frames_per_wakeup");
+  telemetry::Counter &PersistErrors =
+      telemetry::counter("serve.cache.persist.errors");
+  telemetry::Counter &RenderMemoHits =
+      telemetry::counter("serve.cache.render_hits");
 } Tel;
 
 uint64_t nowNs() {
@@ -58,32 +90,6 @@ uint64_t nowNs() {
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
-
-/// Completion slot shared between the connection thread and the pool lane
-/// running its request. The connection thread owns it by shared_ptr too,
-/// so a worker finishing after a (hypothetical) early exit never writes
-/// through a dangling reference.
-struct Pending {
-  std::mutex M;
-  std::condition_variable Cv;
-  bool Done = false;
-  std::string Error; ///< Non-empty when the op failed.
-  OpResult Result;
-
-  void finish(Expected<OpResult> R) {
-    std::lock_guard<std::mutex> Lock(M);
-    if (R)
-      Result = std::move(*R);
-    else
-      Error = R.message();
-    Done = true;
-    Cv.notify_all();
-  }
-  void wait() {
-    std::unique_lock<std::mutex> Lock(M);
-    Cv.wait(Lock, [&] { return Done; });
-  }
-};
 
 /// Everything request-shaped decoded out of one JSON line.
 struct Request {
@@ -109,6 +115,41 @@ std::string jsonError(const std::string &Id, const std::string &Message) {
   Out += ",\"error\":";
   json::appendString(Out, Message);
   Out += "}";
+  return Out;
+}
+
+std::string jsonBusy(const std::string &Id) {
+  std::string Out = "{\"status\":\"busy\"";
+  if (!Id.empty()) {
+    Out += ",\"id\":";
+    json::appendString(Out, Id);
+  }
+  Out += ",\"retry\":true}";
+  return Out;
+}
+
+/// The `ok` response for a finished work op, identical whether it came
+/// from a worker lane, the cache, or the persisted segment.
+std::string renderResult(const std::string &Op, const std::string &Id,
+                         bool Cached, const OpResult &R) {
+  std::string Out = "{\"status\":\"ok\",\"op\":";
+  json::appendString(Out, Op);
+  if (!Id.empty()) {
+    Out += ",\"id\":";
+    json::appendString(Out, Id);
+  }
+  Out += ",\"cached\":";
+  Out += Cached ? "true" : "false";
+  Out += ",\"exit\":" + std::to_string(R.Exit);
+  Out += ",\"output\":";
+  json::appendString(Out, R.Output);
+  Out += ",\"errors\":[";
+  for (size_t I = 0; I < R.Errors.size(); ++I) {
+    if (I)
+      Out += ",";
+    json::appendString(Out, R.Errors[I]);
+  }
+  Out += "]}";
   return Out;
 }
 
@@ -139,35 +180,61 @@ std::string optionsFingerprint(const Request &R, const Hash128 &DbFp) {
   return "";
 }
 
-/// Reads a whole file as bytes; the daemon-side twin of the CLI readFile.
-Expected<std::string> slurpFile(const std::string &Path) {
-  std::ifstream In(Path, std::ios::binary);
-  if (!In)
-    return Failure("cannot open " + Path);
-  std::string Bytes((std::istreambuf_iterator<char>(In)),
-                    std::istreambuf_iterator<char>());
-  return Bytes;
-}
+/// One request's parking spot in its connection's ordered response queue.
+/// The reactor and exactly one worker share it by shared_ptr: the worker
+/// writes Response then flips Ready (release); the reactor reads Ready
+/// (acquire) before touching Response. Responses synthesized on the
+/// reactor itself (control ops, errors, busy, cache hits) are Ready from
+/// the start.
+struct ResponseSlot {
+  std::string Response;
+  std::atomic<bool> Ready{false};
 
-bool sendAll(int Fd, const char *Data, size_t Len) {
-  while (Len) {
-    ssize_t N = ::send(Fd, Data, Len, MSG_NOSIGNAL);
-    if (N < 0) {
-      if (errno == EINTR)
-        continue;
-      return false;
-    }
-    Data += N;
-    Len -= static_cast<size_t>(N);
+  void finish(std::string R) {
+    Response = std::move(R);
+    Ready.store(true, std::memory_order_release);
   }
-  return true;
-}
+};
 
 } // namespace
 
+/// Per-connection reactor state. Owned by the reactor thread only.
+struct Server::Conn {
+  int Fd = -1;
+  uint64_t Id = 0;
+  std::string In;      ///< Unconsumed request bytes.
+  size_t ScanFrom = 0; ///< In[0..ScanFrom) is known newline-free.
+  std::string Out;     ///< Rendered, unsent response bytes.
+  size_t OutOfs = 0;   ///< First unsent byte of Out.
+  std::deque<std::shared_ptr<ResponseSlot>> InFlight; ///< Frame order.
+  uint32_t Events = 0; ///< Current epoll interest mask.
+  bool CloseAfterFlush = false;
+  bool ReadPaused = false;
+};
+
+struct Server::ReactorState {
+  int EpollFd = -1;
+  WakeupFd Wake;
+  /// Connections keyed by id, never by fd — ids are never reused, so a
+  /// stale event in the same epoll batch as a close cannot be misrouted
+  /// to a new connection that recycled the fd number.
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> Conns;
+  uint64_t NextId = FirstConnId;
+  uint64_t FramesThisWake = 0;
+
+  /// Worker → reactor hand-off: ids of connections with newly Ready
+  /// slots. The only reactor-side state workers may touch, and only
+  /// under this mutex.
+  std::mutex CompletionsM;
+  std::vector<uint64_t> Completions;
+};
+
 Server::Server(ServerOptions Opts, std::optional<analyzer::EncodingDatabase> D)
     : Options(Opts), Db(std::move(D)),
-      Cache(Opts.CacheBytes, Opts.CacheShards), Pool(Opts.Jobs) {}
+      Cache(Opts.CacheBytes, Opts.CacheShards), Pool(Opts.Jobs),
+      RenderMemo(Opts.RenderMemoBytes == static_cast<size_t>(-1)
+                     ? Opts.CacheBytes / 4
+                     : Opts.RenderMemoBytes) {}
 
 Server::~Server() { stop(); }
 
@@ -181,7 +248,19 @@ Error Server::start() {
     DbFingerprint = hash128(Db->serialize());
   }
 
-  ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (!Options.PersistPath.empty()) {
+    CachePersister::Options P;
+    P.Path = Options.PersistPath;
+    P.CompactSlack = Options.PersistCompactSlack;
+    Persister = std::make_unique<CachePersister>(std::move(P), Cache,
+                                                 DbFingerprint);
+    if (Error E = Persister->load()) {
+      Persister.reset();
+      return E;
+    }
+  }
+
+  ListenFd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (ListenFd < 0)
     return Error::failure(std::string("socket: ") + std::strerror(errno));
   int One = 1;
@@ -201,7 +280,7 @@ Error Server::start() {
     ListenFd = -1;
     return E;
   }
-  if (::listen(ListenFd, 64) < 0) {
+  if (::listen(ListenFd, 1024) < 0) {
     Error E = Error::failure(std::string("listen: ") + std::strerror(errno));
     ::close(ListenFd);
     ListenFd = -1;
@@ -213,25 +292,45 @@ Error Server::start() {
                     &AddrLen) == 0)
     BoundPort = ntohs(Addr.sin_port);
 
-  AcceptThread = std::thread([this] { acceptLoop(); });
+  R = std::make_unique<ReactorState>();
+  R->EpollFd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (R->EpollFd < 0) {
+    Error E =
+        Error::failure(std::string("epoll_create1: ") + std::strerror(errno));
+    ::close(ListenFd);
+    ListenFd = -1;
+    return E;
+  }
+  Expected<WakeupFd> Wake = WakeupFd::create();
+  if (!Wake.hasValue()) {
+    ::close(ListenFd);
+    ListenFd = -1;
+    return Error::failure(Wake.message());
+  }
+  R->Wake = Wake.takeValue();
+
+  epoll_event Ev;
+  std::memset(&Ev, 0, sizeof(Ev));
+  Ev.events = EPOLLIN;
+  Ev.data.u64 = ListenTag;
+  ::epoll_ctl(R->EpollFd, EPOLL_CTL_ADD, ListenFd, &Ev);
+  Ev.data.u64 = WakeTag;
+  ::epoll_ctl(R->EpollFd, EPOLL_CTL_ADD, R->Wake.fd(), &Ev);
+
+  ReactorThread = std::thread([this] { reactorLoop(); });
   return Error::success();
 }
 
 void Server::stop() {
   requestStop();
-  if (AcceptThread.joinable())
-    AcceptThread.join();
+  if (R)
+    R->Wake.signal();
+  if (ReactorThread.joinable())
+    ReactorThread.join();
   if (ListenFd >= 0) {
     ::close(ListenFd);
     ListenFd = -1;
   }
-  // Joining under ConnectionsM is safe: connection threads never take the
-  // lock on their exit path (they only flip their Done flag).
-  std::lock_guard<std::mutex> Lock(ConnectionsM);
-  for (std::unique_ptr<Connection> &C : Connections)
-    if (C->Thread.joinable())
-      C->Thread.join();
-  Connections.clear();
   Pool.drainSubmitted();
 }
 
@@ -247,118 +346,295 @@ Server::SessionStats Server::sessions() const {
   return S;
 }
 
-void Server::acceptLoop() {
-  while (!stopRequested()) {
-    pollfd Pfd{ListenFd, POLLIN, 0};
-    int Ready = ::poll(&Pfd, 1, 200);
-    if (Ready <= 0)
+CachePersister::Stats Server::persistStats() const {
+  return Persister ? Persister->stats() : CachePersister::Stats();
+}
+
+bool Server::anyPendingWork() const {
+  for (const auto &KV : R->Conns) {
+    const Conn &C = *KV.second;
+    if (!C.InFlight.empty() || C.OutOfs < C.Out.size())
+      return true;
+  }
+  return false;
+}
+
+void Server::reactorLoop() {
+  uint64_t StopSeenNs = 0;
+  epoll_event Events[128];
+
+  for (;;) {
+    if (stopRequested()) {
+      // Grace period: keep the loop alive until every dispatched frame
+      // has flushed (the shutdown op's own `ok` included), bounded so an
+      // unread client cannot wedge teardown.
+      if (!StopSeenNs)
+        StopSeenNs = nowNs();
+      if (!anyPendingWork() || nowNs() - StopSeenNs > StopGraceNs)
+        break;
+    }
+    int N = ::epoll_wait(R->EpollFd, Events, 128, 200);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (N == 0)
       continue;
-    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    Tel.EpollWakeups.add();
+    R->FramesThisWake = 0;
+
+    for (int I = 0; I < N; ++I) {
+      uint64_t Tag = Events[I].data.u64;
+      uint32_t Ev = Events[I].events;
+      if (Tag == ListenTag) {
+        if (!stopRequested())
+          onAcceptable();
+        continue;
+      }
+      if (Tag == WakeTag) {
+        R->Wake.drain();
+        std::vector<uint64_t> Ready;
+        {
+          std::lock_guard<std::mutex> Lock(R->CompletionsM);
+          Ready.swap(R->Completions);
+        }
+        for (uint64_t Id : Ready) {
+          auto It = R->Conns.find(Id);
+          if (It == R->Conns.end())
+            continue; // Connection died before its op finished.
+          flushReady(*It->second);
+        }
+        continue;
+      }
+      auto It = R->Conns.find(Tag);
+      if (It == R->Conns.end())
+        continue; // Closed earlier in this same event batch.
+      Conn &C = *It->second;
+      if (Ev & (EPOLLHUP | EPOLLERR)) {
+        closeConn(C);
+        continue;
+      }
+      if (Ev & EPOLLOUT) {
+        if (!tryWrite(C))
+          continue; // Connection closed; C is gone.
+      }
+      if (Ev & EPOLLIN)
+        onReadable(C);
+    }
+
+    if (R->FramesThisWake)
+      Tel.FramesPerWakeup.record(R->FramesThisWake);
+  }
+
+  // Teardown on the reactor thread, which owns all of this state. The
+  // eventfd stays open: a straggling worker may still signal it.
+  for (auto &KV : R->Conns) {
+    ::close(KV.second->Fd);
+    ActiveConnections.fetch_sub(1, std::memory_order_relaxed);
+  }
+  R->Conns.clear();
+  ::close(R->EpollFd);
+  R->EpollFd = -1;
+}
+
+void Server::onAcceptable() {
+  for (;;) {
+    int Fd = ::accept4(ListenFd, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (Fd < 0)
-      continue;
+      return; // EAGAIN (or transient error): nothing more to accept now.
+    int One = 1;
+    ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+
     TotalConnections.fetch_add(1, std::memory_order_relaxed);
     ActiveConnections.fetch_add(1, std::memory_order_relaxed);
     Tel.Connections.add();
 
-    std::lock_guard<std::mutex> Lock(ConnectionsM);
-    // Reap finished connections so a long-lived daemon doesn't grow an
-    // unbounded vector of joined-out threads.
-    for (size_t I = 0; I < Connections.size();) {
-      if (Connections[I]->Done.load(std::memory_order_acquire)) {
-        if (Connections[I]->Thread.joinable())
-          Connections[I]->Thread.join();
-        Connections.erase(Connections.begin() + I);
-      } else {
-        ++I;
-      }
-    }
-    auto Conn = std::make_unique<Connection>();
-    Conn->Fd = Fd;
-    Conn->Id = NextConnectionId++;
-    Connection *Raw = Conn.get();
-    Connections.push_back(std::move(Conn));
-    // Assigning the thread under ConnectionsM keeps stop()'s join from
-    // racing a half-constructed std::thread.
-    Raw->Thread = std::thread([this, Raw] { connectionLoop(*Raw); });
+    auto C = std::make_unique<Conn>();
+    C->Fd = Fd;
+    C->Id = R->NextId++;
+    C->Events = EPOLLIN;
+    epoll_event Ev;
+    std::memset(&Ev, 0, sizeof(Ev));
+    Ev.events = C->Events;
+    Ev.data.u64 = C->Id;
+    ::epoll_ctl(R->EpollFd, EPOLL_CTL_ADD, Fd, &Ev);
+    R->Conns.emplace(C->Id, std::move(C));
   }
 }
 
-void Server::connectionLoop(Connection &Conn) {
-  std::string Buffer;
-  char Chunk[64 * 1024];
-  bool Overlong = false;
-
-  while (!stopRequested()) {
-    pollfd Pfd{Conn.Fd, POLLIN, 0};
-    int Ready = ::poll(&Pfd, 1, 200);
-    if (Ready < 0 && errno != EINTR)
-      break;
-    if (Ready <= 0)
-      continue;
-    ssize_t N = ::recv(Conn.Fd, Chunk, sizeof(Chunk), 0);
-    if (N <= 0)
-      break; // Peer closed (or hard error).
-    TotalBytesIn.fetch_add(static_cast<uint64_t>(N),
-                           std::memory_order_relaxed);
-    Tel.BytesIn.add(static_cast<uint64_t>(N));
-    Buffer.append(Chunk, static_cast<size_t>(N));
-
-    size_t Start = 0;
-    for (;;) {
-      size_t Nl = Buffer.find('\n', Start);
-      if (Nl == std::string::npos)
-        break;
-      std::string_view Line(Buffer.data() + Start, Nl - Start);
-      Start = Nl + 1;
-      if (Overlong) {
-        // The tail of a line we already refused; swallow it silently.
-        Overlong = false;
-        continue;
-      }
-      std::string Response = handleLine(Line);
-      Response += '\n';
-      if (!sendAll(Conn.Fd, Response.data(), Response.size()))
-        goto done;
-      TotalBytesOut.fetch_add(Response.size(), std::memory_order_relaxed);
-      Tel.BytesOut.add(Response.size());
-    }
-    Buffer.erase(0, Start);
-
-    if (Buffer.size() > Options.MaxLineBytes) {
-      // A request line exceeding the framing bound: answer once, then
-      // discard bytes until its terminating newline shows up.
-      Buffer.clear();
-      Overlong = true;
-      TotalErrors.fetch_add(1, std::memory_order_relaxed);
-      Tel.Errors.add();
-      std::string Response =
-          jsonError("", "request line exceeds " +
-                            std::to_string(Options.MaxLineBytes) + " bytes") +
-          "\n";
-      if (!sendAll(Conn.Fd, Response.data(), Response.size()))
-        break;
-      TotalBytesOut.fetch_add(Response.size(), std::memory_order_relaxed);
-      Tel.BytesOut.add(Response.size());
-    }
-  }
-
-done:
-  ::close(Conn.Fd);
-  Conn.Fd = -1;
+void Server::closeConn(Conn &C) {
+  // In-flight workers keep their ResponseSlot alive by shared_ptr; the
+  // completion drain tolerates the missing id.
+  ::epoll_ctl(R->EpollFd, EPOLL_CTL_DEL, C.Fd, nullptr);
+  ::close(C.Fd);
   ActiveConnections.fetch_sub(1, std::memory_order_relaxed);
-  Conn.Done.store(true, std::memory_order_release);
+  R->Conns.erase(C.Id); // Destroys C; callers must not touch it again.
 }
 
-std::string Server::handleLine(std::string_view Line) {
+void Server::updateInterest(Conn &C) {
+  bool OutPending = C.OutOfs < C.Out.size();
+  C.ReadPaused = C.Out.size() - C.OutOfs > Options.ReadHighWater;
+  uint32_t Want = 0;
+  if (!C.ReadPaused && !C.CloseAfterFlush)
+    Want |= EPOLLIN;
+  if (OutPending)
+    Want |= EPOLLOUT;
+  if (Want == C.Events)
+    return;
+  C.Events = Want;
+  epoll_event Ev;
+  std::memset(&Ev, 0, sizeof(Ev));
+  Ev.events = Want;
+  Ev.data.u64 = C.Id;
+  ::epoll_ctl(R->EpollFd, EPOLL_CTL_MOD, C.Fd, &Ev);
+}
+
+bool Server::tryWrite(Conn &C) {
+  while (C.OutOfs < C.Out.size()) {
+    ssize_t N = ::send(C.Fd, C.Out.data() + C.OutOfs, C.Out.size() - C.OutOfs,
+                       MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        Tel.WriteWouldBlock.add();
+        break;
+      }
+      closeConn(C);
+      return false;
+    }
+    C.OutOfs += static_cast<size_t>(N);
+    TotalBytesOut.fetch_add(static_cast<uint64_t>(N),
+                            std::memory_order_relaxed);
+    Tel.BytesOut.add(static_cast<uint64_t>(N));
+  }
+  if (C.OutOfs == C.Out.size()) {
+    C.Out.clear();
+    C.OutOfs = 0;
+  } else if (C.OutOfs > (1u << 20)) {
+    // Keep the residual small without shifting bytes on every send.
+    C.Out.erase(0, C.OutOfs);
+    C.OutOfs = 0;
+  }
+  if (C.CloseAfterFlush && C.Out.empty() && C.InFlight.empty()) {
+    closeConn(C);
+    return false;
+  }
+  updateInterest(C);
+  return true;
+}
+
+void Server::flushReady(Conn &C) {
+  bool Flushed = false;
+  while (!C.InFlight.empty() &&
+         C.InFlight.front()->Ready.load(std::memory_order_acquire)) {
+    C.Out += C.InFlight.front()->Response;
+    C.Out += '\n';
+    C.InFlight.pop_front();
+    Flushed = true;
+  }
+  if (Flushed || C.CloseAfterFlush)
+    tryWrite(C); // May close C; fine — we return right after.
+}
+
+void Server::onReadable(Conn &C) {
+  char Chunk[64 * 1024];
+  for (;;) {
+    ssize_t N = ::recv(C.Fd, Chunk, sizeof(Chunk), 0);
+    if (N > 0) {
+      TotalBytesIn.fetch_add(static_cast<uint64_t>(N),
+                             std::memory_order_relaxed);
+      Tel.BytesIn.add(static_cast<uint64_t>(N));
+      C.In.append(Chunk, static_cast<size_t>(N));
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      break;
+    // Peer closed (or hard error): drop the connection, in-flight work
+    // notwithstanding — there is nobody left to read the responses.
+    closeConn(C);
+    return;
+  }
+
+  // Dispatch every complete frame we now hold — this loop is the server
+  // side of pipelining. ScanFrom remembers how far the retained partial
+  // line has already been scanned, so a frame arriving in thousands of
+  // small chunks costs linear, not quadratic, scanning.
+  size_t Start = 0;
+  size_t SearchFrom = C.ScanFrom;
+  bool Oversize = false;
+  for (;;) {
+    size_t Nl = C.In.find('\n', SearchFrom);
+    if (Nl == std::string::npos) {
+      Oversize = C.In.size() - Start > Options.MaxLineBytes;
+      break;
+    }
+    if (Nl - Start > Options.MaxLineBytes) {
+      Oversize = true;
+      break;
+    }
+    dispatchFrame(C, std::string_view(C.In.data() + Start, Nl - Start));
+    Start = Nl + 1;
+    SearchFrom = Start;
+  }
+  C.In.erase(0, Start);
+  C.ScanFrom = C.In.size();
+
+  if (Oversize) {
+    // One frame past the bound poisons only its own connection: answer
+    // with an error, stop reading, and disconnect once the backlog (this
+    // error and every earlier pipelined response) has flushed. Other
+    // connections never notice.
+    C.In.clear();
+    C.ScanFrom = 0;
+    TotalErrors.fetch_add(1, std::memory_order_relaxed);
+    Tel.Errors.add();
+    auto Slot = std::make_shared<ResponseSlot>();
+    Slot->finish(jsonError(
+        "", "request line exceeds " + std::to_string(Options.MaxLineBytes) +
+                " bytes; closing connection"));
+    C.InFlight.push_back(std::move(Slot));
+    C.CloseAfterFlush = true;
+  }
+  flushReady(C); // May close C (flush complete + CloseAfterFlush).
+}
+
+void Server::dispatchFrame(Conn &C, std::string_view Line) {
   DCB_SPAN("serve.request");
+  ++R->FramesThisWake;
   uint64_t T0 = nowNs();
   TotalRequests.fetch_add(1, std::memory_order_relaxed);
   Tel.Requests.add();
 
+  auto Slot = std::make_shared<ResponseSlot>();
+  C.InFlight.push_back(Slot);
+
+  // Layer 1: a byte-identical repeat of a memoized request line skips
+  // everything — JSON parse, base64 decode, content hash, re-render —
+  // and answers with a copy of the prerendered bytes. One hash of the
+  // line is the entire cost (the same 128-bit collision bet the content
+  // cache already makes).
+  Hash128 LineKey{};
+  const bool MemoOn = RenderMemo.budget() != 0;
+  if (MemoOn) {
+    LineKey = hash128(Line);
+    if (const std::string *Hit = RenderMemo.get(LineKey)) {
+      RenderHits.fetch_add(1, std::memory_order_relaxed);
+      Tel.RenderMemoHits.add();
+      Slot->finish(std::string(*Hit));
+      Tel.RequestNs.record(nowNs() - T0);
+      return;
+    }
+  }
+
   auto Fail = [&](const std::string &Id, const std::string &Msg) {
     TotalErrors.fetch_add(1, std::memory_order_relaxed);
     Tel.Errors.add();
-    return jsonError(Id, Msg);
+    Slot->finish(jsonError(Id, Msg));
   };
 
   Expected<json::Value> Parsed = json::parse(Line);
@@ -368,41 +644,58 @@ std::string Server::handleLine(std::string_view Line) {
   if (V.K != json::Value::Kind::Object)
     return Fail("", "request must be a json object");
 
-  Request R;
-  R.Op = V.str("op");
-  R.Id = V.str("id");
-  if (R.Op.empty())
-    return Fail(R.Id, "missing op");
+  Request Rq;
+  Rq.Op = V.str("op");
+  Rq.Id = V.str("id");
+  if (Rq.Op.empty())
+    return Fail(Rq.Id, "missing op");
 
-  // --- Control ops answered on the connection thread. ---------------------
+  // --- Control ops answered on the reactor thread. ------------------------
 
-  if (R.Op == "ping") {
+  if (Rq.Op == "ping") {
     std::string Out = "{\"status\":\"ok\",\"op\":\"ping\"";
-    if (!R.Id.empty()) {
+    if (!Rq.Id.empty()) {
       Out += ",\"id\":";
-      json::appendString(Out, R.Id);
+      json::appendString(Out, Rq.Id);
     }
     Out += ",\"have_db\":";
     Out += Db ? "true" : "false";
     Out += "}";
-    return Out;
+    Slot->finish(std::move(Out));
+    return;
   }
 
-  if (R.Op == "shutdown") {
+  if (Rq.Op == "shutdown") {
     requestStop();
-    return "{\"status\":\"ok\",\"op\":\"shutdown\"}";
+    Slot->finish("{\"status\":\"ok\",\"op\":\"shutdown\"}");
+    return;
   }
 
-  if (R.Op == "stats") {
-    ResultCache::Stats C = Cache.stats();
+  if (Rq.Op == "stats") {
+    ResultCache::Stats Cs = Cache.stats();
     SessionStats S = sessions();
+    CachePersister::Stats P = persistStats();
     std::string Out = "{\"status\":\"ok\",\"op\":\"stats\",\"cache\":{";
-    Out += "\"hits\":" + std::to_string(C.Hits);
-    Out += ",\"misses\":" + std::to_string(C.Misses);
-    Out += ",\"evictions\":" + std::to_string(C.Evictions);
-    Out += ",\"entries\":" + std::to_string(C.Entries);
-    Out += ",\"bytes\":" + std::to_string(C.Bytes);
-    Out += ",\"budget\":" + std::to_string(C.Budget);
+    Out += "\"hits\":" + std::to_string(Cs.Hits);
+    Out += ",\"misses\":" + std::to_string(Cs.Misses);
+    Out += ",\"evictions\":" + std::to_string(Cs.Evictions);
+    Out += ",\"entries\":" + std::to_string(Cs.Entries);
+    Out += ",\"bytes\":" + std::to_string(Cs.Bytes);
+    Out += ",\"budget\":" + std::to_string(Cs.Budget);
+    // The stats op runs on the reactor thread, so reading the memo's
+    // (single-threaded) size/bytes here is safe.
+    Out += "},\"render\":{";
+    Out += "\"hits\":" + std::to_string(renderMemoHits());
+    Out += ",\"entries\":" + std::to_string(RenderMemo.size());
+    Out += ",\"bytes\":" + std::to_string(RenderMemo.bytes());
+    Out += ",\"budget\":" + std::to_string(RenderMemo.budget());
+    Out += "},\"persist\":{";
+    Out += std::string("\"enabled\":") + (Persister ? "true" : "false");
+    Out += ",\"loaded\":" + std::to_string(P.LoadedEntries);
+    Out += ",\"dropped\":" + std::to_string(P.DroppedEntries);
+    Out += ",\"appends\":" + std::to_string(P.Appends);
+    Out += ",\"compactions\":" + std::to_string(P.Compactions);
+    Out += std::string(",\"cold_start\":") + (P.ColdStart ? "true" : "false");
     Out += "},\"sessions\":{";
     Out += "\"connections\":" + std::to_string(S.Connections);
     Out += ",\"active\":" + std::to_string(S.Active);
@@ -414,134 +707,139 @@ std::string Server::handleLine(std::string_view Line) {
     Out += "},\"telemetry\":";
     json::appendString(Out, telemetry::statsCompact());
     Out += "}";
-    return Out;
+    Slot->finish(std::move(Out));
+    return;
   }
 
   // --- Work ops: decode input, consult cache, fan through the pool. -------
 
-  if (R.Op != "disasm" && R.Op != "asm" && R.Op != "lint" && R.Op != "exec")
-    return Fail(R.Id, "unknown op: " + R.Op);
+  if (Rq.Op != "disasm" && Rq.Op != "asm" && Rq.Op != "lint" &&
+      Rq.Op != "exec")
+    return Fail(Rq.Id, "unknown op: " + Rq.Op);
 
+  bool InlineContent = false;
   if (const json::Value *B64 = V.field("data_b64")) {
     if (B64->K != json::Value::Kind::String)
-      return Fail(R.Id, "data_b64 must be a string");
+      return Fail(Rq.Id, "data_b64 must be a string");
     Expected<std::vector<uint8_t>> Bytes = json::base64Decode(B64->Str);
     if (!Bytes)
-      return Fail(R.Id, "data_b64: " + Bytes.message());
-    R.Raw.assign(Bytes->begin(), Bytes->end());
-    R.Name = V.str("name", "<request>");
-    R.HasInput = true;
+      return Fail(Rq.Id, "data_b64: " + Bytes.message());
+    Rq.Raw.assign(Bytes->begin(), Bytes->end());
+    Rq.Name = V.str("name", "<request>");
+    Rq.HasInput = true;
+    InlineContent = true;
   } else if (const json::Value *Path = V.field("path")) {
     if (Path->K != json::Value::Kind::String)
-      return Fail(R.Id, "path must be a string");
-    Expected<std::string> Bytes = slurpFile(Path->Str);
+      return Fail(Rq.Id, "path must be a string");
+    Expected<std::string> Bytes = readFileBytes(Path->Str);
     if (!Bytes)
-      return Fail(R.Id, Bytes.message());
-    R.Raw = std::move(*Bytes);
-    R.Name = Path->Str;
-    R.HasInput = true;
+      return Fail(Rq.Id, Bytes.message());
+    Rq.Raw = std::move(*Bytes);
+    Rq.Name = Path->Str;
+    Rq.HasInput = true;
   }
-  if (!R.HasInput)
-    return Fail(R.Id, R.Op + " needs data_b64 or path");
+  if (!Rq.HasInput)
+    return Fail(Rq.Id, Rq.Op + " needs data_b64 or path");
 
-  if (R.Op == "asm" && !Db)
-    return Fail(R.Id, "server has no encoding database (start with --db)");
+  if (Rq.Op == "asm" && !Db)
+    return Fail(Rq.Id, "server has no encoding database (start with --db)");
 
   // `jobs` sizes real thread pools downstream, so an untrusted request
   // saying jobs=1000000 would be a thread bomb. Clamp before it reaches
   // anything (including the fingerprint: clamped-equal requests alias,
   // which is correct — they do identical work).
-  R.Jobs = std::min(static_cast<unsigned>(V.num("jobs", 1)), MaxRequestJobs);
-  R.Kernel = V.str("kernel", "all");
-  R.LintName = V.str("name", R.Name);
-  R.Exec.NumThreads = static_cast<unsigned>(V.num("threads", 32));
-  R.Exec.NumBlocks = static_cast<unsigned>(V.num("blocks", 2));
-  R.Exec.WarpSize = static_cast<unsigned>(V.num("warp", 32));
-  R.Exec.NumLanes = R.Jobs; // `jobs` means VM lanes for exec, like the CLI.
-  R.Exec.Seeds = static_cast<unsigned>(V.num("seeds", 5));
-  R.Exec.FirstSeed = static_cast<uint64_t>(V.num("seed", 1));
-  R.Exec.UseRef = V.boolean("ref", false);
+  Rq.Jobs = std::min(static_cast<unsigned>(V.num("jobs", 1)), MaxRequestJobs);
+  Rq.Kernel = V.str("kernel", "all");
+  Rq.LintName = V.str("name", Rq.Name);
+  Rq.Exec.NumThreads = static_cast<unsigned>(V.num("threads", 32));
+  Rq.Exec.NumBlocks = static_cast<unsigned>(V.num("blocks", 2));
+  Rq.Exec.WarpSize = static_cast<unsigned>(V.num("warp", 32));
+  Rq.Exec.NumLanes = Rq.Jobs; // `jobs` means VM lanes for exec, like the CLI.
+  Rq.Exec.Seeds = static_cast<unsigned>(V.num("seeds", 5));
+  Rq.Exec.FirstSeed = static_cast<uint64_t>(V.num("seed", 1));
+  Rq.Exec.UseRef = V.boolean("ref", false);
   std::string Oob = V.str("oob", "wrap");
   if (Oob != "wrap" && Oob != "fault")
-    return Fail(R.Id, "oob must be wrap or fault");
-  R.Exec.Oob = Oob == "fault" ? vm::OobPolicy::Fault : vm::OobPolicy::Wrap;
+    return Fail(Rq.Id, "oob must be wrap or fault");
+  Rq.Exec.Oob = Oob == "fault" ? vm::OobPolicy::Fault : vm::OobPolicy::Wrap;
 
-  Hash128 Content = hash128(R.Raw);
-  Hash128 Key = cacheKey(Content, R.Op, optionsFingerprint(R, DbFingerprint));
+  Hash128 Content = hash128(Rq.Raw);
+  Hash128 Key =
+      cacheKey(Content, Rq.Op, optionsFingerprint(Rq, DbFingerprint));
 
-  bool Cached = false;
-  std::unique_ptr<OpResult> Result = Cache.get(Key);
-  if (Result) {
-    Cached = true;
-  } else {
-    auto Slot = std::make_shared<Pending>();
-    uint64_t Queued = nowNs();
-    // The closure owns the request payload; the connection thread only
-    // keeps what the response needs.
-    auto Work = [this, Slot, Queued, R = std::move(R)]() mutable {
-      Tel.QueueWait.record(nowNs() - Queued);
-      DCB_SPAN("serve.op");
-      Expected<OpResult> Out = [&]() -> Expected<OpResult> {
-        if (R.Op == "disasm") {
-          vendor::DisasmOptions D;
-          D.NumThreads = R.Jobs;
-          return opDisasm(std::vector<uint8_t>(R.Raw.begin(), R.Raw.end()),
-                          D);
-        }
-        if (R.Op == "asm") {
-          BatchOptions B;
-          B.NumThreads = R.Jobs;
-          return opAsm(*Db, R.Raw, B);
-        }
-        if (R.Op == "lint")
-          return opLint(R.Raw, R.LintName);
-        return opExec(R.Raw, R.Name, R.Kernel, R.Exec);
-      }();
-      Slot->finish(std::move(Out));
-    };
-    // R was moved into Work; re-fetch the response fields from the slot
-    // and locals captured before the move.
-    std::string Id = V.str("id");
-    std::string Op = V.str("op");
+  if (std::unique_ptr<OpResult> Hit = Cache.get(Key)) {
+    std::string Resp = renderResult(Rq.Op, Rq.Id, /*Cached=*/true, *Hit);
+    // Memoize the rendered bytes so the next byte-identical line skips
+    // the whole decode path. Only inline-content lines qualify: a `path`
+    // line does not pin its content, so it must re-read and re-hash the
+    // file every time.
+    if (MemoOn && InlineContent)
+      RenderMemo.put(LineKey, Resp, Line.size() + Resp.size());
+    Slot->finish(std::move(Resp));
+    Tel.RequestNs.record(nowNs() - T0);
+    return;
+  }
 
-    TaskPool::Submit S = Pool.trySubmit(std::move(Work), Options.MaxQueued);
-    if (S == TaskPool::Submit::WouldBlock) {
-      TotalBusy.fetch_add(1, std::memory_order_relaxed);
-      Tel.Busy.add();
-      std::string Out = "{\"status\":\"busy\"";
-      if (!Id.empty()) {
-        Out += ",\"id\":";
-        json::appendString(Out, Id);
+  // Cache miss: hand the op to the pool. The closure owns the request
+  // payload; the reactor keeps only the ordered slot. The worker renders
+  // the response itself (string building off the reactor), mirrors the
+  // result into cache + segment, then nudges the reactor via the eventfd.
+  uint64_t ConnId = C.Id;
+  uint64_t Queued = nowNs();
+  ReactorState *Rs = R.get(); // Outlives workers: freed after drain.
+  auto Work = [this, Slot, Rs, ConnId, Key, T0, Queued,
+               Rq = std::move(Rq)]() mutable {
+    Tel.QueueWait.record(nowNs() - Queued);
+    DCB_SPAN("serve.op");
+    Expected<OpResult> Out = [&]() -> Expected<OpResult> {
+      if (Rq.Op == "disasm") {
+        vendor::DisasmOptions D;
+        D.NumThreads = Rq.Jobs;
+        return opDisasm(std::vector<uint8_t>(Rq.Raw.begin(), Rq.Raw.end()),
+                        D);
       }
-      Out += ",\"retry\":true}";
-      return Out;
+      if (Rq.Op == "asm") {
+        BatchOptions B;
+        B.NumThreads = Rq.Jobs;
+        return opAsm(*Db, Rq.Raw, B);
+      }
+      if (Rq.Op == "lint")
+        return opLint(Rq.Raw, Rq.LintName);
+      return opExec(Rq.Raw, Rq.Name, Rq.Kernel, Rq.Exec);
+    }();
+    if (Out.hasValue()) {
+      // Mirror to cache and (when enabled) disk before answering, so a
+      // crash right after the response cannot lose an entry the client
+      // believes the daemon has.
+      if (Cache.put(Key, *Out) && Persister) {
+        if (Error E = Persister->append(Key, *Out)) {
+          (void)E; // The entry still serves from memory.
+          Tel.PersistErrors.add();
+        }
+      }
+      Slot->finish(renderResult(Rq.Op, Rq.Id, /*Cached=*/false, *Out));
+    } else {
+      TotalErrors.fetch_add(1, std::memory_order_relaxed);
+      Tel.Errors.add();
+      Slot->finish(jsonError(Rq.Id, Out.message()));
     }
-    Slot->wait();
-    if (!Slot->Error.empty())
-      return Fail(Id, Slot->Error);
-    Result = std::make_unique<OpResult>(std::move(Slot->Result));
-    Cache.put(Key, *Result);
-  }
-
-  std::string Out = "{\"status\":\"ok\",\"op\":";
-  json::appendString(Out, V.str("op"));
+    Tel.RequestNs.record(nowNs() - T0);
+    {
+      std::lock_guard<std::mutex> Lock(Rs->CompletionsM);
+      Rs->Completions.push_back(ConnId);
+    }
+    Rs->Wake.signal();
+  };
+  // Copy out what the busy path needs before Work consumed Rq.
   std::string Id = V.str("id");
-  if (!Id.empty()) {
-    Out += ",\"id\":";
-    json::appendString(Out, Id);
+
+  TaskPool::Submit S = Pool.trySubmit(std::move(Work), Options.MaxQueued);
+  if (S == TaskPool::Submit::WouldBlock) {
+    TotalBusy.fetch_add(1, std::memory_order_relaxed);
+    Tel.Busy.add();
+    Slot->finish(jsonBusy(Id));
+    return;
   }
-  Out += ",\"cached\":";
-  Out += Cached ? "true" : "false";
-  Out += ",\"exit\":" + std::to_string(Result->Exit);
-  Out += ",\"output\":";
-  json::appendString(Out, Result->Output);
-  Out += ",\"errors\":[";
-  for (size_t I = 0; I < Result->Errors.size(); ++I) {
-    if (I)
-      Out += ",";
-    json::appendString(Out, Result->Errors[I]);
-  }
-  Out += "]}";
-  Tel.RequestNs.record(nowNs() - T0);
-  return Out;
+  // Queued (or already ran inline on a 0-worker pool): the completion
+  // path delivers it.
 }

@@ -13,19 +13,34 @@
 /// start() and then shares the frozen, immutable indexes across every
 /// connection and worker lane.
 ///
-/// Three load-shedding layers, outermost first:
+/// Connections are multiplexed by a single epoll reactor thread
+/// (level-triggered, non-blocking sockets, per-connection read/write
+/// buffers with framing state), so hundreds-to-thousands of concurrent
+/// clients cost buffers, not threads. The reactor parses and dispatches
+/// every complete frame it has buffered — clients may pipeline — and
+/// responses on one connection always come back in request order. Op
+/// execution runs on the TaskPool; a finished worker parks its rendered
+/// response in the request's ordered slot and nudges the reactor over an
+/// eventfd, so a worker never blocks on a slow client's socket.
 ///
-///  1. a sharded content-addressed ResultCache — repeated traffic is a
-///     hash lookup, not a decode;
-///  2. a TaskPool with bounded submission — at most `Jobs` requests decode
+/// Four load-shedding layers, outermost first:
+///
+///  1. a render memo on the reactor itself — a byte-identical repeat of
+///     an inline-content request line is answered from a prerendered
+///     response (one hash of the line, no JSON parse, no base64 decode,
+///     no re-render), which is what makes pipelined warm hit streams a
+///     memcpy workload;
+///  2. a sharded content-addressed ResultCache — repeated traffic is a
+///     hash lookup, not a decode — optionally persisted to an append-only
+///     segment so restarts come up warm (serve/Persist.h);
+///  3. a TaskPool with bounded submission — at most `Jobs` requests decode
 ///     concurrently and at most `MaxQueued` wait behind them;
-///  3. explicit back-pressure — when the queue is full the client gets a
+///  4. explicit back-pressure — when the queue is full the client gets a
 ///     retryable `{"status":"busy"}` immediately instead of the daemon
-///     queueing unboundedly.
+///     queueing unboundedly, and a connection whose response backlog
+///     outgrows ReadHighWater stops being read until it drains.
 ///
-/// Connections are one thread each (the expected client population is
-/// tens, not thousands; the *work* is bounded by the pool either way),
-/// binding to 127.0.0.1 only.
+/// Binds to 127.0.0.1 only.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -34,18 +49,19 @@
 
 #include "analyzer/IsaAnalyzer.h"
 #include "serve/Cache.h"
+#include "serve/Persist.h"
 #include "support/Errors.h"
 #include "support/Hash.h"
+#include "support/Lru.h"
 #include "support/TaskPool.h"
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
-#include <vector>
 
 namespace dcb {
 namespace serve {
@@ -57,6 +73,19 @@ struct ServerOptions {
   size_t CacheBytes = 64ull << 20;
   unsigned CacheShards = 16;
   size_t MaxLineBytes = 64ull << 20; ///< Per-request framing bound.
+  /// Pause reading a connection whose unsent response backlog exceeds
+  /// this (resumes when it drains) — a pipelining client slower at
+  /// reading than writing cannot balloon the daemon.
+  size_t ReadHighWater = 8ull << 20;
+  /// Non-empty = persist the result cache to this segment file
+  /// (serve/Persist.h) and reload it at start().
+  std::string PersistPath;
+  /// Compact the segment once this much dead weight accumulated.
+  uint64_t PersistCompactSlack = 16ull << 20;
+  /// Byte budget for the render memo (prerendered responses keyed by the
+  /// hash of the request line). SIZE_MAX = a quarter of CacheBytes;
+  /// 0 disables the memo.
+  size_t RenderMemoBytes = static_cast<size_t>(-1);
 };
 
 class Server {
@@ -72,7 +101,8 @@ public:
   Server &operator=(const Server &) = delete;
 
   /// Binds and listens, freezes the shared indexes (database FrozenIndex,
-  /// per-arch DecodeIndex), and starts the accept thread. Call once.
+  /// per-arch DecodeIndex), loads the persisted cache segment when
+  /// configured, and starts the reactor thread. Call once.
   Error start();
 
   /// The bound port (valid after a successful start()).
@@ -85,8 +115,8 @@ public:
     return StopFlag.load(std::memory_order_relaxed);
   }
 
-  /// Stops accepting, joins every connection, and drains in-flight work.
-  /// Idempotent; the destructor calls it too.
+  /// Stops the reactor (flushing in-flight responses, bounded grace) and
+  /// drains pool work. Idempotent; the destructor calls it too.
   void stop();
 
   ResultCache &cache() { return Cache; }
@@ -108,18 +138,33 @@ public:
   };
   SessionStats sessions() const;
 
-private:
-  struct Connection {
-    int Fd = -1;
-    uint64_t Id = 0;
-    std::thread Thread;
-    std::atomic<bool> Done{false};
-  };
+  bool persistEnabled() const { return Persister != nullptr; }
+  /// Persistence counters; all-zero when persistence is disabled.
+  CachePersister::Stats persistStats() const;
 
-  void acceptLoop();
-  void connectionLoop(Connection &Conn);
-  /// One request line in, one response line (no trailing newline) out.
-  std::string handleLine(std::string_view Line);
+  /// Requests answered straight from the render memo (no parse, no
+  /// content-cache lookup). Safe from any thread.
+  uint64_t renderMemoHits() const {
+    return RenderHits.load(std::memory_order_relaxed);
+  }
+
+private:
+  struct Conn;         ///< Per-connection reactor state (Server.cpp).
+  struct ReactorState; ///< epoll fd, wakeup fd, connection tables.
+
+  void reactorLoop();
+  void onAcceptable();
+  /// Reads until EAGAIN, then parses and dispatches every complete frame.
+  void onReadable(Conn &C);
+  void dispatchFrame(Conn &C, std::string_view Line);
+  /// Moves ready in-order response slots into the write buffer.
+  void flushReady(Conn &C);
+  /// Sends what it can without blocking. False when the connection died
+  /// (already closed — the caller must not touch \p C again).
+  bool tryWrite(Conn &C);
+  void updateInterest(Conn &C);
+  void closeConn(Conn &C);
+  bool anyPendingWork() const;
 
   ServerOptions Options;
   std::optional<analyzer::EncodingDatabase> Db;
@@ -127,15 +172,21 @@ private:
 
   ResultCache Cache;
   TaskPool Pool;
+  std::unique_ptr<CachePersister> Persister;
+
+  /// Prerendered responses keyed by hash128 of the full request line.
+  /// Only inline-content (data_b64) work-op responses are memoized —
+  /// those lines fully determine their response bytes; a `path` line does
+  /// not (the file may change). Reactor-thread-only; RenderHits is the
+  /// one cross-thread-readable counter.
+  LruMap<Hash128, std::string, Hash128Hasher> RenderMemo;
+  std::atomic<uint64_t> RenderHits{0};
 
   int ListenFd = -1;
   uint16_t BoundPort = 0;
-  std::thread AcceptThread;
+  std::thread ReactorThread;
   std::atomic<bool> StopFlag{false};
-
-  std::mutex ConnectionsM;
-  std::vector<std::unique_ptr<Connection>> Connections;
-  uint64_t NextConnectionId = 1;
+  std::unique_ptr<ReactorState> R;
 
   std::atomic<uint64_t> TotalConnections{0};
   std::atomic<uint64_t> ActiveConnections{0};

@@ -1,0 +1,146 @@
+//===- support/FileIo.cpp -------------------------------------------------===//
+
+#include "support/FileIo.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace dcb;
+
+namespace {
+
+std::string errnoMessage(const std::string &What, const std::string &Path) {
+  return What + " " + Path + ": " + std::strerror(errno);
+}
+
+} // namespace
+
+Expected<std::string> dcb::readFileBytes(const std::string &Path) {
+  int Fd = ::open(Path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (Fd < 0)
+    return Failure(errnoMessage("open", Path));
+  std::string Bytes;
+  char Chunk[64 * 1024];
+  for (;;) {
+    ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      int Err = errno;
+      ::close(Fd);
+      errno = Err;
+      return Failure(errnoMessage("read", Path));
+    }
+    if (N == 0)
+      break;
+    Bytes.append(Chunk, static_cast<size_t>(N));
+  }
+  ::close(Fd);
+  return Bytes;
+}
+
+bool dcb::fileExists(const std::string &Path) {
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0;
+}
+
+Expected<uint64_t> dcb::fileSize(const std::string &Path) {
+  struct stat St;
+  if (::stat(Path.c_str(), &St) != 0)
+    return Failure(errnoMessage("stat", Path));
+  return static_cast<uint64_t>(St.st_size);
+}
+
+Error dcb::writeFileAtomic(const std::string &Path, std::string_view Bytes) {
+  std::string Tmp = Path + ".tmp";
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (Fd < 0)
+    return Error::failure(errnoMessage("open", Tmp));
+  const char *Data = Bytes.data();
+  size_t Len = Bytes.size();
+  while (Len) {
+    ssize_t N = ::write(Fd, Data, Len);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      int Err = errno;
+      ::close(Fd);
+      ::unlink(Tmp.c_str());
+      errno = Err;
+      return Error::failure(errnoMessage("write", Tmp));
+    }
+    Data += N;
+    Len -= static_cast<size_t>(N);
+  }
+  if (::close(Fd) != 0) {
+    ::unlink(Tmp.c_str());
+    return Error::failure(errnoMessage("close", Tmp));
+  }
+  if (::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    int Err = errno;
+    ::unlink(Tmp.c_str());
+    errno = Err;
+    return Error::failure(errnoMessage("rename", Path));
+  }
+  return Error::success();
+}
+
+AppendFile::~AppendFile() { close(); }
+
+AppendFile::AppendFile(AppendFile &&Other) noexcept
+    : Fd(std::exchange(Other.Fd, -1)) {}
+
+AppendFile &AppendFile::operator=(AppendFile &&Other) noexcept {
+  if (this != &Other) {
+    close();
+    Fd = std::exchange(Other.Fd, -1);
+  }
+  return *this;
+}
+
+Expected<AppendFile> AppendFile::open(const std::string &Path) {
+  int Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                  0644);
+  if (Fd < 0)
+    return Failure(errnoMessage("open", Path));
+  return AppendFile(Fd);
+}
+
+Error AppendFile::append(std::string_view Bytes) {
+  if (Fd < 0)
+    return Error::failure("append on a closed file");
+  const char *Data = Bytes.data();
+  size_t Len = Bytes.size();
+  while (Len) {
+    ssize_t N = ::write(Fd, Data, Len);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return Error::failure(std::string("append: ") + std::strerror(errno));
+    }
+    Data += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return Error::success();
+}
+
+Error AppendFile::truncateTo(uint64_t Size) {
+  if (Fd < 0)
+    return Error::failure("truncate on a closed file");
+  if (::ftruncate(Fd, static_cast<off_t>(Size)) != 0)
+    return Error::failure(std::string("ftruncate: ") + std::strerror(errno));
+  return Error::success();
+}
+
+void AppendFile::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}

@@ -1,0 +1,75 @@
+//===- support/FileIo.h - Whole-file and append I/O helpers -----*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small file-I/O helpers shared by the subsystems that persist artifacts
+/// (the serve result cache's on-disk segment, learned-database snapshots):
+/// whole-file read, atomic whole-file replace (temp + rename, so readers
+/// never observe a half-written file), and an append handle that survives
+/// across many small record writes without reopening.
+///
+/// Everything reports failures as Error/Expected instead of exceptions or
+/// errno side channels, matching the rest of the tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_SUPPORT_FILEIO_H
+#define DCB_SUPPORT_FILEIO_H
+
+#include "support/Errors.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dcb {
+
+/// Reads the whole file as bytes. A missing file is an error (callers that
+/// treat absence as "cold start" check existence via the message or stat
+/// beforehand).
+Expected<std::string> readFileBytes(const std::string &Path);
+
+/// True when \p Path exists (any file type).
+bool fileExists(const std::string &Path);
+
+/// Current size of \p Path, or nothing when it does not exist.
+Expected<uint64_t> fileSize(const std::string &Path);
+
+/// Replaces \p Path with \p Bytes atomically: write to "<Path>.tmp" in the
+/// same directory, then rename over. Readers see either the old or the new
+/// contents, never a torn mix.
+Error writeFileAtomic(const std::string &Path, std::string_view Bytes);
+
+/// An open file positioned for appending. Each append() writes the whole
+/// buffer (looping on partial writes / EINTR), so one call is one record
+/// as far as this process is concerned; torn *final* records can still
+/// happen on crash, which durable formats must tolerate on load.
+class AppendFile {
+public:
+  AppendFile() = default;
+  ~AppendFile();
+  AppendFile(AppendFile &&Other) noexcept;
+  AppendFile &operator=(AppendFile &&Other) noexcept;
+  AppendFile(const AppendFile &) = delete;
+  AppendFile &operator=(const AppendFile &) = delete;
+
+  /// Opens \p Path for appending, creating it when absent.
+  static Expected<AppendFile> open(const std::string &Path);
+
+  bool isOpen() const { return Fd >= 0; }
+  Error append(std::string_view Bytes);
+  /// Truncates the file to \p Size bytes (drops a torn tail on recovery).
+  Error truncateTo(uint64_t Size);
+  void close();
+
+private:
+  explicit AppendFile(int Fd) : Fd(Fd) {}
+  int Fd = -1;
+};
+
+} // namespace dcb
+
+#endif // DCB_SUPPORT_FILEIO_H

@@ -49,6 +49,7 @@ public:
     auto It = Index.find(Key);
     if (It != Index.end()) {
       TotalBytes -= It->second->Bytes;
+      RetiredBytes += It->second->Bytes;
       Entries.erase(It->second);
       Index.erase(It);
     }
@@ -81,12 +82,22 @@ public:
     if (It == Index.end())
       return false;
     TotalBytes -= It->second->Bytes;
+    RetiredBytes += It->second->Bytes;
     Entries.erase(It->second);
     Index.erase(It);
     return true;
   }
 
+  /// Visits entries from coldest to hottest without touching recency.
+  /// \p Fn receives (key, value, bytes). Used by persisters that rewrite
+  /// a segment in "coldest first" order so a later load replays hotness.
+  template <typename Fn> void forEachOldest(Fn &&Visit) const {
+    for (auto It = Entries.rbegin(); It != Entries.rend(); ++It)
+      Visit(It->Key, It->Value, It->Bytes);
+  }
+
   void clear() {
+    RetiredBytes += TotalBytes;
     Entries.clear();
     Index.clear();
     TotalBytes = 0;
@@ -97,6 +108,11 @@ public:
   size_t budget() const { return Budget; }
   /// Total entries evicted (not erased/replaced) over the map's lifetime.
   uint64_t evictions() const { return Evictions; }
+  /// Lifetime bytes that left the map for any reason — eviction, erase, or
+  /// replacement of an existing key. For an append-only mirror of the map
+  /// this is exactly the dead weight on disk, which is what compaction
+  /// thresholds want to watch.
+  uint64_t retiredBytes() const { return RetiredBytes; }
 
 private:
   struct Entry {
@@ -109,6 +125,7 @@ private:
     assert(!Entries.empty() && "over budget with no entries");
     const Entry &Cold = Entries.back();
     TotalBytes -= Cold.Bytes;
+    RetiredBytes += Cold.Bytes;
     Index.erase(Cold.Key);
     Entries.pop_back();
     ++Evictions;
@@ -117,6 +134,7 @@ private:
   size_t Budget;
   size_t TotalBytes = 0;
   uint64_t Evictions = 0;
+  uint64_t RetiredBytes = 0;
   std::list<Entry> Entries; ///< Front = hottest.
   std::unordered_map<K, typename std::list<Entry>::iterator, Hash> Index;
 };

@@ -13,7 +13,9 @@
 #include "serve/Client.h"
 #include "serve/Json.h"
 #include "serve/Ops.h"
+#include "serve/Persist.h"
 #include "serve/Server.h"
+#include "support/FileIo.h"
 #include "vendor/CuobjdumpSim.h"
 #include "vendor/NvccSim.h"
 #include "workloads/Suite.h"
@@ -21,8 +23,19 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <thread>
+#include <utility>
 #include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 using namespace dcb;
 using namespace dcb::serve;
@@ -314,6 +327,52 @@ TEST(ServeServer, DisasmOverTheWireMatchesOpAndCaches) {
   EXPECT_EQ(Stats.Misses, 1u);
 }
 
+TEST(ServeServer, RenderMemoServesRepeatLinesByteIdentical) {
+  std::vector<uint8_t> Image = suiteImage(Arch::SM35);
+  std::unique_ptr<Server> S = startServer(ServerOptions());
+  Expected<Client> C = Client::connect(S->port());
+  ASSERT_TRUE(C.hasValue()) << C.message();
+
+  // Request 1 misses, request 2 hits the content cache (and memoizes its
+  // rendered bytes), request 3 is answered by the memo alone.
+  const std::string Req = requestFor("disasm", Image);
+  Expected<std::string> R1 = C->roundTrip(Req);
+  ASSERT_TRUE(R1.hasValue()) << R1.message();
+  Expected<std::string> R2 = C->roundTrip(Req);
+  ASSERT_TRUE(R2.hasValue()) << R2.message();
+  EXPECT_EQ(S->renderMemoHits(), 0u);
+  Expected<std::string> R3 = C->roundTrip(Req);
+  ASSERT_TRUE(R3.hasValue()) << R3.message();
+  EXPECT_EQ(S->renderMemoHits(), 1u);
+  EXPECT_EQ(*R3, *R2) << "memoized bytes must equal the rendered hit";
+  ResultCache::Stats Stats = S->cache().stats();
+  EXPECT_EQ(Stats.Hits, 1u); // The memo answered request 3 by itself.
+  EXPECT_EQ(Stats.Misses, 1u);
+
+  // A `path` request never memoizes: the line does not pin the content,
+  // so every repeat must re-read and re-hash the file.
+  const std::string Path = ::testing::TempDir() + "render_memo_input.cubin";
+  {
+    std::ofstream F(Path, std::ios::binary);
+    F.write(reinterpret_cast<const char *>(Image.data()),
+            static_cast<std::streamsize>(Image.size()));
+  }
+  std::string PathReq = "{\"op\":\"disasm\",\"path\":\"" + Path + "\"}";
+  json::Value P1 = roundTripOk(*C, PathReq);
+  EXPECT_TRUE(P1.boolean("cached")); // Same content: content-cache hit.
+  json::Value P2 = roundTripOk(*C, PathReq);
+  EXPECT_TRUE(P2.boolean("cached"));
+  EXPECT_EQ(S->renderMemoHits(), 1u) << "path lines must bypass the memo";
+  std::remove(Path.c_str());
+
+  // The stats op reports the memo as its own section.
+  json::Value Stat = roundTripOk(*C, "{\"op\":\"stats\"}");
+  const json::Value *Render = Stat.field("render");
+  ASSERT_NE(Render, nullptr);
+  EXPECT_EQ(Render->num("hits"), 1u);
+  EXPECT_EQ(Render->num("entries"), 1u);
+}
+
 TEST(ServeServer, OptionsFingerprintSplitsTheCache) {
   std::vector<uint8_t> Image = suiteImage(Arch::SM35);
   std::unique_ptr<Server> S = startServer(ServerOptions());
@@ -485,12 +544,16 @@ TEST(ServeServer, ConcurrentClientsAllGetCorrectBytes) {
     T.join();
   EXPECT_EQ(Correct.load(), NumClients * PerClient);
 
+  // Every request was served by some cache layer: the content cache or,
+  // for byte-identical repeat lines, the render memo in front of it.
   ResultCache::Stats Stats = S->cache().stats();
-  EXPECT_EQ(Stats.Hits + Stats.Misses, NumClients * PerClient);
+  EXPECT_EQ(Stats.Hits + Stats.Misses + S->renderMemoHits(),
+            NumClients * PerClient);
   // The first round can race (up to one miss per client before a put
-  // lands); each client's later requests must all hit.
+  // lands); each client's later requests must all hit one of the layers.
   EXPECT_LE(Stats.Misses, NumClients);
-  EXPECT_GE(Stats.Hits, NumClients * (PerClient - 1));
+  EXPECT_GE(Stats.Hits + S->renderMemoHits(),
+            NumClients * (PerClient - 1));
   EXPECT_EQ(S->sessions().Requests, NumClients * PerClient);
 }
 
@@ -503,4 +566,377 @@ TEST(ServeServer, ShutdownOpStopsTheServer) {
   EXPECT_NE(Resp->find("\"status\":\"ok\""), std::string::npos);
   EXPECT_TRUE(S->stopRequested());
   S->stop(); // Must complete without hanging on live connections.
+}
+
+//===----------------------------------------------------------------------===//
+// Reactor framing under adversarial I/O
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A raw-socket peer that can split writes anywhere — the adversarial
+/// counterpart to serve::Client, for exercising the reactor's framing
+/// state machine directly.
+struct RawConn {
+  int Fd = -1;
+
+  static RawConn open(uint16_t Port) {
+    RawConn C;
+    C.Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(C.Fd, 0);
+    int One = 1;
+    ::setsockopt(C.Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+    sockaddr_in Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sin_family = AF_INET;
+    Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    Addr.sin_port = htons(Port);
+    EXPECT_EQ(::connect(C.Fd, reinterpret_cast<sockaddr *>(&Addr),
+                        sizeof(Addr)),
+              0);
+    return C;
+  }
+  ~RawConn() {
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+  RawConn() = default;
+  RawConn(RawConn &&O) noexcept : Fd(std::exchange(O.Fd, -1)) {}
+  RawConn(const RawConn &) = delete;
+  RawConn &operator=(const RawConn &) = delete;
+
+  void send(std::string_view Bytes) {
+    size_t Ofs = 0;
+    while (Ofs < Bytes.size()) {
+      ssize_t N = ::send(Fd, Bytes.data() + Ofs, Bytes.size() - Ofs, 0);
+      ASSERT_GT(N, 0);
+      Ofs += static_cast<size_t>(N);
+    }
+  }
+
+  /// Reads one response line using deliberately tiny recv chunks, so the
+  /// client side reassembles across short reads too. Bytes past the
+  /// newline stay buffered for the next call. Empty string = EOF before
+  /// a complete line.
+  std::string recvLine(size_t ChunkBytes = 3) {
+    char Chunk[64];
+    ChunkBytes = std::min(ChunkBytes, sizeof(Chunk));
+    for (;;) {
+      size_t Nl = Buffered.find('\n');
+      if (Nl != std::string::npos) {
+        std::string Line = Buffered.substr(0, Nl);
+        Buffered.erase(0, Nl + 1);
+        return Line;
+      }
+      ssize_t N = ::recv(Fd, Chunk, ChunkBytes, 0);
+      if (N <= 0)
+        return "";
+      Buffered.append(Chunk, static_cast<size_t>(N));
+    }
+  }
+
+  /// True when the server closed its end (recv sees EOF) with nothing
+  /// left buffered.
+  bool eof() {
+    if (!Buffered.empty())
+      return false;
+    char B;
+    ssize_t N = ::recv(Fd, &B, 1, 0);
+    return N == 0;
+  }
+
+  std::string Buffered; ///< Bytes past the last consumed newline.
+};
+
+} // namespace
+
+TEST(ServeReactor, ByteAtATimeWritesSplitFramesMidEscape) {
+  std::unique_ptr<Server> S = startServer(ServerOptions());
+  RawConn C = RawConn::open(S->port());
+
+  // The id forces escape sequences (\" \\ \n) into the frame; sending one
+  // byte per write guarantees some recv() boundary lands inside each of
+  // them, and inside the "op" key and value too.
+  const std::string Req = R"({"op":"ping","id":"a\"b\\c\nd"})" "\n";
+  for (char Byte : Req)
+    C.send(std::string_view(&Byte, 1));
+
+  std::string Resp = C.recvLine();
+  Expected<json::Value> V = json::parse(Resp);
+  ASSERT_TRUE(V.hasValue()) << V.message() << " in " << Resp;
+  EXPECT_EQ(V->str("status"), "ok");
+  EXPECT_EQ(V->str("id"), "a\"b\\c\nd"); // Escapes survived the splits.
+}
+
+TEST(ServeReactor, ChunkedWritesSplitFramesMidBase64) {
+  std::vector<uint8_t> Image = suiteImage(Arch::SM35);
+  Expected<OpResult> Direct = opDisasm(Image, vendor::DisasmOptions());
+  ASSERT_TRUE(Direct.hasValue());
+
+  std::unique_ptr<Server> S = startServer(ServerOptions());
+  RawConn C = RawConn::open(S->port());
+
+  // Dribble the request in 7-byte writes with pauses sprinkled in: frame
+  // boundaries land mid-base64 (and mid-key) on the server, which must
+  // keep accumulating until the newline.
+  const std::string Req = requestFor("disasm", Image) + "\n";
+  for (size_t Ofs = 0; Ofs < Req.size(); Ofs += 7) {
+    C.send(std::string_view(Req).substr(Ofs, 7));
+    if (Ofs % 9973 == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  std::string Resp = C.recvLine();
+  Expected<json::Value> V = json::parse(Resp);
+  ASSERT_TRUE(V.hasValue()) << V.message();
+  EXPECT_EQ(V->str("status"), "ok");
+  EXPECT_EQ(V->str("output"), Direct->Output); // Byte-identical anyway.
+}
+
+TEST(ServeReactor, OversizedFrameDisconnectsOnlyThatConnection) {
+  ServerOptions Opts;
+  Opts.MaxLineBytes = 256;
+  std::unique_ptr<Server> S = startServer(Opts);
+
+  RawConn Bad = RawConn::open(S->port());
+  RawConn Good = RawConn::open(S->port());
+
+  // A pipelined valid request first, then a frame past the bound: the
+  // earlier response must still be delivered before the disconnect.
+  Bad.send("{\"op\":\"ping\",\"id\":\"before\"}\n");
+  Bad.send(std::string(1024, 'x')); // No newline; already over 256.
+
+  std::string First = Bad.recvLine();
+  Expected<json::Value> V1 = json::parse(First);
+  ASSERT_TRUE(V1.hasValue()) << V1.message();
+  EXPECT_EQ(V1->str("id"), "before");
+
+  std::string Err = Bad.recvLine();
+  Expected<json::Value> V2 = json::parse(Err);
+  ASSERT_TRUE(V2.hasValue()) << V2.message();
+  EXPECT_EQ(V2->str("status"), "error");
+  EXPECT_NE(V2->str("error").find("exceeds"), std::string::npos);
+  EXPECT_TRUE(Bad.eof()); // The offending connection is gone...
+
+  // ...and the reactor still serves everyone else.
+  Good.send("{\"op\":\"ping\",\"id\":\"still-alive\"}\n");
+  Expected<json::Value> V3 = json::parse(Good.recvLine());
+  ASSERT_TRUE(V3.hasValue()) << V3.message();
+  EXPECT_EQ(V3->str("status"), "ok");
+  EXPECT_EQ(V3->str("id"), "still-alive");
+  EXPECT_EQ(S->sessions().Errors, 1u);
+}
+
+TEST(ServeReactor, PipelinedBatchAnswersInRequestOrder) {
+  std::vector<uint8_t> Image = suiteImage(Arch::SM35);
+  Expected<OpResult> Direct = opDisasm(Image, vendor::DisasmOptions());
+  ASSERT_TRUE(Direct.hasValue());
+
+  ServerOptions Opts;
+  Opts.Jobs = 2; // Real worker lanes: the ping below would finish first.
+  std::unique_ptr<Server> S = startServer(Opts);
+  Expected<Client> C = Client::connect(S->port());
+  ASSERT_TRUE(C.hasValue());
+
+  // A slow op followed by instant control ops: per-connection ordering
+  // says the pings wait for the disasm even though they are ready first.
+  std::vector<std::string> Reqs = {
+      requestFor("disasm", Image, ",\"id\":\"1\""),
+      "{\"op\":\"ping\",\"id\":\"2\"}",
+      requestFor("disasm", Image, ",\"id\":\"3\""),
+      "{\"op\":\"ping\",\"id\":\"4\"}",
+  };
+  Expected<std::vector<std::string>> Resps = C->batch(Reqs);
+  ASSERT_TRUE(Resps.hasValue()) << Resps.message();
+  ASSERT_EQ(Resps->size(), 4u);
+  for (size_t I = 0; I < 4; ++I) {
+    Expected<json::Value> V = json::parse((*Resps)[I]);
+    ASSERT_TRUE(V.hasValue()) << V.message();
+    EXPECT_EQ(V->str("status"), "ok");
+    EXPECT_EQ(V->str("id"), std::to_string(I + 1)); // Request order.
+  }
+  Expected<json::Value> First = json::parse((*Resps)[0]);
+  ASSERT_TRUE(First.hasValue());
+  EXPECT_EQ(First->str("output"), Direct->Output);
+  // Same key as request 1, so the output matches byte for byte. (It may
+  // or may not be a cache hit: both disasms can be in flight at once.)
+  Expected<json::Value> Third = json::parse((*Resps)[2]);
+  ASSERT_TRUE(Third.hasValue());
+  EXPECT_EQ(Third->str("output"), Direct->Output);
+}
+
+//===----------------------------------------------------------------------===//
+// Cache persistence
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string persistPath(const std::string &Name) {
+  return ::testing::TempDir() + "serve_persist_" + Name + ".seg";
+}
+
+OpResult makeResult(const std::string &Output, int Exit = 0,
+                    std::vector<std::string> Errors = {}) {
+  OpResult R;
+  R.Output = Output;
+  R.Exit = Exit;
+  R.Errors = std::move(Errors);
+  return R;
+}
+
+} // namespace
+
+TEST(ServePersist, RestartServesFromPersistedCacheByteIdentical) {
+  const std::string Path = persistPath("restart");
+  std::remove(Path.c_str());
+  std::vector<uint8_t> Image = suiteImage(Arch::SM35);
+  const std::string Req = requestFor("disasm", Image);
+
+  ServerOptions Opts;
+  Opts.PersistPath = Path;
+
+  std::string FirstOutput;
+  {
+    std::unique_ptr<Server> S = startServer(Opts);
+    Expected<Client> C = Client::connect(S->port());
+    ASSERT_TRUE(C.hasValue());
+    json::Value V = roundTripOk(*C, Req);
+    EXPECT_EQ(V.str("status"), "ok");
+    EXPECT_FALSE(V.boolean("cached"));
+    FirstOutput = V.str("output");
+    EXPECT_EQ(S->persistStats().Appends, 1u);
+    S->stop();
+  }
+
+  // A fresh process would see exactly this: new Server, same segment.
+  std::unique_ptr<Server> S = startServer(Opts);
+  EXPECT_EQ(S->persistStats().LoadedEntries, 1u);
+  EXPECT_FALSE(S->persistStats().ColdStart);
+  Expected<Client> C = Client::connect(S->port());
+  ASSERT_TRUE(C.hasValue());
+  json::Value V = roundTripOk(*C, Req);
+  EXPECT_EQ(V.str("status"), "ok");
+  EXPECT_TRUE(V.boolean("cached")); // No recompute...
+  EXPECT_EQ(V.str("output"), FirstOutput); // ...and byte-identical.
+  ResultCache::Stats Cs = S->cache().stats();
+  EXPECT_EQ(Cs.Hits, 1u);
+  EXPECT_EQ(Cs.Misses, 0u);
+  std::remove(Path.c_str());
+}
+
+TEST(ServePersist, TruncatedSegmentDropsTornTailKeepsRest) {
+  const std::string Path = persistPath("torn");
+  std::remove(Path.c_str());
+  ResultCache Cache(1 << 20, 1);
+  CachePersister::Options PO;
+  PO.Path = Path;
+  CachePersister P(PO, Cache, Hash128{7, 9});
+  ASSERT_FALSE(P.load());
+
+  Hash128 KeyA{1, 10}, KeyB{2, 20};
+  OpResult A = makeResult("alpha output", 0, {"warn-a"});
+  OpResult B = makeResult("beta output");
+  ASSERT_TRUE(Cache.put(KeyA, A));
+  ASSERT_FALSE(P.append(KeyA, A));
+  ASSERT_TRUE(Cache.put(KeyB, B));
+  ASSERT_FALSE(P.append(KeyB, B));
+
+  // Crash simulation: the final record loses its last 5 bytes.
+  Expected<uint64_t> Size = fileSize(Path);
+  ASSERT_TRUE(Size.hasValue());
+  Expected<AppendFile> Trunc = AppendFile::open(Path);
+  ASSERT_TRUE(Trunc.hasValue());
+  ASSERT_FALSE(Trunc->truncateTo(*Size - 5));
+  Trunc->close();
+
+  ResultCache Fresh(1 << 20, 1);
+  CachePersister P2(PO, Fresh, Hash128{7, 9});
+  ASSERT_FALSE(P2.load());
+  EXPECT_EQ(P2.stats().LoadedEntries, 1u); // A survived...
+  EXPECT_EQ(P2.stats().DroppedEntries, 1u); // ...B's torn record did not.
+  std::unique_ptr<OpResult> GotA = Fresh.get(KeyA);
+  ASSERT_NE(GotA, nullptr);
+  EXPECT_EQ(GotA->Output, "alpha output");
+  ASSERT_EQ(GotA->Errors.size(), 1u);
+  EXPECT_EQ(GotA->Errors[0], "warn-a");
+  EXPECT_EQ(Fresh.get(KeyB), nullptr);
+
+  // The torn tail was truncated away: appending and reloading is clean.
+  OpResult C = makeResult("gamma");
+  Hash128 KeyC{3, 30};
+  ASSERT_TRUE(Fresh.put(KeyC, C));
+  ASSERT_FALSE(P2.append(KeyC, C));
+  ResultCache Third(1 << 20, 1);
+  CachePersister P3(PO, Third, Hash128{7, 9});
+  ASSERT_FALSE(P3.load());
+  EXPECT_EQ(P3.stats().LoadedEntries, 2u);
+  EXPECT_EQ(P3.stats().DroppedEntries, 0u);
+  std::remove(Path.c_str());
+}
+
+TEST(ServePersist, DbFingerprintMismatchTriggersCleanColdStart) {
+  const std::string Path = persistPath("dbfp");
+  std::remove(Path.c_str());
+  ResultCache Cache(1 << 20, 1);
+  CachePersister::Options PO;
+  PO.Path = Path;
+  {
+    CachePersister P(PO, Cache, Hash128{0xAAAA, 0xBBBB});
+    ASSERT_FALSE(P.load());
+    OpResult A = makeResult("trained on old db");
+    ASSERT_TRUE(Cache.put(Hash128{1, 1}, A));
+    ASSERT_FALSE(P.append(Hash128{1, 1}, A));
+  }
+
+  // A retrained database has a different fingerprint: nothing may load.
+  ResultCache Fresh(1 << 20, 1);
+  CachePersister P2(PO, Fresh, Hash128{0xCCCC, 0xDDDD});
+  ASSERT_FALSE(P2.load());
+  EXPECT_TRUE(P2.stats().ColdStart);
+  EXPECT_EQ(P2.stats().LoadedEntries, 0u);
+  EXPECT_EQ(Fresh.get(Hash128{1, 1}), nullptr);
+
+  // The cold start rewrote the header: new-fingerprint entries round-trip.
+  OpResult B = makeResult("trained on new db");
+  ASSERT_TRUE(Fresh.put(Hash128{2, 2}, B));
+  ASSERT_FALSE(P2.append(Hash128{2, 2}, B));
+  ResultCache Third(1 << 20, 1);
+  CachePersister P3(PO, Third, Hash128{0xCCCC, 0xDDDD});
+  ASSERT_FALSE(P3.load());
+  EXPECT_FALSE(P3.stats().ColdStart);
+  EXPECT_EQ(P3.stats().LoadedEntries, 1u);
+  std::remove(Path.c_str());
+}
+
+TEST(ServePersist, CompactionPreservesLruSurvivingEntries) {
+  const std::string Path = persistPath("compact");
+  std::remove(Path.c_str());
+  // A cache so small that inserts evict: the segment accumulates dead
+  // records the in-memory cache no longer holds.
+  OpResult Big = makeResult(std::string(600, 'x'));
+  ResultCache Cache(2 * Big.byteSize() + 64, 1);
+  CachePersister::Options PO;
+  PO.Path = Path;
+  PO.CompactSlack = 1; // Compact as soon as anything retires.
+  CachePersister P(PO, Cache, Hash128{5, 5});
+  ASSERT_FALSE(P.load());
+
+  for (uint64_t I = 0; I < 6; ++I) {
+    Hash128 Key{I, 100 + I};
+    if (Cache.put(Key, Big)) {
+      ASSERT_FALSE(P.append(Key, Big));
+    }
+  }
+  EXPECT_GT(P.stats().Compactions, 0u);
+  EXPECT_EQ(Cache.stats().Entries, 2u); // LRU kept the two newest.
+
+  // Reloading the compacted segment yields exactly the LRU survivors.
+  ResultCache Fresh(2 * Big.byteSize() + 64, 1);
+  CachePersister P2(PO, Fresh, Hash128{5, 5});
+  ASSERT_FALSE(P2.load());
+  EXPECT_EQ(P2.stats().LoadedEntries, Fresh.stats().Entries);
+  EXPECT_NE(Fresh.get(Hash128{4, 104}), nullptr);
+  EXPECT_NE(Fresh.get(Hash128{5, 105}), nullptr);
+  EXPECT_EQ(Fresh.get(Hash128{0, 100}), nullptr); // Evicted, not persisted.
+  std::remove(Path.c_str());
 }

@@ -3,20 +3,25 @@
 #include "support/Arch.h"
 #include "support/BitString.h"
 #include "support/Errors.h"
+#include "support/FileIo.h"
 #include "support/Hash.h"
 #include "support/Lru.h"
 #include "support/Rng.h"
 #include "support/StringUtils.h"
 #include "support/SymbolTable.h"
 #include "support/TaskPool.h"
+#include "support/Wakeup.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <set>
 #include <stdexcept>
 #include <thread>
 #include <vector>
+
+#include <poll.h>
 
 using namespace dcb;
 
@@ -598,4 +603,117 @@ TEST(TaskPoolSubmit, SubmittedExceptionsAreSwallowed) {
   Pool.trySubmit([&Ran] { Ran.fetch_add(1); });
   Pool.drainSubmitted();
   EXPECT_EQ(Ran.load(), 1);
+}
+
+TEST(Lru, RetiredBytesCountsEvictReplaceAndErase) {
+  LruMap<int, int> M(100);
+  EXPECT_EQ(M.retiredBytes(), 0u);
+  M.put(1, 10, 40);
+  M.put(2, 20, 40);
+  M.put(3, 30, 40); // Evicts key 1 (40 bytes retired).
+  EXPECT_EQ(M.retiredBytes(), 40u);
+  M.put(2, 21, 50); // Replacement retires the old 40-byte entry...
+  EXPECT_EQ(M.retiredBytes(), 80u);
+  EXPECT_EQ(M.bytes(), 90u); // ...and the new one is live.
+  M.erase(3);
+  EXPECT_EQ(M.retiredBytes(), 120u);
+  M.put(9, 90, 1000); // Oversize: declined, nothing retired for it.
+  EXPECT_EQ(M.retiredBytes(), 120u);
+  M.clear();
+  EXPECT_EQ(M.retiredBytes(), 170u); // clear() retires the live 50 bytes.
+}
+
+TEST(Lru, ForEachOldestWalksColdToHotWithoutTouching) {
+  LruMap<int, int> M(1000);
+  M.put(1, 10, 10);
+  M.put(2, 20, 10);
+  M.put(3, 30, 10);
+  M.get(1); // Recency now (cold to hot): 2, 3, 1.
+  std::vector<int> Order;
+  M.forEachOldest([&](int Key, int, size_t Bytes) {
+    Order.push_back(Key);
+    EXPECT_EQ(Bytes, 10u);
+  });
+  EXPECT_EQ(Order, (std::vector<int>{2, 3, 1}));
+  // The walk itself must not promote anything: 2 is still coldest.
+  M.put(4, 40, 980);
+  EXPECT_EQ(M.peek(2), nullptr);
+  EXPECT_NE(M.peek(1), nullptr);
+}
+
+TEST(FileIo, ReadWriteAtomicRoundTrips) {
+  const std::string Path = ::testing::TempDir() + "dcb_fileio_atomic.bin";
+  std::remove(Path.c_str());
+  EXPECT_FALSE(fileExists(Path));
+  EXPECT_FALSE(readFileBytes(Path).hasValue());
+
+  std::string Payload = "binary\0bytes\nwith newline";
+  Payload.push_back('\0');
+  ASSERT_FALSE(writeFileAtomic(Path, Payload));
+  EXPECT_TRUE(fileExists(Path));
+  Expected<std::string> Back = readFileBytes(Path);
+  ASSERT_TRUE(Back.hasValue()) << Back.message();
+  EXPECT_EQ(*Back, Payload);
+  Expected<uint64_t> Size = fileSize(Path);
+  ASSERT_TRUE(Size.hasValue());
+  EXPECT_EQ(*Size, Payload.size());
+
+  // Replace must be whole-or-nothing: new content, no tmp residue.
+  ASSERT_FALSE(writeFileAtomic(Path, "second"));
+  Back = readFileBytes(Path);
+  ASSERT_TRUE(Back.hasValue());
+  EXPECT_EQ(*Back, "second");
+  EXPECT_FALSE(fileExists(Path + ".tmp"));
+  std::remove(Path.c_str());
+}
+
+TEST(FileIo, AppendFileAppendsAndTruncates) {
+  const std::string Path = ::testing::TempDir() + "dcb_fileio_append.log";
+  std::remove(Path.c_str());
+  {
+    Expected<AppendFile> F = AppendFile::open(Path);
+    ASSERT_TRUE(F.hasValue()) << F.message();
+    ASSERT_FALSE(F->append("one"));
+    ASSERT_FALSE(F->append("-two"));
+  } // close() on destruction.
+  {
+    // Reopening appends after the existing bytes.
+    Expected<AppendFile> F = AppendFile::open(Path);
+    ASSERT_TRUE(F.hasValue());
+    ASSERT_FALSE(F->append("-three"));
+    Expected<std::string> Back = readFileBytes(Path);
+    ASSERT_TRUE(Back.hasValue());
+    EXPECT_EQ(*Back, "one-two-three");
+    ASSERT_FALSE(F->truncateTo(3)); // Drop a "torn tail".
+    ASSERT_FALSE(F->append("!"));
+  }
+  Expected<std::string> Back = readFileBytes(Path);
+  ASSERT_TRUE(Back.hasValue());
+  EXPECT_EQ(*Back, "one!");
+  std::remove(Path.c_str());
+}
+
+TEST(Wakeup, SignalMakesFdReadableAndDrainQuietsIt) {
+  Expected<WakeupFd> W = WakeupFd::create();
+  ASSERT_TRUE(W.hasValue()) << W.message();
+  ASSERT_TRUE(W->isOpen());
+
+  auto Readable = [&](int TimeoutMs) {
+    pollfd P{W->fd(), POLLIN, 0};
+    return ::poll(&P, 1, TimeoutMs) == 1 && (P.revents & POLLIN);
+  };
+
+  EXPECT_FALSE(Readable(0)); // Quiet until signalled.
+  W->signal();
+  W->signal(); // Coalesces; still one readable event.
+  EXPECT_TRUE(Readable(1000));
+  W->drain();
+  EXPECT_FALSE(Readable(0)); // Drain consumed everything.
+
+  // Cross-thread: the poll-side sees a signal sent from another thread.
+  std::thread T([&] { W->signal(); });
+  EXPECT_TRUE(Readable(1000));
+  T.join();
+  W->drain();
+  EXPECT_FALSE(Readable(0));
 }

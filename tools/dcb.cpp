@@ -49,6 +49,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <thread>
 #include <sstream>
 
@@ -732,6 +733,8 @@ int cmdServe(const Args &A) {
     Opts.CacheBytes = static_cast<size_t>(CacheMb) << 20;
   }
   Uint("--shards", Opts.CacheShards);
+  if (auto V = A.get("--persist"))
+    Opts.PersistPath = *V;
 
   std::optional<analyzer::EncodingDatabase> Db;
   if (auto V = A.get("--db"))
@@ -779,6 +782,36 @@ int cmdClient(const Args &A) {
         "(--port N | --port-file FILE) [op options]");
   const std::string &Op = A.Positional[0];
 
+  unsigned Retries = 0;
+  if (auto V = A.get("--retries")) {
+    std::optional<uint64_t> N = parseUInt(*V);
+    if (!N)
+      die("bad --retries value '" + *V + "'");
+    Retries = static_cast<unsigned>(*N);
+  }
+
+  if (Op == "batch") {
+    // Pipelined mode: newline-delimited JSON request lines on stdin, raw
+    // response lines (in request order) on stdout. One connection, one
+    // buffered send — this is `serve::Client::batch` exposed to shell.
+    std::vector<std::string> Requests;
+    std::string Line;
+    while (std::getline(std::cin, Line))
+      if (!Line.empty())
+        Requests.push_back(Line);
+    if (Requests.empty())
+      return 0;
+    Expected<serve::Client> C = serve::Client::connect(clientPort(A));
+    if (!C)
+      die(C.message());
+    Expected<std::vector<std::string>> Responses = C->batch(Requests);
+    if (!Responses)
+      die(Responses.message());
+    for (const std::string &R : *Responses)
+      std::printf("%s\n", R.c_str());
+    return 0;
+  }
+
   std::string Req = "{\"op\":";
   serve::json::appendString(Req, Op);
   if (A.Positional.size() > 1) {
@@ -821,17 +854,29 @@ int cmdClient(const Args &A) {
   Expected<serve::Client> C = serve::Client::connect(clientPort(A));
   if (!C)
     die(C.message());
-  Expected<std::string> Resp = C->roundTrip(Req);
-  if (!Resp)
-    die(Resp.message());
+  Expected<std::string> Resp = Failure("no attempt made");
+  std::string Status;
+  for (unsigned Attempt = 0;; ++Attempt) {
+    Resp = C->roundTrip(Req);
+    if (!Resp)
+      die(Resp.message());
+    Expected<serve::json::Value> Peek = serve::json::parse(*Resp);
+    Status = Peek ? Peek->str("status") : "";
+    if (Status != "busy" || Attempt >= Retries)
+      break;
+    // Exponential backoff on the same connection: 50ms, 100ms, ... capped
+    // at 2s. Shedding is transient by design (the queue bound is small),
+    // so early retries usually land.
+    uint64_t DelayMs = std::min<uint64_t>(50ull << std::min(Attempt, 6u), 2000);
+    std::this_thread::sleep_for(std::chrono::milliseconds(DelayMs));
+  }
   Expected<serve::json::Value> V = serve::json::parse(*Resp);
   if (!V)
     die("bad response: " + V.message());
 
-  std::string Status = V->str("status");
   if (Status == "busy") {
     // EX_TEMPFAIL-style: distinguishable from a hard error so callers can
-    // back off and retry.
+    // back off and retry (or raise --retries).
     std::fprintf(stderr, "dcb client: server busy, retry\n");
     return 75;
   }
@@ -896,19 +941,31 @@ int cmdClient(const Args &A) {
       "                                          behavioral mismatch\n"
       "  stats <stats.json>                      render a saved stats file\n"
       "  serve [--port N] [--port-file FILE] [--db <db>] [--jobs N]\n"
-      "        [--max-queued N] [--cache-mb N] [--shards N]\n"
+      "        [--max-queued N] [--cache-mb N] [--shards N] [--persist FILE]\n"
       "                                          long-running daemon on\n"
       "                                          127.0.0.1 (newline-JSON\n"
       "                                          protocol, docs/SERVE.md);\n"
-      "                                          --port 0 = ephemeral, the\n"
-      "                                          bound port goes to\n"
-      "                                          --port-file\n"
+      "                                          epoll reactor, pipelined\n"
+      "                                          requests; --port 0 =\n"
+      "                                          ephemeral, the bound port\n"
+      "                                          goes to --port-file;\n"
+      "                                          --persist reloads the\n"
+      "                                          result cache on restart\n"
       "  client <op> [<file> [<kernel|all>]] (--port N | --port-file FILE)\n"
+      "         [--retries N]\n"
       "                                          send one request to a\n"
       "                                          running daemon; work ops\n"
       "                                          print the same bytes the\n"
       "                                          one-shot subcommand would\n"
-      "                                          (exit 75 = busy, retry)\n"
+      "                                          (exit 75 = busy, retry;\n"
+      "                                          --retries N = backoff and\n"
+      "                                          resend before giving up)\n"
+      "  client batch (--port N | --port-file FILE)\n"
+      "                                          pipeline newline-JSON\n"
+      "                                          request lines from stdin\n"
+      "                                          over one connection; raw\n"
+      "                                          response lines (request\n"
+      "                                          order) to stdout\n"
       "\n"
       "global options (every command):\n"
       "  --stats            print the telemetry table to stderr on exit\n"
