@@ -378,6 +378,71 @@ void idleConnectionScalingReport(unsigned Count) {
   }
 }
 
+/// Round-trips the stats/health/metrics admin ops on a dedicated
+/// connection while \p Clients pipelined workers hammer the warm server,
+/// and prints each op's round-trip latency. Admin ops are answered
+/// inline on the reactor, so they must keep working (and answering
+/// sanely) at full load — a malformed or non-ok response aborts.
+void adminProbeUnderLoadReport(unsigned Clients, unsigned PerClient,
+                               const Traffic &Tr) {
+  std::atomic<bool> Done{false};
+  std::vector<std::thread> Threads;
+  std::vector<std::string> Batch(PerClient, Tr.Req);
+  for (unsigned T = 0; T < Clients; ++T)
+    Threads.emplace_back([&] {
+      Expected<serve::Client> C = serve::Client::connect(server().port());
+      if (!C)
+        std::abort();
+      while (!Done.load()) {
+        Expected<std::vector<std::string>> Resps = C->batch(Batch);
+        if (!Resps)
+          std::abort();
+        for (const std::string &Resp : *Resps)
+          checkResponse(Resp, Tr);
+      }
+    });
+
+  Expected<serve::Client> Admin = serve::Client::connect(server().port());
+  if (!Admin)
+    std::abort();
+  struct Probe {
+    const char *Op;
+    const char *WantField;
+  };
+  const Probe Probes[] = {{"stats", "snapshot_seq"},
+                          {"health", "ready"},
+                          {"metrics", "exposition"}};
+  for (const Probe &P : Probes) {
+    const std::string Req = std::string("{\"op\":\"") + P.Op + "\"}";
+    double Best = 1e9;
+    for (unsigned I = 0; I < 20; ++I) {
+      double T0 = now();
+      Expected<std::string> Resp = Admin->roundTrip(Req);
+      double Dt = now() - T0;
+      if (!Resp) {
+        std::fprintf(stderr, "serve bench: admin %s under load: %s\n", P.Op,
+                     Resp.message().c_str());
+        std::abort();
+      }
+      Expected<serve::json::Value> V = serve::json::parse(*Resp);
+      if (!V || V->str("status") != "ok" || !V->field(P.WantField)) {
+        std::fprintf(stderr,
+                     "serve bench: admin %s under load answered without "
+                     "status=ok or the '%s' field\n",
+                     P.Op, P.WantField);
+        std::abort();
+      }
+      Best = std::min(Best, Dt);
+    }
+    std::printf("admin %-7s under %2u-client pipelined load: best "
+                "%8.3f ms round-trip\n",
+                P.Op, Clients, Best * 1e3);
+  }
+  Done.store(true);
+  for (std::thread &T : Threads)
+    T.join();
+}
+
 /// The in-process op alone — the pipeline with startup already paid.
 double inProcessOpRequestsPerSec(unsigned Iters) {
   double Start = now();
@@ -525,6 +590,7 @@ void report() {
                 Rt.RequestsPerSec, Pipelined);
   }
 
+  adminProbeUnderLoadReport(16, 64, WarmSmall);
   idleConnectionScalingReport(512);
 
   serve::ResultCache::Stats Stats = server().cache().stats();

@@ -50,12 +50,15 @@ term_and_wait() {
 
 mkdir -p "$WORK"
 cd "$WORK"
-rm -f port.txt serve-stats.json serve.log
+rm -f port.txt metrics-port.txt serve-stats.json serve.log reqlog.jsonl \
+    metrics.prom flight-trace.json top.txt
 
 "$DCB" make-suite sm_35 -o suite.cubin > /dev/null
 "$DCB" disasm suite.cubin > oneshot.sass
 
 "$DCB" serve --port-file port.txt --stats=serve-stats.json \
+    --metrics-port 0 --metrics-port-file metrics-port.txt \
+    --request-log reqlog.jsonl \
     2> serve.log &
 SERVE_PID=$!
 trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
@@ -98,6 +101,93 @@ assert 1 <= cache["misses"] <= clients, cache
 assert doc["sessions"]["requests"] >= 2 * clients, doc["sessions"]
 PY
 
+# --- Introspection plane -----------------------------------------------------
+# Scrape the Prometheus endpoint *while* clients are hammering the
+# daemon: the exposition is rendered inline on the reactor, so load must
+# not stall or corrupt it. The scrape uses plain HTTP/1.0 over urllib —
+# no new dependencies.
+PIDS=()
+for I in $(seq "$NUM_CLIENTS"); do
+  "$DCB" client --port-file port.txt disasm suite.cubin > /dev/null &
+  PIDS+=("$!")
+done
+python3 - > metrics.prom <<'PY'
+import urllib.request
+port = int(open("metrics-port.txt").read().strip())
+with urllib.request.urlopen("http://127.0.0.1:%d/metrics" % port) as r:
+    body = r.read().decode()
+    assert r.headers["Content-Type"].startswith("text/plain"), r.headers
+    print(body, end="")
+PY
+for P in "${PIDS[@]}"; do wait "$P"; done
+
+# promtool-style validation without promtool: every line must follow the
+# text-exposition grammar, every histogram's cumulative buckets must be
+# monotone and end at +Inf == _count, and the build-info gauge must be
+# stamped. Works for telemetry-compiled-out builds too (bare build info).
+python3 - metrics.prom <<'PY'
+import re, sys
+lines = open(sys.argv[1]).read().splitlines()
+assert lines, "empty exposition"
+sample = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? '
+    r'(?:[0-9.eE+-]+|NaN)( [0-9]+)?$')
+meta = re.compile(r'^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$')
+hist = {}   # name -> list of (le, cumulative count)
+counts = {} # name -> _count value
+for ln in lines:
+    if not ln:
+        continue
+    assert meta.match(ln) or sample.match(ln), "bad exposition line: " + ln
+    m = re.match(r'^([a-zA-Z_:][a-zA-Z0-9_:]*)_bucket\{le="([^"]+)"\} (\d+)$',
+                 ln)
+    if m:
+        le = float("inf") if m.group(2) == "+Inf" else float(m.group(2))
+        hist.setdefault(m.group(1), []).append((le, int(m.group(3))))
+    m = re.match(r'^([a-zA-Z_:][a-zA-Z0-9_:]*)_count (\d+)$', ln)
+    if m:
+        counts[m.group(1)] = int(m.group(2))
+for name, buckets in hist.items():
+    les = [le for le, _ in buckets]
+    cums = [c for _, c in buckets]
+    assert les == sorted(les), "bucket les not sorted: " + name
+    assert cums == sorted(cums), "buckets not cumulative: " + name
+    assert les[-1] == float("inf"), "+Inf bucket missing: " + name
+    assert cums[-1] == counts.get(name), "+Inf != _count: " + name
+assert any(ln.startswith("dcb_build_info{") for ln in lines), \
+    "dcb_build_info missing"
+PY
+
+# The flight recorder is always on in the daemon: `dcb client trace`
+# must pull a Chrome-trace-loadable document from the live process.
+"$DCB" client --port-file port.txt trace > flight-trace.json
+python3 - flight-trace.json <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert isinstance(doc["traceEvents"], list), doc.keys()
+assert "flightDropped" in doc, doc.keys()
+PY
+
+# `dcb top` under a trickle of background traffic: two 300ms samples,
+# and the sampled interval must show a non-zero request rate. (req/s
+# comes from the server's exact session totals, so this holds for
+# telemetry-compiled-out builds too.)
+( for _ in $(seq 20); do
+    "$DCB" client --port-file port.txt ping > /dev/null || exit 0
+    sleep 0.05
+  done ) &
+LOAD_PID=$!
+"$DCB" top --port-file port.txt --interval-ms 300 --count 2 > top.txt
+wait "$LOAD_PID" || true
+python3 - top.txt <<'PY'
+import sys
+lines = [ln for ln in open(sys.argv[1]).read().splitlines() if ln.strip()]
+assert lines and lines[0].split()[0] == "req/s", lines
+samples = lines[1:]
+assert len(samples) == 2, lines
+assert any(float(s.split()[0]) > 0 for s in samples), samples
+PY
+
 # Idle-connection soak: 256 parked connections are buffers, not threads —
 # the daemon must keep serving while they sit there, and a ping must
 # still round-trip in-band.
@@ -128,12 +218,41 @@ python3 - serve-stats.json <<'PY'
 import json, sys
 doc = json.load(open(sys.argv[1]))
 assert doc["schema"] == "dcb-stats-v1", doc.get("schema")
+assert doc["provenance"]["telemetry"], doc.get("provenance")
+if doc.get("compiled_out"):
+    sys.exit(0)  # -DDCB_TELEMETRY=0: a valid empty document is the contract.
 counters = doc["counters"]
 assert counters["serve.requests"] >= 9, counters.get("serve.requests")
 warm = counters.get("serve.cache_hits", 0) + \
     counters.get("serve.cache.render_hits", 0)
 assert warm >= 4, counters
 assert counters["serve.cache_misses"] >= 1, counters.get("serve.cache_misses")
+PY
+
+# The saved snapshot re-renders as a Prometheus exposition offline, and
+# the request log is one valid dcb-reqlog-v1 record per request with
+# outcomes from the documented vocabulary.
+"$DCB" stats --format=prom serve-stats.json > stats-final.prom
+grep -q '^dcb_build_info{' stats-final.prom
+
+[ -s reqlog.jsonl ] || {
+  echo "serve_smoke: daemon wrote no request log" >&2
+  exit 1
+}
+python3 - reqlog.jsonl <<'PY'
+import json, sys
+outcomes = {"hit", "miss", "render-memo", "busy", "error", "control"}
+ids = []
+for ln in open(sys.argv[1]):
+    rec = json.loads(ln)
+    assert rec["schema"] == "dcb-reqlog-v1", rec
+    assert rec["outcome"] in outcomes, rec
+    assert rec["status"] in {"ok", "busy", "error"}, rec
+    ids.append(rec["req"])
+# Worker-side records land in completion order, not dispatch order, so
+# ids are unique and positive but not necessarily sorted.
+assert len(ids) == len(set(ids)) and len(ids) >= 9, ids
+assert all(r > 0 for r in ids), ids
 PY
 
 # --persist round trip: populate a segment, kill the daemon, restart on
@@ -180,5 +299,6 @@ PY
 term_and_wait "$SERVE_PID"
 trap - EXIT
 
-echo "serve_smoke: ok (bytes identical, cache hit, idle soak," \
+echo "serve_smoke: ok (bytes identical, cache hit, metrics scrape" \
+     "under load, flight trace, top, request log, idle soak," \
      "persist warm restart, clean shutdown)"

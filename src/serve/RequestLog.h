@@ -1,0 +1,90 @@
+//===- serve/RequestLog.h - Structured per-request JSONL log ----*- C++ -*-===//
+//
+// Part of the Decoding-CUDA-Binary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon's structured request log (`dcb serve --request-log=FILE`):
+/// one JSONL record per request, schema `dcb-reqlog-v1`:
+///
+///   {"schema":"dcb-reqlog-v1","req":7,"op":"disasm","outcome":"miss",
+///    "status":"ok","queue_wait_ns":0,"service_ns":183042,
+///    "bytes_in":512,"bytes_out":2048}
+///
+/// `req` is the server-assigned monotonic request id (shared with nothing
+/// else; restarts reset it). `outcome` is one of `render-memo`, `hit`,
+/// `miss`, `busy`, `error`, `control`. `queue_wait_ns` is nonzero only for
+/// pool-executed requests (outcome `miss`). Render-memo records carry an
+/// empty `op`: the memo answers a repeated request line before it is ever
+/// parsed.
+///
+/// With a slow threshold configured (`--slow-ms=N`) only records whose
+/// `service_ns` meets the threshold are written — an outlier log that is
+/// cheap enough to leave on permanently.
+///
+/// Thread model: append() is called from the reactor thread and from pool
+/// workers; the record is rendered outside the lock, the write+flush under
+/// it, so lines never interleave.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DCB_SERVE_REQUESTLOG_H
+#define DCB_SERVE_REQUESTLOG_H
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "support/Errors.h"
+
+namespace dcb {
+namespace serve {
+
+class RequestLog {
+public:
+  struct Record {
+    uint64_t Id = 0;
+    std::string_view Op;      ///< Empty for render-memo (line never parsed).
+    std::string_view Outcome; ///< render-memo|hit|miss|busy|error|control.
+    std::string_view Status;  ///< Response status field: ok|busy|error.
+    uint64_t QueueWaitNs = 0; ///< Pool admission -> worker start (miss only).
+    uint64_t ServiceNs = 0;   ///< Frame dispatched -> response rendered.
+    uint64_t BytesIn = 0;     ///< Request line length (incl. newline).
+    uint64_t BytesOut = 0;    ///< Response line length (incl. newline).
+  };
+
+  RequestLog() = default;
+  ~RequestLog();
+  RequestLog(const RequestLog &) = delete;
+  RequestLog &operator=(const RequestLog &) = delete;
+
+  /// Opens (appends to) \p Path. \p SlowNs > 0 records only requests whose
+  /// service latency meets the threshold.
+  Error open(const std::string &Path, uint64_t SlowNs);
+
+  /// Appends one record (subject to the slow filter) and flushes it.
+  void append(const Record &R);
+
+  uint64_t written() const {
+    return Written.load(std::memory_order_relaxed);
+  }
+  uint64_t suppressed() const {
+    return Suppressed.load(std::memory_order_relaxed);
+  }
+
+private:
+  std::FILE *Out = nullptr;
+  uint64_t SlowNs = 0;
+  std::mutex M;
+  std::atomic<uint64_t> Written{0};
+  std::atomic<uint64_t> Suppressed{0};
+};
+
+} // namespace serve
+} // namespace dcb
+
+#endif // DCB_SERVE_REQUESTLOG_H

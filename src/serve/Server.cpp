@@ -57,7 +57,8 @@ constexpr unsigned MaxRequestJobs = 64;
 /// epoll user-data sentinels; connection ids start above these.
 constexpr uint64_t ListenTag = 0;
 constexpr uint64_t WakeTag = 1;
-constexpr uint64_t FirstConnId = 2;
+constexpr uint64_t MetricsListenTag = 2;
+constexpr uint64_t FirstConnId = 3;
 
 /// How long the reactor keeps flushing in-flight responses after a stop
 /// request before abandoning unread clients.
@@ -82,6 +83,11 @@ struct ServeTelemetry {
       telemetry::counter("serve.cache.persist.errors");
   telemetry::Counter &RenderMemoHits =
       telemetry::counter("serve.cache.render_hits");
+  telemetry::Counter &AdminStats = telemetry::counter("serve.admin.stats");
+  telemetry::Counter &AdminHealth = telemetry::counter("serve.admin.health");
+  telemetry::Counter &AdminTrace = telemetry::counter("serve.admin.trace");
+  telemetry::Counter &AdminMetrics =
+      telemetry::counter("serve.admin.metrics");
 } Tel;
 
 uint64_t nowNs() {
@@ -210,6 +216,7 @@ struct Server::Conn {
   uint32_t Events = 0; ///< Current epoll interest mask.
   bool CloseAfterFlush = false;
   bool ReadPaused = false;
+  bool IsMetrics = false; ///< Accepted on the Prometheus listener.
 };
 
 struct Server::ReactorState {
@@ -238,7 +245,48 @@ Server::Server(ServerOptions Opts, std::optional<analyzer::EncodingDatabase> D)
 
 Server::~Server() { stop(); }
 
+namespace {
+
+/// Binds and listens on 127.0.0.1:\p Port (0 = ephemeral). On success
+/// returns the fd and stores the bound port; on failure returns -1 with
+/// the message in \p Err.
+int bindLoopbackListener(uint16_t Port, uint16_t &Bound, std::string &Err) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Err = std::string("bind 127.0.0.1:") + std::to_string(Port) + ": " +
+          std::strerror(errno);
+    ::close(Fd);
+    return -1;
+  }
+  if (::listen(Fd, 1024) < 0) {
+    Err = std::string("listen: ") + std::strerror(errno);
+    ::close(Fd);
+    return -1;
+  }
+  socklen_t AddrLen = sizeof(Addr);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &AddrLen) == 0)
+    Bound = ntohs(Addr.sin_port);
+  return Fd;
+}
+
+} // namespace
+
+uint64_t Server::uptimeNs() const { return nowNs() - StartedNs; }
+
 Error Server::start() {
+  StartedNs = nowNs();
+
   // Pay every lazy initialization now, while no client is waiting: the
   // hidden decode tables and — when a database was loaded — its frozen
   // id-indexed form and content fingerprint.
@@ -246,6 +294,15 @@ Error Server::start() {
   if (Db) {
     (void)Db->freeze();
     DbFingerprint = hash128(Db->serialize());
+  }
+
+  if (!Options.RequestLogPath.empty()) {
+    ReqLog = std::make_unique<RequestLog>();
+    if (Error E =
+            ReqLog->open(Options.RequestLogPath, Options.SlowMs * 1000000)) {
+      ReqLog.reset();
+      return E;
+    }
   }
 
   if (!Options.PersistPath.empty()) {
@@ -260,51 +317,42 @@ Error Server::start() {
     }
   }
 
-  ListenFd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  std::string SockErr;
+  ListenFd = bindLoopbackListener(Options.Port, BoundPort, SockErr);
   if (ListenFd < 0)
-    return Error::failure(std::string("socket: ") + std::strerror(errno));
-  int One = 1;
-  ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    return Error::failure(SockErr);
 
-  sockaddr_in Addr;
-  std::memset(&Addr, 0, sizeof(Addr));
-  Addr.sin_family = AF_INET;
-  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  Addr.sin_port = htons(Options.Port);
-  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
-      0) {
-    Error E = Error::failure(std::string("bind 127.0.0.1:") +
-                             std::to_string(Options.Port) + ": " +
-                             std::strerror(errno));
-    ::close(ListenFd);
-    ListenFd = -1;
-    return E;
-  }
-  if (::listen(ListenFd, 1024) < 0) {
-    Error E = Error::failure(std::string("listen: ") + std::strerror(errno));
-    ::close(ListenFd);
-    ListenFd = -1;
-    return E;
+  if (Options.MetricsPort >= 0) {
+    MetricsListenFd = bindLoopbackListener(
+        static_cast<uint16_t>(Options.MetricsPort), BoundMetricsPort,
+        SockErr);
+    if (MetricsListenFd < 0) {
+      ::close(ListenFd);
+      ListenFd = -1;
+      return Error::failure("metrics: " + SockErr);
+    }
   }
 
-  socklen_t AddrLen = sizeof(Addr);
-  if (::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
-                    &AddrLen) == 0)
-    BoundPort = ntohs(Addr.sin_port);
+  auto CloseListeners = [this] {
+    ::close(ListenFd);
+    ListenFd = -1;
+    if (MetricsListenFd >= 0) {
+      ::close(MetricsListenFd);
+      MetricsListenFd = -1;
+    }
+  };
 
   R = std::make_unique<ReactorState>();
   R->EpollFd = ::epoll_create1(EPOLL_CLOEXEC);
   if (R->EpollFd < 0) {
     Error E =
         Error::failure(std::string("epoll_create1: ") + std::strerror(errno));
-    ::close(ListenFd);
-    ListenFd = -1;
+    CloseListeners();
     return E;
   }
   Expected<WakeupFd> Wake = WakeupFd::create();
   if (!Wake.hasValue()) {
-    ::close(ListenFd);
-    ListenFd = -1;
+    CloseListeners();
     return Error::failure(Wake.message());
   }
   R->Wake = Wake.takeValue();
@@ -316,6 +364,10 @@ Error Server::start() {
   ::epoll_ctl(R->EpollFd, EPOLL_CTL_ADD, ListenFd, &Ev);
   Ev.data.u64 = WakeTag;
   ::epoll_ctl(R->EpollFd, EPOLL_CTL_ADD, R->Wake.fd(), &Ev);
+  if (MetricsListenFd >= 0) {
+    Ev.data.u64 = MetricsListenTag;
+    ::epoll_ctl(R->EpollFd, EPOLL_CTL_ADD, MetricsListenFd, &Ev);
+  }
 
   ReactorThread = std::thread([this] { reactorLoop(); });
   return Error::success();
@@ -330,6 +382,10 @@ void Server::stop() {
   if (ListenFd >= 0) {
     ::close(ListenFd);
     ListenFd = -1;
+  }
+  if (MetricsListenFd >= 0) {
+    ::close(MetricsListenFd);
+    MetricsListenFd = -1;
   }
   Pool.drainSubmitted();
 }
@@ -389,7 +445,12 @@ void Server::reactorLoop() {
       uint32_t Ev = Events[I].events;
       if (Tag == ListenTag) {
         if (!stopRequested())
-          onAcceptable();
+          onAcceptable(ListenFd, /*Metrics=*/false);
+        continue;
+      }
+      if (Tag == MetricsListenTag) {
+        if (!stopRequested())
+          onAcceptable(MetricsListenFd, /*Metrics=*/true);
         continue;
       }
       if (Tag == WakeTag) {
@@ -438,9 +499,9 @@ void Server::reactorLoop() {
   R->EpollFd = -1;
 }
 
-void Server::onAcceptable() {
+void Server::onAcceptable(int ListenSocket, bool Metrics) {
   for (;;) {
-    int Fd = ::accept4(ListenFd, nullptr, nullptr,
+    int Fd = ::accept4(ListenSocket, nullptr, nullptr,
                        SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (Fd < 0)
       return; // EAGAIN (or transient error): nothing more to accept now.
@@ -454,6 +515,7 @@ void Server::onAcceptable() {
     auto C = std::make_unique<Conn>();
     C->Fd = Fd;
     C->Id = R->NextId++;
+    C->IsMetrics = Metrics;
     C->Events = EPOLLIN;
     epoll_event Ev;
     std::memset(&Ev, 0, sizeof(Ev));
@@ -560,6 +622,11 @@ void Server::onReadable(Conn &C) {
     return;
   }
 
+  if (C.IsMetrics) {
+    onMetricsRequest(C); // May close C.
+    return;
+  }
+
   // Dispatch every complete frame we now hold — this loop is the server
   // side of pipelining. ScanFrom remembers how far the retained partial
   // line has already been scanned, so a frame arriving in thousands of
@@ -603,21 +670,68 @@ void Server::onReadable(Conn &C) {
   flushReady(C); // May close C (flush complete + CloseAfterFlush).
 }
 
+void Server::onMetricsRequest(Conn &C) {
+  // A scraper speaks minimal HTTP: request line + headers, blank line,
+  // no body. Answer once the head is complete; anything else (streaming
+  // garbage, a runaway head) closes the connection.
+  if (C.In.find("\r\n\r\n") == std::string::npos &&
+      C.In.find("\n\n") == std::string::npos) {
+    if (C.In.size() > 16384)
+      closeConn(C);
+    return;
+  }
+  C.In.clear();
+  C.ScanFrom = 0;
+  Tel.AdminMetrics.add();
+  std::string Body = telemetry::statsProm();
+  C.Out += "HTTP/1.0 200 OK\r\n"
+           "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+           "Content-Length: " +
+           std::to_string(Body.size()) +
+           "\r\n"
+           "Connection: close\r\n\r\n";
+  C.Out += Body;
+  C.CloseAfterFlush = true;
+  tryWrite(C); // May close C (flush complete + CloseAfterFlush).
+}
+
 void Server::dispatchFrame(Conn &C, std::string_view Line) {
   DCB_SPAN("serve.request");
   ++R->FramesThisWake;
   uint64_t T0 = nowNs();
+  uint64_t ReqId = ++NextRequestId;
+  uint64_t FrameBytesIn = Line.size() + 1; // The newline framed it.
   TotalRequests.fetch_add(1, std::memory_order_relaxed);
   Tel.Requests.add();
 
   auto Slot = std::make_shared<ResponseSlot>();
   C.InFlight.push_back(Slot);
 
+  // One dcb-reqlog-v1 record per reactor-answered outcome (pool-executed
+  // misses log from the worker instead, where queue wait is known).
+  auto LogOutcome = [&](std::string_view Op, std::string_view Outcome,
+                        std::string_view Status, uint64_t RespBytes) {
+    if (!ReqLog)
+      return;
+    RequestLog::Record Rec;
+    Rec.Id = ReqId;
+    Rec.Op = Op;
+    Rec.Outcome = Outcome;
+    Rec.Status = Status;
+    Rec.ServiceNs = nowNs() - T0;
+    Rec.BytesIn = FrameBytesIn;
+    Rec.BytesOut = RespBytes;
+    ReqLog->append(Rec);
+  };
+
   // Layer 1: a byte-identical repeat of a memoized request line skips
   // everything — JSON parse, base64 decode, content hash, re-render —
   // and answers with a copy of the prerendered bytes. One hash of the
   // line is the entire cost (the same 128-bit collision bet the content
-  // cache already makes).
+  // cache already makes). Memo hits *do* get a serve.request_ns record:
+  // they are real requests and their (tiny) latency belongs in the
+  // distribution; their log record carries an empty `op` because the
+  // line was never parsed.
   Hash128 LineKey{};
   const bool MemoOn = RenderMemo.budget() != 0;
   if (MemoOn) {
@@ -625,16 +739,22 @@ void Server::dispatchFrame(Conn &C, std::string_view Line) {
     if (const std::string *Hit = RenderMemo.get(LineKey)) {
       RenderHits.fetch_add(1, std::memory_order_relaxed);
       Tel.RenderMemoHits.add();
+      uint64_t RespBytes = Hit->size() + 1;
       Slot->finish(std::string(*Hit));
       Tel.RequestNs.record(nowNs() - T0);
+      LogOutcome("", "render-memo", "ok", RespBytes);
       return;
     }
   }
 
+  std::string OpName; // Filled once parsed; Fail logs it (may be empty).
   auto Fail = [&](const std::string &Id, const std::string &Msg) {
     TotalErrors.fetch_add(1, std::memory_order_relaxed);
     Tel.Errors.add();
-    Slot->finish(jsonError(Id, Msg));
+    std::string Resp = jsonError(Id, Msg);
+    uint64_t RespBytes = Resp.size() + 1;
+    Slot->finish(std::move(Resp));
+    LogOutcome(OpName, "error", "error", RespBytes);
   };
 
   Expected<json::Value> Parsed = json::parse(Line);
@@ -647,10 +767,23 @@ void Server::dispatchFrame(Conn &C, std::string_view Line) {
   Request Rq;
   Rq.Op = V.str("op");
   Rq.Id = V.str("id");
+  OpName = Rq.Op;
   if (Rq.Op.empty())
     return Fail(Rq.Id, "missing op");
 
   // --- Control ops answered on the reactor thread. ------------------------
+  //
+  // Admin introspection ops (`stats`, `health`, `trace`, `metrics`) are
+  // deliberately in this group: they never touch the pool, so a daemon
+  // whose every worker lane is wedged on slow ops still answers them
+  // within one reactor turn — observability keeps working exactly when
+  // it is needed most.
+
+  auto Control = [&](std::string Out) {
+    uint64_t RespBytes = Out.size() + 1;
+    Slot->finish(std::move(Out));
+    LogOutcome(Rq.Op, "control", "ok", RespBytes);
+  };
 
   if (Rq.Op == "ping") {
     std::string Out = "{\"status\":\"ok\",\"op\":\"ping\"";
@@ -661,17 +794,85 @@ void Server::dispatchFrame(Conn &C, std::string_view Line) {
     Out += ",\"have_db\":";
     Out += Db ? "true" : "false";
     Out += "}";
-    Slot->finish(std::move(Out));
+    Control(std::move(Out));
     return;
   }
 
   if (Rq.Op == "shutdown") {
     requestStop();
-    Slot->finish("{\"status\":\"ok\",\"op\":\"shutdown\"}");
+    Control("{\"status\":\"ok\",\"op\":\"shutdown\"}");
+    return;
+  }
+
+  if (Rq.Op == "health") {
+    Tel.AdminHealth.add();
+    size_t Pending = Pool.submittedPending();
+    CachePersister::Stats P = persistStats();
+    std::string Out = "{\"status\":\"ok\",\"op\":\"health\"";
+    if (!Rq.Id.empty()) {
+      Out += ",\"id\":";
+      json::appendString(Out, Rq.Id);
+    }
+    Out += ",\"ready\":true";
+    Out += ",\"uptime_ns\":" + std::to_string(uptimeNs());
+    Out += ",\"db\":{\"loaded\":";
+    Out += Db ? "true" : "false";
+    Out += ",\"fingerprint\":\"" + DbFingerprint.toHex() + "\"}";
+    Out += ",\"persist\":{\"enabled\":";
+    Out += Persister ? "true" : "false";
+    Out += ",\"cold_start\":";
+    Out += P.ColdStart ? "true" : "false";
+    Out += ",\"loaded\":" + std::to_string(P.LoadedEntries);
+    Out += ",\"appends\":" + std::to_string(P.Appends);
+    Out += ",\"compactions\":" + std::to_string(P.Compactions) + "}";
+    Out += ",\"pool\":{\"jobs\":" + std::to_string(Pool.numThreads());
+    Out += ",\"max_queued\":" + std::to_string(Options.MaxQueued);
+    Out += ",\"pending\":" + std::to_string(Pending);
+    Out += ",\"saturated\":";
+    Out += Pending >= Options.MaxQueued ? "true" : "false";
+    Out += "}}";
+    Control(std::move(Out));
+    return;
+  }
+
+  if (Rq.Op == "trace") {
+    Tel.AdminTrace.add();
+    uint64_t LastNs =
+        static_cast<uint64_t>(V.num("last_ms", 0)) * 1000000;
+    telemetry::FlightStats FS = telemetry::flightStats();
+    std::string Doc = telemetry::flightTraceJson(LastNs);
+    while (!Doc.empty() && Doc.back() == '\n')
+      Doc.pop_back();
+    std::string Out = "{\"status\":\"ok\",\"op\":\"trace\"";
+    if (!Rq.Id.empty()) {
+      Out += ",\"id\":";
+      json::appendString(Out, Rq.Id);
+    }
+    Out += ",\"spans\":" + std::to_string(FS.Recorded);
+    Out += ",\"dropped\":" + std::to_string(FS.Dropped);
+    Out += ",\"trace\":";
+    json::appendString(Out, Doc);
+    Out += "}";
+    Control(std::move(Out));
+    return;
+  }
+
+  if (Rq.Op == "metrics") {
+    Tel.AdminMetrics.add();
+    std::string Out = "{\"status\":\"ok\",\"op\":\"metrics\"";
+    if (!Rq.Id.empty()) {
+      Out += ",\"id\":";
+      json::appendString(Out, Rq.Id);
+    }
+    Out += ",\"exposition\":";
+    json::appendString(Out, telemetry::statsProm());
+    Out += "}";
+    Control(std::move(Out));
     return;
   }
 
   if (Rq.Op == "stats") {
+    Tel.AdminStats.add();
     ResultCache::Stats Cs = Cache.stats();
     SessionStats S = sessions();
     CachePersister::Stats P = persistStats();
@@ -704,10 +905,22 @@ void Server::dispatchFrame(Conn &C, std::string_view Line) {
     Out += ",\"errors\":" + std::to_string(S.Errors);
     Out += ",\"bytes_in\":" + std::to_string(S.BytesIn);
     Out += ",\"bytes_out\":" + std::to_string(S.BytesOut);
+    Out += "},\"snapshot_seq\":" + std::to_string(++SnapshotSeq);
+    Out += ",\"uptime_ns\":" + std::to_string(uptimeNs());
+    telemetry::BuildInfo BI = telemetry::buildInfo();
+    Out += ",\"provenance\":{\"dcb_git_rev\":";
+    json::appendString(Out, BI.GitRev);
+    Out += ",\"build_type\":";
+    json::appendString(Out, BI.BuildType);
+    Out += ",\"telemetry\":";
+    json::appendString(Out, BI.Telemetry);
     Out += "},\"telemetry\":";
     json::appendString(Out, telemetry::statsCompact());
+    // A full single-line dcb-stats-v1 document, so pollers (`dcb top`)
+    // read live histograms without a second round trip or file.
+    Out += ",\"telemetry_stats\":" + telemetry::statsJsonLine();
     Out += "}";
-    Slot->finish(std::move(Out));
+    Control(std::move(Out));
     return;
   }
 
@@ -775,8 +988,10 @@ void Server::dispatchFrame(Conn &C, std::string_view Line) {
     // file every time.
     if (MemoOn && InlineContent)
       RenderMemo.put(LineKey, Resp, Line.size() + Resp.size());
+    uint64_t RespBytes = Resp.size() + 1;
     Slot->finish(std::move(Resp));
     Tel.RequestNs.record(nowNs() - T0);
+    LogOutcome(Rq.Op, "hit", "ok", RespBytes);
     return;
   }
 
@@ -787,9 +1002,11 @@ void Server::dispatchFrame(Conn &C, std::string_view Line) {
   uint64_t ConnId = C.Id;
   uint64_t Queued = nowNs();
   ReactorState *Rs = R.get(); // Outlives workers: freed after drain.
-  auto Work = [this, Slot, Rs, ConnId, Key, T0, Queued,
-               Rq = std::move(Rq)]() mutable {
-    Tel.QueueWait.record(nowNs() - Queued);
+  RequestLog *RL = ReqLog.get(); // Outlives workers: freed after drain.
+  auto Work = [this, Slot, Rs, RL, ConnId, Key, T0, Queued, ReqId,
+               FrameBytesIn, Rq = std::move(Rq)]() mutable {
+    uint64_t Wait = nowNs() - Queued;
+    Tel.QueueWait.record(Wait);
     DCB_SPAN("serve.op");
     Expected<OpResult> Out = [&]() -> Expected<OpResult> {
       if (Rq.Op == "disasm") {
@@ -807,6 +1024,8 @@ void Server::dispatchFrame(Conn &C, std::string_view Line) {
         return opLint(Rq.Raw, Rq.LintName);
       return opExec(Rq.Raw, Rq.Name, Rq.Kernel, Rq.Exec);
     }();
+    std::string Resp;
+    const char *Status;
     if (Out.hasValue()) {
       // Mirror to cache and (when enabled) disk before answering, so a
       // crash right after the response cannot lose an entry the client
@@ -817,13 +1036,29 @@ void Server::dispatchFrame(Conn &C, std::string_view Line) {
           Tel.PersistErrors.add();
         }
       }
-      Slot->finish(renderResult(Rq.Op, Rq.Id, /*Cached=*/false, *Out));
+      Resp = renderResult(Rq.Op, Rq.Id, /*Cached=*/false, *Out);
+      Status = "ok";
     } else {
       TotalErrors.fetch_add(1, std::memory_order_relaxed);
       Tel.Errors.add();
-      Slot->finish(jsonError(Rq.Id, Out.message()));
+      Resp = jsonError(Rq.Id, Out.message());
+      Status = "error";
     }
+    uint64_t RespBytes = Resp.size() + 1;
+    Slot->finish(std::move(Resp));
     Tel.RequestNs.record(nowNs() - T0);
+    if (RL) {
+      RequestLog::Record Rec;
+      Rec.Id = ReqId;
+      Rec.Op = Rq.Op;
+      Rec.Outcome = "miss";
+      Rec.Status = Status;
+      Rec.QueueWaitNs = Wait;
+      Rec.ServiceNs = nowNs() - T0;
+      Rec.BytesIn = FrameBytesIn;
+      Rec.BytesOut = RespBytes;
+      RL->append(Rec);
+    }
     {
       std::lock_guard<std::mutex> Lock(Rs->CompletionsM);
       Rs->Completions.push_back(ConnId);
@@ -837,7 +1072,10 @@ void Server::dispatchFrame(Conn &C, std::string_view Line) {
   if (S == TaskPool::Submit::WouldBlock) {
     TotalBusy.fetch_add(1, std::memory_order_relaxed);
     Tel.Busy.add();
-    Slot->finish(jsonBusy(Id));
+    std::string Resp = jsonBusy(Id);
+    uint64_t RespBytes = Resp.size() + 1;
+    Slot->finish(std::move(Resp));
+    LogOutcome(OpName, "busy", "busy", RespBytes);
     return;
   }
   // Queued (or already ran inline on a 0-worker pool): the completion

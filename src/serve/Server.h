@@ -50,6 +50,7 @@
 #include "analyzer/IsaAnalyzer.h"
 #include "serve/Cache.h"
 #include "serve/Persist.h"
+#include "serve/RequestLog.h"
 #include "support/Errors.h"
 #include "support/Hash.h"
 #include "support/Lru.h"
@@ -86,6 +87,16 @@ struct ServerOptions {
   /// hash of the request line). SIZE_MAX = a quarter of CacheBytes;
   /// 0 disables the memo.
   size_t RenderMemoBytes = static_cast<size_t>(-1);
+  /// >= 0 = also serve the Prometheus exposition over plain HTTP/1.0 on
+  /// this loopback port (0 = kernel-assigned); -1 disables the listener.
+  /// The same document is always available as the `metrics` admin op.
+  int MetricsPort = -1;
+  /// Non-empty = append one dcb-reqlog-v1 JSONL record per request to
+  /// this file (serve/RequestLog.h).
+  std::string RequestLogPath;
+  /// With a request log: record only requests whose service latency is
+  /// at least this many milliseconds (0 = record everything).
+  uint64_t SlowMs = 0;
 };
 
 class Server {
@@ -107,6 +118,16 @@ public:
 
   /// The bound port (valid after a successful start()).
   uint16_t port() const { return BoundPort; }
+
+  /// The bound Prometheus port (valid after start() when
+  /// ServerOptions::MetricsPort >= 0; otherwise 0).
+  uint16_t metricsPort() const { return BoundMetricsPort; }
+
+  /// Nanoseconds since start() on the reactor's clock.
+  uint64_t uptimeNs() const;
+
+  /// The request log, or nullptr when `--request-log` was not given.
+  const RequestLog *requestLog() const { return ReqLog.get(); }
 
   /// Requests an orderly shutdown (also triggered by a client `shutdown`
   /// op). Safe from any thread; stop() performs the actual teardown.
@@ -153,10 +174,12 @@ private:
   struct ReactorState; ///< epoll fd, wakeup fd, connection tables.
 
   void reactorLoop();
-  void onAcceptable();
+  void onAcceptable(int ListenSocket, bool Metrics);
   /// Reads until EAGAIN, then parses and dispatches every complete frame.
   void onReadable(Conn &C);
   void dispatchFrame(Conn &C, std::string_view Line);
+  /// Answers a metrics connection once its HTTP request head is complete.
+  void onMetricsRequest(Conn &C);
   /// Moves ready in-order response slots into the write buffer.
   void flushReady(Conn &C);
   /// Sends what it can without blocking. False when the connection died
@@ -184,6 +207,14 @@ private:
 
   int ListenFd = -1;
   uint16_t BoundPort = 0;
+  int MetricsListenFd = -1;
+  uint16_t BoundMetricsPort = 0;
+  uint64_t StartedNs = 0; ///< Set once in start(), read-only after.
+  /// Monotonic id assigned to each dispatched frame; reactor-thread-only.
+  uint64_t NextRequestId = 0;
+  /// Monotonic `{"op":"stats"}` snapshot counter; reactor-thread-only.
+  uint64_t SnapshotSeq = 0;
+  std::unique_ptr<RequestLog> ReqLog;
   std::thread ReactorThread;
   std::atomic<bool> StopFlag{false};
   std::unique_ptr<ReactorState> R;

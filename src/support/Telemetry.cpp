@@ -3,9 +3,12 @@
 #include "support/Telemetry.h"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
@@ -53,35 +56,39 @@ std::string i64(int64_t V) {
 }
 
 /// Snapshot of the whole registry, decoupled from the live atomics so the
-/// table / JSON / compact renderers share one consistent view.
+/// table / JSON / compact / Prometheus renderers share one consistent view.
+/// Provenance values are kept as strings; `uptime_ns` is the one key
+/// rendered as a JSON number.
 struct Snapshot {
+  std::map<std::string, std::string> Provenance;
   std::map<std::string, uint64_t> Counters;
   std::map<std::string, int64_t> Gauges;
   std::map<std::string, HistData> Histograms;
 };
 
-/// Lower bound of histogram bucket \p B (see HistData).
-uint64_t bucketLowerBound(unsigned B) {
-  return B == 0 ? 0 : uint64_t(1) << (B - 1);
+/// Stamps buildInfo() + uptime into \p S, the common prologue of every
+/// export entry point.
+void stampProvenance(Snapshot &S) {
+  BuildInfo B = telemetry::buildInfo();
+  S.Provenance["dcb_git_rev"] = B.GitRev;
+  S.Provenance["build_type"] = B.BuildType;
+  S.Provenance["telemetry"] = B.Telemetry;
+  S.Provenance["uptime_ns"] = u64(telemetry::nowNs());
 }
 
-/// Approximate p50: lower bound of the bucket holding the median sample.
-uint64_t approxP50(const HistData &H) {
-  if (H.Count == 0)
-    return 0;
-  uint64_t Seen = 0, Half = (H.Count + 1) / 2;
-  for (unsigned B = 0; B < HistData::NumBuckets; ++B) {
-    Seen += H.Buckets[B];
-    if (Seen >= Half)
-      return bucketLowerBound(B);
-  }
-  return H.Max;
+std::string provValue(const Snapshot &S, const char *Key) {
+  auto It = S.Provenance.find(Key);
+  return It == S.Provenance.end() ? std::string("unknown") : It->second;
 }
 
 std::string renderTable(const Snapshot &S) {
   if (S.Counters.empty() && S.Gauges.empty() && S.Histograms.empty())
     return "telemetry: no metrics recorded\n";
   std::string Out;
+  if (!S.Provenance.empty())
+    Out += "provenance: rev=" + provValue(S, "dcb_git_rev") +
+           " build=" + provValue(S, "build_type") +
+           " telemetry=" + provValue(S, "telemetry") + "\n";
   size_t NameWidth = 8;
   for (const auto &[Name, V] : S.Counters)
     NameWidth = std::max(NameWidth, Name.size());
@@ -109,50 +116,106 @@ std::string renderTable(const Snapshot &S) {
   }
   if (!S.Histograms.empty()) {
     std::snprintf(Line, sizeof(Line),
-                  "histograms: %-*s %12s %16s %12s %12s %12s\n",
+                  "histograms: %-*s %12s %16s %12s %12s %12s %12s %12s\n",
                   static_cast<int>(NameWidth) - 10, "", "count", "sum",
-                  "mean", "~p50", "max");
+                  "mean", "~p50", "~p90", "~p99", "max");
     Out += Line;
     for (const auto &[Name, H] : S.Histograms) {
       uint64_t Mean = H.Count ? H.Sum / H.Count : 0;
+      auto Q = [&H](double Quantile) {
+        return static_cast<uint64_t>(histQuantile(H, Quantile) + 0.5);
+      };
       std::snprintf(Line, sizeof(Line),
                     "  %-*s %12" PRIu64 " %16" PRIu64 " %12" PRIu64
-                    " %12" PRIu64 " %12" PRIu64 "\n",
+                    " %12" PRIu64 " %12" PRIu64 " %12" PRIu64 " %12" PRIu64
+                    "\n",
                     static_cast<int>(NameWidth), Name.c_str(), H.Count,
-                    H.Sum, Mean, approxP50(H), H.Max);
+                    H.Sum, Mean, Q(0.50), Q(0.90), Q(0.99), H.Max);
       Out += Line;
     }
   }
   return Out;
 }
 
-std::string renderJson(const Snapshot &S) {
-  std::string Out = "{\n  \"schema\": \"dcb-stats-v1\",\n  \"counters\": {";
+/// Renders the dcb-stats-v1 document; \p Pretty selects the multi-line
+/// indented form vs the single-line embeddable form. \p CompiledOut adds
+/// the `"compiled_out": true` marker the -DDCB_TELEMETRY=0 build emits.
+std::string renderJson(const Snapshot &S, bool Pretty, bool CompiledOut) {
+  const char *NL = Pretty ? "\n" : "";
+  const char *I1 = Pretty ? "  " : "";
+  const char *I2 = Pretty ? "    " : "";
+  std::string Out = "{";
+  Out += NL;
+  Out += I1;
+  Out += "\"schema\": \"dcb-stats-v1\",";
+  if (CompiledOut) {
+    Out += NL;
+    Out += I1;
+    Out += "\"compiled_out\": true,";
+  }
+  Out += NL;
+  Out += I1;
+  Out += "\"provenance\": {";
   bool First = true;
-  for (const auto &[Name, V] : S.Counters) {
-    Out += First ? "\n" : ",\n";
+  for (const auto &[Key, V] : S.Provenance) {
+    if (!First)
+      Out += ", ";
     First = false;
-    Out += "    \"";
+    Out += "\"";
+    appendEscaped(Out, Key);
+    Out += "\": ";
+    if (Key == "uptime_ns") {
+      Out += V;
+    } else {
+      Out += "\"";
+      appendEscaped(Out, V);
+      Out += "\"";
+    }
+  }
+  Out += "},";
+  Out += NL;
+  Out += I1;
+  Out += "\"counters\": {";
+  First = true;
+  for (const auto &[Name, V] : S.Counters) {
+    Out += First ? NL : (Pretty ? ",\n" : ",");
+    First = false;
+    Out += I2;
+    Out += "\"";
     appendEscaped(Out, Name);
     Out += "\": " + u64(V);
   }
-  Out += First ? "}" : "\n  }";
-  Out += ",\n  \"gauges\": {";
+  if (!First) {
+    Out += NL;
+    Out += I1;
+  }
+  Out += "},";
+  Out += NL;
+  Out += I1;
+  Out += "\"gauges\": {";
   First = true;
   for (const auto &[Name, V] : S.Gauges) {
-    Out += First ? "\n" : ",\n";
+    Out += First ? NL : (Pretty ? ",\n" : ",");
     First = false;
-    Out += "    \"";
+    Out += I2;
+    Out += "\"";
     appendEscaped(Out, Name);
     Out += "\": " + i64(V);
   }
-  Out += First ? "}" : "\n  }";
-  Out += ",\n  \"histograms\": {";
+  if (!First) {
+    Out += NL;
+    Out += I1;
+  }
+  Out += "},";
+  Out += NL;
+  Out += I1;
+  Out += "\"histograms\": {";
   First = true;
   for (const auto &[Name, H] : S.Histograms) {
-    Out += First ? "\n" : ",\n";
+    Out += First ? NL : (Pretty ? ",\n" : ",");
     First = false;
-    Out += "    \"";
+    Out += I2;
+    Out += "\"";
     appendEscaped(Out, Name);
     Out += "\": {\"count\": " + u64(H.Count) + ", \"sum\": " + u64(H.Sum) +
            ", \"max\": " + u64(H.Max) + ", \"buckets\": [";
@@ -167,8 +230,15 @@ std::string renderJson(const Snapshot &S) {
     }
     Out += "]}";
   }
-  Out += First ? "}" : "\n  }";
-  Out += "\n}\n";
+  if (!First) {
+    Out += NL;
+    Out += I1;
+  }
+  Out += "}";
+  Out += NL;
+  Out += "}";
+  if (Pretty)
+    Out += "\n";
   return Out;
 }
 
@@ -183,6 +253,92 @@ std::string renderCompact(const Snapshot &S) {
     if (!Out.empty())
       Out += "; ";
     Out += Name + "=" + i64(V);
+  }
+  return Out;
+}
+
+// --- Prometheus text exposition --------------------------------------------
+
+/// `dcb_` + the metric name with every non-alphanumeric mapped to '_'.
+std::string promName(const std::string &Name) {
+  std::string Out = "dcb_";
+  for (char C : Name)
+    Out += std::isalnum(static_cast<unsigned char>(C)) ? C : '_';
+  return Out;
+}
+
+void appendPromLabelValue(std::string &Out, const std::string &V) {
+  for (char C : V) {
+    if (C == '\\')
+      Out += "\\\\";
+    else if (C == '"')
+      Out += "\\\"";
+    else if (C == '\n')
+      Out += "\\n";
+    else
+      Out += C;
+  }
+}
+
+/// Inclusive integer upper bound of histogram bucket \p B: bucket B >= 1
+/// holds values in [2^(B-1), 2^B), whose largest integer member is
+/// 2^B - 1; bucket 0 holds exactly the value 0.
+uint64_t bucketUpperBoundInclusive(unsigned B) {
+  if (B == 0)
+    return 0;
+  if (B >= 64)
+    return UINT64_MAX;
+  return (uint64_t(1) << B) - 1;
+}
+
+std::string renderProm(const Snapshot &S) {
+  std::string Out;
+  Out += "# HELP dcb_build_info Build and runtime provenance; value is "
+         "always 1.\n";
+  Out += "# TYPE dcb_build_info gauge\n";
+  Out += "dcb_build_info{revision=\"";
+  appendPromLabelValue(Out, provValue(S, "dcb_git_rev"));
+  Out += "\",build_type=\"";
+  appendPromLabelValue(Out, provValue(S, "build_type"));
+  Out += "\",telemetry=\"";
+  appendPromLabelValue(Out, provValue(S, "telemetry"));
+  Out += "\"} 1\n";
+  {
+    auto It = S.Provenance.find("uptime_ns");
+    if (It != S.Provenance.end()) {
+      uint64_t Ns = std::strtoull(It->second.c_str(), nullptr, 10);
+      char Line[64];
+      std::snprintf(Line, sizeof(Line),
+                    "# TYPE dcb_uptime_seconds gauge\n"
+                    "dcb_uptime_seconds %.3f\n",
+                    static_cast<double>(Ns) / 1e9);
+      Out += Line;
+    }
+  }
+  for (const auto &[Name, V] : S.Counters) {
+    std::string N = promName(Name);
+    Out += "# TYPE " + N + " counter\n";
+    Out += N + " " + u64(V) + "\n";
+  }
+  for (const auto &[Name, V] : S.Gauges) {
+    std::string N = promName(Name);
+    Out += "# TYPE " + N + " gauge\n";
+    Out += N + " " + i64(V) + "\n";
+  }
+  for (const auto &[Name, H] : S.Histograms) {
+    std::string N = promName(Name);
+    Out += "# TYPE " + N + " histogram\n";
+    uint64_t Cum = 0;
+    for (unsigned B = 0; B < HistData::NumBuckets; ++B) {
+      if (!H.Buckets[B])
+        continue;
+      Cum += H.Buckets[B];
+      Out += N + "_bucket{le=\"" + u64(bucketUpperBoundInclusive(B)) +
+             "\"} " + u64(Cum) + "\n";
+    }
+    Out += N + "_bucket{le=\"+Inf\"} " + u64(H.Count) + "\n";
+    Out += N + "_sum " + u64(H.Sum) + "\n";
+    Out += N + "_count " + u64(H.Count) + "\n";
   }
   return Out;
 }
@@ -270,6 +426,34 @@ bool parseIntMap(JsonCursor &C, std::map<std::string, int64_t> &Out) {
   }
 }
 
+/// Parses the provenance map: values are strings, except integers for
+/// numeric keys (`uptime_ns`). Everything lands in Out as a string.
+bool parseProvenanceMap(JsonCursor &C,
+                        std::map<std::string, std::string> &Out) {
+  if (C.consume('}'))
+    return true;
+  for (;;) {
+    std::string Key;
+    if (!C.parseString(Key) || !C.consume(':'))
+      return false;
+    if (C.peek('"')) {
+      std::string V;
+      if (!C.parseString(V))
+        return false;
+      Out[Key] = V;
+    } else {
+      int64_t V;
+      if (!C.parseInt(V))
+        return false;
+      Out[Key] = i64(V);
+    }
+    if (C.consume('}'))
+      return true;
+    if (!C.consume(','))
+      return false;
+  }
+}
+
 bool parseHistMap(JsonCursor &C, std::map<std::string, HistData> &Out) {
   if (C.consume('}'))
     return true;
@@ -326,9 +510,9 @@ bool parseHistMap(JsonCursor &C, std::map<std::string, HistData> &Out) {
   }
 }
 
-} // namespace
-
-Expected<std::string> telemetry::renderStatsJson(const std::string &Json) {
+/// Parses a full dcb-stats-v1 document into a Snapshot; the shared front
+/// half of renderStatsJson and statsJsonToProm.
+Expected<Snapshot> parseStatsDocument(const std::string &Json) {
   JsonCursor C{Json.data(), Json.data() + Json.size()};
   if (!C.consume('{'))
     return Failure("stats JSON: expected top-level object");
@@ -359,6 +543,9 @@ Expected<std::string> telemetry::renderStatsJson(const std::string &Json) {
       } else if (Key == "histograms") {
         if (!C.consume('{') || !parseHistMap(C, S.Histograms))
           return Failure("stats JSON: malformed histograms map");
+      } else if (Key == "provenance") {
+        if (!C.consume('{') || !parseProvenanceMap(C, S.Provenance))
+          return Failure("stats JSON: malformed provenance map");
       } else if (Key == "compiled_out") {
         // Tolerated: emitted by -DDCB_TELEMETRY=0 builds.
         if (!C.consume('t') || !C.consume('r') || !C.consume('u') ||
@@ -375,7 +562,73 @@ Expected<std::string> telemetry::renderStatsJson(const std::string &Json) {
   }
   if (!SawSchema)
     return Failure("stats JSON: missing schema marker");
-  return renderTable(S);
+  return S;
+}
+
+} // namespace
+
+Expected<std::string> telemetry::renderStatsJson(const std::string &Json) {
+  Expected<Snapshot> S = parseStatsDocument(Json);
+  if (!S)
+    return Failure(S.message());
+  return renderTable(*S);
+}
+
+Expected<std::string> telemetry::statsJsonToProm(const std::string &Json) {
+  Expected<Snapshot> S = parseStatsDocument(Json);
+  if (!S)
+    return Failure(S.message());
+  return renderProm(*S);
+}
+
+double telemetry::histQuantile(const HistData &H, double Q) {
+  if (H.Count == 0)
+    return 0.0;
+  if (Q < 0.0)
+    Q = 0.0;
+  if (Q > 1.0)
+    Q = 1.0;
+  // Rank of the target sample in [1, Count] (nearest-rank, then linear
+  // interpolation of that rank's position inside its bucket).
+  double Rank = Q * static_cast<double>(H.Count);
+  if (Rank < 1.0)
+    Rank = 1.0;
+  uint64_t Seen = 0;
+  for (unsigned B = 0; B < HistData::NumBuckets; ++B) {
+    uint64_t N = H.Buckets[B];
+    if (!N)
+      continue;
+    if (static_cast<double>(Seen) + static_cast<double>(N) >= Rank) {
+      if (B == 0)
+        return 0.0; // Bucket 0 holds exactly the value 0.
+      double Lo = std::ldexp(1.0, static_cast<int>(B) - 1);
+      double Hi = std::ldexp(1.0, static_cast<int>(B));
+      double Frac =
+          (Rank - static_cast<double>(Seen)) / static_cast<double>(N);
+      double V = Lo + Frac * (Hi - Lo);
+      double MaxV = static_cast<double>(H.Max);
+      return V < MaxV ? V : MaxV;
+    }
+    Seen += N;
+  }
+  return static_cast<double>(H.Max);
+}
+
+BuildInfo telemetry::buildInfo() {
+  BuildInfo B;
+  const char *Rev = std::getenv("DCB_GIT_REV");
+  B.GitRev = (Rev && *Rev) ? Rev : "unknown";
+#ifdef NDEBUG
+  B.BuildType = "release";
+#else
+  B.BuildType = "debug";
+#endif
+#if DCB_TELEMETRY
+  B.Telemetry = countersEnabled() ? "on" : "off";
+#else
+  B.Telemetry = "compiled-out";
+#endif
+  return B;
 }
 
 #if DCB_TELEMETRY
@@ -396,12 +649,22 @@ unsigned detail::bitWidth(uint64_t V) {
 
 namespace {
 
+/// The span site gate `detail::SpansOn` is the OR of these two consumer
+/// gates: the unbounded trace buffer (--trace) and the flight recorder.
+std::atomic<bool> TraceBufOn{false};
+std::atomic<bool> FlightOn{false};
+
 /// One span event; Name points at static storage (documented contract).
 struct SpanEvent {
   const char *Name;
   uint64_t StartNs;
   uint64_t DurNs;
 };
+
+/// Flight-ring capacity per thread. Fixed so recording never allocates;
+/// 256 recent spans per thread is plenty to reconstruct what a daemon
+/// thread was doing when an operator pulls a trace.
+constexpr uint64_t FlightCap = 256;
 
 /// Per-thread span buffer. Owned jointly by the registry (so events
 /// survive thread exit, e.g. TaskPool workers joined before export) and
@@ -410,6 +673,8 @@ struct ThreadBuf {
   unsigned Tid = 0;
   std::mutex M; ///< Uncontended except during a concurrent export.
   std::vector<SpanEvent> Events;
+  SpanEvent Flight[FlightCap] = {}; ///< Ring; slot = FlightNext % FlightCap.
+  uint64_t FlightNext = 0;          ///< Total flight writes ever.
 };
 
 /// The process-wide registry. Deliberately leaked: spans can be recorded
@@ -446,13 +711,24 @@ ThreadBuf &threadBuf() {
 Snapshot takeSnapshot() {
   Registry &R = registry();
   Snapshot S;
-  std::lock_guard<std::mutex> Lock(R.M);
-  for (const auto &[Name, C] : R.Counters)
-    S.Counters[Name] = C.value();
-  for (const auto &[Name, G] : R.Gauges)
-    S.Gauges[Name] = G.value();
-  for (const auto &[Name, H] : R.Histograms)
-    S.Histograms[Name] = H.snapshot();
+  {
+    std::lock_guard<std::mutex> Lock(R.M);
+    for (const auto &[Name, C] : R.Counters)
+      S.Counters[Name] = C.value();
+    for (const auto &[Name, G] : R.Gauges)
+      S.Gauges[Name] = G.value();
+    for (const auto &[Name, H] : R.Histograms)
+      S.Histograms[Name] = H.snapshot();
+  }
+  // Surface flight-recorder totals as synthetic counters so every
+  // renderer (table, JSON, Prometheus) reports them without special
+  // cases. Only once the recorder has ever written, to keep ordinary
+  // --stats runs free of noise rows.
+  FlightStats FS = telemetry::flightStats();
+  if (FS.Recorded) {
+    S.Counters["telemetry.flight.spans"] = FS.Recorded;
+    S.Counters["telemetry.flight.dropped"] = FS.Dropped;
+  }
   return S;
 }
 
@@ -462,11 +738,21 @@ void telemetry::setCountersEnabled(bool On) {
   detail::CountersOn.store(On, std::memory_order_relaxed);
 }
 void telemetry::setSpansEnabled(bool On) {
-  detail::SpansOn.store(On, std::memory_order_relaxed);
+  TraceBufOn.store(On, std::memory_order_relaxed);
+  detail::SpansOn.store(On || FlightOn.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
 }
 void telemetry::setEnabled(bool On) {
   setCountersEnabled(On);
   setSpansEnabled(On);
+}
+void telemetry::setFlightRecorderEnabled(bool On) {
+  FlightOn.store(On, std::memory_order_relaxed);
+  detail::SpansOn.store(On || TraceBufOn.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+}
+bool telemetry::flightRecorderEnabled() {
+  return FlightOn.load(std::memory_order_relaxed);
 }
 
 Counter &telemetry::counter(const std::string &Name) {
@@ -511,11 +797,34 @@ void telemetry::recordSpan(const char *Name, uint64_t StartNs,
                            uint64_t DurNs) {
   ThreadBuf &Buf = threadBuf();
   std::lock_guard<std::mutex> Lock(Buf.M);
-  Buf.Events.push_back({Name, StartNs, DurNs});
+  if (TraceBufOn.load(std::memory_order_relaxed))
+    Buf.Events.push_back({Name, StartNs, DurNs});
+  if (FlightOn.load(std::memory_order_relaxed)) {
+    Buf.Flight[Buf.FlightNext % FlightCap] = {Name, StartNs, DurNs};
+    ++Buf.FlightNext;
+  }
 }
 
-std::string telemetry::statsTable() { return renderTable(takeSnapshot()); }
-std::string telemetry::statsJson() { return renderJson(takeSnapshot()); }
+std::string telemetry::statsTable() {
+  Snapshot S = takeSnapshot();
+  stampProvenance(S);
+  return renderTable(S);
+}
+std::string telemetry::statsJson() {
+  Snapshot S = takeSnapshot();
+  stampProvenance(S);
+  return renderJson(S, /*Pretty=*/true, /*CompiledOut=*/false);
+}
+std::string telemetry::statsJsonLine() {
+  Snapshot S = takeSnapshot();
+  stampProvenance(S);
+  return renderJson(S, /*Pretty=*/false, /*CompiledOut=*/false);
+}
+std::string telemetry::statsProm() {
+  Snapshot S = takeSnapshot();
+  stampProvenance(S);
+  return renderProm(S);
+}
 std::string telemetry::statsCompact() {
   return renderCompact(takeSnapshot());
 }
@@ -563,6 +872,75 @@ std::string telemetry::traceJson() {
   return Out;
 }
 
+FlightStats telemetry::flightStats() {
+  FlightStats FS;
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.SpanM);
+  for (const std::shared_ptr<ThreadBuf> &Buf : R.Threads) {
+    std::lock_guard<std::mutex> BufLock(Buf->M);
+    FS.Recorded += Buf->FlightNext;
+    if (Buf->FlightNext > FlightCap)
+      FS.Dropped += Buf->FlightNext - FlightCap;
+  }
+  return FS;
+}
+
+std::string telemetry::flightTraceJson(uint64_t LastNs) {
+  struct Flat {
+    SpanEvent E;
+    unsigned Tid;
+  };
+  std::vector<Flat> All;
+  uint64_t Dropped = 0;
+  uint64_t Horizon = 0;
+  if (LastNs) {
+    uint64_t Now = nowNs();
+    Horizon = LastNs < Now ? Now - LastNs : 0;
+  }
+  {
+    Registry &R = registry();
+    std::lock_guard<std::mutex> Lock(R.SpanM);
+    for (const std::shared_ptr<ThreadBuf> &Buf : R.Threads) {
+      std::lock_guard<std::mutex> BufLock(Buf->M);
+      uint64_t Resident = std::min(Buf->FlightNext, FlightCap);
+      if (Buf->FlightNext > FlightCap)
+        Dropped += Buf->FlightNext - FlightCap;
+      for (uint64_t I = Buf->FlightNext - Resident; I < Buf->FlightNext;
+           ++I) {
+        const SpanEvent &E = Buf->Flight[I % FlightCap];
+        if (E.Name && E.StartNs + E.DurNs >= Horizon)
+          All.push_back({E, Buf->Tid});
+      }
+    }
+  }
+  std::stable_sort(All.begin(), All.end(),
+                   [](const Flat &A, const Flat &B) {
+                     return A.E.StartNs < B.E.StartNs;
+                   });
+
+  // Single line so the daemon can embed it in a newline-framed response.
+  std::string Out = "{\"traceEvents\": [";
+  char Line[256];
+  bool First = true;
+  for (const Flat &F : All) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    std::snprintf(Line, sizeof(Line),
+                  "{\"name\": \"%s\", \"cat\": \"dcb\", \"ph\": \"X\", "
+                  "\"pid\": 1, \"tid\": %u, \"ts\": %" PRIu64 ".%03u, "
+                  "\"dur\": %" PRIu64 ".%03u}",
+                  F.E.Name, F.Tid, F.E.StartNs / 1000,
+                  static_cast<unsigned>(F.E.StartNs % 1000),
+                  F.E.DurNs / 1000,
+                  static_cast<unsigned>(F.E.DurNs % 1000));
+    Out += Line;
+  }
+  Out += "], \"flightDropped\": " + u64(Dropped) +
+         ", \"displayTimeUnit\": \"ms\"}\n";
+  return Out;
+}
+
 void telemetry::resetForTest() {
   Registry &R = registry();
   {
@@ -582,6 +960,7 @@ void telemetry::resetForTest() {
   for (const std::shared_ptr<ThreadBuf> &Buf : R.Threads) {
     std::lock_guard<std::mutex> BufLock(Buf->M);
     Buf->Events.clear();
+    Buf->FlightNext = 0;
   }
 }
 
@@ -592,14 +971,34 @@ std::string telemetry::statsTable() {
 }
 
 std::string telemetry::statsJson() {
-  return "{\n  \"schema\": \"dcb-stats-v1\",\n  \"compiled_out\": true,\n"
-         "  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {}\n}\n";
+  Snapshot S;
+  stampProvenance(S);
+  return renderJson(S, /*Pretty=*/true, /*CompiledOut=*/true);
+}
+
+std::string telemetry::statsJsonLine() {
+  Snapshot S;
+  stampProvenance(S);
+  return renderJson(S, /*Pretty=*/false, /*CompiledOut=*/true);
+}
+
+std::string telemetry::statsProm() {
+  Snapshot S;
+  stampProvenance(S);
+  return renderProm(S);
 }
 
 std::string telemetry::statsCompact() { return std::string(); }
 
 std::string telemetry::traceJson() {
   return "{\"traceEvents\": [], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+FlightStats telemetry::flightStats() { return FlightStats(); }
+
+std::string telemetry::flightTraceJson(uint64_t) {
+  return "{\"traceEvents\": [], \"flightDropped\": 0, "
+         "\"displayTimeUnit\": \"ms\"}\n";
 }
 
 void telemetry::resetForTest() {}

@@ -13,8 +13,13 @@
 ///  - a span tracer recording `{name, thread, start, duration}` events into
 ///    per-thread buffers, exportable as a Chrome `trace_event` JSON that
 ///    `chrome://tracing` and Perfetto load directly;
-///  - human-readable (`statsTable`) and machine-readable (`statsJson`)
-///    snapshots of the registry.
+///  - a span *flight recorder*: a fixed-size per-thread ring of the most
+///    recent spans (overwriting, allocation-free after thread start) a
+///    long-running daemon keeps always on, so `dcb client trace` can pull
+///    a Perfetto-loadable trace from production without a restart;
+///  - human-readable (`statsTable`), machine-readable (`statsJson`) and
+///    Prometheus text-exposition (`statsProm`) snapshots of the registry,
+///    each stamped with build provenance (`buildInfo`).
 ///
 /// Design rules, enforced throughout:
 ///
@@ -89,6 +94,14 @@ void setCountersEnabled(bool On);
 void setSpansEnabled(bool On);
 /// Enables/disables both counters and spans.
 void setEnabled(bool On);
+
+/// Enables/disables the span flight recorder: a fixed-size per-thread ring
+/// of the most recent spans, overwriting and allocation-free, meant to stay
+/// on for the lifetime of a daemon. Shares the span site gate with the
+/// tracer (`detail::SpansOn` is on when either consumer is), so a span site
+/// still costs exactly one relaxed load when both are off.
+void setFlightRecorderEnabled(bool On);
+bool flightRecorderEnabled();
 
 /// Monotonic counter. add() is wait-free: one gate load plus one relaxed
 /// fetch_add when enabled.
@@ -184,6 +197,8 @@ inline bool spansEnabled() { return false; }
 inline void setCountersEnabled(bool) {}
 inline void setSpansEnabled(bool) {}
 inline void setEnabled(bool) {}
+inline void setFlightRecorderEnabled(bool) {}
+inline bool flightRecorderEnabled() { return false; }
 
 class Counter {
 public:
@@ -238,29 +253,78 @@ public:
 
 // --- Exports (available in both build modes) -------------------------------
 
-/// Human-readable snapshot: counters, gauges, then histograms with
-/// count / sum / mean / max and an approximate p50 (power-of-two bucket
-/// lower bound). Names sort lexicographically. Empty registry -> a single
-/// explanatory line.
+/// Interpolated quantile estimate over a power-of-two-bucket histogram.
+/// Locates the bucket containing the Q-th value (Q in [0,1]) and linearly
+/// interpolates between the bucket's bounds, capped at the observed max —
+/// so the absolute error is bounded by the width of the containing bucket
+/// (the estimate is always within a factor of two of the true quantile,
+/// and exact for zero values and for the bucket holding the max). Returns
+/// 0 for an empty histogram.
+double histQuantile(const HistData &H, double Q);
+
+/// Build/runtime provenance stamped into every exported snapshot.
+struct BuildInfo {
+  std::string GitRev;    ///< $DCB_GIT_REV (scripts/run_benches.sh, CI) or "unknown".
+  std::string BuildType; ///< "release" (NDEBUG) or "debug".
+  std::string Telemetry; ///< "on" / "off" / "compiled-out".
+};
+BuildInfo buildInfo();
+
+/// Human-readable snapshot: a provenance line, counters, gauges, then
+/// histograms with count / sum / mean / interpolated p50/p90/p99
+/// (histQuantile) / max. Names sort lexicographically. Empty registry ->
+/// a single explanatory line.
 std::string statsTable();
 
 /// Machine-readable snapshot (schema `dcb-stats-v1`):
-///   {"schema":"dcb-stats-v1","counters":{...},"gauges":{...},
+///   {"schema":"dcb-stats-v1",
+///    "provenance":{"dcb_git_rev":R,"build_type":B,"telemetry":T,
+///                  "uptime_ns":N},
+///    "counters":{...},"gauges":{...},
 ///    "histograms":{"name":{"count":C,"sum":S,"max":M,
 ///                          "buckets":[[bucket,count],...]}}}
 std::string statsJson();
+
+/// statsJson() on a single line (no newlines anywhere), embeddable as a
+/// JSON object inside another newline-framed document — the daemon's
+/// `{"op":"stats"}` response uses it.
+std::string statsJsonLine();
 
 /// One-line `name=value` pairs (counters and gauges only), semicolon
 /// separated — safe to embed as a benchmark context string.
 std::string statsCompact();
 
+/// Prometheus text-exposition (v0.0.4) snapshot: counters and gauges as
+/// scalar series, histograms as cumulative `_bucket{le=...}`/`_sum`/
+/// `_count` with exact integer bucket bounds (bucket B covers values <=
+/// 2^B - 1), plus a `dcb_build_info` info gauge and `dcb_uptime_seconds`.
+/// Names are sanitized to `dcb_<name with non-alphanumerics as '_'>`.
+std::string statsProm();
+
 /// Chrome trace_event JSON of every recorded span, sorted by start time
 /// (ts/dur in microseconds). Loads in chrome://tracing and Perfetto.
 std::string traceJson();
 
+/// Spans currently resident in (and overwritten out of) the flight rings.
+struct FlightStats {
+  uint64_t Recorded = 0; ///< Spans written into rings since reset.
+  uint64_t Dropped = 0;  ///< Spans overwritten (Recorded minus resident).
+};
+FlightStats flightStats();
+
+/// Chrome trace_event JSON of the spans resident in the flight rings,
+/// rendered on a single line. \p LastNs > 0 keeps only spans that *ended*
+/// within the trailing LastNs window. Includes a top-level
+/// `"flightDropped"` count (extra keys are ignored by trace viewers).
+std::string flightTraceJson(uint64_t LastNs = 0);
+
 /// Renders a statsJson() document back into the statsTable() layout — the
 /// `dcb stats <file>` pretty-printer. Fails on malformed input.
 Expected<std::string> renderStatsJson(const std::string &Json);
+
+/// Renders a statsJson() document into the statsProm() exposition — the
+/// `dcb stats --format=prom <file>` path. Fails on malformed input.
+Expected<std::string> statsJsonToProm(const std::string &Json);
 
 /// Zeroes every registered metric and drops all span buffers (tests only;
 /// racing with concurrent recorders is the caller's problem).

@@ -14,8 +14,10 @@
 #include "serve/Json.h"
 #include "serve/Ops.h"
 #include "serve/Persist.h"
+#include "serve/RequestLog.h"
 #include "serve/Server.h"
 #include "support/FileIo.h"
+#include "support/Telemetry.h"
 #include "vendor/CuobjdumpSim.h"
 #include "vendor/NvccSim.h"
 #include "workloads/Suite.h"
@@ -939,4 +941,305 @@ TEST(ServePersist, CompactionPreservesLruSurvivingEntries) {
   EXPECT_NE(Fresh.get(Hash128{5, 105}), nullptr);
   EXPECT_EQ(Fresh.get(Hash128{0, 100}), nullptr); // Evicted, not persisted.
   std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Admin introspection plane
+//===----------------------------------------------------------------------===//
+
+TEST(ServeAdmin, HealthReportsReadinessInline) {
+  std::unique_ptr<Server> S = startServer(ServerOptions());
+  Expected<Client> C = Client::connect(S->port());
+  ASSERT_TRUE(C.hasValue());
+
+  json::Value H = roundTripOk(*C, R"({"op":"health","id":"h1"})");
+  EXPECT_EQ(H.str("status"), "ok");
+  EXPECT_EQ(H.str("id"), "h1");
+  EXPECT_TRUE(H.boolean("ready"));
+  EXPECT_GT(H.num("uptime_ns"), 0u);
+  const json::Value *DbF = H.field("db");
+  ASSERT_NE(DbF, nullptr);
+  EXPECT_FALSE(DbF->boolean("loaded")); // No --db on this server.
+  EXPECT_FALSE(DbF->str("fingerprint").empty());
+  const json::Value *PoolF = H.field("pool");
+  ASSERT_NE(PoolF, nullptr);
+  EXPECT_GT(PoolF->num("jobs"), 0u);
+  EXPECT_EQ(PoolF->num("max_queued"), ServerOptions().MaxQueued);
+  EXPECT_FALSE(PoolF->boolean("saturated"));
+  const json::Value *Per = H.field("persist");
+  ASSERT_NE(Per, nullptr);
+  EXPECT_FALSE(Per->boolean("enabled"));
+}
+
+TEST(ServeAdmin, AdminOpsAnswerInlineAtPoolSaturation) {
+  std::vector<uint8_t> Image = suiteImage(Arch::SM35);
+  ServerOptions Opts;
+  Opts.Jobs = 2;      // One pool worker.
+  Opts.MaxQueued = 1; // One waiter behind it.
+  std::unique_ptr<Server> S = startServer(Opts);
+
+  // Wedge the pool completely, exactly like BoundedQueueShedsWithBusy.
+  std::atomic<bool> Started{false}, Release{false};
+  ASSERT_EQ(S->pool().trySubmit([&] {
+    Started.store(true);
+    while (!Release.load())
+      std::this_thread::yield();
+  }),
+            TaskPool::Submit::Queued);
+  while (!Started.load())
+    std::this_thread::yield();
+  ASSERT_EQ(S->pool().trySubmit([] {}), TaskPool::Submit::Queued);
+
+  Expected<Client> C = Client::connect(S->port());
+  ASSERT_TRUE(C.hasValue());
+
+  // A work op is shed...
+  json::Value Busy = roundTripOk(*C, requestFor("disasm", Image));
+  EXPECT_EQ(Busy.str("status"), "busy");
+
+  // ...but every admin op still answers, because they run on the reactor
+  // and never touch the pool. The wedged worker blocks until Release, so
+  // a pool-routed admin op would hang forever; the wall-clock bound below
+  // documents "inline", it does not carry the correctness.
+  auto T0 = std::chrono::steady_clock::now();
+  json::Value H = roundTripOk(*C, R"({"op":"health"})");
+  EXPECT_EQ(H.str("status"), "ok");
+  const json::Value *PoolF = H.field("pool");
+  ASSERT_NE(PoolF, nullptr);
+  EXPECT_TRUE(PoolF->boolean("saturated"));
+  EXPECT_GE(PoolF->num("pending"), 1u);
+  json::Value St = roundTripOk(*C, R"({"op":"stats"})");
+  EXPECT_EQ(St.str("status"), "ok");
+  EXPECT_GE(St.num("snapshot_seq"), 1u);
+  json::Value M = roundTripOk(*C, R"({"op":"metrics"})");
+  EXPECT_EQ(M.str("status"), "ok");
+  EXPECT_NE(M.str("exposition").find("dcb_build_info"), std::string::npos);
+  json::Value T = roundTripOk(*C, R"({"op":"trace"})");
+  EXPECT_EQ(T.str("status"), "ok");
+  auto ElapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count();
+  EXPECT_LT(ElapsedMs, 5000) << "admin ops must not wait for the pool";
+
+  Release.store(true);
+  S->pool().drainSubmitted();
+}
+
+TEST(ServeAdmin, SnapshotDeltasCountEveryCacheLayerExactly) {
+  telemetry::resetForTest();
+  telemetry::setCountersEnabled(true);
+  std::vector<uint8_t> Image = suiteImage(Arch::SM35);
+  std::unique_ptr<Server> S = startServer(ServerOptions());
+  Expected<Client> C = Client::connect(S->port());
+  ASSERT_TRUE(C.hasValue());
+
+  json::Value S0 = roundTripOk(*C, R"({"op":"stats"})");
+  EXPECT_EQ(S0.str("status"), "ok");
+  const json::Value *Sess0 = S0.field("sessions");
+  const json::Value *Cache0 = S0.field("cache");
+  const json::Value *Render0 = S0.field("render");
+  ASSERT_NE(Sess0, nullptr);
+  ASSERT_NE(Cache0, nullptr);
+  ASSERT_NE(Render0, nullptr);
+
+  const std::string Req = requestFor("disasm", Image);
+  roundTripOk(*C, Req); // Content-cache miss.
+  roundTripOk(*C, Req); // Content-cache hit (memoizes its rendering).
+  roundTripOk(*C, Req); // Render-memo hit.
+
+  json::Value S1 = roundTripOk(*C, R"({"op":"stats"})");
+  const json::Value *Sess1 = S1.field("sessions");
+  const json::Value *Cache1 = S1.field("cache");
+  const json::Value *Render1 = S1.field("render");
+  ASSERT_NE(Sess1, nullptr);
+  ASSERT_NE(Cache1, nullptr);
+  ASSERT_NE(Render1, nullptr);
+
+  // The sequence number is the poller's lost-snapshot detector.
+  EXPECT_EQ(S1.num("snapshot_seq"), S0.num("snapshot_seq") + 1);
+  EXPECT_GE(S1.num("uptime_ns"), S0.num("uptime_ns"));
+
+  // 3 disasm frames plus the second stats frame itself (the snapshot is
+  // taken inside its dispatch, after the request counter bump).
+  EXPECT_EQ(Sess1->num("requests") - Sess0->num("requests"), 4u);
+  EXPECT_EQ(Cache1->num("hits") - Cache0->num("hits"), 1u);
+  EXPECT_EQ(Cache1->num("misses") - Cache0->num("misses"), 1u);
+  EXPECT_EQ(Render1->num("hits") - Render0->num("hits"), 1u);
+
+  const json::Value *Prov = S1.field("provenance");
+  ASSERT_NE(Prov, nullptr);
+  EXPECT_FALSE(Prov->str("dcb_git_rev").empty());
+  EXPECT_FALSE(Prov->str("telemetry").empty());
+
+#if DCB_TELEMETRY
+  // The embedded dcb-stats-v1 document carries the live request-latency
+  // histogram. All three disasm answers record into it — the render-memo
+  // hit included: memo hits are real requests, so their latency belongs
+  // in the distribution (their request-log record is what differs, by an
+  // empty op).
+  auto HistCount = [](const json::Value &Doc) -> uint64_t {
+    const json::Value *T = Doc.field("telemetry_stats");
+    const json::Value *H = T ? T->field("histograms") : nullptr;
+    const json::Value *R = H ? H->field("serve.request_ns") : nullptr;
+    return R ? R->num("count") : 0;
+  };
+  EXPECT_EQ(HistCount(S1) - HistCount(S0), 3u);
+  // Admin ops count themselves: two stats frames in this window.
+  auto CounterOf = [](const json::Value &Doc, const char *Name) {
+    const json::Value *T = Doc.field("telemetry_stats");
+    const json::Value *Cs = T ? T->field("counters") : nullptr;
+    return Cs ? Cs->num(Name) : 0;
+  };
+  EXPECT_EQ(CounterOf(S1, "serve.admin.stats") -
+                CounterOf(S0, "serve.admin.stats"),
+            1u); // S1's own bump lands before its snapshot; S0's too.
+#endif
+  telemetry::setCountersEnabled(false);
+  telemetry::resetForTest();
+}
+
+TEST(ServeAdmin, RequestLogRecordsOneLinePerOutcome) {
+  const std::string Path = ::testing::TempDir() + "serve_reqlog_test.jsonl";
+  std::remove(Path.c_str());
+  std::vector<uint8_t> Image = suiteImage(Arch::SM35);
+  ServerOptions Opts;
+  Opts.RequestLogPath = Path;
+  {
+    std::unique_ptr<Server> S = startServer(Opts);
+    Expected<Client> C = Client::connect(S->port());
+    ASSERT_TRUE(C.hasValue());
+
+    const std::string Req = requestFor("disasm", Image);
+    roundTripOk(*C, Req);                           // miss
+    roundTripOk(*C, Req);                           // hit
+    roundTripOk(*C, Req);                           // render-memo
+    roundTripOk(*C, R"({"op":"ping"})");            // control
+    roundTripOk(*C, R"({"op":"frobnicate"})");      // error
+    S->stop(); // Drains the pool: every record is on disk now.
+    ASSERT_NE(S->requestLog(), nullptr);
+    EXPECT_EQ(S->requestLog()->written(), 5u);
+    EXPECT_EQ(S->requestLog()->suppressed(), 0u);
+  }
+
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::vector<json::Value> Recs;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    Expected<json::Value> V = json::parse(Line);
+    ASSERT_TRUE(V.hasValue()) << V.message() << " in " << Line;
+    EXPECT_EQ(V->str("schema"), "dcb-reqlog-v1");
+    Recs.push_back(*V);
+  }
+  ASSERT_EQ(Recs.size(), 5u);
+  // Request ids are server-assigned and monotonic from 1.
+  for (size_t I = 0; I < Recs.size(); ++I)
+    EXPECT_EQ(Recs[I].num("req"), I + 1);
+  EXPECT_EQ(Recs[0].str("outcome"), "miss");
+  EXPECT_EQ(Recs[0].str("op"), "disasm");
+  EXPECT_EQ(Recs[0].str("status"), "ok");
+  EXPECT_GT(Recs[0].num("service_ns"), 0u);
+  EXPECT_GT(Recs[0].num("bytes_in"), 0u);
+  EXPECT_GT(Recs[0].num("bytes_out"), 0u);
+  EXPECT_EQ(Recs[1].str("outcome"), "hit");
+  EXPECT_EQ(Recs[1].num("queue_wait_ns"), 0u); // Reactor-answered.
+  EXPECT_EQ(Recs[2].str("outcome"), "render-memo");
+  EXPECT_EQ(Recs[2].str("op"), ""); // The memo answers unparsed lines.
+  EXPECT_EQ(Recs[3].str("outcome"), "control");
+  EXPECT_EQ(Recs[3].str("op"), "ping");
+  EXPECT_EQ(Recs[4].str("outcome"), "error");
+  EXPECT_EQ(Recs[4].str("op"), "frobnicate");
+  EXPECT_EQ(Recs[4].str("status"), "error");
+  std::remove(Path.c_str());
+}
+
+TEST(ServeAdmin, SlowThresholdSuppressesFastRequests) {
+  const std::string Path = ::testing::TempDir() + "serve_reqlog_slow.jsonl";
+  std::remove(Path.c_str());
+  ServerOptions Opts;
+  Opts.RequestLogPath = Path;
+  Opts.SlowMs = 60000; // Nothing in this test takes a minute.
+  {
+    std::unique_ptr<Server> S = startServer(Opts);
+    Expected<Client> C = Client::connect(S->port());
+    ASSERT_TRUE(C.hasValue());
+    roundTripOk(*C, R"({"op":"ping"})");
+    roundTripOk(*C, R"({"op":"ping"})");
+    S->stop();
+    ASSERT_NE(S->requestLog(), nullptr);
+    EXPECT_EQ(S->requestLog()->written(), 0u);
+    EXPECT_EQ(S->requestLog()->suppressed(), 2u);
+  }
+  std::ifstream In(Path);
+  std::string Contents((std::istreambuf_iterator<char>(In)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_TRUE(Contents.empty()) << "slow filter must suppress fast requests";
+  std::remove(Path.c_str());
+}
+
+TEST(ServeAdmin, MetricsOpAndHttpEndpointServeTheExposition) {
+  ServerOptions Opts;
+  Opts.MetricsPort = 0; // Ephemeral.
+  std::unique_ptr<Server> S = startServer(Opts);
+  EXPECT_NE(S->metricsPort(), 0);
+  Expected<Client> C = Client::connect(S->port());
+  ASSERT_TRUE(C.hasValue());
+
+  json::Value M = roundTripOk(*C, R"({"op":"metrics"})");
+  EXPECT_EQ(M.str("status"), "ok");
+  std::string Exp = M.str("exposition");
+  EXPECT_NE(Exp.find("# TYPE dcb_build_info gauge"), std::string::npos);
+  EXPECT_NE(Exp.find("dcb_uptime_seconds "), std::string::npos);
+
+  // The HTTP listener serves the same document family over HTTP/1.0.
+  RawConn H = RawConn::open(S->metricsPort());
+  H.send("GET /metrics HTTP/1.0\r\nHost: localhost\r\n\r\n");
+  std::string All;
+  for (;;) {
+    char Buf[512];
+    ssize_t N = ::recv(H.Fd, Buf, sizeof(Buf), 0);
+    if (N <= 0)
+      break;
+    All.append(Buf, static_cast<size_t>(N));
+  }
+  EXPECT_EQ(All.rfind("HTTP/1.0 200 OK", 0), 0u);
+  EXPECT_NE(All.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(All.find("Content-Length: "), std::string::npos);
+  EXPECT_NE(All.find("dcb_build_info{"), std::string::npos);
+}
+
+TEST(ServeAdmin, TraceOpDeliversChromeTraceFromTheFlightRecorder) {
+  telemetry::resetForTest();
+  telemetry::setFlightRecorderEnabled(true);
+  std::vector<uint8_t> Image = suiteImage(Arch::SM35);
+  std::unique_ptr<Server> S = startServer(ServerOptions());
+  Expected<Client> C = Client::connect(S->port());
+  ASSERT_TRUE(C.hasValue());
+
+  // A miss routes through the pool, whose worker opens a serve.op span.
+  roundTripOk(*C, requestFor("disasm", Image));
+
+  json::Value T = roundTripOk(*C, R"({"op":"trace"})");
+  EXPECT_EQ(T.str("status"), "ok");
+  std::string Doc = T.str("trace");
+  EXPECT_EQ(Doc.rfind("{\"traceEvents\": [", 0), 0u);
+  Expected<json::Value> TraceJson = json::parse(Doc);
+  ASSERT_TRUE(TraceJson.hasValue())
+      << TraceJson.message() << " in " << Doc.substr(0, 200);
+  ASSERT_NE(TraceJson->field("traceEvents"), nullptr);
+  ASSERT_NE(TraceJson->field("flightDropped"), nullptr);
+#if DCB_TELEMETRY
+  EXPECT_GE(T.num("spans"), 1u);
+  EXPECT_NE(Doc.find("serve.op"), std::string::npos);
+  // last_ms horizon filtering: a window of 0 means "everything"; the op
+  // must also answer with a tiny window without erroring.
+  json::Value Windowed =
+      roundTripOk(*C, R"({"op":"trace","last_ms":3600000})");
+  EXPECT_EQ(Windowed.str("status"), "ok");
+#endif
+  telemetry::setFlightRecorderEnabled(false);
+  telemetry::resetForTest();
 }

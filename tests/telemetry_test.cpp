@@ -176,6 +176,157 @@ TEST_F(TelemetryTest, StatsJsonRoundTripsThroughRenderer) {
   EXPECT_FALSE(bool(renderStatsJson("{\"schema\": \"wrong\"}")));
 }
 
+TEST_F(TelemetryTest, InterpolatedQuantilesInterpolateWithinBuckets) {
+  // histQuantile is a pure function over HistData, so it is testable (and
+  // must hold) in both build modes.
+  HistData H;
+  EXPECT_EQ(histQuantile(H, 0.5), 0.0); // Empty -> 0.
+
+  // 50 samples in bucket 4 ([8,16)) and 50 in bucket 6 ([32,64)).
+  H.Count = 100;
+  H.Buckets[4] = 50;
+  H.Buckets[6] = 50;
+  H.Max = 60;
+  H.Sum = 50 * 10 + 50 * 40;
+  double P50 = histQuantile(H, 0.50);
+  EXPECT_GE(P50, 8.0);
+  EXPECT_LE(P50, 16.0); // Rank 50 is the last sample of bucket 4.
+  double P90 = histQuantile(H, 0.90);
+  EXPECT_GE(P90, 32.0);
+  EXPECT_LE(P90, 60.0);
+  double P99 = histQuantile(H, 0.99);
+  EXPECT_GE(P99, P90); // Monotonic in Q.
+  EXPECT_LE(P99, 60.0); // Never exceeds the observed max.
+
+  // A single-bucket histogram interpolates inside that bucket and the
+  // error is bounded by the bucket width (a factor of two).
+  HistData One;
+  One.Count = 100;
+  One.Buckets[10] = 100; // [512, 1024).
+  One.Max = 1000;
+  EXPECT_GE(histQuantile(One, 0.5), 512.0);
+  EXPECT_LE(histQuantile(One, 0.5), 1000.0);
+
+  // Bucket 0 holds exactly the value zero.
+  HistData Z;
+  Z.Count = 10;
+  Z.Buckets[0] = 10;
+  EXPECT_EQ(histQuantile(Z, 0.99), 0.0);
+}
+
+TEST_F(TelemetryTest, PrometheusExpositionShape) {
+  counter("test.prom_counter").add(7);
+  gauge("test.prom_gauge").set(-3);
+  Histogram &H = histogram("test.prom_hist");
+  H.record(1);
+  H.record(3);
+  H.record(1000);
+  std::string P = statsProm();
+
+  // Provenance is present in every build mode.
+  EXPECT_NE(P.find("# TYPE dcb_build_info gauge"), std::string::npos);
+  EXPECT_NE(P.find("dcb_build_info{revision="), std::string::npos);
+  EXPECT_NE(P.find("dcb_uptime_seconds "), std::string::npos);
+#if DCB_TELEMETRY
+  EXPECT_NE(P.find("# TYPE dcb_test_prom_counter counter"),
+            std::string::npos);
+  EXPECT_NE(P.find("dcb_test_prom_counter 7\n"), std::string::npos);
+  EXPECT_NE(P.find("dcb_test_prom_gauge -3\n"), std::string::npos);
+  // Buckets are cumulative with inclusive integer bounds (2^B - 1):
+  // 1 -> le="1", 3 -> le="3", 1000 -> le="1023", then +Inf == count.
+  EXPECT_NE(P.find("dcb_test_prom_hist_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(P.find("dcb_test_prom_hist_bucket{le=\"3\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(P.find("dcb_test_prom_hist_bucket{le=\"1023\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(P.find("dcb_test_prom_hist_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(P.find("dcb_test_prom_hist_sum 1004\n"), std::string::npos);
+  EXPECT_NE(P.find("dcb_test_prom_hist_count 3\n"), std::string::npos);
+#else
+  // Compiled out: provenance only, telemetry label says so.
+  EXPECT_NE(P.find("telemetry=\"compiled-out\""), std::string::npos);
+  EXPECT_EQ(P.find("dcb_test_prom_counter"), std::string::npos);
+#endif
+}
+
+TEST_F(TelemetryTest, StatsJsonToPromRendersSavedSnapshots) {
+  counter("test.prom_rt").add(2);
+  histogram("test.prom_rt_hist").record(42);
+  Expected<std::string> P = statsJsonToProm(statsJson());
+  ASSERT_TRUE(bool(P)) << P.message();
+  EXPECT_NE(P->find("dcb_build_info{"), std::string::npos);
+#if DCB_TELEMETRY
+  EXPECT_NE(P->find("dcb_test_prom_rt 2\n"), std::string::npos);
+  EXPECT_NE(P->find("dcb_test_prom_rt_hist_bucket{le=\"63\"} 1\n"),
+            std::string::npos);
+#endif
+  EXPECT_FALSE(bool(statsJsonToProm("not json")));
+}
+
+TEST_F(TelemetryTest, FlightRecorderKeepsRecentSpansAndCountsDrops) {
+  // The flight recorder works with the ordinary gates off: it shares the
+  // span site gate as an OR, so turning it on alone records.
+  setEnabled(false);
+  setFlightRecorderEnabled(true);
+  EXPECT_TRUE(flightRecorderEnabled() || !DCB_TELEMETRY);
+  for (int I = 0; I < 300; ++I) {
+    DCB_SPAN("test.flight");
+  }
+  FlightStats FS = flightStats();
+  std::string J = flightTraceJson();
+  // Valid Chrome trace_event JSON in every build mode.
+  EXPECT_EQ(J.find("{\"traceEvents\": ["), 0u);
+  EXPECT_NE(J.find("\"flightDropped\": "), std::string::npos);
+#if DCB_TELEMETRY
+  EXPECT_EQ(FS.Recorded, 300u);
+  EXPECT_EQ(FS.Dropped, 300u - 256u); // Ring capacity is 256 per thread.
+  // The ring retains exactly the newest 256 spans.
+  size_t Events = 0;
+  for (size_t Pos = J.find("\"test.flight\""); Pos != std::string::npos;
+       Pos = J.find("\"test.flight\"", Pos + 1))
+    ++Events;
+  EXPECT_EQ(Events, 256u);
+  EXPECT_NE(J.find("\"flightDropped\": 44"), std::string::npos);
+  // The unbounded trace buffer stayed off.
+  EXPECT_EQ(traceJson().find("test.flight"), std::string::npos);
+  // Snapshots surface the totals as synthetic counters.
+  std::string Stats = statsJson();
+  EXPECT_NE(Stats.find("\"telemetry.flight.spans\": 300"),
+            std::string::npos);
+  EXPECT_NE(Stats.find("\"telemetry.flight.dropped\": 44"),
+            std::string::npos);
+#else
+  EXPECT_EQ(FS.Recorded, 0u);
+#endif
+
+  // Off again: nothing further records, and one relaxed load is all a
+  // disabled span site pays (contract; asserted here only functionally).
+  setFlightRecorderEnabled(false);
+  { DCB_SPAN("test.flight_off"); }
+  EXPECT_EQ(flightStats().Recorded, FS.Recorded);
+  EXPECT_EQ(flightTraceJson().find("test.flight_off"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, BuildInfoAndProvenanceAreStamped) {
+  BuildInfo B = buildInfo();
+  EXPECT_FALSE(B.GitRev.empty());
+  EXPECT_TRUE(B.BuildType == "release" || B.BuildType == "debug");
+#if DCB_TELEMETRY
+  EXPECT_EQ(B.Telemetry, countersEnabled() ? "on" : "off");
+#else
+  EXPECT_EQ(B.Telemetry, "compiled-out");
+#endif
+  std::string J = statsJson();
+  EXPECT_NE(J.find("\"provenance\""), std::string::npos);
+  EXPECT_NE(J.find("\"dcb_git_rev\""), std::string::npos);
+  EXPECT_NE(J.find("\"uptime_ns\""), std::string::npos);
+  // The provenance block round-trips through the stats renderer.
+  Expected<std::string> Rendered = renderStatsJson(J);
+  ASSERT_TRUE(bool(Rendered)) << Rendered.message();
+}
+
 TEST_F(TelemetryTest, ResetZeroesEverything) {
   counter("test.reset").add(9);
   histogram("test.reset_hist").record(9);

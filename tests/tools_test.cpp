@@ -545,3 +545,80 @@ TEST(DcbServe, DaemonSmokeOverPortFile) {
   EXPECT_TRUE(Exited) << "daemon did not exit after the shutdown op";
   runCmd("kill $(cat " + Work + "/serve.pid) 2> /dev/null");
 }
+
+TEST(DcbServe, Sigusr1DumpsStatsAndTraceWithoutStopping) {
+  const std::string Dcb = toolPath();
+  const std::string Work = workDir() + "/serve_usr1";
+  ASSERT_EQ(runCmd("mkdir -p " + Work), 0);
+  ASSERT_EQ(runCmd(Dcb + " make-suite sm_35 -o " + Work +
+                   "/suite.cubin > /dev/null"),
+            0);
+
+  // A daemon with --stats/--trace destinations: SIGUSR1 must dump both
+  // files while the process keeps serving.
+  ASSERT_EQ(runCmd("rm -f " + Work + "/port.txt && sh -c '" + Dcb +
+                   " serve --port-file " + Work + "/port.txt --cache-mb 8" +
+                   " --stats=" + Work + "/dump_stats.json --trace=" + Work +
+                   "/dump_trace.json 2> " + Work + "/serve.log & echo $! > " +
+                   Work + "/serve.pid'"),
+            0);
+  bool PortUp = false;
+  for (int I = 0; I < 100 && !PortUp; ++I) {
+    PortUp = !slurp(Work + "/port.txt").empty();
+    if (!PortUp)
+      runCmd("sleep 0.1");
+  }
+  ASSERT_TRUE(PortUp) << slurp(Work + "/serve.log");
+
+  // Some traffic first, so the dumped snapshot has something to show.
+  EXPECT_EQ(runCmd(Dcb + " client disasm " + Work + "/suite.cubin" +
+                   " --port-file " + Work + "/port.txt > /dev/null"),
+            0);
+
+  ASSERT_EQ(runCmd("kill -USR1 $(cat " + Work + "/serve.pid)"), 0);
+  bool Dumped = false;
+  for (int I = 0; I < 100 && !Dumped; ++I) {
+    Dumped = !slurp(Work + "/dump_stats.json").empty() &&
+             !slurp(Work + "/dump_trace.json").empty();
+    if (!Dumped)
+      runCmd("sleep 0.1");
+  }
+  ASSERT_TRUE(Dumped) << slurp(Work + "/serve.log");
+
+  // The stats dump is a valid dcb-stats-v1 document: `dcb stats` renders
+  // it, and it carries provenance either way. The trace dump is the
+  // flight recorder's ring as a Chrome trace_event document.
+  std::string StatsDoc = slurp(Work + "/dump_stats.json");
+  EXPECT_NE(StatsDoc.find("\"dcb-stats-v1\""), std::string::npos) << StatsDoc;
+  EXPECT_NE(StatsDoc.find("\"provenance\""), std::string::npos);
+  ASSERT_EQ(runCmd(Dcb + " stats " + Work + "/dump_stats.json > " + Work +
+                   "/dump_rendered.txt"),
+            0);
+#if DCB_TELEMETRY
+  // The daemon enables counters and the flight recorder unconditionally,
+  // so the served disasm shows up in the snapshot and the ring.
+  EXPECT_NE(StatsDoc.find("serve.request_ns"), std::string::npos) << StatsDoc;
+  EXPECT_NE(slurp(Work + "/dump_trace.json").find("\"serve.op\""),
+            std::string::npos);
+#else
+  EXPECT_NE(slurp(Work + "/dump_rendered.txt").find("telemetry:"),
+            std::string::npos);
+#endif
+  EXPECT_EQ(slurp(Work + "/dump_trace.json").find("{\"traceEvents\": ["), 0u);
+
+  // The dump is non-fatal: the daemon still answers, then shuts down.
+  EXPECT_EQ(runCmd(Dcb + " client ping --port-file " + Work +
+                   "/port.txt > /dev/null"),
+            0);
+  EXPECT_EQ(runCmd(Dcb + " client shutdown --port-file " + Work +
+                   "/port.txt > /dev/null"),
+            0);
+  bool Exited = false;
+  for (int I = 0; I < 100 && !Exited; ++I) {
+    Exited = runCmd("kill -0 $(cat " + Work + "/serve.pid) 2> /dev/null") != 0;
+    if (!Exited)
+      runCmd("sleep 0.1");
+  }
+  EXPECT_TRUE(Exited) << "daemon did not exit after the shutdown op";
+  runCmd("kill $(cat " + Work + "/serve.pid) 2> /dev/null");
+}

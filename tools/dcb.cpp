@@ -45,6 +45,7 @@
 #include "support/Telemetry.h"
 
 #include <chrono>
+#include <cinttypes>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -536,12 +537,20 @@ int cmdLint(const Args &A) {
 
 int cmdStats(const Args &A) {
   if (A.Positional.empty())
-    die("usage: dcb stats <stats.json>");
-  Expected<std::string> Table =
-      telemetry::renderStatsJson(readFile(A.Positional[0]));
-  if (!Table)
-    die(Table.message());
-  std::fputs(Table->c_str(), stdout);
+    die("usage: dcb stats <stats.json> [--format=table|prom]");
+  std::string Format = A.get("--format").value_or("table");
+  if (Format != "table" && Format != "prom")
+    die("bad --format value '" + Format + "' (table|prom)");
+  std::string Json = readFile(A.Positional[0]);
+  // Both renderers consume the same dcb-stats-v1 document; `prom` turns a
+  // saved snapshot into the Prometheus text exposition a live daemon would
+  // serve on --metrics-port, so offline files and scrapes stay comparable.
+  Expected<std::string> Out = Format == "prom"
+                                  ? telemetry::statsJsonToProm(Json)
+                                  : telemetry::renderStatsJson(Json);
+  if (!Out)
+    die(Out.message());
+  std::fputs(Out->c_str(), stdout);
   return 0;
 }
 
@@ -705,8 +714,16 @@ int cmdDiffexec(const Args &A) {
 }
 
 volatile std::sig_atomic_t ServeStopSignal = 0;
+volatile std::sig_atomic_t ServeDumpSignal = 0;
 
 void onServeSignal(int) { ServeStopSignal = 1; }
+void onServeDumpSignal(int) { ServeDumpSignal = 1; }
+
+/// Where a SIGUSR1 dump goes: the global --stats/--trace destinations,
+/// stashed by main() before dispatch so the daemon loop can write them
+/// while the process keeps running.
+std::optional<std::string> ServeStatsPath;
+std::optional<std::string> ServeTracePath;
 
 int cmdServe(const Args &A) {
   serve::ServerOptions Opts;
@@ -735,6 +752,22 @@ int cmdServe(const Args &A) {
   Uint("--shards", Opts.CacheShards);
   if (auto V = A.get("--persist"))
     Opts.PersistPath = *V;
+  if (auto V = A.get("--metrics-port")) {
+    std::optional<uint64_t> N = parseUInt(*V);
+    if (!N || *N > 65535)
+      die("bad --metrics-port value '" + *V + "'");
+    Opts.MetricsPort = static_cast<int>(*N);
+  }
+  if (auto V = A.get("--request-log"))
+    Opts.RequestLogPath = *V;
+  Uint("--slow-ms", Opts.SlowMs);
+
+  // The daemon always runs with counters and the span flight recorder on:
+  // the stats/health/trace admin ops and `dcb top` read them live, and the
+  // gated cost is the bench-enforced <3% bound. One-shot commands keep the
+  // opt-in default.
+  telemetry::setCountersEnabled(true);
+  telemetry::setFlightRecorderEnabled(true);
 
   std::optional<analyzer::EncodingDatabase> Db;
   if (auto V = A.get("--db"))
@@ -745,15 +778,36 @@ int cmdServe(const Args &A) {
     die(E.message());
   if (auto V = A.get("--port-file"))
     writeFile(*V, std::to_string(Server.port()) + "\n");
+  if (auto V = A.get("--metrics-port-file"))
+    writeFile(*V, std::to_string(Server.metricsPort()) + "\n");
   std::fprintf(stderr, "dcb serve: listening on 127.0.0.1:%u\n",
                static_cast<unsigned>(Server.port()));
+  if (Server.metricsPort())
+    std::fprintf(stderr, "dcb serve: metrics on 127.0.0.1:%u\n",
+                 static_cast<unsigned>(Server.metricsPort()));
 
   // SIGTERM/SIGINT and the client `shutdown` op land on the same flagged
-  // path; the loop below is the only place that observes either.
+  // path; the loop below is the only place that observes either. SIGUSR1
+  // dumps the global --stats/--trace destinations without stopping
+  // (bare --stats = table to stderr; the trace is the flight recorder's
+  // recent-span ring, so it needs no prior opt-in).
   std::signal(SIGTERM, onServeSignal);
   std::signal(SIGINT, onServeSignal);
-  while (!ServeStopSignal && !Server.stopRequested())
+  std::signal(SIGUSR1, onServeDumpSignal);
+  while (!ServeStopSignal && !Server.stopRequested()) {
+    if (ServeDumpSignal) {
+      ServeDumpSignal = 0;
+      if (ServeStatsPath && !ServeStatsPath->empty())
+        writeFile(*ServeStatsPath, telemetry::statsJson());
+      else
+        std::fputs(telemetry::statsTable().c_str(), stderr);
+      if (ServeTracePath)
+        writeFile(*ServeTracePath, telemetry::flightTraceJson());
+      std::fprintf(stderr, "dcb serve: dumped stats%s on SIGUSR1\n",
+                   ServeTracePath ? " and flight trace" : "");
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
   std::fprintf(stderr, "dcb serve: shutting down\n");
   Server.stop();
   return 0;
@@ -830,7 +884,8 @@ int cmdClient(const Args &A) {
     const char *Flag, *Field;
   } NumKeys[] = {{"--jobs", "jobs"},   {"--threads", "threads"},
                  {"--blocks", "blocks"}, {"--warp-size", "warp"},
-                 {"--seeds", "seeds"}, {"--seed", "seed"}};
+                 {"--seeds", "seeds"}, {"--seed", "seed"},
+                 {"--last-ms", "last_ms"}};
   for (const auto &Key : NumKeys) {
     if (auto V = A.get(Key.Flag)) {
       std::optional<uint64_t> N = parseUInt(*V);
@@ -889,9 +944,138 @@ int cmdClient(const Args &A) {
     std::fputs(Output->Str.c_str(), stdout);
     return static_cast<int>(V->num("exit", 0));
   }
+  // The `metrics` and `trace` admin ops wrap a whole document in one
+  // string field; print it verbatim so `dcb client metrics` is directly
+  // scrapeable and `dcb client trace > t.json` loads in Perfetto.
+  if (const serve::json::Value *Doc = V->field("exposition")) {
+    std::fputs(Doc->Str.c_str(), stdout);
+    return 0;
+  }
+  if (const serve::json::Value *Doc = V->field("trace")) {
+    std::fputs(Doc->Str.c_str(), stdout);
+    if (Doc->Str.empty() || Doc->Str.back() != '\n')
+      std::fputs("\n", stdout);
+    return 0;
+  }
   // Control ops (ping/stats/shutdown): the raw response line is the
   // payload.
   std::printf("%s\n", Resp->c_str());
+  return 0;
+}
+
+/// One `{"op":"stats"}` poll, reduced to the totals `dcb top` rates.
+/// Every field is a monotonic counter on the server, so consecutive
+/// samples subtract into exact per-interval deltas.
+struct TopSample {
+  uint64_t UptimeNs = 0;
+  uint64_t Requests = 0;
+  uint64_t CacheHits = 0;
+  uint64_t RenderHits = 0;
+  uint64_t Busy = 0;
+  uint64_t Active = 0;
+  telemetry::HistData RequestNs; ///< serve.request_ns, zero when absent.
+};
+
+TopSample topSample(serve::Client &C) {
+  Expected<std::string> Resp = C.roundTrip("{\"op\":\"stats\"}");
+  if (!Resp)
+    die(Resp.message());
+  Expected<serve::json::Value> V = serve::json::parse(*Resp);
+  if (!V)
+    die("bad stats response: " + V.message());
+  if (V->str("status") != "ok")
+    die("stats op failed: " + V->str("error", "server error"));
+  TopSample S;
+  S.UptimeNs = V->num("uptime_ns");
+  if (const serve::json::Value *Sess = V->field("sessions")) {
+    S.Requests = Sess->num("requests");
+    S.Busy = Sess->num("busy");
+    S.Active = Sess->num("active");
+  }
+  if (const serve::json::Value *Cache = V->field("cache"))
+    S.CacheHits = Cache->num("hits");
+  if (const serve::json::Value *Render = V->field("render"))
+    S.RenderHits = Render->num("hits");
+  const serve::json::Value *Stats = V->field("telemetry_stats");
+  const serve::json::Value *Hists =
+      Stats ? Stats->field("histograms") : nullptr;
+  const serve::json::Value *H =
+      Hists ? Hists->field("serve.request_ns") : nullptr;
+  if (H && H->isObject()) {
+    S.RequestNs.Count = H->num("count");
+    S.RequestNs.Sum = H->num("sum");
+    S.RequestNs.Max = H->num("max");
+    if (const serve::json::Value *Buckets = H->field("buckets"))
+      for (const serve::json::Value &Pair : Buckets->Arr)
+        if (Pair.Arr.size() == 2) {
+          auto B = static_cast<unsigned>(Pair.Arr[0].Num);
+          if (B < telemetry::HistData::NumBuckets)
+            S.RequestNs.Buckets[B] =
+                static_cast<uint64_t>(Pair.Arr[1].Num);
+        }
+  }
+  return S;
+}
+
+/// `dcb top`: a load meter over a running daemon. Polls `{"op":"stats"}`
+/// and prints one line per interval from snapshot deltas — req/s, cache
+/// hit rate (content cache + render memo over requests), busy sheds, and
+/// interpolated p50/p99 of the per-interval serve.request_ns histogram
+/// delta. Time base is the server's own uptime_ns delta, so client-side
+/// scheduling jitter cannot skew the rates.
+int cmdTop(const Args &A) {
+  uint64_t IntervalMs = 1000, Count = 0;
+  if (auto V = A.get("--interval-ms")) {
+    std::optional<uint64_t> N = parseUInt(*V);
+    if (!N || *N == 0)
+      die("bad --interval-ms value '" + *V + "'");
+    IntervalMs = *N;
+  }
+  if (auto V = A.get("--count")) {
+    std::optional<uint64_t> N = parseUInt(*V);
+    if (!N)
+      die("bad --count value '" + *V + "'");
+    Count = *N; // 0 = run until interrupted.
+  }
+  Expected<serve::Client> C = serve::Client::connect(clientPort(A));
+  if (!C)
+    die(C.message());
+
+  std::printf("%10s %6s %8s %9s %9s %6s\n", "req/s", "hit%", "busy/s",
+              "p50(ms)", "p99(ms)", "conns");
+  TopSample Prev = topSample(*C);
+  for (uint64_t Sample = 0; Count == 0 || Sample < Count; ++Sample) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(IntervalMs));
+    TopSample Cur = topSample(*C);
+    double Dt = static_cast<double>(Cur.UptimeNs - Prev.UptimeNs) / 1e9;
+    if (Dt <= 0)
+      Dt = static_cast<double>(IntervalMs) / 1e3;
+    uint64_t DReq = Cur.Requests - Prev.Requests;
+    uint64_t DHit = (Cur.CacheHits + Cur.RenderHits) -
+                    (Prev.CacheHits + Prev.RenderHits);
+    uint64_t DBusy = Cur.Busy - Prev.Busy;
+    double HitPct =
+        DReq ? 100.0 * static_cast<double>(DHit) / static_cast<double>(DReq)
+             : 0.0;
+    telemetry::HistData D;
+    D.Count = Cur.RequestNs.Count - Prev.RequestNs.Count;
+    D.Sum = Cur.RequestNs.Sum - Prev.RequestNs.Sum;
+    D.Max = Cur.RequestNs.Max; // Upper cap; per-interval max is unknowable.
+    for (unsigned B = 0; B < telemetry::HistData::NumBuckets; ++B)
+      D.Buckets[B] = Cur.RequestNs.Buckets[B] - Prev.RequestNs.Buckets[B];
+    char P50[32] = "-", P99[32] = "-";
+    if (D.Count) {
+      std::snprintf(P50, sizeof(P50), "%.2f",
+                    telemetry::histQuantile(D, 0.50) / 1e6);
+      std::snprintf(P99, sizeof(P99), "%.2f",
+                    telemetry::histQuantile(D, 0.99) / 1e6);
+    }
+    std::printf("%10.0f %6.1f %8.0f %9s %9s %6" PRIu64 "\n",
+                static_cast<double>(DReq) / Dt, HitPct,
+                static_cast<double>(DBusy) / Dt, P50, P99, Cur.Active);
+    std::fflush(stdout);
+    Prev = Cur;
+  }
   return 0;
 }
 
@@ -939,9 +1123,14 @@ int cmdClient(const Args &A) {
       "                                          final memory (--regs: also\n"
       "                                          registers); exits 1 on any\n"
       "                                          behavioral mismatch\n"
-      "  stats <stats.json>                      render a saved stats file\n"
+      "  stats <stats.json> [--format=table|prom]\n"
+      "                                          render a saved stats file\n"
+      "                                          (prom = Prometheus text\n"
+      "                                          exposition)\n"
       "  serve [--port N] [--port-file FILE] [--db <db>] [--jobs N]\n"
       "        [--max-queued N] [--cache-mb N] [--shards N] [--persist FILE]\n"
+      "        [--metrics-port N] [--metrics-port-file FILE]\n"
+      "        [--request-log FILE.jsonl] [--slow-ms N]\n"
       "                                          long-running daemon on\n"
       "                                          127.0.0.1 (newline-JSON\n"
       "                                          protocol, docs/SERVE.md);\n"
@@ -950,7 +1139,14 @@ int cmdClient(const Args &A) {
       "                                          ephemeral, the bound port\n"
       "                                          goes to --port-file;\n"
       "                                          --persist reloads the\n"
-      "                                          result cache on restart\n"
+      "                                          result cache on restart;\n"
+      "                                          --metrics-port serves the\n"
+      "                                          Prometheus exposition over\n"
+      "                                          HTTP; --request-log writes\n"
+      "                                          dcb-reqlog-v1 JSONL (with\n"
+      "                                          --slow-ms N: outliers only);\n"
+      "                                          SIGUSR1 dumps --stats/\n"
+      "                                          --trace without stopping\n"
       "  client <op> [<file> [<kernel|all>]] (--port N | --port-file FILE)\n"
       "         [--retries N]\n"
       "                                          send one request to a\n"
@@ -966,6 +1162,16 @@ int cmdClient(const Args &A) {
       "                                          over one connection; raw\n"
       "                                          response lines (request\n"
       "                                          order) to stdout\n"
+      "  (admin ops: client stats | health | metrics | trace [--last-ms N]\n"
+      "   — answered inline on the reactor, so they work at saturation;\n"
+      "   metrics prints the Prometheus exposition, trace a Chrome\n"
+      "   trace_event JSON of the daemon's recent spans)\n"
+      "  top (--port N | --port-file FILE) [--interval-ms N] [--count N]\n"
+      "                                          live load meter: polls the\n"
+      "                                          stats op and prints req/s,\n"
+      "                                          cache hit %%, busy sheds\n"
+      "                                          and p50/p99 latency from\n"
+      "                                          snapshot deltas\n"
       "\n"
       "global options (every command):\n"
       "  --stats            print the telemetry table to stderr on exit\n"
@@ -1006,6 +1212,8 @@ int runCommand(const std::string &Cmd, const Args &A) {
     return cmdServe(A);
   if (Cmd == "client")
     return cmdClient(A);
+  if (Cmd == "top")
+    return cmdTop(A);
   usage();
 }
 
@@ -1033,6 +1241,8 @@ int main(int Argc, char **Argv) {
     die("--trace needs a file: --trace=FILE.json");
   telemetry::setCountersEnabled(Stats.has_value());
   telemetry::setSpansEnabled(Trace.has_value());
+  ServeStatsPath = Stats;
+  ServeTracePath = Trace;
 
   int Ret = runCommand(Cmd, A);
 
