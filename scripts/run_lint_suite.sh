@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # Lints every workload-suite program on every supported generation with
-# `dcb lint`, saving one dcb-lint-v1 JSON report per architecture. Any
-# finding (the tool exits nonzero) fails the run. Also audits the
-# ground-truth ISA tables themselves.
+# `dcb lint`, saving one dcb-lint-v1 JSON report per architecture, then
+# runs the typed checkers (`dcb analyze --types|--bounds|--races`) over
+# the same suites, saving one dcb-analysis-v1 JSON report per mode. Any
+# lint finding (the tool exits nonzero) fails the run; analyze runs with
+# --fail-on=never so its reports are artifacts, not gates — the suite
+# intentionally contains racy kernels. Also audits the ground-truth ISA
+# tables themselves.
 #
 # Usage: scripts/run_lint_suite.sh [path-to-dcb] [output-dir]
 set -euo pipefail
@@ -10,6 +14,7 @@ set -euo pipefail
 DCB="${1:-./build/tools/dcb}"
 OUT="${2:-lint-reports}"
 ARCHS=(sm_20 sm_21 sm_30 sm_35 sm_50 sm_52 sm_60 sm_61 sm_70)
+ANALYZE_ARCHS=(sm_35 sm_52 sm_70)
 
 mkdir -p "$OUT"
 status=0
@@ -24,6 +29,23 @@ for arch in "${ARCHS[@]}"; do
     echo "lint $arch: FINDINGS (see $report)" >&2
     status=1
   fi
+  rm -f "$cubin"
+done
+
+for arch in "${ANALYZE_ARCHS[@]}"; do
+  cubin="$OUT/suite-$arch.cubin"
+  "$DCB" make-suite "$arch" -o "$cubin" > /dev/null
+  for mode in types bounds races; do
+    report="$OUT/analysis-$mode-$arch.json"
+    if "$DCB" analyze --"$mode" "$cubin" --fail-on=never \
+        --json="$report" > /dev/null; then
+      findings=$(grep -c '"rule":' "$report" || true)
+      echo "analyze --$mode $arch: $findings findings (see $report)"
+    else
+      echo "analyze --$mode $arch: FAILED" >&2
+      status=1
+    fi
+  done
   rm -f "$cubin"
 done
 

@@ -1,0 +1,267 @@
+//===- analysis/TypeInference.cpp -----------------------------------------===//
+
+#include "analysis/TypeInference.h"
+
+#include "analysis/Dataflow.h"
+#include "support/Telemetry.h"
+#include "vm/Dispatch.h"
+
+#include <deque>
+
+using namespace dcb;
+using namespace dcb::analysis;
+using sass::Operand;
+using sass::OperandKind;
+
+namespace {
+
+struct Metrics {
+  telemetry::Counter &Kernels = telemetry::counter("analysis.types.kernels");
+  telemetry::Counter &Visits =
+      telemetry::counter("analysis.types.block_visits");
+};
+Metrics &metrics() {
+  static Metrics M;
+  return M;
+}
+
+/// The mask an operand contributes when read. Constant-memory contents are
+/// launch data, so they read as unknown; RZ reads as unknown (it is the
+/// literal zero, equally valid under every interpretation).
+TypeMask operandMask(const std::vector<TypeMask> &Types, const Operand &Op) {
+  switch (Op.Kind) {
+  case OperandKind::Register:
+    return Op.Value[0] >= 0 &&
+                   Op.Value[0] < static_cast<int64_t>(kNumRegSlots)
+               ? Types[static_cast<size_t>(Op.Value[0])]
+               : 0;
+  case OperandKind::IntImm:
+    return kTypeI32;
+  case OperandKind::FloatImm:
+    return kTypeF32;
+  default:
+    return 0;
+  }
+}
+
+TypeMask regionPtrBit(vm::RegionKind Region) {
+  switch (Region) {
+  case vm::RegionKind::Shared:
+    return kTypePtrShared;
+  case vm::RegionKind::Local:
+    return kTypePtrLocal;
+  case vm::RegionKind::Global:
+    break;
+  }
+  return kTypePtrGlobal;
+}
+
+/// What the instruction's register definitions hold afterwards. One mask
+/// for all register defs: every multi-def form here (SHFL) writes exactly
+/// one general register; predicates carry no mask.
+TypeMask defMask(const sass::Instruction &Asm, const vm::Pre &P,
+                 const std::vector<TypeMask> &Types) {
+  const auto &Ops = Asm.Operands;
+  auto ptrBitsOf = [&](size_t Idx) -> TypeMask {
+    return Idx < Ops.size()
+               ? static_cast<TypeMask>(operandMask(Types, Ops[Idx]) &
+                                       kTypePtrAny)
+               : static_cast<TypeMask>(0);
+  };
+  switch (P.Kind) {
+  case vm::OpKind::Mov:
+    return Ops.size() >= 2 ? operandMask(Types, Ops[1]) : 0;
+  case vm::OpKind::S2R:
+    return kTypeI32;
+  case vm::OpKind::IAdd:
+    // Pointer arithmetic: base + offset stays a pointer to the same space.
+    return kTypeI32 | ptrBitsOf(1) | ptrBitsOf(2);
+  case vm::OpKind::IAdd3:
+    return kTypeI32 | ptrBitsOf(1) | ptrBitsOf(2) | ptrBitsOf(3);
+  case vm::OpKind::IMad:
+    // base + index * stride: only the addend carries the pointer.
+    return kTypeI32 | ptrBitsOf(3);
+  case vm::OpKind::IMul:
+  case vm::OpKind::Xmad:
+  case vm::OpKind::Bfe:
+  case vm::OpKind::Bfi:
+  case vm::OpKind::Popc:
+  case vm::OpKind::Lop3:
+  case vm::OpKind::Imnmx:
+  case vm::OpKind::Lop:
+  case vm::OpKind::Shl:
+  case vm::OpKind::Shr:
+  case vm::OpKind::F2I:
+  case vm::OpKind::Atom:
+  case vm::OpKind::Tex:
+    return kTypeI32;
+  case vm::OpKind::FAdd:
+  case vm::OpKind::FMul:
+  case vm::OpKind::Ffma:
+  case vm::OpKind::Fmnmx:
+  case vm::OpKind::Mufu:
+  case vm::OpKind::Rro:
+  case vm::OpKind::I2F:
+    return kTypeF32;
+  case vm::OpKind::DAdd:
+  case vm::OpKind::DMul:
+  case vm::OpKind::Dfma:
+    return kTypeF64;
+  case vm::OpKind::F2F:
+    // F2FKind names are <dst><src>.
+    if (P.F2F == vm::F2FKind::F32F64)
+      return kTypeF32;
+    if (P.F2F == vm::F2FKind::F64F32)
+      return kTypeF64;
+    return 0;
+  case vm::OpKind::Sel:
+    return Ops.size() >= 3 ? static_cast<TypeMask>(
+                                 operandMask(Types, Ops[1]) |
+                                 operandMask(Types, Ops[2]))
+                           : 0;
+  case vm::OpKind::Shfl:
+    // SHFL Pd, Rd, Rs, sel: the data register passes through.
+    return Ops.size() >= 3 ? operandMask(Types, Ops[2]) : 0;
+  default:
+    // Loads, LDC (launch data), predicate producers, control flow and
+    // anything unclassified define unknown.
+    return 0;
+  }
+}
+
+} // namespace
+
+bool analysis::typeConflict(TypeMask M) {
+  if ((M & kTypeFloatAny) && (M & (kTypeI32 | kTypePtrAny)))
+    return true;
+  if ((M & kTypeF32) && (M & kTypeF64))
+    return true;
+  return __builtin_popcount(M & kTypePtrAny) >= 2;
+}
+
+std::string analysis::typeMaskName(TypeMask M) {
+  if (!M)
+    return "unknown";
+  static const struct {
+    TypeMask Bit;
+    const char *Name;
+  } Bits[] = {
+      {kTypeI32, "i32"},
+      {kTypeF32, "f32"},
+      {kTypeF64, "f64"},
+      {kTypePtrGlobal, "ptr(global)"},
+      {kTypePtrShared, "ptr(shared)"},
+      {kTypePtrLocal, "ptr(local)"},
+      {kTypePtrConst, "ptr(const)"},
+  };
+  std::string Out;
+  for (const auto &B : Bits) {
+    if (!(M & B.Bit))
+      continue;
+    if (!Out.empty())
+      Out += '|';
+    Out += B.Name;
+  }
+  return Out;
+}
+
+void analysis::applyTypeTransfer(const ir::Inst &I,
+                                 std::vector<TypeMask> &Types) {
+  const sass::Instruction &Asm = I.Asm;
+  const vm::Pre P = vm::predecode(Asm);
+  const auto &Ops = Asm.Operands;
+
+  // Use-site refinements first: dereferencing a register is evidence it
+  // holds a pointer into the access's space, and a register-indexed
+  // constant-memory operand is evidence of a constant-bank offset. (For
+  // LD R0, [R0] the refinement lands before the definition kills it.)
+  for (const Operand &Op : Ops) {
+    if (Op.Kind == OperandKind::Memory && Op.Value[0] >= 0 &&
+        Op.Value[0] < static_cast<int64_t>(kNumRegSlots))
+      Types[static_cast<size_t>(Op.Value[0])] |= regionPtrBit(P.Region);
+    if (Op.Kind == OperandKind::ConstMem && Op.HasRegister &&
+        Op.Value[2] >= 0 &&
+        Op.Value[2] < static_cast<int64_t>(kNumRegSlots))
+      Types[static_cast<size_t>(Op.Value[2])] |= kTypePtrConst;
+  }
+
+  // Definitions. An unguarded def overwrites (the old value is gone); a
+  // guarded def may not execute, so the new mask joins the old one.
+  const TypeMask Mask = defMask(Asm, P, Types);
+  const bool Guarded = Asm.hasGuard();
+  visitRegs(Asm, [&](int Slot, unsigned Width, bool IsDef) {
+    if (!IsDef || !isRegSlot(static_cast<unsigned>(Slot)))
+      return;
+    for (unsigned Off = 0; Off < Width; ++Off) {
+      unsigned S = static_cast<unsigned>(Slot) + Off;
+      if (S >= kNumRegSlots)
+        break;
+      Types[S] = Guarded ? static_cast<TypeMask>(Types[S] | Mask) : Mask;
+    }
+  });
+}
+
+TypeInference analysis::inferTypes(const ir::Kernel &K) {
+  DCB_SPAN("analysis.types");
+  metrics().Kernels.add(1);
+
+  const size_t N = K.Blocks.size();
+  TypeInference T;
+  T.In.assign(N, std::vector<TypeMask>(kNumRegSlots, 0));
+  T.Out.assign(N, std::vector<TypeMask>(kNumRegSlots, 0));
+  if (N == 0)
+    return T;
+
+  const Cfg C = Cfg::build(K);
+
+  // The transfer is input-dependent (MOV/SEL/SHFL copy source masks), so
+  // this is not a gen/kill problem; the worklist mirrors solveForwardMay's
+  // discipline exactly — RPO seed, FIFO order — for a deterministic
+  // fixpoint. All transfers are monotone joins, so iteration ascends from
+  // bottom and terminates.
+  std::deque<int> Worklist;
+  std::vector<bool> Queued(N, false);
+  for (int B : C.Rpo) {
+    Worklist.push_back(B);
+    Queued[B] = true;
+  }
+  while (!Worklist.empty()) {
+    int B = Worklist.front();
+    Worklist.pop_front();
+    Queued[B] = false;
+    ++T.Iterations;
+
+    std::vector<TypeMask> &In = T.In[B];
+    std::fill(In.begin(), In.end(), 0);
+    for (int P : C.Preds[B])
+      for (size_t S = 0; S < kNumRegSlots; ++S)
+        In[S] |= T.Out[P][S];
+
+    std::vector<TypeMask> NewOut = In;
+    for (const ir::Inst &I : K.Blocks[B].Insts)
+      applyTypeTransfer(I, NewOut);
+    if (NewOut != T.Out[B]) {
+      T.Out[B] = std::move(NewOut);
+      for (int S : K.Blocks[B].Succs) {
+        if (S >= 0 && static_cast<size_t>(S) < N && !Queued[S]) {
+          Queued[S] = true;
+          Worklist.push_back(S);
+        }
+      }
+    }
+  }
+  metrics().Visits.add(T.Iterations);
+  return T;
+}
+
+void TypeInference::forEachTypeBefore(
+    const ir::Kernel &K, int B,
+    const std::function<void(int, const std::vector<TypeMask> &)> &Visit)
+    const {
+  std::vector<TypeMask> Types = In[B];
+  const std::vector<ir::Inst> &Insts = K.Blocks[B].Insts;
+  for (size_t I = 0; I < Insts.size(); ++I) {
+    Visit(static_cast<int>(I), Types);
+    applyTypeTransfer(Insts[I], Types);
+  }
+}

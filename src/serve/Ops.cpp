@@ -5,6 +5,8 @@
 #include "analysis/Cfg.h"
 #include "analysis/Findings.h"
 #include "analysis/Hazards.h"
+#include "analysis/RegModel.h"
+#include "analysis/TypeInference.h"
 #include "asmgen/TableAssembler.h"
 #include "elf/Cubin.h"
 #include "ir/Builder.h"
@@ -107,10 +109,17 @@ Expected<OpResult> dcb::serve::opExec(const std::string &FileBytes,
     std::snprintf(Line, sizeof(Line),
                   "%s: issues=%" PRIu64 " steps=%" PRIu64 " wraps=%" PRIu64
                   " barriers=%" PRIu64 " global=%016" PRIx64
-                  " regs=%016" PRIx64 "\n",
+                  " regs=%016" PRIx64,
                   S.Kernel.c_str(), S.Issues, S.LaneSteps, S.MemWraps,
                   S.Barriers, S.GlobalCrc, S.RegsCrc);
     R.Output += Line;
+    // Only present when asked for, so pre-watch outputs stay byte-stable.
+    if (Options.WatchShared) {
+      std::snprintf(Line, sizeof(Line), " shared_conflicts=%" PRIu64,
+                    S.SharedConflicts);
+      R.Output += Line;
+    }
+    R.Output += "\n";
   }
   return R;
 }
@@ -128,5 +137,113 @@ Expected<OpResult> dcb::serve::opLint(const std::string &FileBytes,
   OpResult Out;
   Out.Output = R.toJson(TargetName);
   Out.Exit = R.clean() ? 0 : 1;
+  return Out;
+}
+
+namespace {
+
+/// Per-kernel fragment of the dcb-analysis-v1 document: name/arch always,
+/// plus the solver's type facts in --types mode (non-bottom register
+/// masks at each block exit, in fixed slot order — the byte-identity
+/// surface the determinism tests compare across thread counts).
+std::string kernelFragment(const ir::Kernel &K, const std::string &Mode) {
+  std::string Out = "{\"name\": \"";
+  analysis::appendJsonEscaped(Out, K.Name);
+  Out += "\", \"arch\": \"" + std::string(archName(K.A)) + "\"";
+  if (Mode != "types")
+    return Out + "}";
+
+  const analysis::TypeInference T = analysis::inferTypes(K);
+  Out += ", \"iterations\": " + std::to_string(T.Iterations);
+  Out += ", \"blocks\": [";
+  for (size_t B = 0; B < K.Blocks.size(); ++B) {
+    if (B)
+      Out += ", ";
+    Out += "{\"out\": {";
+    bool First = true;
+    for (unsigned S = 0; S < analysis::kNumRegSlots; ++S) {
+      if (!T.Out[B][S])
+        continue;
+      if (!First)
+        Out += ", ";
+      First = false;
+      Out += "\"" + analysis::slotName(S) + "\": \"" +
+             analysis::typeMaskName(T.Out[B][S]) + "\"";
+    }
+    Out += "}}";
+  }
+  Out += "]";
+  return Out + "}";
+}
+
+} // namespace
+
+Expected<OpResult> dcb::serve::opAnalyze(const std::string &FileBytes,
+                                         const std::string &TargetName,
+                                         const AnalyzeOptions &Options) {
+  if (Options.Mode != "types" && Options.Mode != "bounds" &&
+      Options.Mode != "races")
+    return Failure("analyze mode must be types, bounds or races");
+  Expected<ir::Program> P = loadProgramBytes(FileBytes, TargetName);
+  if (!P)
+    return P.takeError();
+
+  // Per-kernel analysis fans out over the pool; fragments and reports
+  // join back in kernel order, so the document is byte-identical for
+  // every jobs value.
+  const size_t N = P->Kernels.size();
+  std::vector<std::string> Fragments(N);
+  std::vector<analysis::Report> Reports(N);
+  TaskPool Pool(N <= 1 ? 1 : Options.Jobs);
+  Pool.parallelFor(N, [&](unsigned, size_t I) {
+    const ir::Kernel &K = P->Kernels[I];
+    Fragments[I] = kernelFragment(K, Options.Mode);
+    if (Options.Mode == "types")
+      Reports[I] = analysis::checkTypes(K);
+    else if (Options.Mode == "bounds")
+      Reports[I] = analysis::checkBounds(K, Options.Shape);
+    else
+      Reports[I] = analysis::checkRaces(K, Options.Shape);
+  });
+
+  analysis::Report R;
+  for (const analysis::Report &KR : Reports)
+    R.append(KR);
+
+  std::string Doc = "{\n\"schema\": \"dcb-analysis-v1\",\n\"target\": \"";
+  analysis::appendJsonEscaped(Doc, TargetName);
+  Doc += "\",\n\"mode\": \"" + Options.Mode + "\",\n";
+  if (Options.Mode != "types") {
+    const analysis::LaunchShape &S = Options.Shape;
+    Doc += "\"shape\": {\"threads\": " + std::to_string(S.NumThreads) +
+           ", \"blocks\": " + std::to_string(S.NumBlocks) +
+           ", \"warp_size\": " + std::to_string(S.WarpSize) +
+           ", \"global\": " + std::to_string(S.GlobalSize) +
+           ", \"shared\": " + std::to_string(S.SharedSize) +
+           ", \"local\": " + std::to_string(S.LocalSize) + "},\n";
+  }
+  Doc += "\"kernels\": [";
+  for (size_t I = 0; I < N; ++I) {
+    if (I)
+      Doc += ", ";
+    Doc += Fragments[I];
+  }
+  Doc += "],\n";
+  Doc += analysis::findingsJsonFragment(R);
+  Doc += "\n}\n";
+
+  OpResult Out;
+  Out.Output = std::move(Doc);
+  switch (Options.Fail) {
+  case FailOn::Error:
+    Out.Exit = R.errorCount() > 0 ? 1 : 0;
+    break;
+  case FailOn::Warning:
+    Out.Exit = R.Findings.empty() ? 0 : 1;
+    break;
+  case FailOn::Never:
+    Out.Exit = 0;
+    break;
+  }
   return Out;
 }

@@ -21,6 +21,7 @@
 #ifndef DCB_SERVE_OPS_H
 #define DCB_SERVE_OPS_H
 
+#include "analysis/TypedCheckers.h"
 #include "analyzer/IsaAnalyzer.h"
 #include "serve/Cache.h"
 #include "support/Errors.h"
@@ -67,6 +68,30 @@ Expected<OpResult> opExec(const std::string &FileBytes,
 /// exists.
 Expected<OpResult> opLint(const std::string &FileBytes,
                           const std::string &TargetName);
+
+/// Severity threshold below which findings do not fail the exit code
+/// (`--fail-on`): Error exits non-zero only on errors (the default),
+/// Warning on any finding, Never always exits 0. Output bytes are
+/// unaffected.
+enum class FailOn { Error, Warning, Never };
+
+/// Options for the typed-analysis op (`dcb analyze --types|--bounds|
+/// --races`).
+struct AnalyzeOptions {
+  std::string Mode = "types"; ///< "types" | "bounds" | "races".
+  unsigned Jobs = 1; ///< TaskPool width for per-kernel analysis; the
+                     ///< output is byte-identical at every value.
+  FailOn Fail = FailOn::Error;
+  analysis::LaunchShape Shape; ///< Launch/memory shape for bounds/races.
+};
+
+/// `dcb analyze --types|--bounds|--races ... --json`: the dcb-analysis-v1
+/// document (type facts for "types"; TYP/MEM/RAC findings per mode). A
+/// clean program still yields a complete document with an empty findings
+/// array — never blank output.
+Expected<OpResult> opAnalyze(const std::string &FileBytes,
+                             const std::string &TargetName,
+                             const AnalyzeOptions &Options);
 
 } // namespace serve
 } // namespace dcb

@@ -110,6 +110,7 @@ struct Request {
   std::string Kernel = "all";
   vm::ExecOptions Exec;
   std::string LintName;
+  AnalyzeOptions Analyze;
 };
 
 std::string jsonError(const std::string &Id, const std::string &Message) {
@@ -181,7 +182,17 @@ std::string optionsFingerprint(const Request &R, const Hash128 &DbFp) {
            ";seeds=" + std::to_string(E.Seeds) +
            ";seed=" + std::to_string(E.FirstSeed) +
            (E.UseRef ? ";ref=1" : ";ref=0") +
-           (E.Oob == vm::OobPolicy::Fault ? ";oob=fault" : ";oob=wrap");
+           (E.Oob == vm::OobPolicy::Fault ? ";oob=fault" : ";oob=wrap") +
+           (E.WatchShared ? ";watch=1" : ";watch=0");
+  }
+  if (R.Op == "analyze") {
+    const AnalyzeOptions &An = R.Analyze;
+    return "mode=" + An.Mode + ";name=" + R.LintName +
+           ";jobs=" + std::to_string(An.Jobs) +
+           ";threads=" + std::to_string(An.Shape.NumThreads) +
+           ";blocks=" + std::to_string(An.Shape.NumBlocks) +
+           ";warp=" + std::to_string(An.Shape.WarpSize) +
+           ";fail=" + std::to_string(static_cast<int>(An.Fail));
   }
   return "";
 }
@@ -927,7 +938,7 @@ void Server::dispatchFrame(Conn &C, std::string_view Line) {
   // --- Work ops: decode input, consult cache, fan through the pool. -------
 
   if (Rq.Op != "disasm" && Rq.Op != "asm" && Rq.Op != "lint" &&
-      Rq.Op != "exec")
+      Rq.Op != "exec" && Rq.Op != "analyze")
     return Fail(Rq.Id, "unknown op: " + Rq.Op);
 
   bool InlineContent = false;
@@ -975,6 +986,26 @@ void Server::dispatchFrame(Conn &C, std::string_view Line) {
   if (Oob != "wrap" && Oob != "fault")
     return Fail(Rq.Id, "oob must be wrap or fault");
   Rq.Exec.Oob = Oob == "fault" ? vm::OobPolicy::Fault : vm::OobPolicy::Wrap;
+  Rq.Exec.WatchShared = V.boolean("watch_shared", false);
+
+  // The typed-analysis op shares the exec launch-shape vocabulary.
+  Rq.Analyze.Mode = V.str("mode", "types");
+  if (Rq.Op == "analyze" && Rq.Analyze.Mode != "types" &&
+      Rq.Analyze.Mode != "bounds" && Rq.Analyze.Mode != "races")
+    return Fail(Rq.Id, "mode must be types, bounds or races");
+  Rq.Analyze.Jobs = Rq.Jobs;
+  Rq.Analyze.Shape.NumThreads = Rq.Exec.NumThreads;
+  Rq.Analyze.Shape.NumBlocks = Rq.Exec.NumBlocks;
+  Rq.Analyze.Shape.WarpSize = Rq.Exec.WarpSize;
+  std::string FailOnStr = V.str("fail_on", "error");
+  if (FailOnStr == "error")
+    Rq.Analyze.Fail = FailOn::Error;
+  else if (FailOnStr == "warning")
+    Rq.Analyze.Fail = FailOn::Warning;
+  else if (FailOnStr == "never")
+    Rq.Analyze.Fail = FailOn::Never;
+  else
+    return Fail(Rq.Id, "fail_on must be error, warning or never");
 
   Hash128 Content = hash128(Rq.Raw);
   Hash128 Key =
@@ -1022,6 +1053,8 @@ void Server::dispatchFrame(Conn &C, std::string_view Line) {
       }
       if (Rq.Op == "lint")
         return opLint(Rq.Raw, Rq.LintName);
+      if (Rq.Op == "analyze")
+        return opAnalyze(Rq.Raw, Rq.LintName, Rq.Analyze);
       return opExec(Rq.Raw, Rq.Name, Rq.Kernel, Rq.Exec);
     }();
     std::string Resp;

@@ -117,6 +117,7 @@ ExecSummary vm::execKernel(const ir::Kernel &K, uint64_t Seed,
   Config.WarpSize = Opts.WarpSize;
   Config.NumLanes = Opts.NumLanes;
   Config.Oob = Opts.Oob;
+  Config.WatchShared = Opts.WatchShared;
 
   Expected<GridResult> R = Opts.UseRef ? RefVm().run(K, Mem, Config)
                                        : GridVm().run(K, Mem, Config);
@@ -130,6 +131,7 @@ ExecSummary vm::execKernel(const ir::Kernel &K, uint64_t Seed,
   S.LaneSteps = R->LaneSteps;
   S.MemWraps = R->MemWraps;
   S.Barriers = R->Barriers;
+  S.SharedConflicts = R->SharedConflicts;
   S.GlobalCrc = fnvBytes(Mem.Global);
   S.SharedCrc = fnvBytes(Mem.Shared);
 

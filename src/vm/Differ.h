@@ -42,6 +42,8 @@ struct ExecOptions {
   bool UseRef = false;     ///< Execute on the RefVm oracle instead.
   bool CompareRegs = false; ///< diffexec: also compare final registers.
   OobPolicy Oob = OobPolicy::Wrap;
+  bool WatchShared = false; ///< Track unordered shared accesses
+                            ///< (ExecSummary::SharedConflicts).
 };
 
 /// Builds the deterministic input image for \p Seed: global memory holding
@@ -61,6 +63,7 @@ struct ExecSummary {
   uint64_t LaneSteps = 0;
   uint64_t MemWraps = 0;
   uint64_t Barriers = 0;
+  uint64_t SharedConflicts = 0; ///< Only when ExecOptions::WatchShared.
   uint64_t GlobalCrc = 0; ///< FNV-1a of final global memory.
   uint64_t SharedCrc = 0; ///< FNV-1a of final shared memory.
   uint64_t RegsCrc = 0;   ///< FNV-1a of all final registers + predicates.

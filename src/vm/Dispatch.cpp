@@ -292,6 +292,7 @@ void vm::mergeBlocks(Memory &Mem, std::vector<BlockState> &Blocks,
     Total.LaneSteps += B.Stats.LaneSteps;
     Total.MemWraps += B.Stats.MemWraps;
     Total.Barriers += B.Stats.Barriers;
+    Total.SharedConflicts += B.Stats.SharedConflicts;
     ++Total.Blocks;
   }
 
@@ -314,10 +315,12 @@ void vm::mergeBlocks(Memory &Mem, std::vector<BlockState> &Blocks,
   Out.LaneSteps = Total.LaneSteps;
   Out.MemWraps = Total.MemWraps;
   Out.Barriers = Total.Barriers;
+  Out.SharedConflicts = Total.SharedConflicts;
 
   telemetry::counter("vm.issues").add(Total.Issues);
   telemetry::counter("vm.lane_steps").add(Total.LaneSteps);
   telemetry::counter("vm.mem_wraps").add(Total.MemWraps);
   telemetry::counter("vm.barriers").add(Total.Barriers);
   telemetry::counter("vm.blocks").add(Total.Blocks);
+  telemetry::counter("vm.shared_conflicts").add(Total.SharedConflicts);
 }

@@ -308,6 +308,8 @@ struct VmStats {
   uint64_t MemWraps = 0;  ///< Accesses that wrapped (OobPolicy::Wrap).
   uint64_t Barriers = 0;  ///< Warp arrivals at BAR.SYNC.
   uint64_t Blocks = 0;    ///< Blocks executed.
+  uint64_t SharedConflicts = 0; ///< Unordered shared accesses observed by
+                                ///< the watch (LaunchConfig::WatchShared).
 };
 
 /// All architectural state of one block: the lane register files plus the
@@ -329,9 +331,26 @@ struct BlockState {
   const Memory *Banks = nullptr;           ///< Constant banks (read-only).
   VmStats Stats;
 
+  /// Shared-access watch (LaunchConfig::WatchShared): per-byte last
+  /// writer/reader with the barrier epoch they acted in. Two accesses to
+  /// the same byte, in the same epoch, from different threads, at least
+  /// one a store, are unordered — the dynamic ground truth the static
+  /// RAC001-003 checkers are validated against.
+  struct SharedCell {
+    static constexpr uint32_t kNoTid = 0xffffffffu;
+    static constexpr uint32_t kManyTids = 0xfffffffeu;
+    uint32_t Writer = kNoTid;
+    uint32_t Reader = kNoTid;
+    uint64_t WriterEpoch = 0;
+    uint64_t ReaderEpoch = 0;
+  };
+  bool WatchShared = false;
+  uint64_t Epoch = 1; ///< Bumped at every barrier release (0 = never).
+  std::vector<SharedCell> SharedCells;
+
   void init(const Memory &Mem, unsigned Threads, unsigned Warp,
             uint32_t CtaidX, unsigned MaxSteps, size_t LocalSize,
-            OobPolicy Policy) {
+            OobPolicy Policy, bool Watch = false) {
     NumThreads = Threads;
     WarpSize = Warp;
     Ctaid = CtaidX;
@@ -344,6 +363,51 @@ struct BlockState {
     Global = Mem.Global;
     Shared = Mem.Shared;
     Banks = &Mem;
+    WatchShared = Watch;
+    Epoch = 1;
+    SharedCells.clear();
+    if (Watch)
+      SharedCells.assign(Shared.size(), SharedCell{});
+  }
+
+  /// Records one shared-memory access for the watch. Bytes follow the
+  /// Wrap policy's per-byte modulo so the footprint matches what the
+  /// engines actually touched. Counts one conflict per conflicting
+  /// access, not per byte.
+  void noteSharedAccess(unsigned Tid, uint64_t Addr, unsigned Bytes,
+                        bool IsStore) {
+    if (!WatchShared || SharedCells.empty())
+      return;
+    bool Conflict = false;
+    for (unsigned I = 0; I < Bytes; ++I) {
+      SharedCell &Cell = SharedCells[(Addr + I) % SharedCells.size()];
+      if (IsStore) {
+        if (Cell.WriterEpoch == Epoch && Cell.Writer != SharedCell::kNoTid &&
+            Cell.Writer != Tid)
+          Conflict = true;
+        if (Cell.ReaderEpoch == Epoch && Cell.Reader != SharedCell::kNoTid &&
+            Cell.Reader != Tid)
+          Conflict = true;
+        Cell.Writer = Cell.WriterEpoch == Epoch &&
+                              Cell.Writer != SharedCell::kNoTid &&
+                              Cell.Writer != Tid
+                          ? SharedCell::kManyTids
+                          : Tid;
+        Cell.WriterEpoch = Epoch;
+      } else {
+        if (Cell.WriterEpoch == Epoch && Cell.Writer != SharedCell::kNoTid &&
+            Cell.Writer != Tid)
+          Conflict = true;
+        Cell.Reader = Cell.ReaderEpoch == Epoch &&
+                              Cell.Reader != SharedCell::kNoTid &&
+                              Cell.Reader != Tid
+                          ? SharedCell::kManyTids
+                          : Tid;
+        Cell.ReaderEpoch = Epoch;
+      }
+    }
+    if (Conflict)
+      ++Stats.SharedConflicts;
   }
 
   uint32_t reg(unsigned Tid, int64_t Id) const {
@@ -660,6 +724,7 @@ Expected<bool> runBlockWarps(M &Machine, BlockState &B) {
     }
     if (!AnyBarrier)
       break;
+    ++B.Epoch; // Barrier release: accesses before and after are ordered.
     for (WarpState &W : Warps)
       if (W.Phase == WarpState::AtBarrier)
         W.Phase = WarpState::Running;

@@ -604,6 +604,8 @@ bool hLoad(Ctx &C) {
     std::vector<uint8_t> &Region = C.B.regionFor(C.I.P.Region, Tid);
     uint64_t Addr = memAddress(C, Tid, C.I.Ops[1]);
     unsigned Bytes = C.I.P.MemBytes;
+    if (C.I.P.Region == RegionKind::Shared)
+      C.B.noteSharedAccess(Tid, Addr, Bytes, /*IsStore=*/false);
     if (Bytes <= 4)
       C.B.setReg(Tid, C.I.Ops[0].Reg,
                  static_cast<uint32_t>(loadMem(Region, Addr, Bytes, C.B.Oob,
@@ -629,6 +631,8 @@ bool hStore(Ctx &C) {
     std::vector<uint8_t> &Region = C.B.regionFor(C.I.P.Region, Tid);
     uint64_t Addr = memAddress(C, Tid, C.I.Ops[0]);
     unsigned Bytes = C.I.P.MemBytes;
+    if (C.I.P.Region == RegionKind::Shared)
+      C.B.noteSharedAccess(Tid, Addr, Bytes, /*IsStore=*/true);
     if (Bytes <= 4)
       storeMem(Region, Addr, Bytes, C.B.reg(Tid, C.I.Ops[1].Reg), C.B.Oob,
                C.B.Stats.MemWraps, C.Fault);
@@ -848,7 +852,7 @@ Expected<GridResult> GridVm::run(const Kernel &K, Memory &Mem,
       B.init(Mem, Config.NumThreads, Config.WarpSize,
              Config.BlockId + static_cast<uint32_t>(Idx),
              Config.MaxStepsPerThread, Config.LocalSizePerThread,
-             Config.Oob);
+             Config.Oob, Config.WatchShared);
       GridMachine Machine(GK);
       Expected<bool> R = runBlockWarps(Machine, B);
       if (!R)

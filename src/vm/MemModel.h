@@ -64,7 +64,10 @@ inline uint64_t loadMem(const std::vector<uint8_t> &R, uint64_t Addr,
                         MemFault &Fault) {
   if (R.empty())
     return 0;
-  if (Addr + Bytes <= R.size()) {
+  // Addr can be anywhere in the 64-bit space (a negative 32-bit offset
+  // zero-extends to ~2^64), so the in-bounds test must not compute
+  // Addr + Bytes.
+  if (Addr <= R.size() && Bytes <= R.size() - Addr) {
     uint64_t Value = 0;
     std::memcpy(&Value, R.data() + Addr, Bytes);
     return Value;
@@ -90,7 +93,7 @@ inline void storeMem(std::vector<uint8_t> &R, uint64_t Addr, unsigned Bytes,
                      MemFault &Fault) {
   if (R.empty())
     return;
-  if (Addr + Bytes <= R.size()) {
+  if (Addr <= R.size() && Bytes <= R.size() - Addr) {
     std::memcpy(R.data() + Addr, &Value, Bytes);
     return;
   }

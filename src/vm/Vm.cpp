@@ -462,6 +462,8 @@ Expected<bool> RefMachine::execLane(BlockState &B, const Inst &Entry,
   case OpKind::Load: {
     std::vector<uint8_t> &Region = B.regionFor(P.Region, Tid);
     uint64_t Addr = memAddress(B, Tid, Ops[1]);
+    if (P.Region == RegionKind::Shared)
+      B.noteSharedAccess(Tid, Addr, P.MemBytes, /*IsStore=*/false);
     if (P.MemBytes <= 4)
       B.setReg(Tid, Ops[0].Value[0],
                static_cast<uint32_t>(loadR(B, Region, Addr, P.MemBytes)));
@@ -476,6 +478,8 @@ Expected<bool> RefMachine::execLane(BlockState &B, const Inst &Entry,
   case OpKind::Store: {
     std::vector<uint8_t> &Region = B.regionFor(P.Region, Tid);
     uint64_t Addr = memAddress(B, Tid, Ops[0]);
+    if (P.Region == RegionKind::Shared)
+      B.noteSharedAccess(Tid, Addr, P.MemBytes, /*IsStore=*/true);
     if (P.MemBytes <= 4)
       storeR(B, Region, Addr, P.MemBytes, B.reg(Tid, Ops[1].Value[0]));
     else if (P.MemBytes == 8)
@@ -539,7 +543,8 @@ Expected<GridResult> RefVm::run(const Kernel &K, Memory &Mem,
   for (unsigned Idx = 0; Idx < NumBlocks; ++Idx) {
     BlockState &B = Blocks[Idx];
     B.init(Mem, Config.NumThreads, Config.WarpSize, Config.BlockId + Idx,
-           Config.MaxStepsPerThread, Config.LocalSizePerThread, Config.Oob);
+           Config.MaxStepsPerThread, Config.LocalSizePerThread, Config.Oob,
+           Config.WatchShared);
     RefMachine Machine(Flat);
     Expected<bool> R = runBlockWarps(Machine, B);
     if (!R)

@@ -57,6 +57,8 @@ struct LaunchConfig {
   OobPolicy Oob = OobPolicy::Wrap;   ///< Out-of-region access policy.
   unsigned NumLanes = 1; ///< TaskPool lanes for GridVm blocks (0 = all
                          ///< hardware threads). Never changes results.
+  bool WatchShared = false; ///< Track unordered shared-memory accesses
+                            ///< (GridResult::SharedConflicts).
 };
 
 /// Final per-thread register state, exposed so instrumentation effects
@@ -75,6 +77,10 @@ struct GridResult {
   uint64_t LaneSteps = 0; ///< Per-lane executed instructions.
   uint64_t MemWraps = 0;  ///< Accesses that wrapped (OobPolicy::Wrap).
   uint64_t Barriers = 0;  ///< Warp arrivals at BAR.SYNC.
+  uint64_t SharedConflicts = 0; ///< Unordered shared accesses (two
+                                ///< threads, same byte, same barrier
+                                ///< epoch, at least one store). Counted
+                                ///< only when LaunchConfig::WatchShared.
 };
 
 /// The reference oracle. Stateless; run() re-derives everything from the

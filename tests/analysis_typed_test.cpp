@@ -1,0 +1,429 @@
+//===- tests/analysis_typed_test.cpp - Typed-IR checker tests -------------===//
+//
+// Covers the type-inference pass and the TYP/MEM/RAC checker families:
+// one golden kernel per rule id, lattice/solver properties, and the
+// VM-validation contract — on the workload suite and a seeded fuzz batch,
+// every VM-observed OOB fault and every VM-observed unordered shared
+// access must be covered by a MEM/RAC finding (no false negatives).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Findings.h"
+#include "analysis/RegModel.h"
+#include "analysis/TypeInference.h"
+#include "analysis/TypedCheckers.h"
+
+#include "ir/Builder.h"
+#include "sass/Parser.h"
+#include "support/Rng.h"
+#include "vendor/CuobjdumpSim.h"
+#include "vendor/NvccSim.h"
+#include "vendor/SampleGen.h"
+#include "vm/Differ.h"
+#include "workloads/Suite.h"
+
+#include <gtest/gtest.h>
+
+using namespace dcb;
+using namespace dcb::analysis;
+
+namespace {
+
+bool hasRule(const Report &R, const std::string &Rule) {
+  for (const Finding &F : R.Findings)
+    if (F.Rule == Rule)
+      return true;
+  return false;
+}
+
+std::string rulesOf(const Report &R) {
+  std::string Out;
+  for (const Finding &F : R.Findings)
+    Out += F.Rule + " ";
+  return Out;
+}
+
+/// Hand-assembles a kernel with the SCHI address cadence of \p A and lifts
+/// it to IR (same helper shape as analysis_test).
+ir::Kernel buildShape(Arch A, const std::vector<std::string> &Lines) {
+  const unsigned Group = schiGroupSize(archSchiKind(A));
+  const unsigned WordBytes = archWordBits(A) / 8;
+  analyzer::ListingKernel KL;
+  KL.Name = "shape";
+  for (size_t I = 0; I < Lines.size(); ++I) {
+    analyzer::ListingInst Pair;
+    uint64_t Word =
+        Group == 1 ? I : (I / (Group - 1)) * Group + 1 + I % (Group - 1);
+    Pair.Address = Word * WordBytes;
+    Expected<sass::Instruction> P = sass::parseInstruction(Lines[I]);
+    EXPECT_TRUE(P.hasValue()) << Lines[I] << ": " << P.message();
+    Pair.Inst = P.takeValue();
+    KL.Insts.push_back(std::move(Pair));
+  }
+  Expected<ir::Kernel> K = ir::buildKernel(A, KL);
+  EXPECT_TRUE(K.hasValue()) << K.message();
+  return K.takeValue();
+}
+
+ir::Program suiteProgram(Arch A) {
+  vendor::NvccSim Nvcc(A);
+  Expected<elf::Cubin> Cubin = Nvcc.compile(workloads::buildSuite(A));
+  EXPECT_TRUE(Cubin.hasValue()) << Cubin.message();
+  Expected<std::string> Text = vendor::disassembleCubin(*Cubin);
+  EXPECT_TRUE(Text.hasValue()) << Text.message();
+  Expected<analyzer::Listing> L = analyzer::parseListing(*Text);
+  EXPECT_TRUE(L.hasValue()) << L.message();
+  Expected<ir::Program> P = ir::buildProgram(*L);
+  EXPECT_TRUE(P.hasValue()) << P.message();
+  return P.takeValue();
+}
+
+} // namespace
+
+// --- Type lattice ---------------------------------------------------------
+
+TEST(TypeLattice, JoinAndConflict) {
+  EXPECT_FALSE(typeConflict(kTypeI32));
+  EXPECT_FALSE(typeConflict(kTypeF32));
+  EXPECT_FALSE(typeConflict(kTypeI32 | kTypePtrGlobal));
+  EXPECT_TRUE(typeConflict(kTypeF32 | kTypeI32));
+  EXPECT_TRUE(typeConflict(kTypeF32 | kTypeF64));
+  EXPECT_TRUE(typeConflict(kTypeF32 | kTypePtrGlobal));
+  EXPECT_TRUE(typeConflict(kTypePtrGlobal | kTypePtrShared));
+  EXPECT_EQ(typeMaskName(kTypeI32 | kTypePtrGlobal), "i32|ptr(global)");
+  EXPECT_EQ(typeMaskName(0), "unknown");
+}
+
+TEST(TypeInfer, SeedsAndPropagatesOpcodeTypes) {
+  ir::Kernel K = buildShape(Arch::SM52, {
+                                            "FADD R4, R1, R2;",
+                                            "MOV R6, R4;",
+                                            "IADD R8, R3, R3;",
+                                            "EXIT;",
+                                        });
+  TypeInference T = inferTypes(K);
+  ASSERT_EQ(T.Out.size(), K.Blocks.size());
+  EXPECT_EQ(T.Out[0][4], kTypeF32);
+  EXPECT_EQ(T.Out[0][6], kTypeF32) << "MOV passes the source type through";
+  EXPECT_EQ(T.Out[0][8], kTypeI32);
+}
+
+TEST(TypeInfer, FixpointIsDeterministic) {
+  ir::Program P = suiteProgram(Arch::SM52);
+  for (const ir::Kernel &K : P.Kernels) {
+    TypeInference A = inferTypes(K);
+    TypeInference B = inferTypes(K);
+    EXPECT_EQ(A.Iterations, B.Iterations) << K.Name;
+    EXPECT_TRUE(A.In == B.In && A.Out == B.Out) << K.Name;
+  }
+}
+
+// --- TYP golden kernels ---------------------------------------------------
+
+TEST(TypedCheckers, FloatAddressIsTyp001) {
+  ir::Kernel K = buildShape(Arch::SM52, {
+                                            "FADD R4, R1, R2;",
+                                            "LDG.E R0, [R4];",
+                                            "EXIT;",
+                                        });
+  Report R = checkTypes(K);
+  EXPECT_TRUE(hasRule(R, "TYP001")) << rulesOf(R);
+}
+
+TEST(TypedCheckers, WidthMismatchIsTyp002) {
+  ir::Kernel K = buildShape(Arch::SM52, {
+                                            "DADD R4, R6, R8;",
+                                            "FADD R2, R4, R1;",
+                                            "EXIT;",
+                                        });
+  Report R = checkTypes(K);
+  EXPECT_TRUE(hasRule(R, "TYP002")) << rulesOf(R);
+}
+
+TEST(TypedCheckers, JoinConflictDereferencedIsTyp003) {
+  // Diamond: one side defines R4 as f32, the other as i32; the join
+  // block dereferences the merged (conflicting) register.
+  ir::Kernel K = buildShape(Arch::SM52, {
+                                            "@P0 BRA 0x28;",    // BB0
+                                            "FADD R4, R1, R2;", // BB1
+                                            "BRA 0x30;",        // BB1
+                                            "IADD R4, R3, R3;", // BB2
+                                            "LDG.E R0, [R4];",  // BB3
+                                            "EXIT;",            // BB3
+                                        });
+  ASSERT_EQ(K.Blocks.size(), 4u);
+  Report R = checkTypes(K);
+  EXPECT_TRUE(hasRule(R, "TYP003")) << rulesOf(R);
+  EXPECT_FALSE(hasRule(R, "TYP001")) << "conflict outranks pure-float";
+}
+
+TEST(TypedCheckers, IntOpOnFloatIsTyp004) {
+  ir::Kernel K = buildShape(Arch::SM52, {
+                                            "FADD R4, R1, R2;",
+                                            "IADD R0, R4, R3;",
+                                            "EXIT;",
+                                        });
+  Report R = checkTypes(K);
+  EXPECT_TRUE(hasRule(R, "TYP004")) << rulesOf(R);
+}
+
+TEST(TypedCheckers, CleanIntKernelHasNoTypFindings) {
+  ir::Kernel K = buildShape(Arch::SM52, {
+                                            "S2R R0, SR_TID.X;",
+                                            "SHL R2, R0, 0x2;",
+                                            "IADD R4, R2, 0x10;",
+                                            "EXIT;",
+                                        });
+  Report R = checkTypes(K);
+  EXPECT_TRUE(R.Findings.empty()) << R.toText();
+}
+
+// --- MEM golden kernels ---------------------------------------------------
+
+TEST(TypedCheckers, ConstantOobIsMem001) {
+  ir::Kernel K = buildShape(Arch::SM52, {
+                                            "MOV R2, RZ;",
+                                            "STG.E [R2+0x20000], R3;",
+                                            "EXIT;",
+                                        });
+  Report R = checkBounds(K);
+  EXPECT_TRUE(hasRule(R, "MEM001")) << rulesOf(R);
+}
+
+TEST(TypedCheckers, ThreadDependentOobIsMem002Error) {
+  // addr = tid << 12: in bounds for tid < 16, out of the 64 KiB global
+  // region for the rest of the declared 32-thread launch.
+  ir::Kernel K = buildShape(Arch::SM52, {
+                                            "S2R R0, SR_TID.X;",
+                                            "SHL R2, R0, 0xc;",
+                                            "STG.E [R2], R3;",
+                                            "EXIT;",
+                                        });
+  Report R = checkBounds(K);
+  EXPECT_TRUE(hasRule(R, "MEM002")) << rulesOf(R);
+  EXPECT_EQ(R.errorCount(), 1u) << R.toText();
+}
+
+TEST(TypedCheckers, UnanalyzableAddressIsMem002Warning) {
+  ir::Kernel K = buildShape(Arch::SM52, {
+                                            "LDG.E R2, [R1];",
+                                            "STG.E [R2], R3;",
+                                            "EXIT;",
+                                        });
+  Report R = checkBounds(K);
+  EXPECT_TRUE(hasRule(R, "MEM002")) << rulesOf(R);
+  EXPECT_EQ(R.errorCount(), 0u) << "cannot prove a fault, only warn";
+  EXPECT_GE(R.warningCount(), 1u);
+}
+
+TEST(TypedCheckers, MisalignedWideAccessIsMem003) {
+  ir::Kernel K = buildShape(Arch::SM52, {
+                                            "LDG.64.E R4, [R1+0x4];",
+                                            "EXIT;",
+                                        });
+  Report R = checkBounds(K);
+  EXPECT_TRUE(hasRule(R, "MEM003")) << rulesOf(R);
+}
+
+TEST(TypedCheckers, SpaceConfusionIsMem004) {
+  // R2 is first dereferenced as a shared address (typing it
+  // ptr(shared)), then as a global one.
+  ir::Kernel K = buildShape(Arch::SM52, {
+                                            "LDS R0, [R2];",
+                                            "LDG.E R1, [R2];",
+                                            "EXIT;",
+                                        });
+  Report R = checkBounds(K);
+  EXPECT_TRUE(hasRule(R, "MEM004")) << rulesOf(R);
+}
+
+TEST(TypedCheckers, InBoundsTidIndexedStoreIsCleanOfErrors) {
+  // addr = tid << 2: tops out at 124, comfortably inside every region.
+  ir::Kernel K = buildShape(Arch::SM52, {
+                                            "S2R R0, SR_TID.X;",
+                                            "SHL R2, R0, 0x2;",
+                                            "STG.E [R2], R0;",
+                                            "EXIT;",
+                                        });
+  Report R = checkBounds(K);
+  EXPECT_TRUE(R.Findings.empty()) << R.toText();
+}
+
+// --- RAC golden kernels ---------------------------------------------------
+
+TEST(TypedCheckers, SharedWriteWriteIsRac001) {
+  // Every thread stores to shared[0] with no barrier in between.
+  ir::Kernel K = buildShape(Arch::SM52, {
+                                            "STS [R1], R0;",
+                                            "EXIT;",
+                                        });
+  Report R = checkRaces(K);
+  EXPECT_TRUE(hasRule(R, "RAC001")) << rulesOf(R);
+}
+
+TEST(TypedCheckers, SharedWriteReadIsRac002) {
+  // Thread 0 stores shared[0]; every other thread loads it, unordered.
+  ir::Kernel K = buildShape(Arch::SM52, {
+                                            "S2R R0, SR_TID.X;",
+                                            "ISETP.NE.AND P0, PT, R0, RZ, PT;",
+                                            "@!P0 STS [R1], R2;",
+                                            "@P0 LDS R3, [R1];",
+                                            "EXIT;",
+                                        });
+  Report R = checkRaces(K);
+  EXPECT_TRUE(hasRule(R, "RAC002")) << rulesOf(R);
+  EXPECT_FALSE(hasRule(R, "RAC001")) << "only one thread ever stores";
+}
+
+TEST(TypedCheckers, UnanalyzableSharedStoreIsRac003) {
+  ir::Kernel K = buildShape(Arch::SM52, {
+                                            "LDG.E R2, [R1];",
+                                            "STS [R2], R3;",
+                                            "EXIT;",
+                                        });
+  Report R = checkRaces(K);
+  EXPECT_TRUE(hasRule(R, "RAC003")) << rulesOf(R);
+}
+
+TEST(TypedCheckers, BarrierOrdersWriteBeforeRead) {
+  // Same write/read pair as the RAC002 kernel, but separated by
+  // BAR.SYNC: the store is entry-reachable only, the load post-barrier
+  // only, so they can never share a barrier interval.
+  ir::Kernel K = buildShape(Arch::SM52, {
+                                            "S2R R0, SR_TID.X;",
+                                            "ISETP.NE.AND P0, PT, R0, RZ, PT;",
+                                            "@!P0 STS [R1], R2;",
+                                            "BAR.SYNC 0x0;",
+                                            "LDS R3, [R1];",
+                                            "EXIT;",
+                                        });
+  Report R = checkRaces(K);
+  EXPECT_TRUE(R.Findings.empty()) << R.toText();
+}
+
+TEST(TypedCheckers, DisjointPerThreadSlotsAreClean) {
+  ir::Kernel K = buildShape(Arch::SM52, {
+                                            "S2R R0, SR_TID.X;",
+                                            "SHL R1, R0, 0x2;",
+                                            "STS [R1], R0;",
+                                            "LDS R3, [R1];",
+                                            "EXIT;",
+                                        });
+  Report R = checkRaces(K);
+  EXPECT_TRUE(R.Findings.empty()) << R.toText();
+}
+
+// --- VM validation --------------------------------------------------------
+//
+// The soundness contract the checkers are built around: the bounds/race
+// evaluator reuses the VM's own scalar semantics, so anything the VM
+// observes dynamically (an OOB fault under OobPolicy::Fault, an unordered
+// shared access under the shared watch) must be covered by a MEM/RAC
+// finding under the matching LaunchShape. False positives are allowed
+// (and reported); false negatives are a hard failure.
+
+namespace {
+
+struct ValidationTally {
+  unsigned Executed = 0;      ///< Kernels the VM ran (or OOB-faulted).
+  unsigned VmOob = 0;         ///< Kernels with a VM-observed OOB fault.
+  unsigned VmRaces = 0;       ///< Kernels with VM-observed shared conflicts.
+  unsigned FalsePositives = 0; ///< MEM/RAC *errors* the VM never observed.
+};
+
+void validateKernel(const ir::Kernel &K, const vm::ExecOptions &Opts,
+                    const LaunchShape &Shape, ValidationTally &Tally) {
+  vm::ExecSummary S = vm::execKernel(K, /*Seed=*/1, Opts);
+  const bool Oob =
+      S.Failed && S.Error.find("out-of-bounds") != std::string::npos;
+  if (S.Failed && !Oob)
+    return; // Unsupported by the VM: nothing was observed.
+  ++Tally.Executed;
+
+  Report Bounds = checkBounds(K, Shape);
+  Report Races = checkRaces(K, Shape);
+  if (Oob) {
+    ++Tally.VmOob;
+    EXPECT_TRUE(hasRule(Bounds, "MEM001") || hasRule(Bounds, "MEM002"))
+        << K.Name << ": VM faulted (" << S.Error
+        << ") but the bounds checker is silent: " << rulesOf(Bounds);
+  }
+  if (!S.Failed && S.SharedConflicts > 0) {
+    ++Tally.VmRaces;
+    EXPECT_FALSE(Races.Findings.empty())
+        << K.Name << ": VM observed " << S.SharedConflicts
+        << " unordered shared accesses but the race checker is silent";
+  }
+  if (!Oob && Bounds.errorCount() > 0)
+    ++Tally.FalsePositives;
+  if ((S.Failed || S.SharedConflicts == 0) &&
+      (hasRule(Races, "RAC001") || hasRule(Races, "RAC002")))
+    ++Tally.FalsePositives;
+}
+
+} // namespace
+
+TEST(VmValidation, SuiteFaultsAndRacesAreCovered) {
+  ir::Program P = suiteProgram(Arch::SM52);
+  vm::ExecOptions Opts;
+  Opts.Oob = vm::OobPolicy::Fault;
+  Opts.WatchShared = true;
+  LaunchShape Shape; // Defaults mirror ExecOptions / vm::Memory.
+
+  ValidationTally Tally;
+  for (const ir::Kernel &K : P.Kernels)
+    validateKernel(K, Opts, Shape, Tally);
+
+  EXPECT_GT(Tally.Executed, 20u) << "suite coverage collapsed";
+  EXPECT_GT(Tally.VmRaces, 0u)
+      << "the suite is expected to contain at least one racy kernel";
+  ::testing::Test::RecordProperty("suite_kernels_executed", Tally.Executed);
+  ::testing::Test::RecordProperty("suite_vm_oob", Tally.VmOob);
+  ::testing::Test::RecordProperty("suite_vm_races", Tally.VmRaces);
+  ::testing::Test::RecordProperty("suite_false_positive_kernels",
+                                  Tally.FalsePositives);
+}
+
+TEST(VmValidation, SeededFuzzBatchFaultsAreCovered) {
+  const Arch A = Arch::SM52;
+  const isa::ArchSpec &Spec = isa::getArchSpec(A);
+  vendor::NvccSim Nvcc(A);
+  vm::ExecOptions Opts;
+  Opts.Oob = vm::OobPolicy::Fault;
+  Opts.WatchShared = true;
+  LaunchShape Shape;
+
+  ValidationTally Tally;
+  const unsigned NumKernels = 100;
+  for (unsigned SeedIdx = 0; SeedIdx < NumKernels; ++SeedIdx) {
+    Rng R(0xf00df00d + SeedIdx);
+    std::vector<sass::Instruction> Program =
+        vendor::randomStraightLineProgram(Spec, R, 40);
+    vendor::KernelBuilder KB("fuzz" + std::to_string(SeedIdx), A);
+    for (sass::Instruction &Inst : Program)
+      KB.ins(Inst);
+    KB.exit();
+
+    Expected<vendor::CompiledKernel> Compiled = Nvcc.compileKernel(KB);
+    ASSERT_TRUE(Compiled.hasValue()) << Compiled.message();
+    Expected<std::string> Text = vendor::disassembleKernelCode(
+        A, KB.name(), Compiled->Section.Code);
+    ASSERT_TRUE(Text.hasValue()) << Text.message();
+    Expected<analyzer::Listing> L = analyzer::parseListing(
+        "code for " + std::string(archName(A)) + "\n" + *Text);
+    ASSERT_TRUE(L.hasValue()) << L.message();
+    Expected<ir::Program> P = ir::buildProgram(*L);
+    ASSERT_TRUE(P.hasValue()) << P.message();
+    for (const ir::Kernel &K : P->Kernels)
+      validateKernel(K, Opts, Shape, Tally);
+  }
+
+  // Random 40-instruction programs with arbitrary memory offsets fault
+  // often; if none did, the batch stopped exercising the contract.
+  EXPECT_GT(Tally.VmOob, 0u) << "fuzz batch produced no OOB faults";
+  ::testing::Test::RecordProperty("fuzz_kernels_executed", Tally.Executed);
+  ::testing::Test::RecordProperty("fuzz_vm_oob", Tally.VmOob);
+  ::testing::Test::RecordProperty("fuzz_vm_races", Tally.VmRaces);
+  ::testing::Test::RecordProperty("fuzz_false_positive_kernels",
+                                  Tally.FalsePositives);
+}

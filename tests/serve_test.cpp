@@ -299,6 +299,47 @@ TEST(ServeOps, LintEmitsJsonReport) {
   EXPECT_NE(R->Output.find("the-target"), std::string::npos);
 }
 
+TEST(ServeOps, AnalyzeIsJobsInvariantAcrossModes) {
+  std::vector<uint8_t> Image = suiteImage(Arch::SM35);
+  std::string Bytes(Image.begin(), Image.end());
+  for (const char *Mode : {"types", "bounds", "races"}) {
+    AnalyzeOptions One;
+    One.Mode = Mode;
+    One.Jobs = 1;
+    Expected<OpResult> R1 = opAnalyze(Bytes, "suite", One);
+    ASSERT_TRUE(R1.hasValue()) << R1.message();
+    EXPECT_NE(R1->Output.find("dcb-analysis-v1"), std::string::npos);
+    EXPECT_NE(R1->Output.find("\"findings\""), std::string::npos)
+        << Mode << " documents must always carry a findings array";
+    for (unsigned Jobs : {4u, 8u}) {
+      AnalyzeOptions Par = One;
+      Par.Jobs = Jobs;
+      Expected<OpResult> RN = opAnalyze(Bytes, "suite", Par);
+      ASSERT_TRUE(RN.hasValue()) << RN.message();
+      EXPECT_EQ(R1->Output, RN->Output)
+          << "analyze --" << Mode << " must be byte-identical at jobs="
+          << Jobs;
+    }
+  }
+}
+
+TEST(ServeOps, AnalyzeFailOnGatesExitNotOutput) {
+  std::vector<uint8_t> Image = suiteImage(Arch::SM35);
+  std::string Bytes(Image.begin(), Image.end());
+  // The suite has unbarriered shared traffic: races mode finds errors.
+  AnalyzeOptions Races;
+  Races.Mode = "races";
+  Expected<OpResult> Strict = opAnalyze(Bytes, "suite", Races);
+  ASSERT_TRUE(Strict.hasValue()) << Strict.message();
+  EXPECT_NE(Strict->Exit, 0) << "error findings must fail under FailOn::Error";
+  Races.Fail = FailOn::Never;
+  Expected<OpResult> Lax = opAnalyze(Bytes, "suite", Races);
+  ASSERT_TRUE(Lax.hasValue()) << Lax.message();
+  EXPECT_EQ(Lax->Exit, 0) << "FailOn::Never must always exit 0";
+  EXPECT_EQ(Strict->Output, Lax->Output)
+      << "--fail-on must gate the exit code, never the document bytes";
+}
+
 //===----------------------------------------------------------------------===//
 // Server end-to-end
 //===----------------------------------------------------------------------===//
@@ -403,6 +444,46 @@ TEST(ServeServer, OptionsFingerprintSplitsTheCache) {
   json::Value J1Again = roundTripOk(*C, requestFor("disasm", Image,
                                                    ",\"jobs\":1"));
   EXPECT_TRUE(J1Again.boolean("cached"));
+}
+
+TEST(ServeServer, AnalyzeOverTheWireMatchesOpAndCaches) {
+  std::vector<uint8_t> Image = suiteImage(Arch::SM35);
+  std::string Bytes(Image.begin(), Image.end());
+  AnalyzeOptions Opts;
+  Opts.Mode = "types";
+  Expected<OpResult> Direct = opAnalyze(Bytes, "suite.cubin", Opts);
+  ASSERT_TRUE(Direct.hasValue()) << Direct.message();
+
+  std::unique_ptr<Server> S = startServer(ServerOptions());
+  Expected<Client> C = Client::connect(S->port());
+  ASSERT_TRUE(C.hasValue()) << C.message();
+
+  const std::string Req = requestFor(
+      "analyze", Image, ",\"name\":\"suite.cubin\",\"mode\":\"types\"");
+  json::Value First = roundTripOk(*C, Req);
+  EXPECT_EQ(First.str("status"), "ok");
+  EXPECT_FALSE(First.boolean("cached"));
+  EXPECT_EQ(First.str("output"), Direct->Output)
+      << "served analyze bytes must equal the one-shot op";
+
+  json::Value Second = roundTripOk(*C, Req);
+  EXPECT_TRUE(Second.boolean("cached")) << "repeat must be a cache hit";
+  EXPECT_EQ(Second.str("output"), Direct->Output);
+
+  // Same bytes, different mode or fail_on: distinct fingerprints.
+  json::Value Bounds = roundTripOk(
+      *C, requestFor("analyze", Image,
+                     ",\"name\":\"suite.cubin\",\"mode\":\"bounds\""));
+  EXPECT_FALSE(Bounds.boolean("cached"))
+      << "mode=bounds must not hit the mode=types entry";
+  json::Value Lax = roundTripOk(
+      *C, requestFor("analyze", Image, ",\"name\":\"suite.cubin\","
+                                       "\"mode\":\"types\","
+                                       "\"fail_on\":\"never\""));
+  EXPECT_FALSE(Lax.boolean("cached"))
+      << "fail_on=never must not hit the default entry";
+  EXPECT_EQ(Lax.str("output"), Direct->Output)
+      << "fail_on changes the exit gate, not the document";
 }
 
 TEST(ServeServer, AbsurdJobsValueIsClampedNotHonored) {

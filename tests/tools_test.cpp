@@ -172,6 +172,125 @@ TEST(DcbTool, LintAndAnalyzeModes) {
             0);
 }
 
+TEST(DcbTool, AnalyzeCheckersEmitCompleteJsonWhenClean) {
+  const std::string Dcb = toolPath();
+  const std::string Work = workDir();
+  ASSERT_EQ(runCmd("mkdir -p " + Work), 0);
+
+  // A minimal race-free, in-bounds kernel: every thread touches its own
+  // 4-byte shared slot.
+  const std::string Listing = Work + "/clean.sass";
+  {
+    std::ofstream Out(Listing, std::ios::binary);
+    Out << "code for sm_52\n"
+        << "\t\tFunction : clean\n"
+        << "\t/*0008*/ S2R R0, SR_TID.X; /* 0x0 */\n"
+        << "\t/*0010*/ SHL R1, R0, 0x2; /* 0x0 */\n"
+        << "\t/*0018*/ STS [R1], R0; /* 0x0 */\n"
+        << "\t/*0028*/ LDS R3, [R1]; /* 0x0 */\n"
+        << "\t/*0030*/ EXIT; /* 0x0 */\n";
+  }
+
+  // A clean program yields a *complete* dcb-analysis-v1 document with an
+  // empty findings array — never blank stdout — and the bytes are
+  // identical for every --jobs value.
+  for (const char *Mode : {"types", "bounds", "races"}) {
+    for (const char *Jobs : {"1", "4", "8"}) {
+      ASSERT_EQ(runCmd(Dcb + " analyze --" + Mode + " " + Listing +
+                       " --jobs " + Jobs + " --json > " + Work + "/a" +
+                       Jobs + ".json"),
+                0)
+          << Mode;
+    }
+    std::string Serial = slurp(Work + "/a1.json");
+    EXPECT_EQ(Serial, slurp(Work + "/a4.json")) << Mode;
+    EXPECT_EQ(Serial, slurp(Work + "/a8.json")) << Mode;
+    EXPECT_NE(Serial.find("\"dcb-analysis-v1\""), std::string::npos) << Mode;
+    EXPECT_NE(Serial.find("\"findings\": [\n],"), std::string::npos) << Mode;
+  }
+
+  // The bounds document byte-for-byte: the stable empty-findings surface.
+  std::string Expected =
+      "{\n"
+      "\"schema\": \"dcb-analysis-v1\",\n"
+      "\"target\": \"" + Listing + "\",\n"
+      "\"mode\": \"bounds\",\n"
+      "\"shape\": {\"threads\": 32, \"blocks\": 2, \"warp_size\": 32, "
+      "\"global\": 65536, \"shared\": 16384, \"local\": 4096},\n"
+      "\"kernels\": [{\"name\": \"clean\", \"arch\": \"sm_52\"}],\n"
+      "\"findings\": [\n"
+      "],\n"
+      "\"errors\": 0,\n"
+      "\"warnings\": 0\n"
+      "}\n";
+  ASSERT_EQ(runCmd(Dcb + " analyze --bounds " + Listing + " --json > " +
+                   Work + "/bounds.json"),
+            0);
+  EXPECT_EQ(slurp(Work + "/bounds.json"), Expected);
+}
+
+TEST(DcbTool, AnalyzeFailOnSelectsExitSeverity) {
+  const std::string Dcb = toolPath();
+  const std::string Work = workDir();
+  ASSERT_EQ(runCmd("mkdir -p " + Work), 0);
+  ASSERT_EQ(runCmd(Dcb + " make-suite sm_52 -o " + Work +
+                   "/fo.cubin > /dev/null"),
+            0);
+
+  // The suite contains racy kernels (error findings) and bounds warnings:
+  // --fail-on picks which severity flips the exit code; output bytes are
+  // unaffected.
+  EXPECT_NE(runCmd(Dcb + " analyze --races " + Work +
+                   "/fo.cubin > /dev/null"),
+            0);
+  EXPECT_EQ(runCmd(Dcb + " analyze --races --fail-on never " + Work +
+                   "/fo.cubin > /dev/null"),
+            0);
+  EXPECT_EQ(runCmd(Dcb + " analyze --bounds " + Work +
+                   "/fo.cubin > /dev/null"),
+            0) << "warnings alone do not fail the default threshold";
+  EXPECT_NE(runCmd(Dcb + " analyze --bounds --fail-on warning " + Work +
+                   "/fo.cubin > /dev/null"),
+            0);
+  EXPECT_EQ(runCmd(Dcb + " lint " + Work +
+                   "/fo.cubin --fail-on warning > /dev/null"),
+            0) << "a clean lint is clean at every threshold";
+  EXPECT_NE(runCmd(Dcb + " analyze --races --fail-on banana " + Work +
+                   "/fo.cubin 2> /dev/null"),
+            0);
+}
+
+TEST(DcbTool, ExecWatchSharedReportsConflicts) {
+  const std::string Dcb = toolPath();
+  const std::string Work = workDir();
+  ASSERT_EQ(runCmd("mkdir -p " + Work), 0);
+  ASSERT_EQ(runCmd(Dcb + " make-suite sm_52 -o " + Work +
+                   "/ws.cubin > /dev/null"),
+            0);
+
+  // Without the flag the summary line is byte-stable (no new field); with
+  // it, the racy nw kernel reports conflicts and the barriered matrixMul
+  // reports none.
+  ASSERT_EQ(runCmd(Dcb + " exec " + Work + "/ws.cubin nw > " + Work +
+                   "/nw.txt"),
+            0);
+  EXPECT_EQ(slurp(Work + "/nw.txt").find("shared_conflicts"),
+            std::string::npos);
+  ASSERT_EQ(runCmd(Dcb + " exec " + Work + "/ws.cubin nw --watch-shared > " +
+                   Work + "/nw_watch.txt"),
+            0);
+  std::string Watched = slurp(Work + "/nw_watch.txt");
+  EXPECT_NE(Watched.find(" shared_conflicts="), std::string::npos);
+  EXPECT_EQ(Watched.find(" shared_conflicts=0"), std::string::npos)
+      << "nw races on shared memory: " << Watched;
+  ASSERT_EQ(runCmd(Dcb + " exec " + Work +
+                   "/ws.cubin matrixMul --watch-shared > " + Work +
+                   "/mm_watch.txt"),
+            0);
+  EXPECT_NE(slurp(Work + "/mm_watch.txt").find(" shared_conflicts=0"),
+            std::string::npos);
+}
+
 TEST(DcbTool, AsmJobsOutputIsByteIdentical) {
   const std::string Dcb = toolPath();
   const std::string Work = workDir();

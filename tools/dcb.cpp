@@ -24,6 +24,8 @@
 #include "analysis/Hazards.h"
 #include "analysis/Liveness.h"
 #include "analysis/RegModel.h"
+#include "analysis/TypeInference.h"
+#include "analysis/TypedCheckers.h"
 #include "analyzer/BitFlipper.h"
 #include "analyzer/IsaAnalyzer.h"
 #include "asmgen/AssemblerGenerator.h"
@@ -109,7 +111,8 @@ struct Args {
         }
         if (Key == "--stats" || Key == "--json" || Key == "--liveness" ||
             Key == "--hazards" || Key == "--no-verify" || Key == "--ref" ||
-            Key == "--regs") {
+            Key == "--regs" || Key == "--types" || Key == "--bounds" ||
+            Key == "--races" || Key == "--watch-shared") {
           A.Options[Key] = "";
           continue;
         }
@@ -183,10 +186,36 @@ ir::Program loadProgramFile(const std::string &Path) {
   return P.takeValue();
 }
 
+/// The `--fail-on` threshold (lint and the analyze checker modes): exit
+/// non-zero only on findings at or above the given severity. Defaults to
+/// error, the historical behavior; docs/ANALYSIS.md documents the codes.
+serve::FailOn failOnOf(const Args &A) {
+  std::string V = A.get("--fail-on").value_or("error");
+  if (V == "error")
+    return serve::FailOn::Error;
+  if (V == "warning")
+    return serve::FailOn::Warning;
+  if (V == "never")
+    return serve::FailOn::Never;
+  die("bad --fail-on value '" + V + "' (error|warning|never)");
+}
+
+int exitForReport(const analysis::Report &R, serve::FailOn Fail) {
+  switch (Fail) {
+  case serve::FailOn::Error:
+    return R.clean() ? 0 : 1;
+  case serve::FailOn::Warning:
+    return R.Findings.empty() ? 0 : 1;
+  case serve::FailOn::Never:
+    break;
+  }
+  return 0;
+}
+
 /// Renders \p R as text (stdout) or as dcb-lint-v1 JSON (stdout or a file)
 /// per the --json option, and returns the process exit code.
 int emitReport(const analysis::Report &R, const std::string &Target,
-               const std::optional<std::string> &Json) {
+               const std::optional<std::string> &Json, serve::FailOn Fail) {
   if (Json) {
     std::string Doc = R.toJson(Target);
     if (Json->empty())
@@ -196,7 +225,7 @@ int emitReport(const analysis::Report &R, const std::string &Target,
   } else {
     std::fputs(R.toText().c_str(), stdout);
   }
-  return R.clean() ? 0 : 1;
+  return exitForReport(R, Fail);
 }
 
 /// The architectures `--isa all` audits: every fully supported generation
@@ -343,19 +372,108 @@ int cmdAnalyzeHazards(const Args &A) {
     R.append(analysis::validateCfg(K));
     R.append(analysis::checkHazards(K));
   }
-  return emitReport(R, Path, A.get("--json"));
+  return emitReport(R, Path, A.get("--json"), failOnOf(A));
+}
+
+/// Launch/memory shape for the bounds/races checkers, sharing the exec
+/// flag vocabulary so static findings line up with a same-shaped run.
+analysis::LaunchShape launchShapeOf(const Args &A) {
+  analysis::LaunchShape Shape;
+  auto Uint = [&A](const char *Key, unsigned &Slot) {
+    if (auto V = A.get(Key)) {
+      std::optional<uint64_t> N = parseUInt(*V);
+      if (!N || *N == 0)
+        die(std::string("bad ") + Key + " value '" + *V + "'");
+      Slot = static_cast<unsigned>(*N);
+    }
+  };
+  Uint("--threads", Shape.NumThreads);
+  Uint("--blocks", Shape.NumBlocks);
+  Uint("--warp-size", Shape.WarpSize);
+  return Shape;
+}
+
+/// `dcb analyze --types|--bounds|--races`: the typed-IR checker modes.
+/// JSON mode routes through the daemon-shared op (byte-identical to a
+/// served analyze request, and for every --jobs value); text mode prints
+/// the type facts and findings human-readably.
+int cmdAnalyzeChecks(const Args &A, const std::string &Mode) {
+  const std::string &Path = A.Positional[0];
+  serve::AnalyzeOptions Opts;
+  Opts.Mode = Mode;
+  Opts.Fail = failOnOf(A);
+  Opts.Shape = launchShapeOf(A);
+  if (auto Jobs = A.get("--jobs")) {
+    std::optional<uint64_t> N = parseUInt(*Jobs);
+    if (!N)
+      die("bad --jobs value '" + *Jobs + "'");
+    Opts.Jobs = static_cast<unsigned>(*N); // 0 = hardware width.
+  }
+
+  if (auto Json = A.get("--json")) {
+    Expected<serve::OpResult> R = serve::opAnalyze(readFile(Path), Path, Opts);
+    if (!R)
+      die(R.message());
+    if (Json->empty())
+      std::fputs(R->Output.c_str(), stdout);
+    else
+      writeFile(*Json, R->Output);
+    return R->Exit;
+  }
+
+  ir::Program P = loadProgramFile(Path);
+  analysis::Report R;
+  for (const ir::Kernel &K : P.Kernels) {
+    if (Mode == "types") {
+      analysis::TypeInference T = analysis::inferTypes(K);
+      std::printf("kernel %s (%s): typed in %u solver visits\n",
+                  K.Name.c_str(), archName(K.A), T.Iterations);
+      for (size_t B = 0; B < K.Blocks.size(); ++B) {
+        std::string Facts;
+        for (unsigned S = 0; S < analysis::kNumRegSlots; ++S) {
+          if (!T.Out[B][S])
+            continue;
+          if (!Facts.empty())
+            Facts += " ";
+          Facts += analysis::slotName(S) + "=" +
+                   analysis::typeMaskName(T.Out[B][S]);
+        }
+        std::printf("  BB%zu out: %s\n", B,
+                    Facts.empty() ? "-" : Facts.c_str());
+      }
+      R.append(analysis::checkTypes(K));
+    } else if (Mode == "bounds") {
+      R.append(analysis::checkBounds(K, Opts.Shape));
+    } else {
+      R.append(analysis::checkRaces(K, Opts.Shape));
+    }
+  }
+  std::fputs(R.toText().c_str(), stdout);
+  return exitForReport(R, Opts.Fail);
 }
 
 int cmdAnalyze(const Args &A) {
   const bool WantLiveness = A.Options.count("--liveness") != 0;
   const bool WantHazards = A.Options.count("--hazards") != 0;
-  if (WantLiveness && WantHazards)
-    die("pick one of --liveness / --hazards");
-  if (WantLiveness || WantHazards) {
+  const bool WantTypes = A.Options.count("--types") != 0;
+  const bool WantBounds = A.Options.count("--bounds") != 0;
+  const bool WantRaces = A.Options.count("--races") != 0;
+  const int Modes =
+      WantLiveness + WantHazards + WantTypes + WantBounds + WantRaces;
+  if (Modes > 1)
+    die("pick one of --liveness / --hazards / --types / --bounds / --races");
+  if (Modes == 1) {
     if (A.Positional.empty())
-      die("usage: dcb analyze --liveness|--hazards <cubin|listing> "
-          "[--json[=FILE]]");
-    return WantLiveness ? cmdAnalyzeLiveness(A) : cmdAnalyzeHazards(A);
+      die("usage: dcb analyze --liveness|--hazards|--types|--bounds|--races "
+          "<cubin|listing> [--json[=FILE]] [--fail-on SEV] [--jobs N] "
+          "[--threads N] [--blocks N] [--warp-size N]");
+    if (WantLiveness)
+      return cmdAnalyzeLiveness(A);
+    if (WantHazards)
+      return cmdAnalyzeHazards(A);
+    return cmdAnalyzeChecks(A, WantTypes   ? "types"
+                               : WantBounds ? "bounds"
+                                            : "races");
   }
   if (A.Positional.empty())
     die("usage: dcb analyze <listing>... [--db in.db] -o <out.db>");
@@ -532,7 +650,7 @@ int cmdLint(const Args &A) {
     for (Arch Spec : Archs)
       R.append(vendor::lintIsaTables(Spec));
   }
-  return emitReport(R, Target, A.get("--json"));
+  return emitReport(R, Target, A.get("--json"), failOnOf(A));
 }
 
 int cmdStats(const Args &A) {
@@ -661,6 +779,7 @@ vm::ExecOptions execOptions(const Args &A) {
   }
   Opts.UseRef = A.Options.count("--ref") != 0;
   Opts.CompareRegs = A.Options.count("--regs") != 0;
+  Opts.WatchShared = A.Options.count("--watch-shared") != 0;
   if (auto V = A.get("--oob")) {
     if (*V == "wrap")
       Opts.Oob = vm::OobPolicy::Wrap;
@@ -676,7 +795,7 @@ int cmdExec(const Args &A) {
   if (A.Positional.size() < 2)
     die("usage: dcb exec <cubin|listing> <kernel|all> [--jobs N] [--ref] "
         "[--seed N] [--threads N] [--blocks N] [--warp-size N] "
-        "[--oob wrap|fault]");
+        "[--oob wrap|fault] [--watch-shared]");
   // Routed through the daemon-shared op (one summary line per kernel on
   // stdout, exit 1 when any kernel failed) so served exec requests return
   // the same bytes this one-shot prints.
@@ -896,8 +1015,18 @@ int cmdClient(const Args &A) {
   }
   if (A.Options.count("--ref"))
     Req += ",\"ref\":true";
+  if (A.Options.count("--watch-shared"))
+    Req += ",\"watch_shared\":true";
   if (auto V = A.get("--oob")) {
     Req += ",\"oob\":";
+    serve::json::appendString(Req, *V);
+  }
+  if (auto V = A.get("--mode")) {
+    Req += ",\"mode\":";
+    serve::json::appendString(Req, *V);
+  }
+  if (auto V = A.get("--fail-on")) {
+    Req += ",\"fail_on\":";
     serve::json::appendString(Req, *V);
   }
   if (auto V = A.get("--name")) {
@@ -1110,9 +1239,24 @@ int cmdTop(const Args &A) {
       "  analyze --liveness|--hazards <cubin|listing>\n"
       "                                          dataflow / hazard report\n"
       "                                          for one program\n"
-      "  (lint/analyze: --json prints dcb-lint-v1 JSON, --json=FILE saves)\n"
+      "  analyze --types|--bounds|--races <cubin|listing> [--jobs N]\n"
+      "          [--threads N] [--blocks N] [--warp-size N]\n"
+      "                                          typed-IR checkers: type\n"
+      "                                          inference + TYP confusion\n"
+      "                                          rules (--types), static\n"
+      "                                          bounds/alignment vs the\n"
+      "                                          launch shape (--bounds),\n"
+      "                                          barrier-interval shared-\n"
+      "                                          memory races (--races);\n"
+      "                                          --json emits dcb-analysis-v1\n"
+      "                                          (byte-identical for every\n"
+      "                                          --jobs value)\n"
+      "  (lint/analyze: --json prints dcb-lint-v1 JSON, --json=FILE saves;\n"
+      "   --fail-on error|warning|never picks the findings severity that\n"
+      "   makes the exit code non-zero — default error)\n"
       "  exec <cubin|listing> <kernel|all> [--jobs N] [--ref] [--seed N]\n"
       "       [--threads N] [--blocks N] [--warp-size N] [--oob wrap|fault]\n"
+      "       [--watch-shared]\n"
       "                                          run kernels on the grid VM\n"
       "                                          over a seeded input image\n"
       "                                          (--ref = oracle engine;\n"
